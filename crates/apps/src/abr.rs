@@ -1,0 +1,240 @@
+//! Adaptive-bitrate profiles.
+//!
+//! Each on-demand video service exposes a discrete bitrate ladder and an
+//! adaptation temperament. Observation 2 (§4) attributes YouTube's low
+//! contentiousness to "its ABR's desire for stability and its discrete
+//! bitrate ladder" — modelled here as a safety factor on the throughput
+//! estimate and an up-switch patience; Observation 3 hypothesizes Vimeo's
+//! ABR "chooses a more conservative bitrate than Netflix" in constrained
+//! settings.
+
+use serde::{Deserialize, Serialize};
+
+/// ABR behaviour of one video service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AbrProfile {
+    /// Available bitrates in bits/s, ascending (Table 1 lists 7 rungs for
+    /// YouTube/Vimeo, 6 for Netflix).
+    pub ladder_bps: Vec<f64>,
+    /// Media duration of one segment, seconds.
+    pub segment_secs: f64,
+    /// Playback buffer level at which the client stops requesting.
+    pub max_buffer_secs: f64,
+    /// Buffer needed before playback starts (and after a rebuffer).
+    pub startup_buffer_secs: f64,
+    /// Fraction of the measured throughput the ABR will commit to
+    /// (lower = more conservative = more sensitive under contention).
+    pub safety: f64,
+    /// Consecutive segments of sustained headroom required before
+    /// switching up one rung (stability preference).
+    pub up_switch_patience: u32,
+}
+
+impl AbrProfile {
+    /// YouTube: 7 rungs up to 13 Mbps (≈4K), very stability-biased.
+    pub fn youtube() -> Self {
+        AbrProfile {
+            ladder_bps: vec![0.3e6, 0.7e6, 1.5e6, 3.0e6, 5.0e6, 8.0e6, 13.0e6],
+            segment_secs: 4.0,
+            max_buffer_secs: 24.0,
+            startup_buffer_secs: 4.0,
+            safety: 0.65,
+            up_switch_patience: 3,
+        }
+    }
+
+    /// Netflix: 6 rungs up to 8 Mbps, comparatively rate-aggressive.
+    pub fn netflix() -> Self {
+        AbrProfile {
+            ladder_bps: vec![0.3e6, 0.8e6, 1.8e6, 3.0e6, 5.0e6, 8.0e6],
+            segment_secs: 4.0,
+            max_buffer_secs: 24.0,
+            startup_buffer_secs: 4.0,
+            safety: 0.9,
+            up_switch_patience: 1,
+        }
+    }
+
+    /// Vimeo: 7 rungs up to 14 Mbps, conservative in constrained settings.
+    pub fn vimeo() -> Self {
+        AbrProfile {
+            ladder_bps: vec![0.25e6, 0.6e6, 1.2e6, 2.5e6, 4.5e6, 8.0e6, 14.0e6],
+            segment_secs: 4.0,
+            max_buffer_secs: 24.0,
+            startup_buffer_secs: 4.0,
+            safety: 0.72,
+            up_switch_patience: 2,
+        }
+    }
+
+    /// The service's maximum achievable media rate (its Table 1 "Max Xput").
+    pub fn max_rate_bps(&self) -> f64 {
+        *self
+            .ladder_bps
+            .last()
+            .expect("ladder must not be empty")
+    }
+
+    /// Pick the rung for the next segment given the current rung, the
+    /// throughput estimate, how long headroom has been sustained, and the
+    /// playback buffer level. Returns (rung index, updated streak).
+    ///
+    /// Besides the rate rule, a (nearly) full buffer licenses probing one
+    /// rung up even when the throughput estimate is pessimistic — small
+    /// segments at low rungs systematically under-measure the available
+    /// bandwidth, and a deep buffer makes the probe risk-free (this is the
+    /// buffer-based component every deployed ABR has, cf. BOLA [44]).
+    pub fn choose_rung(
+        &self,
+        current: usize,
+        est_bps: f64,
+        headroom_streak: u32,
+        buffer_secs: f64,
+    ) -> (usize, u32) {
+        let budget = est_bps * self.safety;
+        let top = self.ladder_bps.len() - 1;
+        // Highest rung affordable within the safety budget.
+        let mut affordable = self
+            .ladder_bps
+            .iter()
+            .rposition(|&b| b <= budget)
+            .unwrap_or(0);
+        if buffer_secs >= 0.85 * self.max_buffer_secs {
+            // Probe one rung up, but only within reach of the estimate —
+            // a full buffer does not justify jumping to a rung the path
+            // clearly cannot carry.
+            let candidate = (current + 1).min(top);
+            if self.ladder_bps[candidate] <= est_bps * 1.1 {
+                affordable = affordable.max(candidate);
+            }
+        }
+        // Down-switching is buffer-gated: while the cushion holds, the
+        // player rides out a pessimistic estimate (down-switching on every
+        // noisy sample is exactly the instability deployed ABRs avoid).
+        let sustainable = est_bps >= self.ladder_bps[current];
+        if affordable > current {
+            let streak = headroom_streak + 1;
+            if streak >= self.up_switch_patience {
+                // Step up one rung at a time (stability).
+                (current + 1, 0)
+            } else {
+                (current, streak)
+            }
+        } else if !sustainable && buffer_secs < 0.5 * self.max_buffer_secs {
+            if buffer_secs < 0.25 * self.max_buffer_secs {
+                // Emergency: jump straight to what the safety budget allows.
+                (affordable.min(current), 0)
+            } else {
+                (current.saturating_sub(1), 0)
+            }
+        } else {
+            (current, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_match_table1_caps() {
+        assert_eq!(AbrProfile::youtube().max_rate_bps(), 13e6);
+        assert_eq!(AbrProfile::netflix().max_rate_bps(), 8e6);
+        assert_eq!(AbrProfile::vimeo().max_rate_bps(), 14e6);
+        assert_eq!(AbrProfile::youtube().ladder_bps.len(), 7);
+        assert_eq!(AbrProfile::netflix().ladder_bps.len(), 6);
+        assert_eq!(AbrProfile::vimeo().ladder_bps.len(), 7);
+    }
+
+    #[test]
+    fn down_switch_is_immediate() {
+        let p = AbrProfile::youtube();
+        // Playing rung 5 (8 Mbps) with only 2 Mbps estimated and a nearly
+        // empty buffer: emergency drop to the safety budget (rung 1).
+        let (rung, streak) = p.choose_rung(5, 2e6, 0, 4.0);
+        assert_eq!(rung, 1);
+        assert_eq!(streak, 0);
+    }
+
+    #[test]
+    fn up_switch_requires_patience() {
+        let p = AbrProfile::youtube(); // patience 3
+        let (r1, s1) = p.choose_rung(2, 50e6, 0, 4.0);
+        assert_eq!((r1, s1), (2, 1));
+        let (r2, s2) = p.choose_rung(2, 50e6, s1, 4.0);
+        assert_eq!((r2, s2), (2, 2));
+        let (r3, s3) = p.choose_rung(2, 50e6, s2, 4.0);
+        assert_eq!((r3, s3), (3, 0)); // one rung at a time
+    }
+
+    #[test]
+    fn full_buffer_probes_up_despite_conservative_budget() {
+        let p = AbrProfile::youtube();
+        // The safety budget (0.65 * 1.4M = 0.91M) affords only rung 1, but
+        // the buffer is full and the next rung (1.5M) is within reach of
+        // the raw estimate: after `patience` decisions the ABR probes up.
+        let mut rung = 1;
+        let mut streak = 0;
+        for _ in 0..p.up_switch_patience {
+            let (r, s) = p.choose_rung(rung, 1.4e6, streak, 24.0);
+            rung = r;
+            streak = s;
+        }
+        assert_eq!(rung, 2);
+    }
+
+    #[test]
+    fn full_buffer_never_probes_beyond_reach() {
+        let p = AbrProfile::youtube();
+        // Buffer full but the next rung is far beyond the estimate: hold.
+        let (rung, _) = p.choose_rung(4, 5e6, 10, 24.0);
+        assert_eq!(rung, 4, "8M rung unreachable at a 5M estimate");
+    }
+
+    #[test]
+    fn low_buffer_never_probes() {
+        let p = AbrProfile::youtube();
+        let (rung, _) = p.choose_rung(1, 0.4e6, 10, 2.0);
+        assert_eq!(rung, 0, "low buffer + low estimate must step down");
+    }
+
+    #[test]
+    fn healthy_buffer_rides_out_bad_estimate() {
+        let p = AbrProfile::youtube();
+        // est below the current rung but buffer at 60% of max: hold.
+        let (rung, _) = p.choose_rung(3, 2e6, 0, 15.0);
+        assert_eq!(rung, 3);
+        // Buffer at 40%: step down one rung only.
+        let (rung, _) = p.choose_rung(3, 2e6, 0, 10.0);
+        assert_eq!(rung, 2);
+    }
+
+    #[test]
+    fn netflix_switches_up_faster_than_youtube() {
+        let yt = AbrProfile::youtube();
+        let nf = AbrProfile::netflix();
+        assert!(nf.up_switch_patience < yt.up_switch_patience);
+        assert!(nf.safety > yt.safety);
+    }
+
+    #[test]
+    fn holds_when_estimate_matches() {
+        let p = AbrProfile::netflix();
+        // est 5 Mbps, budget 4.5M: affordable rung = 3 Mbps (idx 3).
+        let (rung, _) = p.choose_rung(3, 5e6, 0, 10.0);
+        assert_eq!(rung, 3);
+    }
+
+    #[test]
+    fn conservative_safety_picks_lower_rung() {
+        // At exactly 8 Mbps of estimated throughput, YouTube (safety .65)
+        // affords 5 Mbps while Netflix (safety .9) affords its 5 Mbps rung
+        // too but from a 7.2M budget. At 13 Mbps estimate Netflix affords
+        // its 8M top rung, YouTube only 8M of its 13M ladder.
+        let yt = AbrProfile::youtube();
+        let budget = 8e6 * yt.safety;
+        let afford = yt.ladder_bps.iter().rposition(|&b| b <= budget).unwrap();
+        assert_eq!(yt.ladder_bps[afford], 5e6);
+    }
+}

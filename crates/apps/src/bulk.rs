@@ -1,0 +1,142 @@
+//! Bulk file-transfer services: the iPerf baselines, Dropbox, Google
+//! Drive, and OneDrive (Table 1).
+//!
+//! A bulk service opens `flows` parallel connections, each infinitely
+//! backlogged (or sharing a finite file), optionally behind an upstream
+//! rate cap (OneDrive is throttled to 45 Mbps outside the testbed, §3.1).
+
+use crate::service::ServiceInstance;
+use prudentia_cc::CcaKind;
+use prudentia_sim::{Engine, PathSpec, ServiceId, SimDuration, SimTime};
+use prudentia_transport::{
+    build_simple_flow, FiniteSource, FlowSource, RateCappedSource, UnlimitedSource,
+};
+
+/// Build a bulk transfer service.
+pub fn build_bulk(
+    engine: &mut Engine,
+    service: ServiceId,
+    rtt: SimDuration,
+    cca: CcaKind,
+    flows: u32,
+    cap_bps: Option<f64>,
+    file_bytes: Option<u64>,
+) -> ServiceInstance {
+    assert!(flows >= 1, "bulk service needs at least one flow");
+    let mut handles = Vec::with_capacity(flows as usize);
+    for i in 0..flows {
+        // A finite file is split evenly across the flows; an upstream cap
+        // is also divided so the aggregate respects it.
+        let inner: Box<dyn FlowSource> = match file_bytes {
+            Some(total) => Box::new(FiniteSource::new(total / flows as u64)),
+            None => Box::new(UnlimitedSource),
+        };
+        let source: Box<dyn FlowSource> = match cap_bps {
+            Some(cap) => Box::new(RateCappedSource::new(BoxedSource(inner), cap / flows as f64)),
+            None => inner,
+        };
+        let _ = i; // flows are interchangeable; index kept for readability
+        let h = build_simple_flow(
+            engine,
+            service,
+            PathSpec::symmetric(rtt),
+            cca.build(SimTime::ZERO),
+            source,
+        );
+        handles.push(h);
+    }
+    ServiceInstance {
+        flows: handles,
+        app: crate::service::AppHandle::None,
+    }
+}
+
+/// Adapter: lets a boxed source be wrapped by `RateCappedSource<S>`.
+pub struct BoxedSource(pub Box<dyn FlowSource>);
+
+impl FlowSource for BoxedSource {
+    fn available(&mut self, now: SimTime) -> u64 {
+        self.0.available(now)
+    }
+    fn consume(&mut self, now: SimTime, bytes: u64) {
+        self.0.consume(now, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_sim::BottleneckConfig;
+
+    fn engine() -> Engine {
+        Engine::new(
+            BottleneckConfig {
+                rate_bps: 50e6,
+                queue_capacity_pkts: 1024,
+            },
+            11,
+        )
+    }
+
+    const RTT: SimDuration = SimDuration::from_millis(50);
+
+    #[test]
+    fn single_flow_bulk_saturates() {
+        let mut eng = engine();
+        build_bulk(&mut eng, ServiceId(0), RTT, CcaKind::Cubic, 1, None, None);
+        eng.run_until(SimTime::from_secs(30));
+        let r = eng
+            .trace()
+            .mean_bps(ServiceId(0), SimTime::from_secs(10), SimTime::from_secs(30));
+        assert!(r > 45e6, "bulk should fill 50 Mbps: {r}");
+    }
+
+    #[test]
+    fn onedrive_style_cap_respected() {
+        let mut eng = engine();
+        build_bulk(
+            &mut eng,
+            ServiceId(0),
+            RTT,
+            CcaKind::Cubic,
+            1,
+            Some(45e6),
+            None,
+        );
+        eng.run_until(SimTime::from_secs(30));
+        let r = eng
+            .trace()
+            .mean_bps(ServiceId(0), SimTime::from_secs(10), SimTime::from_secs(30));
+        assert!(r < 47e6 && r > 38e6, "OneDrive cap ~45 Mbps: {r}");
+    }
+
+    #[test]
+    fn multi_flow_bulk_uses_all_flows() {
+        let mut eng = engine();
+        let inst = build_bulk(&mut eng, ServiceId(0), RTT, CcaKind::NewReno, 3, None, None);
+        eng.run_until(SimTime::from_secs(20));
+        for h in &inst.flows {
+            assert!(
+                h.recv.borrow().unique_bytes > 1_000_000,
+                "every flow should carry data"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_file_completes_and_stops() {
+        let mut eng = engine();
+        let inst = build_bulk(
+            &mut eng,
+            ServiceId(0),
+            RTT,
+            CcaKind::Cubic,
+            2,
+            None,
+            Some(10_000_000),
+        );
+        eng.run_until(SimTime::from_secs(60));
+        let total: u64 = inst.flows.iter().map(|h| h.recv.borrow().unique_bytes).sum();
+        assert_eq!(total, 10_000_000);
+    }
+}

@@ -1,0 +1,176 @@
+//! Extension services beyond Table 1.
+//!
+//! The paper's roadmap (§9) is to scale Prudentia to more services, and
+//! the testbed "should be easily extendable to other services which can be
+//! accessed through the browser". These specs demonstrate that
+//! extensibility with three service archetypes the paper's related work
+//! discusses but the testbed did not yet carry:
+//!
+//! * **Zoom** — the third VCA studied by MacMillan et al. [35] alongside
+//!   Meet and Teams.
+//! * **Live video** (Twitch-style low-latency HLS) — an ABR player that
+//!   cannot buffer ahead, so it is far more rebuffer-prone than VoD.
+//! * **P2P swarm** (BitTorrent-style) — many parallel loss-based flows,
+//!   the classic worst-case multi-flow design.
+//!
+//! They are *models of archetypes*, not measurements of the real products;
+//! they ship so downstream users can test their own services against more
+//! than the Table 1 set.
+
+use crate::abr::AbrProfile;
+use crate::rtc::{RtcProfile, RtcRung};
+use crate::service::ServiceSpec;
+use prudentia_cc::CcaKind;
+
+/// Zoom-style VCA: resolution and FPS degrade together in moderate steps
+/// (between Meet's FPS-preserving and Teams' resolution-preserving
+/// strategies), capped at 2.5 Mbps.
+pub fn zoom() -> ServiceSpec {
+    ServiceSpec::Rtc {
+        name: "Zoom".into(),
+        profile: RtcProfile {
+            max_rate_bps: 2.5e6,
+            ladder: vec![
+                RtcRung { height: 1080, fps: 30.0, rate_bps: 2.5e6 },
+                RtcRung { height: 720, fps: 30.0, rate_bps: 1.5e6 },
+                RtcRung { height: 720, fps: 25.0, rate_bps: 1.0e6 },
+                RtcRung { height: 540, fps: 25.0, rate_bps: 0.7e6 },
+                RtcRung { height: 360, fps: 20.0, rate_bps: 0.4e6 },
+                RtcRung { height: 270, fps: 15.0, rate_bps: 0.22e6 },
+                RtcRung { height: 180, fps: 12.0, rate_bps: 0.12e6 },
+            ],
+        },
+    }
+}
+
+/// Twitch-style low-latency live video: the buffer target is a few
+/// seconds (live edge!), so the player cannot ride out throughput dips
+/// and is much more sensitive than VoD services.
+pub fn live_video() -> ServiceSpec {
+    ServiceSpec::Video {
+        name: "Twitch-style live".into(),
+        cca: CcaKind::Cubic, // major live platforms still run TCP/HLS
+        flows: 1,
+        profile: AbrProfile {
+            ladder_bps: vec![0.4e6, 1.0e6, 2.0e6, 3.5e6, 6.0e6, 8.5e6],
+            segment_secs: 2.0,          // LL-HLS style short segments
+            max_buffer_secs: 6.0,       // live edge: tiny cushion
+            startup_buffer_secs: 2.0,
+            safety: 0.8,
+            up_switch_patience: 2,
+        },
+    }
+}
+
+/// BitTorrent-style swarm: 8 parallel loss-based flows, infinitely
+/// backlogged — the classic multi-flow worst case the networking
+/// community has warned about for decades (Obs 3 cites exactly this
+/// design concern).
+pub fn p2p_swarm() -> ServiceSpec {
+    ServiceSpec::Bulk {
+        name: "P2P swarm".into(),
+        cca: CcaKind::Cubic,
+        flows: 8,
+        cap_bps: None,
+        file_bytes: None,
+    }
+}
+
+/// All extension specs.
+pub fn all_extensions() -> Vec<ServiceSpec> {
+    vec![zoom(), live_video(), p2p_swarm()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_service;
+    use crate::service::AppHandle;
+    use prudentia_sim::{BottleneckConfig, Engine, ServiceId, SimDuration, SimTime};
+
+    const RTT: SimDuration = SimDuration::from_millis(50);
+
+    fn engine(rate: f64, q: usize, seed: u64) -> Engine {
+        Engine::new(
+            BottleneckConfig {
+                rate_bps: rate,
+                queue_capacity_pkts: q,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn extensions_build_and_move_data() {
+        for spec in all_extensions() {
+            let mut eng = engine(50e6, 1024, 61);
+            let inst = build_service(&spec, &mut eng, ServiceId(0), RTT);
+            eng.run_until(SimTime::from_secs(30));
+            let total: u64 = inst.flows.iter().map(|h| h.recv.borrow().unique_bytes).sum();
+            assert!(total > 100_000, "{} moved only {total} bytes", spec.name());
+        }
+    }
+
+    #[test]
+    fn zoom_caps_at_its_encoder_max() {
+        let mut eng = engine(50e6, 1024, 62);
+        build_service(&zoom(), &mut eng, ServiceId(0), RTT);
+        eng.run_until(SimTime::from_secs(60));
+        let r = eng
+            .trace()
+            .mean_bps(ServiceId(0), SimTime::from_secs(20), SimTime::from_secs(60));
+        assert!(r < 3.2e6, "Zoom must stay near 2.5 Mbps: {r}");
+        assert!(r > 1.2e6, "Zoom should climb its ladder: {r}");
+    }
+
+    #[test]
+    fn live_video_rebuffers_more_than_vod_under_contention() {
+        // Same contender, same link: the live player's 6 s cushion must
+        // stall more than YouTube's 24 s cushion.
+        let run = |spec: ServiceSpec| {
+            let mut eng = engine(8e6, 128, 63);
+            eng.set_service_pair(ServiceId(0), ServiceId(1));
+            build_service(
+                &crate::Service::IperfCubic.spec(),
+                &mut eng,
+                ServiceId(0),
+                RTT,
+            );
+            let inst = build_service(&spec, &mut eng, ServiceId(1), RTT);
+            eng.run_until(SimTime::from_secs(120));
+            match &inst.app {
+                AppHandle::Video(m) => m.borrow().rebuffer_events,
+                _ => unreachable!(),
+            }
+        };
+        let live = run(live_video());
+        let vod = run(crate::Service::YouTube.spec());
+        assert!(
+            live >= vod,
+            "live ({live} stalls) should stall at least as much as VoD ({vod})"
+        );
+    }
+
+    #[test]
+    fn p2p_swarm_is_highly_contentious() {
+        let mut eng = engine(50e6, 1024, 64);
+        eng.set_service_pair(ServiceId(0), ServiceId(1));
+        build_service(&p2p_swarm(), &mut eng, ServiceId(0), RTT);
+        build_service(
+            &crate::Service::IperfReno.spec(),
+            &mut eng,
+            ServiceId(1),
+            RTT,
+        );
+        eng.run_until(SimTime::from_secs(120));
+        let reno = eng
+            .trace()
+            .mean_bps(ServiceId(1), SimTime::from_secs(24), SimTime::from_secs(120));
+        // Eight Cubic flows vs one Reno: far below the 25 Mbps fair share.
+        assert!(
+            reno < 15e6,
+            "single Reno should be crushed by an 8-flow swarm: {:.1} Mbps",
+            reno / 1e6
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the application models.
+
+#![cfg(test)]
+
+use crate::abr::AbrProfile;
+use crate::rtc::RtcProfile;
+use crate::web::{PageProfile, Resource};
+use proptest::prelude::*;
+
+fn arbitrary_ladder() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.1f64..20.0, 2..9).prop_map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN rung"));
+        v.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        if v.len() < 2 {
+            v.push(v[0] + 1.0);
+        }
+        v.iter().map(|m| m * 1e6).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn abr_rung_always_within_ladder(
+        ladder in arbitrary_ladder(),
+        current in 0usize..8,
+        est_mbps in 0.01f64..100.0,
+        streak in 0u32..5,
+        buffer in 0.0f64..30.0,
+    ) {
+        let profile = AbrProfile {
+            ladder_bps: ladder.clone(),
+            segment_secs: 4.0,
+            max_buffer_secs: 24.0,
+            startup_buffer_secs: 4.0,
+            safety: 0.7,
+            up_switch_patience: 2,
+        };
+        let current = current.min(ladder.len() - 1);
+        let (rung, new_streak) = profile.choose_rung(current, est_mbps * 1e6, streak, buffer);
+        prop_assert!(rung < ladder.len());
+        // Single-step monotone moves only (stability property): the ABR
+        // never jumps up more than one rung at a time.
+        prop_assert!(rung <= current + 1, "jumped from {current} to {rung}");
+        prop_assert!(new_streak <= streak + 1);
+    }
+
+    #[test]
+    fn abr_up_moves_require_headroom_or_full_buffer(
+        ladder in arbitrary_ladder(),
+        current in 0usize..8,
+        est_mbps in 0.01f64..100.0,
+    ) {
+        let profile = AbrProfile {
+            ladder_bps: ladder.clone(),
+            segment_secs: 4.0,
+            max_buffer_secs: 24.0,
+            startup_buffer_secs: 4.0,
+            safety: 0.7,
+            up_switch_patience: 1,
+        };
+        let current = current.min(ladder.len() - 1);
+        // With an empty buffer, an up-switch needs the rate rule to hold.
+        let (rung, _) = profile.choose_rung(current, est_mbps * 1e6, 10, 0.0);
+        if rung > current {
+            prop_assert!(
+                ladder[rung] <= est_mbps * 1e6 * profile.safety + 1e-6,
+                "up-switch to {} without budget ({est_mbps} Mbps est)",
+                ladder[rung]
+            );
+        }
+    }
+
+    #[test]
+    fn rtc_rung_selection_is_monotone_in_target(
+        t1 in 0.05f64..5.0,
+        t2 in 0.05f64..5.0,
+    ) {
+        for profile in [RtcProfile::meet(), RtcProfile::teams()] {
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let r_lo = profile.rung_for(lo * 1e6);
+            let r_hi = profile.rung_for(hi * 1e6);
+            // Ladder is ordered best-first: a higher target never picks a
+            // *worse* (higher-index) rung.
+            prop_assert!(r_hi <= r_lo, "{}: target {hi} -> rung {r_hi}, {lo} -> {r_lo}", profile.max_rate_bps);
+            // And the selected rung is always affordable (or the floor).
+            if r_hi < profile.ladder.len() - 1 {
+                prop_assert!(profile.ladder[r_hi].rate_bps <= hi * 1e6 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn page_profiles_always_complete_their_visual_weight(
+        sizes in proptest::collection::vec(1_000u64..500_000, 1..30),
+        conns in 1u32..24,
+    ) {
+        // A synthetic page with arbitrary resources must have its visual
+        // weights defined and depths coherent for the load logic.
+        let n = sizes.len();
+        let resources: Vec<Resource> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| Resource {
+                bytes,
+                visual: 1.0 / n as f64,
+                depth: (i % 3) as u32,
+            })
+            .collect();
+        let page = PageProfile {
+            connections: conns,
+            resources,
+            cca: prudentia_cc::CcaKind::BbrV1Linux415,
+        };
+        prop_assert!((page.total_visual() - 1.0).abs() < 1e-6);
+        prop_assert!(page.total_bytes() >= 1_000);
+    }
+}

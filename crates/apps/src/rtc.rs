@@ -1,0 +1,459 @@
+//! Real-time conferencing services (Google Meet, Microsoft Teams).
+//!
+//! The sender encodes frames at the rung chosen from the GCC target rate;
+//! the receiver reconstructs frames and computes the Table 2 metrics:
+//! majority resolution, average rendered FPS, freezes per minute (WebRTC
+//! definition: inter-frame gap exceeding `max(3δ, δ+150ms)`), while the
+//! fraction of high-delay packets comes from the bottleneck trace.
+//!
+//! Observation 5 (§5.1): Meet degrades *resolution* first and keeps FPS;
+//! Teams holds resolution longer but loses FPS and freezes more. The two
+//! profiles encode exactly that trade-off in their ladders.
+
+use crate::service::{AppHandle, ServiceInstance};
+use prudentia_cc::{AckSample, CongestionControl, Gcc, LossSample};
+use prudentia_sim::{
+    Ctx, Endpoint, EndpointId, Engine, FlowId, Packet, PathSpec, ServiceId, SimDuration, SimTime,
+};
+use prudentia_transport::{build_flow, DeliverySink, FlowSource, TOKEN_WAKE};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// One encoder operating point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RtcRung {
+    /// Vertical resolution in pixels (e.g. 720 for 720p).
+    pub height: u32,
+    /// Frames per second produced at this rung.
+    pub fps: f64,
+    /// Media bitrate at this rung, bits/s.
+    pub rate_bps: f64,
+}
+
+/// Encoder/adaptation profile of an RTC service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RtcProfile {
+    /// Encoder maximum (Table 1: Meet 1.5 Mbps, Teams 2.6 Mbps).
+    pub max_rate_bps: f64,
+    /// Operating points, descending by rate.
+    pub ladder: Vec<RtcRung>,
+}
+
+impl RtcProfile {
+    /// Google Meet: resolution-first degradation — FPS stays at 30 all
+    /// the way down the ladder.
+    pub fn meet() -> Self {
+        RtcProfile {
+            max_rate_bps: 1.5e6,
+            ladder: vec![
+                RtcRung { height: 720, fps: 30.0, rate_bps: 1.5e6 },
+                RtcRung { height: 540, fps: 30.0, rate_bps: 1.0e6 },
+                RtcRung { height: 360, fps: 30.0, rate_bps: 0.6e6 },
+                RtcRung { height: 270, fps: 30.0, rate_bps: 0.35e6 },
+                RtcRung { height: 180, fps: 30.0, rate_bps: 0.2e6 },
+                RtcRung { height: 120, fps: 30.0, rate_bps: 0.1e6 },
+            ],
+        }
+    }
+
+    /// Microsoft Teams: holds resolution longer, sheds FPS instead.
+    pub fn teams() -> Self {
+        RtcProfile {
+            max_rate_bps: 2.6e6,
+            ladder: vec![
+                RtcRung { height: 1080, fps: 30.0, rate_bps: 2.6e6 },
+                RtcRung { height: 1080, fps: 24.0, rate_bps: 1.8e6 },
+                RtcRung { height: 720, fps: 24.0, rate_bps: 1.2e6 },
+                RtcRung { height: 720, fps: 18.0, rate_bps: 0.8e6 },
+                RtcRung { height: 540, fps: 14.0, rate_bps: 0.45e6 },
+                RtcRung { height: 360, fps: 10.0, rate_bps: 0.25e6 },
+                RtcRung { height: 360, fps: 7.0, rate_bps: 0.15e6 },
+            ],
+        }
+    }
+
+    /// Pick the best rung affordable at `target_bps`.
+    pub fn rung_for(&self, target_bps: f64) -> usize {
+        self.ladder
+            .iter()
+            .position(|r| r.rate_bps <= target_bps)
+            .unwrap_or(self.ladder.len() - 1)
+    }
+}
+
+/// Receiver-side quality metrics (Table 2).
+#[derive(Debug, Clone, Default)]
+pub struct RtcMetrics {
+    /// Frames rendered.
+    pub frames_rendered: u64,
+    /// Time-weighted sum of resolution (divide by `render_secs`).
+    res_weighted: f64,
+    /// Wall-clock span of rendered frames, seconds.
+    pub render_secs: f64,
+    /// Freezes (WebRTC definition).
+    pub freezes: u64,
+    /// Per-rung render seconds keyed by resolution height.
+    pub res_secs: Vec<(u32, f64)>,
+}
+
+impl RtcMetrics {
+    /// Average rendered frames per second.
+    pub fn avg_fps(&self) -> f64 {
+        if self.render_secs <= 0.0 {
+            return 0.0;
+        }
+        self.frames_rendered as f64 / self.render_secs
+    }
+
+    /// Freezes per minute.
+    pub fn freezes_per_minute(&self) -> f64 {
+        if self.render_secs <= 0.0 {
+            return 0.0;
+        }
+        self.freezes as f64 * 60.0 / self.render_secs
+    }
+
+    /// The resolution the video played at for the majority of the stream.
+    pub fn majority_resolution(&self) -> u32 {
+        self.res_secs
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN res seconds"))
+            .map(|(h, _)| *h)
+            .unwrap_or(0)
+    }
+
+    /// Mean resolution weighted by time.
+    pub fn mean_resolution(&self) -> f64 {
+        if self.render_secs <= 0.0 {
+            return 0.0;
+        }
+        self.res_weighted / self.render_secs
+    }
+}
+
+/// A GCC handle shareable between the transport sender and the encoder.
+pub struct SharedGcc(pub Rc<RefCell<Gcc>>);
+
+impl std::fmt::Debug for SharedGcc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedGcc").finish()
+    }
+}
+
+impl CongestionControl for SharedGcc {
+    fn name(&self) -> &'static str {
+        "GCC"
+    }
+    fn on_ack(&mut self, ack: &AckSample) {
+        self.0.borrow_mut().on_ack(ack);
+    }
+    fn on_loss(&mut self, loss: &LossSample) {
+        self.0.borrow_mut().on_loss(loss);
+    }
+    fn cwnd_bytes(&self) -> u64 {
+        self.0.borrow().cwnd_bytes()
+    }
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        self.0.borrow().pacing_rate_bps()
+    }
+}
+
+#[derive(Debug)]
+struct RtcState {
+    /// Encoded bytes awaiting transmission.
+    avail: u64,
+    /// Frame boundaries: (cumulative end byte, frame generation time, rung).
+    boundaries: VecDeque<(u64, SimTime, usize)>,
+    /// Total bytes generated so far.
+    generated: u64,
+    /// Total unique bytes delivered.
+    delivered: u64,
+    /// Current rung index.
+    rung: usize,
+    /// Receiver-side render clock for freeze detection.
+    last_render: Option<SimTime>,
+    avg_gap_secs: f64,
+    metrics: RtcMetrics,
+}
+
+struct RtcSource {
+    state: Rc<RefCell<RtcState>>,
+}
+
+impl FlowSource for RtcSource {
+    fn available(&mut self, _now: SimTime) -> u64 {
+        self.state.borrow().avail
+    }
+    fn consume(&mut self, _now: SimTime, bytes: u64) {
+        let mut st = self.state.borrow_mut();
+        st.avail = st.avail.saturating_sub(bytes);
+    }
+}
+
+struct RtcSink {
+    state: Rc<RefCell<RtcState>>,
+    profile: RtcProfile,
+}
+
+impl DeliverySink for RtcSink {
+    fn on_receive(&mut self, now: SimTime, _flow: FlowId, _seq: u64, bytes: u64, is_new: bool) {
+        if !is_new {
+            return;
+        }
+        let mut st = self.state.borrow_mut();
+        st.delivered += bytes;
+        // Render every frame whose last byte has now arrived.
+        while let Some(&(end, _gen_at, rung)) = st.boundaries.front() {
+            if st.delivered < end {
+                break;
+            }
+            st.boundaries.pop_front();
+            let r = self.profile.ladder[rung];
+            st.metrics.frames_rendered += 1;
+            if let Some(last) = st.last_render {
+                let gap = now.saturating_since(last).as_secs_f64();
+                st.metrics.render_secs += gap;
+                st.res_add(r.height, gap);
+                st.metrics.res_weighted += r.height as f64 * gap;
+                // WebRTC freeze: gap > max(3δ, δ + 150ms).
+                let d = st.avg_gap_secs;
+                if d > 0.0 && gap > (3.0 * d).max(d + 0.150) {
+                    st.metrics.freezes += 1;
+                }
+                st.avg_gap_secs = if d == 0.0 { gap } else { 0.9 * d + 0.1 * gap };
+            }
+            st.last_render = Some(now);
+        }
+    }
+}
+
+impl RtcState {
+    fn res_add(&mut self, height: u32, secs: f64) {
+        if let Some(e) = self.metrics.res_secs.iter_mut().find(|(h, _)| *h == height) {
+            e.1 += secs;
+        } else {
+            self.metrics.res_secs.push((height, secs));
+        }
+    }
+}
+
+/// Sender-side controller: frame generation + encoder adaptation.
+struct RtcController {
+    state: Rc<RefCell<RtcState>>,
+    gcc: Rc<RefCell<Gcc>>,
+    profile: RtcProfile,
+    sender_ep: EndpointId,
+    next_frame: SimTime,
+    next_adapt: SimTime,
+}
+
+const ADAPT_INTERVAL: SimDuration = SimDuration::from_millis(500);
+
+impl RtcController {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // Encoder adaptation.
+        if now >= self.next_adapt {
+            let target = self.gcc.borrow().target_rate_bps();
+            let rung = self.profile.rung_for(target);
+            self.state.borrow_mut().rung = rung;
+            self.next_adapt = now + ADAPT_INTERVAL;
+        }
+        // Frame generation.
+        if now >= self.next_frame {
+            let mut st = self.state.borrow_mut();
+            let r = self.profile.ladder[st.rung];
+            let frame_bytes = (r.rate_bps / r.fps / 8.0).max(200.0) as u64;
+            st.avail += frame_bytes;
+            st.generated += frame_bytes;
+            let generated = st.generated;
+            let rung = st.rung;
+            st.boundaries.push_back((generated, now, rung));
+            self.next_frame = now + SimDuration::from_secs_f64(1.0 / r.fps);
+            drop(st);
+            ctx.set_timer_for(self.sender_ep, SimDuration::ZERO, TOKEN_WAKE);
+        }
+        let wait = self
+            .next_frame
+            .min(self.next_adapt)
+            .saturating_since(now)
+            .max(SimDuration::from_millis(1));
+        ctx.set_timer(wait, 0);
+    }
+}
+
+impl Endpoint for RtcController {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.next_frame = ctx.now();
+        self.next_adapt = ctx.now();
+        self.tick(ctx);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        self.tick(ctx);
+    }
+}
+
+/// Mirrors internal metrics outward once per 500 ms.
+struct RtcMirror {
+    state: Rc<RefCell<RtcState>>,
+    out: Rc<RefCell<RtcMetrics>>,
+}
+
+impl Endpoint for RtcMirror {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(500), 0);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        *self.out.borrow_mut() = self.state.borrow().metrics.clone();
+        ctx.set_timer(SimDuration::from_millis(500), 0);
+    }
+}
+
+/// Build an RTC service (one media flow, GCC-controlled).
+pub fn build_rtc(
+    engine: &mut Engine,
+    service: ServiceId,
+    rtt: SimDuration,
+    profile: RtcProfile,
+) -> ServiceInstance {
+    let mut gcc = Gcc::new(SimTime::ZERO);
+    // Allow the congestion controller a little headroom above the encoder
+    // maximum so the top rung is reachable (the transport also carries
+    // RTP/RTCP overheads).
+    gcc.set_max_rate(profile.max_rate_bps * 1.15);
+    let gcc = Rc::new(RefCell::new(gcc));
+    let start_rung = profile.ladder.len() - 1; // start at the bottom rung
+    let state = Rc::new(RefCell::new(RtcState {
+        avail: 0,
+        boundaries: VecDeque::new(),
+        generated: 0,
+        delivered: 0,
+        rung: start_rung,
+        last_render: None,
+        avg_gap_secs: 0.0,
+        metrics: RtcMetrics::default(),
+    }));
+    let h = build_flow(
+        engine,
+        service,
+        PathSpec::symmetric(rtt),
+        Box::new(SharedGcc(Rc::clone(&gcc))),
+        Box::new(RtcSource {
+            state: Rc::clone(&state),
+        }),
+        Box::new(RtcSink {
+            state: Rc::clone(&state),
+            profile: profile.clone(),
+        }),
+    );
+    let metrics = Rc::new(RefCell::new(RtcMetrics::default()));
+    engine.add_endpoint(Box::new(RtcController {
+        state: Rc::clone(&state),
+        gcc,
+        profile,
+        sender_ep: h.sender_ep,
+        next_frame: SimTime::ZERO,
+        next_adapt: SimTime::ZERO,
+    }));
+    engine.add_endpoint(Box::new(RtcMirror {
+        state,
+        out: Rc::clone(&metrics),
+    }));
+    ServiceInstance {
+        flows: vec![h],
+        app: AppHandle::Rtc(metrics),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_sim::BottleneckConfig;
+
+    const RTT: SimDuration = SimDuration::from_millis(50);
+
+    fn run_rtc(rate_bps: f64, secs: u64, profile: RtcProfile) -> (f64, RtcMetrics) {
+        let mut eng = Engine::new(
+            BottleneckConfig {
+                rate_bps,
+                queue_capacity_pkts: 128,
+            },
+            41,
+        );
+        let inst = build_rtc(&mut eng, ServiceId(0), RTT, profile);
+        eng.run_until(SimTime::from_secs(secs));
+        let rate = eng.trace().mean_bps(
+            ServiceId(0),
+            SimTime::from_secs(secs / 3),
+            SimTime::from_secs(secs),
+        );
+        let m = match &inst.app {
+            AppHandle::Rtc(m) => m.borrow().clone(),
+            _ => unreachable!(),
+        };
+        (rate, m)
+    }
+
+    #[test]
+    fn meet_solo_reaches_top_rung() {
+        let (rate, m) = run_rtc(8e6, 120, RtcProfile::meet());
+        assert!(
+            rate > 1.0e6 && rate < 1.9e6,
+            "Meet should run near its 1.5 Mbps cap: {rate}"
+        );
+        assert_eq!(m.majority_resolution(), 720);
+        assert!(m.avg_fps() > 25.0, "fps {}", m.avg_fps());
+        assert!(m.freezes_per_minute() < 3.0, "fpm {}", m.freezes_per_minute());
+    }
+
+    #[test]
+    fn teams_solo_reaches_top_rung() {
+        let (rate, m) = run_rtc(8e6, 120, RtcProfile::teams());
+        assert!(rate > 1.6e6 && rate < 3.0e6, "Teams near 2.6 Mbps: {rate}");
+        assert_eq!(m.majority_resolution(), 1080);
+    }
+
+    #[test]
+    fn starved_rtc_degrades_rung() {
+        // 0.5 Mbps link: Meet must fall to a low-resolution rung but keep
+        // producing frames at 30 fps (its profile keeps FPS).
+        let (rate, m) = run_rtc(0.5e6, 120, RtcProfile::meet());
+        assert!(rate < 0.6e6);
+        assert!(
+            m.majority_resolution() <= 360,
+            "should degrade resolution: {}p",
+            m.majority_resolution()
+        );
+        assert!(m.avg_fps() > 15.0, "Meet keeps FPS: {}", m.avg_fps());
+    }
+
+    #[test]
+    fn rung_for_respects_target() {
+        let p = RtcProfile::meet();
+        assert_eq!(p.rung_for(2.0e6), 0); // top
+        assert_eq!(p.ladder[p.rung_for(0.5e6)].rate_bps, 0.35e6);
+        assert_eq!(p.ladder[p.rung_for(0.61e6)].rate_bps, 0.6e6);
+        assert_eq!(p.rung_for(0.01e6), p.ladder.len() - 1); // floor
+    }
+
+    #[test]
+    fn freeze_definition_matches_webrtc() {
+        // δ = 33 ms: a 200 ms gap exceeds max(99ms, 183ms) → freeze;
+        // a 150 ms gap does not.
+        let d: f64 = 0.033;
+        assert!(0.200 > (3.0 * d).max(d + 0.150));
+        assert!(0.150 < (3.0 * d).max(d + 0.150) + 1e-9);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let (_, m) = run_rtc(8e6, 60, RtcProfile::meet());
+        assert!(m.frames_rendered > 1000, "frames {}", m.frames_rendered);
+        assert!(m.render_secs > 30.0);
+        assert!(m.mean_resolution() > 100.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Service model framework.
+//!
+//! A [`ServiceSpec`] is a plain-data description of one Internet service
+//! from Table 1 (its CCA, flow count, rate caps, and application
+//! behaviour). [`build_service`] instantiates the spec on an engine,
+//! returning a [`ServiceInstance`] with flow handles and shared metric
+//! cells that stay readable after the run.
+
+use crate::abr::AbrProfile;
+use crate::rtc::{RtcMetrics, RtcProfile};
+use crate::video::VideoMetrics;
+use crate::web::{PageProfile, WebMetrics};
+use prudentia_cc::CcaKind;
+use prudentia_sim::{SimDuration, SimTime};
+use prudentia_stats::Demand;
+use prudentia_transport::FlowHandle;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Plain-data description of a service under test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServiceSpec {
+    /// A bulk download: iPerf baselines, Dropbox, Google Drive, OneDrive.
+    Bulk {
+        /// Display name (Table 1).
+        name: String,
+        /// Congestion control algorithm.
+        cca: CcaKind,
+        /// Number of parallel flows.
+        flows: u32,
+        /// Optional upstream rate cap in bits/s (OneDrive: 45 Mbps).
+        cap_bps: Option<f64>,
+        /// Optional finite file size; `None` streams forever.
+        file_bytes: Option<u64>,
+    },
+    /// Mega's batched multi-flow downloader (§4 Obs 3/4): `flows` chunks
+    /// download in parallel; the next batch starts only after every chunk
+    /// of the current batch finishes, plus a scheduling gap.
+    Mega {
+        /// Display name.
+        name: String,
+        /// Congestion control algorithm (BBR, per the CCA classifier).
+        cca: CcaKind,
+        /// Concurrent flows (5 for Mega).
+        flows: u32,
+        /// Bytes per chunk.
+        chunk_bytes: u64,
+        /// Idle gap between batches (client scheduling overhead), ns.
+        batch_gap_ns: u64,
+        /// Total file size.
+        file_bytes: u64,
+    },
+    /// An on-demand ABR video service (YouTube, Netflix, Vimeo).
+    Video {
+        /// Display name.
+        name: String,
+        /// Congestion control algorithm.
+        cca: CcaKind,
+        /// Concurrent flows fetching each segment (YouTube 1, Vimeo 2,
+        /// Netflix 4).
+        flows: u32,
+        /// ABR behaviour profile (ladder, conservatism, buffer targets).
+        profile: AbrProfile,
+    },
+    /// A real-time conferencing service (Google Meet, Microsoft Teams).
+    Rtc {
+        /// Display name.
+        name: String,
+        /// Encoder/controller profile.
+        profile: RtcProfile,
+    },
+    /// A web page that is loaded repeatedly against the contender (§5.2).
+    Web {
+        /// Display name.
+        name: String,
+        /// Page composition.
+        page: PageProfile,
+        /// Seconds into the experiment at which the first load starts.
+        first_load_secs: u64,
+        /// Gap between consecutive loads, seconds.
+        load_gap_secs: u64,
+        /// Number of loads.
+        loads: u32,
+    },
+}
+
+impl ServiceSpec {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            ServiceSpec::Bulk { name, .. }
+            | ServiceSpec::Mega { name, .. }
+            | ServiceSpec::Video { name, .. }
+            | ServiceSpec::Rtc { name, .. }
+            | ServiceSpec::Web { name, .. } => name,
+        }
+    }
+
+    /// The demand this service presents to the max-min computation at a
+    /// given link speed: application-limited services are capped by their
+    /// maximum achievable rate (§4 ¶2).
+    pub fn demand(&self) -> Demand {
+        match self {
+            ServiceSpec::Bulk { cap_bps, .. } => match cap_bps {
+                Some(c) => Demand::capped(*c),
+                None => Demand::unlimited(),
+            },
+            ServiceSpec::Mega { .. } => Demand::unlimited(),
+            ServiceSpec::Video { profile, .. } => Demand::capped(profile.max_rate_bps()),
+            ServiceSpec::Rtc { profile, .. } => Demand::capped(profile.max_rate_bps),
+            ServiceSpec::Web { .. } => Demand::unlimited(),
+        }
+    }
+
+    /// The CCA name as Table 1 prints it.
+    pub fn cca_label(&self) -> &'static str {
+        match self {
+            ServiceSpec::Bulk { cca, .. }
+            | ServiceSpec::Mega { cca, .. }
+            | ServiceSpec::Video { cca, .. } => cca.table1_name(),
+            ServiceSpec::Rtc { .. } => "GCC",
+            ServiceSpec::Web { .. } => "(page-dependent)",
+        }
+    }
+
+    /// Number of concurrent workload flows (the Table 1 "# Flows" column).
+    pub fn flow_count(&self) -> u32 {
+        match self {
+            ServiceSpec::Bulk { flows, .. }
+            | ServiceSpec::Mega { flows, .. }
+            | ServiceSpec::Video { flows, .. } => *flows,
+            ServiceSpec::Rtc { .. } => 1,
+            ServiceSpec::Web { page, .. } => page.connections,
+        }
+    }
+}
+
+/// Application-level metrics, depending on the service kind.
+#[derive(Debug, Clone)]
+pub enum AppHandle {
+    /// No application metrics beyond throughput.
+    None,
+    /// Video playback metrics.
+    Video(Rc<RefCell<VideoMetrics>>),
+    /// RTC quality metrics (Table 2).
+    Rtc(Rc<RefCell<RtcMetrics>>),
+    /// Web page-load-time samples.
+    Web(Rc<RefCell<WebMetrics>>),
+}
+
+/// A service instantiated on an engine.
+pub struct ServiceInstance {
+    /// Transport handles for each of the service's long-lived flows.
+    pub flows: Vec<FlowHandle>,
+    /// Application metrics, if the service collects any.
+    pub app: AppHandle,
+}
+
+/// Shared constant: experiments normalize base RTT to 50 ms (§3.1).
+pub const NORMALIZED_RTT: SimDuration = SimDuration::from_millis(50);
+
+/// When within the experiment services start (all start at t=0 except web
+/// loads, which schedule themselves).
+pub const SERVICE_START: SimTime = SimTime::ZERO;

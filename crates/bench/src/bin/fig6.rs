@@ -1,0 +1,98 @@
+//! Figure 6: page load times under contention (§5.2, Observation 8).
+//!
+//! Each trial starts the contender, then loads the page repeatedly on
+//! fresh connections; PLT is the SpeedIndex-style time to 95% of the
+//! above-the-fold visual weight.
+
+use prudentia_apps::Service;
+use prudentia_bench::{bar, Mode};
+use prudentia_core::{run_experiment, AppSummary, ExperimentSpec, NetworkSetting};
+use prudentia_stats::{median, quartiles};
+
+fn main() {
+    let mode = Mode::from_env();
+    let pages = [Service::Wikipedia, Service::NewsGoogle, Service::YoutubeHome];
+    let contenders = [
+        None, // solo baseline
+        Some(Service::IperfReno),
+        Some(Service::IperfCubic),
+        Some(Service::IperfBbr),
+        Some(Service::Mega),
+        Some(Service::Netflix),
+    ];
+    for setting in [
+        NetworkSetting::highly_constrained(),
+        NetworkSetting::moderately_constrained(),
+    ] {
+        println!();
+        println!("Fig 6 — {} — page load time (seconds)", setting.name);
+        println!(
+            "  {:<12} {:<12} {:>8} {:>8} {:>8}  {}",
+            "page", "contender", "p25", "median", "p75", ""
+        );
+        for page in &pages {
+            for con in &contenders {
+                // The page is the incumbent; web loads start at t=30s.
+                let contender_spec = match con {
+                    Some(c) => c.spec(),
+                    None => Service::IperfBbr.spec(), // placeholder, replaced below
+                };
+                let mut spec = ExperimentSpec::paper(
+                    contender_spec,
+                    page.spec(),
+                    setting.clone(),
+                    17,
+                );
+                if mode == Mode::Quick {
+                    // Shorter run but still enough for ≥5 page loads.
+                    spec.duration = prudentia_sim::SimDuration::from_secs(300);
+                    spec.warmup = prudentia_sim::SimDuration::from_secs(30);
+                    spec.cooldown = prudentia_sim::SimDuration::from_secs(30);
+                }
+                if con.is_none() {
+                    // Solo: replace the contender with a zero-byte bulk flow.
+                    spec.contender = prudentia_apps::ServiceSpec::Bulk {
+                        name: "(solo)".into(),
+                        cca: prudentia_cc::CcaKind::NewReno,
+                        flows: 1,
+                        cap_bps: None,
+                        file_bytes: Some(0),
+                    };
+                }
+                let r = run_experiment(&spec);
+                if let AppSummary::Web {
+                    plt_samples,
+                    incomplete_loads,
+                    ..
+                } = &r.incumbent.app
+                {
+                    if plt_samples.is_empty() {
+                        println!(
+                            "  {:<12} {:<12} (no completed loads; {} incomplete)",
+                            page.label(),
+                            con.map(|c| c.label()).unwrap_or("(solo)"),
+                            incomplete_loads
+                        );
+                        continue;
+                    }
+                    let (q1, q3) = quartiles(plt_samples);
+                    let med = median(plt_samples);
+                    println!(
+                        "  {:<12} {:<12} {:>7.2}s {:>7.2}s {:>7.2}s  |{}",
+                        page.label(),
+                        con.map(|c| c.label()).unwrap_or("(solo)"),
+                        q1,
+                        med,
+                        q3,
+                        bar(med, 25.0, 30)
+                    );
+                }
+            }
+        }
+    }
+    println!();
+    println!("Expected shape (paper): competing traffic roughly doubles PLT at 50 Mbps");
+    println!("and triples it at 8 Mbps in the worst case; Mega and Netflix (multi-flow,");
+    println!("bursty) hurt the most, BBR-based contenders the least; wikipedia (text)");
+    println!("is least affected and youtube.com (image-heavy) the most.");
+}

@@ -1,0 +1,55 @@
+//! Figure 8 / Observation 11: queue occupancy of NewReno vs Mega with a
+//! 4×BDP (1024-packet) versus an 8×BDP (2048-packet) buffer, and the
+//! resulting utilization/fairness change.
+
+use prudentia_apps::Service;
+use prudentia_bench::{bar, Mode};
+use prudentia_core::{run_experiment, NetworkSetting};
+
+fn main() {
+    let mode = Mode::from_env();
+    for mult in [4u64, 8u64] {
+        let setting = NetworkSetting::moderately_constrained().with_bdp_multiple(mult);
+        let cap = setting.queue_capacity_pkts();
+        let mut spec = mode.duration().spec(
+            Service::Mega.spec(),
+            Service::IperfReno.spec(),
+            setting,
+            8,
+        );
+        spec.record_series = true;
+        let r = run_experiment(&spec);
+        println!();
+        println!(
+            "Fig 8 — {}xBDP ({} pkt) buffer — NewReno vs Mega queue occupancy",
+            mult, cap
+        );
+        let qs = r.queue_series.expect("queue series");
+        let (w0, w1) = (60.0, 75.0);
+        for q in qs.iter().filter(|q| q.t_secs >= w0 && q.t_secs < w1) {
+            if (q.t_secs * 10.0).round() as u64 % 5 != 0 {
+                continue;
+            }
+            println!(
+                "  t={:6.1}s total {:4} | mega {:4} |{:<20}| reno {:4} |{}",
+                q.t_secs,
+                q.total,
+                q.a,
+                bar(q.a as f64, cap as f64, 20),
+                q.b,
+                bar(q.b as f64, cap as f64, 20),
+            );
+        }
+        println!(
+            "  NewReno MmF share: {:.1}%   link utilization: {:.1}%",
+            r.incumbent.mmf_share * 100.0,
+            r.utilization * 100.0
+        );
+    }
+    println!();
+    println!("Expected shape (paper): with the 4xBDP buffer Mega's bursts drain the");
+    println!("queue and NewReno cannot refill it in time — low NewReno share and link");
+    println!("under-utilization. Doubling to 8xBDP lets NewReno keep enough packets");
+    println!("queued to ride out the bursts: utilization exceeds 95% and NewReno's");
+    println!("share recovers substantially (Obs 11).");
+}

@@ -1,0 +1,122 @@
+//! Figure 9 / Observation 13: incremental CCA changes shift fairness.
+//!
+//! (a) Service evolution 2022 → 2023: Google Drive's BBRv1→BBRv3 rollout
+//!     and YouTube's QUIC tuning, measured against iPerf BBR (Linux 4.15),
+//!     exactly the comparison the live watchdog detected.
+//! (b) Kernel evolution: BBRv1 from Linux 4.15 vs Linux 5.15 against
+//!     Dropbox, Google Drive and YouTube.
+
+use prudentia_apps::{Service, ServiceSpec};
+use prudentia_bench::{parallelism, Mode};
+use prudentia_cc::CcaKind;
+use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec};
+
+fn bulk(name: &str, cca: CcaKind) -> ServiceSpec {
+    ServiceSpec::Bulk {
+        name: name.into(),
+        cca,
+        flows: 1,
+        cap_bps: None,
+        file_bytes: None,
+    }
+}
+
+fn main() {
+    let mode = Mode::from_env();
+    let setting = NetworkSetting::moderately_constrained();
+    let iperf_bbr_415 = Service::IperfBbr415.spec();
+
+    // (a) 2022 vs 2023 deployments against iPerf BBR (Linux 4.15).
+    let gdrive_2022 = bulk("Google Drive (2022, BBRv1)", CcaKind::BbrV1Linux415);
+    let gdrive_2023 = Service::GoogleDrive.spec(); // BBRv3
+    let youtube_2022 = ServiceSpec::Video {
+        name: "YouTube (2022 stack)".into(),
+        cca: CcaKind::BbrV11Youtube2022,
+        flows: 1,
+        profile: prudentia_apps::AbrProfile::youtube(),
+    };
+    let youtube_2023 = Service::YouTube.spec();
+
+    let mut pairs = Vec::new();
+    for svc in [&gdrive_2022, &gdrive_2023, &youtube_2022, &youtube_2023] {
+        pairs.push(PairSpec {
+            contender: iperf_bbr_415.clone(),
+            incumbent: (*svc).clone(),
+            setting: setting.clone(),
+        });
+    }
+    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    println!("Fig 9a — throughput against iPerf BBR (Linux 4.15), 2022 vs 2023 stacks");
+    let tput = |name: &str| {
+        outcomes
+            .iter()
+            .find(|o| o.incumbent == name)
+            .map(|o| {
+                o.trials
+                    .iter()
+                    .map(|t| t.incumbent.throughput_bps)
+                    .sum::<f64>()
+                    / o.trials.len().max(1) as f64
+            })
+            .unwrap_or(f64::NAN)
+    };
+    let gd22 = tput("Google Drive (2022, BBRv1)");
+    let gd23 = tput("Google Drive");
+    let yt22 = tput("YouTube (2022 stack)");
+    let yt23 = tput("YouTube");
+    println!(
+        "  Google Drive: 2022 {:.2} Mbps -> 2023 {:.2} Mbps ({:+.0}%)",
+        gd22 / 1e6,
+        gd23 / 1e6,
+        (gd23 / gd22 - 1.0) * 100.0
+    );
+    println!(
+        "  YouTube:      2022 {:.2} Mbps -> 2023 {:.2} Mbps ({:+.0}%)",
+        yt22 / 1e6,
+        yt23 / 1e6,
+        (yt23 / yt22 - 1.0) * 100.0
+    );
+
+    // (b) Kernel BBR: Linux 4.15 vs 5.15 against deployed services.
+    let kernels = [
+        ("iPerf BBR (Linux 4.15)", Service::IperfBbr415.spec()),
+        ("iPerf BBR (Linux 5.15)", Service::IperfBbr.spec()),
+    ];
+    let incumbents = [Service::Dropbox, Service::GoogleDrive, Service::YouTube];
+    let mut pairs = Vec::new();
+    for (_, k) in &kernels {
+        for inc in &incumbents {
+            pairs.push(PairSpec {
+                contender: k.clone(),
+                incumbent: inc.spec(),
+                setting: setting.clone(),
+            });
+        }
+    }
+    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    println!();
+    println!("Fig 9b — incumbent MmF share vs the kernel's BBRv1, 4.15 vs 5.15");
+    println!("  {:<14} {:>14} {:>14}", "incumbent", "vs 4.15", "vs 5.15");
+    for inc in &incumbents {
+        let name = inc.spec().name().to_string();
+        let get = |k: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.incumbent == name && o.contender == k)
+                .map(|o| o.incumbent_mmf_median * 100.0)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "  {:<14} {:>13.1}% {:>13.1}%",
+            name,
+            get("iPerf (BBR, Linux 4.15)"),
+            get("iPerf (BBR)"),
+        );
+    }
+    println!();
+    println!("Expected shape (paper): both Google Drive (BBRv3 rollout) and YouTube");
+    println!("(QUIC tuning) gained substantial throughput against the same unchanged");
+    println!("iPerf BBR baseline between 2022 and 2023; and merely upgrading the kernel");
+    println!("from 4.15 to 5.15 changes BBRv1's fairness against deployed services —");
+    println!("a live watchdog is needed precisely because stacks keep shifting.");
+}

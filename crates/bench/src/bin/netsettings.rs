@@ -1,0 +1,90 @@
+//! Future work (§9), "Network settings": how fairness outcomes shift with
+//! queue size, RTT, and background packet loss — the dimensions past work
+//! showed matter and the paper slates for Prudentia's roadmap.
+//!
+//! Three sweeps over the BBR-vs-Cubic pairing (the canonical
+//! buffer-sensitive matchup) plus a loss sweep over Netflix (loss-based)
+//! vs Dropbox (BBR):
+//!
+//! 1. queue multiple 1–16×BDP: BBR's share should fall as buffers deepen
+//!    (loss-based CCAs exploit big queues; BBR is inflight-capped).
+//! 2. base RTT 20–200 ms: NewReno degrades at high RTT [38].
+//! 3. background loss 0–2%: loss-based throughput collapses, BBR shrugs.
+
+use prudentia_apps::Service;
+use prudentia_bench::{bar, Mode};
+use prudentia_core::{run_experiment, NetworkSetting};
+use prudentia_sim::SimDuration;
+
+fn main() {
+    let mode = Mode::from_env();
+
+    println!("(1) queue size sweep — iPerf BBR vs iPerf Cubic at 50 Mbps:");
+    for mult in [1u64, 2, 4, 8, 16] {
+        let setting = NetworkSetting::moderately_constrained().with_bdp_multiple(mult);
+        let spec = mode.duration().spec(
+            Service::IperfCubic.spec(),
+            Service::IperfBbr.spec(),
+            setting,
+            41,
+        );
+        let r = run_experiment(&spec);
+        let share = r.incumbent.throughput_bps / 50e6;
+        println!(
+            "  {:>2}xBDP: BBR holds {:>5.1}% of the link  |{}",
+            mult,
+            share * 100.0,
+            bar(share, 1.0, 30)
+        );
+    }
+    println!("  (shape: BBR dominates shallow buffers, cedes in deep ones)");
+
+    println!();
+    println!("(2) RTT sweep — iPerf Reno vs iPerf BBR at 50 Mbps:");
+    for rtt_ms in [20u64, 50, 100, 200] {
+        let mut setting = NetworkSetting::moderately_constrained();
+        setting.base_rtt = SimDuration::from_millis(rtt_ms);
+        setting.name = format!("50 Mbps / {rtt_ms} ms");
+        let spec = mode.duration().spec(
+            Service::IperfBbr.spec(),
+            Service::IperfReno.spec(),
+            setting,
+            43,
+        );
+        let r = run_experiment(&spec);
+        println!(
+            "  {:>3} ms RTT: NewReno achieves {:>5.2} Mbps ({:.0}% of fair)",
+            rtt_ms,
+            r.incumbent.throughput_bps / 1e6,
+            r.incumbent.mmf_share * 100.0
+        );
+    }
+    println!("  (shape: NewReno's additive increase cannot keep up at high RTT [38])");
+
+    println!();
+    println!("(3) background-loss sweep — Netflix (NewReno) vs Dropbox (BBR), 50 Mbps:");
+    for loss_pct in [0.0f64, 0.1, 0.5, 1.0, 2.0] {
+        let mut spec = mode.duration().spec(
+            Service::Dropbox.spec(),
+            Service::Netflix.spec(),
+            NetworkSetting::moderately_constrained(),
+            47,
+        );
+        spec.external_loss = loss_pct / 100.0;
+        let r = run_experiment(&spec);
+        println!(
+            "  {:>4.1}% loss: Netflix {:>5.2} Mbps, Dropbox {:>5.2} Mbps{}",
+            loss_pct,
+            r.incumbent.throughput_bps / 1e6,
+            r.contender.throughput_bps / 1e6,
+            if r.discarded {
+                "   (would be DISCARDED by the watchdog's 0.05% rule)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("  (shape: background loss strangles the loss-based service while the");
+    println!("   BBR-based one barely reacts — and the watchdog's external-loss");
+    println!("   discard rule correctly flags every lossy trial)");
+}

@@ -1,0 +1,54 @@
+//! Table 1: the service catalog with each service's CCA, measured solo
+//! maximum throughput ("Max Xput"), and workload flow count.
+//!
+//! Solo runs double as the §3.1 upstream-throttling detector: a service
+//! whose solo rate falls well short of the link is flagged, which is how
+//! the paper identified OneDrive's 45 Mbps server-side cap.
+
+use prudentia_apps::Service;
+use prudentia_core::{run_solo, NetworkSetting};
+
+fn main() {
+    // A fat pipe so application caps, not the bottleneck, limit solo rates.
+    let setting = NetworkSetting::custom(200e6);
+    println!("Table 1: Services supported in the Prudentia testbed");
+    println!(
+        "{:<18} {:<22} {:>12} {:>8}   {}",
+        "Service", "CCA", "Max Xput", "# Flows", "Notes"
+    );
+    println!("{}", "-".repeat(90));
+    for svc in Service::all() {
+        let spec = svc.spec();
+        let solo = run_solo(&spec, &setting, 1);
+        let cap = spec.demand().cap_bps;
+        let throttled = cap.is_some_and(|c| c < 0.5 * setting.rate_bps) || solo < 0.5 * setting.rate_bps;
+        let xput = match cap {
+            Some(_) => format!("{:.1} Mbps", solo / 1e6),
+            None if !throttled => "unltd".to_string(),
+            None => format!("{:.1} Mbps*", solo / 1e6),
+        };
+        let note = match svc {
+            Service::OneDrive => "throttled upstream of the testbed",
+            Service::YouTube => "7 bitrates, QUIC-based",
+            Service::Netflix => "6 bitrates",
+            Service::Vimeo => "7 bitrates",
+            Service::Mega => "batched 5-chunk downloads",
+            Service::GoogleMeet | Service::MicrosoftTeams => "WebRTC-based",
+            Service::Wikipedia => "mostly text",
+            Service::NewsGoogle => "text + thumbnails",
+            Service::YoutubeHome => "mostly images",
+            _ => "",
+        };
+        println!(
+            "{:<18} {:<22} {:>12} {:>8}   {}",
+            spec.name(),
+            spec.cca_label(),
+            xput,
+            spec.flow_count(),
+            note
+        );
+    }
+    println!();
+    println!("(Solo rates measured on a 200 Mbps access link; web services report");
+    println!(" their burst rate during page loads. '*' marks detected throttling.)");
+}

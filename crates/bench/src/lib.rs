@@ -1,0 +1,163 @@
+//! # prudentia-bench
+//!
+//! The regeneration harness: one binary per table/figure of the paper
+//! (see DESIGN.md §3 for the index), plus Criterion micro-benchmarks of
+//! the simulator and CCAs.
+//!
+//! Every binary honours two environment variables:
+//!
+//! * `PRUDENTIA_MODE` — `quick` (default: 3-minute experiments, 3–7
+//!   trials) or `paper` (10-minute experiments, 10–30 trials, §3.4).
+//! * `PRUDENTIA_RESULTS` — directory for shared result JSON (default
+//!   `results/`). Figs 2, 11, 12, 13 and the Obs 1 statistics all derive
+//!   from one all-pairs run that is cached there.
+
+#![warn(missing_docs)]
+
+use prudentia_apps::Service;
+use prudentia_core::{
+    run_pairs_parallel, DurationPolicy, NetworkSetting, PairSpec, ResultStore, TrialPolicy,
+};
+use std::path::PathBuf;
+
+/// Execution mode for regeneration binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Reduced runtime: 3-minute experiments, 3–7 trials per pair.
+    Quick,
+    /// The paper's §3.4 protocol: 10 minutes, 10–30 trials.
+    Paper,
+}
+
+impl Mode {
+    /// Read from `PRUDENTIA_MODE` (default quick).
+    pub fn from_env() -> Mode {
+        match std::env::var("PRUDENTIA_MODE").as_deref() {
+            Ok("paper") => Mode::Paper,
+            _ => Mode::Quick,
+        }
+    }
+
+    /// The matching trial policy.
+    pub fn policy(self) -> TrialPolicy {
+        match self {
+            Mode::Quick => TrialPolicy::quick(),
+            Mode::Paper => TrialPolicy::default(),
+        }
+    }
+
+    /// The matching duration policy.
+    pub fn duration(self) -> DurationPolicy {
+        match self {
+            Mode::Quick => DurationPolicy::Quick,
+            Mode::Paper => DurationPolicy::Paper,
+        }
+    }
+
+    /// Mode tag for cache file names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Paper => "paper",
+        }
+    }
+}
+
+/// Worker-thread count (`PRUDENTIA_PARALLEL`, default = available cores).
+pub fn parallelism() -> usize {
+    std::env::var("PRUDENTIA_PARALLEL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Directory for shared result files.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("PRUDENTIA_RESULTS").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Load the all-pairs throughput run (Fig 2 data, shared by Figs 11–13 and
+/// the Obs 1 statistics), computing and caching it if absent.
+pub fn load_or_run_allpairs(mode: Mode) -> ResultStore {
+    let path = results_dir().join(format!("allpairs_{}.json", mode.tag()));
+    if let Ok(store) = ResultStore::load(&path) {
+        eprintln!("(reusing cached all-pairs results from {})", path.display());
+        return store;
+    }
+    eprintln!(
+        "(running all-pairs heatmap experiments [{} mode], this is the slow part...)",
+        mode.tag()
+    );
+    let services = Service::heatmap_set();
+    let mut pairs = Vec::new();
+    for setting in [
+        NetworkSetting::highly_constrained(),
+        NetworkSetting::moderately_constrained(),
+    ] {
+        for a in &services {
+            for b in &services {
+                pairs.push(PairSpec {
+                    contender: a.spec(),
+                    incumbent: b.spec(),
+                    setting: setting.clone(),
+                });
+            }
+        }
+    }
+    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let mut store = ResultStore::new(format!("all-pairs heatmap run ({})", mode.tag()));
+    store.extend(outcomes);
+    store.save(&path).expect("save all-pairs results");
+    store
+}
+
+/// Labels for the heatmap service set, in canonical order.
+pub fn heatmap_labels() -> Vec<String> {
+    Service::heatmap_set()
+        .iter()
+        .map(|s| s.spec().name().to_string())
+        .collect()
+}
+
+/// Render a horizontal bar for terminal "plots".
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max <= 0.0 {
+        0
+    } else {
+        ((value / max) * width as f64).round().max(0.0) as usize
+    };
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing_defaults_quick() {
+        // Not setting the env var in tests: default must be quick.
+        assert_eq!(Mode::from_env(), Mode::Quick);
+        assert_eq!(Mode::Quick.tag(), "quick");
+        assert_eq!(Mode::Paper.tag(), "paper");
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn heatmap_labels_are_ten() {
+        assert_eq!(heatmap_labels().len(), 10);
+    }
+}

@@ -1,0 +1,301 @@
+//! CUBIC congestion control (RFC 8312).
+//!
+//! CUBIC grows its window as a cubic function of the time since the last
+//! congestion event, anchored at the window size where loss last occurred
+//! (`W_max`). It includes *fast convergence* (release extra bandwidth when
+//! a flow's `W_max` shrinks between events) and a *TCP-friendly region*
+//! that guarantees at least Reno-equivalent growth. OneDrive runs an
+//! extended Cubic (Table 1); the iPerf (Cubic) baseline uses this
+//! implementation.
+
+use crate::{AckSample, CongestionControl, LossSample, MSS};
+use prudentia_sim::{SimDuration, SimTime};
+
+/// CUBIC's multiplicative decrease factor.
+const BETA: f64 = 0.7;
+/// CUBIC's scaling constant (RFC 8312 §4.1), in segments/sec^3.
+const C: f64 = 0.4;
+/// Initial window of 10 segments.
+const INITIAL_WINDOW: u64 = 10 * MSS;
+const MIN_CWND: u64 = 2 * MSS;
+
+/// CUBIC congestion control state.
+#[derive(Debug)]
+pub struct Cubic {
+    cwnd: u64,
+    ssthresh: u64,
+    /// Window (bytes) at the last congestion event.
+    w_max: f64,
+    /// Previous `w_max`, for fast convergence.
+    w_last_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// Time offset at which the cubic function crosses `w_max`.
+    k_secs: f64,
+    /// Reno-equivalent window estimate for the TCP-friendly region.
+    w_est: f64,
+    recovery_until: SimTime,
+    /// Smoothed RTT guess maintained from ACK samples, used by the window
+    /// growth functions.
+    srtt: SimDuration,
+}
+
+impl Cubic {
+    /// New sender in slow start with a 10-segment initial window.
+    pub fn new() -> Self {
+        Cubic {
+            cwnd: INITIAL_WINDOW,
+            ssthresh: u64::MAX,
+            w_max: 0.0,
+            w_last_max: 0.0,
+            epoch_start: None,
+            k_secs: 0.0,
+            w_est: 0.0,
+            recovery_until: SimTime::ZERO,
+            srtt: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Whether the sender is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// The current `W_max` anchor in bytes (for tests/instrumentation).
+    pub fn w_max_bytes(&self) -> f64 {
+        self.w_max
+    }
+
+    fn begin_epoch(&mut self, now: SimTime) {
+        self.epoch_start = Some(now);
+        let w_max_seg = self.w_max / MSS as f64;
+        let cwnd_seg = self.cwnd as f64 / MSS as f64;
+        // K = cubic_root(W_max * (1 - beta) / C), in seconds (RFC 8312 §4.1),
+        // measured from the *reduced* window. When cwnd has already grown
+        // past w_max (e.g. after slow start overshoot), K is 0.
+        let diff = (w_max_seg - cwnd_seg).max(0.0);
+        self.k_secs = (diff / C).cbrt();
+        self.w_est = cwnd_seg;
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &'static str {
+        "Cubic"
+    }
+
+    fn on_ack(&mut self, ack: &AckSample) {
+        // Keep a crude SRTT for the growth functions.
+        if ack.rtt > SimDuration::ZERO {
+            let s = self.srtt.as_nanos() as f64 * 0.875 + ack.rtt.as_nanos() as f64 * 0.125;
+            self.srtt = SimDuration::from_nanos(s as u64);
+        }
+        if ack.now < self.recovery_until {
+            return;
+        }
+        if self.in_slow_start() {
+            self.cwnd += ack.bytes_acked;
+            return;
+        }
+        let now = ack.now;
+        if self.epoch_start.is_none() {
+            self.begin_epoch(now);
+        }
+        let t = now.saturating_since(self.epoch_start.unwrap()).as_secs_f64();
+        let rtt = self.srtt.as_secs_f64();
+        let w_max_seg = self.w_max / MSS as f64;
+        // Target window one RTT in the future (RFC 8312 §4.1).
+        let target_seg = C * (t + rtt - self.k_secs).powi(3) + w_max_seg;
+        // TCP-friendly region (RFC 8312 §4.2): Reno-equivalent growth with
+        // alpha matching beta = 0.7.
+        let alpha = 3.0 * (1.0 - BETA) / (1.0 + BETA);
+        self.w_est += alpha * (ack.bytes_acked as f64 / self.cwnd as f64);
+        let cwnd_seg = self.cwnd as f64 / MSS as f64;
+        let next_seg = if target_seg < self.w_est {
+            // TCP-friendly region dominates.
+            self.w_est
+        } else if target_seg > cwnd_seg {
+            // Concave/convex cubic growth: move a fraction of the gap per ACK.
+            cwnd_seg + (target_seg - cwnd_seg) * (ack.bytes_acked as f64 / self.cwnd as f64)
+        } else {
+            cwnd_seg
+        };
+        if next_seg > cwnd_seg {
+            // Linux clamps growth to one segment per two ACKed segments
+            // (bictcp cnt >= 2), preventing convex-region blow-ups.
+            let max_growth = 0.5 * ack.bytes_acked as f64 / MSS as f64;
+            let grown = (next_seg - cwnd_seg).min(max_growth);
+            self.cwnd = ((cwnd_seg + grown) * MSS as f64) as u64;
+        }
+    }
+
+    fn on_loss(&mut self, loss: &LossSample) {
+        if loss.is_rto {
+            self.ssthresh = ((loss.inflight_bytes as f64 * BETA) as u64).max(MIN_CWND);
+            self.w_max = loss.inflight_bytes as f64;
+            self.w_last_max = self.w_max;
+            self.cwnd = MSS;
+            self.epoch_start = None;
+            self.recovery_until = loss.now;
+            return;
+        }
+        if loss.now < self.recovery_until {
+            return;
+        }
+        let flight = loss.inflight_bytes.max(MSS) as f64;
+        // Fast convergence (RFC 8312 §4.6): if the saturation point is
+        // dropping, release extra bandwidth for newcomers.
+        if flight < self.w_last_max {
+            self.w_last_max = flight;
+            self.w_max = flight * (1.0 + BETA) / 2.0;
+        } else {
+            self.w_last_max = flight;
+            self.w_max = flight;
+        }
+        // Multiplicative decrease must never enlarge the window, even if
+        // the caller reports more bytes in flight than our current cwnd.
+        self.cwnd = ((flight * BETA) as u64).min(self.cwnd).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+        self.recovery_until = loss.now + self.srtt;
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        self.cwnd.max(MSS)
+    }
+
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, bytes: u64, inflight: u64) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            bytes_acked: bytes,
+            rtt: SimDuration::from_millis(50),
+            min_rtt: SimDuration::from_millis(50),
+            inflight_bytes: inflight,
+            delivery_rate_bps: 1e6,
+            delivered_total: 0,
+            app_limited: false,
+            is_round_start: false,
+        }
+    }
+
+    fn loss(now_ms: u64, inflight: u64) -> LossSample {
+        LossSample {
+            now: SimTime::from_millis(now_ms),
+            bytes_lost: MSS,
+            inflight_bytes: inflight,
+            is_rto: false,
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_exponentially() {
+        let mut c = Cubic::new();
+        let w0 = c.cwnd_bytes();
+        c.on_ack(&ack(10, w0, w0));
+        assert_eq!(c.cwnd_bytes(), 2 * w0);
+    }
+
+    #[test]
+    fn loss_multiplies_by_beta() {
+        let mut c = Cubic::new();
+        // Slow-start up to 100 segments first, then lose with a full pipe.
+        c.on_ack(&ack(10, 90 * MSS, 10 * MSS));
+        assert_eq!(c.cwnd_bytes(), 100 * MSS);
+        c.on_loss(&loss(100, 100 * MSS));
+        assert_eq!(c.cwnd_bytes(), 70 * MSS);
+    }
+
+    #[test]
+    fn fast_convergence_lowers_anchor() {
+        let mut c = Cubic::new();
+        c.on_ack(&ack(10, 90 * MSS, 10 * MSS));
+        c.on_loss(&loss(100, 100 * MSS));
+        // Second event at a smaller window: w_max anchored below the flight
+        // size by the fast-convergence factor (1+beta)/2 = 0.85.
+        c.on_loss(&loss(1000, 80 * MSS));
+        let expect = 80.0 * MSS as f64 * 0.85;
+        assert!((c.w_max_bytes() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn cubic_growth_accelerates_past_plateau() {
+        let mut c = Cubic::new();
+        c.on_loss(&loss(0, 50 * MSS));
+        let w_after_loss = c.cwnd_bytes();
+        // Drive ACKs for 20 simulated seconds; cubic must eventually exceed
+        // the old W_max and keep accelerating (convex region).
+        let mut now = 200;
+        for _ in 0..2000 {
+            let w = c.cwnd_bytes();
+            c.on_ack(&ack(now, MSS, w));
+            now += 10;
+        }
+        assert!(
+            c.cwnd_bytes() > 50 * MSS,
+            "cwnd {} should pass W_max {}",
+            c.cwnd_bytes(),
+            50 * MSS
+        );
+        assert!(c.cwnd_bytes() > w_after_loss);
+    }
+
+    #[test]
+    fn tcp_friendly_floor_in_small_windows() {
+        // At small windows the Reno-equivalent estimate dominates and CUBIC
+        // must grow at least as fast as ~0.53 MSS/RTT.
+        let mut c = Cubic::new();
+        c.on_loss(&loss(0, 4 * MSS));
+        let w0 = c.cwnd_bytes();
+        let mut now = 200;
+        for _ in 0..400 {
+            let w = c.cwnd_bytes();
+            c.on_ack(&ack(now, MSS, w));
+            now += 10;
+        }
+        assert!(c.cwnd_bytes() > w0);
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let mut c = Cubic::new();
+        c.on_loss(&LossSample {
+            now: SimTime::from_millis(10),
+            bytes_lost: MSS,
+            inflight_bytes: 40 * MSS,
+            is_rto: true,
+        });
+        assert_eq!(c.cwnd_bytes(), MSS);
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn losses_within_recovery_coalesce() {
+        let mut c = Cubic::new();
+        c.on_loss(&loss(100, 100 * MSS));
+        let w = c.cwnd_bytes();
+        c.on_loss(&loss(101, 70 * MSS));
+        assert_eq!(c.cwnd_bytes(), w);
+    }
+
+    #[test]
+    fn never_below_one_mss() {
+        let mut c = Cubic::new();
+        c.on_loss(&loss(100, 0));
+        assert!(c.cwnd_bytes() >= MSS);
+    }
+}

@@ -1,0 +1,359 @@
+//! Google Congestion Control (GCC) for real-time media, after Carlucci et
+//! al., "Analysis and Design of the Google Congestion Control for Web
+//! Real-time Communication" (2017). Google Meet uses GCC (Table 1);
+//! Microsoft Teams is WebRTC-based with an unknown controller, which we
+//! model as a GCC profile with different trade-off parameters (§5.1).
+//!
+//! GCC combines:
+//! * a **delay-based controller**: a filtered queuing-delay gradient feeds
+//!   an over-use detector; over-use multiplies the target rate by 0.85 of
+//!   the measured receive rate, under-use holds, and a clean signal grows
+//!   the rate ~5%/interval (multiplicative far from the last stable point);
+//! * a **loss-based controller**: >10% loss multiplies the rate by
+//!   `(1 − 0.5·loss)`, 2–10% holds, <2% allows growth.
+//!
+//! The combined target is the minimum of both and is what the RTC encoder
+//! (in `prudentia-apps`) consumes to pick its resolution/FPS rung.
+
+use crate::{AckSample, CongestionControl, LossSample, MSS};
+use prudentia_sim::{SimDuration, SimTime};
+
+/// Signal from the over-use detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Signal {
+    Normal,
+    Overuse,
+    Underuse,
+}
+
+/// Rate-controller state (per the GCC finite state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RateState {
+    Increase,
+    Hold,
+    Decrease,
+}
+
+/// GCC sender state.
+#[derive(Debug)]
+pub struct Gcc {
+    /// Combined target rate, bits/s.
+    target_bps: f64,
+    /// Upper bound set by the application (encoder max bitrate).
+    max_bps: f64,
+    /// Lower bound (audio-only floor).
+    min_bps: f64,
+    /// EWMA of the delivery-rate samples (the "received rate" R(t)).
+    recv_rate: f64,
+    /// Filtered queuing-delay gradient, ms per sample.
+    gradient_ms: f64,
+    prev_queuing_ms: f64,
+    /// Adaptive over-use threshold (gamma), ms.
+    gamma_ms: f64,
+    /// Consecutive over-threshold samples (over-use requires persistence).
+    overuse_count: u32,
+    state: RateState,
+    last_update: SimTime,
+    /// Loss accounting over the current report interval.
+    interval_acked: u64,
+    interval_lost: u64,
+    last_loss_update: SimTime,
+    /// Loss fraction measured over the last completed report interval;
+    /// growth is gated on this staying below the low-loss threshold.
+    last_loss_fraction: f64,
+    srtt: SimDuration,
+}
+
+/// Over-use decrease factor applied to the received rate.
+const BETA: f64 = 0.85;
+/// Multiplicative increase per response interval.
+const ETA: f64 = 1.05;
+/// Loss fraction above which the loss controller backs off.
+const LOSS_HI: f64 = 0.10;
+/// Loss fraction below which growth is allowed.
+const LOSS_LO: f64 = 0.02;
+
+impl Gcc {
+    /// A GCC controller starting at 300 kbps with a 2.5 Mbps cap (callers
+    /// set the real encoder cap via [`Gcc::set_max_rate`]).
+    pub fn new(now: SimTime) -> Self {
+        Gcc {
+            target_bps: 300_000.0,
+            max_bps: 2_500_000.0,
+            min_bps: 50_000.0,
+            recv_rate: 0.0,
+            gradient_ms: 0.0,
+            prev_queuing_ms: 0.0,
+            gamma_ms: 6.0,
+            overuse_count: 0,
+            state: RateState::Increase,
+            last_update: now,
+            interval_acked: 0,
+            interval_lost: 0,
+            last_loss_update: now,
+            last_loss_fraction: 0.0,
+            srtt: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Set the encoder's maximum bitrate (1.5 Mbps for Meet, 2.6 Mbps for
+    /// Teams per Table 1).
+    pub fn set_max_rate(&mut self, bps: f64) {
+        self.max_bps = bps;
+        self.target_bps = self.target_bps.min(bps);
+    }
+
+    /// The media target rate the encoder should produce, bits/s.
+    pub fn target_rate_bps(&self) -> f64 {
+        self.target_bps.clamp(self.min_bps, self.max_bps)
+    }
+
+    fn detect(&mut self, queuing_ms: f64) -> Signal {
+        let delta = queuing_ms - self.prev_queuing_ms;
+        self.prev_queuing_ms = queuing_ms;
+        self.gradient_ms = 0.9 * self.gradient_ms + 0.1 * delta;
+        // Adaptive threshold: gamma drifts toward |gradient| so that a
+        // persistent standing queue from a competing loss-based flow does
+        // not permanently pin GCC at the floor (the K_u/K_d adaptation).
+        let k = if self.gradient_ms.abs() < self.gamma_ms {
+            0.039
+        } else {
+            0.0087
+        };
+        self.gamma_ms += k * (self.gradient_ms.abs() - self.gamma_ms);
+        self.gamma_ms = self.gamma_ms.clamp(1.0, 60.0);
+        if self.gradient_ms > self.gamma_ms || queuing_ms > 100.0 {
+            self.overuse_count += 1;
+            if self.overuse_count >= 3 {
+                return Signal::Overuse;
+            }
+            Signal::Normal
+        } else if self.gradient_ms < -self.gamma_ms {
+            self.overuse_count = 0;
+            Signal::Underuse
+        } else {
+            self.overuse_count = 0;
+            Signal::Normal
+        }
+    }
+
+    fn apply_loss_controller(&mut self, now: SimTime) {
+        // Transport-wide CC feedback arrives every few hundred ms in
+        // WebRTC; we evaluate the loss controller twice a second.
+        let interval = now.saturating_since(self.last_loss_update);
+        if interval < SimDuration::from_millis(500) {
+            return;
+        }
+        let total = self.interval_acked + self.interval_lost;
+        if total > 0 {
+            let loss = self.interval_lost as f64 / total as f64;
+            self.last_loss_fraction = loss;
+            if loss > LOSS_HI {
+                self.target_bps *= 1.0 - 0.5 * loss;
+            } else if loss < LOSS_LO {
+                self.target_bps *= 1.02;
+            }
+            // 2-10% loss: hold (neither grow nor shrink).
+        }
+        self.interval_acked = 0;
+        self.interval_lost = 0;
+        self.last_loss_update = now;
+    }
+}
+
+impl CongestionControl for Gcc {
+    fn name(&self) -> &'static str {
+        "GCC"
+    }
+
+    fn on_ack(&mut self, ack: &AckSample) {
+        if ack.rtt > SimDuration::ZERO {
+            let s = self.srtt.as_nanos() as f64 * 0.875 + ack.rtt.as_nanos() as f64 * 0.125;
+            self.srtt = SimDuration::from_nanos(s as u64);
+        }
+        self.interval_acked += ack.bytes_acked;
+        if ack.delivery_rate_bps > 0.0 {
+            self.recv_rate = if self.recv_rate == 0.0 {
+                ack.delivery_rate_bps
+            } else {
+                0.9 * self.recv_rate + 0.1 * ack.delivery_rate_bps
+            };
+        }
+        let queuing_ms = ack.rtt.saturating_sub(ack.min_rtt).as_millis_f64();
+        let signal = self.detect(queuing_ms);
+
+        self.state = match (self.state, signal) {
+            (_, Signal::Overuse) => RateState::Decrease,
+            (RateState::Decrease, Signal::Normal) => RateState::Hold,
+            (RateState::Hold, Signal::Normal) => RateState::Increase,
+            (_, Signal::Underuse) => RateState::Hold,
+            (s, Signal::Normal) => s,
+        };
+
+        // Rate updates happen once per response interval (~max(RTT, 100ms)).
+        let interval = self.srtt.max(SimDuration::from_millis(100));
+        if ack.now.saturating_since(self.last_update) >= interval {
+            match self.state {
+                RateState::Increase => {
+                    // Growth requires a clean recent loss report, and the
+                    // target may not run ahead of 2x the receive rate: the
+                    // spec bound is 1.5x R(t), but WebRTC senders also emit
+                    // padding probes above the media rate, which our
+                    // media-only model folds into a slightly looser bound.
+                    if self.last_loss_fraction < LOSS_LO {
+                        let grown = (self.target_bps * ETA).max(self.target_bps + 10_000.0);
+                        let cap = if self.recv_rate > 0.0 {
+                            2.0 * self.recv_rate
+                        } else {
+                            f64::INFINITY
+                        };
+                        self.target_bps = grown.min(cap.max(self.min_bps));
+                    }
+                }
+                RateState::Decrease => {
+                    let base = if self.recv_rate > 0.0 {
+                        self.recv_rate
+                    } else {
+                        self.target_bps
+                    };
+                    self.target_bps = BETA * base;
+                    self.state = RateState::Hold;
+                    self.overuse_count = 0;
+                }
+                RateState::Hold => {}
+            }
+            self.last_update = ack.now;
+        }
+        self.apply_loss_controller(ack.now);
+        self.target_bps = self.target_bps.clamp(self.min_bps, self.max_bps);
+    }
+
+    fn on_loss(&mut self, loss: &LossSample) {
+        self.interval_lost += loss.bytes_lost;
+        if loss.is_rto {
+            self.target_bps = (self.target_bps * 0.5).max(self.min_bps);
+        }
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        // Allow roughly two RTTs of media in flight.
+        let bytes = self.target_rate_bps() * 2.0 * self.srtt.as_secs_f64() / 8.0;
+        (bytes as u64).max(4 * MSS)
+    }
+
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        Some(self.target_rate_bps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: u64, rate: f64) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            bytes_acked: 1200,
+            rtt: SimDuration::from_millis(rtt_ms),
+            min_rtt: SimDuration::from_millis(50),
+            inflight_bytes: 10_000,
+            delivery_rate_bps: rate,
+            delivered_total: 0,
+            app_limited: false,
+            is_round_start: false,
+        }
+    }
+
+    #[test]
+    fn grows_on_clean_path() {
+        let mut g = Gcc::new(SimTime::ZERO);
+        let r0 = g.target_rate_bps();
+        for i in 1..200 {
+            g.on_ack(&ack(i * 20, 50, 1_000_000.0));
+        }
+        assert!(g.target_rate_bps() > r0, "{} !> {r0}", g.target_rate_bps());
+    }
+
+    #[test]
+    fn respects_encoder_cap() {
+        let mut g = Gcc::new(SimTime::ZERO);
+        g.set_max_rate(1_500_000.0);
+        for i in 1..2000 {
+            g.on_ack(&ack(i * 20, 50, 2_000_000.0));
+        }
+        assert!(g.target_rate_bps() <= 1_500_000.0);
+    }
+
+    #[test]
+    fn backs_off_when_queue_builds() {
+        let mut g = Gcc::new(SimTime::ZERO);
+        for i in 1..100 {
+            g.on_ack(&ack(i * 20, 50, 1_000_000.0));
+        }
+        let before = g.target_rate_bps();
+        // RTT ramps up 50 -> 250 ms: sustained over-use.
+        for i in 0..100u64 {
+            g.on_ack(&ack(2000 + i * 20, 50 + i * 2, 800_000.0));
+        }
+        assert!(
+            g.target_rate_bps() < before,
+            "{} !< {before}",
+            g.target_rate_bps()
+        );
+    }
+
+    #[test]
+    fn heavy_loss_halves_rate_over_interval() {
+        let mut g = Gcc::new(SimTime::ZERO);
+        for i in 1..100 {
+            g.on_ack(&ack(i * 20, 50, 1_000_000.0));
+        }
+        let before = g.target_rate_bps();
+        // 30% loss over > 1 s.
+        for i in 0..100u64 {
+
+            g.on_loss(&LossSample {
+                now: SimTime::from_millis(2000 + i * 20),
+                bytes_lost: 600,
+                inflight_bytes: 10_000,
+                is_rto: false,
+            });
+            g.on_ack(&ack(2000 + i * 20, 55, 700_000.0));
+        }
+        assert!(g.target_rate_bps() < before);
+    }
+
+    #[test]
+    fn rto_halves_immediately() {
+        let mut g = Gcc::new(SimTime::ZERO);
+        let before = g.target_rate_bps();
+        g.on_loss(&LossSample {
+            now: SimTime::from_millis(10),
+            bytes_lost: 1200,
+            inflight_bytes: 10_000,
+            is_rto: true,
+        });
+        assert!(g.target_rate_bps() <= before * 0.5 + 1.0);
+    }
+
+    #[test]
+    fn never_below_floor() {
+        let mut g = Gcc::new(SimTime::ZERO);
+        for i in 0..50 {
+            g.on_loss(&LossSample {
+                now: SimTime::from_millis(i * 10),
+                bytes_lost: 10_000,
+                inflight_bytes: 10_000,
+                is_rto: true,
+            });
+        }
+        assert!(g.target_rate_bps() >= 50_000.0);
+    }
+
+    #[test]
+    fn cwnd_scales_with_rate() {
+        let g = Gcc::new(SimTime::ZERO);
+        assert!(g.cwnd_bytes() >= 4 * MSS);
+        assert!(g.pacing_rate_bps().unwrap() > 0.0);
+    }
+}

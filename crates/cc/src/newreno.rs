@@ -1,0 +1,228 @@
+//! TCP NewReno (RFC 5681 + RFC 6582).
+//!
+//! The classic AIMD loss-based controller: slow start doubles the window
+//! per RTT until `ssthresh`, congestion avoidance adds one MSS per RTT,
+//! fast retransmit halves the window, and an RTO collapses it to one MSS.
+//! Netflix's CDN servers run NewReno (Table 1), and the iPerf (Reno)
+//! baseline uses this implementation directly.
+
+use crate::{AckSample, CongestionControl, LossSample, MSS};
+use prudentia_sim::SimTime;
+
+/// NewReno congestion control state.
+#[derive(Debug)]
+pub struct NewReno {
+    cwnd: u64,
+    ssthresh: u64,
+    /// End of the current fast-recovery episode: further losses detected
+    /// before this instant belong to the same congestion event.
+    recovery_until: SimTime,
+    /// Accumulated ACKed bytes for sub-MSS congestion-avoidance increments.
+    acked_credit: u64,
+}
+
+/// Initial window of 10 segments (RFC 6928, matching modern deployments).
+const INITIAL_WINDOW: u64 = 10 * MSS;
+/// Minimum window after any congestion response.
+const MIN_CWND: u64 = 2 * MSS;
+
+impl NewReno {
+    /// New sender in slow start with a 10-segment initial window.
+    pub fn new() -> Self {
+        NewReno {
+            cwnd: INITIAL_WINDOW,
+            ssthresh: u64::MAX,
+            recovery_until: SimTime::ZERO,
+            acked_credit: 0,
+        }
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    /// Whether the sender is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl Default for NewReno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn name(&self) -> &'static str {
+        "NewReno"
+    }
+
+    fn on_ack(&mut self, ack: &AckSample) {
+        if ack.now < self.recovery_until {
+            // Window growth is frozen during fast recovery.
+            return;
+        }
+        if self.in_slow_start() {
+            self.cwnd += ack.bytes_acked;
+        } else {
+            // Congestion avoidance: cwnd += MSS * MSS / cwnd per ACKed MSS,
+            // accumulated byte-wise to avoid rounding starvation.
+            self.acked_credit += ack.bytes_acked;
+            while self.acked_credit >= self.cwnd {
+                self.acked_credit -= self.cwnd;
+                self.cwnd += MSS;
+            }
+        }
+    }
+
+    fn on_loss(&mut self, loss: &LossSample) {
+        if loss.is_rto {
+            // Timeout: collapse to one segment and restart slow start.
+            self.ssthresh = (loss.inflight_bytes / 2).max(MIN_CWND);
+            self.cwnd = MSS;
+            self.recovery_until = loss.now;
+            self.acked_credit = 0;
+            return;
+        }
+        if loss.now < self.recovery_until {
+            // Same congestion event; NewReno reacts once per window of data.
+            return;
+        }
+        self.ssthresh = (loss.inflight_bytes / 2).max(MIN_CWND);
+        // Halving never enlarges the window (defensive against inflated
+        // in-flight reports).
+        self.cwnd = self.ssthresh.min(self.cwnd).max(MIN_CWND);
+        self.acked_credit = 0;
+        // Stay unresponsive to further marks for roughly one RTT. Using a
+        // fixed 1.5x smoothed guess of the path RTT (we do not receive SRTT
+        // here) keeps the implementation self-contained; the transport's
+        // loss batching makes the exact horizon uncritical.
+        self.recovery_until = loss.now + prudentia_sim::SimDuration::from_millis(60);
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        self.cwnd.max(MSS)
+    }
+
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        None // pure ACK clocking, like the kernel without `tc fq` pacing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_sim::SimDuration;
+
+    fn ack(now_ms: u64, bytes: u64, inflight: u64) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            bytes_acked: bytes,
+            rtt: SimDuration::from_millis(50),
+            min_rtt: SimDuration::from_millis(50),
+            inflight_bytes: inflight,
+            delivery_rate_bps: 1e6,
+            delivered_total: 0,
+            app_limited: false,
+            is_round_start: false,
+        }
+    }
+
+    fn loss(now_ms: u64, inflight: u64, is_rto: bool) -> LossSample {
+        LossSample {
+            now: SimTime::from_millis(now_ms),
+            bytes_lost: MSS,
+            inflight_bytes: inflight,
+            is_rto,
+        }
+    }
+
+    #[test]
+    fn starts_in_slow_start_with_iw10() {
+        let nr = NewReno::new();
+        assert!(nr.in_slow_start());
+        assert_eq!(nr.cwnd_bytes(), 10 * MSS);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut nr = NewReno::new();
+        let w0 = nr.cwnd_bytes();
+        // ACK a full window worth of bytes.
+        nr.on_ack(&ack(10, w0, w0));
+        assert_eq!(nr.cwnd_bytes(), 2 * w0);
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_mss_per_rtt() {
+        let mut nr = NewReno::new();
+        // Force out of slow start.
+        nr.on_loss(&loss(0, 20 * MSS, false));
+        let w = nr.cwnd_bytes();
+        assert!(!nr.in_slow_start());
+        // ACK one full window after recovery ends: +1 MSS.
+        nr.on_ack(&ack(100, w, w));
+        assert_eq!(nr.cwnd_bytes(), w + MSS);
+    }
+
+    #[test]
+    fn fast_retransmit_halves_window() {
+        let mut nr = NewReno::new();
+        nr.on_loss(&loss(100, 20 * MSS, false));
+        assert_eq!(nr.cwnd_bytes(), 10 * MSS);
+        assert_eq!(nr.ssthresh(), 10 * MSS);
+    }
+
+    #[test]
+    fn second_loss_in_same_event_ignored() {
+        let mut nr = NewReno::new();
+        nr.on_loss(&loss(100, 20 * MSS, false));
+        let w = nr.cwnd_bytes();
+        nr.on_loss(&loss(110, 10 * MSS, false)); // within recovery horizon
+        assert_eq!(nr.cwnd_bytes(), w);
+    }
+
+    #[test]
+    fn separate_loss_events_compound() {
+        let mut nr = NewReno::new();
+        // Slow-start to 40 segments so the pipe matches the loss reports.
+        nr.on_ack(&ack(10, 30 * MSS, 10 * MSS));
+        assert_eq!(nr.cwnd_bytes(), 40 * MSS);
+        nr.on_loss(&loss(100, 40 * MSS, false));
+        assert_eq!(nr.cwnd_bytes(), 20 * MSS);
+        nr.on_loss(&loss(300, 20 * MSS, false));
+        assert_eq!(nr.cwnd_bytes(), 10 * MSS);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_mss() {
+        let mut nr = NewReno::new();
+        nr.on_loss(&loss(100, 20 * MSS, true));
+        assert_eq!(nr.cwnd_bytes(), MSS);
+        assert_eq!(nr.ssthresh(), 10 * MSS);
+        assert!(nr.in_slow_start());
+    }
+
+    #[test]
+    fn window_never_below_one_mss() {
+        let mut nr = NewReno::new();
+        nr.on_loss(&loss(100, 0, true));
+        assert!(nr.cwnd_bytes() >= MSS);
+    }
+
+    #[test]
+    fn acks_during_recovery_do_not_grow_window() {
+        let mut nr = NewReno::new();
+        nr.on_loss(&loss(100, 20 * MSS, false));
+        let w = nr.cwnd_bytes();
+        nr.on_ack(&ack(120, 10 * MSS, w)); // recovery lasts ~60 ms
+        assert_eq!(nr.cwnd_bytes(), w);
+    }
+
+    #[test]
+    fn no_pacing() {
+        assert!(NewReno::new().pacing_rate_bps().is_none());
+    }
+}

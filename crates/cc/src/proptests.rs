@@ -1,0 +1,204 @@
+//! Property-based tests over all congestion control algorithms: whatever
+//! sequence of ACK/loss events arrives, every CCA must maintain its basic
+//! contracts (positive window, finite pacing, bounded reactions).
+
+#![cfg(test)]
+
+use crate::{AckSample, CcaKind, LossSample, MSS};
+use prudentia_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Ack {
+        bytes: u64,
+        rtt_ms: u64,
+        rate_mbps: f64,
+        inflight: u64,
+        app_limited: bool,
+        round_start: bool,
+    },
+    Loss {
+        bytes: u64,
+        inflight: u64,
+        is_rto: bool,
+    },
+}
+
+fn event_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        4 => (
+            1u64..64,
+            20u64..400,
+            0.1f64..100.0,
+            0u64..200,
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(segs, rtt_ms, rate_mbps, inflight, app_limited, round_start)| {
+                Ev::Ack {
+                    bytes: segs * MSS,
+                    rtt_ms,
+                    rate_mbps,
+                    inflight: inflight * MSS,
+                    app_limited,
+                    round_start,
+                }
+            }),
+        1 => (1u64..64, 0u64..200, any::<bool>()).prop_map(|(segs, inflight, is_rto)| Ev::Loss {
+            bytes: segs * MSS,
+            inflight: inflight * MSS,
+            is_rto,
+        }),
+    ]
+}
+
+fn all_kinds() -> Vec<CcaKind> {
+    vec![
+        CcaKind::NewReno,
+        CcaKind::Cubic,
+        CcaKind::BbrV1Linux415,
+        CcaKind::BbrV1Linux515,
+        CcaKind::BbrV11YoutubeTuned,
+        CcaKind::BbrV11Youtube2022,
+        CcaKind::BbrV1MegaTuned,
+        CcaKind::BbrV3,
+        CcaKind::Gcc,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_event_sequences(
+        events in proptest::collection::vec(event_strategy(), 1..300),
+    ) {
+        for kind in all_kinds() {
+            let mut cc = kind.build(SimTime::ZERO);
+            let mut now = SimTime::ZERO;
+            let mut delivered = 0u64;
+            for ev in &events {
+                now = now + SimDuration::from_millis(10);
+                match ev {
+                    Ev::Ack { bytes, rtt_ms, rate_mbps, inflight, app_limited, round_start } => {
+                        delivered += bytes;
+                        cc.on_ack(&AckSample {
+                            now,
+                            bytes_acked: *bytes,
+                            rtt: SimDuration::from_millis(*rtt_ms),
+                            min_rtt: SimDuration::from_millis(20),
+                            inflight_bytes: *inflight,
+                            delivery_rate_bps: rate_mbps * 1e6,
+                            delivered_total: delivered,
+                            app_limited: *app_limited,
+                            is_round_start: *round_start,
+                        });
+                    }
+                    Ev::Loss { bytes, inflight, is_rto } => {
+                        cc.on_loss(&LossSample {
+                            now,
+                            bytes_lost: *bytes,
+                            inflight_bytes: *inflight,
+                            is_rto: *is_rto,
+                        });
+                    }
+                }
+                // Contracts after every event:
+                let cwnd = cc.cwnd_bytes();
+                prop_assert!(cwnd >= MSS, "{}: cwnd {} < MSS", cc.name(), cwnd);
+                prop_assert!(
+                    cwnd < (1u64 << 40),
+                    "{}: cwnd {} exploded",
+                    cc.name(),
+                    cwnd
+                );
+                if let Some(rate) = cc.pacing_rate_bps() {
+                    prop_assert!(
+                        rate.is_finite() && rate > 0.0,
+                        "{}: pacing rate {rate}",
+                        cc.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loss_never_increases_loss_based_windows(
+        inflight_segs in 4u64..1000,
+        now_ms in 1000u64..100_000,
+    ) {
+        for kind in [CcaKind::NewReno, CcaKind::Cubic] {
+            let mut cc = kind.build(SimTime::ZERO);
+            // Grow out of the initial window first.
+            for i in 0..50 {
+                cc.on_ack(&AckSample {
+                    now: SimTime::from_millis(i * 10),
+                    bytes_acked: 10 * MSS,
+                    rtt: SimDuration::from_millis(50),
+                    min_rtt: SimDuration::from_millis(50),
+                    inflight_bytes: inflight_segs * MSS,
+                    delivery_rate_bps: 10e6,
+                    delivered_total: i * 10 * MSS,
+                    app_limited: false,
+                    is_round_start: false,
+                });
+            }
+            let before = cc.cwnd_bytes();
+            cc.on_loss(&LossSample {
+                now: SimTime::from_millis(now_ms),
+                bytes_lost: MSS,
+                inflight_bytes: inflight_segs * MSS,
+                is_rto: false,
+            });
+            prop_assert!(
+                cc.cwnd_bytes() <= before,
+                "{}: cwnd grew across a loss ({} -> {})",
+                cc.name(),
+                before,
+                cc.cwnd_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn steady_acks_converge_all_bbrs_to_the_offered_rate(
+        rate_mbps in 1.0f64..80.0,
+        seed_rtt in 20u64..120,
+    ) {
+        for kind in [CcaKind::BbrV1Linux415, CcaKind::BbrV1Linux515, CcaKind::BbrV3] {
+            let mut cc = kind.build(SimTime::ZERO);
+            let mut delivered = 0u64;
+            let mut next_round = 0u64;
+            let inflight = (rate_mbps * 1e6 * seed_rtt as f64 / 1000.0 / 8.0) as u64;
+            for i in 0..600u64 {
+                let now = SimTime::from_millis(i * 10);
+                let bytes = (rate_mbps * 1e6 / 8.0 * 0.010) as u64;
+                delivered += bytes;
+                let rs = delivered >= next_round;
+                if rs {
+                    next_round = delivered + inflight.max(1);
+                }
+                cc.on_ack(&AckSample {
+                    now,
+                    bytes_acked: bytes,
+                    rtt: SimDuration::from_millis(seed_rtt),
+                    min_rtt: SimDuration::from_millis(seed_rtt),
+                    inflight_bytes: inflight,
+                    delivery_rate_bps: rate_mbps * 1e6,
+                    delivered_total: delivered,
+                    app_limited: false,
+                    is_round_start: rs,
+                });
+            }
+            let pacing = cc.pacing_rate_bps().expect("bbr paces");
+            prop_assert!(
+                pacing > 0.5 * rate_mbps * 1e6 && pacing < 4.0 * rate_mbps * 1e6,
+                "{}: pacing {pacing} vs offered {}",
+                cc.name(),
+                rate_mbps * 1e6
+            );
+        }
+    }
+}

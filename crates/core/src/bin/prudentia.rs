@@ -1,0 +1,301 @@
+//! The `prudentia` command-line interface.
+//!
+//! ```text
+//! prudentia list                          # catalog of Table 1 services
+//! prudentia pair <contender> <incumbent>  # one pair, both settings
+//! prudentia solo <service>                # solo max-throughput probe
+//! prudentia classify <service>            # CCA classification (CCAnalyzer-style)
+//! prudentia matrix [--setting 8|50]       # all-pairs heatmap
+//! prudentia watch [--iterations N]        # the continuous watchdog loop
+//! ```
+//!
+//! Options: `--paper` (full §3.4 protocol), `--trials N`, `--seed N`,
+//! `--parallel N`. Service names are the catalog labels from
+//! `prudentia list` (case-insensitive).
+
+use prudentia_apps::Service;
+use prudentia_core::{
+    run_experiment, run_pairs_parallel, run_solo, DurationPolicy, Heatmap, HeatmapStat,
+    NetworkSetting, PairSpec, TrialPolicy, Watchdog, WatchdogConfig,
+};
+
+fn find_service(name: &str) -> Option<Service> {
+    let lname = name.to_lowercase();
+    Service::all().into_iter().chain([Service::IperfBbr415]).find(|s| {
+        s.label().to_lowercase() == lname || s.spec().name().to_lowercase() == lname
+    })
+}
+
+struct Opts {
+    paper: bool,
+    trials: Option<usize>,
+    seed: u64,
+    parallel: usize,
+    setting: Option<f64>,
+    iterations: u64,
+    positional: Vec<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        paper: false,
+        trials: None,
+        seed: 1,
+        parallel: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        setting: None,
+        iterations: 1,
+        positional: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--paper" => opts.paper = true,
+            "--trials" => {
+                opts.trials = args.next().and_then(|v| v.parse().ok());
+            }
+            "--seed" => {
+                opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+            }
+            "--parallel" => {
+                opts.parallel = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+            }
+            "--setting" => {
+                opts.setting = args.next().and_then(|v| v.parse().ok());
+            }
+            "--iterations" => {
+                opts.iterations = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    opts
+}
+
+fn settings_for(opts: &Opts) -> Vec<NetworkSetting> {
+    match opts.setting {
+        Some(mbps) if (mbps - 8.0).abs() < 0.5 => vec![NetworkSetting::highly_constrained()],
+        Some(mbps) if (mbps - 50.0).abs() < 0.5 => {
+            vec![NetworkSetting::moderately_constrained()]
+        }
+        Some(mbps) => vec![NetworkSetting::custom(mbps * 1e6)],
+        None => vec![
+            NetworkSetting::highly_constrained(),
+            NetworkSetting::moderately_constrained(),
+        ],
+    }
+}
+
+fn policy_for(opts: &Opts) -> (TrialPolicy, DurationPolicy) {
+    let mut policy = if opts.paper {
+        TrialPolicy::default()
+    } else {
+        TrialPolicy::quick()
+    };
+    if let Some(t) = opts.trials {
+        policy.min_trials = t;
+        policy.max_trials = t.max(policy.max_trials.min(t * 3));
+    }
+    let duration = if opts.paper {
+        DurationPolicy::Paper
+    } else {
+        DurationPolicy::Quick
+    };
+    (policy, duration)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: prudentia <list|pair|solo|classify|matrix|watch> [args] \
+         [--paper] [--trials N] [--seed N] [--parallel N] [--setting MBPS] \
+         [--iterations N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let opts = parse_args();
+    let Some(cmd) = opts.positional.first().cloned() else {
+        usage()
+    };
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "pair" => cmd_pair(&opts),
+        "solo" => cmd_solo(&opts),
+        "classify" => cmd_classify(&opts),
+        "matrix" => cmd_matrix(&opts),
+        "watch" => cmd_watch(&opts),
+        _ => usage(),
+    }
+}
+
+fn cmd_list() {
+    println!("{:<16} {:<18} {:<22} {:>7}", "label", "name", "cca", "flows");
+    for svc in Service::all().into_iter().chain([Service::IperfBbr415]) {
+        let spec = svc.spec();
+        println!(
+            "{:<16} {:<18} {:<22} {:>7}",
+            svc.label(),
+            spec.name(),
+            spec.cca_label(),
+            spec.flow_count()
+        );
+    }
+}
+
+fn cmd_pair(opts: &Opts) {
+    let [_, a, b] = &opts.positional[..] else {
+        eprintln!("pair needs two service labels (see `prudentia list`)");
+        std::process::exit(2);
+    };
+    let (Some(con), Some(inc)) = (find_service(a), find_service(b)) else {
+        eprintln!("unknown service: {a} or {b}");
+        std::process::exit(2);
+    };
+    let (policy, duration) = policy_for(opts);
+    for setting in settings_for(opts) {
+        let out = prudentia_core::run_pair(
+            &con.spec(),
+            &inc.spec(),
+            &setting,
+            policy,
+            duration,
+            0.0,
+        );
+        println!(
+            "{}: {} (contender) vs {} (incumbent)",
+            setting.name, out.contender, out.incumbent
+        );
+        println!(
+            "  incumbent: median {:.0}% of MmF share  (IQR {:.2}-{:.2} Mbps over {} trials{})",
+            out.incumbent_mmf_median * 100.0,
+            out.incumbent_iqr_bps.0 / 1e6,
+            out.incumbent_iqr_bps.1 / 1e6,
+            out.trials.len(),
+            if out.converged { "" } else { ", UNSTABLE" }
+        );
+        println!(
+            "  contender: median {:.0}% of MmF share;  utilization {:.0}%,  incumbent loss {:.2}%",
+            out.contender_mmf_median * 100.0,
+            out.utilization_median * 100.0,
+            out.incumbent_loss_median * 100.0
+        );
+    }
+}
+
+fn cmd_solo(opts: &Opts) {
+    let [_, name] = &opts.positional[..] else {
+        eprintln!("solo needs a service label");
+        std::process::exit(2);
+    };
+    let Some(svc) = find_service(name) else {
+        eprintln!("unknown service: {name}");
+        std::process::exit(2);
+    };
+    let setting = NetworkSetting::custom(opts.setting.map(|m| m * 1e6).unwrap_or(200e6));
+    let rate = run_solo(&svc.spec(), &setting, opts.seed);
+    println!(
+        "{} solo over {}: {:.2} Mbps",
+        svc.spec().name(),
+        setting.name,
+        rate / 1e6
+    );
+}
+
+fn cmd_classify(opts: &Opts) {
+    let [_, name] = &opts.positional[..] else {
+        eprintln!("classify needs a service label");
+        std::process::exit(2);
+    };
+    let Some(svc) = find_service(name) else {
+        eprintln!("unknown service: {name}");
+        std::process::exit(2);
+    };
+    let spec = svc.spec();
+    let features = prudentia_core::extract_features(
+        &spec,
+        &prudentia_core::ClassifierConfig::default(),
+        opts.seed,
+    );
+    println!("{}: {:?}", spec.name(), features.classify());
+    println!(
+        "  utilization {:.0}%, self-loss {:.3}%, queue mean/p90 {:.0}%/{:.0}%, \
+         dips {} (spacing {:.1}s), periodicity {}",
+        features.utilization * 100.0,
+        features.self_loss_rate * 100.0,
+        features.mean_queue_fill * 100.0,
+        features.p90_queue_fill * 100.0,
+        features.short_dips,
+        features.dip_spacing_secs,
+        match features.period_secs {
+            Some(p) => format!("{p:.1}s"),
+            None => "none".to_string(),
+        }
+    );
+    println!("  (declared in Table 1 as: {})", spec.cca_label());
+}
+
+fn cmd_matrix(opts: &Opts) {
+    let services = Service::heatmap_set();
+    let (policy, duration) = policy_for(opts);
+    for setting in settings_for(opts) {
+        let mut pairs = Vec::new();
+        for a in &services {
+            for b in &services {
+                pairs.push(PairSpec {
+                    contender: a.spec(),
+                    incumbent: b.spec(),
+                    setting: setting.clone(),
+                });
+            }
+        }
+        eprintln!(
+            "running {} pairs over {} ({} workers)...",
+            pairs.len(),
+            setting.name,
+            opts.parallel
+        );
+        let outcomes = run_pairs_parallel(&pairs, policy, duration, opts.parallel);
+        let labels: Vec<String> = services
+            .iter()
+            .map(|s| s.spec().name().to_string())
+            .collect();
+        let map = Heatmap::build(HeatmapStat::MmfSharePct, &labels, &outcomes);
+        println!("{} — {}", setting.name, map.stat.title());
+        println!("{}", map.render_text());
+    }
+}
+
+fn cmd_watch(opts: &Opts) {
+    let (policy, duration) = policy_for(opts);
+    let config = WatchdogConfig {
+        settings: settings_for(opts),
+        policy,
+        duration,
+        parallelism: opts.parallel,
+        change_threshold: 0.2,
+    };
+    let services: Vec<_> = Service::heatmap_set().iter().map(|s| s.spec()).collect();
+    let mut wd = Watchdog::new(services, config);
+    for i in 1..=opts.iterations {
+        eprintln!("watchdog iteration {i}...");
+        let changes = wd.run_iteration();
+        println!(
+            "iteration {i}: {} outcomes, {} fairness changes",
+            wd.store().outcomes.len(),
+            changes.len()
+        );
+        for c in changes {
+            println!(
+                "  {} vs {} [{}]: {:.0}% -> {:.0}%",
+                c.contender,
+                c.incumbent,
+                c.setting,
+                c.before * 100.0,
+                c.after * 100.0
+            );
+        }
+    }
+    let _ = run_experiment; // re-exported surface is exercised elsewhere
+}

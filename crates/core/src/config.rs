@@ -1,0 +1,142 @@
+//! Network settings (§3.1).
+//!
+//! Prudentia's two standing settings: 8 Mbps ("highly-constrained", the
+//! bottom-decile country median) and 50 Mbps ("moderately-constrained",
+//! the world median broadband speed), both at a normalized 50 ms RTT with
+//! a drop-tail queue of 4×BDP rounded to a power of two.
+
+use prudentia_sim::{bdp_packets, pow2_round, BottleneckConfig, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// One emulated bottleneck setting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkSetting {
+    /// Human-readable name.
+    pub name: String,
+    /// Bottleneck rate, bits/s.
+    pub rate_bps: f64,
+    /// Normalized base RTT.
+    pub base_rtt: SimDuration,
+    /// Queue size as a multiple of the BDP (4 by default, 8 in Obs 11).
+    pub bdp_multiple: u64,
+    /// Explicit queue size in packets, overriding the BDP rule.
+    pub queue_override_pkts: Option<usize>,
+}
+
+/// MTU used for BDP computations.
+pub const MTU: u32 = 1500;
+
+impl NetworkSetting {
+    /// The 8 Mbps highly-constrained setting.
+    pub fn highly_constrained() -> Self {
+        NetworkSetting {
+            name: "highly-constrained (8 Mbps)".into(),
+            rate_bps: 8e6,
+            base_rtt: SimDuration::from_millis(50),
+            bdp_multiple: 4,
+            queue_override_pkts: None,
+        }
+    }
+
+    /// The 50 Mbps moderately-constrained setting.
+    pub fn moderately_constrained() -> Self {
+        NetworkSetting {
+            name: "moderately-constrained (50 Mbps)".into(),
+            rate_bps: 50e6,
+            base_rtt: SimDuration::from_millis(50),
+            bdp_multiple: 4,
+            queue_override_pkts: None,
+        }
+    }
+
+    /// A custom bandwidth with the standard RTT/queue rules (Fig 7 sweep).
+    pub fn custom(rate_bps: f64) -> Self {
+        NetworkSetting {
+            name: format!("{:.0} Mbps", rate_bps / 1e6),
+            rate_bps,
+            base_rtt: SimDuration::from_millis(50),
+            bdp_multiple: 4,
+            queue_override_pkts: None,
+        }
+    }
+
+    /// The same setting with a different queue multiple (Obs 11: 8×BDP).
+    pub fn with_bdp_multiple(mut self, m: u64) -> Self {
+        self.bdp_multiple = m;
+        self.queue_override_pkts = None;
+        self.name = format!("{} ({}xBDP)", self.name, m);
+        self
+    }
+
+    /// Queue capacity in packets under the paper's rule.
+    pub fn queue_capacity_pkts(&self) -> usize {
+        match self.queue_override_pkts {
+            Some(q) => q,
+            None => {
+                let bdp = bdp_packets(self.rate_bps, self.base_rtt.as_secs_f64(), MTU);
+                pow2_round(self.bdp_multiple * bdp) as usize
+            }
+        }
+    }
+
+    /// The bottleneck config for the engine.
+    pub fn bottleneck(&self) -> BottleneckConfig {
+        BottleneckConfig {
+            rate_bps: self.rate_bps,
+            queue_capacity_pkts: self.queue_capacity_pkts(),
+        }
+    }
+
+    /// The §3.4 stopping-rule tolerance: ±0.5 Mbps under 8 Mbps-class
+    /// links, ±1.5 Mbps otherwise.
+    pub fn ci_tolerance_bps(&self) -> f64 {
+        if self.rate_bps <= 10e6 {
+            0.5e6
+        } else {
+            1.5e6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_queue_sizes() {
+        assert_eq!(NetworkSetting::highly_constrained().queue_capacity_pkts(), 128);
+        assert_eq!(
+            NetworkSetting::moderately_constrained().queue_capacity_pkts(),
+            1024
+        );
+        assert_eq!(
+            NetworkSetting::moderately_constrained()
+                .with_bdp_multiple(8)
+                .queue_capacity_pkts(),
+            2048
+        );
+    }
+
+    #[test]
+    fn tolerances_match_paper() {
+        assert_eq!(NetworkSetting::highly_constrained().ci_tolerance_bps(), 0.5e6);
+        assert_eq!(
+            NetworkSetting::moderately_constrained().ci_tolerance_bps(),
+            1.5e6
+        );
+    }
+
+    #[test]
+    fn custom_sweeps() {
+        let s = NetworkSetting::custom(30e6);
+        assert_eq!(s.rate_bps, 30e6);
+        assert!(s.queue_capacity_pkts().is_power_of_two());
+    }
+
+    #[test]
+    fn override_wins() {
+        let mut s = NetworkSetting::highly_constrained();
+        s.queue_override_pkts = Some(77);
+        assert_eq!(s.queue_capacity_pkts(), 77);
+    }
+}

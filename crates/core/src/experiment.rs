@@ -1,0 +1,213 @@
+//! Experiment specification and result types.
+
+use crate::config::NetworkSetting;
+use prudentia_apps::ServiceSpec;
+use prudentia_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One trial: two services competing over an emulated bottleneck.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Service A — by the paper's convention the *contender* when reading
+    /// heatmap rows.
+    pub contender: ServiceSpec,
+    /// Service B — the *incumbent* whose MmF share the heatmap cell shows.
+    pub incumbent: ServiceSpec,
+    /// Network setting.
+    pub setting: NetworkSetting,
+    /// Total simulated duration (paper: 10 minutes).
+    pub duration: SimDuration,
+    /// Leading trim (paper: first 2 minutes ignored).
+    pub warmup: SimDuration,
+    /// Trailing trim (paper: last 2 minutes ignored).
+    pub cooldown: SimDuration,
+    /// RNG seed (derives all stochastic behaviour).
+    pub seed: u64,
+    /// Probability of upstream (external) loss per data packet.
+    pub external_loss: f64,
+    /// Record throughput/queue timeseries (Figs 4 and 8) — costs memory.
+    pub record_series: bool,
+    /// Write a client-side packet capture of the trial to this path
+    /// (libpcap format; the real watchdog publishes a PCAP per experiment).
+    pub pcap_path: Option<std::path::PathBuf>,
+}
+
+impl ExperimentSpec {
+    /// A paper-faithful 10-minute experiment with 2-minute trims.
+    pub fn paper(contender: ServiceSpec, incumbent: ServiceSpec, setting: NetworkSetting, seed: u64) -> Self {
+        ExperimentSpec {
+            contender,
+            incumbent,
+            setting,
+            duration: SimDuration::from_secs(600),
+            warmup: SimDuration::from_secs(120),
+            cooldown: SimDuration::from_secs(120),
+            seed,
+            external_loss: 0.0,
+            record_series: false,
+            pcap_path: None,
+        }
+    }
+
+    /// A shortened experiment (3 simulated minutes, 30 s trims) used by
+    /// the quick versions of the regeneration binaries.
+    pub fn quick(contender: ServiceSpec, incumbent: ServiceSpec, setting: NetworkSetting, seed: u64) -> Self {
+        ExperimentSpec {
+            contender,
+            incumbent,
+            setting,
+            duration: SimDuration::from_secs(180),
+            warmup: SimDuration::from_secs(30),
+            cooldown: SimDuration::from_secs(30),
+            seed,
+            external_loss: 0.0,
+            record_series: false,
+            pcap_path: None,
+        }
+    }
+
+    /// The measured window within the experiment.
+    pub fn window(&self) -> (SimDuration, SimDuration) {
+        (self.warmup, self.duration.saturating_sub(self.cooldown))
+    }
+}
+
+/// Application-level summary of one service after a trial.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub enum AppSummary {
+    /// Only network metrics apply.
+    #[default]
+    None,
+    /// Video QoE summary.
+    Video {
+        /// Mean fetched bitrate, bps.
+        mean_bitrate_bps: f64,
+        /// Bitrate of the final fetched segment, bps.
+        final_bitrate_bps: f64,
+        /// Playback stalls after startup.
+        rebuffer_events: u64,
+        /// Seconds of media played.
+        played_secs: f64,
+        /// Rung switches.
+        switches: u64,
+    },
+    /// RTC QoE summary (Table 2 metrics; high-delay fraction is in the
+    /// network section of the result).
+    Rtc {
+        /// Majority playback resolution (pixels of height).
+        majority_resolution: u32,
+        /// Average rendered FPS.
+        avg_fps: f64,
+        /// Freezes per minute (WebRTC definition).
+        freezes_per_minute: f64,
+    },
+    /// Web page-load summary.
+    Web {
+        /// Median SpeedIndex-style PLT, seconds.
+        median_plt_secs: f64,
+        /// All completed PLT samples.
+        plt_samples: Vec<f64>,
+        /// Loads unfinished at experiment end.
+        incomplete_loads: u64,
+    },
+}
+
+/// Network metrics of one side of a trial.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct SideResult {
+    /// Service display name.
+    pub name: String,
+    /// Mean throughput over the measured window, bits/s.
+    pub throughput_bps: f64,
+    /// Max-min fair allocation for this service in this setting, bits/s.
+    pub mmf_allocation_bps: f64,
+    /// Fraction of the MmF allocation achieved (1.0 = exactly fair).
+    pub mmf_share: f64,
+    /// Packets lost at the bottleneck / packets arrived (Fig 12).
+    pub loss_rate: f64,
+    /// Mean bottleneck queueing delay, ms (Fig 13).
+    pub mean_qdelay_ms: f64,
+    /// Fraction of packets over the ITU high-delay budget (Fig 5g/h).
+    pub high_delay_fraction: f64,
+    /// Application summary.
+    pub app: AppSummary,
+}
+
+/// A recorded timeseries point (Figs 4, 8).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Seconds since experiment start.
+    pub t_secs: f64,
+    /// Contender throughput in this bin, bps.
+    pub a_bps: f64,
+    /// Incumbent throughput in this bin, bps.
+    pub b_bps: f64,
+}
+
+/// Queue occupancy over time (Fig 8).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QueuePoint {
+    /// Seconds since experiment start.
+    pub t_secs: f64,
+    /// Total queued packets.
+    pub total: u32,
+    /// Packets belonging to the contender.
+    pub a: u32,
+    /// Packets belonging to the incumbent.
+    pub b: u32,
+}
+
+/// The outcome of one trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The contender's metrics.
+    pub contender: SideResult,
+    /// The incumbent's metrics.
+    pub incumbent: SideResult,
+    /// Combined link utilization over the window (Fig 11).
+    pub utilization: f64,
+    /// Measured external (upstream) loss rate.
+    pub external_loss_rate: f64,
+    /// True when the trial must be discarded per the paper's rule
+    /// (external loss above 0.05%, §3.1).
+    pub discarded: bool,
+    /// Seed used.
+    pub seed: u64,
+    /// Optional throughput timeseries.
+    pub series: Option<Vec<SeriesPoint>>,
+    /// Optional queue-occupancy timeseries.
+    pub queue_series: Option<Vec<QueuePoint>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_apps::Service;
+
+    #[test]
+    fn window_math() {
+        let spec = ExperimentSpec::paper(
+            Service::IperfReno.spec(),
+            Service::IperfCubic.spec(),
+            NetworkSetting::highly_constrained(),
+            1,
+        );
+        let (from, to) = spec.window();
+        assert_eq!(from, SimDuration::from_secs(120));
+        assert_eq!(to, SimDuration::from_secs(480));
+    }
+
+    #[test]
+    fn specs_serialize_roundtrip() {
+        let spec = ExperimentSpec::quick(
+            Service::Mega.spec(),
+            Service::YouTube.spec(),
+            NetworkSetting::moderately_constrained(),
+            7,
+        );
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: ExperimentSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.incumbent.name(), "YouTube");
+    }
+}

@@ -1,0 +1,254 @@
+//! Heatmap rendering for Figs 2, 11, 12 and 13.
+//!
+//! Rows are contenders, columns are incumbents; each cell is a median
+//! statistic of the incumbent under that contender, matching the paper's
+//! reading ("each row reflects the contentiousness of its service; each
+//! column reflects the sensitivity", §4).
+
+use crate::scheduler::PairOutcome;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which per-pair statistic a heatmap shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeatmapStat {
+    /// Median incumbent MmF share, in percent (Fig 2).
+    MmfSharePct,
+    /// Median combined link utilization, percent (Fig 11).
+    UtilizationPct,
+    /// Median incumbent loss rate, percent (Fig 12).
+    LossRatePct,
+    /// Median incumbent queueing delay, ms (Fig 13).
+    QueueingDelayMs,
+}
+
+impl HeatmapStat {
+    fn extract(self, o: &PairOutcome) -> f64 {
+        match self {
+            HeatmapStat::MmfSharePct => o.incumbent_mmf_median * 100.0,
+            HeatmapStat::UtilizationPct => o.utilization_median * 100.0,
+            HeatmapStat::LossRatePct => o.incumbent_loss_median * 100.0,
+            HeatmapStat::QueueingDelayMs => o.incumbent_qdelay_median_ms,
+        }
+    }
+
+    /// Figure caption fragment.
+    pub fn title(self) -> &'static str {
+        match self {
+            HeatmapStat::MmfSharePct => "median MmF share of incumbent (%)",
+            HeatmapStat::UtilizationPct => "median link utilization (%)",
+            HeatmapStat::LossRatePct => "median incumbent loss rate (%)",
+            HeatmapStat::QueueingDelayMs => "median incumbent queueing delay (ms)",
+        }
+    }
+}
+
+/// A rendered heatmap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Statistic shown.
+    pub stat: HeatmapStat,
+    /// Service labels in order (rows = contenders, columns = incumbents).
+    pub services: Vec<String>,
+    /// `cells[row][col]`; NaN where no data.
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Build from pair outcomes for a fixed service ordering.
+    pub fn build(stat: HeatmapStat, services: &[String], outcomes: &[PairOutcome]) -> Self {
+        let index: HashMap<&str, usize> = services
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i))
+            .collect();
+        let n = services.len();
+        let mut cells = vec![vec![f64::NAN; n]; n];
+        for o in outcomes {
+            if let (Some(&r), Some(&c)) = (
+                index.get(o.contender.as_str()),
+                index.get(o.incumbent.as_str()),
+            ) {
+                cells[r][c] = stat.extract(o);
+            }
+        }
+        Heatmap {
+            stat,
+            services: services.to_vec(),
+            cells,
+        }
+    }
+
+    /// Cell lookup by labels.
+    pub fn cell(&self, contender: &str, incumbent: &str) -> Option<f64> {
+        let r = self.services.iter().position(|s| s == contender)?;
+        let c = self.services.iter().position(|s| s == incumbent)?;
+        let v = self.cells[r][c];
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Mean over a row, skipping the diagonal and missing cells — the
+    /// row-wise contentiousness summary.
+    pub fn row_mean(&self, contender: &str) -> Option<f64> {
+        let r = self.services.iter().position(|s| s == contender)?;
+        let vals: Vec<f64> = (0..self.services.len())
+            .filter(|&c| c != r && !self.cells[r][c].is_nan())
+            .map(|c| self.cells[r][c])
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Mean over a column, skipping the diagonal — the sensitivity summary.
+    pub fn col_mean(&self, incumbent: &str) -> Option<f64> {
+        let c = self.services.iter().position(|s| s == incumbent)?;
+        let vals: Vec<f64> = (0..self.services.len())
+            .filter(|&r| r != c && !self.cells[r][c].is_nan())
+            .map(|r| self.cells[r][c])
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Render as an aligned text table (rows = contenders).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let w = 11usize;
+        out.push_str(&format!("{:>w$} |", "ctndr\\incmb", w = w));
+        for s in &self.services {
+            out.push_str(&format!("{:>w$}", truncate(s, w - 1), w = w));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat((self.services.len() + 1) * w + 2));
+        out.push('\n');
+        for (r, s) in self.services.iter().enumerate() {
+            out.push_str(&format!("{:>w$} |", truncate(s, w - 1), w = w));
+            for c in 0..self.services.len() {
+                let v = self.cells[r][c];
+                if v.is_nan() {
+                    out.push_str(&format!("{:>w$}", "-", w = w));
+                } else {
+                    out.push_str(&format!("{:>w$.1}", v, w = w));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (first row = header).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("contender\\incumbent");
+        for s in &self.services {
+            out.push(',');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for (r, s) in self.services.iter().enumerate() {
+            out.push_str(s);
+            for c in 0..self.services.len() {
+                out.push(',');
+                let v = self.cells[r][c];
+                if !v.is_nan() {
+                    out.push_str(&format!("{v:.2}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::PairOutcome;
+
+    fn outcome(c: &str, i: &str, share: f64) -> PairOutcome {
+        PairOutcome {
+            contender: c.into(),
+            incumbent: i.into(),
+            setting: "test".into(),
+            trials: Vec::new(),
+            incumbent_mmf_median: share,
+            contender_mmf_median: 1.0,
+            incumbent_iqr_bps: (0.0, 0.0),
+            utilization_median: 0.97,
+            incumbent_loss_median: 0.01,
+            incumbent_qdelay_median_ms: 12.0,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let services = vec!["A".to_string(), "B".to_string()];
+        let outcomes = vec![
+            outcome("A", "B", 0.5),
+            outcome("B", "A", 1.2),
+            outcome("A", "A", 0.9),
+        ];
+        let h = Heatmap::build(HeatmapStat::MmfSharePct, &services, &outcomes);
+        assert_eq!(h.cell("A", "B"), Some(50.0));
+        assert_eq!(h.cell("B", "A"), Some(120.0));
+        assert_eq!(h.cell("A", "A"), Some(90.0));
+        assert_eq!(h.cell("B", "B"), None);
+    }
+
+    #[test]
+    fn row_and_col_means_skip_diagonal() {
+        let services = vec!["A".to_string(), "B".to_string(), "C".to_string()];
+        let outcomes = vec![
+            outcome("A", "A", 1.0),
+            outcome("A", "B", 0.6),
+            outcome("A", "C", 0.4),
+            outcome("B", "A", 1.0),
+        ];
+        let h = Heatmap::build(HeatmapStat::MmfSharePct, &services, &outcomes);
+        assert!((h.row_mean("A").unwrap() - 50.0).abs() < 1e-9);
+        assert!((h.col_mean("A").unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders_text_and_csv() {
+        let services = vec!["Mega".to_string(), "YouTube".to_string()];
+        let outcomes = vec![outcome("Mega", "YouTube", 0.16)];
+        let h = Heatmap::build(HeatmapStat::MmfSharePct, &services, &outcomes);
+        let txt = h.render_text();
+        assert!(txt.contains("Mega"));
+        assert!(txt.contains("16.0"));
+        let csv = h.render_csv();
+        assert!(csv.starts_with("contender\\incumbent,Mega,YouTube"));
+        assert!(csv.contains("16.00"));
+    }
+
+    #[test]
+    fn other_stats_extract() {
+        let services = vec!["A".to_string(), "B".to_string()];
+        let outcomes = vec![outcome("A", "B", 0.5)];
+        let u = Heatmap::build(HeatmapStat::UtilizationPct, &services, &outcomes);
+        assert_eq!(u.cell("A", "B"), Some(97.0));
+        let l = Heatmap::build(HeatmapStat::LossRatePct, &services, &outcomes);
+        assert_eq!(l.cell("A", "B"), Some(1.0));
+        let q = Heatmap::build(HeatmapStat::QueueingDelayMs, &services, &outcomes);
+        assert_eq!(q.cell("A", "B"), Some(12.0));
+    }
+}

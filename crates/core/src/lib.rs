@@ -1,0 +1,63 @@
+//! # prudentia-core
+//!
+//! The Prudentia Internet-fairness watchdog: experiment specification and
+//! execution, the §3.4 adaptive-trials scheduler, fairness heatmaps
+//! (Figs 2/11/12/13), observation extraction, persistent results, and the
+//! continuous watchdog loop — all running over the packet-level simulator
+//! in `prudentia-sim` with the Table 1 service models in `prudentia-apps`.
+//!
+//! Quick start:
+//!
+//! ```
+//! use prudentia_core::{run_experiment, ExperimentSpec, NetworkSetting};
+//! use prudentia_apps::Service;
+//!
+//! // A shortened trial on the 8 Mbps setting (fast enough for a doctest).
+//! let mut spec = ExperimentSpec::quick(
+//!     Service::IperfCubic.spec(),    // contender
+//!     Service::IperfReno.spec(),     // incumbent
+//!     NetworkSetting::highly_constrained(),
+//!     42,
+//! );
+//! spec.duration = prudentia_sim::SimDuration::from_secs(20);
+//! spec.warmup = prudentia_sim::SimDuration::from_secs(4);
+//! spec.cooldown = prudentia_sim::SimDuration::from_secs(4);
+//! let result = run_experiment(&spec);
+//! assert!(result.utilization > 0.8);
+//! println!(
+//!     "{} got {:.0}% of its max-min fair share vs {}",
+//!     result.incumbent.name,
+//!     result.incumbent.mmf_share * 100.0,
+//!     result.contender.name,
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod config;
+pub mod experiment;
+pub mod heatmap;
+pub mod report;
+pub mod results;
+pub mod runner;
+pub mod scheduler;
+pub mod submissions;
+pub mod watchdog;
+
+pub use classifier::{classify_service, extract_features, CcaClass, CcaFeatures, ClassifierConfig};
+pub use config::NetworkSetting;
+pub use experiment::{
+    AppSummary, ExperimentResult, ExperimentSpec, QueuePoint, SeriesPoint, SideResult,
+};
+pub use heatmap::{Heatmap, HeatmapStat};
+pub use report::{loser_shares, loser_stats, self_competition_mean, LoserStats, TransitivityRow};
+pub use results::ResultStore;
+pub use runner::{run_experiment, run_solo, EXTERNAL_LOSS_DISCARD};
+pub use scheduler::{
+    run_pair, run_pairs_parallel, trial_seed, DurationPolicy, PairOutcome, PairSpec, TrialPolicy,
+};
+pub use submissions::{
+    ReportLine, SubmissionDesk, SubmissionError, SubmissionReport, Verdict, SUBMISSIONS_PER_CODE,
+};
+pub use watchdog::{FairnessChange, Watchdog, WatchdogConfig};

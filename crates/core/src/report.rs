@@ -1,0 +1,180 @@
+//! Observation extraction: the aggregate statistics the paper reports.
+//!
+//! Observation 1 (§4): "the median 'losing' service achieved 69% of their
+//! MmF share [8 Mbps] / 86% [50 Mbps]; 73% of losing services achieved
+//! ≤90%; 22% achieved ≤50%"; the abstract adds that losers average 72%
+//! (median 84%) overall and self-competition averages 88%.
+
+use crate::scheduler::PairOutcome;
+use prudentia_stats::{mean, median};
+use serde::{Deserialize, Serialize};
+
+/// Loser-share statistics over a set of pair outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoserStats {
+    /// Number of distinct competitions considered.
+    pub competitions: usize,
+    /// Median MmF share of the losing side.
+    pub median_loser_share: f64,
+    /// Mean MmF share of the losing side.
+    pub mean_loser_share: f64,
+    /// Fraction of losers at or below 90% of their MmF share.
+    pub frac_below_90: f64,
+    /// Fraction of losers at or below 50% of their MmF share.
+    pub frac_below_50: f64,
+}
+
+/// For each unordered pair, the losing side's MmF share (the side with
+/// the smaller share). Unconverged/self pairs are included or excluded by
+/// the flags.
+pub fn loser_shares(outcomes: &[PairOutcome], include_self: bool) -> Vec<f64> {
+    outcomes
+        .iter()
+        .filter(|o| include_self || o.contender != o.incumbent)
+        .map(|o| o.incumbent_mmf_median.min(o.contender_mmf_median))
+        .filter(|s| s.is_finite())
+        .collect()
+}
+
+/// Observation-1 style statistics.
+pub fn loser_stats(outcomes: &[PairOutcome]) -> LoserStats {
+    let losers = loser_shares(outcomes, false);
+    let n = losers.len();
+    LoserStats {
+        competitions: n,
+        median_loser_share: if n == 0 { f64::NAN } else { median(&losers) },
+        mean_loser_share: if n == 0 { f64::NAN } else { mean(&losers) },
+        frac_below_90: frac_below(&losers, 0.90),
+        frac_below_50: frac_below(&losers, 0.50),
+    }
+}
+
+/// Mean MmF share across self-competition pairs (X vs X) — the paper
+/// reports 88% ("even when each service competed against another instance
+/// of itself").
+pub fn self_competition_mean(outcomes: &[PairOutcome]) -> f64 {
+    let shares: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.contender == o.incumbent)
+        .flat_map(|o| [o.incumbent_mmf_median, o.contender_mmf_median])
+        .filter(|s| s.is_finite())
+        .collect();
+    if shares.is_empty() {
+        f64::NAN
+    } else {
+        mean(&shares)
+    }
+}
+
+fn frac_below(xs: &[f64], threshold: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().filter(|&&x| x <= threshold).count() as f64 / xs.len() as f64
+}
+
+/// A transitivity triple for Table 3: α's effect on β, β's on γ, α's on γ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransitivityRow {
+    /// Service α.
+    pub alpha: String,
+    /// Service β.
+    pub beta: String,
+    /// Service γ.
+    pub gamma: String,
+    /// β's MmF share vs α, percent.
+    pub beta_vs_alpha_pct: f64,
+    /// γ's MmF share vs β, percent.
+    pub gamma_vs_beta_pct: f64,
+    /// γ's MmF share vs α, percent.
+    pub gamma_vs_alpha_pct: f64,
+}
+
+impl TransitivityRow {
+    /// True when the triple violates naive transitivity: α harms β and β
+    /// harms γ but α does not harm γ (or the fair/unfair pattern is
+    /// otherwise inconsistent).
+    pub fn is_non_transitive(&self, harm_threshold_pct: f64) -> bool {
+        let harms_ab = self.beta_vs_alpha_pct < harm_threshold_pct;
+        let harms_bc = self.gamma_vs_beta_pct < harm_threshold_pct;
+        let harms_ac = self.gamma_vs_alpha_pct < harm_threshold_pct;
+        (harms_ab && harms_bc && !harms_ac) || (!harms_ab && !harms_bc && harms_ac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(c: &str, i: &str, c_share: f64, i_share: f64) -> PairOutcome {
+        PairOutcome {
+            contender: c.into(),
+            incumbent: i.into(),
+            setting: "t".into(),
+            trials: Vec::new(),
+            incumbent_mmf_median: i_share,
+            contender_mmf_median: c_share,
+            incumbent_iqr_bps: (0.0, 0.0),
+            utilization_median: 1.0,
+            incumbent_loss_median: 0.0,
+            incumbent_qdelay_median_ms: 0.0,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn loser_is_min_side() {
+        let o = vec![outcome("A", "B", 1.3, 0.6)];
+        assert_eq!(loser_shares(&o, false), vec![0.6]);
+    }
+
+    #[test]
+    fn self_pairs_excluded_from_losers() {
+        let o = vec![outcome("A", "A", 0.9, 0.88), outcome("A", "B", 1.2, 0.5)];
+        let stats = loser_stats(&o);
+        assert_eq!(stats.competitions, 1);
+        assert_eq!(stats.median_loser_share, 0.5);
+    }
+
+    #[test]
+    fn fraction_thresholds() {
+        let o = vec![
+            outcome("A", "B", 1.2, 0.45),
+            outcome("A", "C", 1.1, 0.85),
+            outcome("B", "C", 1.0, 0.95),
+        ];
+        let s = loser_stats(&o);
+        assert!((s.frac_below_50 - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.frac_below_90 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_competition_mean_works() {
+        let o = vec![outcome("A", "A", 0.9, 0.86), outcome("A", "B", 1.0, 1.0)];
+        assert!((self_competition_mean(&o) - 0.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_transitivity_detection() {
+        // Mega harms NewReno (22%), NewReno harms Vimeo (58%), but Mega
+        // leaves Vimeo whole (104%) — the paper's first Table 3 row.
+        let row = TransitivityRow {
+            alpha: "Mega".into(),
+            beta: "NewReno".into(),
+            gamma: "Vimeo".into(),
+            beta_vs_alpha_pct: 22.0,
+            gamma_vs_beta_pct: 58.0,
+            gamma_vs_alpha_pct: 104.0,
+        };
+        assert!(row.is_non_transitive(90.0));
+        let transitive = TransitivityRow {
+            alpha: "A".into(),
+            beta: "B".into(),
+            gamma: "C".into(),
+            beta_vs_alpha_pct: 50.0,
+            gamma_vs_beta_pct: 50.0,
+            gamma_vs_alpha_pct: 50.0,
+        };
+        assert!(!transitive.is_non_transitive(90.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Persistent result store.
+//!
+//! Prudentia publishes every experiment's data on its website; this store
+//! serializes pair outcomes to JSON so regeneration binaries can share
+//! all-pairs data (Figs 2, 11, 12, 13 all derive from one all-pairs run).
+
+use crate::scheduler::PairOutcome;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// A collection of pair outcomes plus provenance.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct ResultStore {
+    /// Free-form description of the run.
+    pub description: String,
+    /// All pair outcomes.
+    pub outcomes: Vec<PairOutcome>,
+}
+
+impl ResultStore {
+    /// Create an empty store.
+    pub fn new(description: impl Into<String>) -> Self {
+        ResultStore {
+            description: description.into(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Append outcomes.
+    pub fn extend(&mut self, outcomes: impl IntoIterator<Item = PairOutcome>) {
+        self.outcomes.extend(outcomes);
+    }
+
+    /// Outcomes for one setting.
+    pub fn for_setting<'a>(&'a self, setting: &'a str) -> impl Iterator<Item = &'a PairOutcome> {
+        self.outcomes.iter().filter(move |o| o.setting == setting)
+    }
+
+    /// Look up one pair in one setting.
+    pub fn get(&self, contender: &str, incumbent: &str, setting: &str) -> Option<&PairOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.contender == contender && o.incumbent == incumbent && o.setting == setting)
+    }
+
+    /// Persist as pretty JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load from JSON.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let data = std::fs::read_to_string(path)?;
+        serde_json::from_str(&data).map_err(io::Error::other)
+    }
+
+    /// Pairs that failed the stopping rule (Obs 15's unstable services).
+    pub fn unstable_pairs(&self) -> Vec<&PairOutcome> {
+        self.outcomes.iter().filter(|o| !o.converged).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(c: &str, i: &str, setting: &str, converged: bool) -> PairOutcome {
+        PairOutcome {
+            contender: c.into(),
+            incumbent: i.into(),
+            setting: setting.into(),
+            trials: Vec::new(),
+            incumbent_mmf_median: 1.0,
+            contender_mmf_median: 1.0,
+            incumbent_iqr_bps: (0.0, 0.0),
+            utilization_median: 1.0,
+            incumbent_loss_median: 0.0,
+            incumbent_qdelay_median_ms: 0.0,
+            converged,
+        }
+    }
+
+    #[test]
+    fn filter_and_lookup() {
+        let mut store = ResultStore::new("test");
+        store.extend([
+            outcome("A", "B", "8", true),
+            outcome("A", "B", "50", true),
+            outcome("B", "A", "8", false),
+        ]);
+        assert_eq!(store.for_setting("8").count(), 2);
+        assert!(store.get("A", "B", "50").is_some());
+        assert!(store.get("B", "A", "50").is_none());
+        assert_eq!(store.unstable_pairs().len(), 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut store = ResultStore::new("roundtrip");
+        store.extend([outcome("Mega", "YouTube", "8", true)]);
+        let dir = std::env::temp_dir().join("prudentia_store_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("results.json");
+        store.save(&path).expect("save");
+        let back = ResultStore::load(&path).expect("load");
+        assert_eq!(back.description, "roundtrip");
+        assert_eq!(back.outcomes.len(), 1);
+        assert_eq!(back.outcomes[0].contender, "Mega");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,298 @@
+//! Executes one experiment trial on a fresh engine.
+
+use crate::experiment::{
+    AppSummary, ExperimentResult, ExperimentSpec, QueuePoint, SeriesPoint, SideResult,
+};
+use prudentia_apps::{build_service, AppHandle, ServiceSpec};
+use prudentia_sim::{Engine, ServiceId, SimTime};
+use prudentia_stats::max_min_allocation;
+
+/// External-loss level above which Prudentia discards an experiment.
+pub const EXTERNAL_LOSS_DISCARD: f64 = 0.0005; // 0.05%
+
+const SVC_A: ServiceId = ServiceId(0);
+const SVC_B: ServiceId = ServiceId(1);
+
+/// Run one trial to completion and extract all metrics.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let mut engine = Engine::new(spec.setting.bottleneck(), spec.seed);
+    engine.set_service_pair(SVC_A, SVC_B);
+    if spec.external_loss > 0.0 {
+        engine.set_external_loss(spec.external_loss);
+    }
+    if spec.pcap_path.is_some() {
+        engine.enable_pcap();
+    }
+    let rtt = spec.setting.base_rtt;
+    let inst_a = build_service(&spec.contender, &mut engine, SVC_A, rtt);
+    let inst_b = build_service(&spec.incumbent, &mut engine, SVC_B, rtt);
+
+    engine.run_until(SimTime::ZERO + spec.duration);
+
+    let (from_d, to_d) = spec.window();
+    let from = SimTime::ZERO + from_d;
+    let to = SimTime::ZERO + to_d;
+    let window_secs = to_d.saturating_sub(from_d).as_secs_f64();
+    assert!(window_secs > 0.0, "empty measurement window");
+
+    let a_bps = engine.trace().mean_bps(SVC_A, from, to);
+    let b_bps = engine.trace().mean_bps(SVC_B, from, to);
+
+    let alloc = max_min_allocation(
+        spec.setting.rate_bps,
+        &[spec.contender.demand(), spec.incumbent.demand()],
+    );
+
+    let side = |svc: ServiceId,
+                spec_s: &ServiceSpec,
+                bps: f64,
+                alloc_bps: f64,
+                app: &AppHandle,
+                engine: &Engine| {
+        SideResult {
+            name: spec_s.name().to_string(),
+            throughput_bps: bps,
+            mmf_allocation_bps: alloc_bps,
+            mmf_share: prudentia_stats::mmf_share(bps, alloc_bps),
+            loss_rate: engine.queue_stats(svc).loss_rate(),
+            mean_qdelay_ms: engine.trace().mean_queueing_delay(svc).as_millis_f64(),
+            high_delay_fraction: engine.trace().high_delay_fraction(svc),
+            app: summarize_app(app),
+        }
+    };
+
+    let contender = side(SVC_A, &spec.contender, a_bps, alloc[0], &inst_a.app, &engine);
+    let incumbent = side(SVC_B, &spec.incumbent, b_bps, alloc[1], &inst_b.app, &engine);
+
+    let external_loss_rate = engine.external_loss_rate();
+    let series = spec.record_series.then(|| {
+        let sa = engine
+            .trace()
+            .throughput(SVC_A)
+            .map(|s| s.series_bps(SimTime::ZERO, SimTime::ZERO + spec.duration))
+            .unwrap_or_default();
+        let sb = engine
+            .trace()
+            .throughput(SVC_B)
+            .map(|s| s.series_bps(SimTime::ZERO, SimTime::ZERO + spec.duration))
+            .unwrap_or_default();
+        merge_series(&sa, &sb)
+    });
+    let queue_series = spec.record_series.then(|| {
+        engine
+            .trace()
+            .queue_samples()
+            .iter()
+            .map(|q| QueuePoint {
+                t_secs: q.at.as_secs_f64(),
+                total: q.total_pkts,
+                a: q.svc_a_pkts,
+                b: q.svc_b_pkts,
+            })
+            .collect()
+    });
+
+    if let (Some(path), Some(pcap)) = (spec.pcap_path.as_ref(), engine.pcap()) {
+        if let Err(e) = pcap.save(path) {
+            eprintln!("warning: failed to write pcap {}: {e}", path.display());
+        }
+    }
+
+    ExperimentResult {
+        utilization: (a_bps + b_bps) / spec.setting.rate_bps,
+        contender,
+        incumbent,
+        external_loss_rate,
+        discarded: external_loss_rate > EXTERNAL_LOSS_DISCARD,
+        seed: spec.seed,
+        series,
+        queue_series,
+    }
+}
+
+/// Run a service alone ("solo", §3.1: used to detect upstream throttling
+/// and to measure Table 1's Max Xput column).
+pub fn run_solo(spec: &ServiceSpec, setting: &crate::config::NetworkSetting, seed: u64) -> f64 {
+    let mut engine = Engine::new(setting.bottleneck(), seed);
+    let inst = build_service(spec, &mut engine, SVC_A, setting.base_rtt);
+    let duration = SimTime::from_secs(180);
+    engine.run_until(duration);
+    let _ = inst;
+    engine
+        .trace()
+        .mean_bps(SVC_A, SimTime::from_secs(60), duration)
+}
+
+fn summarize_app(app: &AppHandle) -> AppSummary {
+    match app {
+        AppHandle::None => AppSummary::None,
+        AppHandle::Video(m) => {
+            let m = m.borrow();
+            AppSummary::Video {
+                mean_bitrate_bps: m.mean_bitrate_bps(),
+                final_bitrate_bps: m.bitrate_history.last().map(|(_, b)| *b).unwrap_or(0.0),
+                rebuffer_events: m.rebuffer_events,
+                played_secs: m.played_secs,
+                switches: m.switches,
+            }
+        }
+        AppHandle::Rtc(m) => {
+            let m = m.borrow();
+            AppSummary::Rtc {
+                majority_resolution: m.majority_resolution(),
+                avg_fps: m.avg_fps(),
+                freezes_per_minute: m.freezes_per_minute(),
+            }
+        }
+        AppHandle::Web(m) => {
+            let m = m.borrow();
+            AppSummary::Web {
+                median_plt_secs: m.median_plt().unwrap_or(f64::NAN),
+                plt_samples: m.plt_samples.iter().map(|(_, p)| *p).collect(),
+                incomplete_loads: m.incomplete_loads,
+            }
+        }
+    }
+}
+
+fn merge_series(a: &[(SimTime, f64)], b: &[(SimTime, f64)]) -> Vec<SeriesPoint> {
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<u64, SeriesPoint> = BTreeMap::new();
+    for &(t, r) in a {
+        let e = map.entry(t.as_nanos()).or_insert(SeriesPoint {
+            t_secs: t.as_secs_f64(),
+            a_bps: 0.0,
+            b_bps: 0.0,
+        });
+        e.a_bps = r;
+    }
+    for &(t, r) in b {
+        let e = map.entry(t.as_nanos()).or_insert(SeriesPoint {
+            t_secs: t.as_secs_f64(),
+            a_bps: 0.0,
+            b_bps: 0.0,
+        });
+        e.b_bps = r;
+    }
+    map.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkSetting;
+    use prudentia_apps::Service;
+
+    #[test]
+    fn iperf_pair_splits_link() {
+        let spec = ExperimentSpec::quick(
+            Service::IperfReno.spec(),
+            Service::IperfReno.spec(),
+            NetworkSetting::highly_constrained(),
+            3,
+        );
+        let r = run_experiment(&spec);
+        assert!(r.utilization > 0.9, "utilization {}", r.utilization);
+        assert!(r.contender.mmf_share > 0.5 && r.contender.mmf_share < 1.5);
+        assert!(r.incumbent.mmf_share > 0.5 && r.incumbent.mmf_share < 1.5);
+        assert!(!r.discarded);
+    }
+
+    #[test]
+    fn video_incumbent_reports_app_summary() {
+        let spec = ExperimentSpec::quick(
+            Service::IperfCubic.spec(),
+            Service::YouTube.spec(),
+            NetworkSetting::moderately_constrained(),
+            5,
+        );
+        let r = run_experiment(&spec);
+        match r.incumbent.app {
+            AppSummary::Video { played_secs, .. } => {
+                assert!(played_secs > 60.0, "video played {played_secs}s")
+            }
+            ref other => panic!("expected video summary, got {other:?}"),
+        }
+        // YouTube's allocation at 50 Mbps is its 13 Mbps cap.
+        assert_eq!(r.incumbent.mmf_allocation_bps, 13e6);
+        assert_eq!(r.contender.mmf_allocation_bps, 37e6);
+    }
+
+    #[test]
+    fn series_recorded_when_asked() {
+        let mut spec = ExperimentSpec::quick(
+            Service::IperfCubic.spec(),
+            Service::IperfReno.spec(),
+            NetworkSetting::highly_constrained(),
+            9,
+        );
+        spec.record_series = true;
+        let r = run_experiment(&spec);
+        let series = r.series.expect("series requested");
+        assert!(series.len() > 100);
+        assert!(r.queue_series.expect("queue series").len() > 100);
+    }
+
+    #[test]
+    fn solo_run_measures_max_xput() {
+        let rate = run_solo(
+            &Service::GoogleMeet.spec(),
+            &NetworkSetting::moderately_constrained(),
+            2,
+        );
+        assert!(
+            rate > 0.8e6 && rate < 2.2e6,
+            "Meet solo ≈ its 1.5 Mbps cap: {rate}"
+        );
+    }
+
+    #[test]
+    fn external_loss_discard_rule() {
+        let mut spec = ExperimentSpec::quick(
+            Service::IperfCubic.spec(),
+            Service::IperfReno.spec(),
+            NetworkSetting::highly_constrained(),
+            11,
+        );
+        spec.external_loss = 0.01;
+        let r = run_experiment(&spec);
+        assert!(r.discarded, "1% external loss must discard the trial");
+    }
+
+    #[test]
+    fn pcap_written_when_requested() {
+        let dir = std::env::temp_dir().join("prudentia_pcap_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("trial.pcap");
+        let mut spec = ExperimentSpec::quick(
+            Service::IperfCubic.spec(),
+            Service::IperfReno.spec(),
+            NetworkSetting::highly_constrained(),
+            21,
+        );
+        spec.duration = prudentia_sim::SimDuration::from_secs(20);
+        spec.warmup = prudentia_sim::SimDuration::from_secs(2);
+        spec.cooldown = prudentia_sim::SimDuration::from_secs(2);
+        spec.pcap_path = Some(path.clone());
+        run_experiment(&spec);
+        let bytes = std::fs::read(&path).expect("pcap exists");
+        // libpcap magic + at least a few thousand packet records.
+        assert_eq!(&bytes[0..4], &0xA1B2_C3D4u32.to_le_bytes());
+        assert!(bytes.len() > 10_000, "pcap too small: {}", bytes.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = ExperimentSpec::quick(
+            Service::IperfCubic.spec(),
+            Service::IperfReno.spec(),
+            NetworkSetting::highly_constrained(),
+            13,
+        );
+        let a = run_experiment(&spec);
+        let b = run_experiment(&spec);
+        assert_eq!(a.contender.throughput_bps, b.contender.throughput_bps);
+        assert_eq!(a.incumbent.throughput_bps, b.incumbent.throughput_bps);
+    }
+}

@@ -1,0 +1,451 @@
+//! The watchdog scheduler (§3.4).
+//!
+//! Runs every (contender, incumbent) pair for a minimum of 10 trials,
+//! extending by batches of 10 up to 30 until the 95% CI of the median
+//! throughput falls within the setting's tolerance; trials are interleaved
+//! round-robin across pairs to decorrelate time-local noise, and trials
+//! with excessive external loss are discarded and replaced.
+
+use crate::config::NetworkSetting;
+use crate::experiment::{ExperimentResult, ExperimentSpec};
+use crate::runner::run_experiment;
+use prudentia_apps::ServiceSpec;
+use prudentia_sim::SimDuration;
+use prudentia_stats::{median, median_ci_within, quartiles};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Trial-count policy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrialPolicy {
+    /// Minimum trials per pair (paper: 10).
+    pub min_trials: usize,
+    /// Batch size for extensions (paper: 10).
+    pub batch: usize,
+    /// Maximum trials (paper: 30).
+    pub max_trials: usize,
+}
+
+impl Default for TrialPolicy {
+    fn default() -> Self {
+        TrialPolicy {
+            min_trials: 10,
+            batch: 10,
+            max_trials: 30,
+        }
+    }
+}
+
+impl TrialPolicy {
+    /// A reduced policy for quick regeneration runs.
+    pub fn quick() -> Self {
+        TrialPolicy {
+            min_trials: 3,
+            batch: 2,
+            max_trials: 7,
+        }
+    }
+}
+
+/// Experiment length policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurationPolicy {
+    /// 10-minute experiments, 2-minute trims (the paper's §3.4 protocol).
+    Paper,
+    /// 3-minute experiments, 30-second trims.
+    Quick,
+}
+
+impl DurationPolicy {
+    /// Instantiate a spec for one trial.
+    pub fn spec(
+        self,
+        contender: ServiceSpec,
+        incumbent: ServiceSpec,
+        setting: NetworkSetting,
+        seed: u64,
+    ) -> ExperimentSpec {
+        match self {
+            DurationPolicy::Paper => ExperimentSpec::paper(contender, incumbent, setting, seed),
+            DurationPolicy::Quick => ExperimentSpec::quick(contender, incumbent, setting, seed),
+        }
+    }
+}
+
+/// Aggregated outcome for one (contender, incumbent, setting) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// Contender display name.
+    pub contender: String,
+    /// Incumbent display name.
+    pub incumbent: String,
+    /// Setting name.
+    pub setting: String,
+    /// All kept (non-discarded) trials.
+    pub trials: Vec<ExperimentResult>,
+    /// Median incumbent MmF share (the Fig 2 cell value).
+    pub incumbent_mmf_median: f64,
+    /// Median contender MmF share.
+    pub contender_mmf_median: f64,
+    /// Incumbent throughput interquartile range, bps (the error bars).
+    pub incumbent_iqr_bps: (f64, f64),
+    /// Median link utilization (Fig 11).
+    pub utilization_median: f64,
+    /// Median incumbent loss rate (Fig 12).
+    pub incumbent_loss_median: f64,
+    /// Median incumbent queueing delay, ms (Fig 13).
+    pub incumbent_qdelay_median_ms: f64,
+    /// Whether the CI stopping rule was satisfied within the trial cap —
+    /// `false` marks the pair as *unstable* (Obs 15).
+    pub converged: bool,
+}
+
+impl PairOutcome {
+    /// Incumbent throughput samples, bps.
+    pub fn incumbent_samples_bps(&self) -> Vec<f64> {
+        self.trials
+            .iter()
+            .map(|t| t.incumbent.throughput_bps)
+            .collect()
+    }
+
+    /// Contender throughput samples, bps.
+    pub fn contender_samples_bps(&self) -> Vec<f64> {
+        self.trials
+            .iter()
+            .map(|t| t.contender.throughput_bps)
+            .collect()
+    }
+}
+
+/// Deterministic per-trial seed from the pair identity.
+pub fn trial_seed(contender: &str, incumbent: &str, setting: &str, trial: usize) -> u64 {
+    let mut h = DefaultHasher::new();
+    contender.hash(&mut h);
+    incumbent.hash(&mut h);
+    setting.hash(&mut h);
+    trial.hash(&mut h);
+    h.finish()
+}
+
+/// Run one pair under the adaptive-trials policy (sequentially).
+pub fn run_pair(
+    contender: &ServiceSpec,
+    incumbent: &ServiceSpec,
+    setting: &NetworkSetting,
+    policy: TrialPolicy,
+    duration: DurationPolicy,
+    external_loss: f64,
+) -> PairOutcome {
+    let mut trials: Vec<ExperimentResult> = Vec::new();
+    let mut trial_idx = 0usize;
+    let tolerance = setting.ci_tolerance_bps();
+    let mut converged = false;
+    while trials.len() < policy.max_trials {
+        let target = (trials.len() + policy.batch).min(policy.max_trials).max(policy.min_trials);
+        while trials.len() < target {
+            let seed = trial_seed(
+                contender.name(),
+                incumbent.name(),
+                &setting.name,
+                trial_idx,
+            );
+            trial_idx += 1;
+            let mut spec = duration.spec(
+                contender.clone(),
+                incumbent.clone(),
+                setting.clone(),
+                seed,
+            );
+            spec.external_loss = external_loss;
+            let r = run_experiment(&spec);
+            // Discarded trials (upstream loss) are re-run with a new seed.
+            if !r.discarded {
+                trials.push(r);
+            }
+            if trial_idx > policy.max_trials * 4 {
+                break; // safety valve under pathological external loss
+            }
+        }
+        let inc: Vec<f64> = trials.iter().map(|t| t.incumbent.throughput_bps).collect();
+        let con: Vec<f64> = trials.iter().map(|t| t.contender.throughput_bps).collect();
+        if median_ci_within(&inc, tolerance) && median_ci_within(&con, tolerance) {
+            converged = true;
+            break;
+        }
+        if trials.len() >= policy.max_trials || trial_idx > policy.max_trials * 4 {
+            break;
+        }
+    }
+    summarize_pair(contender, incumbent, setting, trials, converged)
+}
+
+fn summarize_pair(
+    contender: &ServiceSpec,
+    incumbent: &ServiceSpec,
+    setting: &NetworkSetting,
+    trials: Vec<ExperimentResult>,
+    converged: bool,
+) -> PairOutcome {
+    let inc_shares: Vec<f64> = trials.iter().map(|t| t.incumbent.mmf_share).collect();
+    let con_shares: Vec<f64> = trials.iter().map(|t| t.contender.mmf_share).collect();
+    let inc_tput: Vec<f64> = trials.iter().map(|t| t.incumbent.throughput_bps).collect();
+    let utils: Vec<f64> = trials.iter().map(|t| t.utilization).collect();
+    let losses: Vec<f64> = trials.iter().map(|t| t.incumbent.loss_rate).collect();
+    let qdelays: Vec<f64> = trials.iter().map(|t| t.incumbent.mean_qdelay_ms).collect();
+    PairOutcome {
+        contender: contender.name().to_string(),
+        incumbent: incumbent.name().to_string(),
+        setting: setting.name.clone(),
+        incumbent_mmf_median: median_or_nan(&inc_shares),
+        contender_mmf_median: median_or_nan(&con_shares),
+        incumbent_iqr_bps: if inc_tput.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            quartiles(&inc_tput)
+        },
+        utilization_median: median_or_nan(&utils),
+        incumbent_loss_median: median_or_nan(&losses),
+        incumbent_qdelay_median_ms: median_or_nan(&qdelays),
+        converged,
+        trials,
+    }
+}
+
+fn median_or_nan(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        median(xs)
+    }
+}
+
+/// A single (contender, incumbent) combination to test.
+#[derive(Debug, Clone)]
+pub struct PairSpec {
+    /// The contender.
+    pub contender: ServiceSpec,
+    /// The incumbent.
+    pub incumbent: ServiceSpec,
+    /// The setting.
+    pub setting: NetworkSetting,
+}
+
+/// Run many pairs, `parallelism` trials in flight at a time. Trials are
+/// generated round-robin across pairs (one trial of every pair per wave),
+/// matching the paper's interleaving; each wave's results feed the
+/// adaptive stopping rule.
+pub fn run_pairs_parallel(
+    pairs: &[PairSpec],
+    policy: TrialPolicy,
+    duration: DurationPolicy,
+    parallelism: usize,
+) -> Vec<PairOutcome> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    // Collected trials per pair.
+    let collected: Vec<Mutex<Vec<ExperimentResult>>> =
+        pairs.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let mut needed: Vec<usize> = vec![policy.min_trials; pairs.len()];
+    let mut done: Vec<bool> = vec![false; pairs.len()];
+    // Monotonic per-pair trial counter: discarded trials consume an index
+    // so their replacement draws a fresh seed.
+    let mut next_idx: Vec<usize> = vec![0; pairs.len()];
+
+    loop {
+        // Build this wave's work list round-robin across pairs (one trial
+        // of every lagging pair per round, as the paper interleaves).
+        let mut deficits: Vec<usize> = (0..pairs.len())
+            .map(|p| {
+                if done[p] {
+                    0
+                } else {
+                    needed[p].saturating_sub(collected[p].lock().expect("poisoned").len())
+                }
+            })
+            .collect();
+        let mut work: Vec<(usize, usize)> = Vec::new(); // (pair idx, trial idx)
+        while deficits.iter().any(|&d| d > 0) {
+            for p in 0..pairs.len() {
+                if deficits[p] > 0 {
+                    work.push((p, next_idx[p]));
+                    next_idx[p] += 1;
+                    deficits[p] -= 1;
+                }
+            }
+        }
+        if work.is_empty() {
+            break;
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let workers = parallelism.max(1).min(work.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let (p, trial) = work[i];
+                    let pair = &pairs[p];
+                    let seed = trial_seed(
+                        pair.contender.name(),
+                        pair.incumbent.name(),
+                        &pair.setting.name,
+                        trial,
+                    );
+                    let spec = duration.spec(
+                        pair.contender.clone(),
+                        pair.incumbent.clone(),
+                        pair.setting.clone(),
+                        seed,
+                    );
+                    let r = run_experiment(&spec);
+                    if !r.discarded {
+                        collected[p].lock().expect("poisoned").push(r);
+                    }
+                });
+            }
+        });
+
+        // Evaluate stopping rules and extend if needed.
+        for (p, pair) in pairs.iter().enumerate() {
+            if done[p] {
+                continue;
+            }
+            let trials = collected[p].lock().expect("poisoned");
+            if trials.len() < needed[p] {
+                continue; // discarded trials; next wave re-fills
+            }
+            let inc: Vec<f64> = trials.iter().map(|t| t.incumbent.throughput_bps).collect();
+            let con: Vec<f64> = trials.iter().map(|t| t.contender.throughput_bps).collect();
+            let tol = pair.setting.ci_tolerance_bps();
+            if median_ci_within(&inc, tol) && median_ci_within(&con, tol) {
+                done[p] = true;
+            } else if needed[p] >= policy.max_trials {
+                done[p] = true;
+            } else {
+                needed[p] = (needed[p] + policy.batch).min(policy.max_trials);
+            }
+        }
+        if done.iter().all(|d| *d) {
+            break;
+        }
+    }
+
+    pairs
+        .iter()
+        .zip(collected)
+        .map(|(pair, trials)| {
+            let trials = trials.into_inner().expect("poisoned");
+            let inc: Vec<f64> = trials.iter().map(|t| t.incumbent.throughput_bps).collect();
+            let con: Vec<f64> = trials.iter().map(|t| t.contender.throughput_bps).collect();
+            let tol = pair.setting.ci_tolerance_bps();
+            let converged = median_ci_within(&inc, tol) && median_ci_within(&con, tol);
+            summarize_pair(
+                &pair.contender,
+                &pair.incumbent,
+                &pair.setting,
+                trials,
+                converged,
+            )
+        })
+        .collect()
+}
+
+/// Wall-clock of a full iteration (informational, mirrors the paper's "a
+/// full run of one trial of every pair takes ~20 hours" discussion —
+/// in simulation it is the simulated time that matters).
+pub fn simulated_time_per_iteration(pairs: usize, duration: DurationPolicy) -> SimDuration {
+    let per = match duration {
+        DurationPolicy::Paper => SimDuration::from_secs(600),
+        DurationPolicy::Quick => SimDuration::from_secs(180),
+    };
+    per * pairs as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_apps::Service;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = trial_seed("Mega", "YouTube", "8", 0);
+        let b = trial_seed("Mega", "YouTube", "8", 0);
+        let c = trial_seed("Mega", "YouTube", "8", 1);
+        let d = trial_seed("YouTube", "Mega", "8", 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn run_pair_collects_trials() {
+        let out = run_pair(
+            &Service::IperfCubic.spec(),
+            &Service::IperfReno.spec(),
+            &NetworkSetting::highly_constrained(),
+            TrialPolicy {
+                min_trials: 3,
+                batch: 2,
+                max_trials: 5,
+            },
+            DurationPolicy::Quick,
+            0.0,
+        );
+        assert!(out.trials.len() >= 3);
+        assert!(out.incumbent_mmf_median > 0.0);
+        assert!(out.utilization_median > 0.8);
+    }
+
+    #[test]
+    fn parallel_matches_pair_counts() {
+        let pairs = vec![
+            PairSpec {
+                contender: Service::IperfCubic.spec(),
+                incumbent: Service::IperfReno.spec(),
+                setting: NetworkSetting::highly_constrained(),
+            },
+            PairSpec {
+                contender: Service::IperfReno.spec(),
+                incumbent: Service::IperfReno.spec(),
+                setting: NetworkSetting::highly_constrained(),
+            },
+        ];
+        let out = run_pairs_parallel(
+            &pairs,
+            TrialPolicy {
+                min_trials: 3,
+                batch: 2,
+                max_trials: 5,
+            },
+            DurationPolicy::Quick,
+            4,
+        );
+        assert_eq!(out.len(), 2);
+        for o in &out {
+            assert!(o.trials.len() >= 3, "{} trials", o.trials.len());
+        }
+    }
+
+    #[test]
+    fn parallel_deterministic_medians() {
+        let pairs = vec![PairSpec {
+            contender: Service::IperfCubic.spec(),
+            incumbent: Service::IperfReno.spec(),
+            setting: NetworkSetting::highly_constrained(),
+        }];
+        let p = TrialPolicy {
+            min_trials: 3,
+            batch: 2,
+            max_trials: 3,
+        };
+        let a = run_pairs_parallel(&pairs, p, DurationPolicy::Quick, 4);
+        let b = run_pairs_parallel(&pairs, p, DurationPolicy::Quick, 2);
+        assert_eq!(a[0].incumbent_mmf_median, b[0].incumbent_mmf_median);
+    }
+}

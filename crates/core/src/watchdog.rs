@@ -1,0 +1,245 @@
+//! The continuous watchdog loop.
+//!
+//! Prudentia "runs continuously", iterating over all service pairs in both
+//! settings (one full cycle of the real testbed takes ~2 weeks). The
+//! [`Watchdog`] drives the same loop over the simulator: each iteration
+//! runs every pair in every configured setting, appends to the result
+//! store, and reports services whose fairness profile *changed* since the
+//! previous iteration — the capability Observation 13 shows mattering
+//! (BBRv3 deployments and kernel upgrades change fairness outcomes).
+
+use crate::config::NetworkSetting;
+use crate::results::ResultStore;
+use crate::scheduler::{run_pairs_parallel, DurationPolicy, PairOutcome, PairSpec, TrialPolicy};
+use prudentia_apps::ServiceSpec;
+use serde::{Deserialize, Serialize};
+
+/// A detected change in a pair's fairness between iterations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FairnessChange {
+    /// Contender name.
+    pub contender: String,
+    /// Incumbent name.
+    pub incumbent: String,
+    /// Setting name.
+    pub setting: String,
+    /// Previous median incumbent MmF share.
+    pub before: f64,
+    /// Current median incumbent MmF share.
+    pub after: f64,
+}
+
+impl FairnessChange {
+    /// Relative change magnitude.
+    pub fn relative_change(&self) -> f64 {
+        if self.before == 0.0 {
+            return f64::INFINITY;
+        }
+        (self.after - self.before).abs() / self.before
+    }
+}
+
+/// Watchdog configuration.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Settings to cycle (paper: the 8 and 50 Mbps settings).
+    pub settings: Vec<NetworkSetting>,
+    /// Trial policy per pair.
+    pub policy: TrialPolicy,
+    /// Experiment length.
+    pub duration: DurationPolicy,
+    /// Worker threads.
+    pub parallelism: usize,
+    /// Relative MmF-share change that triggers a report (e.g. 0.2 = 20%).
+    pub change_threshold: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            settings: vec![
+                NetworkSetting::highly_constrained(),
+                NetworkSetting::moderately_constrained(),
+            ],
+            policy: TrialPolicy::default(),
+            duration: DurationPolicy::Paper,
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            change_threshold: 0.2,
+        }
+    }
+}
+
+/// The continuously-iterating fairness watchdog.
+pub struct Watchdog {
+    services: Vec<ServiceSpec>,
+    config: WatchdogConfig,
+    store: ResultStore,
+    last_iteration: Vec<PairOutcome>,
+    iterations_run: u64,
+}
+
+impl Watchdog {
+    /// Create a watchdog over a set of services. Services can be swapped
+    /// in and out between iterations (the testbed accepts submissions).
+    pub fn new(services: Vec<ServiceSpec>, config: WatchdogConfig) -> Self {
+        Watchdog {
+            services,
+            config,
+            store: ResultStore::new("prudentia watchdog"),
+            last_iteration: Vec::new(),
+            iterations_run: 0,
+        }
+    }
+
+    /// Add a service to the rotation (e.g. an externally submitted URL).
+    pub fn add_service(&mut self, spec: ServiceSpec) {
+        self.services.push(spec);
+    }
+
+    /// Remove a service by name; returns whether it was present.
+    pub fn remove_service(&mut self, name: &str) -> bool {
+        let before = self.services.len();
+        self.services.retain(|s| s.name() != name);
+        self.services.len() != before
+    }
+
+    /// Services currently in rotation.
+    pub fn services(&self) -> &[ServiceSpec] {
+        &self.services
+    }
+
+    /// Completed iterations.
+    pub fn iterations_run(&self) -> u64 {
+        self.iterations_run
+    }
+
+    /// The accumulated result store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// All (contender, incumbent, setting) combinations of one iteration.
+    fn pairs(&self) -> Vec<PairSpec> {
+        let mut out = Vec::new();
+        for setting in &self.config.settings {
+            for a in &self.services {
+                for b in &self.services {
+                    out.push(PairSpec {
+                        contender: a.clone(),
+                        incumbent: b.clone(),
+                        setting: setting.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Run one full iteration (all pairs, all settings); returns fairness
+    /// changes versus the previous iteration.
+    pub fn run_iteration(&mut self) -> Vec<FairnessChange> {
+        let pairs = self.pairs();
+        let outcomes = run_pairs_parallel(
+            &pairs,
+            self.config.policy,
+            self.config.duration,
+            self.config.parallelism,
+        );
+        let changes = self.diff(&outcomes);
+        self.store.extend(outcomes.iter().cloned());
+        self.last_iteration = outcomes;
+        self.iterations_run += 1;
+        changes
+    }
+
+    fn diff(&self, current: &[PairOutcome]) -> Vec<FairnessChange> {
+        let mut changes = Vec::new();
+        for now in current {
+            if let Some(prev) = self.last_iteration.iter().find(|p| {
+                p.contender == now.contender
+                    && p.incumbent == now.incumbent
+                    && p.setting == now.setting
+            }) {
+                let change = FairnessChange {
+                    contender: now.contender.clone(),
+                    incumbent: now.incumbent.clone(),
+                    setting: now.setting.clone(),
+                    before: prev.incumbent_mmf_median,
+                    after: now.incumbent_mmf_median,
+                };
+                if change.relative_change() > self.config.change_threshold {
+                    changes.push(change);
+                }
+            }
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_apps::Service;
+
+    fn tiny_config() -> WatchdogConfig {
+        WatchdogConfig {
+            settings: vec![NetworkSetting::highly_constrained()],
+            policy: TrialPolicy {
+                min_trials: 2,
+                batch: 1,
+                max_trials: 2,
+            },
+            duration: DurationPolicy::Quick,
+            parallelism: 4,
+            change_threshold: 0.2,
+        }
+    }
+
+    #[test]
+    fn iteration_covers_all_pairs() {
+        let mut wd = Watchdog::new(
+            vec![Service::IperfReno.spec(), Service::IperfCubic.spec()],
+            tiny_config(),
+        );
+        let changes = wd.run_iteration();
+        assert!(changes.is_empty(), "first iteration has no baseline");
+        assert_eq!(wd.store().outcomes.len(), 4); // 2x2 pairs x 1 setting
+        assert_eq!(wd.iterations_run(), 1);
+    }
+
+    #[test]
+    fn service_rotation() {
+        let mut wd = Watchdog::new(vec![Service::IperfReno.spec()], tiny_config());
+        wd.add_service(Service::IperfCubic.spec());
+        assert_eq!(wd.services().len(), 2);
+        assert!(wd.remove_service("iPerf (Reno)"));
+        assert!(!wd.remove_service("nonexistent"));
+        assert_eq!(wd.services().len(), 1);
+    }
+
+    #[test]
+    fn unchanged_services_produce_no_changes() {
+        let mut wd = Watchdog::new(
+            vec![Service::IperfReno.spec()],
+            tiny_config(),
+        );
+        wd.run_iteration();
+        let changes = wd.run_iteration();
+        // Deterministic seeds => identical outcomes => no changes.
+        assert!(changes.is_empty(), "{changes:?}");
+    }
+
+    #[test]
+    fn change_detection_relative_math() {
+        let c = FairnessChange {
+            contender: "a".into(),
+            incumbent: "b".into(),
+            setting: "s".into(),
+            before: 1.0,
+            after: 0.5,
+        };
+        assert!((c.relative_change() - 0.5).abs() < 1e-12);
+    }
+}

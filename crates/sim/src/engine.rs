@@ -1,0 +1,584 @@
+//! The discrete-event simulation engine.
+//!
+//! An [`Engine`] owns a set of [`Endpoint`]s (transport senders/receivers),
+//! a single bottleneck link with a drop-tail queue (the dumbbell of Fig 1),
+//! per-flow path delays, and a [`Trace`]. Endpoints interact with the world
+//! only through [`Ctx`], which keeps the design single-threaded and
+//! deterministic.
+
+use crate::event::{Event, EventQueue};
+use crate::link::{BottleneckConfig, PathSpec};
+use crate::packet::{EndpointId, FlowId, Packet, PacketKind, ServiceId};
+use crate::pcap::PcapWriter;
+use crate::queue::{DropTailQueue, EnqueueResult, ServiceQueueStats};
+use crate::time::{serialization_time, SimDuration, SimTime};
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// An actor attached to the engine: a transport sender, receiver, or an
+/// application driver. All callbacks receive a [`Ctx`] for interacting with
+/// the network.
+pub trait Endpoint {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// A packet addressed to this endpoint was delivered.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+    /// A timer set by this endpoint fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+}
+
+/// State shared by all endpoints: the bottleneck, paths, loss model, RNG.
+struct Network {
+    config: BottleneckConfig,
+    queue: DropTailQueue,
+    /// Packet currently being serialized, with the queueing delay it saw.
+    in_flight: Option<(Packet, SimDuration)>,
+    paths: HashMap<FlowId, PathSpec>,
+    /// Probability of a packet being lost upstream of the testbed
+    /// ("background noise" external to the bottleneck, §3.1).
+    external_loss_prob: f64,
+    external_losses: u64,
+    external_candidates: u64,
+    /// The two services of the pair, for per-service queue samples.
+    svc_pair: (ServiceId, ServiceId),
+    rng: StdRng,
+}
+
+/// The endpoint-facing API: clock, packet injection, timers, randomness.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: EndpointId,
+    events: &'a mut EventQueue,
+    net: &'a mut Network,
+    trace: &'a mut Trace,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the endpoint being dispatched.
+    pub fn self_id(&self) -> EndpointId {
+        self.self_id
+    }
+
+    /// Seeded randomness for stochastic application behaviour.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.net.rng
+    }
+
+    /// Read-only access to the trace (e.g. for apps sampling their own rate).
+    pub fn trace(&self) -> &Trace {
+        self.trace
+    }
+
+    /// Base (unloaded) RTT of `flow`'s path.
+    pub fn base_rtt(&self, flow: FlowId) -> SimDuration {
+        self.net
+            .paths
+            .get(&flow)
+            .map(|p| p.base_rtt())
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Send a data packet towards the bottleneck queue. The packet may be
+    /// lost upstream (external loss) before reaching the queue.
+    pub fn send_data(&mut self, mut pkt: Packet) {
+        debug_assert_eq!(pkt.kind, PacketKind::Data);
+        pkt.sent_at = self.now;
+        let path = *self
+            .net
+            .paths
+            .get(&pkt.flow)
+            .expect("send_data: unknown flow — register_flow first");
+        self.net.external_candidates += 1;
+        if self.net.external_loss_prob > 0.0
+            && self.net.rng.gen::<f64>() < self.net.external_loss_prob
+        {
+            self.net.external_losses += 1;
+            return;
+        }
+        self.events
+            .schedule(self.now + path.to_bottleneck, Event::ArriveAtBottleneck(pkt));
+    }
+
+    /// Send a packet over the uncongested reverse path (ACKs).
+    pub fn send_reverse(&mut self, mut pkt: Packet) {
+        pkt.sent_at = self.now;
+        let path = *self
+            .net
+            .paths
+            .get(&pkt.flow)
+            .expect("send_reverse: unknown flow");
+        self.events
+            .schedule(self.now + path.ack_return, Event::Deliver(pkt));
+    }
+
+    /// Deliver a packet to another endpoint after an arbitrary delay,
+    /// bypassing the bottleneck entirely (control-plane style messaging).
+    pub fn send_direct(&mut self, mut pkt: Packet, delay: SimDuration) {
+        pkt.sent_at = self.now;
+        self.events.schedule(self.now + delay, Event::Deliver(pkt));
+    }
+
+    /// Arrange for `on_timer(token)` to fire after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.events.schedule(
+            self.now + delay,
+            Event::Timer {
+                endpoint: self.self_id,
+                token,
+            },
+        );
+    }
+
+    /// Arrange for `on_timer(token)` of a *different* endpoint to fire
+    /// (used by application controllers to poke their flows).
+    pub fn set_timer_for(&mut self, endpoint: EndpointId, delay: SimDuration, token: u64) {
+        self.events
+            .schedule(self.now + delay, Event::Timer { endpoint, token });
+    }
+
+    /// Record an application-level delivery into the trace.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        self.trace
+    }
+}
+
+/// The simulation engine.
+pub struct Engine {
+    now: SimTime,
+    events: EventQueue,
+    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    net: Network,
+    trace: Trace,
+    pcap: Option<PcapWriter>,
+    next_flow: u32,
+    started: bool,
+    events_processed: u64,
+}
+
+impl Engine {
+    /// Create an engine for the given bottleneck, seeding all randomness
+    /// from `seed`.
+    pub fn new(config: BottleneckConfig, seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            endpoints: Vec::new(),
+            net: Network {
+                queue: DropTailQueue::new(config.queue_capacity_pkts),
+                config,
+                in_flight: None,
+                paths: HashMap::new(),
+                external_loss_prob: 0.0,
+                external_losses: 0,
+                external_candidates: 0,
+                svc_pair: (ServiceId(0), ServiceId(1)),
+                rng: StdRng::seed_from_u64(seed),
+            },
+            trace: Trace::new(),
+            pcap: None,
+            next_flow: 0,
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Capture packets leaving the bottleneck (the client-side view) as a
+    /// libpcap file, like the PCAPs Prudentia publishes per experiment (§7).
+    pub fn enable_pcap(&mut self) {
+        self.pcap = Some(PcapWriter::new());
+    }
+
+    /// The capture, if [`Engine::enable_pcap`] was called.
+    pub fn pcap(&self) -> Option<&PcapWriter> {
+        self.pcap.as_ref()
+    }
+
+    /// Set the probability that a data packet is lost upstream of the
+    /// bottleneck (default 0; Prudentia discards experiments where this
+    /// exceeds 0.05%).
+    pub fn set_external_loss(&mut self, prob: f64) {
+        assert!((0.0..=1.0).contains(&prob));
+        self.net.external_loss_prob = prob;
+    }
+
+    /// Declare which two services the queue samples should break out.
+    pub fn set_service_pair(&mut self, a: ServiceId, b: ServiceId) {
+        self.net.svc_pair = (a, b);
+    }
+
+    /// The id the next `add_endpoint` call will assign. Builders use this
+    /// to wire mutually-referencing endpoint pairs (sender ⇄ receiver).
+    pub fn next_endpoint_id(&self) -> EndpointId {
+        EndpointId(self.endpoints.len() as u32)
+    }
+
+    /// Register an endpoint; returns its id.
+    pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint>) -> EndpointId {
+        let id = EndpointId(self.endpoints.len() as u32);
+        self.endpoints.push(Some(ep));
+        id
+    }
+
+    /// Register a flow with its path delays; returns its id.
+    pub fn register_flow(&mut self, path: PathSpec) -> FlowId {
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.net.paths.insert(id, path);
+        id
+    }
+
+    /// Register a flow with sub-millisecond path jitter drawn from the
+    /// engine's seeded RNG. Real paths never have microsecond-identical
+    /// delays; the jitter de-synchronizes flow phases so different trial
+    /// seeds produce genuinely different trajectories (without it, a
+    /// loss-free simulation never consults the RNG and every trial of a
+    /// pair would be bit-identical).
+    pub fn register_flow_jittered(&mut self, path: PathSpec) -> FlowId {
+        let jitter = |rng: &mut StdRng| SimDuration::from_micros(rng.gen_range(0..500));
+        let path = PathSpec {
+            to_bottleneck: path.to_bottleneck + jitter(&mut self.net.rng),
+            from_bottleneck: path.from_bottleneck + jitter(&mut self.net.rng),
+            ack_return: path.ack_return + jitter(&mut self.net.rng),
+        };
+        self.register_flow(path)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The collected trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Per-service bottleneck arrival/drop counters.
+    pub fn queue_stats(&self, service: ServiceId) -> ServiceQueueStats {
+        self.net.queue.service_stats(service)
+    }
+
+    /// Total external (upstream) losses injected so far and the number of
+    /// packets that were subject to the loss draw.
+    pub fn external_loss_stats(&self) -> (u64, u64) {
+        (self.net.external_losses, self.net.external_candidates)
+    }
+
+    /// Fraction of data packets lost externally to the testbed.
+    pub fn external_loss_rate(&self) -> f64 {
+        if self.net.external_candidates == 0 {
+            0.0
+        } else {
+            self.net.external_losses as f64 / self.net.external_candidates as f64
+        }
+    }
+
+    /// Total events processed (for benchmark instrumentation).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn start_endpoints(&mut self) {
+        for idx in 0..self.endpoints.len() {
+            let mut ep = self.endpoints[idx].take().expect("endpoint re-entry");
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: EndpointId(idx as u32),
+                events: &mut self.events,
+                net: &mut self.net,
+                trace: &mut self.trace,
+            };
+            ep.on_start(&mut ctx);
+            self.endpoints[idx] = Some(ep);
+        }
+    }
+
+    fn maybe_start_tx(&mut self) {
+        if self.net.in_flight.is_some() {
+            return;
+        }
+        if let Some(pkt) = self.net.queue.dequeue() {
+            let qdelay = self.now.saturating_since(pkt.enqueued_at);
+            let ser = serialization_time(pkt.size, self.net.config.rate_bps);
+            self.net.in_flight = Some((pkt, qdelay));
+            self.events.schedule(self.now + ser, Event::BottleneckTxDone);
+        }
+    }
+
+    fn sample_queue(&mut self) {
+        let (a, b) = self.net.svc_pair;
+        let total = self.net.queue.len();
+        let qa = self.net.queue.occupancy_of(a);
+        let qb = self.net.queue.occupancy_of(b);
+        self.trace.sample_queue(self.now, total, qa, qb);
+    }
+
+    fn dispatch_to_endpoint(&mut self, id: EndpointId, action: DispatchAction) {
+        let idx = id.0 as usize;
+        let mut ep = match self.endpoints.get_mut(idx).and_then(Option::take) {
+            Some(ep) => ep,
+            None => return, // endpoint removed or re-entrant dispatch; drop silently
+        };
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                events: &mut self.events,
+                net: &mut self.net,
+                trace: &mut self.trace,
+            };
+            match action {
+                DispatchAction::Packet(pkt) => ep.on_packet(pkt, &mut ctx),
+                DispatchAction::Timer(token) => ep.on_timer(token, &mut ctx),
+            }
+        }
+        self.endpoints[idx] = Some(ep);
+    }
+
+    /// Run the simulation until `until`, or until no events remain.
+    pub fn run_until(&mut self, until: SimTime) {
+        if !self.started {
+            self.started = true;
+            self.start_endpoints();
+        }
+        while let Some(at) = self.events.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, event) = self.events.pop().expect("peeked event vanished");
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.events_processed += 1;
+            match event {
+                Event::ArriveAtBottleneck(mut pkt) => {
+                    pkt.enqueued_at = self.now;
+                    let res = self.net.queue.enqueue(pkt);
+                    if res == EnqueueResult::Queued {
+                        self.maybe_start_tx();
+                    }
+                    self.sample_queue();
+                }
+                Event::BottleneckTxDone => {
+                    let (pkt, qdelay) = self
+                        .net
+                        .in_flight
+                        .take()
+                        .expect("TxDone with no packet in flight");
+                    self.trace
+                        .on_delivered(self.now, pkt.service, pkt.size as u64, qdelay);
+                    if let Some(pcap) = self.pcap.as_mut() {
+                        pcap.record(self.now, &pkt);
+                    }
+                    let path = *self.net.paths.get(&pkt.flow).expect("unknown flow at egress");
+                    self.events
+                        .schedule(self.now + path.from_bottleneck, Event::Deliver(pkt));
+                    self.maybe_start_tx();
+                    self.sample_queue();
+                }
+                Event::Deliver(pkt) => {
+                    let dst = pkt.dst;
+                    self.dispatch_to_endpoint(dst, DispatchAction::Packet(pkt));
+                }
+                Event::Timer { endpoint, token } => {
+                    self.dispatch_to_endpoint(endpoint, DispatchAction::Timer(token));
+                }
+            }
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+}
+
+enum DispatchAction {
+    Packet(Packet),
+    Timer(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Sends `n` back-to-back MTU packets at start; records ACK times.
+    struct BlastSender {
+        flow: FlowId,
+        service: ServiceId,
+        dst: EndpointId,
+        n: u64,
+        acks: Rc<RefCell<Vec<(SimTime, u64)>>>,
+    }
+
+    impl Endpoint for BlastSender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for seq in 0..self.n {
+                let pkt = Packet::data(self.flow, self.service, self.dst, seq, 1500);
+                ctx.send_data(pkt);
+            }
+        }
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            assert_eq!(pkt.kind, PacketKind::Ack);
+            self.acks.borrow_mut().push((ctx.now(), pkt.seq));
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    }
+
+    /// ACKs every data packet straight back to the sender.
+    struct Reflector {
+        sender: EndpointId,
+    }
+
+    impl Endpoint for Reflector {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            let ack = Packet::ack(pkt.flow, pkt.service, self.sender, pkt.seq);
+            ctx.send_reverse(ack);
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    }
+
+    fn build(n: u64, rate_bps: f64, cap: usize) -> (Engine, Rc<RefCell<Vec<(SimTime, u64)>>>, FlowId) {
+        let mut eng = Engine::new(
+            BottleneckConfig {
+                rate_bps,
+                queue_capacity_pkts: cap,
+            },
+            42,
+        );
+        let flow = eng.register_flow(PathSpec::symmetric(SimDuration::from_millis(50)));
+        let acks = Rc::new(RefCell::new(Vec::new()));
+        // Ids are assigned in insertion order; sender is 0, receiver 1.
+        let sender = Box::new(BlastSender {
+            flow,
+            service: ServiceId(0),
+            dst: EndpointId(1),
+            n,
+            acks: Rc::clone(&acks),
+        });
+        let sender_id = eng.add_endpoint(sender);
+        let recv = Box::new(Reflector { sender: sender_id });
+        let recv_id = eng.add_endpoint(recv);
+        assert_eq!(sender_id, EndpointId(0));
+        assert_eq!(recv_id, EndpointId(1));
+        (eng, acks, flow)
+    }
+
+    #[test]
+    fn single_packet_rtt_is_base_rtt_plus_serialization() {
+        let (mut eng, acks, _) = build(1, 8_000_000.0, 64);
+        eng.run_until(SimTime::from_secs(2));
+        let acks = acks.borrow();
+        assert_eq!(acks.len(), 1);
+        // base RTT 50ms + serialization 1.5ms at 8 Mbps.
+        let expect = SimTime::from_micros(50_000 + 1_500);
+        assert_eq!(acks[0].0, expect);
+    }
+
+    #[test]
+    fn back_to_back_packets_pace_out_at_link_rate() {
+        let (mut eng, acks, _) = build(10, 8_000_000.0, 64);
+        eng.run_until(SimTime::from_secs(2));
+        let acks = acks.borrow();
+        assert_eq!(acks.len(), 10);
+        // Consecutive ACKs separated by exactly one serialization time.
+        for w in acks.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, SimDuration::from_micros(1500));
+        }
+    }
+
+    #[test]
+    fn queue_overflow_drops_excess() {
+        // Capacity 4 but 10 packets blasted at once: 1 in service + 4 queued,
+        // 5 dropped.
+        let (mut eng, acks, _) = build(10, 8_000_000.0, 4);
+        eng.run_until(SimTime::from_secs(2));
+        assert_eq!(acks.borrow().len(), 5);
+        assert_eq!(eng.queue_stats(ServiceId(0)).dropped_pkts, 5);
+    }
+
+    #[test]
+    fn throughput_trace_counts_delivered_bytes() {
+        let (mut eng, _acks, _) = build(10, 8_000_000.0, 64);
+        eng.run_until(SimTime::from_secs(2));
+        let tput = eng.trace().throughput(ServiceId(0)).unwrap();
+        let total: u64 = tput.bins().iter().sum();
+        assert_eq!(total, 10 * 1500);
+    }
+
+    #[test]
+    fn external_loss_drops_fraction() {
+        let mut eng = Engine::new(
+            BottleneckConfig {
+                rate_bps: 100e6,
+                queue_capacity_pkts: 100_000,
+            },
+            7,
+        );
+        eng.set_external_loss(0.5);
+        let flow = eng.register_flow(PathSpec::symmetric(SimDuration::from_millis(10)));
+        let acks = Rc::new(RefCell::new(Vec::new()));
+        let sender_id = eng.add_endpoint(Box::new(BlastSender {
+            flow,
+            service: ServiceId(0),
+            dst: EndpointId(1),
+            n: 1000,
+            acks: Rc::clone(&acks),
+        }));
+        eng.add_endpoint(Box::new(Reflector { sender: sender_id }));
+        eng.run_until(SimTime::from_secs(5));
+        let (lost, total) = eng.external_loss_stats();
+        assert_eq!(total, 1000);
+        // With p = 0.5 over 1000 draws, falling outside 400..600 is ~1e-9.
+        assert!((400..600).contains(&(lost as i64)), "lost={lost}");
+        assert!((eng.external_loss_rate() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let mut eng = Engine::new(
+                BottleneckConfig {
+                    rate_bps: 10e6,
+                    queue_capacity_pkts: 8,
+                },
+                seed,
+            );
+            eng.set_external_loss(0.1);
+            let flow = eng.register_flow(PathSpec::symmetric(SimDuration::from_millis(20)));
+            let acks = Rc::new(RefCell::new(Vec::new()));
+            let sid = eng.add_endpoint(Box::new(BlastSender {
+                flow,
+                service: ServiceId(0),
+                dst: EndpointId(1),
+                n: 100,
+                acks: Rc::clone(&acks),
+            }));
+            eng.add_endpoint(Box::new(Reflector { sender: sid }));
+            eng.run_until(SimTime::from_secs(5));
+            let out = acks.borrow().clone();
+            out
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn clock_advances_to_run_until_bound() {
+        let mut eng = Engine::new(
+            BottleneckConfig {
+                rate_bps: 1e6,
+                queue_capacity_pkts: 4,
+            },
+            0,
+        );
+        eng.run_until(SimTime::from_secs(3));
+        assert_eq!(eng.now(), SimTime::from_secs(3));
+    }
+}

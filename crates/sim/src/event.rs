@@ -1,0 +1,164 @@
+//! The event calendar: a time-ordered queue with deterministic tie-breaking.
+
+use crate::packet::{EndpointId, Packet};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events the engine dispatches.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet arrives at the bottleneck queue ingress.
+    ArriveAtBottleneck(Packet),
+    /// The bottleneck finished serializing its head packet; deliver it
+    /// downstream (after propagation) and start the next transmission.
+    BottleneckTxDone,
+    /// A packet is delivered to its destination endpoint.
+    Deliver(Packet),
+    /// A timer registered by an endpoint fired.
+    Timer {
+        /// The endpoint whose timer fired.
+        endpoint: EndpointId,
+        /// The token the endpoint registered.
+        token: u64,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    // BinaryHeap is a max-heap; invert so the earliest event pops first.
+    // Ties break on insertion order (seq) so runs are deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue with FIFO tie-breaking at equal timestamps.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, ServiceId};
+
+    fn timer(ep: u32, token: u64) -> Event {
+        Event::Timer {
+            endpoint: EndpointId(ep),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), timer(0, 3));
+        q.schedule(SimTime::from_millis(10), timer(0, 1));
+        q.schedule(SimTime::from_millis(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for token in 0..100 {
+            q.schedule(t, timer(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(1), timer(0, 0));
+        q.schedule(SimTime::from_millis(1), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(
+            SimTime::ZERO,
+            Event::Deliver(Packet::data(FlowId(0), ServiceId(0), EndpointId(0), 0, 100)),
+        );
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

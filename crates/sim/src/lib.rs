@@ -1,0 +1,39 @@
+//! # prudentia-sim
+//!
+//! A deterministic, packet-level, discrete-event network simulator that
+//! stands in for the Prudentia testbed's BESS software switch and dumbbell
+//! topology ("Prudentia: Findings of an Internet Fairness Watchdog",
+//! SIGCOMM 2024, §3.1).
+//!
+//! The simulated world is a single bottleneck link with a drop-tail FIFO
+//! queue sized in packets (rounded to a power of two, replicating a BESS
+//! quirk), per-flow path delays that normalize base RTT to a configured
+//! value, and an uncongested reverse path for acknowledgements. Everything
+//! is driven by an integer-nanosecond event calendar with deterministic
+//! tie-breaking, so an experiment seed fully determines its outcome.
+//!
+//! Higher layers build on this crate:
+//! * `prudentia-cc` — congestion control algorithms,
+//! * `prudentia-transport` — reliable flows,
+//! * `prudentia-apps` — service models (video, file transfer, RTC, web),
+//! * `prudentia-core` — the watchdog itself.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod link;
+pub mod packet;
+pub mod pcap;
+mod proptests;
+pub mod queue;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Endpoint, Engine};
+pub use link::{BottleneckConfig, PathSpec};
+pub use packet::{EndpointId, FlowId, Packet, PacketKind, ServiceId, ACK_BYTES, MTU_BYTES};
+pub use pcap::PcapWriter;
+pub use queue::{bdp_packets, pow2_round, DropTailQueue, EnqueueResult, ServiceQueueStats};
+pub use time::{serialization_time, SimDuration, SimTime};
+pub use trace::{QueueSample, ThroughputSeries, Trace};

@@ -1,0 +1,87 @@
+//! Bottleneck link and path configuration.
+
+use crate::queue::{bdp_packets, pow2_round};
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the emulated bottleneck (BESS in the paper).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BottleneckConfig {
+    /// Link rate in bits per second.
+    pub rate_bps: f64,
+    /// Drop-tail queue capacity in packets.
+    pub queue_capacity_pkts: usize,
+}
+
+impl BottleneckConfig {
+    /// A bottleneck with the paper's queue sizing rule: the power of two
+    /// nearest to `bdp_multiple` × BDP packets (§3.1).
+    pub fn with_bdp_queue(rate_bps: f64, base_rtt: SimDuration, bdp_multiple: u64, mtu: u32) -> Self {
+        let bdp = bdp_packets(rate_bps, base_rtt.as_secs_f64(), mtu);
+        BottleneckConfig {
+            rate_bps,
+            queue_capacity_pkts: pow2_round(bdp_multiple * bdp) as usize,
+        }
+    }
+}
+
+/// Per-flow one-way delays, excluding bottleneck serialization and queueing.
+///
+/// Prudentia normalizes every service's base RTT to 50 ms by adding delay
+/// at the switch (§3.1). The base RTT here is
+/// `to_bottleneck + from_bottleneck + ack_return`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PathSpec {
+    /// Sender → bottleneck ingress propagation delay.
+    pub to_bottleneck: SimDuration,
+    /// Bottleneck egress → receiver propagation delay.
+    pub from_bottleneck: SimDuration,
+    /// Receiver → sender delay for ACKs (reverse path is uncongested).
+    pub ack_return: SimDuration,
+}
+
+impl PathSpec {
+    /// A path whose base RTT equals `rtt`, split evenly between the
+    /// forward and reverse directions.
+    pub fn symmetric(rtt: SimDuration) -> Self {
+        let half = rtt / 2;
+        PathSpec {
+            to_bottleneck: SimDuration::ZERO,
+            from_bottleneck: half,
+            ack_return: rtt - half,
+        }
+    }
+
+    /// Base round-trip time of this path (no queueing, no serialization).
+    pub fn base_rtt(&self) -> SimDuration {
+        self.to_bottleneck + self.from_bottleneck + self.ack_return
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bdp_queue_matches_paper() {
+        let b = BottleneckConfig::with_bdp_queue(50e6, SimDuration::from_millis(50), 4, 1500);
+        assert_eq!(b.queue_capacity_pkts, 1024);
+        let b8 = BottleneckConfig::with_bdp_queue(50e6, SimDuration::from_millis(50), 8, 1500);
+        assert_eq!(b8.queue_capacity_pkts, 2048);
+        let hc = BottleneckConfig::with_bdp_queue(8e6, SimDuration::from_millis(50), 4, 1500);
+        assert_eq!(hc.queue_capacity_pkts, 128);
+    }
+
+    #[test]
+    fn symmetric_path_rtt() {
+        let p = PathSpec::symmetric(SimDuration::from_millis(50));
+        assert_eq!(p.base_rtt(), SimDuration::from_millis(50));
+        assert_eq!(p.to_bottleneck, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn odd_rtt_split_still_sums() {
+        let p = PathSpec::symmetric(SimDuration::from_nanos(7));
+        assert_eq!(p.base_rtt(), SimDuration::from_nanos(7));
+    }
+}

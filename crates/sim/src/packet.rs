@@ -1,0 +1,168 @@
+//! Packet and identifier types shared across the simulator.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one unidirectional flow within an experiment.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FlowId(pub u32);
+
+/// Identifies an endpoint (a sender or receiver actor) registered with the engine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EndpointId(pub u32);
+
+/// Identifies a service instance (a pair of competing services has two).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ServiceId(pub u32);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc{}", self.0)
+    }
+}
+
+/// What kind of traffic a packet carries. Data packets traverse the
+/// bottleneck queue; control packets (ACKs) return over the uncongested
+/// reverse path, matching Prudentia's download-oriented dumbbell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Payload-bearing data segment.
+    Data,
+    /// Acknowledgement for one or more data segments.
+    Ack,
+}
+
+/// A simulated packet.
+///
+/// Payload content is never materialized — only byte counts matter to the
+/// fairness measurements, so packets carry accounting metadata instead of
+/// a buffer.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Service the flow belongs to (for per-service accounting at the queue).
+    pub service: ServiceId,
+    /// Endpoint that should receive this packet.
+    pub dst: EndpointId,
+    /// Transmission number (data: unique per transmission, QUIC-style; a
+    /// retransmission gets a fresh one) or the acked transmission (ACK).
+    pub seq: u64,
+    /// Application data sequence: identifies the payload itself, so the
+    /// receiver can deduplicate spurious retransmissions. Equal to `seq`
+    /// for packets that are never retransmitted.
+    pub data_seq: u64,
+    /// Total on-wire size in bytes, headers included.
+    pub size: u32,
+    /// When the sender transmitted this packet.
+    pub sent_at: SimTime,
+    /// When this packet entered the bottleneck queue (set by the link).
+    pub enqueued_at: SimTime,
+    /// Data or ACK.
+    pub kind: PacketKind,
+    /// Cumulative bytes delivered at the sender when this packet was sent
+    /// (used by the receiver to echo delivery-rate samples back in ACKs).
+    pub delivered_at_send: u64,
+    /// Time at which `delivered_at_send` was recorded.
+    pub delivered_time_at_send: SimTime,
+    /// Whether the sender was application-limited when this packet was sent.
+    pub app_limited: bool,
+    /// Opaque application tag (e.g. video chunk id, RTC frame id).
+    pub app_tag: u64,
+    /// True when this is a retransmission of previously sent data.
+    pub is_retransmit: bool,
+}
+
+/// Default MTU-sized data packet on the wire, including headers.
+pub const MTU_BYTES: u32 = 1500;
+/// Size of a pure acknowledgement packet.
+pub const ACK_BYTES: u32 = 64;
+
+impl Packet {
+    /// Construct a data packet with accounting fields zeroed; transport
+    /// fills in delivery-rate bookkeeping before handing it to the network.
+    pub fn data(flow: FlowId, service: ServiceId, dst: EndpointId, seq: u64, size: u32) -> Self {
+        Packet {
+            flow,
+            service,
+            dst,
+            seq,
+            data_seq: seq,
+            size,
+            sent_at: SimTime::ZERO,
+            enqueued_at: SimTime::ZERO,
+            kind: PacketKind::Data,
+            delivered_at_send: 0,
+            delivered_time_at_send: SimTime::ZERO,
+            app_limited: false,
+            app_tag: 0,
+            is_retransmit: false,
+        }
+    }
+
+    /// Construct an ACK packet for `seq`.
+    pub fn ack(flow: FlowId, service: ServiceId, dst: EndpointId, seq: u64) -> Self {
+        Packet {
+            flow,
+            service,
+            dst,
+            seq,
+            data_seq: seq,
+            size: ACK_BYTES,
+            sent_at: SimTime::ZERO,
+            enqueued_at: SimTime::ZERO,
+            kind: PacketKind::Ack,
+            delivered_at_send: 0,
+            delivered_time_at_send: SimTime::ZERO,
+            app_limited: false,
+            app_tag: 0,
+            is_retransmit: false,
+        }
+    }
+
+    /// Whether this packet carries payload.
+    pub fn is_data(&self) -> bool {
+        self.kind == PacketKind::Data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_packet_defaults() {
+        let p = Packet::data(FlowId(1), ServiceId(2), EndpointId(3), 42, MTU_BYTES);
+        assert!(p.is_data());
+        assert_eq!(p.seq, 42);
+        assert_eq!(p.size, 1500);
+        assert!(!p.is_retransmit);
+    }
+
+    #[test]
+    fn ack_packet_is_small() {
+        let p = Packet::ack(FlowId(1), ServiceId(2), EndpointId(3), 7);
+        assert!(!p.is_data());
+        assert_eq!(p.size, ACK_BYTES);
+        assert!(p.size < MTU_BYTES);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(FlowId(3).to_string(), "flow3");
+        assert_eq!(ServiceId(1).to_string(), "svc1");
+    }
+}

@@ -1,0 +1,231 @@
+//! libpcap export of simulated traffic.
+//!
+//! Prudentia "makes potentially useful data like bottleneck queue logs and
+//! client PCAPs for every experiment publicly accessible" (§7). This
+//! module captures packets at the bottleneck egress — the client-side view
+//! — as a standard little-endian libpcap file readable by
+//! tcpdump/Wireshark. Packets get synthetic Ethernet/IPv4/TCP headers
+//! (one subnet per service, one port pair per flow) and are truncated to
+//! headers only, like a privacy-preserving `-s 64` capture.
+
+use crate::packet::{Packet, PacketKind};
+use crate::time::SimTime;
+
+/// libpcap magic for little-endian, microsecond timestamps.
+const PCAP_MAGIC: u32 = 0xA1B2_C3D4;
+/// Linktype 1 = Ethernet.
+const LINKTYPE_ETHERNET: u32 = 1;
+/// Bytes captured per packet: eth(14) + ipv4(20) + tcp(20).
+const SNAPLEN: u32 = 54;
+
+/// Accumulates a libpcap capture in memory.
+#[derive(Debug, Default)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    packets: u64,
+}
+
+impl PcapWriter {
+    /// Start a capture (writes the global header).
+    pub fn new() -> Self {
+        let mut w = PcapWriter {
+            buf: Vec::with_capacity(4096),
+            packets: 0,
+        };
+        w.le32(PCAP_MAGIC);
+        w.le16(2); // version major
+        w.le16(4); // version minor
+        w.le32(0); // thiszone
+        w.le32(0); // sigfigs
+        w.le32(SNAPLEN);
+        w.le32(LINKTYPE_ETHERNET);
+        w
+    }
+
+    fn le16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn le32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Record `pkt` as seen at time `at`.
+    pub fn record(&mut self, at: SimTime, pkt: &Packet) {
+        self.packets += 1;
+        let ns = at.as_nanos();
+        self.le32((ns / 1_000_000_000) as u32); // ts_sec
+        self.le32(((ns % 1_000_000_000) / 1_000) as u32); // ts_usec
+        self.le32(SNAPLEN.min(14 + 40)); // incl_len (we store headers only)
+        self.le32(pkt.size.max(54)); // orig_len (on-wire size)
+
+        // Ethernet: dst/src MACs encode the service id, ethertype IPv4.
+        let svc = pkt.service.0;
+        let mac_dst = [0x02, 0x00, 0x00, 0x00, 0x01, (svc & 0xFF) as u8];
+        let mac_src = [0x02, 0x00, 0x00, 0x00, 0x02, (svc & 0xFF) as u8];
+        self.buf.extend_from_slice(&mac_dst);
+        self.buf.extend_from_slice(&mac_src);
+        self.buf.extend_from_slice(&[0x08, 0x00]); // ethertype IPv4 (big-endian)
+
+        // IPv4 header (20 bytes, big-endian fields).
+        let total_len = (pkt.size.max(54) - 14).min(65535) as u16;
+        // 10.<svc>.0.1 -> 10.<svc>.0.2 for data, reversed for ACKs.
+        let (src_ip, dst_ip) = if pkt.kind == PacketKind::Data {
+            ([10, svc as u8, 0, 1], [10, svc as u8, 0, 2])
+        } else {
+            ([10, svc as u8, 0, 2], [10, svc as u8, 0, 1])
+        };
+        let mut ip = [0u8; 20];
+        ip[0] = 0x45; // v4, IHL 5
+        ip[2..4].copy_from_slice(&total_len.to_be_bytes());
+        ip[8] = 64; // TTL
+        ip[9] = 6; // TCP
+        ip[12..16].copy_from_slice(&src_ip);
+        ip[16..20].copy_from_slice(&dst_ip);
+        let csum = ipv4_checksum(&ip);
+        ip[10..12].copy_from_slice(&csum.to_be_bytes());
+        self.buf.extend_from_slice(&ip);
+
+        // TCP header (20 bytes): ports encode the flow, seq the data_seq.
+        let port = 49152u16.wrapping_add((pkt.flow.0 & 0x3FFF) as u16);
+        let (sport, dport) = if pkt.kind == PacketKind::Data {
+            (port, 443u16)
+        } else {
+            (443u16, port)
+        };
+        let mut tcp = [0u8; 20];
+        tcp[0..2].copy_from_slice(&sport.to_be_bytes());
+        tcp[2..4].copy_from_slice(&dport.to_be_bytes());
+        tcp[4..8].copy_from_slice(&((pkt.data_seq as u32).to_be_bytes()));
+        tcp[8..12].copy_from_slice(&((pkt.seq as u32).to_be_bytes())); // ack field carries tx num
+        tcp[12] = 5 << 4; // data offset
+        tcp[13] = if pkt.kind == PacketKind::Ack { 0x10 } else { 0x18 }; // ACK / PSH+ACK
+        tcp[14..16].copy_from_slice(&0xFFFFu16.to_be_bytes()); // window
+        self.buf.extend_from_slice(&tcp);
+    }
+
+    /// Packets recorded so far.
+    pub fn packet_count(&self) -> u64 {
+        self.packets
+    }
+
+    /// The raw capture bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write the capture to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.buf)
+    }
+}
+
+fn ipv4_checksum(header: &[u8; 20]) -> u16 {
+    let mut sum = 0u32;
+    for i in (0..20).step_by(2) {
+        if i == 10 {
+            continue; // checksum field itself
+        }
+        sum += u32::from(u16::from_be_bytes([header[i], header[i + 1]]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{EndpointId, FlowId, ServiceId};
+
+    fn data_pkt(svc: u32, flow: u32, seq: u64) -> Packet {
+        Packet::data(FlowId(flow), ServiceId(svc), EndpointId(0), seq, 1500)
+    }
+
+    #[test]
+    fn global_header_is_valid() {
+        let w = PcapWriter::new();
+        let b = w.as_bytes();
+        assert_eq!(b.len(), 24);
+        assert_eq!(u32::from_le_bytes(b[0..4].try_into().unwrap()), PCAP_MAGIC);
+        assert_eq!(u16::from_le_bytes(b[4..6].try_into().unwrap()), 2);
+        assert_eq!(u32::from_le_bytes(b[20..24].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn records_have_fixed_layout() {
+        let mut w = PcapWriter::new();
+        w.record(SimTime::from_millis(1500), &data_pkt(0, 0, 7));
+        let b = w.as_bytes();
+        // 24 global + 16 record header + 54 bytes of packet.
+        assert_eq!(b.len(), 24 + 16 + 54);
+        let ts_sec = u32::from_le_bytes(b[24..28].try_into().unwrap());
+        let ts_usec = u32::from_le_bytes(b[28..32].try_into().unwrap());
+        assert_eq!(ts_sec, 1);
+        assert_eq!(ts_usec, 500_000);
+        let orig = u32::from_le_bytes(b[36..40].try_into().unwrap());
+        assert_eq!(orig, 1500);
+    }
+
+    #[test]
+    fn ethernet_and_ip_fields_decode() {
+        let mut w = PcapWriter::new();
+        w.record(SimTime::ZERO, &data_pkt(3, 9, 42));
+        let b = w.as_bytes();
+        let pkt = &b[40..]; // past global + record headers
+        // Ethertype IPv4.
+        assert_eq!(&pkt[12..14], &[0x08, 0x00]);
+        // IPv4 version/IHL and protocol.
+        assert_eq!(pkt[14], 0x45);
+        assert_eq!(pkt[14 + 9], 6);
+        // Source/dest in the service's subnet.
+        assert_eq!(&pkt[14 + 12..14 + 16], &[10, 3, 0, 1]);
+        assert_eq!(&pkt[14 + 16..14 + 20], &[10, 3, 0, 2]);
+        // TCP seq carries the data sequence number.
+        let tcp = &pkt[34..];
+        let seq = u32::from_be_bytes(tcp[4..8].try_into().unwrap());
+        assert_eq!(seq, 42);
+        let dport = u16::from_be_bytes(tcp[2..4].try_into().unwrap());
+        assert_eq!(dport, 443);
+    }
+
+    #[test]
+    fn ack_packets_reverse_direction() {
+        let mut w = PcapWriter::new();
+        let ack = Packet::ack(FlowId(1), ServiceId(2), EndpointId(0), 5);
+        w.record(SimTime::ZERO, &ack);
+        let b = w.as_bytes();
+        let pkt = &b[40..];
+        assert_eq!(&pkt[14 + 12..14 + 16], &[10, 2, 0, 2]); // from the client
+        let tcp = &pkt[34..];
+        let sport = u16::from_be_bytes(tcp[0..2].try_into().unwrap());
+        assert_eq!(sport, 443);
+        assert_eq!(tcp[13], 0x10); // pure ACK flag
+    }
+
+    #[test]
+    fn checksum_verifies() {
+        let mut w = PcapWriter::new();
+        w.record(SimTime::ZERO, &data_pkt(1, 1, 1));
+        let b = w.as_bytes();
+        let ip: [u8; 20] = b[40 + 14..40 + 34].try_into().unwrap();
+        // Recomputing over the full header (checksum included) must yield 0.
+        let mut sum = 0u32;
+        for i in (0..20).step_by(2) {
+            sum += u32::from(u16::from_be_bytes([ip[i], ip[i + 1]]));
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        assert_eq!(!(sum as u16), 0);
+    }
+
+    #[test]
+    fn packet_count_tracks() {
+        let mut w = PcapWriter::new();
+        for i in 0..10 {
+            w.record(SimTime::from_millis(i), &data_pkt(0, 0, i));
+        }
+        assert_eq!(w.packet_count(), 10);
+    }
+}

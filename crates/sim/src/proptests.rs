@@ -1,0 +1,108 @@
+//! Property-based tests of the simulator core.
+
+#![cfg(test)]
+
+use crate::event::{Event, EventQueue};
+use crate::packet::{EndpointId, FlowId, Packet, ServiceId};
+use crate::queue::{pow2_round, DropTailQueue, EnqueueResult};
+use crate::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(
+                SimTime::from_nanos(t),
+                Event::Timer { endpoint: EndpointId(0), token: i as u64 },
+            );
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last, "time went backwards");
+            last = at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn equal_timestamps_preserve_insertion_order(
+        n in 2usize..150,
+        t in 0u64..1_000_000,
+    ) {
+        let mut q = EventQueue::new();
+        for token in 0..n as u64 {
+            q.schedule(
+                SimTime::from_nanos(t),
+                Event::Timer { endpoint: EndpointId(0), token },
+            );
+        }
+        let mut expect = 0u64;
+        while let Some((_, Event::Timer { token, .. })) = q.pop() {
+            prop_assert_eq!(token, expect);
+            expect += 1;
+        }
+        prop_assert_eq!(expect, n as u64);
+    }
+
+    #[test]
+    fn queue_conserves_packets(
+        capacity in 1usize..512,
+        arrivals in proptest::collection::vec(0u32..8, 1..300),
+    ) {
+        // Interleave enqueues (count per step) with one dequeue per step;
+        // queued + dropped + dequeued must equal arrivals.
+        let mut q = DropTailQueue::new(capacity);
+        let mut enq = 0u64;
+        let mut deq = 0u64;
+        let mut dropped = 0u64;
+        let mut seq = 0u64;
+        for &k in &arrivals {
+            for _ in 0..k {
+                let p = Packet::data(FlowId(0), ServiceId(0), EndpointId(0), seq, 1500);
+                seq += 1;
+                enq += 1;
+                if q.enqueue(p) == EnqueueResult::Dropped {
+                    dropped += 1;
+                }
+            }
+            if q.dequeue().is_some() {
+                deq += 1;
+            }
+        }
+        prop_assert_eq!(enq, deq + dropped + q.len() as u64);
+        prop_assert_eq!(dropped, q.total_drops());
+        prop_assert!(q.len() <= capacity);
+        prop_assert!(q.max_occupancy() <= capacity);
+    }
+
+    #[test]
+    fn pow2_round_is_a_power_of_two_within_factor_two(n in 1u64..(1u64 << 40)) {
+        let r = pow2_round(n);
+        prop_assert!(r.is_power_of_two());
+        prop_assert!(r >= n / 2, "{r} < {n}/2");
+        prop_assert!(r <= n * 2, "{r} > {n}*2");
+    }
+
+    #[test]
+    fn durations_add_commutatively(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((SimTime::ZERO + da) + db, (SimTime::ZERO + db) + da);
+    }
+
+    #[test]
+    fn serialization_time_scales_linearly(bytes in 1u32..100_000, rate in 1e5f64..1e9) {
+        let one = crate::time::serialization_time(bytes, rate);
+        let double_rate = crate::time::serialization_time(bytes, rate * 2.0);
+        // Doubling the rate halves the time (within rounding).
+        let ratio = one.as_nanos() as f64 / double_rate.as_nanos().max(1) as f64;
+        prop_assert!((ratio - 2.0).abs() < 0.1 || one.as_nanos() < 100);
+    }
+}

@@ -1,0 +1,169 @@
+//! Confidence intervals for the median.
+//!
+//! Prudentia's stopping rule (§3.4): run trials in batches of 10, up to 30,
+//! until the 95% confidence interval of the **median** throughput is within
+//! ±0.5 Mbps (highly-constrained) or ±1.5 Mbps (moderately-constrained).
+//!
+//! We implement the standard distribution-free (binomial order-statistic)
+//! CI for the median, plus a bootstrap CI for general statistics.
+
+use crate::descriptive::median;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Achieved coverage (≥ the requested level for order-statistic CIs).
+    pub coverage: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half the interval's width.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+fn binom_cdf(n: u64, k: u64) -> f64 {
+    // P(X <= k) for X ~ Binomial(n, 1/2), computed in log space-free
+    // f64 (n <= ~60 in practice, well within exact range).
+    let mut c = 0.0f64;
+    let mut coef = 1.0f64; // C(n, 0)
+    for i in 0..=k {
+        c += coef;
+        coef = coef * (n - i) as f64 / (i + 1) as f64;
+    }
+    c / 2f64.powi(n as i32)
+}
+
+/// Distribution-free CI for the median at (at least) the requested level.
+///
+/// Returns the order-statistic interval `(x_(r), x_(n+1-r))` where `r` is
+/// the largest rank with coverage ≥ `level`. Needs n ≥ 6 for a meaningful
+/// 95% interval; smaller samples return the full range with its actual
+/// coverage.
+pub fn median_ci(xs: &[f64], level: f64) -> ConfidenceInterval {
+    assert!(!xs.is_empty(), "median_ci of empty sample");
+    assert!((0.0..1.0).contains(&level));
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median_ci input"));
+    let n = v.len() as u64;
+    // Coverage of (x_(r), x_(n+1-r)) is P(r <= X < n+1-r) = 1 - 2*P(X < r)
+    // for X ~ Bin(n, 1/2). Find the largest r >= 1 meeting the level.
+    let mut best_r = 1u64;
+    let mut best_cov = 1.0 - 2.0 * binom_cdf(n, 0); // r = 1
+    for r in 2..=(n / 2).max(1) {
+        let cov = 1.0 - 2.0 * binom_cdf(n, r - 1);
+        if cov >= level {
+            best_r = r;
+            best_cov = cov;
+        } else {
+            break;
+        }
+    }
+    ConfidenceInterval {
+        lo: v[(best_r - 1) as usize],
+        hi: v[(n - best_r) as usize],
+        coverage: best_cov,
+    }
+}
+
+/// Bootstrap percentile CI of the median (for comparison / small samples).
+pub fn bootstrap_median_ci(xs: &[f64], level: f64, resamples: usize, seed: u64) -> ConfidenceInterval {
+    assert!(!xs.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut meds = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for b in buf.iter_mut() {
+            *b = xs[rng.gen_range(0..xs.len())];
+        }
+        meds.push(median(&buf));
+    }
+    let alpha = (1.0 - level) / 2.0;
+    ConfidenceInterval {
+        lo: crate::descriptive::quantile(&meds, alpha),
+        hi: crate::descriptive::quantile(&meds, 1.0 - alpha),
+        coverage: level,
+    }
+}
+
+/// The paper's stopping rule: does the 95% CI of the median fall within
+/// ±`tolerance` of the median itself?
+pub fn median_ci_within(xs: &[f64], tolerance: f64) -> bool {
+    if xs.len() < 6 {
+        return false; // cannot certify 95% coverage with fewer samples
+    }
+    let ci = median_ci(xs, 0.95);
+    let m = median(xs);
+    ci.lo >= m - tolerance && ci.hi <= m + tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binom_cdf_sanity() {
+        // Bin(4, 1/2): P(X<=0)=1/16, P(X<=2)=11/16.
+        assert!((binom_cdf(4, 0) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((binom_cdf(4, 2) - 11.0 / 16.0).abs() < 1e-12);
+        assert!((binom_cdf(10, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_ci_contains_median() {
+        let xs: Vec<f64> = (1..=15).map(f64::from).collect();
+        let ci = median_ci(&xs, 0.95);
+        let m = median(&xs);
+        assert!(ci.lo <= m && m <= ci.hi);
+        assert!(ci.coverage >= 0.95);
+    }
+
+    #[test]
+    fn tight_data_passes_stopping_rule() {
+        let xs = vec![5.0, 5.1, 5.0, 4.9, 5.05, 4.95, 5.0, 5.02, 4.98, 5.0];
+        assert!(median_ci_within(&xs, 0.5));
+    }
+
+    #[test]
+    fn noisy_data_fails_stopping_rule() {
+        let xs = vec![1.0, 9.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0, 1.5, 8.5];
+        assert!(!median_ci_within(&xs, 0.5));
+    }
+
+    #[test]
+    fn small_samples_never_pass() {
+        assert!(!median_ci_within(&[5.0, 5.0, 5.0], 1.0));
+    }
+
+    #[test]
+    fn ci_narrows_with_more_samples() {
+        let small: Vec<f64> = (0..8).map(|i| (i % 3) as f64).collect();
+        let large: Vec<f64> = (0..64).map(|i| (i % 3) as f64).collect();
+        let ci_s = median_ci(&small, 0.95);
+        let ci_l = median_ci(&large, 0.95);
+        assert!(ci_l.half_width() <= ci_s.half_width());
+    }
+
+    #[test]
+    fn bootstrap_ci_reasonable() {
+        let xs: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let ci = bootstrap_median_ci(&xs, 0.95, 500, 7);
+        assert!(ci.lo <= ci.hi);
+        assert!(ci.lo >= 10.0 && ci.hi <= 10.5);
+    }
+
+    #[test]
+    fn bootstrap_deterministic_by_seed() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let a = bootstrap_median_ci(&xs, 0.9, 200, 1);
+        let b = bootstrap_median_ci(&xs, 0.9, 200, 1);
+        assert_eq!(a, b);
+    }
+}

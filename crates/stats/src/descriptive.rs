@@ -1,0 +1,102 @@
+//! Order statistics: median, quartiles, IQR.
+//!
+//! Prudentia reports the *median* MmF share per pair and uses the
+//! inter-quartile range as error bars on every graph (§3.4).
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// The p-quantile (0 ≤ p ≤ 1) using linear interpolation between order
+/// statistics (type-7, the numpy default). Panics on empty input.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = p * (v.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (h - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// Median (0.5-quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// (25th, 75th) percentiles — the paper's error bars.
+pub fn quartiles(xs: &[f64]) -> (f64, f64) {
+    (quantile(xs, 0.25), quantile(xs, 0.75))
+}
+
+/// Inter-quartile range.
+pub fn iqr(xs: &[f64]) -> f64 {
+    let (q1, q3) = quartiles(xs);
+    q3 - q1
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for n < 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn quartiles_of_uniform() {
+        let xs: Vec<f64> = (1..=5).map(f64::from).collect();
+        let (q1, q3) = quartiles(&xs);
+        assert_eq!(q1, 2.0);
+        assert_eq!(q3, 4.0);
+        assert_eq!(iqr(&xs), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        assert_eq!(median(&[9.0, 1.0, 5.0, 3.0, 7.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_empty_panics() {
+        median(&[]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Fairness metrics: max-min fair allocations and shares, plus Jain's
+//! index for reference.
+//!
+//! Prudentia's core metric is the fraction of its **max-min fair (MmF)
+//! allocation** a service achieves under contention (§2.2). The MmF
+//! allocation respects application rate caps: at 50 Mbps a video service
+//! that can use at most 13 Mbps has an MmF allocation of 13 Mbps, and its
+//! contender's allocation is the remaining 37 Mbps (§4).
+
+use serde::{Deserialize, Serialize};
+
+/// A demand entering the max-min waterfilling: a service with an optional
+/// rate cap (None ⇒ can use the entire link).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Demand {
+    /// The service's maximum achievable rate in bits/s, if limited.
+    pub cap_bps: Option<f64>,
+}
+
+impl Demand {
+    /// An uncapped demand.
+    pub fn unlimited() -> Self {
+        Demand { cap_bps: None }
+    }
+
+    /// A demand capped at `bps`.
+    pub fn capped(bps: f64) -> Self {
+        Demand { cap_bps: Some(bps) }
+    }
+}
+
+/// Max-min fair allocation of `capacity_bps` across `demands`
+/// (progressive waterfilling). Unused capacity from capped services is
+/// redistributed among the uncapped ones.
+pub fn max_min_allocation(capacity_bps: f64, demands: &[Demand]) -> Vec<f64> {
+    assert!(capacity_bps > 0.0, "capacity must be positive");
+    let n = demands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut alloc = vec![0.0f64; n];
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut remaining = capacity_bps;
+    loop {
+        if active.is_empty() || remaining <= 1e-9 {
+            break;
+        }
+        let fair = remaining / active.len() as f64;
+        // Services whose cap is below the current fair share saturate.
+        let saturated: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| demands[i].cap_bps.is_some_and(|c| c <= fair))
+            .collect();
+        if saturated.is_empty() {
+            for &i in &active {
+                alloc[i] = fair;
+            }
+            break;
+        }
+        for &i in &saturated {
+            let c = demands[i].cap_bps.expect("saturated demand has a cap");
+            alloc[i] = c;
+            remaining -= c;
+        }
+        active.retain(|i| !saturated.contains(i));
+    }
+    alloc
+}
+
+/// The MmF share: achieved / allocated, as a fraction (1.0 = exactly fair).
+pub fn mmf_share(achieved_bps: f64, allocation_bps: f64) -> f64 {
+    if allocation_bps <= 0.0 {
+        return 0.0;
+    }
+    achieved_bps / allocation_bps
+}
+
+/// Convenience for the two-service case: returns (share_a, share_b) given
+/// each service's achieved rate and demand.
+pub fn pairwise_mmf_shares(
+    capacity_bps: f64,
+    achieved_a: f64,
+    demand_a: Demand,
+    achieved_b: f64,
+    demand_b: Demand,
+) -> (f64, f64) {
+    let alloc = max_min_allocation(capacity_bps, &[demand_a, demand_b]);
+    (
+        mmf_share(achieved_a, alloc[0]),
+        mmf_share(achieved_b, alloc[1]),
+    )
+}
+
+/// Jain's fairness index over achieved rates. Included for reference; the
+/// paper explains why it is *not* used (it collapses winner/loser into one
+/// statistic, §2.2).
+pub fn jain_index(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sq_sum: f64 = rates.iter().map(|r| r * r).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (rates.len() as f64 * sq_sum)
+}
+
+/// Ware et al.'s *harm* metric [51]: the fractional performance loss a
+/// service suffers relative to running alone,
+/// `harm = (solo − contended) / solo`.
+///
+/// The paper deliberately does **not** use harm for its headline numbers —
+/// harm is built for deployability thresholds, while Prudentia only
+/// quantifies behaviour (§2.2) — but the metric is provided for users who
+/// want to apply the deployability framing to watchdog data.
+pub fn harm(solo_bps: f64, contended_bps: f64) -> f64 {
+    if solo_bps <= 0.0 {
+        return 0.0;
+    }
+    ((solo_bps - contended_bps) / solo_bps).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_unlimited_split_evenly() {
+        let a = max_min_allocation(50e6, &[Demand::unlimited(), Demand::unlimited()]);
+        assert_eq!(a, vec![25e6, 25e6]);
+    }
+
+    #[test]
+    fn capped_video_gets_cap_contender_gets_rest() {
+        // The paper's 50 Mbps setting: YouTube capped at 13 Mbps.
+        let a = max_min_allocation(50e6, &[Demand::capped(13e6), Demand::unlimited()]);
+        assert_eq!(a, vec![13e6, 37e6]);
+    }
+
+    #[test]
+    fn cap_above_fair_share_is_inert() {
+        // At 8 Mbps, a 13 Mbps cap does not bind: both get 4 Mbps.
+        let a = max_min_allocation(8e6, &[Demand::capped(13e6), Demand::unlimited()]);
+        assert_eq!(a, vec![4e6, 4e6]);
+    }
+
+    #[test]
+    fn both_capped_leaves_capacity_unused() {
+        let a = max_min_allocation(50e6, &[Demand::capped(1.5e6), Demand::capped(2.6e6)]);
+        assert_eq!(a, vec![1.5e6, 2.6e6]);
+    }
+
+    #[test]
+    fn three_way_waterfilling() {
+        let a = max_min_allocation(
+            30e6,
+            &[Demand::capped(4e6), Demand::unlimited(), Demand::unlimited()],
+        );
+        assert_eq!(a, vec![4e6, 13e6, 13e6]);
+    }
+
+    #[test]
+    fn cap_exactly_at_fair_share() {
+        let a = max_min_allocation(8e6, &[Demand::capped(4e6), Demand::unlimited()]);
+        assert_eq!(a, vec![4e6, 4e6]);
+    }
+
+    #[test]
+    fn mmf_share_fraction() {
+        // "if a service's MmF share is 40 Mbps and it achieves 30 Mbps ...
+        // it achieved 75% of its MmF share" (§2.2).
+        assert!((mmf_share(30e6, 40e6) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_shares_match_manual() {
+        let (sa, sb) = pairwise_mmf_shares(
+            50e6,
+            10e6,
+            Demand::capped(13e6),
+            30e6,
+            Demand::unlimited(),
+        );
+        assert!((sa - 10.0 / 13.0).abs() < 1e-12);
+        assert!((sb - 30.0 / 37.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harm_definition() {
+        assert_eq!(harm(10e6, 5e6), 0.5);
+        assert_eq!(harm(10e6, 10e6), 0.0);
+        // Doing better than solo is clamped to zero harm.
+        assert_eq!(harm(10e6, 12e6), 0.0);
+        assert_eq!(harm(0.0, 5e6), 0.0);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let skewed = jain_index(&[1.0, 0.0, 0.0]);
+        assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+    }
+}

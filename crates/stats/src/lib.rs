@@ -1,0 +1,99 @@
+//! # prudentia-stats
+//!
+//! Statistics for the Prudentia watchdog: order statistics with IQR error
+//! bars, distribution-free confidence intervals for the median (driving
+//! the §3.4 adaptive-trials stopping rule), max-min fairness accounting
+//! with application rate caps, and Jain's index for reference.
+
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod descriptive;
+pub mod fairness;
+pub mod timeseries;
+
+pub use ci::{bootstrap_median_ci, median_ci, median_ci_within, ConfidenceInterval};
+pub use descriptive::{iqr, mean, median, quantile, quartiles, std_dev};
+pub use fairness::{harm, jain_index, max_min_allocation, mmf_share, pairwise_mmf_shares, Demand};
+pub use timeseries::{dip_starts, dominant_period, low_fraction, moving_average, rebin_sum};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn median_within_range(xs in proptest::collection::vec(0.0f64..1e9, 1..100)) {
+            let m = median(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo && m <= hi);
+        }
+
+        #[test]
+        fn quartiles_ordered(xs in proptest::collection::vec(0.0f64..1e6, 2..100)) {
+            let (q1, q3) = quartiles(&xs);
+            let m = median(&xs);
+            prop_assert!(q1 <= m && m <= q3);
+        }
+
+        #[test]
+        fn waterfilling_conserves_capacity(
+            caps in proptest::collection::vec(proptest::option::of(1e3f64..1e8), 1..8),
+            capacity in 1e4f64..1e9,
+        ) {
+            let demands: Vec<Demand> = caps.iter().map(|c| Demand { cap_bps: *c }).collect();
+            let alloc = max_min_allocation(capacity, &demands);
+            let total: f64 = alloc.iter().sum();
+            // Never over-allocates...
+            prop_assert!(total <= capacity * (1.0 + 1e-9));
+            // ...and under-allocates only when every service is capped below
+            // its share.
+            let uncapped = caps.iter().any(|c| c.is_none());
+            if uncapped {
+                prop_assert!((total - capacity).abs() < capacity * 1e-9);
+            }
+            // Caps respected.
+            for (a, d) in alloc.iter().zip(&demands) {
+                if let Some(c) = d.cap_bps {
+                    prop_assert!(*a <= c * (1.0 + 1e-9));
+                }
+            }
+        }
+
+        #[test]
+        fn waterfilling_is_max_min(
+            caps in proptest::collection::vec(proptest::option::of(1e3f64..1e8), 2..6),
+        ) {
+            // No service can gain without a (weakly) smaller one losing:
+            // all unsaturated services get equal allocations.
+            let capacity = 5e7;
+            let demands: Vec<Demand> = caps.iter().map(|c| Demand { cap_bps: *c }).collect();
+            let alloc = max_min_allocation(capacity, &demands);
+            let unsat: Vec<f64> = alloc
+                .iter()
+                .zip(&demands)
+                .filter(|(a, d)| d.cap_bps.map_or(true, |c| **a < c - 1.0))
+                .map(|(a, _)| *a)
+                .collect();
+            for w in unsat.windows(2) {
+                prop_assert!((w[0] - w[1]).abs() < 1.0);
+            }
+        }
+
+        #[test]
+        fn jain_index_in_unit_interval(xs in proptest::collection::vec(0.0f64..1e9, 1..20)) {
+            let j = jain_index(&xs);
+            prop_assert!(j >= 1.0 / xs.len() as f64 - 1e-9);
+            prop_assert!(j <= 1.0 + 1e-9);
+        }
+
+        #[test]
+        fn median_ci_always_brackets_median(xs in proptest::collection::vec(0.0f64..1e6, 6..60)) {
+            let ci = median_ci(&xs, 0.95);
+            let m = median(&xs);
+            prop_assert!(ci.lo <= m + 1e-9 && m <= ci.hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Timeseries utilities: binning, moving averages, dip detection and
+//! simple periodicity estimation.
+//!
+//! These back the trace analyses in the watchdog — burst/gap structure in
+//! Fig 4, queue timelines in Fig 8, and the PROBE_RTT periodicity evidence
+//! the paper used to confirm BBR deployments (§3.2).
+
+/// Simple moving average with a centered window of `2*half+1` samples
+/// (shrinking at the edges). Returns an empty vector for empty input.
+pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let window = &xs[lo..hi];
+        out.push(window.iter().sum::<f64>() / window.len() as f64);
+    }
+    out
+}
+
+/// Re-bin a series by summing groups of `factor` consecutive samples
+/// (the final partial group is kept).
+pub fn rebin_sum(xs: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor >= 1, "rebin factor must be >= 1");
+    xs.chunks(factor).map(|c| c.iter().sum()).collect()
+}
+
+/// Indices where the series dips below `threshold × median` after being at
+/// or above it (episode starts).
+pub fn dip_starts(xs: &[f64], threshold: f64) -> Vec<usize> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let med = crate::descriptive::median(xs);
+    let cut = threshold * med;
+    let mut out = Vec::new();
+    let mut low = false;
+    for (i, &x) in xs.iter().enumerate() {
+        if x < cut && !low {
+            out.push(i);
+            low = true;
+        } else if x >= cut {
+            low = false;
+        }
+    }
+    out
+}
+
+/// Fraction of samples below `threshold × median` — the duty-cycle
+/// complement of a bursty on/off series.
+pub fn low_fraction(xs: &[f64], threshold: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let med = crate::descriptive::median(xs);
+    let cut = threshold * med;
+    xs.iter().filter(|&&x| x < cut).count() as f64 / xs.len() as f64
+}
+
+/// Dominant period of a zero-mean-normalized series by autocorrelation
+/// peak search over lags `[min_lag, max_lag]`. Returns `None` when the
+/// series is too short or no lag correlates positively.
+pub fn dominant_period(xs: &[f64], min_lag: usize, max_lag: usize) -> Option<usize> {
+    let n = xs.len();
+    if n < 4 || min_lag == 0 || min_lag > max_lag || max_lag >= n {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = xs.iter().map(|x| x - mean).collect();
+    let denom: f64 = centered.iter().map(|x| x * x).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    let mut best = (0usize, 0.0f64);
+    for lag in min_lag..=max_lag {
+        let num: f64 = centered[..n - lag]
+            .iter()
+            .zip(&centered[lag..])
+            .map(|(a, b)| a * b)
+            .sum();
+        let r = num / denom;
+        if r > best.1 {
+            best = (lag, r);
+        }
+    }
+    (best.1 > 0.1).then_some(best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_smooths() {
+        let xs = [0.0, 10.0, 0.0, 10.0, 0.0];
+        let ma = moving_average(&xs, 1);
+        assert_eq!(ma.len(), 5);
+        assert!((ma[1] - 10.0 / 3.0).abs() < 1e-12);
+        assert!((ma[2] - 20.0 / 3.0).abs() < 1e-12);
+        // Edges use shrunken windows.
+        assert!((ma[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebin_sums_groups() {
+        assert_eq!(rebin_sum(&[1.0, 2.0, 3.0, 4.0, 5.0], 2), vec![3.0, 7.0, 5.0]);
+        assert_eq!(rebin_sum(&[1.0], 3), vec![1.0]);
+    }
+
+    #[test]
+    fn dip_detection_finds_episodes() {
+        // Median 10, dips at indices 2-3 and 6.
+        let xs = [10.0, 10.0, 1.0, 1.0, 10.0, 10.0, 2.0, 10.0];
+        let dips = dip_starts(&xs, 0.5);
+        assert_eq!(dips, vec![2, 6]);
+    }
+
+    #[test]
+    fn low_fraction_measures_duty_cycle() {
+        let xs = [10.0, 10.0, 0.0, 0.0];
+        // median = 5, cut = 2.5: two of four below.
+        assert!((low_fraction(&xs, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_period_of_square_wave() {
+        // Period-8 square wave.
+        let xs: Vec<f64> = (0..64).map(|i| if (i / 4) % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let p = dominant_period(&xs, 2, 20).expect("period found");
+        assert_eq!(p, 8);
+    }
+
+    #[test]
+    fn dominant_period_none_for_noise_free_constant() {
+        let xs = vec![5.0; 32];
+        assert_eq!(dominant_period(&xs, 2, 10), None);
+    }
+
+    #[test]
+    fn dominant_period_bounds_checked() {
+        assert_eq!(dominant_period(&[1.0, 2.0], 1, 5), None);
+        assert_eq!(dominant_period(&[1.0; 20], 0, 5), None);
+    }
+}

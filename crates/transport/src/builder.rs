@@ -1,0 +1,99 @@
+//! Wiring helpers that assemble sender/receiver pairs on an engine.
+
+use crate::flow::{CcFactory, DeliverySink, FlowStats, NullSink, Receiver, RecvStats, Sender};
+use prudentia_sim::SimDuration;
+use crate::source::FlowSource;
+use prudentia_cc::CongestionControl;
+use prudentia_sim::{Engine, EndpointId, FlowId, PathSpec, ServiceId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Handles to an assembled flow: ids plus shared stats counters that stay
+/// readable after the engine takes ownership of the endpoints.
+#[derive(Clone)]
+pub struct FlowHandle {
+    /// The flow id within the engine.
+    pub flow: FlowId,
+    /// The service the flow belongs to.
+    pub service: ServiceId,
+    /// The sender endpoint's id (poke it with [`crate::flow::TOKEN_WAKE`]).
+    pub sender_ep: EndpointId,
+    /// The receiver endpoint's id.
+    pub receiver_ep: EndpointId,
+    /// Shared sender counters.
+    pub stats: Rc<RefCell<FlowStats>>,
+    /// Shared receiver counters.
+    pub recv: Rc<RefCell<RecvStats>>,
+}
+
+/// Build one flow: registers the path, creates the receiver and sender,
+/// and returns handles. `sink` receives application-level deliveries.
+pub fn build_flow(
+    engine: &mut Engine,
+    service: ServiceId,
+    path: PathSpec,
+    cc: Box<dyn CongestionControl>,
+    source: Box<dyn FlowSource>,
+    sink: Box<dyn DeliverySink>,
+) -> FlowHandle {
+    let flow = engine.register_flow_jittered(path);
+    // Ids are assigned sequentially: receiver first, then sender.
+    let receiver_id = engine.next_endpoint_id();
+    let sender_id = EndpointId(receiver_id.0 + 1);
+    let (receiver, recv_stats) = Receiver::new(sender_id, sink);
+    let got_recv = engine.add_endpoint(Box::new(receiver));
+    debug_assert_eq!(got_recv, receiver_id);
+    let (sender, stats) = Sender::new(flow, service, receiver_id, cc, source);
+    let got_send = engine.add_endpoint(Box::new(sender));
+    debug_assert_eq!(got_send, sender_id);
+    FlowHandle {
+        flow,
+        service,
+        sender_ep: sender_id,
+        receiver_ep: receiver_id,
+        stats,
+        recv: recv_stats,
+    }
+}
+
+/// Build a flow whose sender restarts with a fresh congestion controller
+/// after `idle_threshold` of send inactivity — modelling applications that
+/// open new connections per request burst (Mega's chunk batches).
+pub fn build_flow_with_restart(
+    engine: &mut Engine,
+    service: ServiceId,
+    path: PathSpec,
+    cc_factory: CcFactory,
+    idle_threshold: SimDuration,
+    source: Box<dyn FlowSource>,
+    sink: Box<dyn DeliverySink>,
+) -> FlowHandle {
+    let flow = engine.register_flow_jittered(path);
+    let receiver_id = engine.next_endpoint_id();
+    let sender_id = EndpointId(receiver_id.0 + 1);
+    let (receiver, recv_stats) = Receiver::new(sender_id, sink);
+    engine.add_endpoint(Box::new(receiver));
+    let initial = cc_factory(prudentia_sim::SimTime::ZERO);
+    let (mut sender, stats) = Sender::new(flow, service, receiver_id, initial, source);
+    sender.set_idle_restart(idle_threshold, cc_factory);
+    engine.add_endpoint(Box::new(sender));
+    FlowHandle {
+        flow,
+        service,
+        sender_ep: sender_id,
+        receiver_ep: receiver_id,
+        stats,
+        recv: recv_stats,
+    }
+}
+
+/// Build a flow with no application sink (bulk/iPerf style).
+pub fn build_simple_flow(
+    engine: &mut Engine,
+    service: ServiceId,
+    path: PathSpec,
+    cc: Box<dyn CongestionControl>,
+    source: Box<dyn FlowSource>,
+) -> FlowHandle {
+    build_flow(engine, service, path, cc, source, Box::new(NullSink))
+}

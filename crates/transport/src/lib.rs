@@ -1,0 +1,274 @@
+//! # prudentia-transport
+//!
+//! Reliable flow transport over the `prudentia-sim` dumbbell: senders with
+//! pluggable congestion control (from `prudentia-cc`), per-packet
+//! acknowledging receivers, loss detection and recovery, pacing, delivery
+//! rate estimation, and builders that wire flows onto an engine.
+//!
+//! Applications (in `prudentia-apps`) supply data through the
+//! [`FlowSource`] trait and observe arrivals through [`DeliverySink`].
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod flow;
+mod proptests;
+pub mod source;
+
+pub use builder::{build_flow, build_flow_with_restart, build_simple_flow, FlowHandle};
+pub use flow::{CcFactory, DeliverySink, FlowStats, NullSink, Receiver, RecvStats, Sender, TOKEN_WAKE};
+pub use source::{FiniteSource, FlowSource, RateCappedSource, UnlimitedSource};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_cc::CcaKind;
+    use prudentia_sim::{BottleneckConfig, Engine, PathSpec, ServiceId, SimDuration, SimTime};
+
+    const RTT: SimDuration = SimDuration::from_millis(50);
+
+    fn engine(rate_bps: f64, queue_pkts: usize, seed: u64) -> Engine {
+        Engine::new(
+            BottleneckConfig {
+                rate_bps,
+                queue_capacity_pkts: queue_pkts,
+            },
+            seed,
+        )
+    }
+
+    fn add_bulk(eng: &mut Engine, svc: u32, cca: CcaKind) -> FlowHandle {
+        build_simple_flow(
+            eng,
+            ServiceId(svc),
+            PathSpec::symmetric(RTT),
+            cca.build(SimTime::ZERO),
+            Box::new(UnlimitedSource),
+        )
+    }
+
+    fn run_and_rate(eng: &mut Engine, svc: u32, secs: u64) -> f64 {
+        eng.run_until(SimTime::from_secs(secs));
+        eng.trace().mean_bps(
+            ServiceId(svc),
+            SimTime::from_secs(secs / 5),
+            SimTime::from_secs(secs),
+        )
+    }
+
+    #[test]
+    fn single_newreno_fills_10mbps_link() {
+        let mut eng = engine(10e6, 128, 1);
+        add_bulk(&mut eng, 0, CcaKind::NewReno);
+        let rate = run_and_rate(&mut eng, 0, 30);
+        assert!(
+            rate > 9.0e6 && rate < 10.5e6,
+            "NewReno should saturate the link: {rate}"
+        );
+    }
+
+    #[test]
+    fn single_cubic_fills_10mbps_link() {
+        let mut eng = engine(10e6, 128, 2);
+        add_bulk(&mut eng, 0, CcaKind::Cubic);
+        let rate = run_and_rate(&mut eng, 0, 30);
+        assert!(rate > 9.0e6, "Cubic should saturate the link: {rate}");
+    }
+
+    #[test]
+    fn single_bbr_fills_10mbps_link() {
+        let mut eng = engine(10e6, 128, 3);
+        add_bulk(&mut eng, 0, CcaKind::BbrV1Linux415);
+        let rate = run_and_rate(&mut eng, 0, 30);
+        assert!(rate > 9.0e6, "BBR should saturate the link: {rate}");
+    }
+
+    #[test]
+    fn single_bbrv3_fills_10mbps_link() {
+        let mut eng = engine(10e6, 128, 4);
+        add_bulk(&mut eng, 0, CcaKind::BbrV3);
+        let rate = run_and_rate(&mut eng, 0, 30);
+        assert!(rate > 8.5e6, "BBRv3 should fill most of the link: {rate}");
+    }
+
+    #[test]
+    fn bbr_keeps_queue_small() {
+        // A lone BBR flow should not stand a deep queue (Obs 10: single-flow
+        // BBR services experience no loss against each other).
+        let mut eng = engine(10e6, 512, 5);
+        add_bulk(&mut eng, 0, CcaKind::BbrV1Linux415);
+        eng.run_until(SimTime::from_secs(30));
+        let mean_qdelay = eng.trace().mean_queueing_delay(ServiceId(0));
+        assert!(
+            mean_qdelay < SimDuration::from_millis(60),
+            "BBR standing queue too deep: {mean_qdelay}"
+        );
+    }
+
+    #[test]
+    fn reno_fills_queue_to_capacity() {
+        let mut eng = engine(10e6, 64, 6);
+        add_bulk(&mut eng, 0, CcaKind::NewReno);
+        eng.run_until(SimTime::from_secs(30));
+        // Loss-based CCAs repeatedly drive the queue into overflow.
+        assert!(eng.queue_stats(ServiceId(0)).dropped_pkts > 0);
+    }
+
+    #[test]
+    fn two_newreno_flows_share_fairly() {
+        // AIMD convergence takes many sawtooth cycles, and drop-tail queues
+        // are notorious for transient phase lock-outs; measure the long-run
+        // split over several seeds.
+        let mut shares = Vec::new();
+        let mut total = 0.0;
+        for seed in [7u64, 8, 9] {
+            let mut eng = engine(10e6, 128, seed);
+            add_bulk(&mut eng, 0, CcaKind::NewReno);
+            add_bulk(&mut eng, 1, CcaKind::NewReno);
+            eng.run_until(SimTime::from_secs(180));
+            let from = SimTime::from_secs(60);
+            let to = SimTime::from_secs(180);
+            let a = eng.trace().mean_bps(ServiceId(0), from, to);
+            let b = eng.trace().mean_bps(ServiceId(1), from, to);
+            shares.push(a / (a + b));
+            total = a + b;
+        }
+        let mean_share = shares.iter().sum::<f64>() / shares.len() as f64;
+        assert!(
+            (0.3..=0.7).contains(&mean_share),
+            "two identical Reno flows should split evenly on average: {shares:?}"
+        );
+        assert!(total > 9.0e6, "link should stay utilized: {total}");
+    }
+
+    #[test]
+    fn two_cubic_flows_share_fairly() {
+        let mut eng = engine(10e6, 128, 8);
+        add_bulk(&mut eng, 0, CcaKind::Cubic);
+        add_bulk(&mut eng, 1, CcaKind::Cubic);
+        eng.run_until(SimTime::from_secs(60));
+        let from = SimTime::from_secs(12);
+        let to = SimTime::from_secs(60);
+        let a = eng.trace().mean_bps(ServiceId(0), from, to);
+        let b = eng.trace().mean_bps(ServiceId(1), from, to);
+        let share = a / (a + b);
+        assert!(
+            (0.3..=0.7).contains(&share),
+            "two Cubic flows should split roughly evenly: a={a} b={b}"
+        );
+    }
+
+    #[test]
+    fn finite_source_delivers_exactly_once() {
+        let mut eng = engine(10e6, 64, 9);
+        let h = build_simple_flow(
+            &mut eng,
+            ServiceId(0),
+            PathSpec::symmetric(RTT),
+            CcaKind::NewReno.build(SimTime::ZERO),
+            Box::new(FiniteSource::new(3_000_000)),
+        );
+        eng.run_until(SimTime::from_secs(30));
+        let recv = h.recv.borrow();
+        assert_eq!(
+            recv.unique_bytes, 3_000_000,
+            "every byte must arrive exactly once (wire={})",
+            recv.wire_bytes
+        );
+        assert!(recv.wire_bytes >= recv.unique_bytes);
+    }
+
+    #[test]
+    fn loss_is_recovered_by_retransmission() {
+        // Tiny queue forces heavy loss; the file must still complete.
+        let mut eng = engine(5e6, 8, 10);
+        let h = build_simple_flow(
+            &mut eng,
+            ServiceId(0),
+            PathSpec::symmetric(RTT),
+            CcaKind::NewReno.build(SimTime::ZERO),
+            Box::new(FiniteSource::new(1_500_000)),
+        );
+        eng.run_until(SimTime::from_secs(60));
+        let recv = h.recv.borrow();
+        assert_eq!(recv.unique_bytes, 1_500_000);
+        assert!(
+            h.stats.borrow().retransmits > 0,
+            "test should have induced retransmissions"
+        );
+    }
+
+    #[test]
+    fn external_loss_recovered_too() {
+        let mut eng = engine(10e6, 128, 11);
+        eng.set_external_loss(0.02);
+        let h = build_simple_flow(
+            &mut eng,
+            ServiceId(0),
+            PathSpec::symmetric(RTT),
+            CcaKind::Cubic.build(SimTime::ZERO),
+            Box::new(FiniteSource::new(2_000_000)),
+        );
+        eng.run_until(SimTime::from_secs(60));
+        assert_eq!(h.recv.borrow().unique_bytes, 2_000_000);
+    }
+
+    #[test]
+    fn rate_capped_flow_respects_cap() {
+        let mut eng = engine(50e6, 1024, 12);
+        build_simple_flow(
+            &mut eng,
+            ServiceId(0),
+            PathSpec::symmetric(RTT),
+            CcaKind::Cubic.build(SimTime::ZERO),
+            Box::new(RateCappedSource::new(UnlimitedSource, 5e6)),
+        );
+        let rate = run_and_rate(&mut eng, 0, 30);
+        assert!(
+            rate > 4.2e6 && rate < 5.6e6,
+            "capped flow should run at ~5 Mbps: {rate}"
+        );
+    }
+
+    #[test]
+    fn srtt_reflects_path_rtt() {
+        let mut eng = engine(10e6, 64, 13);
+        let h = add_bulk(&mut eng, 0, CcaKind::BbrV1Linux415);
+        eng.run_until(SimTime::from_secs(10));
+        let st = h.stats.borrow();
+        assert!(
+            st.min_rtt >= RTT && st.min_rtt < RTT + SimDuration::from_millis(5),
+            "min rtt should be just above base: {}",
+            st.min_rtt
+        );
+        assert!(st.last_srtt >= st.min_rtt);
+    }
+
+    #[test]
+    fn bbr_app_limited_respects_cap() {
+        // An app-limited BBR flow must not blow up its bandwidth estimate.
+        let mut eng = engine(50e6, 1024, 14);
+        build_simple_flow(
+            &mut eng,
+            ServiceId(0),
+            PathSpec::symmetric(RTT),
+            CcaKind::BbrV1Linux415.build(SimTime::ZERO),
+            Box::new(RateCappedSource::new(UnlimitedSource, 2e6)),
+        );
+        let rate = run_and_rate(&mut eng, 0, 20);
+        assert!(rate < 2.6e6, "app-limited flow overshot its cap: {rate}");
+        assert!(rate > 1.5e6, "app-limited flow undershot: {rate}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed| {
+            let mut eng = engine(10e6, 64, seed);
+            let h = add_bulk(&mut eng, 0, CcaKind::Cubic);
+            eng.run_until(SimTime::from_secs(10));
+            let out = h.recv.borrow().unique_bytes;
+            out
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

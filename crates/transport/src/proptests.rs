@@ -1,0 +1,130 @@
+//! Property-based tests of transport invariants.
+//!
+//! The fairness numbers are only meaningful if the transport is correct
+//! under adversarial conditions; these properties exercise it across
+//! randomized link rates, queue depths, loss rates, and CCAs:
+//!
+//! 1. **Exactly-once delivery**: every byte of a finite transfer arrives
+//!    exactly once at the receiver, whatever is dropped on the way.
+//! 2. **No phantom throughput**: unique delivered bytes never exceed bytes
+//!    sent, and wire bytes never exceed bytes sent.
+//! 3. **Determinism**: a (config, seed) pair fully determines the outcome.
+
+#![cfg(test)]
+
+use crate::{build_simple_flow, FiniteSource, UnlimitedSource};
+use prudentia_cc::CcaKind;
+use prudentia_sim::{BottleneckConfig, Engine, PathSpec, ServiceId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn cca_strategy() -> impl Strategy<Value = CcaKind> {
+    prop_oneof![
+        Just(CcaKind::NewReno),
+        Just(CcaKind::Cubic),
+        Just(CcaKind::BbrV1Linux415),
+        Just(CcaKind::BbrV1Linux515),
+        Just(CcaKind::BbrV3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn finite_transfers_deliver_exactly_once(
+        cca in cca_strategy(),
+        rate_mbps in 2.0f64..40.0,
+        queue_pkts in 4usize..256,
+        loss in 0.0f64..0.08,
+        kbytes in 200u64..1500,
+        seed in 0u64..1000,
+    ) {
+        let mut eng = Engine::new(
+            BottleneckConfig { rate_bps: rate_mbps * 1e6, queue_capacity_pkts: queue_pkts },
+            seed,
+        );
+        if loss > 0.0 {
+            eng.set_external_loss(loss);
+        }
+        let total = kbytes * 1000;
+        let h = build_simple_flow(
+            &mut eng,
+            ServiceId(0),
+            PathSpec::symmetric(SimDuration::from_millis(50)),
+            cca.build(SimTime::ZERO),
+            Box::new(FiniteSource::new(total)),
+        );
+        // Generous deadline: worst case is a tiny queue + heavy loss.
+        eng.run_until(SimTime::from_secs(240));
+        let recv = h.recv.borrow();
+        let stats = h.stats.borrow();
+        prop_assert_eq!(
+            recv.unique_bytes, total,
+            "lost data: delivered {} of {} (rtx {}, rtos {})",
+            recv.unique_bytes, total, stats.retransmits, stats.rtos
+        );
+        prop_assert!(recv.wire_bytes <= stats.bytes_sent);
+        prop_assert!(recv.unique_bytes <= recv.wire_bytes);
+    }
+
+    #[test]
+    fn backlogged_flow_is_deterministic(
+        cca in cca_strategy(),
+        rate_mbps in 2.0f64..30.0,
+        queue_pkts in 8usize..128,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let mut eng = Engine::new(
+                BottleneckConfig { rate_bps: rate_mbps * 1e6, queue_capacity_pkts: queue_pkts },
+                seed,
+            );
+            let h = build_simple_flow(
+                &mut eng,
+                ServiceId(0),
+                PathSpec::symmetric(SimDuration::from_millis(50)),
+                cca.build(SimTime::ZERO),
+                Box::new(UnlimitedSource),
+            );
+            eng.run_until(SimTime::from_secs(15));
+            let out = (
+                h.recv.borrow().unique_bytes,
+                h.stats.borrow().retransmits,
+                h.stats.borrow().bytes_sent,
+            );
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn throughput_never_exceeds_link_rate(
+        cca in cca_strategy(),
+        rate_mbps in 2.0f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        let rate = rate_mbps * 1e6;
+        let mut eng = Engine::new(
+            BottleneckConfig { rate_bps: rate, queue_capacity_pkts: 128 },
+            seed,
+        );
+        build_simple_flow(
+            &mut eng,
+            ServiceId(0),
+            PathSpec::symmetric(SimDuration::from_millis(50)),
+            cca.build(SimTime::ZERO),
+            Box::new(UnlimitedSource),
+        );
+        eng.run_until(SimTime::from_secs(20));
+        let measured = eng.trace().mean_bps(
+            ServiceId(0),
+            SimTime::from_secs(5),
+            SimTime::from_secs(20),
+        );
+        // The bottleneck serializes: delivered rate is physically bounded.
+        prop_assert!(
+            measured <= rate * 1.001,
+            "throughput {measured} exceeds link {rate}"
+        );
+    }
+}

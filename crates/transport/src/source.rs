@@ -1,0 +1,160 @@
+//! Application data sources.
+//!
+//! A [`FlowSource`] tells the sender how many bytes the application has
+//! ready for a given flow. Service models in `prudentia-apps` implement
+//! this trait to express chunked video requests, Mega's batched chunks,
+//! rate caps, and RTC frame queues. Transport ships the trivial sources
+//! used by the iPerf baselines and by tests.
+
+use prudentia_sim::SimTime;
+
+/// Supplies bytes to a single flow's sender.
+pub trait FlowSource {
+    /// Bytes currently available to transmit. `u64::MAX` means unlimited
+    /// (an infinitely backlogged iPerf-style flow).
+    fn available(&mut self, now: SimTime) -> u64;
+    /// Called when the sender packetizes `bytes` from this source.
+    fn consume(&mut self, now: SimTime, bytes: u64);
+}
+
+/// An infinitely backlogged source (iPerf, unlimited file transfer).
+#[derive(Debug, Default)]
+pub struct UnlimitedSource;
+
+impl FlowSource for UnlimitedSource {
+    fn available(&mut self, _now: SimTime) -> u64 {
+        u64::MAX
+    }
+    fn consume(&mut self, _now: SimTime, _bytes: u64) {}
+}
+
+/// A source holding a finite number of bytes (one file).
+#[derive(Debug)]
+pub struct FiniteSource {
+    remaining: u64,
+}
+
+impl FiniteSource {
+    /// A source with `bytes` to send.
+    pub fn new(bytes: u64) -> Self {
+        FiniteSource { remaining: bytes }
+    }
+
+    /// Bytes not yet handed to the sender.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl FlowSource for FiniteSource {
+    fn available(&mut self, _now: SimTime) -> u64 {
+        self.remaining
+    }
+    fn consume(&mut self, _now: SimTime, bytes: u64) {
+        self.remaining = self.remaining.saturating_sub(bytes);
+    }
+}
+
+/// A token-bucket rate cap around another source — models upstream
+/// throttles such as OneDrive's 45 Mbps server-side cap (Table 1).
+pub struct RateCappedSource<S> {
+    inner: S,
+    rate_bps: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl<S: FlowSource> RateCappedSource<S> {
+    /// Wrap `inner` with a cap of `rate_bps`, allowing a 100 ms burst.
+    pub fn new(inner: S, rate_bps: f64) -> Self {
+        let burst = rate_bps / 8.0 * 0.100;
+        RateCappedSource {
+            inner,
+            rate_bps,
+            burst_bytes: burst,
+            tokens: burst,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + self.rate_bps / 8.0 * dt).min(self.burst_bytes);
+    }
+}
+
+impl<S: FlowSource> FlowSource for RateCappedSource<S> {
+    fn available(&mut self, now: SimTime) -> u64 {
+        self.refill(now);
+        let inner = self.inner.available(now);
+        inner.min(self.tokens.max(0.0) as u64)
+    }
+    fn consume(&mut self, now: SimTime, bytes: u64) {
+        self.refill(now);
+        self.tokens -= bytes as f64;
+        self.inner.consume(now, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_sim::SimDuration;
+
+    #[test]
+    fn unlimited_never_runs_out() {
+        let mut s = UnlimitedSource;
+        assert_eq!(s.available(SimTime::ZERO), u64::MAX);
+        s.consume(SimTime::ZERO, 1 << 40);
+        assert_eq!(s.available(SimTime::ZERO), u64::MAX);
+    }
+
+    #[test]
+    fn finite_source_depletes() {
+        let mut s = FiniteSource::new(3000);
+        assert_eq!(s.available(SimTime::ZERO), 3000);
+        s.consume(SimTime::ZERO, 1500);
+        assert_eq!(s.available(SimTime::ZERO), 1500);
+        s.consume(SimTime::ZERO, 1500);
+        assert_eq!(s.available(SimTime::ZERO), 0);
+        s.consume(SimTime::ZERO, 10); // over-consume saturates
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn rate_cap_limits_long_run_average() {
+        // 8 Mbps cap = 1e6 bytes/s.
+        let mut s = RateCappedSource::new(UnlimitedSource, 8e6);
+        let mut sent = 0u64;
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            t = t + SimDuration::from_millis(10);
+            let avail = s.available(t);
+            let take = avail.min(100_000);
+            s.consume(t, take);
+            sent += take;
+        }
+        // 10 seconds at 1 MB/s plus one burst allowance.
+        let expect = 10_000_000.0;
+        assert!(
+            (sent as f64 - expect).abs() / expect < 0.05,
+            "sent={sent} expect~{expect}"
+        );
+    }
+
+    #[test]
+    fn rate_cap_allows_burst() {
+        let mut s = RateCappedSource::new(UnlimitedSource, 8e6);
+        // Initially one full burst (100 ms at 1 MB/s = 100 KB) is available.
+        let avail = s.available(SimTime::ZERO);
+        assert!(avail >= 99_000 && avail <= 101_000, "{avail}");
+    }
+
+    #[test]
+    fn rate_cap_respects_inner_limit() {
+        let mut s = RateCappedSource::new(FiniteSource::new(500), 8e6);
+        assert_eq!(s.available(SimTime::ZERO), 500);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run one fairness experiment between two services.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Pits Mega (the most contentious service the paper found) against an
+//! iPerf NewReno baseline over the 50 Mbps moderately-constrained setting
+//! and prints the max-min-fair share each side achieved.
+
+use prudentia_apps::Service;
+use prudentia_core::{run_experiment, ExperimentSpec, NetworkSetting};
+
+fn main() {
+    let setting = NetworkSetting::moderately_constrained();
+    println!(
+        "Running: {} (contender) vs {} (incumbent) over {} ...",
+        Service::Mega.spec().name(),
+        Service::IperfReno.spec().name(),
+        setting.name
+    );
+
+    // `quick` = 3 simulated minutes with 30 s warm-up/cool-down trims;
+    // use `ExperimentSpec::paper` for the full 10-minute protocol.
+    let spec = ExperimentSpec::quick(
+        Service::Mega.spec(),
+        Service::IperfReno.spec(),
+        setting,
+        42, // seed: same seed, same result
+    );
+    let result = run_experiment(&spec);
+
+    for side in [&result.contender, &result.incumbent] {
+        println!(
+            "  {:<14} achieved {:>6.2} Mbps of a {:>5.1} Mbps max-min fair \
+             allocation  ({:.0}% MmF share, loss {:.2}%, mean queueing delay {:.1} ms)",
+            side.name,
+            side.throughput_bps / 1e6,
+            side.mmf_allocation_bps / 1e6,
+            side.mmf_share * 100.0,
+            side.loss_rate * 100.0,
+            side.mean_qdelay_ms,
+        );
+    }
+    println!("  link utilization: {:.1}%", result.utilization * 100.0);
+    let loser = if result.contender.mmf_share < result.incumbent.mmf_share {
+        &result.contender
+    } else {
+        &result.incumbent
+    };
+    println!(
+        "  => the losing service ({}) got {:.0}% of its fair share",
+        loser.name,
+        loser.mmf_share * 100.0
+    );
+}

@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerate every table/figure + extensions; outputs under results/.
+set -u
+cd /root/repo
+BINS_FAST="fig11 fig12 fig13 obs1 report"
+BINS_MAIN="table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table3"
+BINS_EXTRA="beyond_pairwise netsettings vantage ablation_mega ablation_abr"
+for b in $BINS_FAST $BINS_MAIN $BINS_EXTRA; do
+  if [ -s results/${b}.txt ] && ! grep -q INCOMPLETE results/${b}.txt; then
+    echo "=== $b (cached) ==="
+    continue
+  fi
+  echo "=== $b ==="
+  echo INCOMPLETE > results/${b}.txt
+  timeout 1800 ./target/release/$b > results/${b}.txt 2>&1
+  echo "$b exit=$? ($(wc -l < results/${b}.txt) lines)"
+done
+echo ALL_BINS_DONE

@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: whole experiments through the public
+//! API, asserting the paper's qualitative fairness shapes.
+
+use prudentia_apps::Service;
+use prudentia_core::{run_experiment, ExperimentSpec, NetworkSetting};
+
+fn quick(
+    contender: Service,
+    incumbent: Service,
+    setting: NetworkSetting,
+    seed: u64,
+) -> prudentia_core::ExperimentResult {
+    run_experiment(&ExperimentSpec::quick(
+        contender.spec(),
+        incumbent.spec(),
+        setting,
+        seed,
+    ))
+}
+
+#[test]
+fn iperf_self_competition_is_roughly_fair() {
+    for (svc, seed) in [
+        (Service::IperfReno, 1),
+        (Service::IperfCubic, 2),
+        (Service::IperfBbr, 3),
+    ] {
+        let r = quick(svc, svc, NetworkSetting::highly_constrained(), seed);
+        assert!(
+            r.incumbent.mmf_share > 0.5 && r.incumbent.mmf_share < 1.5,
+            "{:?} self-competition skewed: {:.2}",
+            svc,
+            r.incumbent.mmf_share
+        );
+        assert!(r.utilization > 0.85, "{svc:?} self pair underutilized");
+    }
+}
+
+#[test]
+fn mega_is_most_contentious_against_loss_based() {
+    // Obs 3/4: Mega depresses loss-based incumbents below fair at
+    // 50 Mbps, while BBR-based Dropbox recovers between its bursts.
+    let s = NetworkSetting::moderately_constrained();
+    let reno = quick(Service::Mega, Service::IperfReno, s.clone(), 5);
+    let dbox = quick(Service::Mega, Service::Dropbox, s, 5);
+    assert!(
+        reno.incumbent.mmf_share < 0.85,
+        "NewReno should lose vs Mega: {:.2}",
+        reno.incumbent.mmf_share
+    );
+    assert!(
+        dbox.incumbent.mmf_share > reno.incumbent.mmf_share,
+        "Dropbox ({:.2}) should fare better vs Mega than NewReno ({:.2})",
+        dbox.incumbent.mmf_share,
+        reno.incumbent.mmf_share
+    );
+}
+
+#[test]
+fn youtube_is_uncontentious_in_highly_constrained() {
+    // Obs 2: most services get more than their fair share against YouTube.
+    let s = NetworkSetting::highly_constrained();
+    for (inc, seed) in [(Service::IperfReno, 7), (Service::Dropbox, 8)] {
+        let r = quick(Service::YouTube, inc, s.clone(), seed);
+        assert!(
+            r.incumbent.mmf_share > 1.0,
+            "{inc:?} vs YouTube should exceed fair share: {:.2}",
+            r.incumbent.mmf_share
+        );
+    }
+}
+
+#[test]
+fn youtube_is_sensitive_in_highly_constrained() {
+    let s = NetworkSetting::highly_constrained();
+    for (con, seed) in [(Service::IperfReno, 9), (Service::Mega, 10)] {
+        let r = quick(con, Service::YouTube, s.clone(), seed);
+        assert!(
+            r.incumbent.mmf_share < 0.95,
+            "YouTube should yield vs {con:?}: {:.2}",
+            r.incumbent.mmf_share
+        );
+    }
+}
+
+#[test]
+fn video_is_application_limited_at_50mbps() {
+    // At 50 Mbps video services cannot use their fair half; the contender
+    // gets the remainder (the MmF allocation accounts for the cap).
+    let s = NetworkSetting::moderately_constrained();
+    let r = quick(Service::IperfCubic, Service::Netflix, s, 11);
+    assert_eq!(r.incumbent.mmf_allocation_bps, 8e6);
+    assert_eq!(r.contender.mmf_allocation_bps, 42e6);
+    assert!(
+        r.incumbent.throughput_bps < 12e6,
+        "Netflix must stay app-limited: {:.1} Mbps",
+        r.incumbent.throughput_bps / 1e6
+    );
+    assert!(
+        r.contender.throughput_bps > 25e6,
+        "Cubic should take the remainder: {:.1} Mbps",
+        r.contender.throughput_bps / 1e6
+    );
+}
+
+#[test]
+fn cubic_beats_newreno_more_at_higher_bandwidth() {
+    // Fig 2 / Obs 14: NewReno gets ~60% vs Cubic at 8 Mbps but only ~21%
+    // at 50 Mbps (Cubic is optimized for larger windows).
+    let hc = quick(
+        Service::IperfCubic,
+        Service::IperfReno,
+        NetworkSetting::highly_constrained(),
+        13,
+    );
+    let mc = quick(
+        Service::IperfCubic,
+        Service::IperfReno,
+        NetworkSetting::moderately_constrained(),
+        13,
+    );
+    assert!(
+        mc.incumbent.mmf_share < hc.incumbent.mmf_share,
+        "NewReno should suffer more vs Cubic at 50 Mbps ({:.2}) than at 8 Mbps ({:.2})",
+        mc.incumbent.mmf_share,
+        hc.incumbent.mmf_share
+    );
+    assert!(hc.incumbent.mmf_share < 1.0);
+}
+
+#[test]
+fn single_flow_bbr_pairs_see_no_loss() {
+    // Obs 10: single-flow BBR vs single-flow BBR does not fill the queue.
+    let r = quick(
+        Service::Dropbox,
+        Service::Dropbox,
+        NetworkSetting::moderately_constrained(),
+        17,
+    );
+    assert!(
+        r.incumbent.loss_rate < 0.001,
+        "BBR self pair lost {:.3}%",
+        r.incumbent.loss_rate * 100.0
+    );
+    assert!(
+        r.contender.loss_rate < 0.001,
+        "BBR self pair lost {:.3}%",
+        r.contender.loss_rate * 100.0
+    );
+}
+
+#[test]
+fn loss_based_contenders_inflate_queueing_delay() {
+    // Obs 6: loss-based CCAs stand deep queues; single-flow BBR does not.
+    let s = NetworkSetting::highly_constrained();
+    let vs_reno = quick(Service::IperfReno, Service::GoogleMeet, s.clone(), 19);
+    let vs_dbox = quick(Service::Dropbox, Service::GoogleMeet, s, 19);
+    assert!(
+        vs_reno.incumbent.high_delay_fraction > vs_dbox.incumbent.high_delay_fraction,
+        "Reno ({:.2}) should cause more high-delay packets than Dropbox ({:.2})",
+        vs_reno.incumbent.high_delay_fraction,
+        vs_dbox.incumbent.high_delay_fraction
+    );
+    assert!(
+        vs_reno.incumbent.high_delay_fraction > 0.2,
+        "loss-based contender should push much RTC traffic over the ITU \
+         budget: {:.2}",
+        vs_reno.incumbent.high_delay_fraction
+    );
+}
+
+#[test]
+fn results_are_deterministic() {
+    let s = NetworkSetting::highly_constrained();
+    let a = quick(Service::IperfCubic, Service::IperfReno, s.clone(), 23);
+    let b = quick(Service::IperfCubic, Service::IperfReno, s, 23);
+    assert_eq!(a.incumbent.throughput_bps, b.incumbent.throughput_bps);
+    assert_eq!(a.contender.loss_rate, b.contender.loss_rate);
+}

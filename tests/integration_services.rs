@@ -1,0 +1,180 @@
+//! Integration tests of the application models: every catalog service
+//! behaves like its Table 1 row when run end-to-end.
+
+use prudentia_apps::Service;
+use prudentia_core::{run_experiment, run_solo, AppSummary, ExperimentSpec, NetworkSetting};
+
+#[test]
+fn solo_rates_match_table1_caps() {
+    // Measured over a 200 Mbps pipe so only application caps bind.
+    let fat = NetworkSetting::custom(200e6);
+    let within = |svc: Service, lo: f64, hi: f64| {
+        let r = run_solo(&svc.spec(), &fat, 3);
+        assert!(
+            r >= lo && r <= hi,
+            "{svc:?} solo rate {:.2} Mbps outside [{:.1}, {:.1}]",
+            r / 1e6,
+            lo / 1e6,
+            hi / 1e6
+        );
+    };
+    within(Service::YouTube, 8e6, 15e6); // ~13 Mbps top rung
+    within(Service::Netflix, 5e6, 10e6); // ~8 Mbps
+    within(Service::Vimeo, 9e6, 16e6); // ~14 Mbps
+    within(Service::GoogleMeet, 0.9e6, 2.0e6); // 1.5 Mbps
+    within(Service::MicrosoftTeams, 1.6e6, 3.2e6); // 2.6 Mbps
+    within(Service::OneDrive, 36e6, 47e6); // 45 Mbps upstream throttle
+}
+
+#[test]
+fn unlimited_services_fill_a_fat_pipe() {
+    let fat = NetworkSetting::custom(100e6);
+    for svc in [Service::Dropbox, Service::GoogleDrive, Service::IperfCubic] {
+        let r = run_solo(&svc.spec(), &fat, 4);
+        assert!(
+            r > 80e6,
+            "{svc:?} should fill most of 100 Mbps: {:.1} Mbps",
+            r / 1e6
+        );
+    }
+}
+
+#[test]
+fn mega_solo_shows_bursts_but_good_average() {
+    let r = run_solo(
+        &Service::Mega.spec(),
+        &NetworkSetting::moderately_constrained(),
+        5,
+    );
+    assert!(
+        r > 25e6 && r < 50e6,
+        "Mega solo with batch gaps: {:.1} Mbps",
+        r / 1e6
+    );
+}
+
+#[test]
+fn rtc_metrics_present_under_contention() {
+    let spec = ExperimentSpec::quick(
+        Service::IperfCubic.spec(),
+        Service::GoogleMeet.spec(),
+        NetworkSetting::highly_constrained(),
+        6,
+    );
+    let r = run_experiment(&spec);
+    match r.incumbent.app {
+        AppSummary::Rtc {
+            majority_resolution,
+            avg_fps,
+            freezes_per_minute,
+        } => {
+            assert!(majority_resolution >= 120, "res {majority_resolution}p");
+            assert!(avg_fps > 5.0, "fps {avg_fps}");
+            assert!(freezes_per_minute >= 0.0);
+        }
+        ref other => panic!("expected RTC summary, got {other:?}"),
+    }
+}
+
+#[test]
+fn meet_keeps_fps_better_than_teams_under_pressure() {
+    // Obs 5: Meet sheds resolution, Teams sheds FPS.
+    let s = NetworkSetting::highly_constrained();
+    let meet = run_experiment(&ExperimentSpec::quick(
+        Service::IperfReno.spec(),
+        Service::GoogleMeet.spec(),
+        s.clone(),
+        7,
+    ));
+    let teams = run_experiment(&ExperimentSpec::quick(
+        Service::IperfReno.spec(),
+        Service::MicrosoftTeams.spec(),
+        s,
+        7,
+    ));
+    let fps = |a: &AppSummary| match a {
+        AppSummary::Rtc { avg_fps, .. } => *avg_fps,
+        _ => panic!("not rtc"),
+    };
+    let res = |a: &AppSummary| match a {
+        AppSummary::Rtc {
+            majority_resolution,
+            ..
+        } => *majority_resolution,
+        _ => panic!("not rtc"),
+    };
+    assert!(
+        fps(&meet.incumbent.app) >= fps(&teams.incumbent.app),
+        "Meet fps {:.1} should be >= Teams fps {:.1}",
+        fps(&meet.incumbent.app),
+        fps(&teams.incumbent.app)
+    );
+    // And Teams holds at least as much resolution as Meet.
+    assert!(res(&teams.incumbent.app) >= res(&meet.incumbent.app));
+}
+
+#[test]
+fn web_page_loads_complete_and_contention_slows_them() {
+    let s = NetworkSetting::highly_constrained();
+    // Solo-ish baseline: a zero-byte contender.
+    let solo_spec = {
+        let mut spec = ExperimentSpec::paper(
+            prudentia_apps::ServiceSpec::Bulk {
+                name: "(idle)".into(),
+                cca: prudentia_cc::CcaKind::NewReno,
+                flows: 1,
+                cap_bps: None,
+                file_bytes: Some(0),
+            },
+            Service::Wikipedia.spec(),
+            s.clone(),
+            8,
+        );
+        spec.duration = prudentia_sim::SimDuration::from_secs(240);
+        spec.warmup = prudentia_sim::SimDuration::from_secs(20);
+        spec.cooldown = prudentia_sim::SimDuration::from_secs(20);
+        spec
+    };
+    let solo = run_experiment(&solo_spec);
+    let mut loaded_spec = ExperimentSpec::paper(
+        Service::Mega.spec(),
+        Service::Wikipedia.spec(),
+        s,
+        8,
+    );
+    loaded_spec.duration = prudentia_sim::SimDuration::from_secs(240);
+    loaded_spec.warmup = prudentia_sim::SimDuration::from_secs(20);
+    loaded_spec.cooldown = prudentia_sim::SimDuration::from_secs(20);
+    let loaded = run_experiment(&loaded_spec);
+    let plt = |a: &AppSummary| match a {
+        AppSummary::Web {
+            median_plt_secs, ..
+        } => *median_plt_secs,
+        _ => panic!("not web"),
+    };
+    let p_solo = plt(&solo.incumbent.app);
+    let p_load = plt(&loaded.incumbent.app);
+    assert!(p_solo.is_finite() && p_solo > 0.1, "solo PLT {p_solo}");
+    assert!(
+        p_load > p_solo,
+        "contention must slow page loads: solo {p_solo:.2}s vs loaded {p_load:.2}s"
+    );
+}
+
+#[test]
+fn every_heatmap_service_moves_data_under_contention() {
+    let s = NetworkSetting::moderately_constrained();
+    for svc in Service::heatmap_set() {
+        let r = run_experiment(&ExperimentSpec::quick(
+            Service::IperfReno.spec(),
+            svc.spec(),
+            s.clone(),
+            9,
+        ));
+        assert!(
+            r.incumbent.throughput_bps > 0.1e6,
+            "{svc:?} starved entirely: {:.2} Mbps",
+            r.incumbent.throughput_bps / 1e6
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration tests of the watchdog scheduler and continuous loop.
+
+use prudentia_apps::{Service, ServiceSpec};
+use prudentia_cc::CcaKind;
+use prudentia_core::{
+    run_pair, run_pairs_parallel, DurationPolicy, NetworkSetting, PairSpec, TrialPolicy,
+    Watchdog, WatchdogConfig,
+};
+
+fn tiny_policy() -> TrialPolicy {
+    TrialPolicy {
+        min_trials: 2,
+        batch: 1,
+        max_trials: 3,
+    }
+}
+
+#[test]
+fn scheduler_extends_trials_for_unstable_pairs() {
+    // A pair with substantial trial-to-trial spread should hit the cap
+    // without converging under a tight tolerance.
+    let mut setting = NetworkSetting::moderately_constrained();
+    setting.name = "tight".into();
+    let out = run_pair(
+        &Service::Mega.spec(),
+        &Service::OneDrive.spec(),
+        &setting,
+        TrialPolicy {
+            min_trials: 6,
+            batch: 2,
+            max_trials: 8,
+        },
+        DurationPolicy::Quick,
+        0.0,
+    );
+    assert!(out.trials.len() >= 6);
+    // Converged or not, the outcome carries the stability verdict.
+    if !out.converged {
+        assert_eq!(out.trials.len(), 8, "unstable pairs must exhaust the cap");
+    }
+}
+
+#[test]
+fn discarded_trials_are_replaced() {
+    // With 30% external loss every trial is discarded; the safety valve
+    // must terminate the pair with zero kept trials rather than loop.
+    let out = run_pair(
+        &Service::IperfReno.spec(),
+        &Service::IperfReno.spec(),
+        &NetworkSetting::highly_constrained(),
+        tiny_policy(),
+        DurationPolicy::Quick,
+        0.30,
+    );
+    assert!(
+        out.trials.is_empty(),
+        "trials with 30% external loss must all be discarded"
+    );
+    assert!(!out.converged);
+}
+
+#[test]
+fn parallel_runner_is_exhaustive_and_deterministic() {
+    let services = [Service::IperfReno, Service::IperfCubic];
+    let mut pairs = Vec::new();
+    for a in &services {
+        for b in &services {
+            pairs.push(PairSpec {
+                contender: a.spec(),
+                incumbent: b.spec(),
+                setting: NetworkSetting::highly_constrained(),
+            });
+        }
+    }
+    let run = || {
+        run_pairs_parallel(&pairs, tiny_policy(), DurationPolicy::Quick, 4)
+            .into_iter()
+            .map(|o| (o.contender, o.incumbent, o.incumbent_mmf_median))
+            .collect::<Vec<_>>()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), 4);
+    assert_eq!(a, b, "parallel execution must not change outcomes");
+}
+
+#[test]
+fn watchdog_detects_cca_deployment_change() {
+    // Replicates Obs 13: swapping a service's CCA between iterations is
+    // reported as a fairness change.
+    let config = WatchdogConfig {
+        settings: vec![NetworkSetting::moderately_constrained()],
+        policy: tiny_policy(),
+        duration: DurationPolicy::Quick,
+        parallelism: 4,
+        change_threshold: 0.10,
+    };
+    let mut wd = Watchdog::new(
+        vec![Service::IperfReno.spec(), Service::Mega.spec()],
+        config,
+    );
+    wd.run_iteration();
+    // "Mega fixes its batching": swap it for a polite single-flow service
+    // under the same name.
+    wd.remove_service("Mega");
+    wd.add_service(ServiceSpec::Bulk {
+        name: "Mega".into(),
+        cca: CcaKind::BbrV1Linux415,
+        flows: 1,
+        cap_bps: None,
+        file_bytes: None,
+    });
+    let changes = wd.run_iteration();
+    assert!(
+        changes
+            .iter()
+            .any(|c| c.contender == "Mega" && c.incumbent == "iPerf (Reno)"),
+        "the watchdog must flag Mega's behaviour change: {changes:?}"
+    );
+    assert_eq!(wd.iterations_run(), 2);
+}
+
+#[test]
+fn store_survives_roundtrip_through_disk() {
+    let pairs = vec![PairSpec {
+        contender: Service::IperfReno.spec(),
+        incumbent: Service::IperfCubic.spec(),
+        setting: NetworkSetting::highly_constrained(),
+    }];
+    let outcomes = run_pairs_parallel(&pairs, tiny_policy(), DurationPolicy::Quick, 2);
+    let mut store = prudentia_core::ResultStore::new("integration");
+    store.extend(outcomes);
+    let path = std::env::temp_dir().join("prudentia_integration_store.json");
+    store.save(&path).expect("save");
+    let back = prudentia_core::ResultStore::load(&path).expect("load");
+    assert_eq!(back.outcomes.len(), 1);
+    assert_eq!(
+        back.outcomes[0].incumbent_mmf_median,
+        store.outcomes[0].incumbent_mmf_median
+    );
+    std::fs::remove_file(&path).ok();
+}
