@@ -69,10 +69,7 @@ impl AbrProfile {
 
     /// The service's maximum achievable media rate (its Table 1 "Max Xput").
     pub fn max_rate_bps(&self) -> f64 {
-        *self
-            .ladder_bps
-            .last()
-            .expect("ladder must not be empty")
+        *self.ladder_bps.last().expect("ladder must not be empty")
     }
 
     /// Pick the rung for the next segment given the current rung, the

@@ -32,7 +32,10 @@ pub fn build_bulk(
             None => Box::new(UnlimitedSource),
         };
         let source: Box<dyn FlowSource> = match cap_bps {
-            Some(cap) => Box::new(RateCappedSource::new(BoxedSource(inner), cap / flows as f64)),
+            Some(cap) => Box::new(RateCappedSource::new(
+                BoxedSource(inner),
+                cap / flows as f64,
+            )),
             None => inner,
         };
         let _ = i; // flows are interchangeable; index kept for readability
@@ -136,7 +139,11 @@ mod tests {
             Some(10_000_000),
         );
         eng.run_until(SimTime::from_secs(60));
-        let total: u64 = inst.flows.iter().map(|h| h.recv.borrow().unique_bytes).sum();
+        let total: u64 = inst
+            .flows
+            .iter()
+            .map(|h| h.recv.borrow().unique_bytes)
+            .sum();
         assert_eq!(total, 10_000_000);
     }
 }

@@ -31,13 +31,41 @@ pub fn zoom() -> ServiceSpec {
         profile: RtcProfile {
             max_rate_bps: 2.5e6,
             ladder: vec![
-                RtcRung { height: 1080, fps: 30.0, rate_bps: 2.5e6 },
-                RtcRung { height: 720, fps: 30.0, rate_bps: 1.5e6 },
-                RtcRung { height: 720, fps: 25.0, rate_bps: 1.0e6 },
-                RtcRung { height: 540, fps: 25.0, rate_bps: 0.7e6 },
-                RtcRung { height: 360, fps: 20.0, rate_bps: 0.4e6 },
-                RtcRung { height: 270, fps: 15.0, rate_bps: 0.22e6 },
-                RtcRung { height: 180, fps: 12.0, rate_bps: 0.12e6 },
+                RtcRung {
+                    height: 1080,
+                    fps: 30.0,
+                    rate_bps: 2.5e6,
+                },
+                RtcRung {
+                    height: 720,
+                    fps: 30.0,
+                    rate_bps: 1.5e6,
+                },
+                RtcRung {
+                    height: 720,
+                    fps: 25.0,
+                    rate_bps: 1.0e6,
+                },
+                RtcRung {
+                    height: 540,
+                    fps: 25.0,
+                    rate_bps: 0.7e6,
+                },
+                RtcRung {
+                    height: 360,
+                    fps: 20.0,
+                    rate_bps: 0.4e6,
+                },
+                RtcRung {
+                    height: 270,
+                    fps: 15.0,
+                    rate_bps: 0.22e6,
+                },
+                RtcRung {
+                    height: 180,
+                    fps: 12.0,
+                    rate_bps: 0.12e6,
+                },
             ],
         },
     }
@@ -53,8 +81,8 @@ pub fn live_video() -> ServiceSpec {
         flows: 1,
         profile: AbrProfile {
             ladder_bps: vec![0.4e6, 1.0e6, 2.0e6, 3.5e6, 6.0e6, 8.5e6],
-            segment_secs: 2.0,          // LL-HLS style short segments
-            max_buffer_secs: 6.0,       // live edge: tiny cushion
+            segment_secs: 2.0,    // LL-HLS style short segments
+            max_buffer_secs: 6.0, // live edge: tiny cushion
             startup_buffer_secs: 2.0,
             safety: 0.8,
             up_switch_patience: 2,
@@ -106,7 +134,11 @@ mod tests {
             let mut eng = engine(50e6, 1024, 61);
             let inst = build_service(&spec, &mut eng, ServiceId(0), RTT);
             eng.run_until(SimTime::from_secs(30));
-            let total: u64 = inst.flows.iter().map(|h| h.recv.borrow().unique_bytes).sum();
+            let total: u64 = inst
+                .flows
+                .iter()
+                .map(|h| h.recv.borrow().unique_bytes)
+                .sum();
             assert!(total > 100_000, "{} moved only {total} bytes", spec.name());
         }
     }
@@ -163,9 +195,11 @@ mod tests {
             RTT,
         );
         eng.run_until(SimTime::from_secs(120));
-        let reno = eng
-            .trace()
-            .mean_bps(ServiceId(1), SimTime::from_secs(24), SimTime::from_secs(120));
+        let reno = eng.trace().mean_bps(
+            ServiceId(1),
+            SimTime::from_secs(24),
+            SimTime::from_secs(120),
+        );
         // Eight Cubic flows vs one Reno: far below the 25 Mbps fair share.
         assert!(
             reno < 15e6,

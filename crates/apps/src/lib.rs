@@ -111,7 +111,11 @@ mod tests {
             let inst = build_service(&spec, &mut eng, ServiceId(0), NORMALIZED_RTT);
             // Web services start their first load at t=30s; run past it.
             eng.run_until(SimTime::from_secs(40));
-            let total: u64 = inst.flows.iter().map(|h| h.recv.borrow().unique_bytes).sum();
+            let total: u64 = inst
+                .flows
+                .iter()
+                .map(|h| h.recv.borrow().unique_bytes)
+                .sum();
             assert!(
                 total > 10_000,
                 "{} moved only {total} bytes in 40s",

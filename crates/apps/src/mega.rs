@@ -13,7 +13,9 @@ use prudentia_cc::CcaKind;
 use prudentia_sim::{
     Ctx, Endpoint, EndpointId, FlowId, Packet, PathSpec, ServiceId, SimDuration, SimTime,
 };
-use prudentia_transport::{build_flow_with_restart, CcFactory, DeliverySink, FlowSource, TOKEN_WAKE};
+use prudentia_transport::{
+    build_flow_with_restart, CcFactory, DeliverySink, FlowSource, TOKEN_WAKE,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -145,6 +147,7 @@ impl Endpoint for MegaController {
 }
 
 /// Build a Mega-style batched downloader.
+#[allow(clippy::too_many_arguments)]
 pub fn build_mega(
     engine: &mut Engine,
     service: ServiceId,
@@ -241,7 +244,11 @@ mod tests {
             25_000_000, // 5 batches of 5 MB
         );
         eng.run_until(SimTime::from_secs(60));
-        let total: u64 = inst.flows.iter().map(|h| h.recv.borrow().unique_bytes).sum();
+        let total: u64 = inst
+            .flows
+            .iter()
+            .map(|h| h.recv.borrow().unique_bytes)
+            .sum();
         assert_eq!(total, 25_000_000);
     }
 

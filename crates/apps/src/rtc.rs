@@ -48,12 +48,36 @@ impl RtcProfile {
         RtcProfile {
             max_rate_bps: 1.5e6,
             ladder: vec![
-                RtcRung { height: 720, fps: 30.0, rate_bps: 1.5e6 },
-                RtcRung { height: 540, fps: 30.0, rate_bps: 1.0e6 },
-                RtcRung { height: 360, fps: 30.0, rate_bps: 0.6e6 },
-                RtcRung { height: 270, fps: 30.0, rate_bps: 0.35e6 },
-                RtcRung { height: 180, fps: 30.0, rate_bps: 0.2e6 },
-                RtcRung { height: 120, fps: 30.0, rate_bps: 0.1e6 },
+                RtcRung {
+                    height: 720,
+                    fps: 30.0,
+                    rate_bps: 1.5e6,
+                },
+                RtcRung {
+                    height: 540,
+                    fps: 30.0,
+                    rate_bps: 1.0e6,
+                },
+                RtcRung {
+                    height: 360,
+                    fps: 30.0,
+                    rate_bps: 0.6e6,
+                },
+                RtcRung {
+                    height: 270,
+                    fps: 30.0,
+                    rate_bps: 0.35e6,
+                },
+                RtcRung {
+                    height: 180,
+                    fps: 30.0,
+                    rate_bps: 0.2e6,
+                },
+                RtcRung {
+                    height: 120,
+                    fps: 30.0,
+                    rate_bps: 0.1e6,
+                },
             ],
         }
     }
@@ -63,13 +87,41 @@ impl RtcProfile {
         RtcProfile {
             max_rate_bps: 2.6e6,
             ladder: vec![
-                RtcRung { height: 1080, fps: 30.0, rate_bps: 2.6e6 },
-                RtcRung { height: 1080, fps: 24.0, rate_bps: 1.8e6 },
-                RtcRung { height: 720, fps: 24.0, rate_bps: 1.2e6 },
-                RtcRung { height: 720, fps: 18.0, rate_bps: 0.8e6 },
-                RtcRung { height: 540, fps: 14.0, rate_bps: 0.45e6 },
-                RtcRung { height: 360, fps: 10.0, rate_bps: 0.25e6 },
-                RtcRung { height: 360, fps: 7.0, rate_bps: 0.15e6 },
+                RtcRung {
+                    height: 1080,
+                    fps: 30.0,
+                    rate_bps: 2.6e6,
+                },
+                RtcRung {
+                    height: 1080,
+                    fps: 24.0,
+                    rate_bps: 1.8e6,
+                },
+                RtcRung {
+                    height: 720,
+                    fps: 24.0,
+                    rate_bps: 1.2e6,
+                },
+                RtcRung {
+                    height: 720,
+                    fps: 18.0,
+                    rate_bps: 0.8e6,
+                },
+                RtcRung {
+                    height: 540,
+                    fps: 14.0,
+                    rate_bps: 0.45e6,
+                },
+                RtcRung {
+                    height: 360,
+                    fps: 10.0,
+                    rate_bps: 0.25e6,
+                },
+                RtcRung {
+                    height: 360,
+                    fps: 7.0,
+                    rate_bps: 0.15e6,
+                },
             ],
         }
     }
@@ -407,7 +459,11 @@ mod tests {
         );
         assert_eq!(m.majority_resolution(), 720);
         assert!(m.avg_fps() > 25.0, "fps {}", m.avg_fps());
-        assert!(m.freezes_per_minute() < 3.0, "fpm {}", m.freezes_per_minute());
+        assert!(
+            m.freezes_per_minute() < 3.0,
+            "fpm {}",
+            m.freezes_per_minute()
+        );
     }
 
     #[test]

@@ -41,8 +41,7 @@ impl VideoMetrics {
         if self.bitrate_history.is_empty() {
             return 0.0;
         }
-        self.bitrate_history.iter().map(|(_, b)| b).sum::<f64>()
-            / self.bitrate_history.len() as f64
+        self.bitrate_history.iter().map(|(_, b)| b).sum::<f64>() / self.bitrate_history.len() as f64
     }
 }
 

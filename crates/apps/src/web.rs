@@ -49,11 +49,31 @@ impl PageProfile {
             connections: 5,
             cca: CcaKind::BbrV1Linux415, // Table 1: BBRv1.0
             resources: vec![
-                Resource { bytes: 90_000, visual: 0.50, depth: 0 },  // HTML (text renders)
-                Resource { bytes: 60_000, visual: 0.10, depth: 1 },  // CSS
-                Resource { bytes: 220_000, visual: 0.00, depth: 1 }, // JS
-                Resource { bytes: 180_000, visual: 0.25, depth: 2 }, // lead image
-                Resource { bytes: 120_000, visual: 0.15, depth: 2 }, // second image
+                Resource {
+                    bytes: 90_000,
+                    visual: 0.50,
+                    depth: 0,
+                }, // HTML (text renders)
+                Resource {
+                    bytes: 60_000,
+                    visual: 0.10,
+                    depth: 1,
+                }, // CSS
+                Resource {
+                    bytes: 220_000,
+                    visual: 0.00,
+                    depth: 1,
+                }, // JS
+                Resource {
+                    bytes: 180_000,
+                    visual: 0.25,
+                    depth: 2,
+                }, // lead image
+                Resource {
+                    bytes: 120_000,
+                    visual: 0.15,
+                    depth: 2,
+                }, // second image
             ],
         }
     }
@@ -61,12 +81,28 @@ impl PageProfile {
     /// news.google.com: text plus many thumbnails over >20 connections.
     pub fn news_google() -> Self {
         let mut resources = vec![
-            Resource { bytes: 300_000, visual: 0.20, depth: 0 },
-            Resource { bytes: 350_000, visual: 0.05, depth: 1 },
-            Resource { bytes: 500_000, visual: 0.00, depth: 1 },
+            Resource {
+                bytes: 300_000,
+                visual: 0.20,
+                depth: 0,
+            },
+            Resource {
+                bytes: 350_000,
+                visual: 0.05,
+                depth: 1,
+            },
+            Resource {
+                bytes: 500_000,
+                visual: 0.00,
+                depth: 1,
+            },
         ];
         for _ in 0..24 {
-            resources.push(Resource { bytes: 60_000, visual: 0.75 / 24.0, depth: 2 });
+            resources.push(Resource {
+                bytes: 60_000,
+                visual: 0.75 / 24.0,
+                depth: 2,
+            });
         }
         PageProfile {
             connections: 20,
@@ -78,12 +114,28 @@ impl PageProfile {
     /// youtube.com (the homepage, not the video server): image-heavy.
     pub fn youtube_home() -> Self {
         let mut resources = vec![
-            Resource { bytes: 500_000, visual: 0.10, depth: 0 },
-            Resource { bytes: 400_000, visual: 0.00, depth: 1 },
-            Resource { bytes: 1_500_000, visual: 0.05, depth: 1 }, // big JS bundle
+            Resource {
+                bytes: 500_000,
+                visual: 0.10,
+                depth: 0,
+            },
+            Resource {
+                bytes: 400_000,
+                visual: 0.00,
+                depth: 1,
+            },
+            Resource {
+                bytes: 1_500_000,
+                visual: 0.05,
+                depth: 1,
+            }, // big JS bundle
         ];
         for _ in 0..30 {
-            resources.push(Resource { bytes: 120_000, visual: 0.85 / 30.0, depth: 2 });
+            resources.push(Resource {
+                bytes: 120_000,
+                visual: 0.85 / 30.0,
+                depth: 2,
+            });
         }
         PageProfile {
             connections: 10,
@@ -241,7 +293,13 @@ impl WebController {
             }
             // Depth advances when every resource at or below the current
             // released depth is done.
-            let max_depth = self.page.resources.iter().map(|r| r.depth).max().unwrap_or(0);
+            let max_depth = self
+                .page
+                .resources
+                .iter()
+                .map(|r| r.depth)
+                .max()
+                .unwrap_or(0);
             while load.released_depth < max_depth {
                 let all_done = self
                     .page
@@ -258,8 +316,7 @@ impl WebController {
             }
             for conn in 0..load.conn_queue.len() {
                 if load.conn_current[conn].is_none() {
-                    if let Some(next) = load
-                        .conn_queue[conn]
+                    if let Some(next) = load.conn_queue[conn]
                         .iter()
                         .find(|&&i| {
                             !load.done[i] && self.page.resources[i].depth <= load.released_depth
@@ -455,9 +512,7 @@ mod tests {
         assert!(
             PageProfile::youtube_home().total_bytes() > PageProfile::news_google().total_bytes()
         );
-        assert!(
-            PageProfile::news_google().total_bytes() > PageProfile::wikipedia().total_bytes()
-        );
+        assert!(PageProfile::news_google().total_bytes() > PageProfile::wikipedia().total_bytes());
     }
 
     #[test]
@@ -477,7 +532,10 @@ mod tests {
         let yt = run_page(8e6, PageProfile::youtube_home(), 80)
             .median_plt()
             .unwrap();
-        assert!(yt > wiki, "youtube.com ({yt}) should beat wikipedia ({wiki})");
+        assert!(
+            yt > wiki,
+            "youtube.com ({yt}) should beat wikipedia ({wiki})"
+        );
     }
 
     #[test]
@@ -489,13 +547,27 @@ mod tests {
             },
             52,
         );
-        let inst = build_web(&mut eng, ServiceId(0), RTT, PageProfile::wikipedia(), 1, 10, 2);
+        let inst = build_web(
+            &mut eng,
+            ServiceId(0),
+            RTT,
+            PageProfile::wikipedia(),
+            1,
+            10,
+            2,
+        );
         // 2 loads x 5 connections = 10 flows.
         assert_eq!(inst.flows.len(), 10);
         eng.run_until(SimTime::from_secs(30));
         // Both loads' connection sets carried traffic.
-        let first: u64 = inst.flows[..5].iter().map(|h| h.recv.borrow().unique_bytes).sum();
-        let second: u64 = inst.flows[5..].iter().map(|h| h.recv.borrow().unique_bytes).sum();
+        let first: u64 = inst.flows[..5]
+            .iter()
+            .map(|h| h.recv.borrow().unique_bytes)
+            .sum();
+        let second: u64 = inst.flows[5..]
+            .iter()
+            .map(|h| h.recv.borrow().unique_bytes)
+            .sum();
         assert!(first > 0 && second > 0);
         assert_eq!(first, second, "identical page over identical fresh conns");
     }

@@ -10,7 +10,7 @@ fn drive(cca: CcaKind, acks: u64) -> u64 {
     let mut now = SimTime::ZERO;
     let mut delivered = 0u64;
     for i in 0..acks {
-        now = now + SimDuration::from_micros(1200);
+        now += SimDuration::from_micros(1200);
         delivered += MSS;
         cc.on_ack(&AckSample {
             now,

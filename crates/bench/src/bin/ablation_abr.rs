@@ -6,9 +6,9 @@
 //! ABR's "desire for stability" rather than the CCA drives the outcome.
 
 use prudentia_apps::{AbrProfile, Service, ServiceSpec};
-use prudentia_bench::{bar, parallelism, Mode};
+use prudentia_bench::{bar, run_pairs, Mode};
 use prudentia_cc::CcaKind;
-use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec};
+use prudentia_core::{NetworkSetting, PairSpec};
 
 fn youtube_with(safety: f64, patience: u32) -> ServiceSpec {
     let mut profile = AbrProfile::youtube();
@@ -40,7 +40,7 @@ fn main() {
             setting: setting.clone(),
         })
         .collect();
-    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let outcomes = run_pairs(&pairs, mode);
     println!("ABR ablation — YouTube's MmF share vs iPerf Reno at 8 Mbps:");
     println!(
         "  {:>8} {:>9} {:>12} {:>10}",

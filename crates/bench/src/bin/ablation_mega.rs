@@ -7,9 +7,9 @@
 //! measures the damage to a NewReno incumbent at 50 Mbps.
 
 use prudentia_apps::{Service, ServiceSpec};
-use prudentia_bench::{bar, parallelism, Mode};
+use prudentia_bench::{bar, run_pairs, Mode};
 use prudentia_cc::CcaKind;
-use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec};
+use prudentia_core::{NetworkSetting, PairSpec};
 
 fn mega_variant(name: &str, cca: CcaKind, flows: u32, batching: bool) -> ServiceSpec {
     if batching {
@@ -37,10 +37,20 @@ fn main() {
     let setting = NetworkSetting::moderately_constrained();
     let variants = [
         mega_variant("full Mega", CcaKind::BbrV1MegaTuned, 5, true),
-        mega_variant("no batching (continuous)", CcaKind::BbrV1MegaTuned, 5, false),
+        mega_variant(
+            "no batching (continuous)",
+            CcaKind::BbrV1MegaTuned,
+            5,
+            false,
+        ),
         mega_variant("stock BBR (Linux 5.15)", CcaKind::BbrV1Linux515, 5, true),
         mega_variant("single flow", CcaKind::BbrV1MegaTuned, 1, true),
-        mega_variant("1 flow, stock, no batching", CcaKind::BbrV1Linux515, 1, false),
+        mega_variant(
+            "1 flow, stock, no batching",
+            CcaKind::BbrV1Linux515,
+            1,
+            false,
+        ),
     ];
     let pairs: Vec<PairSpec> = variants
         .iter()
@@ -50,7 +60,7 @@ fn main() {
             setting: setting.clone(),
         })
         .collect();
-    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let outcomes = run_pairs(&pairs, mode);
     println!("Mega ablation — NewReno incumbent's MmF share at 50 Mbps:");
     for (v, o) in variants.iter().zip(&outcomes) {
         let pct = o.incumbent_mmf_median * 100.0;

@@ -6,9 +6,9 @@
 //! once?
 
 use prudentia_apps::{iperf_n_flows, Service};
-use prudentia_bench::{bar, parallelism, Mode};
+use prudentia_bench::{bar, run_pairs, Mode};
 use prudentia_cc::CcaKind;
-use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec};
+use prudentia_core::{NetworkSetting, PairSpec};
 
 fn main() {
     let mode = Mode::from_env();
@@ -30,7 +30,7 @@ fn main() {
             setting: setting.clone(),
         })
         .collect();
-    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let outcomes = run_pairs(&pairs, mode);
     for (n, o) in counts.iter().zip(&outcomes) {
         let bbr_rate = o
             .trials
@@ -83,17 +83,23 @@ fn main() {
 }
 
 /// Run YouTube + Dropbox (+ optionally a third service) in one engine.
-fn three_way(
-    setting: &NetworkSetting,
-    third: Option<Service>,
-    mode: Mode,
-) -> (f64, f64, f64) {
+fn three_way(setting: &NetworkSetting, third: Option<Service>, mode: Mode) -> (f64, f64, f64) {
     use prudentia_apps::build_service;
     use prudentia_sim::{Engine, ServiceId, SimTime};
     let mut eng = Engine::new(setting.bottleneck(), 33);
     eng.set_service_pair(ServiceId(0), ServiceId(1));
-    build_service(&Service::YouTube.spec(), &mut eng, ServiceId(0), setting.base_rtt);
-    build_service(&Service::Dropbox.spec(), &mut eng, ServiceId(1), setting.base_rtt);
+    build_service(
+        &Service::YouTube.spec(),
+        &mut eng,
+        ServiceId(0),
+        setting.base_rtt,
+    );
+    build_service(
+        &Service::Dropbox.spec(),
+        &mut eng,
+        ServiceId(1),
+        setting.base_rtt,
+    );
     if let Some(t) = third {
         build_service(&t.spec(), &mut eng, ServiceId(2), setting.base_rtt);
     }

@@ -1,0 +1,66 @@
+//! Wall-clock benchmark of the trial execution layer: a quick-policy
+//! watchdog-style iteration over a small all-pairs matrix, run twice to
+//! show steady-state behaviour. The second iteration exercises the trial
+//! cache (pass any second argument to disable it).
+//!
+//! ```sh
+//! cargo run --release --bin exec_bench [parallelism] [--no-cache]
+//! ```
+
+use prudentia_apps::Service;
+use prudentia_core::{
+    execute_pairs, DurationPolicy, ExecutorConfig, NetworkSetting, PairSpec, TrialCache,
+    TrialPolicy,
+};
+use std::sync::Arc;
+
+fn main() {
+    let parallel = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    let use_cache = !std::env::args().any(|a| a == "--no-cache");
+    let services = [
+        Service::IperfReno,
+        Service::IperfCubic,
+        Service::IperfBbr415,
+    ];
+    let setting = NetworkSetting::highly_constrained();
+    let mut pairs = Vec::new();
+    for a in &services {
+        for b in &services {
+            pairs.push(PairSpec {
+                contender: a.spec(),
+                incumbent: b.spec(),
+                setting: setting.clone(),
+            });
+        }
+    }
+    eprintln!(
+        "{} pairs, quick policy, parallelism {parallel}, cache {}",
+        pairs.len(),
+        if use_cache { "on" } else { "off" },
+    );
+    let mut config = ExecutorConfig::new(TrialPolicy::quick(), DurationPolicy::Quick, parallel);
+    if use_cache {
+        config = config.with_cache(Arc::new(TrialCache::new()));
+    }
+    for iter in 1..=2 {
+        let (outcomes, stats) = execute_pairs(&pairs, &config);
+        let trials: usize = outcomes.iter().map(|o| o.trials.len()).sum();
+        println!(
+            "iteration {iter}: {:.2?} wall, {trials} kept trials, {} converged, \
+             {} simulated + {} cached (hit rate {:.0}%)",
+            stats.wall,
+            outcomes.iter().filter(|o| o.converged).count(),
+            stats.trials_run,
+            stats.trials_cached,
+            stats.cache_hit_rate() * 100.0,
+        );
+        print!("{stats}");
+    }
+}

@@ -60,7 +60,12 @@ fn main() {
         );
         let max = mbps.iter().cloned().fold(0.1, f64::max);
         for (i, v) in mbps.iter().enumerate() {
-            println!("    trial {:>2}: {:6.2} Mbps |{}", i + 1, v, bar(*v, max, 40));
+            println!(
+                "    trial {:>2}: {:6.2} Mbps |{}",
+                i + 1,
+                v,
+                bar(*v, max, 40)
+            );
         }
         println!(
             "    median {:.2} Mbps, IQR {:.2} Mbps",

@@ -21,7 +21,11 @@ fn main() {
         println!("{}", map.render_text());
         let csv = results_dir().join(format!(
             "fig12_{}_{}.csv",
-            if setting.rate_bps < 10e6 { "8mbps" } else { "50mbps" },
+            if setting.rate_bps < 10e6 {
+                "8mbps"
+            } else {
+                "50mbps"
+            },
             mode.tag()
         ));
         std::fs::write(&csv, map.render_csv()).expect("write csv");

@@ -5,8 +5,8 @@
 //! and Vimeo never causes unfairness.
 
 use prudentia_apps::Service;
-use prudentia_bench::{bar, parallelism, Mode};
-use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec};
+use prudentia_bench::{bar, run_pairs, Mode};
+use prudentia_core::{NetworkSetting, PairSpec};
 
 fn main() {
     let mode = Mode::from_env();
@@ -32,17 +32,14 @@ fn main() {
                 });
             }
         }
-        let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+        let outcomes = run_pairs(&pairs, mode);
         println!();
         println!("Fig 3 — {}", setting.name);
         println!("  incumbent MmF share when competing against a multi-flow contender:");
         for m in &multi {
             let flows = m.spec().flow_count();
             println!("  contender {} ({} flows):", m.spec().name(), flows);
-            for o in outcomes
-                .iter()
-                .filter(|o| o.contender == m.spec().name())
-            {
+            for o in outcomes.iter().filter(|o| o.contender == m.spec().name()) {
                 let pct = o.incumbent_mmf_median * 100.0;
                 println!(
                     "    {:<14} {:6.1}% |{}",

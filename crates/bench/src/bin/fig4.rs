@@ -6,25 +6,28 @@
 //! MmF share against Mega versus against five plain iPerf BBR flows.
 
 use prudentia_apps::{iperf_n_flows, Service};
-use prudentia_bench::{bar, parallelism, Mode};
+use prudentia_bench::{bar, run_pairs, Mode};
 use prudentia_cc::CcaKind;
-use prudentia_core::{run_experiment, run_pairs_parallel, NetworkSetting, PairSpec};
+use prudentia_core::{run_experiment, NetworkSetting, PairSpec};
 
 fn main() {
     let mode = Mode::from_env();
     let setting = NetworkSetting::moderately_constrained();
 
     // (a) Timeseries: Dropbox vs Mega.
-    let mut spec = mode
-        .duration()
-        .spec(Service::Mega.spec(), Service::Dropbox.spec(), setting.clone(), 4);
+    let mut spec = mode.duration().spec(
+        Service::Mega.spec(),
+        Service::Dropbox.spec(),
+        setting.clone(),
+        4,
+    );
     spec.record_series = true;
     let r = run_experiment(&spec);
     println!("Fig 4a — throughput timeseries (50 Mbps): Mega (M) vs Dropbox (D)");
     let series = r.series.expect("series recorded");
     let (w0, w1) = (60.0, 80.0);
     for p in series.iter().filter(|p| p.t_secs >= w0 && p.t_secs < w1) {
-        if (p.t_secs * 10.0).round() as u64 % 5 != 0 {
+        if !((p.t_secs * 10.0).round() as u64).is_multiple_of(5) {
             continue; // print every 500 ms
         }
         println!(
@@ -53,10 +56,13 @@ fn main() {
             setting: setting.clone(),
         });
     }
-    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let outcomes = run_pairs(&pairs, mode);
     println!();
     println!("Fig 4b / Obs 4 — incumbent MmF share: vs Mega vs five plain BBR flows");
-    println!("  {:<14} {:>10} {:>14}", "incumbent", "vs Mega", "vs 5x BBR");
+    println!(
+        "  {:<14} {:>10} {:>14}",
+        "incumbent", "vs Mega", "vs 5x BBR"
+    );
     for inc in &incumbents {
         let name = inc.spec().name().to_string();
         let vs_mega = outcomes

@@ -4,8 +4,8 @@
 //! settings (Observations 5 and 6).
 
 use prudentia_apps::Service;
-use prudentia_core::{run_experiment, AppSummary, NetworkSetting};
 use prudentia_bench::Mode;
+use prudentia_core::{run_experiment, AppSummary, NetworkSetting};
 use prudentia_stats::median;
 
 fn main() {

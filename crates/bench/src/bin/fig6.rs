@@ -11,7 +11,11 @@ use prudentia_stats::{median, quartiles};
 
 fn main() {
     let mode = Mode::from_env();
-    let pages = [Service::Wikipedia, Service::NewsGoogle, Service::YoutubeHome];
+    let pages = [
+        Service::Wikipedia,
+        Service::NewsGoogle,
+        Service::YoutubeHome,
+    ];
     let contenders = [
         None, // solo baseline
         Some(Service::IperfReno),
@@ -27,8 +31,8 @@ fn main() {
         println!();
         println!("Fig 6 — {} — page load time (seconds)", setting.name);
         println!(
-            "  {:<12} {:<12} {:>8} {:>8} {:>8}  {}",
-            "page", "contender", "p25", "median", "p75", ""
+            "  {:<12} {:<12} {:>8} {:>8} {:>8}  ",
+            "page", "contender", "p25", "median", "p75"
         );
         for page in &pages {
             for con in &contenders {
@@ -37,12 +41,8 @@ fn main() {
                     Some(c) => c.spec(),
                     None => Service::IperfBbr.spec(), // placeholder, replaced below
                 };
-                let mut spec = ExperimentSpec::paper(
-                    contender_spec,
-                    page.spec(),
-                    setting.clone(),
-                    17,
-                );
+                let mut spec =
+                    ExperimentSpec::paper(contender_spec, page.spec(), setting.clone(), 17);
                 if mode == Mode::Quick {
                     // Shorter run but still enough for ≥5 page loads.
                     spec.duration = prudentia_sim::SimDuration::from_secs(300);

@@ -3,8 +3,8 @@
 //! MmF share (and raw throughput) YouTube obtains against Dropbox.
 
 use prudentia_apps::Service;
-use prudentia_bench::{bar, parallelism, Mode};
-use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec};
+use prudentia_bench::{bar, run_pairs, Mode};
+use prudentia_core::{NetworkSetting, PairSpec};
 
 fn main() {
     let mode = Mode::from_env();
@@ -17,7 +17,7 @@ fn main() {
             setting: NetworkSetting::custom(bw),
         })
         .collect();
-    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let outcomes = run_pairs(&pairs, mode);
     println!("Fig 7 — YouTube vs Dropbox across bottleneck bandwidths");
     println!(
         "  {:>9} {:>10} {:>12} {:>9}",
@@ -45,8 +45,8 @@ fn main() {
     // Non-monotonicity check: any local interior minimum (the share falls
     // with added bandwidth before recovering) demonstrates Obs 12.
     println!();
-    let local_min = (1..rows.len() - 1)
-        .find(|&i| rows[i].1 < rows[i - 1].1 && rows[i].1 < rows[i + 1].1);
+    let local_min =
+        (1..rows.len() - 1).find(|&i| rows[i].1 < rows[i - 1].1 && rows[i].1 < rows[i + 1].1);
     if let Some(i) = local_min {
         println!(
             "Non-monotonic: YouTube's MmF share falls from {:.1}% at {:.0} Mbps to",
@@ -55,7 +55,10 @@ fn main() {
         );
         println!(
             "{:.1}% at {:.0} Mbps before recovering to {:.1}% at {:.0} Mbps — more",
-            rows[i].1, rows[i].0, rows[i + 1].1, rows[i + 1].0
+            rows[i].1,
+            rows[i].0,
+            rows[i + 1].1,
+            rows[i + 1].0
         );
         println!("bandwidth does not monotonically improve fairness (Obs 12).");
     } else {

@@ -11,12 +11,9 @@ fn main() {
     for mult in [4u64, 8u64] {
         let setting = NetworkSetting::moderately_constrained().with_bdp_multiple(mult);
         let cap = setting.queue_capacity_pkts();
-        let mut spec = mode.duration().spec(
-            Service::Mega.spec(),
-            Service::IperfReno.spec(),
-            setting,
-            8,
-        );
+        let mut spec =
+            mode.duration()
+                .spec(Service::Mega.spec(), Service::IperfReno.spec(), setting, 8);
         spec.record_series = true;
         let r = run_experiment(&spec);
         println!();
@@ -27,7 +24,7 @@ fn main() {
         let qs = r.queue_series.expect("queue series");
         let (w0, w1) = (60.0, 75.0);
         for q in qs.iter().filter(|q| q.t_secs >= w0 && q.t_secs < w1) {
-            if (q.t_secs * 10.0).round() as u64 % 5 != 0 {
+            if !((q.t_secs * 10.0).round() as u64).is_multiple_of(5) {
                 continue;
             }
             println!(

@@ -7,9 +7,9 @@
 //!     Dropbox, Google Drive and YouTube.
 
 use prudentia_apps::{Service, ServiceSpec};
-use prudentia_bench::{parallelism, Mode};
+use prudentia_bench::{run_pairs, Mode};
 use prudentia_cc::CcaKind;
-use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec};
+use prudentia_core::{NetworkSetting, PairSpec};
 
 fn bulk(name: &str, cca: CcaKind) -> ServiceSpec {
     ServiceSpec::Bulk {
@@ -45,7 +45,7 @@ fn main() {
             setting: setting.clone(),
         });
     }
-    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let outcomes = run_pairs(&pairs, mode);
     println!("Fig 9a — throughput against iPerf BBR (Linux 4.15), 2022 vs 2023 stacks");
     let tput = |name: &str| {
         outcomes
@@ -93,7 +93,7 @@ fn main() {
             });
         }
     }
-    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let outcomes = run_pairs(&pairs, mode);
     println!();
     println!("Fig 9b — incumbent MmF share vs the kernel's BBRv1, 4.15 vs 5.15");
     println!("  {:<14} {:>14} {:>14}", "incumbent", "vs 4.15", "vs 5.15");

@@ -5,9 +5,7 @@
 //! run. Output: `results/report_<mode>.md`.
 
 use prudentia_bench::{heatmap_labels, load_or_run_allpairs, results_dir, Mode};
-use prudentia_core::{
-    loser_stats, self_competition_mean, Heatmap, HeatmapStat, NetworkSetting,
-};
+use prudentia_core::{loser_stats, self_competition_mean, Heatmap, HeatmapStat, NetworkSetting};
 use std::fmt::Write as _;
 
 fn heatmap_md(map: &Heatmap) -> String {

@@ -13,15 +13,16 @@ fn main() {
     let setting = NetworkSetting::custom(200e6);
     println!("Table 1: Services supported in the Prudentia testbed");
     println!(
-        "{:<18} {:<22} {:>12} {:>8}   {}",
-        "Service", "CCA", "Max Xput", "# Flows", "Notes"
+        "{:<18} {:<22} {:>12} {:>8}   Notes",
+        "Service", "CCA", "Max Xput", "# Flows"
     );
     println!("{}", "-".repeat(90));
     for svc in Service::all() {
         let spec = svc.spec();
         let solo = run_solo(&spec, &setting, 1);
         let cap = spec.demand().cap_bps;
-        let throttled = cap.is_some_and(|c| c < 0.5 * setting.rate_bps) || solo < 0.5 * setting.rate_bps;
+        let throttled =
+            cap.is_some_and(|c| c < 0.5 * setting.rate_bps) || solo < 0.5 * setting.rate_bps;
         let xput = match cap {
             Some(_) => format!("{:.1} Mbps", solo / 1e6),
             None if !throttled => "unltd".to_string(),

@@ -3,8 +3,8 @@
 //! predict what α does to γ.
 
 use prudentia_apps::Service;
-use prudentia_bench::{parallelism, Mode};
-use prudentia_core::{run_pairs_parallel, NetworkSetting, PairSpec, TransitivityRow};
+use prudentia_bench::{run_pairs, Mode};
+use prudentia_core::{NetworkSetting, PairSpec, TransitivityRow};
 
 fn main() {
     let mode = Mode::from_env();
@@ -40,12 +40,14 @@ fn main() {
             });
         }
     }
-    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let outcomes = run_pairs(&pairs, mode);
     let share = |c: Service, i: Service, s: &NetworkSetting| {
         outcomes
             .iter()
             .find(|o| {
-                o.contender == c.spec().name() && o.incumbent == i.spec().name() && o.setting == s.name
+                o.contender == c.spec().name()
+                    && o.incumbent == i.spec().name()
+                    && o.setting == s.name
             })
             .map(|o| o.incumbent_mmf_median * 100.0)
             .unwrap_or(f64::NAN)

@@ -11,14 +11,19 @@
 //! * `PRUDENTIA_RESULTS` — directory for shared result JSON (default
 //!   `results/`). Figs 2, 11, 12, 13 and the Obs 1 statistics all derive
 //!   from one all-pairs run that is cached there.
+//! * `PRUDENTIA_TRIAL_CACHE` — optional path of a persistent per-trial
+//!   cache; binaries that re-run overlapping pair sets then skip trials
+//!   already simulated (results are identical either way).
 
 #![warn(missing_docs)]
 
 use prudentia_apps::Service;
 use prudentia_core::{
-    run_pairs_parallel, DurationPolicy, NetworkSetting, PairSpec, ResultStore, TrialPolicy,
+    execute_pairs, DurationPolicy, ExecutorConfig, NetworkSetting, PairSpec, ResultStore,
+    TrialCache, TrialPolicy,
 };
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Execution mode for regeneration binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +80,38 @@ pub fn parallelism() -> usize {
         })
 }
 
+/// The shared trial cache named by `PRUDENTIA_TRIAL_CACHE`, if any.
+/// A missing or unreadable file starts cold.
+pub fn trial_cache() -> Option<(Arc<TrialCache>, PathBuf)> {
+    let path = PathBuf::from(std::env::var("PRUDENTIA_TRIAL_CACHE").ok()?);
+    let cache = TrialCache::load(&path).unwrap_or_else(|e| {
+        eprintln!("warning: ignoring trial cache {}: {e}", path.display());
+        TrialCache::new()
+    });
+    Some((Arc::new(cache), path))
+}
+
+/// Run pairs on the trial executor, honouring `PRUDENTIA_TRIAL_CACHE`,
+/// and print the run's telemetry to stderr.
+pub fn run_pairs(pairs: &[PairSpec], mode: Mode) -> Vec<prudentia_core::PairOutcome> {
+    let mut config = ExecutorConfig::new(mode.policy(), mode.duration(), parallelism());
+    let cache = trial_cache();
+    if let Some((c, _)) = &cache {
+        config = config.with_cache(Arc::clone(c));
+    }
+    let (outcomes, stats) = execute_pairs(pairs, &config);
+    eprint!("{stats}");
+    if let Some((c, path)) = &cache {
+        if let Err(e) = c.save(path) {
+            eprintln!(
+                "warning: failed to save trial cache {}: {e}",
+                path.display()
+            );
+        }
+    }
+    outcomes
+}
+
 /// Directory for shared result files.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("PRUDENTIA_RESULTS").unwrap_or_else(|_| "results".into());
@@ -111,7 +148,7 @@ pub fn load_or_run_allpairs(mode: Mode) -> ResultStore {
             }
         }
     }
-    let outcomes = run_pairs_parallel(&pairs, mode.policy(), mode.duration(), parallelism());
+    let outcomes = run_pairs(&pairs, mode);
     let mut store = ResultStore::new(format!("all-pairs heatmap run ({})", mode.tag()));
     store.extend(outcomes);
     store.save(&path).expect("save all-pairs results");

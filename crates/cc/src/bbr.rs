@@ -459,8 +459,7 @@ impl CongestionControl for Bbr {
                         } else {
                             ack.inflight_bytes as f64 + self.round_bytes_lost as f64
                         };
-                        self.inflight_hi =
-                            (base * self.cfg.loss_beta).max(self.min_cwnd() as f64);
+                        self.inflight_hi = (base * self.cfg.loss_beta).max(self.min_cwnd() as f64);
                     } else if self.inflight_hi.is_finite() {
                         // Probe the ceiling back up while the path stays
                         // clean (v3's PROBE_UP doubles its step each round;
@@ -558,7 +557,7 @@ mod tests {
         }
 
         fn step(&mut self, bw_bps: f64, rtt_ms: u64, inflight: u64, app_limited: bool) {
-            self.now = self.now + SimDuration::from_millis(10);
+            self.now += SimDuration::from_millis(10);
             let bytes = (bw_bps / 8.0 * 0.010) as u64;
             self.delivered += bytes;
             let round_start = self.delivered >= self.next_round_at;

@@ -107,7 +107,9 @@ impl CongestionControl for Cubic {
         if self.epoch_start.is_none() {
             self.begin_epoch(now);
         }
-        let t = now.saturating_since(self.epoch_start.unwrap()).as_secs_f64();
+        let t = now
+            .saturating_since(self.epoch_start.unwrap())
+            .as_secs_f64();
         let rtt = self.srtt.as_secs_f64();
         let w_max_seg = self.w_max / MSS as f64;
         // Target window one RTT in the future (RFC 8312 §4.1).

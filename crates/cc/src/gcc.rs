@@ -311,7 +311,6 @@ mod tests {
         let before = g.target_rate_bps();
         // 30% loss over > 1 s.
         for i in 0..100u64 {
-
             g.on_loss(&LossSample {
                 now: SimTime::from_millis(2000 + i * 20),
                 bytes_lost: 600,

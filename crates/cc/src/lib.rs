@@ -127,9 +127,7 @@ impl CcaKind {
             CcaKind::BbrV1Linux415 => Box::new(Bbr::new(BbrConfig::v1_linux_4_15(), now)),
             CcaKind::BbrV1Linux515 => Box::new(Bbr::new(BbrConfig::v1_linux_5_15(), now)),
             CcaKind::BbrV11YoutubeTuned => Box::new(Bbr::new(BbrConfig::v1_1_youtube(), now)),
-            CcaKind::BbrV11Youtube2022 => {
-                Box::new(Bbr::new(BbrConfig::v1_1_youtube_2022(), now))
-            }
+            CcaKind::BbrV11Youtube2022 => Box::new(Bbr::new(BbrConfig::v1_1_youtube_2022(), now)),
             CcaKind::BbrV1MegaTuned => Box::new(Bbr::new(BbrConfig::v1_mega_tuned(), now)),
             CcaKind::BbrV3 => Box::new(Bbr::new(BbrConfig::v3(), now)),
             CcaKind::Gcc => Box::new(Gcc::new(now)),

@@ -24,7 +24,10 @@ impl<T: PartialOrd + Copy> WindowedMax<T> {
     /// Create a filter over a window of the given width (in whatever unit
     /// the caller timestamps samples with).
     pub fn new(window: u64) -> Self {
-        WindowedMax { window, est: [None; 3] }
+        WindowedMax {
+            window,
+            est: [None; 3],
+        }
     }
 
     /// Change the window width (takes effect on the next update).
@@ -110,7 +113,9 @@ impl PartialOrd for Reversed {
 impl WindowedMin {
     /// Create a windowed-min filter of the given width.
     pub fn new(window: u64) -> Self {
-        WindowedMin { inner: WindowedMax::new(window) }
+        WindowedMin {
+            inner: WindowedMax::new(window),
+        }
     }
 
     /// Change the window width.
@@ -207,8 +212,7 @@ mod tests {
         // true max is among the three retained samples, which we verify on
         // a monotone-friendly series.
         let mut f = WindowedMax::new(5);
-        let series: Vec<(u64, f64)> =
-            (0..50u64).map(|t| (t, ((t * 7919) % 97) as f64)).collect();
+        let series: Vec<(u64, f64)> = (0..50u64).map(|t| (t, ((t * 7919) % 97) as f64)).collect();
         for &(t, v) in &series {
             f.update(t, v);
             let true_max = series

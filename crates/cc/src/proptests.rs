@@ -5,8 +5,8 @@
 #![cfg(test)]
 
 use crate::{AckSample, CcaKind, LossSample, MSS};
-use prudentia_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
+use prudentia_sim::{SimDuration, SimTime};
 
 #[derive(Debug, Clone)]
 enum Ev {
@@ -79,7 +79,7 @@ proptest! {
             let mut now = SimTime::ZERO;
             let mut delivered = 0u64;
             for ev in &events {
-                now = now + SimDuration::from_millis(10);
+                now += SimDuration::from_millis(10);
                 match ev {
                     Ev::Ack { bytes, rtt_ms, rate_mbps, inflight, app_limited, round_start } => {
                         delivered += bytes;

@@ -10,20 +10,25 @@
 //! ```
 //!
 //! Options: `--paper` (full §3.4 protocol), `--trials N`, `--seed N`,
-//! `--parallel N`. Service names are the catalog labels from
+//! `--parallel N`, `--cache PATH` (persist trial results so repeated
+//! matrix/watch runs skip already-simulated trials), `--stats` (print
+//! executor telemetry). Service names are the catalog labels from
 //! `prudentia list` (case-insensitive).
 
 use prudentia_apps::Service;
 use prudentia_core::{
-    run_experiment, run_pairs_parallel, run_solo, DurationPolicy, Heatmap, HeatmapStat,
-    NetworkSetting, PairSpec, TrialPolicy, Watchdog, WatchdogConfig,
+    execute_pairs, run_solo, DurationPolicy, ExecutorConfig, Heatmap, HeatmapStat, NetworkSetting,
+    PairSpec, TrialCache, TrialPolicy, Watchdog, WatchdogConfig,
 };
+use std::path::PathBuf;
+use std::sync::Arc;
 
 fn find_service(name: &str) -> Option<Service> {
     let lname = name.to_lowercase();
-    Service::all().into_iter().chain([Service::IperfBbr415]).find(|s| {
-        s.label().to_lowercase() == lname || s.spec().name().to_lowercase() == lname
-    })
+    Service::all()
+        .into_iter()
+        .chain([Service::IperfBbr415])
+        .find(|s| s.label().to_lowercase() == lname || s.spec().name().to_lowercase() == lname)
 }
 
 struct Opts {
@@ -33,6 +38,8 @@ struct Opts {
     parallel: usize,
     setting: Option<f64>,
     iterations: u64,
+    cache: Option<PathBuf>,
+    stats: bool,
     positional: Vec<String>,
 }
 
@@ -46,6 +53,8 @@ fn parse_args() -> Opts {
             .unwrap_or(1),
         setting: None,
         iterations: 1,
+        cache: None,
+        stats: false,
         positional: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -67,6 +76,10 @@ fn parse_args() -> Opts {
             "--iterations" => {
                 opts.iterations = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
             }
+            "--cache" => {
+                opts.cache = args.next().map(PathBuf::from);
+            }
+            "--stats" => opts.stats = true,
             other => opts.positional.push(other.to_string()),
         }
     }
@@ -109,7 +122,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: prudentia <list|pair|solo|classify|matrix|watch> [args] \
          [--paper] [--trials N] [--seed N] [--parallel N] [--setting MBPS] \
-         [--iterations N]"
+         [--iterations N] [--cache PATH] [--stats]"
     );
     std::process::exit(2)
 }
@@ -131,7 +144,10 @@ fn main() {
 }
 
 fn cmd_list() {
-    println!("{:<16} {:<18} {:<22} {:>7}", "label", "name", "cca", "flows");
+    println!(
+        "{:<16} {:<18} {:<22} {:>7}",
+        "label", "name", "cca", "flows"
+    );
     for svc in Service::all().into_iter().chain([Service::IperfBbr415]) {
         let spec = svc.spec();
         println!(
@@ -155,14 +171,8 @@ fn cmd_pair(opts: &Opts) {
     };
     let (policy, duration) = policy_for(opts);
     for setting in settings_for(opts) {
-        let out = prudentia_core::run_pair(
-            &con.spec(),
-            &inc.spec(),
-            &setting,
-            policy,
-            duration,
-            0.0,
-        );
+        let out =
+            prudentia_core::run_pair(&con.spec(), &inc.spec(), &setting, policy, duration, 0.0);
         println!(
             "{}: {} (contender) vs {} (incumbent)",
             setting.name, out.contender, out.incumbent
@@ -256,7 +266,28 @@ fn cmd_matrix(opts: &Opts) {
             setting.name,
             opts.parallel
         );
-        let outcomes = run_pairs_parallel(&pairs, policy, duration, opts.parallel);
+        let mut exec = ExecutorConfig::new(policy, duration, opts.parallel);
+        let cache = opts.cache.as_ref().map(|path| {
+            Arc::new(TrialCache::load(path).unwrap_or_else(|e| {
+                eprintln!("warning: ignoring trial cache {}: {e}", path.display());
+                TrialCache::new()
+            }))
+        });
+        if let Some(c) = &cache {
+            exec = exec.with_cache(Arc::clone(c));
+        }
+        let (outcomes, stats) = execute_pairs(&pairs, &exec);
+        if let (Some(c), Some(path)) = (&cache, &opts.cache) {
+            if let Err(e) = c.save(path) {
+                eprintln!(
+                    "warning: failed to save trial cache {}: {e}",
+                    path.display()
+                );
+            }
+        }
+        if opts.stats {
+            eprint!("{stats}");
+        }
         let labels: Vec<String> = services
             .iter()
             .map(|s| s.spec().name().to_string())
@@ -275,6 +306,7 @@ fn cmd_watch(opts: &Opts) {
         duration,
         parallelism: opts.parallel,
         change_threshold: 0.2,
+        cache_path: opts.cache.clone(),
     };
     let services: Vec<_> = Service::heatmap_set().iter().map(|s| s.spec()).collect();
     let mut wd = Watchdog::new(services, config);
@@ -296,6 +328,10 @@ fn cmd_watch(opts: &Opts) {
                 c.after * 100.0
             );
         }
+        if opts.stats {
+            if let Some(stats) = wd.last_stats() {
+                eprint!("{stats}");
+            }
+        }
     }
-    let _ = run_experiment; // re-exported surface is exercised elsewhere
 }

@@ -173,8 +173,9 @@ pub fn extract_features(spec: &ServiceSpec, cfg: &ClassifierConfig, seed: u64) -
 
     // Periodicity via autocorrelation over the 100 ms throughput bins;
     // search 2-20 s lags (PROBE_RTT fires every ~10 s).
-    let period_secs = prudentia_stats::dominant_period(&rates, 20, 200.min(rates.len().saturating_sub(1)))
-        .map(|lag| lag as f64 * 0.1);
+    let period_secs =
+        prudentia_stats::dominant_period(&rates, 20, 200.min(rates.len().saturating_sub(1)))
+            .map(|lag| lag as f64 * 0.1);
 
     CcaFeatures {
         utilization: mean_bps / cfg.rate_bps,

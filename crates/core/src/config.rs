@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn paper_queue_sizes() {
-        assert_eq!(NetworkSetting::highly_constrained().queue_capacity_pkts(), 128);
+        assert_eq!(
+            NetworkSetting::highly_constrained().queue_capacity_pkts(),
+            128
+        );
         assert_eq!(
             NetworkSetting::moderately_constrained().queue_capacity_pkts(),
             1024
@@ -119,7 +122,10 @@ mod tests {
 
     #[test]
     fn tolerances_match_paper() {
-        assert_eq!(NetworkSetting::highly_constrained().ci_tolerance_bps(), 0.5e6);
+        assert_eq!(
+            NetworkSetting::highly_constrained().ci_tolerance_bps(),
+            0.5e6
+        );
         assert_eq!(
             NetworkSetting::moderately_constrained().ci_tolerance_bps(),
             1.5e6

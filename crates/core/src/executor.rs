@@ -1,0 +1,614 @@
+//! Work-stealing trial pool (the execution layer behind the §3.4
+//! scheduler).
+//!
+//! The previous implementation ran trials in *waves*: every pair
+//! contributed its deficit to a work list, all workers drained it, and
+//! only then were stopping rules evaluated. That barrier left workers
+//! idle at the end of every wave and kept issuing trials for pairs whose
+//! confidence interval had already collapsed. This module replaces it
+//! with a continuously-fed pool:
+//!
+//! - workers claim one trial at a time, round-robin across pairs, so all
+//!   workers stay busy until the whole matrix is done;
+//! - each pair's 95% median-CI stopping rule is re-evaluated *as trials
+//!   land*, at every kept-trial count from `min_trials` upward, so a
+//!   converged pair stops issuing work immediately instead of at the
+//!   next wave boundary;
+//! - the paper's discard-and-replace rule for high-external-loss trials
+//!   (§3.4) issues the replacement trial at once without stalling other
+//!   pairs.
+//!
+//! # Determinism
+//!
+//! Outcomes are byte-identical regardless of worker count, completion
+//! timing, and cache state. Every trial's seed comes from
+//! [`crate::scheduler::trial_seed`] applied to the pair identity and a
+//! per-pair monotonic index (discarded trials consume an index, so the
+//! replacement's seed is the same whether the discard was noticed early
+//! or late). All *decisions* — extend, converge, discard-and-replace,
+//! give up at the safety valve — are functions of trial results folded
+//! in index order behind a contiguous frontier, never of completion
+//! order. A worker may speculatively execute an index the single-threaded
+//! schedule would not have reached; such trials are simply ignored by the
+//! fold, so they cost wall time but cannot change results.
+
+use crate::cache::{trial_key, TrialCache};
+use crate::experiment::ExperimentResult;
+use crate::runner::run_experiment_instrumented;
+use crate::scheduler::{
+    summarize_pair, trial_seed, DurationPolicy, PairOutcome, PairSpec, TrialPolicy,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration for one [`execute_pairs`] run.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Trial-count policy (min / extension / max).
+    pub policy: TrialPolicy,
+    /// Experiment length policy.
+    pub duration: DurationPolicy,
+    /// Worker threads (clamped to at least 1).
+    pub parallelism: usize,
+    /// External (upstream) loss injected into every trial; trials whose
+    /// measured external loss exceeds the §3.4 threshold are discarded
+    /// and replaced.
+    pub external_loss: f64,
+    /// Optional memo table: trials found here skip simulation entirely.
+    pub cache: Option<Arc<TrialCache>>,
+}
+
+impl ExecutorConfig {
+    /// A config with no external loss and no cache.
+    pub fn new(policy: TrialPolicy, duration: DurationPolicy, parallelism: usize) -> Self {
+        ExecutorConfig {
+            policy,
+            duration,
+            parallelism,
+            external_loss: 0.0,
+            cache: None,
+        }
+    }
+
+    /// Attach a trial cache.
+    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+/// Per-pair telemetry from one run.
+#[derive(Debug, Clone)]
+pub struct PairStats {
+    /// Contender display name.
+    pub contender: String,
+    /// Incumbent display name.
+    pub incumbent: String,
+    /// Setting name.
+    pub setting: String,
+    /// Kept trials in the final outcome (trials-to-convergence when
+    /// `converged`, otherwise how far the pair got).
+    pub kept_trials: usize,
+    /// Whether the CI stopping rule was satisfied.
+    pub converged: bool,
+    /// Trials discarded for excessive external loss (each was replaced).
+    pub discarded: usize,
+    /// Trials served from the cache.
+    pub cache_hits: usize,
+}
+
+/// Aggregate telemetry for one [`execute_pairs`] run, printed by the
+/// watchdog binary.
+#[derive(Debug, Clone)]
+pub struct SchedulerStats {
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Trials actually simulated.
+    pub trials_run: usize,
+    /// Trials served from the cache (no simulation).
+    pub trials_cached: usize,
+    /// Trials discarded for excessive external loss.
+    pub trials_discarded: usize,
+    /// Simulator events processed across all executed trials.
+    pub sim_events: u64,
+    /// Simulated seconds across all executed trials.
+    pub sim_secs: f64,
+    /// Sum of per-trial wall times (executed trials only).
+    pub trial_wall_total: Duration,
+    /// Slowest single trial.
+    pub trial_wall_max: Duration,
+    /// Per-pair breakdown, in input order.
+    pub pairs: Vec<PairStats>,
+}
+
+impl SchedulerStats {
+    /// Executed + cached trials that reached the fold.
+    pub fn trials_total(&self) -> usize {
+        self.trials_run + self.trials_cached
+    }
+
+    /// Fraction of trials served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.trials_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.trials_cached as f64 / total as f64
+        }
+    }
+
+    /// Mean wall time per executed trial.
+    pub fn mean_trial_wall(&self) -> Duration {
+        if self.trials_run == 0 {
+            Duration::ZERO
+        } else {
+            self.trial_wall_total / self.trials_run as u32
+        }
+    }
+
+    /// Simulated seconds per wall second (the simulator's speedup over
+    /// real time; >1 means faster than the testbed it models).
+    pub fn sim_rate(&self) -> f64 {
+        let w = self.wall.as_secs_f64();
+        if w == 0.0 {
+            0.0
+        } else {
+            self.sim_secs / w
+        }
+    }
+
+    /// Simulator events processed per wall second.
+    pub fn events_per_sec(&self) -> f64 {
+        let w = self.wall.as_secs_f64();
+        if w == 0.0 {
+            0.0
+        } else {
+            self.sim_events as f64 / w
+        }
+    }
+
+    /// Pairs whose stopping rule was satisfied.
+    pub fn converged_pairs(&self) -> usize {
+        self.pairs.iter().filter(|p| p.converged).count()
+    }
+}
+
+impl std::fmt::Display for SchedulerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "executor: {} pairs in {:.2?} wall ({}/{} converged)",
+            self.pairs.len(),
+            self.wall,
+            self.converged_pairs(),
+            self.pairs.len(),
+        )?;
+        writeln!(
+            f,
+            "  trials: {} simulated, {} cached (hit rate {:.0}%), {} discarded+replaced",
+            self.trials_run,
+            self.trials_cached,
+            self.cache_hit_rate() * 100.0,
+            self.trials_discarded,
+        )?;
+        writeln!(
+            f,
+            "  sim: {} events ({:.2e}/s), {:.0} sim-secs ({:.0}x realtime)",
+            self.sim_events,
+            self.events_per_sec(),
+            self.sim_secs,
+            self.sim_rate(),
+        )?;
+        writeln!(
+            f,
+            "  per-trial wall: mean {:.2?}, max {:.2?}",
+            self.mean_trial_wall(),
+            self.trial_wall_max,
+        )?;
+        for p in &self.pairs {
+            writeln!(
+                f,
+                "  {} vs {} @ {}: {} trials{}{}{}",
+                p.contender,
+                p.incumbent,
+                p.setting,
+                p.kept_trials,
+                if p.converged { "" } else { " (unconverged)" },
+                if p.discarded > 0 {
+                    format!(", {} discarded", p.discarded)
+                } else {
+                    String::new()
+                },
+                if p.cache_hits > 0 {
+                    format!(", {} cached", p.cache_hits)
+                } else {
+                    String::new()
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Progress of one pair inside the pool.
+struct PairRun {
+    tolerance: f64,
+    /// Next fresh trial index (monotonic; discards consume indices).
+    next_index: usize,
+    /// Trials claimed but not yet recorded.
+    inflight: usize,
+    /// Completions ahead of the frontier; `None` marks a discard.
+    pending: BTreeMap<usize, Option<ExperimentResult>>,
+    /// First index not yet folded: everything below is in `kept` or was
+    /// discarded.
+    frontier: usize,
+    /// Kept trials in index order.
+    kept: Vec<ExperimentResult>,
+    /// Next kept-trial count at which the stopping rule is checked.
+    eval_count: usize,
+    done: bool,
+    converged: bool,
+    /// Kept trials that form the outcome once `done`.
+    final_count: usize,
+    discarded: usize,
+    cache_hits: usize,
+    executed: usize,
+}
+
+/// Telemetry from one executed (not cached) trial.
+struct TrialCost {
+    wall: Duration,
+    sim_events: u64,
+    sim_secs: f64,
+}
+
+struct Shared {
+    runs: Vec<PairRun>,
+    /// Round-robin claim cursor: preserves the paper's interleaving of
+    /// trials across pairs.
+    rr: usize,
+    done_count: usize,
+    trials_run: usize,
+    trials_cached: usize,
+    sim_events: u64,
+    sim_secs: f64,
+    trial_wall_total: Duration,
+    trial_wall_max: Duration,
+}
+
+impl Shared {
+    /// Claim the next trial, scanning pairs round-robin from the cursor.
+    /// A pair may issue while its kept + optimistically-counted inflight
+    /// trials are short of the current stopping-rule checkpoint and the
+    /// safety valve has room.
+    fn claim(&mut self, index_cap: usize) -> Option<(usize, usize)> {
+        let n = self.runs.len();
+        for off in 0..n {
+            let p = (self.rr + off) % n;
+            let run = &mut self.runs[p];
+            if run.done || run.next_index >= index_cap {
+                continue;
+            }
+            let credit = run.kept.len()
+                + run.pending.values().filter(|v| v.is_some()).count()
+                + run.inflight;
+            if credit < run.eval_count {
+                let idx = run.next_index;
+                run.next_index += 1;
+                run.inflight += 1;
+                self.rr = (p + 1) % n;
+                return Some((p, idx));
+            }
+        }
+        None
+    }
+
+    /// Record a completion: fold the contiguous frontier, replay the
+    /// stopping rule at every kept count it reaches, and finalize at the
+    /// safety valve once nothing is left in flight. Decisions depend only
+    /// on results in index order, so completion timing is irrelevant.
+    fn record(
+        &mut self,
+        pair: usize,
+        index: usize,
+        result: ExperimentResult,
+        cost: Option<TrialCost>,
+        policy: TrialPolicy,
+        index_cap: usize,
+    ) {
+        if let Some(c) = cost {
+            self.trials_run += 1;
+            self.sim_events += c.sim_events;
+            self.sim_secs += c.sim_secs;
+            self.trial_wall_total += c.wall;
+            self.trial_wall_max = self.trial_wall_max.max(c.wall);
+        } else {
+            self.trials_cached += 1;
+        }
+        let run = &mut self.runs[pair];
+        run.inflight -= 1;
+        if run.done {
+            // A speculative straggler for a pair that already converged;
+            // its telemetry is counted, its result ignored.
+            return;
+        }
+        if result.discarded {
+            run.discarded += 1;
+            run.pending.insert(index, None);
+        } else {
+            run.pending.insert(index, Some(result));
+        }
+
+        while let Some(folded) = run.pending.remove(&run.frontier) {
+            run.frontier += 1;
+            if let Some(r) = folded {
+                run.kept.push(r);
+            }
+        }
+
+        let max_trials = policy.max_trials.max(1);
+        while !run.done && run.kept.len() >= run.eval_count {
+            let upto = &run.kept[..run.eval_count];
+            let inc: Vec<f64> = upto.iter().map(|t| t.incumbent.throughput_bps).collect();
+            let con: Vec<f64> = upto.iter().map(|t| t.contender.throughput_bps).collect();
+            if prudentia_stats::median_ci_within(&inc, run.tolerance)
+                && prudentia_stats::median_ci_within(&con, run.tolerance)
+            {
+                run.done = true;
+                run.converged = true;
+                run.final_count = run.eval_count;
+            } else if run.eval_count >= max_trials {
+                run.done = true;
+                run.final_count = max_trials;
+            } else {
+                run.eval_count += 1;
+            }
+        }
+
+        // Safety valve (§3.4 pathological external loss): the index
+        // budget is spent and everything issued has landed — give up
+        // with whatever was kept.
+        if !run.done && run.next_index >= index_cap && run.inflight == 0 {
+            debug_assert!(run.pending.is_empty());
+            run.done = true;
+            run.final_count = run.kept.len().min(max_trials);
+        }
+
+        if run.done {
+            self.done_count += 1;
+        }
+    }
+}
+
+/// Run every pair to completion on a continuously-fed worker pool and
+/// return outcomes (in input order) plus run telemetry.
+pub fn execute_pairs(
+    pairs: &[PairSpec],
+    config: &ExecutorConfig,
+) -> (Vec<PairOutcome>, SchedulerStats) {
+    let t0 = Instant::now();
+    let policy = config.policy;
+    // Same valve as the sequential scheduler: at most 4x max_trials
+    // indices per pair, so pathological external loss terminates.
+    let index_cap = policy.max_trials.max(1) * 4;
+    let shared = Mutex::new(Shared {
+        runs: pairs
+            .iter()
+            .map(|p| PairRun {
+                tolerance: p.setting.ci_tolerance_bps(),
+                next_index: 0,
+                inflight: 0,
+                pending: BTreeMap::new(),
+                frontier: 0,
+                kept: Vec::new(),
+                eval_count: policy.min_trials.max(1).min(policy.max_trials.max(1)),
+                done: false,
+                converged: false,
+                final_count: 0,
+                discarded: 0,
+                cache_hits: 0,
+                executed: 0,
+            })
+            .collect(),
+        rr: 0,
+        done_count: 0,
+        trials_run: 0,
+        trials_cached: 0,
+        sim_events: 0,
+        sim_secs: 0.0,
+        trial_wall_total: Duration::ZERO,
+        trial_wall_max: Duration::ZERO,
+    });
+    let condvar = Condvar::new();
+    let workers = config.parallelism.max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let claim = {
+                    let mut guard = shared.lock().expect("poisoned");
+                    loop {
+                        if guard.done_count == guard.runs.len() {
+                            break None;
+                        }
+                        if let Some(c) = guard.claim(index_cap) {
+                            break Some(c);
+                        }
+                        // Nothing issuable: some other worker's inflight
+                        // trial will land and wake us.
+                        guard = condvar.wait(guard).expect("poisoned");
+                    }
+                };
+                let Some((p, index)) = claim else { break };
+
+                let pair = &pairs[p];
+                let seed = trial_seed(
+                    pair.contender.name(),
+                    pair.incumbent.name(),
+                    &pair.setting.name,
+                    index,
+                );
+                let mut spec = config.duration.spec(
+                    pair.contender.clone(),
+                    pair.incumbent.clone(),
+                    pair.setting.clone(),
+                    seed,
+                );
+                spec.external_loss = config.external_loss;
+
+                let key = config.cache.as_ref().map(|c| (c, trial_key(&spec)));
+                let cached = key.as_ref().and_then(|(c, k)| c.lookup(*k));
+                let from_cache = cached.is_some();
+                let (result, cost) = match cached {
+                    Some(r) => (r, None),
+                    None => {
+                        let start = Instant::now();
+                        let (r, sim_events) = run_experiment_instrumented(&spec);
+                        let cost = TrialCost {
+                            wall: start.elapsed(),
+                            sim_events,
+                            sim_secs: spec.duration.as_secs_f64(),
+                        };
+                        if let Some((c, k)) = &key {
+                            c.insert(*k, r.clone());
+                        }
+                        (r, Some(cost))
+                    }
+                };
+
+                let mut guard = shared.lock().expect("poisoned");
+                if from_cache {
+                    guard.runs[p].cache_hits += 1;
+                } else {
+                    guard.runs[p].executed += 1;
+                }
+                guard.record(p, index, result, cost, policy, index_cap);
+                drop(guard);
+                condvar.notify_all();
+            });
+        }
+    });
+
+    let shared = shared.into_inner().expect("poisoned");
+    let mut outcomes = Vec::with_capacity(pairs.len());
+    let mut pair_stats = Vec::with_capacity(pairs.len());
+    let mut trials_discarded = 0;
+    for (pair, run) in pairs.iter().zip(shared.runs) {
+        let trials: Vec<ExperimentResult> = run.kept[..run.final_count].to_vec();
+        trials_discarded += run.discarded;
+        pair_stats.push(PairStats {
+            contender: pair.contender.name().to_string(),
+            incumbent: pair.incumbent.name().to_string(),
+            setting: pair.setting.name.clone(),
+            kept_trials: run.final_count,
+            converged: run.converged,
+            discarded: run.discarded,
+            cache_hits: run.cache_hits,
+        });
+        outcomes.push(summarize_pair(
+            &pair.contender,
+            &pair.incumbent,
+            &pair.setting,
+            trials,
+            run.converged,
+        ));
+    }
+    let stats = SchedulerStats {
+        wall: t0.elapsed(),
+        trials_run: shared.trials_run,
+        trials_cached: shared.trials_cached,
+        trials_discarded,
+        sim_events: shared.sim_events,
+        sim_secs: shared.sim_secs,
+        trial_wall_total: shared.trial_wall_total,
+        trial_wall_max: shared.trial_wall_max,
+        pairs: pair_stats,
+    };
+    (outcomes, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkSetting;
+    use prudentia_apps::Service;
+
+    fn pair(a: Service, b: Service) -> PairSpec {
+        PairSpec {
+            contender: a.spec(),
+            incumbent: b.spec(),
+            setting: NetworkSetting::highly_constrained(),
+        }
+    }
+
+    fn tiny_policy() -> TrialPolicy {
+        TrialPolicy {
+            min_trials: 2,
+            batch: 1,
+            max_trials: 3,
+        }
+    }
+
+    #[test]
+    fn outcomes_in_input_order_with_stats() {
+        let pairs = vec![
+            pair(Service::IperfCubic, Service::IperfReno),
+            pair(Service::IperfReno, Service::IperfCubic),
+        ];
+        let cfg = ExecutorConfig::new(tiny_policy(), DurationPolicy::Quick, 4);
+        let (outcomes, stats) = execute_pairs(&pairs, &cfg);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].contender, "iPerf (Cubic)");
+        assert_eq!(outcomes[1].contender, "iPerf (Reno)");
+        assert_eq!(stats.pairs.len(), 2);
+        assert_eq!(stats.trials_cached, 0);
+        assert!(stats.trials_run >= 4, "at least min trials per pair");
+        assert!(stats.sim_events > 0);
+        assert!(stats.sim_secs > 0.0);
+        assert!(stats.trial_wall_max >= stats.mean_trial_wall());
+        // max 3 < 6 samples: the order-statistic CI can never tighten.
+        assert!(outcomes.iter().all(|o| !o.converged));
+        assert_eq!(stats.converged_pairs(), 0);
+    }
+
+    #[test]
+    fn cache_warm_run_skips_simulation() {
+        let pairs = vec![pair(Service::IperfCubic, Service::IperfReno)];
+        let cache = Arc::new(TrialCache::new());
+        let cfg = ExecutorConfig::new(tiny_policy(), DurationPolicy::Quick, 2)
+            .with_cache(Arc::clone(&cache));
+        let (cold, cold_stats) = execute_pairs(&pairs, &cfg);
+        assert!(cold_stats.trials_run > 0);
+        let (warm, warm_stats) = execute_pairs(&pairs, &cfg);
+        assert_eq!(warm_stats.trials_run, 0, "all trials memoized");
+        assert!(warm_stats.cache_hit_rate() > 0.99);
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap(),
+            "cache state must not change results"
+        );
+    }
+
+    #[test]
+    fn external_loss_triggers_discard_and_replace() {
+        let pairs = vec![pair(Service::IperfCubic, Service::IperfReno)];
+        let mut cfg = ExecutorConfig::new(tiny_policy(), DurationPolicy::Quick, 2);
+        cfg.external_loss = 0.01; // 1% >> the 0.05% discard threshold
+        let (outcomes, stats) = execute_pairs(&pairs, &cfg);
+        // Every trial is discarded; the valve caps index issue at 4x max.
+        assert_eq!(outcomes[0].trials.len(), 0);
+        assert!(!outcomes[0].converged);
+        assert_eq!(stats.trials_discarded, tiny_policy().max_trials * 4);
+    }
+
+    #[test]
+    fn display_is_printable() {
+        let pairs = vec![pair(Service::IperfCubic, Service::IperfReno)];
+        let cfg = ExecutorConfig::new(tiny_policy(), DurationPolicy::Quick, 1);
+        let (_, stats) = execute_pairs(&pairs, &cfg);
+        let text = stats.to_string();
+        assert!(text.contains("executor: 1 pairs"));
+        assert!(text.contains("per-trial wall"));
+    }
+}

@@ -34,7 +34,12 @@ pub struct ExperimentSpec {
 
 impl ExperimentSpec {
     /// A paper-faithful 10-minute experiment with 2-minute trims.
-    pub fn paper(contender: ServiceSpec, incumbent: ServiceSpec, setting: NetworkSetting, seed: u64) -> Self {
+    pub fn paper(
+        contender: ServiceSpec,
+        incumbent: ServiceSpec,
+        setting: NetworkSetting,
+        seed: u64,
+    ) -> Self {
         ExperimentSpec {
             contender,
             incumbent,
@@ -51,7 +56,12 @@ impl ExperimentSpec {
 
     /// A shortened experiment (3 simulated minutes, 30 s trims) used by
     /// the quick versions of the regeneration binaries.
-    pub fn quick(contender: ServiceSpec, incumbent: ServiceSpec, setting: NetworkSetting, seed: u64) -> Self {
+    pub fn quick(
+        contender: ServiceSpec,
+        incumbent: ServiceSpec,
+        setting: NetworkSetting,
+        seed: u64,
+    ) -> Self {
         ExperimentSpec {
             contender,
             incumbent,

@@ -34,8 +34,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod classifier;
 pub mod config;
+pub mod executor;
 pub mod experiment;
 pub mod heatmap;
 pub mod report;
@@ -45,15 +47,17 @@ pub mod scheduler;
 pub mod submissions;
 pub mod watchdog;
 
+pub use cache::{trial_key, TrialCache};
 pub use classifier::{classify_service, extract_features, CcaClass, CcaFeatures, ClassifierConfig};
 pub use config::NetworkSetting;
+pub use executor::{execute_pairs, ExecutorConfig, PairStats, SchedulerStats};
 pub use experiment::{
     AppSummary, ExperimentResult, ExperimentSpec, QueuePoint, SeriesPoint, SideResult,
 };
 pub use heatmap::{Heatmap, HeatmapStat};
 pub use report::{loser_shares, loser_stats, self_competition_mean, LoserStats, TransitivityRow};
 pub use results::ResultStore;
-pub use runner::{run_experiment, run_solo, EXTERNAL_LOSS_DISCARD};
+pub use runner::{run_experiment, run_experiment_instrumented, run_solo, EXTERNAL_LOSS_DISCARD};
 pub use scheduler::{
     run_pair, run_pairs_parallel, trial_seed, DurationPolicy, PairOutcome, PairSpec, TrialPolicy,
 };

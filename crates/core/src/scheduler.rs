@@ -1,17 +1,21 @@
-//! The watchdog scheduler (§3.4).
+//! The watchdog scheduler (§3.4): trial policies, pair specifications,
+//! seeds, and outcome aggregation.
 //!
-//! Runs every (contender, incumbent) pair for a minimum of 10 trials,
-//! extending by batches of 10 up to 30 until the 95% CI of the median
-//! throughput falls within the setting's tolerance; trials are interleaved
-//! round-robin across pairs to decorrelate time-local noise, and trials
-//! with excessive external loss are discarded and replaced.
+//! Every (contender, incumbent) pair runs a minimum of 10 trials,
+//! extending up to 30 until the 95% CI of the median throughput falls
+//! within the setting's tolerance; trials are interleaved round-robin
+//! across pairs to decorrelate time-local noise, and trials with
+//! excessive external loss are discarded and replaced. Execution itself
+//! lives in [`crate::executor`]: a continuously-fed worker pool that
+//! re-evaluates each pair's stopping rule as trials land. [`run_pair`]
+//! and [`run_pairs_parallel`] are thin wrappers over it.
 
 use crate::config::NetworkSetting;
+use crate::executor::{execute_pairs, ExecutorConfig};
 use crate::experiment::{ExperimentResult, ExperimentSpec};
-use crate::runner::run_experiment;
 use prudentia_apps::ServiceSpec;
 use prudentia_sim::SimDuration;
-use prudentia_stats::{median, median_ci_within, quartiles};
+use prudentia_stats::{median, quartiles};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -129,7 +133,7 @@ pub fn trial_seed(contender: &str, incumbent: &str, setting: &str, trial: usize)
     h.finish()
 }
 
-/// Run one pair under the adaptive-trials policy (sequentially).
+/// Run one pair under the adaptive-trials policy (single worker).
 pub fn run_pair(
     contender: &ServiceSpec,
     incumbent: &ServiceSpec,
@@ -138,50 +142,18 @@ pub fn run_pair(
     duration: DurationPolicy,
     external_loss: f64,
 ) -> PairOutcome {
-    let mut trials: Vec<ExperimentResult> = Vec::new();
-    let mut trial_idx = 0usize;
-    let tolerance = setting.ci_tolerance_bps();
-    let mut converged = false;
-    while trials.len() < policy.max_trials {
-        let target = (trials.len() + policy.batch).min(policy.max_trials).max(policy.min_trials);
-        while trials.len() < target {
-            let seed = trial_seed(
-                contender.name(),
-                incumbent.name(),
-                &setting.name,
-                trial_idx,
-            );
-            trial_idx += 1;
-            let mut spec = duration.spec(
-                contender.clone(),
-                incumbent.clone(),
-                setting.clone(),
-                seed,
-            );
-            spec.external_loss = external_loss;
-            let r = run_experiment(&spec);
-            // Discarded trials (upstream loss) are re-run with a new seed.
-            if !r.discarded {
-                trials.push(r);
-            }
-            if trial_idx > policy.max_trials * 4 {
-                break; // safety valve under pathological external loss
-            }
-        }
-        let inc: Vec<f64> = trials.iter().map(|t| t.incumbent.throughput_bps).collect();
-        let con: Vec<f64> = trials.iter().map(|t| t.contender.throughput_bps).collect();
-        if median_ci_within(&inc, tolerance) && median_ci_within(&con, tolerance) {
-            converged = true;
-            break;
-        }
-        if trials.len() >= policy.max_trials || trial_idx > policy.max_trials * 4 {
-            break;
-        }
-    }
-    summarize_pair(contender, incumbent, setting, trials, converged)
+    let pairs = [PairSpec {
+        contender: contender.clone(),
+        incumbent: incumbent.clone(),
+        setting: setting.clone(),
+    }];
+    let mut config = ExecutorConfig::new(policy, duration, 1);
+    config.external_loss = external_loss;
+    let (mut outcomes, _) = execute_pairs(&pairs, &config);
+    outcomes.pop().expect("one pair in, one outcome out")
 }
 
-fn summarize_pair(
+pub(crate) fn summarize_pair(
     contender: &ServiceSpec,
     incumbent: &ServiceSpec,
     setting: &NetworkSetting,
@@ -232,128 +204,19 @@ pub struct PairSpec {
     pub setting: NetworkSetting,
 }
 
-/// Run many pairs, `parallelism` trials in flight at a time. Trials are
-/// generated round-robin across pairs (one trial of every pair per wave),
-/// matching the paper's interleaving; each wave's results feed the
-/// adaptive stopping rule.
+/// Run many pairs on the work-stealing trial pool ([`execute_pairs`]),
+/// discarding telemetry. Trials are claimed round-robin across pairs
+/// (the paper's interleaving) and each pair's stopping rule is
+/// re-evaluated as trials land, so converged pairs stop issuing work
+/// immediately. Results are identical for any `parallelism`.
 pub fn run_pairs_parallel(
     pairs: &[PairSpec],
     policy: TrialPolicy,
     duration: DurationPolicy,
     parallelism: usize,
 ) -> Vec<PairOutcome> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    // Collected trials per pair.
-    let collected: Vec<Mutex<Vec<ExperimentResult>>> =
-        pairs.iter().map(|_| Mutex::new(Vec::new())).collect();
-    let mut needed: Vec<usize> = vec![policy.min_trials; pairs.len()];
-    let mut done: Vec<bool> = vec![false; pairs.len()];
-    // Monotonic per-pair trial counter: discarded trials consume an index
-    // so their replacement draws a fresh seed.
-    let mut next_idx: Vec<usize> = vec![0; pairs.len()];
-
-    loop {
-        // Build this wave's work list round-robin across pairs (one trial
-        // of every lagging pair per round, as the paper interleaves).
-        let mut deficits: Vec<usize> = (0..pairs.len())
-            .map(|p| {
-                if done[p] {
-                    0
-                } else {
-                    needed[p].saturating_sub(collected[p].lock().expect("poisoned").len())
-                }
-            })
-            .collect();
-        let mut work: Vec<(usize, usize)> = Vec::new(); // (pair idx, trial idx)
-        while deficits.iter().any(|&d| d > 0) {
-            for p in 0..pairs.len() {
-                if deficits[p] > 0 {
-                    work.push((p, next_idx[p]));
-                    next_idx[p] += 1;
-                    deficits[p] -= 1;
-                }
-            }
-        }
-        if work.is_empty() {
-            break;
-        }
-
-        let cursor = AtomicUsize::new(0);
-        let workers = parallelism.max(1).min(work.len().max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= work.len() {
-                        break;
-                    }
-                    let (p, trial) = work[i];
-                    let pair = &pairs[p];
-                    let seed = trial_seed(
-                        pair.contender.name(),
-                        pair.incumbent.name(),
-                        &pair.setting.name,
-                        trial,
-                    );
-                    let spec = duration.spec(
-                        pair.contender.clone(),
-                        pair.incumbent.clone(),
-                        pair.setting.clone(),
-                        seed,
-                    );
-                    let r = run_experiment(&spec);
-                    if !r.discarded {
-                        collected[p].lock().expect("poisoned").push(r);
-                    }
-                });
-            }
-        });
-
-        // Evaluate stopping rules and extend if needed.
-        for (p, pair) in pairs.iter().enumerate() {
-            if done[p] {
-                continue;
-            }
-            let trials = collected[p].lock().expect("poisoned");
-            if trials.len() < needed[p] {
-                continue; // discarded trials; next wave re-fills
-            }
-            let inc: Vec<f64> = trials.iter().map(|t| t.incumbent.throughput_bps).collect();
-            let con: Vec<f64> = trials.iter().map(|t| t.contender.throughput_bps).collect();
-            let tol = pair.setting.ci_tolerance_bps();
-            if median_ci_within(&inc, tol) && median_ci_within(&con, tol) {
-                done[p] = true;
-            } else if needed[p] >= policy.max_trials {
-                done[p] = true;
-            } else {
-                needed[p] = (needed[p] + policy.batch).min(policy.max_trials);
-            }
-        }
-        if done.iter().all(|d| *d) {
-            break;
-        }
-    }
-
-    pairs
-        .iter()
-        .zip(collected)
-        .map(|(pair, trials)| {
-            let trials = trials.into_inner().expect("poisoned");
-            let inc: Vec<f64> = trials.iter().map(|t| t.incumbent.throughput_bps).collect();
-            let con: Vec<f64> = trials.iter().map(|t| t.contender.throughput_bps).collect();
-            let tol = pair.setting.ci_tolerance_bps();
-            let converged = median_ci_within(&inc, tol) && median_ci_within(&con, tol);
-            summarize_pair(
-                &pair.contender,
-                &pair.incumbent,
-                &pair.setting,
-                trials,
-                converged,
-            )
-        })
-        .collect()
+    let config = ExecutorConfig::new(policy, duration, parallelism);
+    execute_pairs(pairs, &config).0
 }
 
 /// Wall-clock of a full iteration (informational, mirrors the paper's "a

@@ -98,7 +98,10 @@ impl SubmissionDesk {
     /// A desk honouring the given access codes.
     pub fn new(codes: impl IntoIterator<Item = String>) -> Self {
         SubmissionDesk {
-            codes: codes.into_iter().map(|c| (c, SUBMISSIONS_PER_CODE)).collect(),
+            codes: codes
+                .into_iter()
+                .map(|c| (c, SUBMISSIONS_PER_CODE))
+                .collect(),
             queue: Vec::new(),
         }
     }
@@ -198,7 +201,8 @@ mod tests {
     fn quota_enforced() {
         let mut desk = SubmissionDesk::new(["c0de".to_string()]);
         for _ in 0..SUBMISSIONS_PER_CODE {
-            desk.submit("c0de", Service::IperfReno.spec()).expect("within quota");
+            desk.submit("c0de", Service::IperfReno.spec())
+                .expect("within quota");
         }
         assert_eq!(
             desk.submit("c0de", Service::IperfReno.spec()),
@@ -210,8 +214,11 @@ mod tests {
     #[test]
     fn published_codes_work() {
         let mut desk = SubmissionDesk::with_published_codes();
-        desk.submit("KD4p1Z8Gs1SVPHUrTOVTMNHtvUnMSmvZ", Service::IperfCubic.spec())
-            .expect("published code accepted");
+        desk.submit(
+            "KD4p1Z8Gs1SVPHUrTOVTMNHtvUnMSmvZ",
+            Service::IperfCubic.spec(),
+        )
+        .expect("published code accepted");
         assert_eq!(desk.pending(), 1);
     }
 
@@ -219,8 +226,11 @@ mod tests {
     fn evaluation_produces_verdicts() {
         let mut desk = SubmissionDesk::new(["k".to_string()]);
         // Submit an aggressive multi-flow service.
-        desk.submit("k", prudentia_apps::iperf_n_flows("5x Reno", prudentia_cc::CcaKind::NewReno, 5))
-            .expect("submit");
+        desk.submit(
+            "k",
+            prudentia_apps::iperf_n_flows("5x Reno", prudentia_cc::CcaKind::NewReno, 5),
+        )
+        .expect("submit");
         let (policy, duration) = tiny();
         let report = desk
             .evaluate_next(
@@ -235,8 +245,6 @@ mod tests {
         assert!(report.lines[0].incumbent_share < 0.9);
         assert_ne!(report.overall(), Verdict::Ok);
         // Queue drained.
-        assert!(desk
-            .evaluate_next(&[], &[], policy, duration)
-            .is_none());
+        assert!(desk.evaluate_next(&[], &[], policy, duration).is_none());
     }
 }

@@ -8,11 +8,15 @@
 //! previous iteration — the capability Observation 13 shows mattering
 //! (BBRv3 deployments and kernel upgrades change fairness outcomes).
 
+use crate::cache::TrialCache;
 use crate::config::NetworkSetting;
+use crate::executor::{execute_pairs, ExecutorConfig, SchedulerStats};
 use crate::results::ResultStore;
-use crate::scheduler::{run_pairs_parallel, DurationPolicy, PairOutcome, PairSpec, TrialPolicy};
+use crate::scheduler::{DurationPolicy, PairOutcome, PairSpec, TrialPolicy};
 use prudentia_apps::ServiceSpec;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// A detected change in a pair's fairness between iterations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -52,6 +56,10 @@ pub struct WatchdogConfig {
     pub parallelism: usize,
     /// Relative MmF-share change that triggers a report (e.g. 0.2 = 20%).
     pub change_threshold: f64,
+    /// Where to persist the trial cache (`None` disables caching).
+    /// With a cache, iterations over unchanged pairs skip simulation and
+    /// a killed run resumes from its completed trials.
+    pub cache_path: Option<PathBuf>,
 }
 
 impl Default for WatchdogConfig {
@@ -67,6 +75,7 @@ impl Default for WatchdogConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             change_threshold: 0.2,
+            cache_path: None,
         }
     }
 }
@@ -78,18 +87,30 @@ pub struct Watchdog {
     store: ResultStore,
     last_iteration: Vec<PairOutcome>,
     iterations_run: u64,
+    cache: Option<Arc<TrialCache>>,
+    last_stats: Option<SchedulerStats>,
 }
 
 impl Watchdog {
     /// Create a watchdog over a set of services. Services can be swapped
     /// in and out between iterations (the testbed accepts submissions).
+    /// If the config names a cache path, the cache is loaded now (a
+    /// missing or unreadable file starts cold).
     pub fn new(services: Vec<ServiceSpec>, config: WatchdogConfig) -> Self {
+        let cache = config.cache_path.as_ref().map(|path| {
+            Arc::new(TrialCache::load(path).unwrap_or_else(|e| {
+                eprintln!("warning: ignoring trial cache {}: {e}", path.display());
+                TrialCache::new()
+            }))
+        });
         Watchdog {
             services,
             config,
             store: ResultStore::new("prudentia watchdog"),
             last_iteration: Vec::new(),
             iterations_run: 0,
+            cache,
+            last_stats: None,
         }
     }
 
@@ -120,6 +141,16 @@ impl Watchdog {
         &self.store
     }
 
+    /// Executor telemetry from the most recent iteration.
+    pub fn last_stats(&self) -> Option<&SchedulerStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// The trial cache, when configured.
+    pub fn cache(&self) -> Option<&Arc<TrialCache>> {
+        self.cache.as_ref()
+    }
+
     /// All (contender, incumbent, setting) combinations of one iteration.
     fn pairs(&self) -> Vec<PairSpec> {
         let mut out = Vec::new();
@@ -141,12 +172,24 @@ impl Watchdog {
     /// changes versus the previous iteration.
     pub fn run_iteration(&mut self) -> Vec<FairnessChange> {
         let pairs = self.pairs();
-        let outcomes = run_pairs_parallel(
-            &pairs,
+        let mut exec = ExecutorConfig::new(
             self.config.policy,
             self.config.duration,
             self.config.parallelism,
         );
+        if let Some(cache) = &self.cache {
+            exec = exec.with_cache(Arc::clone(cache));
+        }
+        let (outcomes, stats) = execute_pairs(&pairs, &exec);
+        if let (Some(cache), Some(path)) = (&self.cache, &self.config.cache_path) {
+            if let Err(e) = cache.save(path) {
+                eprintln!(
+                    "warning: failed to save trial cache {}: {e}",
+                    path.display()
+                );
+            }
+        }
+        self.last_stats = Some(stats);
         let changes = self.diff(&outcomes);
         self.store.extend(outcomes.iter().cloned());
         self.last_iteration = outcomes;
@@ -194,6 +237,7 @@ mod tests {
             duration: DurationPolicy::Quick,
             parallelism: 4,
             change_threshold: 0.2,
+            cache_path: None,
         }
     }
 
@@ -221,14 +265,32 @@ mod tests {
 
     #[test]
     fn unchanged_services_produce_no_changes() {
-        let mut wd = Watchdog::new(
-            vec![Service::IperfReno.spec()],
-            tiny_config(),
-        );
+        let mut wd = Watchdog::new(vec![Service::IperfReno.spec()], tiny_config());
         wd.run_iteration();
         let changes = wd.run_iteration();
         // Deterministic seeds => identical outcomes => no changes.
         assert!(changes.is_empty(), "{changes:?}");
+    }
+
+    #[test]
+    fn cached_second_iteration_skips_simulation() {
+        let dir = std::env::temp_dir().join("prudentia_watchdog_cache_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("trials.json");
+        std::fs::remove_file(&path).ok();
+        let mut config = tiny_config();
+        config.cache_path = Some(path.clone());
+        let mut wd = Watchdog::new(vec![Service::IperfReno.spec()], config);
+        wd.run_iteration();
+        let cold = wd.last_stats().expect("stats recorded");
+        assert!(cold.trials_run > 0);
+        assert_eq!(cold.trials_cached, 0);
+        wd.run_iteration();
+        let warm = wd.last_stats().expect("stats recorded");
+        assert_eq!(warm.trials_run, 0, "unchanged pairs are fully memoized");
+        assert!(warm.cache_hit_rate() > 0.99);
+        assert!(path.exists(), "cache persisted between iterations");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

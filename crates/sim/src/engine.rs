@@ -102,8 +102,10 @@ impl<'a> Ctx<'a> {
             self.net.external_losses += 1;
             return;
         }
-        self.events
-            .schedule(self.now + path.to_bottleneck, Event::ArriveAtBottleneck(pkt));
+        self.events.schedule(
+            self.now + path.to_bottleneck,
+            Event::ArriveAtBottleneck(pkt),
+        );
     }
 
     /// Send a packet over the uncongested reverse path (ACKs).
@@ -308,7 +310,8 @@ impl Engine {
             let qdelay = self.now.saturating_since(pkt.enqueued_at);
             let ser = serialization_time(pkt.size, self.net.config.rate_bps);
             self.net.in_flight = Some((pkt, qdelay));
-            self.events.schedule(self.now + ser, Event::BottleneckTxDone);
+            self.events
+                .schedule(self.now + ser, Event::BottleneckTxDone);
         }
     }
 
@@ -376,7 +379,11 @@ impl Engine {
                     if let Some(pcap) = self.pcap.as_mut() {
                         pcap.record(self.now, &pkt);
                     }
-                    let path = *self.net.paths.get(&pkt.flow).expect("unknown flow at egress");
+                    let path = *self
+                        .net
+                        .paths
+                        .get(&pkt.flow)
+                        .expect("unknown flow at egress");
                     self.events
                         .schedule(self.now + path.from_bottleneck, Event::Deliver(pkt));
                     self.maybe_start_tx();
@@ -444,7 +451,12 @@ mod tests {
         fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
     }
 
-    fn build(n: u64, rate_bps: f64, cap: usize) -> (Engine, Rc<RefCell<Vec<(SimTime, u64)>>>, FlowId) {
+    #[allow(clippy::type_complexity)]
+    fn build(
+        n: u64,
+        rate_bps: f64,
+        cap: usize,
+    ) -> (Engine, Rc<RefCell<Vec<(SimTime, u64)>>>, FlowId) {
         let mut eng = Engine::new(
             BottleneckConfig {
                 rate_bps,

@@ -16,7 +16,12 @@ pub struct BottleneckConfig {
 impl BottleneckConfig {
     /// A bottleneck with the paper's queue sizing rule: the power of two
     /// nearest to `bdp_multiple` × BDP packets (§3.1).
-    pub fn with_bdp_queue(rate_bps: f64, base_rtt: SimDuration, bdp_multiple: u64, mtu: u32) -> Self {
+    pub fn with_bdp_queue(
+        rate_bps: f64,
+        base_rtt: SimDuration,
+        bdp_multiple: u64,
+        mtu: u32,
+    ) -> Self {
         let bdp = bdp_packets(rate_bps, base_rtt.as_secs_f64(), mtu);
         BottleneckConfig {
             rate_bps,

@@ -98,7 +98,11 @@ impl PcapWriter {
         tcp[4..8].copy_from_slice(&((pkt.data_seq as u32).to_be_bytes()));
         tcp[8..12].copy_from_slice(&((pkt.seq as u32).to_be_bytes())); // ack field carries tx num
         tcp[12] = 5 << 4; // data offset
-        tcp[13] = if pkt.kind == PacketKind::Ack { 0x10 } else { 0x18 }; // ACK / PSH+ACK
+        tcp[13] = if pkt.kind == PacketKind::Ack {
+            0x10
+        } else {
+            0x18
+        }; // ACK / PSH+ACK
         tcp[14..16].copy_from_slice(&0xFFFFu16.to_be_bytes()); // window
         self.buf.extend_from_slice(&tcp);
     }
@@ -173,7 +177,7 @@ mod tests {
         w.record(SimTime::ZERO, &data_pkt(3, 9, 42));
         let b = w.as_bytes();
         let pkt = &b[40..]; // past global + record headers
-        // Ethertype IPv4.
+                            // Ethertype IPv4.
         assert_eq!(&pkt[12..14], &[0x08, 0x00]);
         // IPv4 version/IHL and protocol.
         assert_eq!(pkt[14], 0x45);

@@ -21,7 +21,10 @@ impl ThroughputSeries {
     /// Create a series with the given bin width.
     pub fn new(bin: SimDuration) -> Self {
         assert!(bin > SimDuration::ZERO, "bin width must be positive");
-        ThroughputSeries { bin, bytes: Vec::new() }
+        ThroughputSeries {
+            bin,
+            bytes: Vec::new(),
+        }
     }
 
     /// Record `bytes` delivered at `now`.
@@ -176,13 +179,7 @@ impl Trace {
     }
 
     /// Record a queue occupancy sample, decimated to the sample interval.
-    pub fn sample_queue(
-        &mut self,
-        now: SimTime,
-        total: usize,
-        svc_a: usize,
-        svc_b: usize,
-    ) {
+    pub fn sample_queue(&mut self, now: SimTime, total: usize, svc_a: usize, svc_b: usize) {
         if let Some(last) = self.last_queue_sample {
             if now.saturating_since(last) < self.queue_sample_interval {
                 return;
@@ -221,7 +218,10 @@ impl Trace {
 
     /// Maximum queueing delay seen by `service`.
     pub fn max_queueing_delay(&self, service: ServiceId) -> SimDuration {
-        self.qdelay_max.get(&service).copied().unwrap_or(SimDuration::ZERO)
+        self.qdelay_max
+            .get(&service)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Fraction of delivered packets of `service` exceeding the high-delay budget.
@@ -269,15 +269,15 @@ mod tests {
         for i in 0..10 {
             s.record(SimTime::from_millis(i * 100 + 50), 100);
         }
-        assert_eq!(
-            s.bytes_between(SimTime::ZERO, SimTime::from_secs(1)),
-            1000
-        );
+        assert_eq!(s.bytes_between(SimTime::ZERO, SimTime::from_secs(1)), 1000);
         assert_eq!(
             s.bytes_between(SimTime::from_millis(200), SimTime::from_millis(500)),
             300
         );
-        assert_eq!(s.bytes_between(SimTime::from_secs(1), SimTime::from_secs(1)), 0);
+        assert_eq!(
+            s.bytes_between(SimTime::from_secs(1), SimTime::from_secs(1)),
+            0
+        );
     }
 
     #[test]
@@ -291,10 +291,8 @@ mod tests {
 
     #[test]
     fn queue_sampling_is_decimated() {
-        let mut t = Trace::with_resolution(
-            SimDuration::from_millis(100),
-            SimDuration::from_millis(10),
-        );
+        let mut t =
+            Trace::with_resolution(SimDuration::from_millis(100), SimDuration::from_millis(10));
         for i in 0..100 {
             // 1 ms apart: only every 10th should stick.
             t.sample_queue(SimTime::from_millis(i), i as usize, 0, 0);
@@ -306,10 +304,30 @@ mod tests {
     fn high_delay_fraction_counts_threshold_violations() {
         let mut t = Trace::new();
         let svc = ServiceId(1);
-        t.on_delivered(SimTime::from_millis(1), svc, 1500, SimDuration::from_millis(10));
-        t.on_delivered(SimTime::from_millis(2), svc, 1500, SimDuration::from_millis(200));
-        t.on_delivered(SimTime::from_millis(3), svc, 1500, SimDuration::from_millis(300));
-        t.on_delivered(SimTime::from_millis(4), svc, 1500, SimDuration::from_millis(139));
+        t.on_delivered(
+            SimTime::from_millis(1),
+            svc,
+            1500,
+            SimDuration::from_millis(10),
+        );
+        t.on_delivered(
+            SimTime::from_millis(2),
+            svc,
+            1500,
+            SimDuration::from_millis(200),
+        );
+        t.on_delivered(
+            SimTime::from_millis(3),
+            svc,
+            1500,
+            SimDuration::from_millis(300),
+        );
+        t.on_delivered(
+            SimTime::from_millis(4),
+            svc,
+            1500,
+            SimDuration::from_millis(139),
+        );
         assert!((t.high_delay_fraction(svc) - 0.5).abs() < 1e-9);
     }
 
@@ -317,8 +335,18 @@ mod tests {
     fn queueing_delay_stats() {
         let mut t = Trace::new();
         let svc = ServiceId(2);
-        t.on_delivered(SimTime::from_millis(1), svc, 1500, SimDuration::from_millis(10));
-        t.on_delivered(SimTime::from_millis(2), svc, 1500, SimDuration::from_millis(30));
+        t.on_delivered(
+            SimTime::from_millis(1),
+            svc,
+            1500,
+            SimDuration::from_millis(10),
+        );
+        t.on_delivered(
+            SimTime::from_millis(2),
+            svc,
+            1500,
+            SimDuration::from_millis(30),
+        );
         assert_eq!(t.mean_queueing_delay(svc), SimDuration::from_millis(20));
         assert_eq!(t.max_queueing_delay(svc), SimDuration::from_millis(30));
         assert_eq!(t.mean_queueing_delay(ServiceId(9)), SimDuration::ZERO);

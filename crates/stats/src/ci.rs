@@ -74,7 +74,12 @@ pub fn median_ci(xs: &[f64], level: f64) -> ConfidenceInterval {
 }
 
 /// Bootstrap percentile CI of the median (for comparison / small samples).
-pub fn bootstrap_median_ci(xs: &[f64], level: f64, resamples: usize, seed: u64) -> ConfidenceInterval {
+pub fn bootstrap_median_ci(
+    xs: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> ConfidenceInterval {
     assert!(!xs.is_empty());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut meds = Vec::with_capacity(resamples);

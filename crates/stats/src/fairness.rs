@@ -156,7 +156,11 @@ mod tests {
     fn three_way_waterfilling() {
         let a = max_min_allocation(
             30e6,
-            &[Demand::capped(4e6), Demand::unlimited(), Demand::unlimited()],
+            &[
+                Demand::capped(4e6),
+                Demand::unlimited(),
+                Demand::unlimited(),
+            ],
         );
         assert_eq!(a, vec![4e6, 13e6, 13e6]);
     }
@@ -176,13 +180,8 @@ mod tests {
 
     #[test]
     fn pairwise_shares_match_manual() {
-        let (sa, sb) = pairwise_mmf_shares(
-            50e6,
-            10e6,
-            Demand::capped(13e6),
-            30e6,
-            Demand::unlimited(),
-        );
+        let (sa, sb) =
+            pairwise_mmf_shares(50e6, 10e6, Demand::capped(13e6), 30e6, Demand::unlimited());
         assert!((sa - 10.0 / 13.0).abs() < 1e-12);
         assert!((sb - 30.0 / 37.0).abs() < 1e-12);
     }

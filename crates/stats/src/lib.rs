@@ -74,7 +74,7 @@ mod proptests {
             let unsat: Vec<f64> = alloc
                 .iter()
                 .zip(&demands)
-                .filter(|(a, d)| d.cap_bps.map_or(true, |c| **a < c - 1.0))
+                .filter(|(a, d)| d.cap_bps.is_none_or(|c| **a < c - 1.0))
                 .map(|(a, _)| *a)
                 .collect();
             for w in unsat.windows(2) {
@@ -94,6 +94,56 @@ mod proptests {
             let ci = median_ci(&xs, 0.95);
             let m = median(&xs);
             prop_assert!(ci.lo <= m + 1e-9 && m <= ci.hi + 1e-9);
+        }
+
+        #[test]
+        fn median_ci_within_is_monotone_in_tolerance(
+            xs in proptest::collection::vec(0.0f64..1e7, 2..60),
+            tol in 1.0f64..1e6,
+            slack in 0.0f64..1e6,
+        ) {
+            // The stopping rule may only get easier as the tolerance
+            // loosens: a pair converged at ±tol is converged at ±(tol+slack).
+            if median_ci_within(&xs, tol) {
+                prop_assert!(median_ci_within(&xs, tol + slack));
+            }
+        }
+
+        #[test]
+        fn median_ci_within_needs_six_samples(
+            xs in proptest::collection::vec(0.0f64..1e6, 0..6),
+            tol in 1.0f64..1e9,
+        ) {
+            // Below 6 samples the 95% order-statistic CI does not exist,
+            // so the stopping rule must never fire.
+            prop_assert!(!median_ci_within(&xs, tol));
+        }
+
+        #[test]
+        fn median_and_quartiles_are_permutation_invariant(
+            xs in proptest::collection::vec(0.0f64..1e9, 2..60),
+            perm_seed in any::<u64>(),
+        ) {
+            // Fisher-Yates driven by a splitmix64 stream.
+            let mut state = perm_seed;
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut shuffled = xs.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            prop_assert_eq!(median(&shuffled), median(&xs));
+            prop_assert_eq!(quartiles(&shuffled), quartiles(&xs));
+            prop_assert_eq!(
+                median_ci_within(&shuffled, 1e5),
+                median_ci_within(&xs, 1e5)
+            );
         }
     }
 }

@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn rebin_sums_groups() {
-        assert_eq!(rebin_sum(&[1.0, 2.0, 3.0, 4.0, 5.0], 2), vec![3.0, 7.0, 5.0]);
+        assert_eq!(
+            rebin_sum(&[1.0, 2.0, 3.0, 4.0, 5.0], 2),
+            vec![3.0, 7.0, 5.0]
+        );
         assert_eq!(rebin_sum(&[1.0], 3), vec![1.0]);
     }
 
@@ -126,7 +129,9 @@ mod tests {
     #[test]
     fn dominant_period_of_square_wave() {
         // Period-8 square wave.
-        let xs: Vec<f64> = (0..64).map(|i| if (i / 4) % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let xs: Vec<f64> = (0..64)
+            .map(|i| if (i / 4) % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let p = dominant_period(&xs, 2, 20).expect("period found");
         assert_eq!(p, 8);
     }

@@ -1,10 +1,10 @@
 //! Wiring helpers that assemble sender/receiver pairs on an engine.
 
 use crate::flow::{CcFactory, DeliverySink, FlowStats, NullSink, Receiver, RecvStats, Sender};
-use prudentia_sim::SimDuration;
 use crate::source::FlowSource;
 use prudentia_cc::CongestionControl;
-use prudentia_sim::{Engine, EndpointId, FlowId, PathSpec, ServiceId};
+use prudentia_sim::SimDuration;
+use prudentia_sim::{EndpointId, Engine, FlowId, PathSpec, ServiceId};
 use std::cell::RefCell;
 use std::rc::Rc;
 

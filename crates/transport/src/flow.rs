@@ -218,7 +218,11 @@ impl Sender {
                 self.rttvar = sample / 2;
             }
             Some(srtt) => {
-                let diff = if srtt > sample { srtt - sample } else { sample - srtt };
+                let diff = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
                 self.rttvar = SimDuration::from_nanos(
                     (self.rttvar.as_nanos() as f64 * 0.75 + diff.as_nanos() as f64 * 0.25) as u64,
                 );
@@ -348,7 +352,14 @@ impl Sender {
         self.try_send(ctx);
     }
 
-    fn send_packet(&mut self, data_seq: u64, size: u32, retransmit: bool, now: SimTime, ctx: &mut Ctx<'_>) {
+    fn send_packet(
+        &mut self,
+        data_seq: u64,
+        size: u32,
+        retransmit: bool,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+    ) {
         let tx_seq = self.next_tx_seq;
         self.next_tx_seq += 1;
         let mut pkt = Packet::data(self.flow, self.service, self.receiver, tx_seq, size);
@@ -494,10 +505,8 @@ impl Endpoint for Sender {
                 ctx.set_timer(POLL_INTERVAL, TOKEN_POLL);
             }
             TOKEN_WAKE => self.try_send(ctx),
-            t if t > TOKEN_RTO_BASE => {
-                if (t & 0xFFFF_FFFF) == (self.rto_gen & 0xFFFF_FFFF) {
-                    self.handle_rto(ctx);
-                }
+            t if t > TOKEN_RTO_BASE && (t & 0xFFFF_FFFF) == (self.rto_gen & 0xFFFF_FFFF) => {
+                self.handle_rto(ctx);
             }
             _ => {}
         }

@@ -16,7 +16,9 @@ mod proptests;
 pub mod source;
 
 pub use builder::{build_flow, build_flow_with_restart, build_simple_flow, FlowHandle};
-pub use flow::{CcFactory, DeliverySink, FlowStats, NullSink, Receiver, RecvStats, Sender, TOKEN_WAKE};
+pub use flow::{
+    CcFactory, DeliverySink, FlowStats, NullSink, Receiver, RecvStats, Sender, TOKEN_WAKE,
+};
 pub use source::{FiniteSource, FlowSource, RateCappedSource, UnlimitedSource};
 
 #[cfg(test)]

@@ -13,9 +13,9 @@
 #![cfg(test)]
 
 use crate::{build_simple_flow, FiniteSource, UnlimitedSource};
+use proptest::prelude::*;
 use prudentia_cc::CcaKind;
 use prudentia_sim::{BottleneckConfig, Engine, PathSpec, ServiceId, SimDuration, SimTime};
-use proptest::prelude::*;
 
 fn cca_strategy() -> impl Strategy<Value = CcaKind> {
     prop_oneof![

@@ -130,7 +130,7 @@ mod tests {
         let mut sent = 0u64;
         let mut t = SimTime::ZERO;
         for _ in 0..1000 {
-            t = t + SimDuration::from_millis(10);
+            t += SimDuration::from_millis(10);
             let avail = s.available(t);
             let take = avail.min(100_000);
             s.consume(t, take);
@@ -149,7 +149,7 @@ mod tests {
         let mut s = RateCappedSource::new(UnlimitedSource, 8e6);
         // Initially one full burst (100 ms at 1 MB/s = 100 KB) is available.
         let avail = s.available(SimTime::ZERO);
-        assert!(avail >= 99_000 && avail <= 101_000, "{avail}");
+        assert!((99_000..=101_000).contains(&avail), "{avail}");
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn main() {
         max_trials: 5,
     };
 
-    println!("Evaluation report for submitted service: {}", submitted.name());
+    println!(
+        "Evaluation report for submitted service: {}",
+        submitted.name()
+    );
     println!("==================================================================");
     for setting in [
         NetworkSetting::highly_constrained(),

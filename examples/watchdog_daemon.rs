@@ -9,9 +9,7 @@
 
 use prudentia_apps::{Service, ServiceSpec};
 use prudentia_cc::CcaKind;
-use prudentia_core::{
-    DurationPolicy, NetworkSetting, TrialPolicy, Watchdog, WatchdogConfig,
-};
+use prudentia_core::{DurationPolicy, NetworkSetting, TrialPolicy, Watchdog, WatchdogConfig};
 
 fn main() {
     // A small rotation so the example finishes promptly; the default
@@ -33,6 +31,7 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(2),
         change_threshold: 0.15,
+        cache_path: None,
     };
     let mut watchdog = Watchdog::new(services, config);
 

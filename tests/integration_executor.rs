@@ -1,0 +1,174 @@
+//! Integration tests of the work-stealing trial executor: determinism
+//! across worker counts and cache states, and per-trial early stopping.
+
+use prudentia_apps::Service;
+use prudentia_core::{
+    execute_pairs, trial_seed, DurationPolicy, ExecutorConfig, NetworkSetting, PairOutcome,
+    PairSpec, TrialCache, TrialPolicy,
+};
+use std::sync::Arc;
+
+fn matrix_pairs() -> Vec<PairSpec> {
+    vec![
+        PairSpec {
+            contender: Service::IperfCubic.spec(),
+            incumbent: Service::IperfReno.spec(),
+            setting: NetworkSetting::highly_constrained(),
+        },
+        PairSpec {
+            contender: Service::IperfReno.spec(),
+            incumbent: Service::IperfBbr415.spec(),
+            setting: NetworkSetting::highly_constrained(),
+        },
+    ]
+}
+
+fn matrix_config(parallelism: usize) -> ExecutorConfig {
+    let mut config = ExecutorConfig::new(
+        TrialPolicy {
+            min_trials: 2,
+            batch: 1,
+            max_trials: 3,
+        },
+        DurationPolicy::Quick,
+        parallelism,
+    );
+    // Injected loss sits exactly at the §3.4 discard threshold, so the
+    // measured per-trial rate falls on either side seed-by-seed: some
+    // trials are discarded and replaced, exercising replacement seeds.
+    config.external_loss = 0.0005;
+    config
+}
+
+/// Field-by-field equality via the canonical JSON encoding: every field
+/// of every trial (seeds included) participates, and NaN medians compare
+/// equal through their `null` encoding.
+fn canonical(outcomes: &[PairOutcome]) -> String {
+    serde_json::to_string(&outcomes.to_vec()).expect("outcomes serialize")
+}
+
+#[test]
+fn determinism_matrix_across_parallelism_and_cache() {
+    let pairs = matrix_pairs();
+
+    let (baseline, baseline_stats) = execute_pairs(&pairs, &matrix_config(1));
+    let want = canonical(&baseline);
+    assert!(
+        baseline_stats.trials_discarded > 0,
+        "threshold-straddling external loss must discard at least one \
+         trial so replacement seeds are exercised"
+    );
+
+    // Kept trials must use the deterministic seed stream of the pair
+    // identity, in index order, with discarded indices skipped.
+    for (pair, outcome) in pairs.iter().zip(&baseline) {
+        let stream: Vec<u64> = (0..outcome.trials.len() + 40)
+            .map(|i| {
+                trial_seed(
+                    pair.contender.name(),
+                    pair.incumbent.name(),
+                    &pair.setting.name,
+                    i,
+                )
+            })
+            .collect();
+        let mut cursor = 0;
+        for trial in &outcome.trials {
+            let at = stream[cursor..]
+                .iter()
+                .position(|&s| s == trial.seed)
+                .expect("every kept trial's seed comes from the pair's seed stream, in order");
+            cursor += at + 1;
+        }
+    }
+
+    for parallelism in [2, 8] {
+        let (outcomes, _) = execute_pairs(&pairs, &matrix_config(parallelism));
+        assert_eq!(
+            canonical(&outcomes),
+            want,
+            "parallelism {parallelism} must not change outcomes"
+        );
+    }
+
+    // Cold cache at parallelism 2, then warm at 8 and at 1.
+    let cache = Arc::new(TrialCache::new());
+    let (cold, _) = execute_pairs(&pairs, &matrix_config(2).with_cache(Arc::clone(&cache)));
+    assert_eq!(
+        canonical(&cold),
+        want,
+        "cold cache must not change outcomes"
+    );
+
+    let (warm8, warm8_stats) =
+        execute_pairs(&pairs, &matrix_config(8).with_cache(Arc::clone(&cache)));
+    assert_eq!(
+        canonical(&warm8),
+        want,
+        "warm cache must not change outcomes"
+    );
+    assert!(
+        warm8_stats.trials_cached > 0,
+        "second run must hit the cache"
+    );
+
+    // A single worker issues exactly the sequential schedule, which the
+    // cold run (a superset) has fully memoized: zero simulations.
+    let (warm1, warm1_stats) =
+        execute_pairs(&pairs, &matrix_config(1).with_cache(Arc::clone(&cache)));
+    assert_eq!(
+        canonical(&warm1),
+        want,
+        "warm cache must not change outcomes"
+    );
+    assert_eq!(
+        warm1_stats.trials_run, 0,
+        "warm single-worker run is all hits"
+    );
+    assert!(warm1_stats.cache_hit_rate() > 0.99);
+}
+
+#[test]
+fn early_stopping_scales_trials_to_variance() {
+    let policy = TrialPolicy {
+        min_trials: 6, // the order-statistic CI needs >= 6 samples
+        batch: 2,
+        max_trials: 10,
+    };
+    let setting = NetworkSetting::highly_constrained();
+
+    // Reno vs Cubic at 8 Mbps settles quickly: the CI is inside the
+    // tolerance as soon as it exists, so the pair stops at min_trials.
+    let low_variance = [PairSpec {
+        contender: Service::IperfReno.spec(),
+        incumbent: Service::IperfCubic.spec(),
+        setting: setting.clone(),
+    }];
+    let config = ExecutorConfig::new(policy, DurationPolicy::Quick, 2);
+    let (outcomes, stats) = execute_pairs(&low_variance, &config);
+    assert!(outcomes[0].converged, "low-variance pair must converge");
+    assert_eq!(
+        outcomes[0].trials.len(),
+        policy.min_trials,
+        "low-variance pair must stop at min_trials"
+    );
+    assert_eq!(stats.pairs[0].kept_trials, policy.min_trials);
+
+    // Reno vs Reno at 8 Mbps is bimodal (loss-synchronization lockouts),
+    // so its CI stays wide: the pair must extend beyond min_trials,
+    // toward (possibly hitting) max_trials.
+    let high_variance = [PairSpec {
+        contender: Service::IperfReno.spec(),
+        incumbent: Service::IperfReno.spec(),
+        setting,
+    }];
+    let (outcomes, stats) = execute_pairs(&high_variance, &config);
+    assert!(
+        outcomes[0].trials.len() > policy.min_trials,
+        "high-variance pair must extend beyond min_trials (got {} trials, converged: {})",
+        outcomes[0].trials.len(),
+        outcomes[0].converged,
+    );
+    assert!(outcomes[0].trials.len() <= policy.max_trials);
+    assert_eq!(stats.pairs[0].kept_trials, outcomes[0].trials.len());
+}

@@ -49,10 +49,7 @@ fn heatmaps_cover_every_pair() {
         let map = Heatmap::build(stat, &labels, &outcomes);
         for a in &labels {
             for b in &labels {
-                assert!(
-                    map.cell(a, b).is_some(),
-                    "{stat:?} missing cell {a} vs {b}"
-                );
+                assert!(map.cell(a, b).is_some(), "{stat:?} missing cell {a} vs {b}");
             }
         }
     }

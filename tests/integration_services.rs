@@ -136,12 +136,8 @@ fn web_page_loads_complete_and_contention_slows_them() {
         spec
     };
     let solo = run_experiment(&solo_spec);
-    let mut loaded_spec = ExperimentSpec::paper(
-        Service::Mega.spec(),
-        Service::Wikipedia.spec(),
-        s,
-        8,
-    );
+    let mut loaded_spec =
+        ExperimentSpec::paper(Service::Mega.spec(), Service::Wikipedia.spec(), s, 8);
     loaded_spec.duration = prudentia_sim::SimDuration::from_secs(240);
     loaded_spec.warmup = prudentia_sim::SimDuration::from_secs(20);
     loaded_spec.cooldown = prudentia_sim::SimDuration::from_secs(20);

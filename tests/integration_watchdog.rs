@@ -3,8 +3,8 @@
 use prudentia_apps::{Service, ServiceSpec};
 use prudentia_cc::CcaKind;
 use prudentia_core::{
-    run_pair, run_pairs_parallel, DurationPolicy, NetworkSetting, PairSpec, TrialPolicy,
-    Watchdog, WatchdogConfig,
+    run_pair, run_pairs_parallel, DurationPolicy, NetworkSetting, PairSpec, TrialPolicy, Watchdog,
+    WatchdogConfig,
 };
 
 fn tiny_policy() -> TrialPolicy {
@@ -94,6 +94,7 @@ fn watchdog_detects_cca_deployment_change() {
         duration: DurationPolicy::Quick,
         parallelism: 4,
         change_threshold: 0.10,
+        cache_path: None,
     };
     let mut wd = Watchdog::new(
         vec![Service::IperfReno.spec(), Service::Mega.spec()],

@@ -1,0 +1,427 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! crates.io is unreachable in this build environment, so there is no
+//! `syn`/`quote`; the input item is parsed by walking the raw
+//! `proc_macro::TokenStream`. Supported shapes cover everything the
+//! workspace derives on:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtype transparency for single-field ones);
+//! * unit structs;
+//! * enums with unit, named-field, and tuple variants
+//!   (externally-tagged representation, like serde's default).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce
+//! a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&name, &shape),
+                Mode::Deserialize => gen_deserialize(&name, &shape),
+            };
+            code.parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => format!("::std::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission"),
+    }
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generics on `{name}`"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok((name, Shape::NamedStruct(fields)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                Ok((name, Shape::TupleStruct(n)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok((name, Shape::Enum(variants)))
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde impls for `{other}`")),
+    }
+}
+
+/// Advance past leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists (attribute- and visibility-tolerant).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let fname = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{fname}`, got {other:?}")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run off the end)
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+/// Count top-level comma-separated entries of a tuple field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1usize;
+    let mut saw_tokens_since_comma = true;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let vname = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => {
+                return Err(format!(
+                    "unsupported token after variant `{vname}` (discriminants are not supported): {other:?}"
+                ))
+            }
+        }
+        variants.push(Variant { name: vname, kind });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- codegen
+
+const S: &str = "::serde::Serialize::to_value";
+const D: &str = "::serde::Deserialize::from_value";
+
+fn string_lit(s: &str) -> String {
+    format!("::std::string::String::from({s:?})")
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, {S}(&self.{f}))", string_lit(f)))
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => format!("{S}(&self.0)"),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("{S}(&self.{i})")).collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = string_lit(&v.name);
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{v} => ::serde::Value::Str({tag}),",
+                            v = v.name
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("({}, {S}({f}))", string_lit(f)))
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => ::serde::Value::Obj(::std::vec![({tag}, \
+                                 ::serde::Value::Obj(::std::vec![{entries}]))]),",
+                                v = v.name,
+                                entries = entries.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{v}(x0) => ::serde::Value::Obj(::std::vec![({tag}, {S}(x0))]),",
+                            v = v.name
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> =
+                                (0..*n).map(|i| format!("{S}(x{i})")).collect();
+                            format!(
+                                "{name}::{v}({binds}) => ::serde::Value::Obj(::std::vec![({tag}, \
+                                 ::serde::Value::Arr(::std::vec![{items}]))]),",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {D}(::serde::field(v, {f:?})?)?,"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::TupleStruct(1) => format!("::std::result::Result::Ok({name}({D}(v)?))"),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("{D}(items.get({i}).unwrap_or(&::serde::Value::Null))?,"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Arr(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({inits})),\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                         \"expected {n}-element array for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                inits = inits.join(" ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: {D}(::serde::field(inner, {f:?})?)?,"))
+                            .collect();
+                        Some(format!(
+                            "{:?} => ::std::result::Result::Ok({name}::{} {{ {} }}),",
+                            v.name,
+                            v.name,
+                            inits.join(" ")
+                        ))
+                    }
+                    VariantKind::Tuple(1) => Some(format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}({D}(inner)?)),",
+                        v.name, v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("{D}(items.get({i}).unwrap_or(&::serde::Value::Null))?,")
+                            })
+                            .collect();
+                        Some(format!(
+                            "{:?} => match inner {{\n\
+                                 ::serde::Value::Arr(items) if items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{}({})),\n\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                                     \"expected {n}-element array, got {{other:?}}\"))),\n\
+                             }},",
+                            v.name,
+                            v.name,
+                            inits.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                         \"cannot deserialize {name} from {{other:?}}\"))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
