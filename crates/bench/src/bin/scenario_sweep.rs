@@ -1,0 +1,130 @@
+//! Scenario sweep: how the fairness verdicts shift when the bottleneck
+//! runs a different queue discipline or a variable-rate link.
+//!
+//! The paper flags its verdicts as conditional on the testbed's drop-tail
+//! queue and static link (Obs 11). This sweep re-runs a reduced service
+//! matrix (two loss-based iPerfs, a BBR iPerf, and YouTube) on the 8 Mbps
+//! setting under five scenarios — drop-tail (the paper baseline), CoDel,
+//! FQ-CoDel, RED, and drop-tail behind an LTE-like variable-rate link —
+//! and prints a per-scenario MmF heatmap plus a delta-vs-droptail report.
+//!
+//! The drop-tail baseline uses the legacy setting unchanged (same name,
+//! same seeds, same cache keys), so its results are byte-identical to any
+//! other run of those pairs through the standard pipeline.
+//!
+//! `--quick` forces quick mode regardless of `PRUDENTIA_MODE` (used by
+//! the CI smoke job).
+
+use prudentia_apps::Service;
+use prudentia_bench::{results_dir, run_pairs, Mode};
+use prudentia_core::{
+    Heatmap, HeatmapStat, ImpairmentSpec, NetworkSetting, PairSpec, QdiscSpec, ScenarioSpec,
+};
+
+/// The reduced matrix: loss-based vs model-based CCAs plus a real ABR app.
+fn sweep_services() -> Vec<Service> {
+    vec![
+        Service::IperfCubic,
+        Service::IperfReno,
+        Service::IperfBbr,
+        Service::YouTube,
+    ]
+}
+
+/// The sweep axis: (label, setting). Drop-tail keeps the legacy setting
+/// untouched so its trials replay byte-identically from warm caches.
+fn scenarios() -> Vec<(&'static str, NetworkSetting)> {
+    let base = NetworkSetting::highly_constrained();
+    let qdisc_only = |q: QdiscSpec, label: &'static str| {
+        (
+            label,
+            base.clone().with_scenario(
+                ScenarioSpec {
+                    qdisc: q,
+                    impairment: ImpairmentSpec::default(),
+                },
+                label,
+            ),
+        )
+    };
+    vec![
+        ("droptail", base.clone()),
+        qdisc_only(QdiscSpec::codel(), "codel"),
+        qdisc_only(QdiscSpec::fq_codel(), "fq_codel"),
+        qdisc_only(QdiscSpec::red(), "red"),
+        (
+            "lte",
+            base.clone()
+                .with_scenario(ScenarioSpec::droptail_lte(base.rate_bps), "lte"),
+        ),
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { Mode::Quick } else { Mode::from_env() };
+    let services = sweep_services();
+    let labels: Vec<String> = services
+        .iter()
+        .map(|s| s.spec().name().to_string())
+        .collect();
+
+    let mut maps: Vec<(&'static str, Heatmap)> = Vec::new();
+    for (label, setting) in scenarios() {
+        let pairs: Vec<PairSpec> = services
+            .iter()
+            .flat_map(|a| {
+                services.iter().map(|b| PairSpec {
+                    contender: a.spec(),
+                    incumbent: b.spec(),
+                    setting: setting.clone(),
+                })
+            })
+            .collect();
+        eprintln!("scenario '{label}': running {} pairs...", pairs.len());
+        let outcomes = run_pairs(&pairs, mode);
+        let map = Heatmap::build(HeatmapStat::MmfSharePct, &labels, &outcomes);
+        println!();
+        println!(
+            "Scenario sweep — {} — {} — {}",
+            setting.name,
+            label,
+            map.stat.title()
+        );
+        println!("{}", map.render_text());
+        let csv = results_dir().join(format!("scenario_{}_{}.csv", label, mode.tag()));
+        std::fs::write(&csv, map.render_csv()).expect("write csv");
+        println!("(csv written to {})", csv.display());
+        maps.push((label, map));
+    }
+
+    // Delta report: per-cell MmF-share change versus the drop-tail
+    // baseline — the "does the verdict survive an AQM?" summary.
+    let (_, baseline) = &maps[0];
+    println!();
+    println!("Delta vs droptail (mean |cell change| and largest mover, MmF share points):");
+    for (label, map) in maps.iter().skip(1) {
+        let mut deltas = Vec::new();
+        let mut worst: Option<(f64, String)> = None;
+        for c in &baseline.services {
+            for i in &baseline.services {
+                if let (Some(b), Some(v)) = (map.cell(c, i), baseline.cell(c, i)) {
+                    let d = b - v;
+                    if worst.as_ref().is_none_or(|(w, _)| d.abs() > w.abs()) {
+                        worst = Some((d, format!("{c} vs {i}")));
+                    }
+                    deltas.push(d.abs());
+                }
+            }
+        }
+        let mean = if deltas.is_empty() {
+            0.0
+        } else {
+            deltas.iter().sum::<f64>() / deltas.len() as f64
+        };
+        match worst {
+            Some((d, pair)) => println!("  {label:<9} mean {mean:6.1}  max {d:+6.1} ({pair})"),
+            None => println!("  {label:<9} (no overlapping cells)"),
+        }
+    }
+}

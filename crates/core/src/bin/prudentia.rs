@@ -12,13 +12,15 @@
 //! Options: `--paper` (full §3.4 protocol), `--trials N`, `--seed N`,
 //! `--parallel N`, `--cache PATH` (persist trial results so repeated
 //! matrix/watch runs skip already-simulated trials), `--stats` (print
-//! executor telemetry). Service names are the catalog labels from
+//! executor telemetry), `--scenario droptail|codel|fq_codel|red|lte`
+//! (swap the bottleneck qdisc or apply the LTE-like variable-rate
+//! impairment). Service names are the catalog labels from
 //! `prudentia list` (case-insensitive).
 
 use prudentia_apps::Service;
 use prudentia_core::{
     execute_pairs, run_solo, DurationPolicy, ExecutorConfig, Heatmap, HeatmapStat, NetworkSetting,
-    PairSpec, TrialCache, TrialPolicy, Watchdog, WatchdogConfig,
+    PairSpec, QdiscSpec, ScenarioSpec, TrialCache, TrialPolicy, Watchdog, WatchdogConfig,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -40,6 +42,7 @@ struct Opts {
     iterations: u64,
     cache: Option<PathBuf>,
     stats: bool,
+    scenario: Option<String>,
     positional: Vec<String>,
 }
 
@@ -55,6 +58,7 @@ fn parse_args() -> Opts {
         iterations: 1,
         cache: None,
         stats: false,
+        scenario: None,
         positional: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -80,6 +84,9 @@ fn parse_args() -> Opts {
                 opts.cache = args.next().map(PathBuf::from);
             }
             "--stats" => opts.stats = true,
+            "--scenario" => {
+                opts.scenario = args.next();
+            }
             other => opts.positional.push(other.to_string()),
         }
     }
@@ -87,7 +94,7 @@ fn parse_args() -> Opts {
 }
 
 fn settings_for(opts: &Opts) -> Vec<NetworkSetting> {
-    match opts.setting {
+    let base = match opts.setting {
         Some(mbps) if (mbps - 8.0).abs() < 0.5 => vec![NetworkSetting::highly_constrained()],
         Some(mbps) if (mbps - 50.0).abs() < 0.5 => {
             vec![NetworkSetting::moderately_constrained()]
@@ -97,7 +104,39 @@ fn settings_for(opts: &Opts) -> Vec<NetworkSetting> {
             NetworkSetting::highly_constrained(),
             NetworkSetting::moderately_constrained(),
         ],
-    }
+    };
+    let Some(label) = opts.scenario.as_deref() else {
+        return base;
+    };
+    base.into_iter()
+        .map(|setting| {
+            let scenario = match label {
+                // The bare legacy setting: names, seeds, and cache keys
+                // identical to runs that never passed --scenario.
+                "droptail" => return setting,
+                "codel" => ScenarioSpec {
+                    qdisc: QdiscSpec::codel(),
+                    ..ScenarioSpec::default()
+                },
+                "fq_codel" => ScenarioSpec {
+                    qdisc: QdiscSpec::fq_codel(),
+                    ..ScenarioSpec::default()
+                },
+                "red" => ScenarioSpec {
+                    qdisc: QdiscSpec::red(),
+                    ..ScenarioSpec::default()
+                },
+                "lte" => ScenarioSpec::droptail_lte(setting.rate_bps),
+                other => {
+                    eprintln!(
+                        "unknown scenario: {other} (expected droptail|codel|fq_codel|red|lte)"
+                    );
+                    std::process::exit(2);
+                }
+            };
+            setting.with_scenario(scenario, label)
+        })
+        .collect()
 }
 
 fn policy_for(opts: &Opts) -> (TrialPolicy, DurationPolicy) {
@@ -122,6 +161,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: prudentia <list|pair|solo|classify|matrix|watch> [args] \
          [--paper] [--trials N] [--seed N] [--parallel N] [--setting MBPS] \
+         [--scenario droptail|codel|fq_codel|red|lte] \
          [--iterations N] [--cache PATH] [--stats]"
     );
     std::process::exit(2)

@@ -20,9 +20,22 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// FNV-1a over a byte string.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+/// Version of the spec encoding that feeds [`trial_key`]. Bump whenever
+/// the semantics of a persisted result change without the spec JSON
+/// necessarily changing (new engine behaviour, changed accounting, …):
+/// every key changes, so stale persisted caches are invalidated wholesale
+/// instead of silently serving results computed under old semantics.
+///
+/// Version history:
+/// * 1 — original pipeline (implicit; keys were FNV of the JSON alone).
+/// * 2 — scenario subsystem: settings carry a qdisc + impairment spec.
+pub const SPEC_SCHEMA_VERSION: u32 = 2;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold bytes into an FNV-1a state.
+fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -30,14 +43,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Stable cache key for one trial: FNV-1a of the spec's canonical JSON.
+/// Stable cache key for one trial: FNV-1a of [`SPEC_SCHEMA_VERSION`]
+/// followed by the spec's canonical JSON.
 ///
 /// Serde derives emit fields in declaration order and the vendored
 /// writer emits no whitespace, so the encoding — and the key — is
 /// deterministic across runs, platforms, and Rust versions.
 pub fn trial_key(spec: &ExperimentSpec) -> u64 {
     let json = serde_json::to_string(spec).expect("ExperimentSpec serializes");
-    fnv1a(json.as_bytes())
+    let h = fnv1a_update(FNV_OFFSET, &SPEC_SCHEMA_VERSION.to_le_bytes());
+    fnv1a_update(h, json.as_bytes())
 }
 
 /// One persisted cache entry.
@@ -217,6 +232,31 @@ mod tests {
         let mut s = spec(7);
         s.record_series = true;
         assert_ne!(trial_key(&s), base, "record_series must change the key");
+    }
+
+    #[test]
+    fn schema_version_feeds_the_key() {
+        // The key must differ from a plain FNV of the JSON (version 1's
+        // scheme), so bumping SPEC_SCHEMA_VERSION invalidates old caches.
+        let s = spec(7);
+        let json = serde_json::to_string(&s).unwrap();
+        let unversioned = fnv1a_update(FNV_OFFSET, json.as_bytes());
+        assert_ne!(trial_key(&s), unversioned);
+    }
+
+    #[test]
+    fn scenario_feeds_the_key() {
+        use prudentia_sim::{QdiscSpec, ScenarioSpec};
+        let base = trial_key(&spec(7));
+        let mut s = spec(7);
+        s.setting.scenario = ScenarioSpec {
+            qdisc: QdiscSpec::codel(),
+            ..ScenarioSpec::default()
+        };
+        assert_ne!(trial_key(&s), base, "qdisc must change the key");
+        let mut s = spec(7);
+        s.setting.scenario = ScenarioSpec::droptail_lte(s.setting.rate_bps);
+        assert_ne!(trial_key(&s), base, "impairment must change the key");
     }
 
     #[test]

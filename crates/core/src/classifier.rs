@@ -110,6 +110,7 @@ pub fn extract_features(spec: &ServiceSpec, cfg: &ClassifierConfig, seed: u64) -
         base_rtt: prudentia_sim::SimDuration::from_millis(50),
         bdp_multiple: 4,
         queue_override_pkts: Some(cfg.queue_pkts),
+        scenario: prudentia_sim::ScenarioSpec::default(),
     };
     let mut engine = Engine::new(setting.bottleneck(), seed);
     let svc = ServiceId(0);

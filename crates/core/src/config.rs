@@ -5,7 +5,7 @@
 //! the world median broadband speed), both at a normalized 50 ms RTT with
 //! a drop-tail queue of 4×BDP rounded to a power of two.
 
-use prudentia_sim::{bdp_packets, pow2_round, BottleneckConfig, SimDuration};
+use prudentia_sim::{bdp_packets, pow2_round, BottleneckConfig, ScenarioSpec, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// One emulated bottleneck setting.
@@ -21,6 +21,9 @@ pub struct NetworkSetting {
     pub bdp_multiple: u64,
     /// Explicit queue size in packets, overriding the BDP rule.
     pub queue_override_pkts: Option<usize>,
+    /// Scenario at the bottleneck: queue discipline + link impairments.
+    /// The default reproduces the paper's testbed (drop-tail, static link).
+    pub scenario: ScenarioSpec,
 }
 
 /// MTU used for BDP computations.
@@ -35,6 +38,7 @@ impl NetworkSetting {
             base_rtt: SimDuration::from_millis(50),
             bdp_multiple: 4,
             queue_override_pkts: None,
+            scenario: ScenarioSpec::default(),
         }
     }
 
@@ -46,6 +50,7 @@ impl NetworkSetting {
             base_rtt: SimDuration::from_millis(50),
             bdp_multiple: 4,
             queue_override_pkts: None,
+            scenario: ScenarioSpec::default(),
         }
     }
 
@@ -57,7 +62,28 @@ impl NetworkSetting {
             base_rtt: SimDuration::from_millis(50),
             bdp_multiple: 4,
             queue_override_pkts: None,
+            scenario: ScenarioSpec::default(),
         }
+    }
+
+    /// The same setting under a different scenario. The label joins the
+    /// name (e.g. "highly-constrained (8 Mbps) [codel]"): the name feeds
+    /// per-trial seeds and result files, so scenario'd settings must not
+    /// collide with the legacy setting — or with each other.
+    pub fn with_scenario(mut self, scenario: ScenarioSpec, label: &str) -> Self {
+        self.name = format!("{} [{}]", self.name, label);
+        self.scenario = scenario;
+        self
+    }
+
+    /// The rate the max-min fair benchmark should assume over a trial of
+    /// `duration`: the base rate for a static link, the time-weighted mean
+    /// of the schedule for a variable-rate one. Returns `rate_bps` exactly
+    /// (same bits) when the scenario has no rate schedule.
+    pub fn effective_rate_bps(&self, duration: SimDuration) -> f64 {
+        self.scenario
+            .impairment
+            .mean_rate_bps(self.rate_bps, duration)
     }
 
     /// The same setting with a different queue multiple (Obs 11: 8×BDP).
@@ -144,5 +170,60 @@ mod tests {
         let mut s = NetworkSetting::highly_constrained();
         s.queue_override_pkts = Some(77);
         assert_eq!(s.queue_capacity_pkts(), 77);
+    }
+
+    #[test]
+    fn default_scenario_is_the_paper_testbed() {
+        let s = NetworkSetting::highly_constrained();
+        assert!(s.scenario.is_default());
+        // With no rate schedule the effective rate is bit-identical to the
+        // base rate — the byte-identity invariant for legacy trials.
+        let eff = s.effective_rate_bps(SimDuration::from_secs(60));
+        assert_eq!(eff.to_bits(), s.rate_bps.to_bits());
+    }
+
+    #[test]
+    fn with_scenario_renames_and_swaps() {
+        use prudentia_sim::{ImpairmentSpec, QdiscSpec};
+        let s = NetworkSetting::highly_constrained().with_scenario(
+            ScenarioSpec {
+                qdisc: QdiscSpec::codel(),
+                impairment: ImpairmentSpec::default(),
+            },
+            "codel",
+        );
+        assert_eq!(s.name, "highly-constrained (8 Mbps) [codel]");
+        assert_eq!(s.scenario.qdisc, QdiscSpec::codel());
+        // Rate and queue sizing rules are untouched by the scenario.
+        assert_eq!(s.queue_capacity_pkts(), 128);
+    }
+
+    #[test]
+    fn effective_rate_follows_the_schedule() {
+        use prudentia_sim::{ImpairmentSpec, QdiscSpec, RateStep};
+        // A one-step schedule halving the link: effective rate is the mean.
+        let mut s = NetworkSetting::highly_constrained();
+        s.scenario = ScenarioSpec {
+            qdisc: QdiscSpec::DropTail,
+            impairment: ImpairmentSpec {
+                rate_steps: vec![RateStep {
+                    at: SimDuration::from_secs(30),
+                    rate_bps: 4e6,
+                }],
+                ..ImpairmentSpec::default()
+            },
+        };
+        let eff = s.effective_rate_bps(SimDuration::from_secs(60));
+        assert!((eff - 6e6).abs() < 1.0, "half at 8, half at 4: {eff}");
+
+        // The LTE-like trace is mean-preserving by construction (its rate
+        // factors average to exactly 1), so the MmF benchmark stays
+        // comparable with the static baseline.
+        let base = NetworkSetting::highly_constrained();
+        let lte = base
+            .clone()
+            .with_scenario(ScenarioSpec::droptail_lte(base.rate_bps), "lte");
+        let eff = lte.effective_rate_bps(SimDuration::from_secs(60));
+        assert!((eff - base.rate_bps).abs() < 1.0, "LTE mean ≈ base: {eff}");
     }
 }

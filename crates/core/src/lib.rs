@@ -47,7 +47,7 @@ pub mod scheduler;
 pub mod submissions;
 pub mod watchdog;
 
-pub use cache::{trial_key, TrialCache};
+pub use cache::{trial_key, TrialCache, SPEC_SCHEMA_VERSION};
 pub use classifier::{classify_service, extract_features, CcaClass, CcaFeatures, ClassifierConfig};
 pub use config::NetworkSetting;
 pub use executor::{execute_pairs, ExecutorConfig, PairStats, SchedulerStats};
@@ -55,6 +55,7 @@ pub use experiment::{
     AppSummary, ExperimentResult, ExperimentSpec, QueuePoint, SeriesPoint, SideResult,
 };
 pub use heatmap::{Heatmap, HeatmapStat};
+pub use prudentia_sim::{ImpairmentSpec, QdiscSpec, RateStep, ScenarioSpec};
 pub use report::{loser_shares, loser_stats, self_competition_mean, LoserStats, TransitivityRow};
 pub use results::ResultStore;
 pub use runner::{run_experiment, run_experiment_instrumented, run_solo, EXTERNAL_LOSS_DISCARD};

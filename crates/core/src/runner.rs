@@ -22,7 +22,8 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
 /// processed — telemetry for the executor, kept out of
 /// [`ExperimentResult`] so the result JSON stays execution-independent.
 pub fn run_experiment_instrumented(spec: &ExperimentSpec) -> (ExperimentResult, u64) {
-    let mut engine = Engine::new(spec.setting.bottleneck(), spec.seed);
+    let mut engine =
+        Engine::with_scenario(spec.setting.bottleneck(), &spec.setting.scenario, spec.seed);
     engine.set_service_pair(SVC_A, SVC_B);
     if spec.external_loss > 0.0 {
         engine.set_external_loss(spec.external_loss);
@@ -45,8 +46,12 @@ pub fn run_experiment_instrumented(spec: &ExperimentSpec) -> (ExperimentResult, 
     let a_bps = engine.trace().mean_bps(SVC_A, from, to);
     let b_bps = engine.trace().mean_bps(SVC_B, from, to);
 
+    // Under a variable-rate scenario the fair benchmark is computed from
+    // the time-weighted mean link rate; for a static link this is exactly
+    // `rate_bps`, preserving byte-identity of legacy trials.
+    let bench_rate = spec.setting.effective_rate_bps(spec.duration);
     let alloc = max_min_allocation(
-        spec.setting.rate_bps,
+        bench_rate,
         &[spec.contender.demand(), spec.incumbent.demand()],
     );
 
@@ -120,7 +125,7 @@ pub fn run_experiment_instrumented(spec: &ExperimentSpec) -> (ExperimentResult, 
     }
 
     let result = ExperimentResult {
-        utilization: (a_bps + b_bps) / spec.setting.rate_bps,
+        utilization: (a_bps + b_bps) / bench_rate,
         contender,
         incumbent,
         external_loss_rate,
@@ -135,7 +140,7 @@ pub fn run_experiment_instrumented(spec: &ExperimentSpec) -> (ExperimentResult, 
 /// Run a service alone ("solo", §3.1: used to detect upstream throttling
 /// and to measure Table 1's Max Xput column).
 pub fn run_solo(spec: &ServiceSpec, setting: &crate::config::NetworkSetting, seed: u64) -> f64 {
-    let mut engine = Engine::new(setting.bottleneck(), seed);
+    let mut engine = Engine::with_scenario(setting.bottleneck(), &setting.scenario, seed);
     let inst = build_service(spec, &mut engine, SVC_A, setting.base_rtt);
     let duration = SimTime::from_secs(180);
     engine.run_until(duration);
@@ -328,5 +333,87 @@ mod tests {
         let b = run_experiment(&spec);
         assert_eq!(a.contender.throughput_bps, b.contender.throughput_bps);
         assert_eq!(a.incumbent.throughput_bps, b.incumbent.throughput_bps);
+    }
+
+    #[test]
+    fn scenario_trials_run_and_are_deterministic() {
+        use prudentia_sim::{ImpairmentSpec, QdiscSpec, ScenarioSpec};
+        let scenarios = [
+            ScenarioSpec {
+                qdisc: QdiscSpec::codel(),
+                impairment: ImpairmentSpec::default(),
+            },
+            ScenarioSpec {
+                qdisc: QdiscSpec::fq_codel(),
+                impairment: ImpairmentSpec::default(),
+            },
+            ScenarioSpec {
+                qdisc: QdiscSpec::red(),
+                impairment: ImpairmentSpec {
+                    loss_prob: 0.0005,
+                    ..ImpairmentSpec::default()
+                },
+            },
+            ScenarioSpec::droptail_lte(8e6),
+        ];
+        for (i, sc) in scenarios.iter().enumerate() {
+            let setting =
+                NetworkSetting::highly_constrained().with_scenario(sc.clone(), sc.qdisc.kind());
+            let spec = ExperimentSpec::quick(
+                Service::IperfCubic.spec(),
+                Service::IperfReno.spec(),
+                setting,
+                17 + i as u64,
+            );
+            let a = run_experiment(&spec);
+            let b = run_experiment(&spec);
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "scenario {} must be byte-deterministic",
+                sc.qdisc.kind()
+            );
+            assert!(
+                a.utilization > 0.5,
+                "scenario {} utilization {}",
+                sc.qdisc.kind(),
+                a.utilization
+            );
+        }
+    }
+
+    #[test]
+    fn codel_scenario_cuts_queueing_delay_vs_droptail() {
+        // The headline AQM effect: CoDel keeps the standing queue near its
+        // 5 ms target where drop-tail lets it grow to the full 4×BDP
+        // buffer (~100 ms at 8 Mbps). This is the behavioural check that
+        // the qdisc is actually in the datapath.
+        let droptail = ExperimentSpec::quick(
+            Service::IperfCubic.spec(),
+            Service::IperfReno.spec(),
+            NetworkSetting::highly_constrained(),
+            19,
+        );
+        let codel_setting = NetworkSetting::highly_constrained().with_scenario(
+            prudentia_sim::ScenarioSpec {
+                qdisc: prudentia_sim::QdiscSpec::codel(),
+                impairment: prudentia_sim::ImpairmentSpec::default(),
+            },
+            "codel",
+        );
+        let codel = ExperimentSpec::quick(
+            Service::IperfCubic.spec(),
+            Service::IperfReno.spec(),
+            codel_setting,
+            19,
+        );
+        let rd = run_experiment(&droptail);
+        let rc = run_experiment(&codel);
+        let d_delay = rd.contender.mean_qdelay_ms.max(rd.incumbent.mean_qdelay_ms);
+        let c_delay = rc.contender.mean_qdelay_ms.max(rc.incumbent.mean_qdelay_ms);
+        assert!(
+            c_delay < d_delay / 2.0,
+            "CoDel {c_delay:.1} ms should be well under drop-tail {d_delay:.1} ms"
+        );
     }
 }

@@ -1,16 +1,20 @@
 //! The discrete-event simulation engine.
 //!
 //! An [`Engine`] owns a set of [`Endpoint`]s (transport senders/receivers),
-//! a single bottleneck link with a drop-tail queue (the dumbbell of Fig 1),
-//! per-flow path delays, and a [`Trace`]. Endpoints interact with the world
-//! only through [`Ctx`], which keeps the design single-threaded and
+//! a single bottleneck link with a pluggable queue discipline (the dumbbell
+//! of Fig 1; drop-tail by default, any [`crate::aqm::QdiscSpec`] via
+//! [`Engine::with_scenario`]), per-flow path delays, optional link
+//! impairments, and a [`Trace`]. Endpoints interact with the world only
+//! through [`Ctx`], which keeps the design single-threaded and
 //! deterministic.
 
+use crate::aqm::QueueDiscipline;
 use crate::event::{Event, EventQueue};
 use crate::link::{BottleneckConfig, PathSpec};
 use crate::packet::{EndpointId, FlowId, Packet, PacketKind, ServiceId};
 use crate::pcap::PcapWriter;
-use crate::queue::{DropTailQueue, EnqueueResult, ServiceQueueStats};
+use crate::queue::{EnqueueResult, ServiceQueueStats};
+use crate::scenario::{ImpairmentSpec, ScenarioSpec};
 use crate::time::{serialization_time, SimDuration, SimTime};
 use crate::trace::Trace;
 use rand::rngs::StdRng;
@@ -29,10 +33,14 @@ pub trait Endpoint {
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
 }
 
+/// Seed-mixing constant for the impairment RNG, so its stream is
+/// independent of the engine's main RNG under the same experiment seed.
+const IMPAIRMENT_SEED_MIX: u64 = 0x1337_11FA_11AB_11E5;
+
 /// State shared by all endpoints: the bottleneck, paths, loss model, RNG.
 struct Network {
     config: BottleneckConfig,
-    queue: DropTailQueue,
+    queue: Box<dyn QueueDiscipline>,
     /// Packet currently being serialized, with the queueing delay it saw.
     in_flight: Option<(Packet, SimDuration)>,
     paths: HashMap<FlowId, PathSpec>,
@@ -41,6 +49,15 @@ struct Network {
     external_loss_prob: f64,
     external_losses: u64,
     external_candidates: u64,
+    /// Link impairments at the bottleneck (no-op for legacy scenarios).
+    impairment: ImpairmentSpec,
+    /// Packets lost to the impairment layer at the bottleneck egress.
+    impairment_losses: u64,
+    /// Dedicated RNG for impairment draws. The default (no-op) scenario
+    /// never consults it, so legacy trials stay byte-identical; when it is
+    /// consulted, the stream is independent of `rng` so enabling loss does
+    /// not shift path-jitter draws.
+    imp_rng: StdRng,
     /// The two services of the pair, for per-service queue samples.
     svc_pair: (ServiceId, ServiceId),
     rng: StdRng,
@@ -166,20 +183,31 @@ pub struct Engine {
 
 impl Engine {
     /// Create an engine for the given bottleneck, seeding all randomness
-    /// from `seed`.
+    /// from `seed`. Uses the default scenario (drop-tail, no impairments) —
+    /// the paper's testbed.
     pub fn new(config: BottleneckConfig, seed: u64) -> Self {
+        Engine::with_scenario(config, &ScenarioSpec::default(), seed)
+    }
+
+    /// Create an engine whose bottleneck runs the given scenario: the
+    /// scenario's queue discipline replaces drop-tail and its impairments
+    /// (rate schedule, loss, jitter, reordering) act on the link.
+    pub fn with_scenario(config: BottleneckConfig, scenario: &ScenarioSpec, seed: u64) -> Self {
         Engine {
             now: SimTime::ZERO,
             events: EventQueue::new(),
             endpoints: Vec::new(),
             net: Network {
-                queue: DropTailQueue::new(config.queue_capacity_pkts),
+                queue: scenario.qdisc.build(config.queue_capacity_pkts, seed),
                 config,
                 in_flight: None,
                 paths: HashMap::new(),
                 external_loss_prob: 0.0,
                 external_losses: 0,
                 external_candidates: 0,
+                impairment: scenario.impairment.clone(),
+                impairment_losses: 0,
+                imp_rng: StdRng::seed_from_u64(seed ^ IMPAIRMENT_SEED_MIX),
                 svc_pair: (ServiceId(0), ServiceId(1)),
                 rng: StdRng::seed_from_u64(seed),
             },
@@ -273,6 +301,12 @@ impl Engine {
         (self.net.external_losses, self.net.external_candidates)
     }
 
+    /// Packets lost to the scenario's impairment layer at the bottleneck
+    /// egress (0 unless the scenario enables random loss).
+    pub fn impairment_losses(&self) -> u64 {
+        self.net.impairment_losses
+    }
+
     /// Fraction of data packets lost externally to the testbed.
     pub fn external_loss_rate(&self) -> f64 {
         if self.net.external_candidates == 0 {
@@ -306,9 +340,15 @@ impl Engine {
         if self.net.in_flight.is_some() {
             return;
         }
-        if let Some(pkt) = self.net.queue.dequeue() {
+        if let Some(pkt) = self.net.queue.dequeue(self.now) {
             let qdelay = self.now.saturating_since(pkt.enqueued_at);
-            let ser = serialization_time(pkt.size, self.net.config.rate_bps);
+            // Under a rate schedule the packet serializes at the rate in
+            // effect when its transmission starts (piecewise-constant link).
+            let rate = self
+                .net
+                .impairment
+                .rate_at(self.now, self.net.config.rate_bps);
+            let ser = serialization_time(pkt.size, rate);
             self.net.in_flight = Some((pkt, qdelay));
             self.events
                 .schedule(self.now + ser, Event::BottleneckTxDone);
@@ -362,7 +402,7 @@ impl Engine {
             match event {
                 Event::ArriveAtBottleneck(mut pkt) => {
                     pkt.enqueued_at = self.now;
-                    let res = self.net.queue.enqueue(pkt);
+                    let res = self.net.queue.enqueue(pkt, self.now);
                     if res == EnqueueResult::Queued {
                         self.maybe_start_tx();
                     }
@@ -374,6 +414,17 @@ impl Engine {
                         .in_flight
                         .take()
                         .expect("TxDone with no packet in flight");
+                    // Impairment layer at the bottleneck egress. Every draw
+                    // is gated on its knob being enabled, so the default
+                    // scenario never touches the impairment RNG.
+                    if self.net.impairment.loss_prob > 0.0
+                        && self.net.imp_rng.gen::<f64>() < self.net.impairment.loss_prob
+                    {
+                        self.net.impairment_losses += 1;
+                        self.maybe_start_tx();
+                        self.sample_queue();
+                        continue;
+                    }
                     self.trace
                         .on_delivered(self.now, pkt.service, pkt.size as u64, qdelay);
                     if let Some(pcap) = self.pcap.as_mut() {
@@ -384,8 +435,19 @@ impl Engine {
                         .paths
                         .get(&pkt.flow)
                         .expect("unknown flow at egress");
+                    let mut extra = SimDuration::ZERO;
+                    if self.net.impairment.jitter > SimDuration::ZERO {
+                        let ns = self.net.impairment.jitter.as_nanos();
+                        extra += SimDuration::from_nanos(self.net.imp_rng.gen_range(0..ns));
+                    }
+                    if self.net.impairment.reorder_prob > 0.0
+                        && self.net.imp_rng.gen::<f64>() < self.net.impairment.reorder_prob
+                    {
+                        // Held back long enough for later packets to pass it.
+                        extra += self.net.impairment.reorder_extra;
+                    }
                     self.events
-                        .schedule(self.now + path.from_bottleneck, Event::Deliver(pkt));
+                        .schedule(self.now + path.from_bottleneck + extra, Event::Deliver(pkt));
                     self.maybe_start_tx();
                     self.sample_queue();
                 }

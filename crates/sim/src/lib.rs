@@ -5,12 +5,15 @@
 //! topology ("Prudentia: Findings of an Internet Fairness Watchdog",
 //! SIGCOMM 2024, §3.1).
 //!
-//! The simulated world is a single bottleneck link with a drop-tail FIFO
-//! queue sized in packets (rounded to a power of two, replicating a BESS
-//! quirk), per-flow path delays that normalize base RTT to a configured
-//! value, and an uncongested reverse path for acknowledgements. Everything
-//! is driven by an integer-nanosecond event calendar with deterministic
-//! tie-breaking, so an experiment seed fully determines its outcome.
+//! The simulated world is a single bottleneck link with a pluggable queue
+//! discipline sized in packets (drop-tail by default, rounded to a power of
+//! two, replicating a BESS quirk; CoDel, FQ-CoDel and RED via the [`aqm`]
+//! module), per-flow path delays that normalize base RTT to a configured
+//! value, an uncongested reverse path for acknowledgements, and optional
+//! dynamic link impairments (rate schedules, loss, jitter, reordering) via
+//! the [`scenario`] module. Everything is driven by an integer-nanosecond
+//! event calendar with deterministic tie-breaking, so an experiment seed
+//! (plus its scenario) fully determines its outcome.
 //!
 //! Higher layers build on this crate:
 //! * `prudentia-cc` — congestion control algorithms,
@@ -20,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aqm;
 pub mod engine;
 pub mod event;
 pub mod link;
@@ -27,13 +31,16 @@ pub mod packet;
 pub mod pcap;
 mod proptests;
 pub mod queue;
+pub mod scenario;
 pub mod time;
 pub mod trace;
 
+pub use aqm::{CoDelQueue, FqCoDelQueue, QdiscSpec, QueueDiscipline, RedQueue};
 pub use engine::{Ctx, Endpoint, Engine};
 pub use link::{BottleneckConfig, PathSpec};
 pub use packet::{EndpointId, FlowId, Packet, PacketKind, ServiceId, ACK_BYTES, MTU_BYTES};
 pub use pcap::PcapWriter;
 pub use queue::{bdp_packets, pow2_round, DropTailQueue, EnqueueResult, ServiceQueueStats};
+pub use scenario::{ImpairmentSpec, RateStep, ScenarioSpec};
 pub use time::{serialization_time, SimDuration, SimTime};
 pub use trace::{QueueSample, ThroughputSeries, Trace};

@@ -6,8 +6,10 @@
 //! per-service arrival/drop accounting used for the loss-rate heatmap
 //! (Fig 12).
 
+use crate::aqm::QueueDiscipline;
 use crate::packet::{Packet, ServiceId};
-use std::collections::{HashMap, VecDeque};
+use crate::time::SimTime;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Round `n` to the nearest power of two (ties round up), minimum 1.
 ///
@@ -76,7 +78,9 @@ impl ServiceQueueStats {
 pub struct DropTailQueue {
     queue: VecDeque<Packet>,
     capacity_pkts: usize,
-    stats: HashMap<ServiceId, ServiceQueueStats>,
+    // BTreeMap, not HashMap: iteration order (and everything derived from
+    // it) must be deterministic across runs and platforms.
+    stats: BTreeMap<ServiceId, ServiceQueueStats>,
     total_drops: u64,
     max_occupancy: usize,
 }
@@ -88,7 +92,7 @@ impl DropTailQueue {
         DropTailQueue {
             queue: VecDeque::with_capacity(capacity_pkts.min(1 << 16)),
             capacity_pkts,
-            stats: HashMap::new(),
+            stats: BTreeMap::new(),
             total_drops: 0,
             max_occupancy: 0,
         }
@@ -150,7 +154,7 @@ impl DropTailQueue {
         self.stats.get(&service).copied().unwrap_or_default()
     }
 
-    /// All services seen at this queue.
+    /// All services seen at this queue, in ascending id order.
     pub fn services(&self) -> impl Iterator<Item = ServiceId> + '_ {
         self.stats.keys().copied()
     }
@@ -159,6 +163,55 @@ impl DropTailQueue {
     /// per-service queue-share timelines).
     pub fn occupancy_of(&self, service: ServiceId) -> usize {
         self.queue.iter().filter(|p| p.service == service).count()
+    }
+}
+
+/// Drop-tail is the default [`QueueDiscipline`] — the trait methods
+/// delegate to the inherent ones, which predate the scenario subsystem and
+/// keep their exact semantics (so legacy trials stay byte-identical).
+impl QueueDiscipline for DropTailQueue {
+    fn kind(&self) -> &'static str {
+        "droptail"
+    }
+
+    fn capacity(&self) -> usize {
+        DropTailQueue::capacity(self)
+    }
+
+    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> EnqueueResult {
+        DropTailQueue::enqueue(self, pkt)
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        DropTailQueue::dequeue(self)
+    }
+
+    fn len(&self) -> usize {
+        DropTailQueue::len(self)
+    }
+
+    fn bytes(&self) -> u64 {
+        DropTailQueue::bytes(self)
+    }
+
+    fn max_occupancy(&self) -> usize {
+        DropTailQueue::max_occupancy(self)
+    }
+
+    fn total_drops(&self) -> u64 {
+        DropTailQueue::total_drops(self)
+    }
+
+    fn service_stats(&self, service: ServiceId) -> ServiceQueueStats {
+        DropTailQueue::service_stats(self, service)
+    }
+
+    fn services(&self) -> Vec<ServiceId> {
+        DropTailQueue::services(self).collect()
+    }
+
+    fn occupancy_of(&self, service: ServiceId) -> usize {
+        DropTailQueue::occupancy_of(self, service)
     }
 }
 

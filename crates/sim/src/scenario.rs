@@ -1,0 +1,283 @@
+//! Scenarios: queue discipline + dynamic link impairments.
+//!
+//! Prudentia's testbed pins every pair behind one static bottleneck: a
+//! fixed-rate link and a drop-tail queue (§3.1). The paper itself notes
+//! that its verdicts are conditional on that configuration (Obs 11), and
+//! real access links are anything but static — cellular rates swing by an
+//! order of magnitude in seconds. A [`ScenarioSpec`] bundles the two knobs
+//! the watchdog can now turn:
+//!
+//! * the queue discipline ([`QdiscSpec`]): drop-tail, CoDel, FQ-CoDel, RED;
+//! * the link impairment ([`ImpairmentSpec`]): a piecewise-constant rate
+//!   schedule (step or LTE-like trace), seeded random loss at the
+//!   bottleneck egress, delivery jitter, and probabilistic reordering.
+//!
+//! The default scenario is *exactly* the paper's testbed: drop-tail and a
+//! no-op impairment. Engines built with the default scenario never consult
+//! the impairment RNG, so legacy trials remain byte-identical to the
+//! pre-scenario pipeline. Both halves serialize into the experiment spec
+//! and therefore into the trial-cache key.
+
+use crate::aqm::QdiscSpec;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One segment of a piecewise-constant rate schedule: from `at` (relative
+/// to the start of the schedule, or of the current period when cycling)
+/// onward, the link runs at `rate_bps`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateStep {
+    /// Offset at which this rate takes effect.
+    pub at: SimDuration,
+    /// Link rate from this offset on, in bits per second.
+    pub rate_bps: f64,
+}
+
+/// Dynamic link impairments applied at the bottleneck.
+///
+/// The default is a no-op: no rate schedule, no loss, no jitter, no
+/// reordering. A no-op impairment never draws from the impairment RNG, so
+/// it cannot perturb a legacy trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpairmentSpec {
+    /// Piecewise-constant rate overrides, sorted by `at`. Empty = the
+    /// setting's base rate throughout.
+    pub rate_steps: Vec<RateStep>,
+    /// If non-zero, the schedule wraps around with this period
+    /// (trace-driven traces loop; a one-shot step uses ZERO).
+    pub period: SimDuration,
+    /// Probability that a packet leaving the bottleneck is lost.
+    pub loss_prob: f64,
+    /// Maximum extra delivery delay, drawn uniformly in `[0, jitter)`.
+    pub jitter: SimDuration,
+    /// Probability that a delivered packet is held back by `reorder_extra`,
+    /// letting later packets overtake it.
+    pub reorder_prob: f64,
+    /// Extra delay applied to reordered packets.
+    pub reorder_extra: SimDuration,
+}
+
+impl Default for ImpairmentSpec {
+    fn default() -> Self {
+        ImpairmentSpec {
+            rate_steps: Vec::new(),
+            period: SimDuration::ZERO,
+            loss_prob: 0.0,
+            jitter: SimDuration::ZERO,
+            reorder_prob: 0.0,
+            reorder_extra: SimDuration::ZERO,
+        }
+    }
+}
+
+impl ImpairmentSpec {
+    /// Whether this impairment changes nothing (the legacy fast path).
+    pub fn is_noop(&self) -> bool {
+        self.rate_steps.is_empty()
+            && self.loss_prob == 0.0
+            && self.jitter == SimDuration::ZERO
+            && self.reorder_prob == 0.0
+    }
+
+    /// Whether any stochastic impairment is enabled (loss, jitter or
+    /// reordering). Only then does the engine consult the impairment RNG.
+    pub fn is_stochastic(&self) -> bool {
+        self.loss_prob > 0.0 || self.jitter > SimDuration::ZERO || self.reorder_prob > 0.0
+    }
+
+    /// The link rate in effect at simulation time `now`, given the
+    /// setting's base rate. With no schedule this returns `base` exactly
+    /// (same bits), preserving byte-identity of legacy trials.
+    pub fn rate_at(&self, now: SimTime, base_rate_bps: f64) -> f64 {
+        if self.rate_steps.is_empty() {
+            return base_rate_bps;
+        }
+        let mut t = SimDuration::from_nanos(now.as_nanos());
+        if self.period > SimDuration::ZERO {
+            t = SimDuration::from_nanos(t.as_nanos() % self.period.as_nanos());
+        }
+        let mut rate = base_rate_bps;
+        for step in &self.rate_steps {
+            if step.at <= t {
+                rate = step.rate_bps;
+            } else {
+                break;
+            }
+        }
+        rate
+    }
+
+    /// Time-weighted mean link rate over `[0, horizon)`, used for the
+    /// max-min fair benchmark under a variable-rate scenario. Returns
+    /// `base` exactly when no schedule is configured.
+    pub fn mean_rate_bps(&self, base_rate_bps: f64, horizon: SimDuration) -> f64 {
+        if self.rate_steps.is_empty() || horizon == SimDuration::ZERO {
+            return base_rate_bps;
+        }
+        // Integrate over one period when cycling (the horizon is assumed to
+        // cover at least one), else over the horizon itself.
+        let span = if self.period > SimDuration::ZERO && self.period <= horizon {
+            self.period
+        } else {
+            horizon
+        };
+        let span_ns = span.as_nanos();
+        let mut weighted = 0.0f64;
+        let mut prev_at = 0u64;
+        let mut prev_rate = base_rate_bps;
+        for step in &self.rate_steps {
+            let at = step.at.as_nanos().min(span_ns);
+            weighted += prev_rate * (at - prev_at.min(at)) as f64;
+            prev_at = at;
+            prev_rate = step.rate_bps;
+        }
+        weighted += prev_rate * span_ns.saturating_sub(prev_at) as f64;
+        weighted / span_ns as f64
+    }
+
+    /// An LTE-like variable-rate schedule: the base rate scaled through a
+    /// fixed sequence of factors every 2 s, looping every 12 s. The factors
+    /// (1.25×, 0.4×, 1.75×, 0.75×, 0.2×, 1.65×) echo the deep fades and
+    /// bursts of cellular rate traces used in the AQM literature.
+    pub fn lte_like(base_rate_bps: f64) -> Self {
+        let factors = [1.25, 0.4, 1.75, 0.75, 0.2, 1.65];
+        ImpairmentSpec {
+            rate_steps: factors
+                .iter()
+                .enumerate()
+                .map(|(i, f)| RateStep {
+                    at: SimDuration::from_secs(2 * i as u64),
+                    rate_bps: base_rate_bps * f,
+                })
+                .collect(),
+            period: SimDuration::from_secs(12),
+            ..ImpairmentSpec::default()
+        }
+    }
+}
+
+/// A complete scenario: which discipline manages the bottleneck queue and
+/// which impairments the link suffers.
+///
+/// `ScenarioSpec::default()` reproduces the paper's testbed exactly.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Queue discipline at the bottleneck.
+    pub qdisc: QdiscSpec,
+    /// Link impairments.
+    pub impairment: ImpairmentSpec,
+}
+
+impl ScenarioSpec {
+    /// Whether this is the legacy testbed (drop-tail, no impairments).
+    pub fn is_default(&self) -> bool {
+        self.qdisc == QdiscSpec::DropTail && self.impairment.is_noop()
+    }
+
+    /// Drop-tail behind an LTE-like variable-rate link.
+    pub fn droptail_lte(base_rate_bps: f64) -> Self {
+        ScenarioSpec {
+            qdisc: QdiscSpec::DropTail,
+            impairment: ImpairmentSpec::lte_like(base_rate_bps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_noop_and_default() {
+        let s = ScenarioSpec::default();
+        assert!(s.is_default());
+        assert!(s.impairment.is_noop());
+        assert!(!s.impairment.is_stochastic());
+    }
+
+    #[test]
+    fn rate_at_returns_base_bits_with_no_schedule() {
+        let imp = ImpairmentSpec::default();
+        let base = 8_000_000.0_f64;
+        let got = imp.rate_at(SimTime::from_secs(3), base);
+        assert_eq!(got.to_bits(), base.to_bits());
+        assert_eq!(imp.mean_rate_bps(base, SimDuration::from_secs(60)), base);
+    }
+
+    #[test]
+    fn step_schedule_switches_at_boundaries() {
+        let imp = ImpairmentSpec {
+            rate_steps: vec![
+                RateStep {
+                    at: SimDuration::ZERO,
+                    rate_bps: 10e6,
+                },
+                RateStep {
+                    at: SimDuration::from_secs(5),
+                    rate_bps: 2e6,
+                },
+            ],
+            ..ImpairmentSpec::default()
+        };
+        assert_eq!(imp.rate_at(SimTime::from_secs(1), 8e6), 10e6);
+        assert_eq!(imp.rate_at(SimTime::from_secs(5), 8e6), 2e6);
+        assert_eq!(imp.rate_at(SimTime::from_secs(500), 8e6), 2e6);
+    }
+
+    #[test]
+    fn periodic_schedule_wraps() {
+        let imp = ImpairmentSpec::lte_like(8e6);
+        let early = imp.rate_at(SimTime::from_secs(1), 8e6);
+        let wrapped = imp.rate_at(SimTime::from_secs(13), 8e6);
+        assert_eq!(early, wrapped, "period 12 s wraps 13 s back to 1 s");
+        assert_eq!(imp.rate_at(SimTime::from_secs(3), 8e6), 8e6 * 0.4);
+    }
+
+    #[test]
+    fn mean_rate_is_time_weighted() {
+        // 10 Mbps for 5 s then 2 Mbps for 5 s over a 10 s horizon: mean 6.
+        let imp = ImpairmentSpec {
+            rate_steps: vec![
+                RateStep {
+                    at: SimDuration::ZERO,
+                    rate_bps: 10e6,
+                },
+                RateStep {
+                    at: SimDuration::from_secs(5),
+                    rate_bps: 2e6,
+                },
+            ],
+            ..ImpairmentSpec::default()
+        };
+        let mean = imp.mean_rate_bps(8e6, SimDuration::from_secs(10));
+        assert!((mean - 6e6).abs() < 1.0, "mean={mean}");
+        // The LTE trace averages its factors over one period.
+        let lte = ImpairmentSpec::lte_like(6e6);
+        let mean = lte.mean_rate_bps(6e6, SimDuration::from_secs(60));
+        let expect = 6e6 * (1.25 + 0.4 + 1.75 + 0.75 + 0.2 + 1.65) / 6.0;
+        assert!((mean - expect).abs() < 1.0, "mean={mean} expect={expect}");
+    }
+
+    #[test]
+    fn scenario_spec_roundtrips_through_json() {
+        let scenarios = [
+            ScenarioSpec::default(),
+            ScenarioSpec {
+                qdisc: QdiscSpec::fq_codel(),
+                impairment: ImpairmentSpec {
+                    loss_prob: 0.01,
+                    jitter: SimDuration::from_millis(2),
+                    reorder_prob: 0.001,
+                    reorder_extra: SimDuration::from_millis(5),
+                    ..ImpairmentSpec::default()
+                },
+            },
+            ScenarioSpec::droptail_lte(8e6),
+        ];
+        for s in scenarios {
+            let json = serde_json::to_string(&s).expect("serialize");
+            let back: ScenarioSpec = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, s);
+        }
+    }
+}

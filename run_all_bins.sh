@@ -1,10 +1,29 @@
 #!/bin/bash
 # Regenerate every table/figure + extensions; outputs under results/.
+#
+# Usage:
+#   ./run_all_bins.sh           run everything (skipping cached outputs)
+#   ./run_all_bins.sh --check   only verify every binary has been built
 set -u
 cd /root/repo
 BINS_FAST="fig11 fig12 fig13 obs1 report"
 BINS_MAIN="table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table3"
-BINS_EXTRA="beyond_pairwise netsettings vantage ablation_mega ablation_abr"
+BINS_EXTRA="beyond_pairwise netsettings vantage ablation_mega ablation_abr scenario_sweep"
+
+if [ "${1:-}" = "--check" ]; then
+  missing=0
+  for b in $BINS_FAST $BINS_MAIN $BINS_EXTRA; do
+    if [ -x target/release/$b ]; then
+      echo "ok      $b"
+    else
+      echo "MISSING $b"
+      missing=1
+    fi
+  done
+  [ $missing -eq 0 ] && echo ALL_BINS_PRESENT
+  exit $missing
+fi
+
 for b in $BINS_FAST $BINS_MAIN $BINS_EXTRA; do
   if [ -s results/${b}.txt ] && ! grep -q INCOMPLETE results/${b}.txt; then
     echo "=== $b (cached) ==="

@@ -3,8 +3,8 @@
 
 use prudentia_apps::Service;
 use prudentia_core::{
-    execute_pairs, trial_seed, DurationPolicy, ExecutorConfig, NetworkSetting, PairOutcome,
-    PairSpec, TrialCache, TrialPolicy,
+    execute_pairs, trial_seed, DurationPolicy, ExecutorConfig, ImpairmentSpec, NetworkSetting,
+    PairOutcome, PairSpec, QdiscSpec, ScenarioSpec, TrialCache, TrialPolicy,
 };
 use std::sync::Arc;
 
@@ -126,6 +126,100 @@ fn determinism_matrix_across_parallelism_and_cache() {
         "warm single-worker run is all hits"
     );
     assert!(warm1_stats.cache_hit_rate() > 0.99);
+}
+
+#[test]
+fn scenario_trials_deterministic_across_parallelism_and_cache() {
+    // The scenario analogue of the matrix test above: a CoDel pair and an
+    // impaired (lossy, variable-rate) drop-tail pair must produce
+    // byte-identical outcomes at parallelism 1/2/8 and from cold or warm
+    // caches — the impairment RNG is per-trial, not per-worker.
+    let codel_setting = NetworkSetting::highly_constrained().with_scenario(
+        ScenarioSpec {
+            qdisc: QdiscSpec::codel(),
+            impairment: ImpairmentSpec::default(),
+        },
+        "codel",
+    );
+    let impaired_setting = NetworkSetting::highly_constrained().with_scenario(
+        ScenarioSpec {
+            qdisc: QdiscSpec::DropTail,
+            impairment: ImpairmentSpec {
+                loss_prob: 0.001,
+                ..ImpairmentSpec::lte_like(8e6)
+            },
+        },
+        "lossy-lte",
+    );
+    let pairs = vec![
+        PairSpec {
+            contender: Service::IperfCubic.spec(),
+            incumbent: Service::IperfReno.spec(),
+            setting: codel_setting,
+        },
+        PairSpec {
+            contender: Service::IperfReno.spec(),
+            incumbent: Service::IperfCubic.spec(),
+            setting: impaired_setting,
+        },
+    ];
+    let config = |parallelism| {
+        ExecutorConfig::new(
+            TrialPolicy {
+                min_trials: 2,
+                batch: 1,
+                max_trials: 3,
+            },
+            DurationPolicy::Quick,
+            parallelism,
+        )
+    };
+
+    let (baseline, _) = execute_pairs(&pairs, &config(1));
+    let want = canonical(&baseline);
+    for parallelism in [2, 8] {
+        let (outcomes, _) = execute_pairs(&pairs, &config(parallelism));
+        assert_eq!(
+            canonical(&outcomes),
+            want,
+            "parallelism {parallelism} must not change scenario outcomes"
+        );
+    }
+
+    let cache = Arc::new(TrialCache::new());
+    let (cold, _) = execute_pairs(&pairs, &config(2).with_cache(Arc::clone(&cache)));
+    assert_eq!(canonical(&cold), want, "cold cache changed outcomes");
+    let (warm, warm_stats) = execute_pairs(&pairs, &config(8).with_cache(Arc::clone(&cache)));
+    assert_eq!(canonical(&warm), want, "warm cache changed outcomes");
+    assert!(warm_stats.trials_cached > 0, "warm run must hit the cache");
+}
+
+#[test]
+fn scenario_and_legacy_settings_never_share_cache_keys() {
+    // A scenario'd setting renames itself ("[codel]"), so its seeds and
+    // cache keys are disjoint from the legacy setting's — a CoDel trial
+    // can never be served from a memoized drop-tail result or vice versa.
+    let legacy = NetworkSetting::highly_constrained();
+    let codel = NetworkSetting::highly_constrained().with_scenario(
+        ScenarioSpec {
+            qdisc: QdiscSpec::codel(),
+            impairment: ImpairmentSpec::default(),
+        },
+        "codel",
+    );
+    assert_ne!(legacy.name, codel.name);
+    let spec_of = |setting: &NetworkSetting| {
+        prudentia_core::ExperimentSpec::quick(
+            Service::IperfCubic.spec(),
+            Service::IperfReno.spec(),
+            setting.clone(),
+            7,
+        )
+    };
+    assert_ne!(
+        prudentia_core::trial_key(&spec_of(&legacy)),
+        prudentia_core::trial_key(&spec_of(&codel)),
+    );
 }
 
 #[test]
