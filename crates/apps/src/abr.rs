@@ -80,7 +80,7 @@ impl AbrProfile {
     /// rung up even when the throughput estimate is pessimistic — small
     /// segments at low rungs systematically under-measure the available
     /// bandwidth, and a deep buffer makes the probe risk-free (this is the
-    /// buffer-based component every deployed ABR has, cf. BOLA [44]).
+    /// buffer-based component every deployed ABR has, cf. BOLA \[44\]).
     pub fn choose_rung(
         &self,
         current: usize,

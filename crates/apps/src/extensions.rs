@@ -6,7 +6,7 @@
 //! extensibility with three service archetypes the paper's related work
 //! discusses but the testbed did not yet carry:
 //!
-//! * **Zoom** — the third VCA studied by MacMillan et al. [35] alongside
+//! * **Zoom** — the third VCA studied by MacMillan et al. \[35\] alongside
 //!   Meet and Teams.
 //! * **Live video** (Twitch-style low-latency HLS) — an ABR player that
 //!   cannot buffer ahead, so it is far more rebuffer-prone than VoD.

@@ -2,7 +2,7 @@
 //!
 //! A [`ServiceSpec`] is a plain-data description of one Internet service
 //! from Table 1 (its CCA, flow count, rate caps, and application
-//! behaviour). [`build_service`] instantiates the spec on an engine,
+//! behaviour). [`build_service`](crate::build_service) instantiates the spec on an engine,
 //! returning a [`ServiceInstance`] with flow handles and shared metric
 //! cells that stay readable after the run.
 

@@ -1,0 +1,205 @@
+//! Machine-readable performance baseline: one cold and one warm-cache
+//! iteration of a small all-pairs matrix, emitted as `BENCH_3.json` for
+//! the CI regression gate.
+//!
+//! ```sh
+//! cargo run --release --bin bench_baseline -- [parallelism] [--quick]
+//!     [--out PATH] [--metrics PATH] [--gate results/bench_baseline.json]
+//! ```
+//!
+//! `--quick` shrinks the matrix so the whole run fits in a CI minute.
+//! `--gate PATH` compares the measurement against a checked-in baseline
+//! and exits non-zero when events/sec regressed by more than 20% or the
+//! warm-cache replay takes more than 2x the baseline's wall time (with a
+//! floor so sub-100ms replays never flake the gate). The checked-in
+//! baseline should be recorded with headroom (see results/README note in
+//! EXPERIMENTS.md) so runner-to-runner variance stays inside the gate.
+
+use prudentia_apps::Service;
+use prudentia_core::{
+    execute_pairs, DurationPolicy, ExecutorConfig, MetricsRegistry, NetworkSetting, PairSpec,
+    TrialCache, TrialPolicy,
+};
+use serde::Deserialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The gate only reads the two fields it compares; the rest of the
+/// baseline file is context for humans.
+#[derive(Debug, Deserialize)]
+struct GateBaseline {
+    events_per_sec: f64,
+    warm_wall_secs: f64,
+}
+
+/// Relative events/sec drop that fails the gate.
+const EPS_REGRESSION: f64 = 0.20;
+/// Warm-replay slowdown factor that fails the gate.
+const WARM_SLOWDOWN: f64 = 2.0;
+/// Baseline warm wall-time floor (secs): replays faster than this are
+/// noise-dominated and never gated.
+const WARM_FLOOR_SECS: f64 = 0.1;
+
+struct Args {
+    parallelism: usize,
+    quick: bool,
+    out: PathBuf,
+    metrics: Option<PathBuf>,
+    gate: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        quick: false,
+        out: PathBuf::from("BENCH_3.json"),
+        metrics: None,
+        gate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = it.next().map(PathBuf::from).unwrap_or(args.out);
+            }
+            "--metrics" => {
+                args.metrics = it.next().map(PathBuf::from);
+            }
+            "--gate" => {
+                args.gate = it.next().map(PathBuf::from);
+            }
+            other => {
+                if let Ok(n) = other.parse() {
+                    args.parallelism = n;
+                } else {
+                    eprintln!(
+                        "usage: bench_baseline [parallelism] [--quick] [--out PATH] \
+                         [--metrics PATH] [--gate PATH]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let services = if args.quick {
+        vec![Service::IperfReno, Service::IperfCubic]
+    } else {
+        vec![
+            Service::IperfReno,
+            Service::IperfCubic,
+            Service::IperfBbr415,
+        ]
+    };
+    let setting = NetworkSetting::highly_constrained();
+    let mut pairs = Vec::new();
+    for a in &services {
+        for b in &services {
+            pairs.push(PairSpec {
+                contender: a.spec(),
+                incumbent: b.spec(),
+                setting: setting.clone(),
+            });
+        }
+    }
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let cache = Arc::new(TrialCache::new());
+    let config = ExecutorConfig::new(
+        TrialPolicy::quick(),
+        DurationPolicy::Quick,
+        args.parallelism,
+    )
+    .with_cache(Arc::clone(&cache))
+    .with_metrics(Arc::clone(&registry));
+
+    eprintln!(
+        "bench_baseline: {} pairs, parallelism {}, quick={}",
+        pairs.len(),
+        args.parallelism,
+        args.quick,
+    );
+    let (_, cold) = execute_pairs(&pairs, &config);
+    let (_, warm) = execute_pairs(&pairs, &config);
+
+    let cold_wall = cold.wall.as_secs_f64();
+    let warm_wall = warm.wall.as_secs_f64();
+    let events_per_sec = cold.events_per_sec();
+    let report = format!(
+        "{{\n  \"quick\": {},\n  \"parallelism\": {},\n  \"pairs\": {},\n  \
+         \"trials_run\": {},\n  \"sim_events\": {},\n  \"events_per_sec\": {:.1},\n  \
+         \"cold_wall_secs\": {:.4},\n  \"warm_wall_secs\": {:.4},\n  \
+         \"warm_cache_hit_rate\": {:.4}\n}}\n",
+        args.quick,
+        args.parallelism,
+        pairs.len(),
+        cold.trials_run,
+        cold.sim_events,
+        events_per_sec,
+        cold_wall,
+        warm_wall,
+        warm.cache_hit_rate(),
+    );
+    print!("{report}");
+    if let Err(e) = std::fs::write(&args.out, &report) {
+        eprintln!("failed to write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    eprintln!("baseline written to {}", args.out.display());
+    if let Some(path) = &args.metrics {
+        if let Err(e) = std::fs::write(path, registry.to_json()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {}", path.display());
+    }
+
+    if let Some(gate) = &args.gate {
+        let text = match std::fs::read_to_string(gate) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gate baseline {} unreadable: {e}", gate.display());
+                std::process::exit(1);
+            }
+        };
+        let base: GateBaseline = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("gate baseline {} is not usable: {e}", gate.display());
+                std::process::exit(1);
+            }
+        };
+        let base_eps = base.events_per_sec;
+        let base_warm = base.warm_wall_secs.max(WARM_FLOOR_SECS);
+        let mut failed = false;
+        if events_per_sec < base_eps * (1.0 - EPS_REGRESSION) {
+            eprintln!(
+                "GATE FAIL: events/sec {events_per_sec:.0} is more than {:.0}% below \
+                 baseline {base_eps:.0}",
+                EPS_REGRESSION * 100.0,
+            );
+            failed = true;
+        }
+        if warm_wall > base_warm * WARM_SLOWDOWN {
+            eprintln!(
+                "GATE FAIL: warm-cache replay {warm_wall:.3}s exceeds {WARM_SLOWDOWN}x \
+                 baseline {base_warm:.3}s",
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "gate OK: events/sec {events_per_sec:.0} (baseline {base_eps:.0}), \
+             warm replay {warm_wall:.3}s (baseline {base_warm:.3}s)",
+        );
+    }
+}

@@ -27,7 +27,7 @@ fn main() {
     let series = r.series.expect("series recorded");
     let (w0, w1) = (60.0, 80.0);
     for p in series.iter().filter(|p| p.t_secs >= w0 && p.t_secs < w1) {
-        if !((p.t_secs * 10.0).round() as u64).is_multiple_of(5) {
+        if ((p.t_secs * 10.0).round() as u64) % 5 != 0 {
             continue; // print every 500 ms
         }
         println!(

@@ -24,7 +24,7 @@ fn main() {
         let qs = r.queue_series.expect("queue series");
         let (w0, w1) = (60.0, 75.0);
         for q in qs.iter().filter(|q| q.t_secs >= w0 && q.t_secs < w1) {
-            if !((q.t_secs * 10.0).round() as u64).is_multiple_of(5) {
+            if ((q.t_secs * 10.0).round() as u64) % 5 != 0 {
                 continue;
             }
             println!(

@@ -8,7 +8,7 @@
 //!
 //! 1. queue multiple 1–16×BDP: BBR's share should fall as buffers deepen
 //!    (loss-based CCAs exploit big queues; BBR is inflight-capped).
-//! 2. base RTT 20–200 ms: NewReno degrades at high RTT [38].
+//! 2. base RTT 20–200 ms: NewReno degrades at high RTT \[38\].
 //! 3. background loss 0–2%: loss-based throughput collapses, BBR shrugs.
 
 use prudentia_apps::Service;

@@ -110,7 +110,7 @@ fn main() {
             for i in &baseline.services {
                 if let (Some(b), Some(v)) = (map.cell(c, i), baseline.cell(c, i)) {
                     let d = b - v;
-                    if worst.as_ref().is_none_or(|(w, _)| d.abs() > w.abs()) {
+                    if worst.as_ref().map_or(true, |(w, _)| d.abs() > w.abs()) {
                         worst = Some((d, format!("{c} vs {i}")));
                     }
                     deltas.push(d.abs());

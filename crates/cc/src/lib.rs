@@ -4,13 +4,13 @@
 //! reproduction. Table 1 of the paper attributes the following CCAs to the
 //! services under test, all of which are implemented here:
 //!
-//! * [`NewReno`](newreno::NewReno) — Netflix's CDN stack, iPerf (Reno).
-//! * [`Cubic`](cubic::Cubic) — OneDrive (extended Cubic), iPerf (Cubic).
-//! * [`Bbr`](bbr::Bbr) **v1** in three flavours — Linux 4.15, Linux 5.15
+//! * [`NewReno`] — Netflix's CDN stack, iPerf (Reno).
+//! * [`Cubic`] — OneDrive (extended Cubic), iPerf (Cubic).
+//! * [`Bbr`] **v1** in three flavours — Linux 4.15, Linux 5.15
 //!   (Dropbox, Mega, Vimeo, iPerf BBR) and a "YouTube-tuned" v1.1 profile
 //!   (§6 Obs 13 documents that YouTube's QUIC stack tunes BBRv1 parameters).
-//! * [`Bbr`](bbr::Bbr) **v3** — Google Drive's 2023 deployment.
-//! * [`Gcc`](gcc::Gcc) — Google Congestion Control for WebRTC (Meet, and a
+//! * [`Bbr`] **v3** — Google Drive's 2023 deployment.
+//! * [`Gcc`] — Google Congestion Control for WebRTC (Meet, and a
 //!   Teams-flavoured profile; the paper lists Teams' CCA as unknown but
 //!   WebRTC-based).
 //!

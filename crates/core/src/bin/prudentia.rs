@@ -12,17 +12,23 @@
 //! Options: `--paper` (full §3.4 protocol), `--trials N`, `--seed N`,
 //! `--parallel N`, `--cache PATH` (persist trial results so repeated
 //! matrix/watch runs skip already-simulated trials), `--stats` (print
-//! executor telemetry), `--scenario droptail|codel|fq_codel|red|lte`
-//! (swap the bottleneck qdisc or apply the LTE-like variable-rate
-//! impairment). Service names are the catalog labels from
-//! `prudentia list` (case-insensitive).
+//! executor telemetry plus the per-phase wall-time breakdown),
+//! `--metrics PATH` (write the full metrics registry — counters, gauges,
+//! histogram quantiles, timing spans — as JSON, or CSV with a `.csv`
+//! extension), `--scenario droptail|codel|fq_codel|red|lte` (swap the
+//! bottleneck qdisc or apply the LTE-like variable-rate impairment).
+//! Service names are the catalog labels from `prudentia list`
+//! (case-insensitive). Structured JSONL event logging is controlled by
+//! the `PRUDENTIA_LOG` environment variable (RUST_LOG-style grammar,
+//! e.g. `PRUDENTIA_LOG=info,executor=debug`).
 
 use prudentia_apps::Service;
 use prudentia_core::{
     execute_pairs, run_solo, DurationPolicy, ExecutorConfig, Heatmap, HeatmapStat, NetworkSetting,
     PairSpec, QdiscSpec, ScenarioSpec, TrialCache, TrialPolicy, Watchdog, WatchdogConfig,
 };
-use std::path::PathBuf;
+use prudentia_obs::{span, MetricsRegistry};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 fn find_service(name: &str) -> Option<Service> {
@@ -42,6 +48,7 @@ struct Opts {
     iterations: u64,
     cache: Option<PathBuf>,
     stats: bool,
+    metrics: Option<PathBuf>,
     scenario: Option<String>,
     positional: Vec<String>,
 }
@@ -58,6 +65,7 @@ fn parse_args() -> Opts {
         iterations: 1,
         cache: None,
         stats: false,
+        metrics: None,
         scenario: None,
         positional: Vec::new(),
     };
@@ -84,6 +92,9 @@ fn parse_args() -> Opts {
                 opts.cache = args.next().map(PathBuf::from);
             }
             "--stats" => opts.stats = true,
+            "--metrics" => {
+                opts.metrics = args.next().map(PathBuf::from);
+            }
             "--scenario" => {
                 opts.scenario = args.next();
             }
@@ -162,7 +173,7 @@ fn usage() -> ! {
         "usage: prudentia <list|pair|solo|classify|matrix|watch> [args] \
          [--paper] [--trials N] [--seed N] [--parallel N] [--setting MBPS] \
          [--scenario droptail|codel|fq_codel|red|lte] \
-         [--iterations N] [--cache PATH] [--stats]"
+         [--iterations N] [--cache PATH] [--stats] [--metrics PATH]"
     );
     std::process::exit(2)
 }
@@ -286,9 +297,37 @@ fn cmd_classify(opts: &Opts) {
     println!("  (declared in Table 1 as: {})", spec.cca_label());
 }
 
+/// Write the registry where `--metrics` pointed: CSV for a `.csv`
+/// extension, pretty JSON otherwise.
+fn write_metrics(reg: &MetricsRegistry, path: &Path) {
+    let text = if path.extension().is_some_and(|e| e == "csv") {
+        reg.to_csv()
+    } else {
+        reg.to_json()
+    };
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write metrics {}: {e}", path.display()),
+    }
+}
+
+/// The `--stats` per-phase wall-time breakdown (from the timing spans).
+fn print_phase_breakdown() {
+    let text = prudentia_obs::span::render_breakdown();
+    if !text.is_empty() {
+        eprintln!("per-phase wall time:");
+        eprint!("{text}");
+    }
+}
+
 fn cmd_matrix(opts: &Opts) {
     let services = Service::heatmap_set();
     let (policy, duration) = policy_for(opts);
+    let registry = opts
+        .metrics
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let _cmd_span = span!("matrix");
     for setting in settings_for(opts) {
         let mut pairs = Vec::new();
         for a in &services {
@@ -307,6 +346,9 @@ fn cmd_matrix(opts: &Opts) {
             opts.parallel
         );
         let mut exec = ExecutorConfig::new(policy, duration, opts.parallel);
+        if let Some(reg) = &registry {
+            exec = exec.with_metrics(Arc::clone(reg));
+        }
         let cache = opts.cache.as_ref().map(|path| {
             Arc::new(TrialCache::load(path).unwrap_or_else(|e| {
                 eprintln!("warning: ignoring trial cache {}: {e}", path.display());
@@ -336,10 +378,21 @@ fn cmd_matrix(opts: &Opts) {
         println!("{} — {}", setting.name, map.stat.title());
         println!("{}", map.render_text());
     }
+    if opts.stats {
+        print_phase_breakdown();
+    }
+    if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
+        write_metrics(reg, path);
+    }
 }
 
 fn cmd_watch(opts: &Opts) {
     let (policy, duration) = policy_for(opts);
+    let registry = opts
+        .metrics
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let _cmd_span = span!("watch");
     let config = WatchdogConfig {
         settings: settings_for(opts),
         policy,
@@ -347,6 +400,7 @@ fn cmd_watch(opts: &Opts) {
         parallelism: opts.parallel,
         change_threshold: 0.2,
         cache_path: opts.cache.clone(),
+        metrics: registry.clone(),
     };
     let services: Vec<_> = Service::heatmap_set().iter().map(|s| s.spec()).collect();
     let mut wd = Watchdog::new(services, config);
@@ -373,5 +427,11 @@ fn cmd_watch(opts: &Opts) {
                 eprint!("{stats}");
             }
         }
+    }
+    if opts.stats {
+        print_phase_breakdown();
+    }
+    if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
+        write_metrics(reg, path);
     }
 }

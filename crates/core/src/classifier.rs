@@ -1,4 +1,4 @@
-//! A congestion-control classifier in the spirit of CCAnalyzer [53].
+//! A congestion-control classifier in the spirit of CCAnalyzer \[53\].
 //!
 //! The paper could not obtain ground-truth CCAs for Vimeo and Mega and
 //! used a classifier instead, confirming the result "by verifying the BBR

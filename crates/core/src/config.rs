@@ -67,7 +67,7 @@ impl NetworkSetting {
     }
 
     /// The same setting under a different scenario. The label joins the
-    /// name (e.g. "highly-constrained (8 Mbps) [codel]"): the name feeds
+    /// name (e.g. "highly-constrained (8 Mbps) \[codel\]"): the name feeds
     /// per-trial seeds and result files, so scenario'd settings must not
     /// collide with the legacy setting — or with each other.
     pub fn with_scenario(mut self, scenario: ScenarioSpec, label: &str) -> Self {

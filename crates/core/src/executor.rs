@@ -34,10 +34,11 @@
 
 use crate::cache::{trial_key, TrialCache};
 use crate::experiment::ExperimentResult;
-use crate::runner::run_experiment_instrumented;
+use crate::runner::run_experiment_observed;
 use crate::scheduler::{
     summarize_pair, trial_seed, DurationPolicy, PairOutcome, PairSpec, TrialPolicy,
 };
+use prudentia_obs::MetricsRegistry;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -57,6 +58,10 @@ pub struct ExecutorConfig {
     pub external_loss: f64,
     /// Optional memo table: trials found here skip simulation entirely.
     pub cache: Option<Arc<TrialCache>>,
+    /// Optional metrics registry fed with executor and simulator
+    /// telemetry (steals, idle time, cache latency, queue depths).
+    /// Purely observational: attaching one cannot change outcomes.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ExecutorConfig {
@@ -68,12 +73,19 @@ impl ExecutorConfig {
             parallelism,
             external_loss: 0.0,
             cache: None,
+            metrics: None,
         }
     }
 
     /// Attach a trial cache.
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attach a metrics registry.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -281,8 +293,10 @@ impl Shared {
     /// Claim the next trial, scanning pairs round-robin from the cursor.
     /// A pair may issue while its kept + optimistically-counted inflight
     /// trials are short of the current stopping-rule checkpoint and the
-    /// safety valve has room.
-    fn claim(&mut self, index_cap: usize) -> Option<(usize, usize)> {
+    /// safety valve has room. The returned flag marks a *steal*: the
+    /// cursor's own pair had nothing issuable and the claim skipped ahead
+    /// to another pair's work.
+    fn claim(&mut self, index_cap: usize) -> Option<(usize, usize, bool)> {
         let n = self.runs.len();
         for off in 0..n {
             let p = (self.rr + off) % n;
@@ -298,7 +312,7 @@ impl Shared {
                 run.next_index += 1;
                 run.inflight += 1;
                 self.rr = (p + 1) % n;
-                return Some((p, idx));
+                return Some((p, idx, off > 0));
             }
         }
         None
@@ -388,6 +402,13 @@ pub fn execute_pairs(
     config: &ExecutorConfig,
 ) -> (Vec<PairOutcome>, SchedulerStats) {
     let t0 = Instant::now();
+    prudentia_obs::event!(
+        prudentia_obs::Level::Debug,
+        "executor",
+        "run started",
+        pairs = pairs.len() as u64,
+        parallelism = config.parallelism as u64,
+    );
     let policy = config.policy;
     // Same valve as the sequential scheduler: at most 4x max_trials
     // indices per pair, so pathological external loss terminates.
@@ -422,70 +443,115 @@ pub fn execute_pairs(
     });
     let condvar = Condvar::new();
     let workers = config.parallelism.max(1);
+    let metrics = config.metrics.as_deref();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let claim = {
+            scope.spawn(|| {
+                // Handles are hoisted out of the claim/run loop: each is a
+                // cheap Arc clone and updating one never touches the
+                // executor's shared state, so telemetry cannot reorder
+                // claims or results.
+                let steals = metrics.map(|r| r.counter("executor/steals"));
+                let idle_ns = metrics.map(|r| r.histogram("executor/idle_ns"));
+                let trial_wall_ns = metrics.map(|r| r.histogram("executor/trial_wall_ns"));
+                let cache_hits = metrics.map(|r| r.counter("cache/hits"));
+                let cache_misses = metrics.map(|r| r.counter("cache/misses"));
+                let cache_lookup_ns = metrics.map(|r| r.histogram("cache/lookup_ns"));
+                loop {
+                    let claim = {
+                        let mut guard = shared.lock().expect("poisoned");
+                        loop {
+                            if guard.done_count == guard.runs.len() {
+                                break None;
+                            }
+                            if let Some(c) = guard.claim(index_cap) {
+                                break Some(c);
+                            }
+                            // Nothing issuable: some other worker's inflight
+                            // trial will land and wake us.
+                            let waited = Instant::now();
+                            guard = condvar.wait(guard).expect("poisoned");
+                            if let Some(h) = &idle_ns {
+                                h.record(waited.elapsed().as_nanos() as f64);
+                            }
+                        }
+                    };
+                    let Some((p, index, stole)) = claim else {
+                        break;
+                    };
+                    if stole {
+                        if let Some(c) = &steals {
+                            c.inc();
+                        }
+                    }
+
+                    let pair = &pairs[p];
+                    let seed = trial_seed(
+                        pair.contender.name(),
+                        pair.incumbent.name(),
+                        &pair.setting.name,
+                        index,
+                    );
+                    let mut spec = config.duration.spec(
+                        pair.contender.clone(),
+                        pair.incumbent.clone(),
+                        pair.setting.clone(),
+                        seed,
+                    );
+                    spec.external_loss = config.external_loss;
+
+                    let key = config.cache.as_ref().map(|c| (c, trial_key(&spec)));
+                    let cached = match &key {
+                        Some((c, k)) => {
+                            let lookup = Instant::now();
+                            let hit = c.lookup(*k);
+                            if let Some(h) = &cache_lookup_ns {
+                                h.record(lookup.elapsed().as_nanos() as f64);
+                            }
+                            if let Some(c) = if hit.is_some() {
+                                &cache_hits
+                            } else {
+                                &cache_misses
+                            } {
+                                c.inc();
+                            }
+                            hit
+                        }
+                        None => None,
+                    };
+                    let from_cache = cached.is_some();
+                    let (result, cost) = match cached {
+                        Some(r) => (r, None),
+                        None => {
+                            let start = Instant::now();
+                            let (r, sim_events) = run_experiment_observed(&spec, metrics);
+                            let wall = start.elapsed();
+                            if let Some(h) = &trial_wall_ns {
+                                h.record(wall.as_nanos() as f64);
+                            }
+                            let cost = TrialCost {
+                                wall,
+                                sim_events,
+                                sim_secs: spec.duration.as_secs_f64(),
+                            };
+                            if let Some((c, k)) = &key {
+                                c.insert(*k, r.clone());
+                            }
+                            (r, Some(cost))
+                        }
+                    };
+
                     let mut guard = shared.lock().expect("poisoned");
-                    loop {
-                        if guard.done_count == guard.runs.len() {
-                            break None;
-                        }
-                        if let Some(c) = guard.claim(index_cap) {
-                            break Some(c);
-                        }
-                        // Nothing issuable: some other worker's inflight
-                        // trial will land and wake us.
-                        guard = condvar.wait(guard).expect("poisoned");
+                    if from_cache {
+                        guard.runs[p].cache_hits += 1;
+                    } else {
+                        guard.runs[p].executed += 1;
                     }
-                };
-                let Some((p, index)) = claim else { break };
-
-                let pair = &pairs[p];
-                let seed = trial_seed(
-                    pair.contender.name(),
-                    pair.incumbent.name(),
-                    &pair.setting.name,
-                    index,
-                );
-                let mut spec = config.duration.spec(
-                    pair.contender.clone(),
-                    pair.incumbent.clone(),
-                    pair.setting.clone(),
-                    seed,
-                );
-                spec.external_loss = config.external_loss;
-
-                let key = config.cache.as_ref().map(|c| (c, trial_key(&spec)));
-                let cached = key.as_ref().and_then(|(c, k)| c.lookup(*k));
-                let from_cache = cached.is_some();
-                let (result, cost) = match cached {
-                    Some(r) => (r, None),
-                    None => {
-                        let start = Instant::now();
-                        let (r, sim_events) = run_experiment_instrumented(&spec);
-                        let cost = TrialCost {
-                            wall: start.elapsed(),
-                            sim_events,
-                            sim_secs: spec.duration.as_secs_f64(),
-                        };
-                        if let Some((c, k)) = &key {
-                            c.insert(*k, r.clone());
-                        }
-                        (r, Some(cost))
-                    }
-                };
-
-                let mut guard = shared.lock().expect("poisoned");
-                if from_cache {
-                    guard.runs[p].cache_hits += 1;
-                } else {
-                    guard.runs[p].executed += 1;
+                    guard.record(p, index, result, cost, policy, index_cap);
+                    drop(guard);
+                    condvar.notify_all();
                 }
-                guard.record(p, index, result, cost, policy, index_cap);
-                drop(guard);
-                condvar.notify_all();
             });
         }
     });
@@ -497,6 +563,21 @@ pub fn execute_pairs(
     for (pair, run) in pairs.iter().zip(shared.runs) {
         let trials: Vec<ExperimentResult> = run.kept[..run.final_count].to_vec();
         trials_discarded += run.discarded;
+        if let Some(reg) = metrics {
+            if run.converged {
+                reg.histogram("executor/trials_to_convergence")
+                    .record(run.final_count as f64);
+            }
+            // CI-width trajectory: the half-width of the incumbent's 95%
+            // median-throughput CI at every kept count the stopping rule
+            // evaluated — how fast each pair's uncertainty collapsed.
+            let inc: Vec<f64> = trials.iter().map(|t| t.incumbent.throughput_bps).collect();
+            let ci_width = reg.histogram("executor/ci_halfwidth_bps");
+            let min_eval = policy.min_trials.max(1).min(policy.max_trials.max(1));
+            for k in min_eval..=inc.len() {
+                ci_width.record(prudentia_stats::median_ci(&inc[..k], 0.95).half_width());
+            }
+        }
         pair_stats.push(PairStats {
             contender: pair.contender.name().to_string(),
             incumbent: pair.incumbent.name().to_string(),
@@ -525,6 +606,34 @@ pub fn execute_pairs(
         trial_wall_max: shared.trial_wall_max,
         pairs: pair_stats,
     };
+    if let Some(reg) = metrics {
+        reg.counter("executor/trials_run")
+            .add(stats.trials_run as u64);
+        reg.counter("executor/trials_cached")
+            .add(stats.trials_cached as u64);
+        reg.counter("executor/trials_discarded")
+            .add(stats.trials_discarded as u64);
+        reg.gauge("executor/cache_hit_rate")
+            .set(stats.cache_hit_rate());
+        // Rate gauges are last-write-wins; a fully-cached replay ran no
+        // simulation, so keep the last meaningful measurement instead of
+        // overwriting it with zero.
+        if stats.trials_run > 0 {
+            reg.gauge("executor/events_per_sec")
+                .set(stats.events_per_sec());
+            reg.gauge("executor/sim_rate").set(stats.sim_rate());
+        }
+    }
+    prudentia_obs::event!(
+        prudentia_obs::Level::Info,
+        "executor",
+        "run complete",
+        pairs = pairs.len() as u64,
+        trials_run = stats.trials_run as u64,
+        trials_cached = stats.trials_cached as u64,
+        trials_discarded = stats.trials_discarded as u64,
+        wall_ms = stats.wall.as_millis() as u64,
+    );
     (outcomes, stats)
 }
 

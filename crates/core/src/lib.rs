@@ -55,10 +55,14 @@ pub use experiment::{
     AppSummary, ExperimentResult, ExperimentSpec, QueuePoint, SeriesPoint, SideResult,
 };
 pub use heatmap::{Heatmap, HeatmapStat};
+pub use prudentia_obs::{MetricsRegistry, MetricsSnapshot};
 pub use prudentia_sim::{ImpairmentSpec, QdiscSpec, RateStep, ScenarioSpec};
 pub use report::{loser_shares, loser_stats, self_competition_mean, LoserStats, TransitivityRow};
 pub use results::ResultStore;
-pub use runner::{run_experiment, run_experiment_instrumented, run_solo, EXTERNAL_LOSS_DISCARD};
+pub use runner::{
+    run_experiment, run_experiment_instrumented, run_experiment_observed, run_solo,
+    EXTERNAL_LOSS_DISCARD,
+};
 pub use scheduler::{
     run_pair, run_pairs_parallel, trial_seed, DurationPolicy, PairOutcome, PairSpec, TrialPolicy,
 };

@@ -4,6 +4,7 @@ use crate::experiment::{
     AppSummary, ExperimentResult, ExperimentSpec, QueuePoint, SeriesPoint, SideResult,
 };
 use prudentia_apps::{build_service, AppHandle, ServiceSpec};
+use prudentia_obs::{span, MetricsRegistry};
 use prudentia_sim::{Engine, ServiceId, SimTime};
 use prudentia_stats::max_min_allocation;
 
@@ -22,6 +23,23 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
 /// processed — telemetry for the executor, kept out of
 /// [`ExperimentResult`] so the result JSON stays execution-independent.
 pub fn run_experiment_instrumented(spec: &ExperimentSpec) -> (ExperimentResult, u64) {
+    run_experiment_observed(spec, None)
+}
+
+/// Like [`run_experiment_instrumented`], optionally folding per-trial
+/// simulator telemetry (event counts, queue-depth distribution, AQM and
+/// loss counters) into a metrics registry and charging wall time to the
+/// `trial` / `trial/sim` timing spans.
+///
+/// Observability here is strictly read-only with respect to the
+/// simulation: it inspects the engine after the run and writes only to
+/// its own sinks, so results are byte-identical whether `metrics` is
+/// `Some` or `None` — the property the trial cache depends on.
+pub fn run_experiment_observed(
+    spec: &ExperimentSpec,
+    metrics: Option<&MetricsRegistry>,
+) -> (ExperimentResult, u64) {
+    let _trial = span!("trial");
     let mut engine =
         Engine::with_scenario(spec.setting.bottleneck(), &spec.setting.scenario, spec.seed);
     engine.set_service_pair(SVC_A, SVC_B);
@@ -35,7 +53,11 @@ pub fn run_experiment_instrumented(spec: &ExperimentSpec) -> (ExperimentResult, 
     let inst_a = build_service(&spec.contender, &mut engine, SVC_A, rtt);
     let inst_b = build_service(&spec.incumbent, &mut engine, SVC_B, rtt);
 
-    engine.run_until(SimTime::ZERO + spec.duration);
+    {
+        let _sim = span!("sim");
+        engine.run_until(SimTime::ZERO + spec.duration);
+    }
+    let _extract = span!("extract");
 
     let (from_d, to_d) = spec.window();
     let from = SimTime::ZERO + from_d;
@@ -122,6 +144,19 @@ pub fn run_experiment_instrumented(spec: &ExperimentSpec) -> (ExperimentResult, 
         if let Err(e) = pcap.save(path) {
             eprintln!("warning: failed to write pcap {}: {e}", path.display());
         }
+    }
+
+    if let Some(reg) = metrics {
+        reg.counter("sim/events_total")
+            .add(engine.events_processed());
+        reg.counter(&format!("sim/aqm/{}/drops", engine.qdisc_kind()))
+            .add(engine.total_queue_drops());
+        let (ext_losses, _) = engine.external_loss_stats();
+        reg.counter("sim/external_losses").add(ext_losses);
+        reg.counter("sim/impairment_losses")
+            .add(engine.impairment_losses());
+        reg.histogram("sim/queue_depth_pkts")
+            .merge_from(engine.queue_depth_histogram());
     }
 
     let result = ExperimentResult {

@@ -14,6 +14,7 @@ use crate::executor::{execute_pairs, ExecutorConfig, SchedulerStats};
 use crate::results::ResultStore;
 use crate::scheduler::{DurationPolicy, PairOutcome, PairSpec, TrialPolicy};
 use prudentia_apps::ServiceSpec;
+use prudentia_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -60,6 +61,9 @@ pub struct WatchdogConfig {
     /// With a cache, iterations over unchanged pairs skip simulation and
     /// a killed run resumes from its completed trials.
     pub cache_path: Option<PathBuf>,
+    /// Metrics registry shared across iterations (`None` disables
+    /// metric collection). Attaching one cannot change outcomes.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for WatchdogConfig {
@@ -76,6 +80,7 @@ impl Default for WatchdogConfig {
                 .unwrap_or(4),
             change_threshold: 0.2,
             cache_path: None,
+            metrics: None,
         }
     }
 }
@@ -180,6 +185,9 @@ impl Watchdog {
         if let Some(cache) = &self.cache {
             exec = exec.with_cache(Arc::clone(cache));
         }
+        if let Some(metrics) = &self.config.metrics {
+            exec = exec.with_metrics(Arc::clone(metrics));
+        }
         let (outcomes, stats) = execute_pairs(&pairs, &exec);
         if let (Some(cache), Some(path)) = (&self.cache, &self.config.cache_path) {
             if let Err(e) = cache.save(path) {
@@ -191,6 +199,14 @@ impl Watchdog {
         }
         self.last_stats = Some(stats);
         let changes = self.diff(&outcomes);
+        prudentia_obs::event!(
+            prudentia_obs::Level::Info,
+            "watchdog",
+            "iteration complete",
+            iteration = self.iterations_run + 1,
+            pairs = outcomes.len() as u64,
+            changes = changes.len() as u64,
+        );
         self.store.extend(outcomes.iter().cloned());
         self.last_iteration = outcomes;
         self.iterations_run += 1;
@@ -238,6 +254,7 @@ mod tests {
             parallelism: 4,
             change_threshold: 0.2,
             cache_path: None,
+            metrics: None,
         }
     }
 

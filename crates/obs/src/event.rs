@@ -1,0 +1,352 @@
+//! Structured JSONL event sink with levels and per-component filtering.
+//!
+//! Events are one JSON object per line:
+//!
+//! ```json
+//! {"seq":3,"lvl":"info","comp":"executor","msg":"pair converged","pair":"Mega vs YouTube","trials":12}
+//! ```
+//!
+//! Filtering follows the familiar `RUST_LOG` grammar via the
+//! `PRUDENTIA_LOG` environment variable: a default level plus
+//! per-component overrides, e.g. `PRUDENTIA_LOG=info,executor=debug,sim=off`.
+//! When the variable is unset the sink is disabled and [`emit`] is a
+//! single relaxed atomic load — cheap enough to leave calls in hot-ish
+//! paths. Events go to stderr by default or to a file via
+//! [`set_output_path`]. Event lines carry a process-wide sequence
+//! number instead of a timestamp so identical runs produce comparable
+//! logs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Event severity, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Fine-grained tracing.
+    Trace,
+    /// Debugging detail.
+    Debug,
+    /// Normal operational events.
+    Info,
+    /// Something surprising but recoverable.
+    Warn,
+    /// Something went wrong.
+    Error,
+}
+
+impl Level {
+    /// Lowercase name used in the JSONL output and in filter specs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a filter token; `off`/`none` yield `None` (suppress all).
+    fn parse(s: &str) -> Option<Option<Level>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "trace" => Some(Some(Level::Trace)),
+            "debug" => Some(Some(Level::Debug)),
+            "info" => Some(Some(Level::Info)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "error" => Some(Some(Level::Error)),
+            "off" | "none" => Some(None),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed `PRUDENTIA_LOG` spec: a default threshold plus per-component
+/// overrides. `None` thresholds suppress everything.
+#[derive(Debug, Clone, Default)]
+struct Filter {
+    default: Option<Level>,
+    components: BTreeMap<String, Option<Level>>,
+}
+
+impl Filter {
+    /// Parse e.g. `"info,executor=debug,sim=off"`. Unknown tokens are
+    /// ignored (a bad spec should never kill a run).
+    fn parse(spec: &str) -> Filter {
+        let mut f = Filter::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                Some((comp, lvl)) => {
+                    if let Some(parsed) = Level::parse(lvl) {
+                        f.components.insert(comp.trim().to_string(), parsed);
+                    }
+                }
+                None => {
+                    if let Some(parsed) = Level::parse(part) {
+                        f.default = parsed;
+                    }
+                }
+            }
+        }
+        f
+    }
+
+    fn allows(&self, level: Level, component: &str) -> bool {
+        let threshold = self
+            .components
+            .get(component)
+            .copied()
+            .unwrap_or(self.default);
+        matches!(threshold, Some(t) if level >= t)
+    }
+}
+
+/// Where event lines go.
+enum Output {
+    Stderr,
+    File(std::fs::File),
+}
+
+struct Sink {
+    filter: Filter,
+    out: Output,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let filter = match std::env::var("PRUDENTIA_LOG") {
+            Ok(spec) => Filter::parse(&spec),
+            Err(_) => Filter::default(),
+        };
+        ACTIVE.store(
+            filter.default.is_some() || filter.components.values().any(|t| t.is_some()),
+            Ordering::Relaxed,
+        );
+        Mutex::new(Sink {
+            filter,
+            out: Output::Stderr,
+        })
+    })
+}
+
+/// Replace the filter spec (overrides `PRUDENTIA_LOG`).
+pub fn set_filter(spec: &str) {
+    let filter = Filter::parse(spec);
+    ACTIVE.store(
+        filter.default.is_some() || filter.components.values().any(|t| t.is_some()),
+        Ordering::Relaxed,
+    );
+    sink().lock().expect("poisoned").filter = filter;
+}
+
+/// Redirect event lines to a file (append); errors fall back to stderr.
+pub fn set_output_path(path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    sink().lock().expect("poisoned").out = Output::File(file);
+    Ok(())
+}
+
+/// Would an event at `level` for `component` currently be written?
+/// One relaxed atomic load on the all-off fast path.
+pub fn enabled(level: Level, component: &str) -> bool {
+    // `sink()` parses PRUDENTIA_LOG exactly once; after that it is a
+    // single acquire load, and the all-off fast path never locks.
+    let s = sink();
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    s.lock().expect("poisoned").filter.allows(level, component)
+}
+
+/// A typed field value on an event line.
+#[derive(Debug, Clone)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite renders as `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+macro_rules! impl_field_from {
+    ($($ty:ty => $variant:ident as $cast:ty),* $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> FieldValue {
+                FieldValue::$variant(v as $cast)
+            }
+        })*
+    };
+}
+
+impl_field_from!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Write one event line if the active filter allows it. Prefer the
+/// [`event!`](crate::event!) macro.
+pub fn emit(level: Level, component: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled(level, component) {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut line = String::with_capacity(64 + msg.len());
+    let _ = write!(
+        line,
+        "{{\"seq\":{seq},\"lvl\":\"{}\",\"comp\":",
+        level.as_str()
+    );
+    push_json_str(&mut line, component);
+    line.push_str(",\"msg\":");
+    push_json_str(&mut line, msg);
+    for (k, v) in fields {
+        line.push(',');
+        push_json_str(&mut line, k);
+        line.push(':');
+        match v {
+            FieldValue::U64(n) => {
+                let _ = write!(line, "{n}");
+            }
+            FieldValue::I64(n) => {
+                let _ = write!(line, "{n}");
+            }
+            FieldValue::F64(f) if f.is_finite() => {
+                let _ = write!(line, "{f}");
+            }
+            FieldValue::F64(_) => line.push_str("null"),
+            FieldValue::Str(s) => push_json_str(&mut line, s),
+            FieldValue::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    line.push_str("}\n");
+    let mut sink = sink().lock().expect("poisoned");
+    match &mut sink.out {
+        Output::Stderr => {
+            let _ = std::io::stderr().write_all(line.as_bytes());
+        }
+        Output::File(f) => {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Emit a structured event:
+///
+/// ```
+/// # use prudentia_obs::{event, Level};
+/// event!(Level::Info, "executor", "pair converged", trials = 12u64, pair = "A vs B");
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $comp:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::event::enabled($level, $comp) {
+            $crate::event::emit(
+                $level,
+                $comp,
+                $msg,
+                &[$((stringify!($key), $crate::event::FieldValue::from($val))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_grammar() {
+        let f = Filter::parse("info,executor=debug,sim=off,bogus=verybad");
+        assert!(f.allows(Level::Info, "anything"));
+        assert!(!f.allows(Level::Debug, "anything"));
+        assert!(f.allows(Level::Debug, "executor"));
+        assert!(!f.allows(Level::Trace, "executor"));
+        assert!(!f.allows(Level::Error, "sim"), "off suppresses everything");
+        // Unknown level token ignored: falls back to the default.
+        assert!(f.allows(Level::Info, "bogus"));
+    }
+
+    #[test]
+    fn empty_filter_suppresses_all() {
+        let f = Filter::default();
+        assert!(!f.allows(Level::Error, "x"));
+    }
+
+    #[test]
+    fn level_ordering_and_names() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Warn.as_str(), "warn");
+        assert_eq!(Level::parse("WARNING"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("garbage"), None);
+    }
+
+    #[test]
+    fn event_lines_are_json() {
+        // Don't touch the global sink state (other tests / the env may
+        // configure it); exercise the line construction through a
+        // locally-built filter instead.
+        let f = Filter::parse("trace");
+        assert!(f.allows(Level::Trace, "test"));
+        let mut line = String::new();
+        push_json_str(&mut line, "weird \"msg\"\nwith newline");
+        assert_eq!(line, "\"weird \\\"msg\\\"\\nwith newline\"");
+    }
+}

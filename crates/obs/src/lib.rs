@@ -1,0 +1,40 @@
+//! # prudentia-obs
+//!
+//! Zero-dependency observability for the Prudentia watchdog: the paper's
+//! verdicts only earn trust because every heatmap cell is backed by
+//! measurable trial health (CI width, loss, utilization, queueing delay),
+//! and the reproduction's executor/cache/scenario machinery needs the
+//! same visibility before any hot path can be optimized with confidence.
+//!
+//! Three layers, all safe to leave enabled in production runs:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and
+//!   log-bucketed [`Histogram`]s (p50/p90/p99), exportable as JSON or
+//!   CSV. Handles are cheap `Arc`s; hot paths touch one atomic.
+//! * [`span!`] — hierarchical wall-clock timing spans that aggregate
+//!   into a per-phase breakdown (`trial/sim`, `trial/extract`, …) per
+//!   path. Spans read only the host clock, never simulation state, so
+//!   enabling them cannot perturb deterministic outcomes.
+//! * [`event!`] — a structured JSONL event sink with levels and
+//!   per-component filtering via the `PRUDENTIA_LOG` environment
+//!   variable (e.g. `PRUDENTIA_LOG=info,executor=debug`).
+//!
+//! Everything is deterministic-by-construction with respect to trial
+//! results: observability reads the world but writes only to its own
+//! sinks. The integration suite pins this (metrics on/off, parallelism
+//! 1/8 — byte-identical outcomes).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod histogram;
+pub mod metrics;
+pub mod span;
+
+pub use event::{emit, Level};
+pub use histogram::{Histogram, HistogramSummary};
+pub use metrics::{Counter, Gauge, HistogramHandle, MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanGuard, SpanStat};
+
+#[cfg(test)]
+mod proptests;

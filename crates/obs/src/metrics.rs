@@ -1,0 +1,353 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Handles returned by the registry are cheap clones (`Arc`s) meant to
+//! be hoisted out of hot loops: a [`Counter`] increment is one relaxed
+//! atomic add, a [`Gauge`] store is one atomic swap, and a
+//! [`HistogramHandle`] takes a short mutex only on record/merge. Hot
+//! paths that cannot afford even that (the simulator's inner event loop)
+//! keep a private [`Histogram`] and merge it into the registry once per
+//! trial — merging is associative, so fold order across workers is
+//! irrelevant.
+//!
+//! Export is deterministic: names are `BTreeMap`-ordered in both the
+//! JSON and CSV renderings, so two runs with identical metric values
+//! produce identical files.
+
+use crate::histogram::{Histogram, HistogramSummary};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A shared histogram slot in the registry.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Record one sample.
+    pub fn record(&self, v: f64) {
+        self.0.lock().expect("poisoned").record(v);
+    }
+
+    /// Fold a locally accumulated histogram in (one lock per trial
+    /// instead of one per sample).
+    pub fn merge_from(&self, other: &Histogram) {
+        self.0.lock().expect("poisoned").merge(other);
+    }
+
+    /// Snapshot the current digest.
+    pub fn summarize(&self) -> HistogramSummary {
+        self.0.lock().expect("poisoned").summarize()
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+}
+
+/// Point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram digests by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Total number of distinct named metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("poisoned");
+        Counter(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("poisoned");
+        Gauge(Arc::clone(map.entry(name.to_string()).or_insert_with(
+            || Arc::new(AtomicU64::new(0.0f64.to_bits())),
+        )))
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self.histograms.lock().expect("poisoned");
+        HistogramHandle(Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(Histogram::new()))),
+        ))
+    }
+
+    /// Snapshot every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.lock().expect("poisoned").summarize()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Render every metric (and the global span aggregation) as a
+    /// deterministic, pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {v}", json_str(k));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in snap.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(k), json_f64(*v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in snap.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                json_str(k),
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.mean),
+                json_f64(h.min),
+                json_f64(h.max),
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99),
+            );
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        for (i, (k, s)) in crate::span::snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count\": {}, \"total_secs\": {}}}",
+                json_str(k),
+                s.count,
+                json_f64(s.total.as_secs_f64()),
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Render every metric as CSV rows `kind,name,field,value`.
+    pub fn to_csv(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::from("kind,name,field,value\n");
+        for (k, v) in &snap.counters {
+            let _ = writeln!(out, "counter,{k},value,{v}");
+        }
+        for (k, v) in &snap.gauges {
+            let _ = writeln!(out, "gauge,{k},value,{v}");
+        }
+        for (k, h) in &snap.histograms {
+            let fields: [(&str, f64); 7] = [
+                ("sum", h.sum),
+                ("mean", h.mean),
+                ("min", h.min),
+                ("max", h.max),
+                ("p50", h.p50),
+                ("p90", h.p90),
+                ("p99", h.p99),
+            ];
+            let _ = writeln!(out, "histogram,{k},count,{}", h.count);
+            for (f, v) in fields {
+                let _ = writeln!(out, "histogram,{k},{f},{v}");
+            }
+        }
+        for (k, s) in crate::span::snapshot() {
+            let _ = writeln!(out, "span,{k},count,{}", s.count);
+            let _ = writeln!(out, "span,{k},total_secs,{}", s.total.as_secs_f64());
+        }
+        out
+    }
+}
+
+/// JSON string escape (the registry controls its own names, but be safe).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number rendering: non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a/b");
+        c.inc();
+        c.add(4);
+        // A second handle to the same name sees the same cell.
+        assert_eq!(reg.counter("a/b").get(), 5);
+        let g = reg.gauge("rate");
+        g.set(2.5);
+        assert_eq!(reg.gauge("rate").get(), 2.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a/b"], 5);
+        assert_eq!(snap.gauges["rate"], 2.5);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn histogram_handle_merges_local() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        h.record(1.0);
+        let mut local = Histogram::new();
+        local.record(3.0);
+        local.record(5.0);
+        h.merge_from(&local);
+        assert_eq!(reg.histogram("lat").summarize().count, 3);
+    }
+
+    #[test]
+    fn json_and_csv_are_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("n").add(7);
+        reg.gauge("g").set(f64::NAN);
+        reg.histogram("h").record(2.0);
+        let json = reg.to_json();
+        assert!(json.contains("\"n\": 7"));
+        assert!(json.contains("\"g\": null"), "NaN must render as null");
+        assert!(json.contains("\"p99\""));
+        let csv = reg.to_csv();
+        assert!(csv.starts_with("kind,name,field,value\n"));
+        assert!(csv.contains("counter,n,value,7"));
+        assert!(csv.contains("histogram,h,count,1"));
+    }
+
+    #[test]
+    fn handles_are_send_and_shared_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("threads");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,227 @@
+//! Hierarchical wall-clock timing spans.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and drop
+//! and charges it to a slash-separated *path* built from the spans
+//! already open on the same thread: entering `"trial"` and then
+//! `"sim"` aggregates under `trial` and `trial/sim` respectively. Each
+//! worker thread keeps its own stack, so the executor's per-trial spans
+//! nest naturally without cross-thread coordination; aggregation lands
+//! in one process-wide table read by
+//! [`MetricsRegistry::to_json`](crate::metrics::MetricsRegistry::to_json)
+//! and by the CLI's `--stats` per-phase breakdown.
+//!
+//! Spans observe only the host clock. They never touch simulation
+//! state or RNG streams, so enabling or disabling them cannot change
+//! trial outcomes — the property the trial cache depends on.
+//!
+//! Overhead when disabled ([`set_enabled`]`(false)`): one relaxed
+//! atomic load per span.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall time spent inside it.
+    pub total: Duration,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn aggregate() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static AGG: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    AGG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    /// Stack of open span paths on this thread (top = innermost).
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Globally enable or disable span timing (enabled by default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span timing is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Copy of the per-path aggregation table.
+pub fn snapshot() -> BTreeMap<String, SpanStat> {
+    aggregate().lock().expect("poisoned").clone()
+}
+
+/// Clear the aggregation table (between runs / in tests).
+pub fn reset() {
+    aggregate().lock().expect("poisoned").clear();
+}
+
+/// Render the aggregation as an indented per-phase wall-time breakdown,
+/// e.g. for `--stats`:
+///
+/// ```text
+/// trial              58x   11.21s
+///   trial/sim        58x   11.02s
+/// ```
+pub fn render_breakdown() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    for (path, stat) in &snap {
+        let depth = path.matches('/').count();
+        out.push_str(&"  ".repeat(depth));
+        let name_width = 36usize.saturating_sub(2 * depth);
+        out.push_str(&format!(
+            "{:<name_width$} {:>7}x {:>10.2?}\n",
+            path, stat.count, stat.total,
+        ));
+    }
+    out
+}
+
+/// RAII guard measuring one span; created by [`span!`](crate::span!).
+#[derive(Debug)]
+pub struct SpanGuard {
+    path: Option<String>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Open a span named `name`, nested under any span already open on
+    /// this thread. Prefer the [`span!`](crate::span!) macro.
+    pub fn enter(name: &str) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard {
+                path: None,
+                start: Instant::now(),
+            };
+        }
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        SpanGuard {
+            path: Some(path),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        let elapsed = self.start.elapsed();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are scope-bound, so drops are LIFO; tolerate a
+            // mismatched pop rather than corrupting the stack.
+            if stack.last() == Some(&path) {
+                stack.pop();
+            }
+        });
+        let mut agg = aggregate().lock().expect("poisoned");
+        let e = agg.entry(path).or_default();
+        e.count += 1;
+        e.total += elapsed;
+    }
+}
+
+/// Open a hierarchical timing span for the enclosing scope:
+///
+/// ```
+/// # use prudentia_obs::span;
+/// let _outer = span!("trial");
+/// {
+///     let _inner = span!("sim"); // aggregates under "trial/sim"
+/// }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+/// Serializes tests that touch the global span table (it is process-wide
+/// state; concurrent `reset()` calls would race).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use super::test_lock as lock_table;
+
+    #[test]
+    fn nesting_builds_paths_and_child_time_bounded_by_parent() {
+        let _t = lock_table();
+        reset();
+        {
+            let _a = SpanGuard::enter("parent");
+            std::thread::sleep(Duration::from_millis(2));
+            for _ in 0..3 {
+                let _b = SpanGuard::enter("child");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let snap = snapshot();
+        let parent = snap["parent"];
+        let child = snap["parent/child"];
+        assert_eq!(parent.count, 1);
+        assert_eq!(child.count, 3);
+        assert!(
+            child.total <= parent.total,
+            "aggregated child time {:?} must be <= parent {:?}",
+            child.total,
+            parent.total
+        );
+        let text = render_breakdown();
+        assert!(text.contains("parent/child"));
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _t = lock_table();
+        reset();
+        set_enabled(false);
+        {
+            let _a = SpanGuard::enter("ghost");
+        }
+        set_enabled(true);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn sibling_threads_do_not_nest() {
+        let _t = lock_table();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _w = SpanGuard::enter("worker");
+                });
+            }
+        });
+        let snap = snapshot();
+        assert_eq!(snap["worker"].count, 2);
+        assert!(!snap.keys().any(|k| k.contains('/')));
+    }
+}

@@ -17,6 +17,7 @@ use crate::queue::{EnqueueResult, ServiceQueueStats};
 use crate::scenario::{ImpairmentSpec, ScenarioSpec};
 use crate::time::{serialization_time, SimDuration, SimTime};
 use crate::trace::Trace;
+use prudentia_obs::Histogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -179,6 +180,11 @@ pub struct Engine {
     next_flow: u32,
     started: bool,
     events_processed: u64,
+    /// Total queue occupancy (packets) at every sampling point. A private
+    /// histogram — no locks in the event loop; higher layers merge it into
+    /// a registry once per trial. Recording reads only `queue.len()`, so
+    /// it cannot perturb simulation outcomes.
+    queue_depth: Histogram,
 }
 
 impl Engine {
@@ -216,6 +222,7 @@ impl Engine {
             next_flow: 0,
             started: false,
             events_processed: 0,
+            queue_depth: Histogram::new(),
         }
     }
 
@@ -321,6 +328,24 @@ impl Engine {
         self.events_processed
     }
 
+    /// Distribution of total bottleneck queue occupancy (in packets),
+    /// sampled at every enqueue and transmit completion.
+    pub fn queue_depth_histogram(&self) -> &Histogram {
+        &self.queue_depth
+    }
+
+    /// The active queue discipline's stable identifier ("droptail",
+    /// "codel", ...).
+    pub fn qdisc_kind(&self) -> &'static str {
+        self.net.queue.kind()
+    }
+
+    /// Packets the discipline has dropped so far (tail, early, and head
+    /// drops combined).
+    pub fn total_queue_drops(&self) -> u64 {
+        self.net.queue.total_drops()
+    }
+
     fn start_endpoints(&mut self) {
         for idx in 0..self.endpoints.len() {
             let mut ep = self.endpoints[idx].take().expect("endpoint re-entry");
@@ -360,6 +385,7 @@ impl Engine {
         let total = self.net.queue.len();
         let qa = self.net.queue.occupancy_of(a);
         let qb = self.net.queue.occupancy_of(b);
+        self.queue_depth.record(total as f64);
         self.trace.sample_queue(self.now, total, qa, qb);
     }
 

@@ -107,7 +107,7 @@ pub fn jain_index(rates: &[f64]) -> f64 {
     sum * sum / (rates.len() as f64 * sq_sum)
 }
 
-/// Ware et al.'s *harm* metric [51]: the fractional performance loss a
+/// Ware et al.'s *harm* metric \[51\]: the fractional performance loss a
 /// service suffers relative to running alone,
 /// `harm = (solo − contended) / solo`.
 ///

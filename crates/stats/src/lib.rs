@@ -74,7 +74,7 @@ mod proptests {
             let unsat: Vec<f64> = alloc
                 .iter()
                 .zip(&demands)
-                .filter(|(a, d)| d.cap_bps.is_none_or(|c| **a < c - 1.0))
+                .filter(|(a, d)| d.cap_bps.map_or(true, |c| **a < c - 1.0))
                 .map(|(a, _)| *a)
                 .collect();
             for w in unsat.windows(2) {

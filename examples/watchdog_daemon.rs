@@ -32,6 +32,7 @@ fn main() {
             .unwrap_or(2),
         change_threshold: 0.15,
         cache_path: None,
+        metrics: None,
     };
     let mut watchdog = Watchdog::new(services, config);
 

@@ -11,8 +11,11 @@ BINS_MAIN="table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table3"
 BINS_EXTRA="beyond_pairwise netsettings vantage ablation_mega ablation_abr scenario_sweep"
 
 if [ "${1:-}" = "--check" ]; then
+  # Discover binaries from the source tree instead of the curated run
+  # lists above, so a newly added bin can never be silently skipped.
   missing=0
-  for b in $BINS_FAST $BINS_MAIN $BINS_EXTRA; do
+  for src in crates/bench/src/bin/*.rs; do
+    b=$(basename "$src" .rs)
     if [ -x target/release/$b ]; then
       echo "ok      $b"
     else

@@ -1,0 +1,97 @@
+//! Observability must be a pure observer: attaching the full metrics
+//! and tracing stack to an executor run cannot change a single byte of
+//! the trial outcomes, at any parallelism. This is the property the
+//! trial cache depends on (cache keys ignore observability state), so
+//! it is pinned here against both a bare run and an instrumented run at
+//! parallelism 1 and 8.
+
+use prudentia_apps::Service;
+use prudentia_core::{
+    execute_pairs, DurationPolicy, ExecutorConfig, MetricsRegistry, NetworkSetting, PairOutcome,
+    PairSpec, TrialPolicy,
+};
+use std::sync::Arc;
+
+fn pairs() -> Vec<PairSpec> {
+    let services = [Service::IperfReno, Service::IperfCubic];
+    let setting = NetworkSetting::highly_constrained();
+    let mut out = Vec::new();
+    for a in &services {
+        for b in &services {
+            out.push(PairSpec {
+                contender: a.spec(),
+                incumbent: b.spec(),
+                setting: setting.clone(),
+            });
+        }
+    }
+    out
+}
+
+fn policy() -> TrialPolicy {
+    TrialPolicy {
+        min_trials: 2,
+        batch: 1,
+        max_trials: 3,
+    }
+}
+
+fn run(parallelism: usize, metrics: Option<Arc<MetricsRegistry>>) -> Vec<PairOutcome> {
+    let mut config = ExecutorConfig::new(policy(), DurationPolicy::Quick, parallelism);
+    if let Some(reg) = metrics {
+        config = config.with_metrics(reg);
+    }
+    execute_pairs(&pairs(), &config).0
+}
+
+fn to_json(outcomes: Vec<PairOutcome>) -> String {
+    serde_json::to_string(&outcomes).expect("outcomes serialize")
+}
+
+#[test]
+fn metrics_do_not_perturb_outcomes_across_parallelism() {
+    let bare = to_json(run(1, None));
+    for parallelism in [1, 8] {
+        let reg = Arc::new(MetricsRegistry::new());
+        let observed = to_json(run(parallelism, Some(Arc::clone(&reg))));
+        assert_eq!(
+            bare, observed,
+            "outcomes changed with metrics on at parallelism {parallelism}"
+        );
+        assert!(
+            !reg.snapshot().is_empty(),
+            "instrumented run must actually collect metrics"
+        );
+    }
+}
+
+#[test]
+fn instrumented_run_exports_a_rich_registry() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let _ = run(4, Some(Arc::clone(&reg)));
+    let snap = reg.snapshot();
+    assert!(
+        snap.len() >= 12,
+        "expected at least 12 distinct metrics, got {}: {:?}",
+        snap.len(),
+        snap.counters
+            .keys()
+            .chain(snap.gauges.keys())
+            .chain(snap.histograms.keys())
+            .collect::<Vec<_>>()
+    );
+    // The headline series the CLI surfaces.
+    let qd = snap
+        .histograms
+        .get("sim/queue_depth_pkts")
+        .expect("queue-depth histogram");
+    assert!(qd.count > 0 && qd.p99 >= qd.p50);
+    assert!(snap.counters.contains_key("executor/steals"));
+    assert!(snap.histograms.contains_key("executor/idle_ns"));
+    assert!(snap.counters["sim/events_total"] > 0);
+    assert!(snap.counters.contains_key("sim/aqm/droptail/drops"));
+    // The JSON export carries every series plus the span section.
+    let json = reg.to_json();
+    assert!(json.contains("\"sim/queue_depth_pkts\""));
+    assert!(json.contains("\"spans\""));
+}

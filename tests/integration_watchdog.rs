@@ -95,6 +95,7 @@ fn watchdog_detects_cca_deployment_change() {
         parallelism: 4,
         change_threshold: 0.10,
         cache_path: None,
+        metrics: None,
     };
     let mut wd = Watchdog::new(
         vec![Service::IperfReno.spec(), Service::Mega.spec()],
