@@ -1,0 +1,192 @@
+//! Golden-trace regression suite.
+//!
+//! A golden trace is the CSV rendering of a [`run_solo`] telemetry
+//! trace — cwnd / rate / queue depth on the 100 ms telemetry tick — for a
+//! pinned CCA, setting, seed, and duration. The files live under
+//! `tests/golden/` and comparison is **exact bytes**: every field in a
+//! [`TraceRow`] is an integer, so any drift in CCA arithmetic, transport
+//! bookkeeping, queue dynamics, or RNG consumption order shows up as a
+//! diff, not a tolerance judgement call.
+//!
+//! Intentional changes are re-blessed with `prudentia validate --bless`
+//! (or `PRUDENTIA_BLESS=1 cargo test -p prudentia-check`); see
+//! EXPERIMENTS.md for the recipe.
+
+use crate::harness::{run_solo, TraceRow};
+use prudentia_cc::CcaKind;
+use prudentia_sim::{NetworkSetting, SimDuration};
+use std::path::{Path, PathBuf};
+
+/// Seed pinned into every golden trace.
+pub const GOLDEN_SEED: u64 = 42;
+/// Duration of a golden trace (300 rows on the 100 ms tick).
+pub const GOLDEN_DURATION: SimDuration = SimDuration::from_secs(30);
+
+/// The CCAs snapshotted by the suite, with their file stems.
+pub const GOLDEN_CCAS: [(CcaKind, &str); 5] = [
+    (CcaKind::NewReno, "newreno"),
+    (CcaKind::Cubic, "cubic"),
+    (CcaKind::BbrV1Linux515, "bbr_v1_linux515"),
+    (CcaKind::BbrV3, "bbr_v3"),
+    (CcaKind::Gcc, "gcc"),
+];
+
+/// Default golden directory: `tests/golden/` at the repository root.
+pub fn default_golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Render rows as the golden CSV format.
+pub fn render_csv(rows: &[TraceRow]) -> String {
+    let mut out = String::with_capacity(rows.len() * 24 + 32);
+    out.push_str("t_ms,cwnd_bytes,rate_bps,qdepth_pkts\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            r.t_ms, r.cwnd_bytes, r.rate_bps, r.qdepth_pkts
+        ));
+    }
+    out
+}
+
+/// Generate the trace a golden file should currently contain.
+pub fn generate(kind: CcaKind) -> String {
+    let setting = NetworkSetting::highly_constrained();
+    let run = run_solo(kind, &setting, GOLDEN_SEED, GOLDEN_DURATION);
+    render_csv(&run.rows)
+}
+
+/// Outcome of comparing one CCA's trace against its golden file.
+#[derive(Debug, Clone)]
+pub struct GoldenOutcome {
+    /// File stem (e.g. `cubic`).
+    pub name: String,
+    /// `Ok` on byte-identical match; `Err` describes the mismatch.
+    pub result: Result<(), String>,
+}
+
+fn first_diff_line(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!(
+                "first diff at line {}: golden `{e}` vs generated `{a}`",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "line counts differ: golden {} vs generated {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+/// Compare `kind`'s freshly generated trace against `dir/<stem>.csv`.
+pub fn compare(kind: CcaKind, stem: &str, dir: &Path) -> GoldenOutcome {
+    let path = dir.join(format!("{stem}.csv"));
+    let actual = generate(kind);
+    let result = match std::fs::read_to_string(&path) {
+        Err(e) => Err(format!(
+            "cannot read {}: {e} (bless to create)",
+            path.display()
+        )),
+        Ok(expected) if expected == actual => Ok(()),
+        Ok(expected) => Err(format!(
+            "{} drifted from its golden trace — {}. If the change is intentional, \
+             re-bless with `prudentia validate --bless`.",
+            stem,
+            first_diff_line(&expected, &actual)
+        )),
+    };
+    GoldenOutcome {
+        name: stem.to_string(),
+        result,
+    }
+}
+
+/// Compare every golden trace under `dir`.
+pub fn compare_all(dir: &Path) -> Vec<GoldenOutcome> {
+    GOLDEN_CCAS
+        .iter()
+        .map(|&(kind, stem)| compare(kind, stem, dir))
+        .collect()
+}
+
+/// Regenerate every golden file under `dir` (the `--bless` path).
+pub fn bless_all(dir: &Path) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for &(kind, stem) in GOLDEN_CCAS.iter() {
+        let path = dir.join(format!("{stem}.csv"));
+        std::fs::write(&path, generate(kind))?;
+        written.push(path.display().to_string());
+    }
+    Ok(written)
+}
+
+/// Byte-stability of trace generation across threads: regenerate each
+/// trace on `threads` concurrent threads and require all copies byte-equal
+/// to a fresh single-threaded render. The acceptance criterion for
+/// parallelism 1 vs 8 and cold vs warm caches reduces to this, since
+/// generation shares no state between runs.
+pub fn parallel_stability(threads: usize) -> Vec<GoldenOutcome> {
+    GOLDEN_CCAS
+        .iter()
+        .map(|&(kind, stem)| {
+            let reference = generate(kind);
+            let handles: Vec<_> = (0..threads)
+                .map(|_| std::thread::spawn(move || generate(kind)))
+                .collect();
+            let mut result = Ok(());
+            for h in handles {
+                match h.join() {
+                    Ok(copy) if copy == reference => {}
+                    Ok(_) => {
+                        result = Err(format!(
+                            "{stem}: concurrent regeneration produced different bytes"
+                        ));
+                        break;
+                    }
+                    Err(_) => {
+                        result = Err(format!("{stem}: generation thread panicked"));
+                        break;
+                    }
+                }
+            }
+            GoldenOutcome {
+                name: stem.to_string(),
+                result,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_is_integer_only_and_headered() {
+        let csv = render_csv(&[TraceRow {
+            t_ms: 100,
+            cwnd_bytes: 15000,
+            rate_bps: 1_200_000,
+            qdepth_pkts: 7,
+        }]);
+        assert_eq!(
+            csv,
+            "t_ms,cwnd_bytes,rate_bps,qdepth_pkts\n100,15000,1200000,7\n"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(CcaKind::NewReno), generate(CcaKind::NewReno));
+    }
+
+    #[test]
+    fn first_diff_pinpoints_line() {
+        let d = first_diff_line("a\nb\nc\n", "a\nx\nc\n");
+        assert!(d.contains("line 2"), "{d}");
+    }
+}

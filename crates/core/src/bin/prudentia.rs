@@ -7,6 +7,7 @@
 //! prudentia classify <service>            # CCA classification (CCAnalyzer-style)
 //! prudentia matrix [--setting 8|50]       # all-pairs heatmap
 //! prudentia watch [--iterations N]        # the continuous watchdog loop
+//! prudentia validate [--bless]            # conformance + invariants + golden traces
 //! ```
 //!
 //! Options: `--paper` (full §3.4 protocol), `--trials N`, `--seed N`,
@@ -50,6 +51,8 @@ struct Opts {
     stats: bool,
     metrics: Option<PathBuf>,
     scenario: Option<String>,
+    bless: bool,
+    golden_dir: Option<PathBuf>,
     positional: Vec<String>,
 }
 
@@ -67,6 +70,8 @@ fn parse_args() -> Opts {
         stats: false,
         metrics: None,
         scenario: None,
+        bless: false,
+        golden_dir: None,
         positional: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -98,6 +103,13 @@ fn parse_args() -> Opts {
             "--scenario" => {
                 opts.scenario = args.next();
             }
+            "--bless" => opts.bless = true,
+            "--golden-dir" => {
+                opts.golden_dir = args.next().map(PathBuf::from);
+            }
+            // `--validate` is accepted as an alias for the subcommand so CI
+            // one-liners read naturally.
+            "--validate" => opts.positional.push("validate".to_string()),
             other => opts.positional.push(other.to_string()),
         }
     }
@@ -170,10 +182,11 @@ fn policy_for(opts: &Opts) -> (TrialPolicy, DurationPolicy) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prudentia <list|pair|solo|classify|matrix|watch> [args] \
+        "usage: prudentia <list|pair|solo|classify|matrix|watch|validate> [args] \
          [--paper] [--trials N] [--seed N] [--parallel N] [--setting MBPS] \
          [--scenario droptail|codel|fq_codel|red|lte] \
-         [--iterations N] [--cache PATH] [--stats] [--metrics PATH]"
+         [--iterations N] [--cache PATH] [--stats] [--metrics PATH] \
+         [--bless] [--golden-dir PATH]"
     );
     std::process::exit(2)
 }
@@ -190,6 +203,7 @@ fn main() {
         "classify" => cmd_classify(&opts),
         "matrix" => cmd_matrix(&opts),
         "watch" => cmd_watch(&opts),
+        "validate" => cmd_validate(&opts),
         _ => usage(),
     }
 }
@@ -383,6 +397,57 @@ fn cmd_matrix(opts: &Opts) {
     }
     if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
         write_metrics(reg, path);
+    }
+}
+
+fn cmd_validate(opts: &Opts) {
+    let golden_dir = opts
+        .golden_dir
+        .clone()
+        .unwrap_or_else(prudentia_check::default_golden_dir);
+    if opts.bless {
+        match prudentia_check::bless_all(&golden_dir) {
+            Ok(written) => {
+                for path in written {
+                    println!("blessed {path}");
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("running validation suite (conformance + invariant sweep + golden traces)...");
+    let report = prudentia_check::run_validation(&golden_dir);
+    println!("conformance:");
+    for c in &report.checks {
+        println!(
+            "  [{}] {:<36} {}",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+    }
+    println!("invariant sweep:");
+    for s in &report.sweep {
+        match &s.result {
+            Ok(()) => println!("  [PASS] {}", s.label),
+            Err(e) => println!("  [FAIL] {}: {e}", s.label),
+        }
+    }
+    println!("golden traces ({}):", golden_dir.display());
+    for g in report.golden.iter().chain(&report.stability) {
+        match &g.result {
+            Ok(()) => println!("  [PASS] {}", g.name),
+            Err(e) => println!("  [FAIL] {}: {e}", g.name),
+        }
+    }
+    let (passed, total) = report.tally();
+    println!("validation: {passed}/{total} checks passed");
+    if !report.passed() {
+        std::process::exit(1);
     }
 }
 

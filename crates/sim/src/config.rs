@@ -1,0 +1,232 @@
+//! Network settings (§3.1).
+//!
+//! Prudentia's two standing settings: 8 Mbps ("highly-constrained", the
+//! bottom-decile country median) and 50 Mbps ("moderately-constrained",
+//! the world median broadband speed), both at a normalized 50 ms RTT with
+//! a drop-tail queue of 4×BDP rounded to a power of two.
+
+use crate::link::BottleneckConfig;
+use crate::queue::{bdp_packets, pow2_round};
+use crate::scenario::ScenarioSpec;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One emulated bottleneck setting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkSetting {
+    /// Human-readable name.
+    pub name: String,
+    /// Bottleneck rate, bits/s.
+    pub rate_bps: f64,
+    /// Normalized base RTT.
+    pub base_rtt: SimDuration,
+    /// Queue size as a multiple of the BDP (4 by default, 8 in Obs 11).
+    pub bdp_multiple: u64,
+    /// Explicit queue size in packets, overriding the BDP rule.
+    pub queue_override_pkts: Option<usize>,
+    /// Scenario at the bottleneck: queue discipline + link impairments.
+    /// The default reproduces the paper's testbed (drop-tail, static link).
+    pub scenario: ScenarioSpec,
+}
+
+/// MTU used for BDP computations.
+pub const MTU: u32 = 1500;
+
+impl NetworkSetting {
+    /// The 8 Mbps highly-constrained setting.
+    pub fn highly_constrained() -> Self {
+        NetworkSetting {
+            name: "highly-constrained (8 Mbps)".into(),
+            rate_bps: 8e6,
+            base_rtt: SimDuration::from_millis(50),
+            bdp_multiple: 4,
+            queue_override_pkts: None,
+            scenario: ScenarioSpec::default(),
+        }
+    }
+
+    /// The 50 Mbps moderately-constrained setting.
+    pub fn moderately_constrained() -> Self {
+        NetworkSetting {
+            name: "moderately-constrained (50 Mbps)".into(),
+            rate_bps: 50e6,
+            base_rtt: SimDuration::from_millis(50),
+            bdp_multiple: 4,
+            queue_override_pkts: None,
+            scenario: ScenarioSpec::default(),
+        }
+    }
+
+    /// A custom bandwidth with the standard RTT/queue rules (Fig 7 sweep).
+    pub fn custom(rate_bps: f64) -> Self {
+        NetworkSetting {
+            name: format!("{:.0} Mbps", rate_bps / 1e6),
+            rate_bps,
+            base_rtt: SimDuration::from_millis(50),
+            bdp_multiple: 4,
+            queue_override_pkts: None,
+            scenario: ScenarioSpec::default(),
+        }
+    }
+
+    /// The same setting under a different scenario. The label joins the
+    /// name (e.g. "highly-constrained (8 Mbps) \[codel\]"): the name feeds
+    /// per-trial seeds and result files, so scenario'd settings must not
+    /// collide with the legacy setting — or with each other.
+    pub fn with_scenario(mut self, scenario: ScenarioSpec, label: &str) -> Self {
+        self.name = format!("{} [{}]", self.name, label);
+        self.scenario = scenario;
+        self
+    }
+
+    /// The rate the max-min fair benchmark should assume over a trial of
+    /// `duration`: the base rate for a static link, the time-weighted mean
+    /// of the schedule for a variable-rate one. Returns `rate_bps` exactly
+    /// (same bits) when the scenario has no rate schedule.
+    pub fn effective_rate_bps(&self, duration: SimDuration) -> f64 {
+        self.scenario
+            .impairment
+            .mean_rate_bps(self.rate_bps, duration)
+    }
+
+    /// The same setting with a different queue multiple (Obs 11: 8×BDP).
+    pub fn with_bdp_multiple(mut self, m: u64) -> Self {
+        self.bdp_multiple = m;
+        self.queue_override_pkts = None;
+        self.name = format!("{} ({}xBDP)", self.name, m);
+        self
+    }
+
+    /// Queue capacity in packets under the paper's rule.
+    pub fn queue_capacity_pkts(&self) -> usize {
+        match self.queue_override_pkts {
+            Some(q) => q,
+            None => {
+                let bdp = bdp_packets(self.rate_bps, self.base_rtt.as_secs_f64(), MTU);
+                pow2_round(self.bdp_multiple * bdp) as usize
+            }
+        }
+    }
+
+    /// The bottleneck config for the engine.
+    pub fn bottleneck(&self) -> BottleneckConfig {
+        BottleneckConfig {
+            rate_bps: self.rate_bps,
+            queue_capacity_pkts: self.queue_capacity_pkts(),
+        }
+    }
+
+    /// The §3.4 stopping-rule tolerance: ±0.5 Mbps under 8 Mbps-class
+    /// links, ±1.5 Mbps otherwise.
+    pub fn ci_tolerance_bps(&self) -> f64 {
+        if self.rate_bps <= 10e6 {
+            0.5e6
+        } else {
+            1.5e6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_queue_sizes() {
+        assert_eq!(
+            NetworkSetting::highly_constrained().queue_capacity_pkts(),
+            128
+        );
+        assert_eq!(
+            NetworkSetting::moderately_constrained().queue_capacity_pkts(),
+            1024
+        );
+        assert_eq!(
+            NetworkSetting::moderately_constrained()
+                .with_bdp_multiple(8)
+                .queue_capacity_pkts(),
+            2048
+        );
+    }
+
+    #[test]
+    fn tolerances_match_paper() {
+        assert_eq!(
+            NetworkSetting::highly_constrained().ci_tolerance_bps(),
+            0.5e6
+        );
+        assert_eq!(
+            NetworkSetting::moderately_constrained().ci_tolerance_bps(),
+            1.5e6
+        );
+    }
+
+    #[test]
+    fn custom_sweeps() {
+        let s = NetworkSetting::custom(30e6);
+        assert_eq!(s.rate_bps, 30e6);
+        assert!(s.queue_capacity_pkts().is_power_of_two());
+    }
+
+    #[test]
+    fn override_wins() {
+        let mut s = NetworkSetting::highly_constrained();
+        s.queue_override_pkts = Some(77);
+        assert_eq!(s.queue_capacity_pkts(), 77);
+    }
+
+    #[test]
+    fn default_scenario_is_the_paper_testbed() {
+        let s = NetworkSetting::highly_constrained();
+        assert!(s.scenario.is_default());
+        // With no rate schedule the effective rate is bit-identical to the
+        // base rate — the byte-identity invariant for legacy trials.
+        let eff = s.effective_rate_bps(SimDuration::from_secs(60));
+        assert_eq!(eff.to_bits(), s.rate_bps.to_bits());
+    }
+
+    #[test]
+    fn with_scenario_renames_and_swaps() {
+        use crate::{ImpairmentSpec, QdiscSpec};
+        let s = NetworkSetting::highly_constrained().with_scenario(
+            ScenarioSpec {
+                qdisc: QdiscSpec::codel(),
+                impairment: ImpairmentSpec::default(),
+            },
+            "codel",
+        );
+        assert_eq!(s.name, "highly-constrained (8 Mbps) [codel]");
+        assert_eq!(s.scenario.qdisc, QdiscSpec::codel());
+        // Rate and queue sizing rules are untouched by the scenario.
+        assert_eq!(s.queue_capacity_pkts(), 128);
+    }
+
+    #[test]
+    fn effective_rate_follows_the_schedule() {
+        use crate::{ImpairmentSpec, QdiscSpec, RateStep};
+        // A one-step schedule halving the link: effective rate is the mean.
+        let mut s = NetworkSetting::highly_constrained();
+        s.scenario = ScenarioSpec {
+            qdisc: QdiscSpec::DropTail,
+            impairment: ImpairmentSpec {
+                rate_steps: vec![RateStep {
+                    at: SimDuration::from_secs(30),
+                    rate_bps: 4e6,
+                }],
+                ..ImpairmentSpec::default()
+            },
+        };
+        let eff = s.effective_rate_bps(SimDuration::from_secs(60));
+        assert!((eff - 6e6).abs() < 1.0, "half at 8, half at 4: {eff}");
+
+        // The LTE-like trace is mean-preserving by construction (its rate
+        // factors average to exactly 1), so the MmF benchmark stays
+        // comparable with the static baseline.
+        let base = NetworkSetting::highly_constrained();
+        let lte = base
+            .clone()
+            .with_scenario(ScenarioSpec::droptail_lte(base.rate_bps), "lte");
+        let eff = lte.effective_rate_bps(SimDuration::from_secs(60));
+        assert!((eff - base.rate_bps).abs() < 1.0, "LTE mean ≈ base: {eff}");
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::aqm::QueueDiscipline;
 use crate::event::{Event, EventQueue};
+use crate::invariant::InvariantGuard;
 use crate::link::{BottleneckConfig, PathSpec};
 use crate::packet::{EndpointId, FlowId, Packet, PacketKind, ServiceId};
 use crate::pcap::PcapWriter;
@@ -185,6 +186,14 @@ pub struct Engine {
     /// a registry once per trial. Recording reads only `queue.len()`, so
     /// it cannot perturb simulation outcomes.
     queue_depth: Histogram,
+    /// The experiment seed and serialized scenario, kept for repro context
+    /// in invariant-violation messages.
+    seed: u64,
+    scenario_json: String,
+    /// Self-checks run after every event (see [`crate::invariant`]).
+    /// `None` when checking is off (release builds by default). The guard
+    /// only reads simulation state, so its presence cannot change outcomes.
+    invariants: Option<InvariantGuard>,
 }
 
 impl Engine {
@@ -199,7 +208,12 @@ impl Engine {
     /// scenario's queue discipline replaces drop-tail and its impairments
     /// (rate schedule, loss, jitter, reordering) act on the link.
     pub fn with_scenario(config: BottleneckConfig, scenario: &ScenarioSpec, seed: u64) -> Self {
+        let scenario_json = scenario.to_json_compact();
+        let invariants = crate::invariant::runtime_enabled()
+            .then(|| InvariantGuard::from_json(scenario_json.clone(), seed));
         Engine {
+            seed,
+            scenario_json,
             now: SimTime::ZERO,
             events: EventQueue::new(),
             endpoints: Vec::new(),
@@ -223,7 +237,47 @@ impl Engine {
             started: false,
             events_processed: 0,
             queue_depth: Histogram::new(),
+            invariants,
         }
+    }
+
+    /// Force invariant checking on for this engine regardless of build
+    /// flavour (release builds default to off). Used by `prudentia
+    /// --validate` so the conformance sweep is guarded even when compiled
+    /// with optimizations. Must run before the first event so the
+    /// conservation ledger starts from zero; no-op if checking is already
+    /// on.
+    pub fn enable_invariants(&mut self) {
+        if self.invariants.is_none() {
+            assert!(
+                !self.started,
+                "enable_invariants must be called before the engine runs"
+            );
+            self.invariants = Some(InvariantGuard::from_json(
+                self.scenario_json.clone(),
+                self.seed,
+            ));
+        }
+    }
+
+    /// Whether this engine is running with invariant checks on.
+    pub fn invariants_enabled(&self) -> bool {
+        self.invariants.is_some()
+    }
+
+    /// The engine's packet-conservation ledger, when invariants are on:
+    /// `(arrivals, dequeues, drops, queued)`. Tests assert
+    /// `arrivals == dequeues + drops + queued` explicitly; the guard also
+    /// re-checks it after every event.
+    pub fn conservation_ledger(&self) -> Option<(u64, u64, u64, u64)> {
+        self.invariants.as_ref().map(|g| {
+            (
+                g.arrivals(),
+                g.dequeues(),
+                self.net.queue.total_drops(),
+                self.net.queue.len() as u64,
+            )
+        })
     }
 
     /// Capture packets leaving the bottleneck (the client-side view) as a
@@ -366,6 +420,9 @@ impl Engine {
             return;
         }
         if let Some(pkt) = self.net.queue.dequeue(self.now) {
+            if let Some(g) = self.invariants.as_mut() {
+                g.on_dequeue();
+            }
             let qdelay = self.now.saturating_since(pkt.enqueued_at);
             // Under a rate schedule the packet serializes at the rate in
             // effect when its transmission starts (piecewise-constant link).
@@ -423,11 +480,17 @@ impl Engine {
             }
             let (at, event) = self.events.pop().expect("peeked event vanished");
             debug_assert!(at >= self.now, "time went backwards");
+            if let Some(g) = self.invariants.as_ref() {
+                g.check_clock(at, self.now);
+            }
             self.now = at;
             self.events_processed += 1;
             match event {
                 Event::ArriveAtBottleneck(mut pkt) => {
                     pkt.enqueued_at = self.now;
+                    if let Some(g) = self.invariants.as_mut() {
+                        g.on_arrival();
+                    }
                     let res = self.net.queue.enqueue(pkt, self.now);
                     if res == EnqueueResult::Queued {
                         self.maybe_start_tx();
@@ -484,6 +547,9 @@ impl Engine {
                 Event::Timer { endpoint, token } => {
                     self.dispatch_to_endpoint(endpoint, DispatchAction::Timer(token));
                 }
+            }
+            if let Some(g) = self.invariants.as_mut() {
+                g.check_queue(self.net.queue.as_ref());
             }
         }
         if self.now < until {

@@ -24,8 +24,10 @@
 #![warn(missing_docs)]
 
 pub mod aqm;
+pub mod config;
 pub mod engine;
 pub mod event;
+pub mod invariant;
 pub mod link;
 pub mod packet;
 pub mod pcap;
@@ -36,7 +38,9 @@ pub mod time;
 pub mod trace;
 
 pub use aqm::{CoDelQueue, FqCoDelQueue, QdiscSpec, QueueDiscipline, RedQueue};
+pub use config::NetworkSetting;
 pub use engine::{Ctx, Endpoint, Engine};
+pub use invariant::InvariantGuard;
 pub use link::{BottleneckConfig, PathSpec};
 pub use packet::{EndpointId, FlowId, Packet, PacketKind, ServiceId, ACK_BYTES, MTU_BYTES};
 pub use pcap::PcapWriter;

@@ -3,9 +3,12 @@
 #![cfg(test)]
 
 use crate::aqm::{QdiscSpec, QueueDiscipline};
+use crate::engine::{Ctx, Endpoint, Engine};
 use crate::event::{Event, EventQueue};
+use crate::link::{BottleneckConfig, PathSpec};
 use crate::packet::{EndpointId, FlowId, Packet, ServiceId};
 use crate::queue::{pow2_round, DropTailQueue, EnqueueResult};
+use crate::scenario::{ImpairmentSpec, RateStep, ScenarioSpec};
 use crate::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -48,6 +51,118 @@ fn churn(
         }
     }
     (arrived, delivered, q.len() as u64)
+}
+
+/// Strategy for a random impairment schedule: loss, jitter, reordering
+/// and up to three rate steps, each in a realistic range.
+fn impairment_strategy() -> impl Strategy<Value = ImpairmentSpec> {
+    (
+        0.0f64..0.05,     // loss_prob
+        0u64..5_000_000,  // jitter, ns
+        0.0f64..0.01,     // reorder_prob
+        0u64..10_000_000, // reorder_extra, ns
+        proptest::collection::vec((100u64..3000, 1u64..16), 0..3),
+    )
+        .prop_map(
+            |(loss_prob, jitter, reorder_prob, reorder_extra, steps)| ImpairmentSpec {
+                loss_prob,
+                jitter: SimDuration::from_nanos(jitter),
+                reorder_prob,
+                reorder_extra: SimDuration::from_nanos(reorder_extra),
+                rate_steps: steps
+                    .into_iter()
+                    .map(|(at_ms, mbps)| RateStep {
+                        at: SimDuration::from_millis(at_ms),
+                        rate_bps: mbps as f64 * 1e6,
+                    })
+                    .collect(),
+                ..ImpairmentSpec::default()
+            },
+        )
+}
+
+/// Sends a burst of MTU packets every `every`, unconditionally, for the
+/// whole run — an open-loop load generator that keeps the queue under
+/// pressure regardless of drops.
+struct OpenLoopSender {
+    flow: FlowId,
+    service: ServiceId,
+    dst: EndpointId,
+    burst: u64,
+    every: SimDuration,
+    seq: u64,
+}
+
+impl Endpoint for OpenLoopSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        for _ in 0..self.burst {
+            let pkt = Packet::data(self.flow, self.service, self.dst, self.seq, 1500);
+            self.seq += 1;
+            ctx.send_data(pkt);
+        }
+        ctx.set_timer(self.every, 0);
+    }
+}
+
+/// Swallows everything (open-loop senders need no ACKs).
+struct Sink;
+
+impl Endpoint for Sink {
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_conserves_packets_under_random_impairments(
+        seed in 0u64..10_000,
+        impairment in impairment_strategy(),
+        burst in 1u64..4,
+        every_us in 500u64..5_000,
+    ) {
+        // The full engine path — scenario-built qdisc, impaired link,
+        // jittered paths — must satisfy the conservation invariant
+        // (arrivals == dequeues + drops + resident) for every discipline.
+        // The InvariantGuard audits after every event (tests run with
+        // invariants on), and the final ledger is re-checked here.
+        for qdisc in all_qdiscs() {
+            let scenario = ScenarioSpec { qdisc, impairment: impairment.clone() };
+            let mut eng = Engine::with_scenario(
+                BottleneckConfig { rate_bps: 8e6, queue_capacity_pkts: 32 },
+                &scenario,
+                seed,
+            );
+            eng.enable_invariants();
+            let flow = eng.register_flow_jittered(
+                PathSpec::symmetric(SimDuration::from_millis(20)),
+            );
+            eng.add_endpoint(Box::new(OpenLoopSender {
+                flow,
+                service: ServiceId(0),
+                dst: EndpointId(1),
+                burst,
+                every: SimDuration::from_micros(every_us),
+                seq: 0,
+            }));
+            eng.add_endpoint(Box::new(Sink));
+            eng.run_until(SimTime::from_secs(2));
+            let (arrivals, dequeues, drops, queued) =
+                eng.conservation_ledger().expect("invariants enabled");
+            prop_assert!(arrivals > 0, "no traffic reached the bottleneck");
+            prop_assert_eq!(
+                arrivals,
+                dequeues + drops + queued,
+                "conservation violated on {}",
+                eng.qdisc_kind()
+            );
+        }
+    }
 }
 
 proptest! {

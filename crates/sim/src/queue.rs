@@ -141,6 +141,12 @@ impl DropTailQueue {
         }
         self.queue.push_back(pkt);
         self.max_occupancy = self.max_occupancy.max(self.queue.len());
+        debug_assert!(
+            self.queue.len() <= self.capacity_pkts,
+            "drop-tail occupancy {} exceeds capacity {}",
+            self.queue.len(),
+            self.capacity_pkts
+        );
         EnqueueResult::Queued
     }
 

@@ -181,6 +181,12 @@ impl ScenarioSpec {
             impairment: ImpairmentSpec::lte_like(base_rate_bps),
         }
     }
+
+    /// Compact single-line JSON of this scenario, for repro messages
+    /// (invariant violations embed it next to the trial seed).
+    pub fn to_json_compact(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "<unserializable scenario>".into())
+    }
 }
 
 #[cfg(test)]

@@ -157,6 +157,38 @@ mod tests {
     }
 
     #[test]
+    fn half_width_converges_with_sample_size() {
+        // Draw from a fixed dispersed population via an LCG so the test is
+        // deterministic: the 95% median CI half-width must shrink
+        // monotonically (within a small slack) as n doubles, and end small
+        // relative to the population spread.
+        let mut state = 12345u64;
+        let mut draw = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0 // U(0, 10)
+        };
+        let pool: Vec<f64> = (0..512).map(|_| draw()).collect();
+        let widths: Vec<f64> = [16usize, 64, 256, 512]
+            .iter()
+            .map(|&n| median_ci(&pool[..n], 0.95).half_width())
+            .collect();
+        for w in widths.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.05,
+                "half-width grew with more samples: {widths:?}"
+            );
+        }
+        // Order-statistic CI of a U(0,10) median at n=512 is well under 1.
+        assert!(widths[3] < 1.0, "CI failed to tighten: {widths:?}");
+        assert!(
+            widths[3] < widths[0] / 2.0,
+            "no real convergence: {widths:?}"
+        );
+    }
+
+    #[test]
     fn bootstrap_ci_reasonable() {
         let xs: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
         let ci = bootstrap_median_ci(&xs, 0.95, 500, 7);

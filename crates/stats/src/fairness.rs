@@ -196,6 +196,34 @@ mod tests {
     }
 
     #[test]
+    fn jain_vs_mmf_on_capped_vector() {
+        // The paper's §2.2 argument by hand: YouTube capped at 13 Mbps
+        // achieving exactly its cap against an iPerf at 37 Mbps is
+        // *perfectly fair* under MmF, yet Jain (blind to demand) scores
+        // the same vector as unfair.
+        let (sa, sb) =
+            pairwise_mmf_shares(50e6, 13e6, Demand::capped(13e6), 37e6, Demand::unlimited());
+        assert!((sa - 1.0).abs() < 1e-12);
+        assert!((sb - 1.0).abs() < 1e-12);
+        // Jain on [13, 37]: (13+37)^2 / (2·(13²+37²)) = 2500/3076.
+        let j = jain_index(&[13e6, 37e6]);
+        assert!((j - 2500.0 / 3076.0).abs() < 1e-9);
+        assert!(j < 0.82, "Jain should flag this allocation as skewed");
+    }
+
+    #[test]
+    fn jain_vs_mmf_on_uncapped_vector() {
+        // Two uncapped flows at [30, 10] of 40: MmF separates winner
+        // (1.5×) from loser (0.5×); Jain collapses both into one 0.8.
+        let (sa, sb) =
+            pairwise_mmf_shares(40e6, 30e6, Demand::unlimited(), 10e6, Demand::unlimited());
+        assert!((sa - 1.5).abs() < 1e-12);
+        assert!((sb - 0.5).abs() < 1e-12);
+        // Jain: (30+10)^2 / (2·(900+100)) = 1600/2000 = 0.8.
+        assert!((jain_index(&[30e6, 10e6]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
     fn jain_bounds() {
         assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
         let skewed = jain_index(&[1.0, 0.0, 0.0]);

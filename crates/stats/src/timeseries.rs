@@ -127,6 +127,34 @@ mod tests {
     }
 
     #[test]
+    fn resampling_of_empty_series() {
+        assert!(moving_average(&[], 3).is_empty());
+        assert!(rebin_sum(&[], 4).is_empty());
+        assert!(dip_starts(&[], 0.5).is_empty());
+        assert_eq!(low_fraction(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn resampling_of_single_sample() {
+        // A lone sample passes through every resampler unchanged.
+        assert_eq!(moving_average(&[7.5], 10), vec![7.5]);
+        assert_eq!(rebin_sum(&[7.5], 1), vec![7.5]);
+        assert_eq!(rebin_sum(&[7.5], 100), vec![7.5]);
+        // One sample is its own median, so it is never "below median".
+        assert!(dip_starts(&[7.5], 0.5).is_empty());
+    }
+
+    #[test]
+    fn rebin_keeps_unaligned_tail() {
+        // 7 ticks into bins of 3: the final bin holds the 1-tick remainder
+        // rather than dropping it, and mass is conserved.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let binned = rebin_sum(&xs, 3);
+        assert_eq!(binned, vec![6.0, 15.0, 7.0]);
+        assert_eq!(binned.iter().sum::<f64>(), xs.iter().sum::<f64>());
+    }
+
+    #[test]
     fn dominant_period_of_square_wave() {
         // Period-8 square wave.
         let xs: Vec<f64> = (0..64)

@@ -233,6 +233,49 @@ impl Sender {
         }
     }
 
+    /// Transport-side invariants, gated exactly like the engine's checks
+    /// (see `prudentia_sim::invariant`): releasing `size` bytes must never
+    /// underflow the in-flight ledger. O(1) per call.
+    fn check_release(&self, size: u32, what: &str) {
+        if prudentia_sim::invariant::runtime_enabled() {
+            assert!(
+                self.inflight_bytes >= size as u64,
+                "flow {:?} ({}): {what} releases {size} bytes but only {} in flight",
+                self.flow,
+                self.cc.name(),
+                self.inflight_bytes
+            );
+        }
+    }
+
+    /// With no outstanding transmissions the in-flight ledger must read
+    /// exactly zero, and the CCA must still offer a sane window.
+    fn check_drained(&self, what: &str) {
+        if prudentia_sim::invariant::runtime_enabled() {
+            assert!(
+                !self.sent.is_empty() || self.inflight_bytes == 0,
+                "flow {:?} ({}): after {what}, nothing outstanding but {} bytes in flight",
+                self.flow,
+                self.cc.name(),
+                self.inflight_bytes
+            );
+            assert!(
+                self.cc.cwnd_bytes() >= 1,
+                "flow {:?}: {} reports a zero congestion window",
+                self.flow,
+                self.cc.name()
+            );
+            if let Some(rate) = self.cc.pacing_rate_bps() {
+                assert!(
+                    rate.is_finite() && rate >= 0.0,
+                    "flow {:?}: {} reports pacing rate {rate}",
+                    self.flow,
+                    self.cc.name()
+                );
+            }
+        }
+    }
+
     fn detect_reorder_losses(&mut self, now: SimTime) -> u64 {
         let Some(high) = self.highest_acked else {
             return 0;
@@ -246,6 +289,7 @@ impl Sender {
         let to_mark: Vec<u64> = self.sent.range(..=horizon).map(|(&t, _)| t).collect();
         for tx in to_mark {
             let info = self.sent.remove(&tx).expect("marked tx vanished");
+            self.check_release(info.size, "reorder loss");
             self.inflight_bytes = self.inflight_bytes.saturating_sub(info.size as u64);
             newly_lost += info.size as u64;
             self.rtx_queue.push_back((info.data_seq, info.size));
@@ -274,9 +318,11 @@ impl Sender {
         let txs: Vec<u64> = self.sent.keys().copied().collect();
         for tx in txs {
             let info = self.sent.remove(&tx).expect("rto tx vanished");
+            self.check_release(info.size, "RTO loss");
             self.inflight_bytes = self.inflight_bytes.saturating_sub(info.size as u64);
             self.rtx_queue.push_back((info.data_seq, info.size));
         }
+        self.check_drained("RTO");
         self.cc.on_loss(&LossSample {
             now,
             bytes_lost: inflight_before,
@@ -294,7 +340,9 @@ impl Sender {
             // retransmitted) or already acknowledged: ignore.
             return;
         };
+        self.check_release(info.size, "ACK");
         self.inflight_bytes = self.inflight_bytes.saturating_sub(info.size as u64);
+        self.check_drained("ACK");
         self.delivered += info.size as u64;
         self.rto_backoff = 0;
         self.highest_acked = Some(self.highest_acked.map_or(tx_seq, |h| h.max(tx_seq)));

@@ -13,18 +13,19 @@ BINS_EXTRA="beyond_pairwise netsettings vantage ablation_mega ablation_abr scena
 if [ "${1:-}" = "--check" ]; then
   # Discover binaries from the source tree instead of the curated run
   # lists above, so a newly added bin can never be silently skipped.
-  missing=0
+  # Fail fast: the first missing binary exits non-zero immediately so CI
+  # surfaces the culprit at the end of the log, not buried mid-listing.
   for src in crates/bench/src/bin/*.rs; do
     b=$(basename "$src" .rs)
     if [ -x target/release/$b ]; then
       echo "ok      $b"
     else
       echo "MISSING $b"
-      missing=1
+      exit 1
     fi
   done
-  [ $missing -eq 0 ] && echo ALL_BINS_PRESENT
-  exit $missing
+  echo ALL_BINS_PRESENT
+  exit 0
 fi
 
 for b in $BINS_FAST $BINS_MAIN $BINS_EXTRA; do
@@ -35,6 +36,14 @@ for b in $BINS_FAST $BINS_MAIN $BINS_EXTRA; do
   echo "=== $b ==="
   echo INCOMPLETE > results/${b}.txt
   timeout 1800 ./target/release/$b > results/${b}.txt 2>&1
-  echo "$b exit=$? ($(wc -l < results/${b}.txt) lines)"
+  rc=$?
+  echo "$b exit=$rc ($(wc -l < results/${b}.txt) lines)"
+  if [ $rc -ne 0 ]; then
+    # Keep the cache marker so a re-run retries this binary, and stop
+    # here: a broken regeneration must not scroll past.
+    echo INCOMPLETE >> results/${b}.txt
+    echo "FAILED $b (exit $rc); aborting"
+    exit $rc
+  fi
 done
 echo ALL_BINS_DONE

@@ -1,0 +1,46 @@
+//! Golden-trace regression suite (tier-1).
+//!
+//! Each CCA's solo telemetry trace — cwnd / rate / queue depth on the
+//! 100 ms tick, pinned seed and duration — must match `tests/golden/`
+//! byte for byte. Any drift in CCA arithmetic, transport bookkeeping,
+//! queue dynamics, or RNG consumption order fails here with the first
+//! differing line.
+//!
+//! To accept an intentional behaviour change, re-bless:
+//!
+//! ```text
+//! PRUDENTIA_BLESS=1 cargo test -p prudentia-check --test golden_traces
+//! # or: cargo run --release --bin prudentia -- validate --bless
+//! ```
+//!
+//! and commit the regenerated CSVs (see EXPERIMENTS.md).
+
+use prudentia_check::golden::{bless_all, compare, default_golden_dir, GOLDEN_CCAS};
+
+fn blessing() -> bool {
+    std::env::var("PRUDENTIA_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+#[test]
+fn traces_match_golden_files() {
+    let dir = default_golden_dir();
+    if blessing() {
+        let written = bless_all(&dir).expect("bless golden traces");
+        for path in written {
+            eprintln!("blessed {path}");
+        }
+        return;
+    }
+    let mut failures = Vec::new();
+    for &(kind, stem) in GOLDEN_CCAS.iter() {
+        let outcome = compare(kind, stem, &dir);
+        if let Err(e) = outcome.result {
+            failures.push(format!("{stem}: {e}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden traces drifted:\n  {}",
+        failures.join("\n  ")
+    );
+}
