@@ -126,8 +126,8 @@ fn main() {
         args.parallelism,
         args.quick,
     );
-    let (_, cold) = execute_pairs(&pairs, &config);
-    let (_, warm) = execute_pairs(&pairs, &config);
+    let (_, cold) = execute_pairs(&pairs, &config).expect("valid bench config");
+    let (_, warm) = execute_pairs(&pairs, &config).expect("valid bench config");
 
     let cold_wall = cold.wall.as_secs_f64();
     let warm_wall = warm.wall.as_secs_f64();

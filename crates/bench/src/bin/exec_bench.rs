@@ -50,7 +50,7 @@ fn main() {
         config = config.with_cache(Arc::new(TrialCache::new()));
     }
     for iter in 1..=2 {
-        let (outcomes, stats) = execute_pairs(&pairs, &config);
+        let (outcomes, stats) = execute_pairs(&pairs, &config).expect("valid bench config");
         let trials: usize = outcomes.iter().map(|o| o.trials.len()).sum();
         println!(
             "iteration {iter}: {:.2?} wall, {trials} kept trials, {} converged, \

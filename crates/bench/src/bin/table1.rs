@@ -19,7 +19,7 @@ fn main() {
     println!("{}", "-".repeat(90));
     for svc in Service::all() {
         let spec = svc.spec();
-        let solo = run_solo(&spec, &setting, 1);
+        let solo = run_solo(&spec, &setting, 1).expect("valid setting");
         let cap = spec.demand().cap_bps;
         let throttled =
             cap.is_some_and(|c| c < 0.5 * setting.rate_bps) || solo < 0.5 * setting.rate_bps;

@@ -99,7 +99,7 @@ pub fn run_pairs(pairs: &[PairSpec], mode: Mode) -> Vec<prudentia_core::PairOutc
     if let Some((c, _)) = &cache {
         config = config.with_cache(Arc::clone(c));
     }
-    let (outcomes, stats) = execute_pairs(pairs, &config);
+    let (outcomes, stats) = execute_pairs(pairs, &config).expect("valid bench config");
     eprint!("{stats}");
     if let Some((c, path)) = &cache {
         if let Err(e) = c.save(path) {

@@ -1,502 +1,17 @@
-//! The `prudentia` command-line interface.
+//! The `prudentia` binary: a thin wrapper around [`prudentia_core::cli`].
 //!
-//! ```text
-//! prudentia list                          # catalog of Table 1 services
-//! prudentia pair <contender> <incumbent>  # one pair, both settings
-//! prudentia solo <service>                # solo max-throughput probe
-//! prudentia classify <service>            # CCA classification (CCAnalyzer-style)
-//! prudentia matrix [--setting 8|50]       # all-pairs heatmap
-//! prudentia watch [--iterations N]        # the continuous watchdog loop
-//! prudentia validate [--bless]            # conformance + invariants + golden traces
-//! ```
-//!
-//! Options: `--paper` (full §3.4 protocol), `--trials N`, `--seed N`,
-//! `--parallel N`, `--cache PATH` (persist trial results so repeated
-//! matrix/watch runs skip already-simulated trials), `--stats` (print
-//! executor telemetry plus the per-phase wall-time breakdown),
-//! `--metrics PATH` (write the full metrics registry — counters, gauges,
-//! histogram quantiles, timing spans — as JSON, or CSV with a `.csv`
-//! extension), `--scenario droptail|codel|fq_codel|red|lte` (swap the
-//! bottleneck qdisc or apply the LTE-like variable-rate impairment).
-//! Service names are the catalog labels from `prudentia list`
-//! (case-insensitive). Structured JSONL event logging is controlled by
-//! the `PRUDENTIA_LOG` environment variable (RUST_LOG-style grammar,
-//! e.g. `PRUDENTIA_LOG=info,executor=debug`).
-
-use prudentia_apps::Service;
-use prudentia_core::{
-    execute_pairs, run_solo, DurationPolicy, ExecutorConfig, Heatmap, HeatmapStat, NetworkSetting,
-    PairSpec, QdiscSpec, ScenarioSpec, TrialCache, TrialPolicy, Watchdog, WatchdogConfig,
-};
-use prudentia_obs::{span, MetricsRegistry};
-use std::path::{Path, PathBuf};
-use std::sync::Arc;
-
-fn find_service(name: &str) -> Option<Service> {
-    let lname = name.to_lowercase();
-    Service::all()
-        .into_iter()
-        .chain([Service::IperfBbr415])
-        .find(|s| s.label().to_lowercase() == lname || s.spec().name().to_lowercase() == lname)
-}
-
-struct Opts {
-    paper: bool,
-    trials: Option<usize>,
-    seed: u64,
-    parallel: usize,
-    setting: Option<f64>,
-    iterations: u64,
-    cache: Option<PathBuf>,
-    stats: bool,
-    metrics: Option<PathBuf>,
-    scenario: Option<String>,
-    bless: bool,
-    golden_dir: Option<PathBuf>,
-    positional: Vec<String>,
-}
-
-fn parse_args() -> Opts {
-    let mut opts = Opts {
-        paper: false,
-        trials: None,
-        seed: 1,
-        parallel: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        setting: None,
-        iterations: 1,
-        cache: None,
-        stats: false,
-        metrics: None,
-        scenario: None,
-        bless: false,
-        golden_dir: None,
-        positional: Vec::new(),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--paper" => opts.paper = true,
-            "--trials" => {
-                opts.trials = args.next().and_then(|v| v.parse().ok());
-            }
-            "--seed" => {
-                opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
-            }
-            "--parallel" => {
-                opts.parallel = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
-            }
-            "--setting" => {
-                opts.setting = args.next().and_then(|v| v.parse().ok());
-            }
-            "--iterations" => {
-                opts.iterations = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
-            }
-            "--cache" => {
-                opts.cache = args.next().map(PathBuf::from);
-            }
-            "--stats" => opts.stats = true,
-            "--metrics" => {
-                opts.metrics = args.next().map(PathBuf::from);
-            }
-            "--scenario" => {
-                opts.scenario = args.next();
-            }
-            "--bless" => opts.bless = true,
-            "--golden-dir" => {
-                opts.golden_dir = args.next().map(PathBuf::from);
-            }
-            // `--validate` is accepted as an alias for the subcommand so CI
-            // one-liners read naturally.
-            "--validate" => opts.positional.push("validate".to_string()),
-            other => opts.positional.push(other.to_string()),
-        }
-    }
-    opts
-}
-
-fn settings_for(opts: &Opts) -> Vec<NetworkSetting> {
-    let base = match opts.setting {
-        Some(mbps) if (mbps - 8.0).abs() < 0.5 => vec![NetworkSetting::highly_constrained()],
-        Some(mbps) if (mbps - 50.0).abs() < 0.5 => {
-            vec![NetworkSetting::moderately_constrained()]
-        }
-        Some(mbps) => vec![NetworkSetting::custom(mbps * 1e6)],
-        None => vec![
-            NetworkSetting::highly_constrained(),
-            NetworkSetting::moderately_constrained(),
-        ],
-    };
-    let Some(label) = opts.scenario.as_deref() else {
-        return base;
-    };
-    base.into_iter()
-        .map(|setting| {
-            let scenario = match label {
-                // The bare legacy setting: names, seeds, and cache keys
-                // identical to runs that never passed --scenario.
-                "droptail" => return setting,
-                "codel" => ScenarioSpec {
-                    qdisc: QdiscSpec::codel(),
-                    ..ScenarioSpec::default()
-                },
-                "fq_codel" => ScenarioSpec {
-                    qdisc: QdiscSpec::fq_codel(),
-                    ..ScenarioSpec::default()
-                },
-                "red" => ScenarioSpec {
-                    qdisc: QdiscSpec::red(),
-                    ..ScenarioSpec::default()
-                },
-                "lte" => ScenarioSpec::droptail_lte(setting.rate_bps),
-                other => {
-                    eprintln!(
-                        "unknown scenario: {other} (expected droptail|codel|fq_codel|red|lte)"
-                    );
-                    std::process::exit(2);
-                }
-            };
-            setting.with_scenario(scenario, label)
-        })
-        .collect()
-}
-
-fn policy_for(opts: &Opts) -> (TrialPolicy, DurationPolicy) {
-    let mut policy = if opts.paper {
-        TrialPolicy::default()
-    } else {
-        TrialPolicy::quick()
-    };
-    if let Some(t) = opts.trials {
-        policy.min_trials = t;
-        policy.max_trials = t.max(policy.max_trials.min(t * 3));
-    }
-    let duration = if opts.paper {
-        DurationPolicy::Paper
-    } else {
-        DurationPolicy::Quick
-    };
-    (policy, duration)
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: prudentia <list|pair|solo|classify|matrix|watch|validate> [args] \
-         [--paper] [--trials N] [--seed N] [--parallel N] [--setting MBPS] \
-         [--scenario droptail|codel|fq_codel|red|lte] \
-         [--iterations N] [--cache PATH] [--stats] [--metrics PATH] \
-         [--bless] [--golden-dir PATH]"
-    );
-    std::process::exit(2)
-}
+//! All parsing, dispatch, and output live in the library so the golden
+//! CLI tests and the documentation share one implementation. See
+//! `prudentia --help` for the command reference.
 
 fn main() {
-    let opts = parse_args();
-    let Some(cmd) = opts.positional.first().cloned() else {
-        usage()
-    };
-    match cmd.as_str() {
-        "list" => cmd_list(),
-        "pair" => cmd_pair(&opts),
-        "solo" => cmd_solo(&opts),
-        "classify" => cmd_classify(&opts),
-        "matrix" => cmd_matrix(&opts),
-        "watch" => cmd_watch(&opts),
-        "validate" => cmd_validate(&opts),
-        _ => usage(),
-    }
-}
-
-fn cmd_list() {
-    println!(
-        "{:<16} {:<18} {:<22} {:>7}",
-        "label", "name", "cca", "flows"
-    );
-    for svc in Service::all().into_iter().chain([Service::IperfBbr415]) {
-        let spec = svc.spec();
-        println!(
-            "{:<16} {:<18} {:<22} {:>7}",
-            svc.label(),
-            spec.name(),
-            spec.cca_label(),
-            spec.flow_count()
-        );
-    }
-}
-
-fn cmd_pair(opts: &Opts) {
-    let [_, a, b] = &opts.positional[..] else {
-        eprintln!("pair needs two service labels (see `prudentia list`)");
-        std::process::exit(2);
-    };
-    let (Some(con), Some(inc)) = (find_service(a), find_service(b)) else {
-        eprintln!("unknown service: {a} or {b}");
-        std::process::exit(2);
-    };
-    let (policy, duration) = policy_for(opts);
-    for setting in settings_for(opts) {
-        let out =
-            prudentia_core::run_pair(&con.spec(), &inc.spec(), &setting, policy, duration, 0.0);
-        println!(
-            "{}: {} (contender) vs {} (incumbent)",
-            setting.name, out.contender, out.incumbent
-        );
-        println!(
-            "  incumbent: median {:.0}% of MmF share  (IQR {:.2}-{:.2} Mbps over {} trials{})",
-            out.incumbent_mmf_median * 100.0,
-            out.incumbent_iqr_bps.0 / 1e6,
-            out.incumbent_iqr_bps.1 / 1e6,
-            out.trials.len(),
-            if out.converged { "" } else { ", UNSTABLE" }
-        );
-        println!(
-            "  contender: median {:.0}% of MmF share;  utilization {:.0}%,  incumbent loss {:.2}%",
-            out.contender_mmf_median * 100.0,
-            out.utilization_median * 100.0,
-            out.incumbent_loss_median * 100.0
-        );
-    }
-}
-
-fn cmd_solo(opts: &Opts) {
-    let [_, name] = &opts.positional[..] else {
-        eprintln!("solo needs a service label");
-        std::process::exit(2);
-    };
-    let Some(svc) = find_service(name) else {
-        eprintln!("unknown service: {name}");
-        std::process::exit(2);
-    };
-    let setting = NetworkSetting::custom(opts.setting.map(|m| m * 1e6).unwrap_or(200e6));
-    let rate = run_solo(&svc.spec(), &setting, opts.seed);
-    println!(
-        "{} solo over {}: {:.2} Mbps",
-        svc.spec().name(),
-        setting.name,
-        rate / 1e6
-    );
-}
-
-fn cmd_classify(opts: &Opts) {
-    let [_, name] = &opts.positional[..] else {
-        eprintln!("classify needs a service label");
-        std::process::exit(2);
-    };
-    let Some(svc) = find_service(name) else {
-        eprintln!("unknown service: {name}");
-        std::process::exit(2);
-    };
-    let spec = svc.spec();
-    let features = prudentia_core::extract_features(
-        &spec,
-        &prudentia_core::ClassifierConfig::default(),
-        opts.seed,
-    );
-    println!("{}: {:?}", spec.name(), features.classify());
-    println!(
-        "  utilization {:.0}%, self-loss {:.3}%, queue mean/p90 {:.0}%/{:.0}%, \
-         dips {} (spacing {:.1}s), periodicity {}",
-        features.utilization * 100.0,
-        features.self_loss_rate * 100.0,
-        features.mean_queue_fill * 100.0,
-        features.p90_queue_fill * 100.0,
-        features.short_dips,
-        features.dip_spacing_secs,
-        match features.period_secs {
-            Some(p) => format!("{p:.1}s"),
-            None => "none".to_string(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match prudentia_core::cli::run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `prudentia --help` for usage");
+            std::process::exit(e.exit_code());
         }
-    );
-    println!("  (declared in Table 1 as: {})", spec.cca_label());
-}
-
-/// Write the registry where `--metrics` pointed: CSV for a `.csv`
-/// extension, pretty JSON otherwise.
-fn write_metrics(reg: &MetricsRegistry, path: &Path) {
-    let text = if path.extension().is_some_and(|e| e == "csv") {
-        reg.to_csv()
-    } else {
-        reg.to_json()
-    };
-    match std::fs::write(path, text) {
-        Ok(()) => eprintln!("metrics written to {}", path.display()),
-        Err(e) => eprintln!("warning: failed to write metrics {}: {e}", path.display()),
-    }
-}
-
-/// The `--stats` per-phase wall-time breakdown (from the timing spans).
-fn print_phase_breakdown() {
-    let text = prudentia_obs::span::render_breakdown();
-    if !text.is_empty() {
-        eprintln!("per-phase wall time:");
-        eprint!("{text}");
-    }
-}
-
-fn cmd_matrix(opts: &Opts) {
-    let services = Service::heatmap_set();
-    let (policy, duration) = policy_for(opts);
-    let registry = opts
-        .metrics
-        .as_ref()
-        .map(|_| Arc::new(MetricsRegistry::new()));
-    let _cmd_span = span!("matrix");
-    for setting in settings_for(opts) {
-        let mut pairs = Vec::new();
-        for a in &services {
-            for b in &services {
-                pairs.push(PairSpec {
-                    contender: a.spec(),
-                    incumbent: b.spec(),
-                    setting: setting.clone(),
-                });
-            }
-        }
-        eprintln!(
-            "running {} pairs over {} ({} workers)...",
-            pairs.len(),
-            setting.name,
-            opts.parallel
-        );
-        let mut exec = ExecutorConfig::new(policy, duration, opts.parallel);
-        if let Some(reg) = &registry {
-            exec = exec.with_metrics(Arc::clone(reg));
-        }
-        let cache = opts.cache.as_ref().map(|path| {
-            Arc::new(TrialCache::load(path).unwrap_or_else(|e| {
-                eprintln!("warning: ignoring trial cache {}: {e}", path.display());
-                TrialCache::new()
-            }))
-        });
-        if let Some(c) = &cache {
-            exec = exec.with_cache(Arc::clone(c));
-        }
-        let (outcomes, stats) = execute_pairs(&pairs, &exec);
-        if let (Some(c), Some(path)) = (&cache, &opts.cache) {
-            if let Err(e) = c.save(path) {
-                eprintln!(
-                    "warning: failed to save trial cache {}: {e}",
-                    path.display()
-                );
-            }
-        }
-        if opts.stats {
-            eprint!("{stats}");
-        }
-        let labels: Vec<String> = services
-            .iter()
-            .map(|s| s.spec().name().to_string())
-            .collect();
-        let map = Heatmap::build(HeatmapStat::MmfSharePct, &labels, &outcomes);
-        println!("{} — {}", setting.name, map.stat.title());
-        println!("{}", map.render_text());
-    }
-    if opts.stats {
-        print_phase_breakdown();
-    }
-    if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
-        write_metrics(reg, path);
-    }
-}
-
-fn cmd_validate(opts: &Opts) {
-    let golden_dir = opts
-        .golden_dir
-        .clone()
-        .unwrap_or_else(prudentia_check::default_golden_dir);
-    if opts.bless {
-        match prudentia_check::bless_all(&golden_dir) {
-            Ok(written) => {
-                for path in written {
-                    println!("blessed {path}");
-                }
-                return;
-            }
-            Err(e) => {
-                eprintln!("bless failed: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
-    eprintln!("running validation suite (conformance + invariant sweep + golden traces)...");
-    let report = prudentia_check::run_validation(&golden_dir);
-    println!("conformance:");
-    for c in &report.checks {
-        println!(
-            "  [{}] {:<36} {}",
-            if c.passed { "PASS" } else { "FAIL" },
-            c.name,
-            c.detail
-        );
-    }
-    println!("invariant sweep:");
-    for s in &report.sweep {
-        match &s.result {
-            Ok(()) => println!("  [PASS] {}", s.label),
-            Err(e) => println!("  [FAIL] {}: {e}", s.label),
-        }
-    }
-    println!("golden traces ({}):", golden_dir.display());
-    for g in report.golden.iter().chain(&report.stability) {
-        match &g.result {
-            Ok(()) => println!("  [PASS] {}", g.name),
-            Err(e) => println!("  [FAIL] {}: {e}", g.name),
-        }
-    }
-    let (passed, total) = report.tally();
-    println!("validation: {passed}/{total} checks passed");
-    if !report.passed() {
-        std::process::exit(1);
-    }
-}
-
-fn cmd_watch(opts: &Opts) {
-    let (policy, duration) = policy_for(opts);
-    let registry = opts
-        .metrics
-        .as_ref()
-        .map(|_| Arc::new(MetricsRegistry::new()));
-    let _cmd_span = span!("watch");
-    let config = WatchdogConfig {
-        settings: settings_for(opts),
-        policy,
-        duration,
-        parallelism: opts.parallel,
-        change_threshold: 0.2,
-        cache_path: opts.cache.clone(),
-        metrics: registry.clone(),
-    };
-    let services: Vec<_> = Service::heatmap_set().iter().map(|s| s.spec()).collect();
-    let mut wd = Watchdog::new(services, config);
-    for i in 1..=opts.iterations {
-        eprintln!("watchdog iteration {i}...");
-        let changes = wd.run_iteration();
-        println!(
-            "iteration {i}: {} outcomes, {} fairness changes",
-            wd.store().outcomes.len(),
-            changes.len()
-        );
-        for c in changes {
-            println!(
-                "  {} vs {} [{}]: {:.0}% -> {:.0}%",
-                c.contender,
-                c.incumbent,
-                c.setting,
-                c.before * 100.0,
-                c.after * 100.0
-            );
-        }
-        if opts.stats {
-            if let Some(stats) = wd.last_stats() {
-                eprint!("{stats}");
-            }
-        }
-    }
-    if opts.stats {
-        print_phase_breakdown();
-    }
-    if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
-        write_metrics(reg, path);
     }
 }

@@ -12,6 +12,7 @@
 //! (services, setting, durations, seed, external loss, …) changes the
 //! JSON and therefore the key.
 
+use crate::error::PrudentiaError;
 use crate::experiment::{ExperimentResult, ExperimentSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -87,11 +88,15 @@ impl TrialCache {
     /// Load a cache persisted with [`TrialCache::save`]. A missing file
     /// yields an empty cache (first run / cold start); malformed JSON is
     /// an error.
-    pub fn load(path: &Path) -> io::Result<Self> {
+    pub fn load(path: &Path) -> Result<Self, PrudentiaError> {
         let cache = TrialCache::new();
         match std::fs::read_to_string(path) {
             Ok(data) => {
-                let snap: CacheSnapshot = serde_json::from_str(&data).map_err(io::Error::other)?;
+                let snap: CacheSnapshot =
+                    serde_json::from_str(&data).map_err(|e| PrudentiaError::Json {
+                        context: format!("trial cache {}", path.display()),
+                        detail: e.to_string(),
+                    })?;
                 let mut map = cache.entries.lock().expect("poisoned");
                 for e in snap.entries {
                     map.insert(e.key, e.result);
@@ -100,12 +105,15 @@ impl TrialCache {
                 Ok(cache)
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(cache),
-            Err(e) => Err(e),
+            Err(e) => Err(PrudentiaError::io(
+                format!("trial cache {}", path.display()),
+                e,
+            )),
         }
     }
 
     /// Persist as JSON, entries sorted by key for reproducible files.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
+    pub fn save(&self, path: &Path) -> Result<(), PrudentiaError> {
         let map = self.entries.lock().expect("poisoned");
         let mut entries: Vec<CacheEntry> = map
             .iter()
@@ -116,13 +124,19 @@ impl TrialCache {
             .collect();
         drop(map);
         entries.sort_by_key(|e| e.key);
-        let json = serde_json::to_string(&CacheSnapshot { entries }).map_err(io::Error::other)?;
+        let json = serde_json::to_string(&CacheSnapshot { entries }).map_err(|e| {
+            PrudentiaError::Json {
+                context: format!("trial cache {}", path.display()),
+                detail: e.to_string(),
+            }
+        })?;
+        let write_ctx = || format!("trial cache {}", path.display());
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
+                std::fs::create_dir_all(dir).map_err(|e| PrudentiaError::io(write_ctx(), e))?;
             }
         }
-        std::fs::write(path, json)
+        std::fs::write(path, json).map_err(|e| PrudentiaError::io(write_ctx(), e))
     }
 
     /// Look up a trial, counting the hit or miss.

@@ -1,0 +1,888 @@
+//! The `prudentia` command-line interface, exposed as a library so the
+//! binary stays a thin wrapper and the golden CLI tests can exercise the
+//! exact dispatch logic.
+//!
+//! The public surface is one function, [`run`], which takes the argv
+//! tail (everything after the program name), executes one subcommand,
+//! and returns the process exit code — or a [`PrudentiaError`] whose
+//! [`PrudentiaError::exit_code`] the binary maps onto the process exit
+//! status. Subcommands:
+//!
+//! ```text
+//! prudentia run <contender> <incumbent>   # one pair, both settings
+//! prudentia run --solo <service>          # solo max-throughput probe
+//! prudentia matrix                        # all-pairs heatmap
+//! prudentia watch                         # continuous watchdog loop
+//! prudentia watch --store DIR             # resumable daemon over the durable store
+//! prudentia serve --store DIR             # HTTP status endpoint
+//! prudentia report --store DIR --out DIR  # static HTML/CSV report
+//! prudentia validate [--bless]            # conformance + invariants + golden traces
+//! prudentia list                          # catalog of Table 1 services
+//! prudentia classify <service>            # CCA classification
+//! ```
+//!
+//! Every subcommand answers `--help`. The pre-subcommand spellings
+//! (`prudentia pair`, `prudentia solo`, `--validate`) still work through
+//! a compatibility shim that prints a deprecation note to stderr while
+//! keeping stdout byte-identical to the new spelling.
+
+use crate::daemon::{Daemon, DaemonConfig, ShutdownFlag};
+use crate::error::PrudentiaError;
+use crate::serve::{serve, write_report, ServeConfig};
+use crate::{
+    execute_pairs, run_solo, DurationPolicy, ExecutorConfig, Heatmap, HeatmapStat, NetworkSetting,
+    PairSpec, QdiscSpec, ScenarioSpec, TrialCache, TrialPolicy, Watchdog, WatchdogConfig,
+};
+use prudentia_apps::Service;
+use prudentia_obs::MetricsRegistry;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const GLOBAL_HELP: &str = "\
+prudentia — an Internet fairness watchdog (simulated testbed)
+
+usage: prudentia <command> [options]
+
+commands:
+  run <contender> <incumbent>  test one pair of services (alias: pair)
+  run --solo <service>         solo max-throughput probe (alias: solo)
+  matrix                       all-pairs fairness heatmap
+  watch                        continuous watchdog loop; --store DIR for the
+                               resumable daemon over the durable store
+  serve                        HTTP status endpoint over a store (--store DIR)
+  report                       static HTML/CSV report from a store (--store DIR)
+  validate                     conformance + invariant + golden-trace suite
+  list                         catalog of Table 1 services
+  classify                     CCAnalyzer-style CCA classification
+
+common options:
+  --paper            full §3.4 protocol (default: quick)
+  --trials N         pin the minimum trial count
+  --seed N           base seed (default 1)
+  --parallel N       worker threads
+  --setting MBPS     one bottleneck setting instead of both (8 / 50 / custom)
+  --scenario KIND    droptail|codel|fq_codel|red|lte
+  --cache PATH       persistent trial cache
+  --stats            executor telemetry + per-phase wall time (stderr)
+  --metrics PATH     write metrics registry JSON (or CSV with .csv)
+
+`prudentia <command> --help` shows per-command options. Structured JSONL
+event logging via PRUDENTIA_LOG (RUST_LOG-style grammar).";
+
+const RUN_HELP: &str = "\
+usage: prudentia run <contender> <incumbent> [options]
+       prudentia run --solo <service> [options]
+
+Test one contender/incumbent pair on each configured setting, or probe a
+single service's solo throughput with --solo. Service names are catalog
+labels from `prudentia list` (case-insensitive).
+
+options: --paper --trials N --seed N --setting MBPS --scenario KIND";
+
+const MATRIX_HELP: &str = "\
+usage: prudentia matrix [options]
+
+Run the all-pairs fairness matrix and print one heatmap per setting.
+
+options:
+  --services A,B,..  subset of catalog labels (default: the Fig 2 set)
+  --paper --trials N --parallel N --setting MBPS --scenario KIND
+  --cache PATH --stats --metrics PATH";
+
+const WATCH_HELP: &str = "\
+usage: prudentia watch [options]
+
+Without --store: the in-memory continuous watchdog loop (one full matrix
+per iteration, reporting fairness changes between iterations).
+
+With --store DIR: the persistent daemon. Every pair outcome is appended
+to the durable store, scheduling is staleness-driven (never-tested pairs
+first, then oldest), progress is checkpointed, and a restarted daemon
+resumes mid-matrix without re-running completed pairs. SIGINT or the
+flag file requests a graceful stop at the next batch boundary.
+
+options:
+  --store DIR        durable results store (enables daemon mode)
+  --iterations N     cycles to run (default 1)
+  --services A,B,..  subset of catalog labels (default: the Fig 2 set)
+  --batch-pairs N    pairs per executor batch in daemon mode (default 2)
+  --max-pairs N      stop after N pairs this run (checkpoint + exit)
+  --flag-file PATH   graceful-shutdown flag file
+  --paper --trials N --parallel N --setting MBPS --scenario KIND
+  --cache PATH --stats --metrics PATH";
+
+const SERVE_HELP: &str = "\
+usage: prudentia serve --store DIR [options]
+
+Serve live watchdog status over HTTP from the durable store. Routes:
+/ (dashboard), /status, /heatmap, /heatmap.csv, /freshness, /metrics,
+/shutdown. Each request reads a fresh read-only snapshot, so a daemon
+may keep appending concurrently.
+
+options:
+  --store DIR        durable results store to serve (required)
+  --addr HOST:PORT   bind address (default 127.0.0.1:7077)
+  --services A,B,..  matrix services (default: the Fig 2 set)
+  --flag-file PATH   graceful-shutdown flag file
+  --setting MBPS --scenario KIND";
+
+const REPORT_HELP: &str = "\
+usage: prudentia report --store DIR [--out DIR] [options]
+
+Emit a static report (index.html, per-setting/statistic CSVs,
+status.json) from the durable store.
+
+options:
+  --store DIR        durable results store to read (required)
+  --out DIR          output directory (default: prudentia-report)
+  --services A,B,..  matrix services (default: the Fig 2 set)
+  --setting MBPS --scenario KIND";
+
+const VALIDATE_HELP: &str = "\
+usage: prudentia validate [--bless] [--golden-dir PATH]
+
+Run the conformance checks, the invariant sweep, and the golden-trace
+comparison. --bless rewrites the golden traces instead of checking them.";
+
+const LIST_HELP: &str = "\
+usage: prudentia list
+
+Print the catalog of Table 1 services (label, name, CCA, flow count).";
+
+const CLASSIFY_HELP: &str = "\
+usage: prudentia classify <service> [--seed N]
+
+Probe one service solo and classify its congestion-control behaviour
+from queue-occupancy dynamics (CCAnalyzer-style).";
+
+struct Opts {
+    paper: bool,
+    trials: Option<usize>,
+    seed: u64,
+    parallel: usize,
+    setting: Option<f64>,
+    iterations: u64,
+    cache: Option<PathBuf>,
+    stats: bool,
+    metrics: Option<PathBuf>,
+    scenario: Option<String>,
+    bless: bool,
+    golden_dir: Option<PathBuf>,
+    store: Option<PathBuf>,
+    addr: String,
+    out: Option<PathBuf>,
+    batch_pairs: Option<usize>,
+    max_pairs: Option<u64>,
+    flag_file: Option<PathBuf>,
+    services: Option<Vec<String>>,
+    solo: bool,
+    help: bool,
+    positional: Vec<String>,
+}
+
+fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> Result<String, PrudentiaError> {
+    args.next()
+        .ok_or_else(|| PrudentiaError::Usage(format!("{flag} needs a value")))
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, PrudentiaError> {
+    raw.parse()
+        .map_err(|_| PrudentiaError::Usage(format!("{flag}: invalid value `{raw}`")))
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, PrudentiaError> {
+    let mut opts = Opts {
+        paper: false,
+        trials: None,
+        seed: 1,
+        parallel: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        setting: None,
+        iterations: 1,
+        cache: None,
+        stats: false,
+        metrics: None,
+        scenario: None,
+        bless: false,
+        golden_dir: None,
+        store: None,
+        addr: "127.0.0.1:7077".to_string(),
+        out: None,
+        batch_pairs: None,
+        max_pairs: None,
+        flag_file: None,
+        services: None,
+        solo: false,
+        help: false,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => opts.paper = true,
+            "--trials" => opts.trials = Some(parsed("--trials", value_of("--trials", &mut it)?)?),
+            "--seed" => opts.seed = parsed("--seed", value_of("--seed", &mut it)?)?,
+            "--parallel" => {
+                opts.parallel = parsed("--parallel", value_of("--parallel", &mut it)?)?;
+            }
+            "--setting" => {
+                opts.setting = Some(parsed("--setting", value_of("--setting", &mut it)?)?);
+            }
+            "--iterations" => {
+                opts.iterations = parsed("--iterations", value_of("--iterations", &mut it)?)?;
+            }
+            "--cache" => opts.cache = Some(PathBuf::from(value_of("--cache", &mut it)?)),
+            "--stats" => opts.stats = true,
+            "--metrics" => opts.metrics = Some(PathBuf::from(value_of("--metrics", &mut it)?)),
+            "--scenario" => opts.scenario = Some(value_of("--scenario", &mut it)?),
+            "--bless" => opts.bless = true,
+            "--golden-dir" => {
+                opts.golden_dir = Some(PathBuf::from(value_of("--golden-dir", &mut it)?));
+            }
+            "--store" => opts.store = Some(PathBuf::from(value_of("--store", &mut it)?)),
+            "--addr" => opts.addr = value_of("--addr", &mut it)?,
+            "--out" => opts.out = Some(PathBuf::from(value_of("--out", &mut it)?)),
+            "--batch-pairs" => {
+                opts.batch_pairs = Some(parsed(
+                    "--batch-pairs",
+                    value_of("--batch-pairs", &mut it)?,
+                )?);
+            }
+            "--max-pairs" => {
+                opts.max_pairs = Some(parsed("--max-pairs", value_of("--max-pairs", &mut it)?)?);
+            }
+            "--flag-file" => {
+                opts.flag_file = Some(PathBuf::from(value_of("--flag-file", &mut it)?));
+            }
+            "--services" => {
+                opts.services = Some(
+                    value_of("--services", &mut it)?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--solo" => opts.solo = true,
+            "--help" | "-h" => opts.help = true,
+            other if other.starts_with("--") => {
+                return Err(PrudentiaError::Usage(format!("unknown option: {other}")));
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parse and execute one `prudentia` invocation. `args` is the argv
+/// tail (everything after the program name). Returns the process exit
+/// code on a completed run (`0` success, `1` domain failure such as a
+/// failing validation suite); errors carry their own exit codes via
+/// [`PrudentiaError::exit_code`].
+pub fn run(args: &[String]) -> Result<i32, PrudentiaError> {
+    let Some(first) = args.first().map(String::as_str) else {
+        return Err(PrudentiaError::Usage("no command given".to_string()));
+    };
+    if matches!(first, "help" | "--help" | "-h") {
+        println!("{GLOBAL_HELP}");
+        return Ok(0);
+    }
+    // The compatibility shim: pre-subcommand spellings keep working with
+    // identical stdout; the note goes to stderr only.
+    let (command, legacy_solo) = match first {
+        "pair" => {
+            eprintln!(
+                "note: `prudentia pair` is deprecated; use `prudentia run <contender> <incumbent>`"
+            );
+            ("run", false)
+        }
+        "solo" => {
+            eprintln!("note: `prudentia solo` is deprecated; use `prudentia run --solo <service>`");
+            ("run", true)
+        }
+        "--validate" => ("validate", false),
+        other => (other, false),
+    };
+    let mut opts = parse_opts(&args[1..])?;
+    opts.solo |= legacy_solo;
+    match command {
+        "run" => {
+            if opts.help {
+                println!("{RUN_HELP}");
+                return Ok(0);
+            }
+            if opts.solo {
+                cmd_solo(&opts)
+            } else {
+                cmd_run_pair(&opts)
+            }
+        }
+        "matrix" => help_or(&opts, MATRIX_HELP, cmd_matrix),
+        "watch" => help_or(&opts, WATCH_HELP, cmd_watch),
+        "serve" => help_or(&opts, SERVE_HELP, cmd_serve),
+        "report" => help_or(&opts, REPORT_HELP, cmd_report),
+        "validate" => help_or(&opts, VALIDATE_HELP, cmd_validate),
+        "list" => help_or(&opts, LIST_HELP, |_| {
+            cmd_list();
+            Ok(0)
+        }),
+        "classify" => help_or(&opts, CLASSIFY_HELP, cmd_classify),
+        other => Err(PrudentiaError::Usage(format!("unknown command: {other}"))),
+    }
+}
+
+fn help_or(
+    opts: &Opts,
+    help: &str,
+    body: impl FnOnce(&Opts) -> Result<i32, PrudentiaError>,
+) -> Result<i32, PrudentiaError> {
+    if opts.help {
+        println!("{help}");
+        Ok(0)
+    } else {
+        body(opts)
+    }
+}
+
+fn find_service(name: &str) -> Result<Service, PrudentiaError> {
+    let lname = name.to_lowercase();
+    Service::all()
+        .into_iter()
+        .chain([Service::IperfBbr415])
+        .find(|s| s.label().to_lowercase() == lname || s.spec().name().to_lowercase() == lname)
+        .ok_or_else(|| PrudentiaError::UnknownService(name.to_string()))
+}
+
+fn matrix_services(opts: &Opts) -> Result<Vec<Service>, PrudentiaError> {
+    match &opts.services {
+        None => Ok(Service::heatmap_set()),
+        Some(names) if names.is_empty() => Err(PrudentiaError::Usage(
+            "--services needs at least one label".to_string(),
+        )),
+        Some(names) => names.iter().map(|n| find_service(n)).collect(),
+    }
+}
+
+fn settings_for(opts: &Opts) -> Result<Vec<NetworkSetting>, PrudentiaError> {
+    let base = match opts.setting {
+        Some(mbps) if (mbps - 8.0).abs() < 0.5 => vec![NetworkSetting::highly_constrained()],
+        Some(mbps) if (mbps - 50.0).abs() < 0.5 => {
+            vec![NetworkSetting::moderately_constrained()]
+        }
+        Some(mbps) => vec![NetworkSetting::custom(mbps * 1e6)],
+        None => vec![
+            NetworkSetting::highly_constrained(),
+            NetworkSetting::moderately_constrained(),
+        ],
+    };
+    let Some(label) = opts.scenario.as_deref() else {
+        return Ok(base);
+    };
+    base.into_iter()
+        .map(|setting| {
+            let scenario = match label {
+                // The bare legacy setting: names, seeds, and cache keys
+                // identical to runs that never passed --scenario.
+                "droptail" => return Ok(setting),
+                "codel" => ScenarioSpec {
+                    qdisc: QdiscSpec::codel(),
+                    ..ScenarioSpec::default()
+                },
+                "fq_codel" => ScenarioSpec {
+                    qdisc: QdiscSpec::fq_codel(),
+                    ..ScenarioSpec::default()
+                },
+                "red" => ScenarioSpec {
+                    qdisc: QdiscSpec::red(),
+                    ..ScenarioSpec::default()
+                },
+                "lte" => ScenarioSpec::droptail_lte(setting.rate_bps),
+                other => {
+                    return Err(PrudentiaError::Usage(format!(
+                        "unknown scenario: {other} (expected droptail|codel|fq_codel|red|lte)"
+                    )));
+                }
+            };
+            Ok(setting.with_scenario(scenario, label))
+        })
+        .collect()
+}
+
+fn policy_for(opts: &Opts) -> (TrialPolicy, DurationPolicy) {
+    let mut policy = if opts.paper {
+        TrialPolicy::default()
+    } else {
+        TrialPolicy::quick()
+    };
+    if let Some(t) = opts.trials {
+        policy.min_trials = t;
+        policy.max_trials = t.max(policy.max_trials.min(t * 3));
+    }
+    let duration = if opts.paper {
+        DurationPolicy::Paper
+    } else {
+        DurationPolicy::Quick
+    };
+    (policy, duration)
+}
+
+fn cmd_list() {
+    println!(
+        "{:<16} {:<18} {:<22} {:>7}",
+        "label", "name", "cca", "flows"
+    );
+    for svc in Service::all().into_iter().chain([Service::IperfBbr415]) {
+        let spec = svc.spec();
+        println!(
+            "{:<16} {:<18} {:<22} {:>7}",
+            svc.label(),
+            spec.name(),
+            spec.cca_label(),
+            spec.flow_count()
+        );
+    }
+}
+
+fn cmd_run_pair(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let [a, b] = &opts.positional[..] else {
+        return Err(PrudentiaError::Usage(
+            "run needs two service labels (see `prudentia list`), or --solo with one".to_string(),
+        ));
+    };
+    let (con, inc) = (find_service(a)?, find_service(b)?);
+    let (policy, duration) = policy_for(opts);
+    for setting in settings_for(opts)? {
+        let out = crate::run_pair(&con.spec(), &inc.spec(), &setting, policy, duration, 0.0);
+        println!(
+            "{}: {} (contender) vs {} (incumbent)",
+            setting.name, out.contender, out.incumbent
+        );
+        println!(
+            "  incumbent: median {:.0}% of MmF share  (IQR {:.2}-{:.2} Mbps over {} trials{})",
+            out.incumbent_mmf_median * 100.0,
+            out.incumbent_iqr_bps.0 / 1e6,
+            out.incumbent_iqr_bps.1 / 1e6,
+            out.trials.len(),
+            if out.converged { "" } else { ", UNSTABLE" }
+        );
+        println!(
+            "  contender: median {:.0}% of MmF share;  utilization {:.0}%,  incumbent loss {:.2}%",
+            out.contender_mmf_median * 100.0,
+            out.utilization_median * 100.0,
+            out.incumbent_loss_median * 100.0
+        );
+    }
+    Ok(0)
+}
+
+fn cmd_solo(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let [name] = &opts.positional[..] else {
+        return Err(PrudentiaError::Usage(
+            "solo needs a service label".to_string(),
+        ));
+    };
+    let svc = find_service(name)?;
+    let setting = NetworkSetting::custom(opts.setting.map(|m| m * 1e6).unwrap_or(200e6));
+    let rate = run_solo(&svc.spec(), &setting, opts.seed)?;
+    println!(
+        "{} solo over {}: {:.2} Mbps",
+        svc.spec().name(),
+        setting.name,
+        rate / 1e6
+    );
+    Ok(0)
+}
+
+fn cmd_classify(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let [name] = &opts.positional[..] else {
+        return Err(PrudentiaError::Usage(
+            "classify needs a service label".to_string(),
+        ));
+    };
+    let svc = find_service(name)?;
+    let spec = svc.spec();
+    let features = crate::extract_features(&spec, &crate::ClassifierConfig::default(), opts.seed);
+    println!("{}: {:?}", spec.name(), features.classify());
+    println!(
+        "  utilization {:.0}%, self-loss {:.3}%, queue mean/p90 {:.0}%/{:.0}%, \
+         dips {} (spacing {:.1}s), periodicity {}",
+        features.utilization * 100.0,
+        features.self_loss_rate * 100.0,
+        features.mean_queue_fill * 100.0,
+        features.p90_queue_fill * 100.0,
+        features.short_dips,
+        features.dip_spacing_secs,
+        match features.period_secs {
+            Some(p) => format!("{p:.1}s"),
+            None => "none".to_string(),
+        }
+    );
+    println!("  (declared in Table 1 as: {})", spec.cca_label());
+    Ok(0)
+}
+
+/// Write the registry where `--metrics` pointed: CSV for a `.csv`
+/// extension, pretty JSON otherwise.
+fn write_metrics(reg: &MetricsRegistry, path: &Path) {
+    let text = if path.extension().is_some_and(|e| e == "csv") {
+        reg.to_csv()
+    } else {
+        reg.to_json()
+    };
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write metrics {}: {e}", path.display()),
+    }
+}
+
+/// The `--stats` per-phase wall-time breakdown (from the timing spans).
+fn print_phase_breakdown() {
+    let text = prudentia_obs::span::render_breakdown();
+    if !text.is_empty() {
+        eprintln!("per-phase wall time:");
+        eprint!("{text}");
+    }
+}
+
+fn cmd_matrix(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let services = matrix_services(opts)?;
+    let (policy, duration) = policy_for(opts);
+    let registry = opts
+        .metrics
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let _cmd_span = prudentia_obs::span!("matrix");
+    for setting in settings_for(opts)? {
+        let mut pairs = Vec::new();
+        for a in &services {
+            for b in &services {
+                pairs.push(PairSpec {
+                    contender: a.spec(),
+                    incumbent: b.spec(),
+                    setting: setting.clone(),
+                });
+            }
+        }
+        eprintln!(
+            "running {} pairs over {} ({} workers)...",
+            pairs.len(),
+            setting.name,
+            opts.parallel
+        );
+        let mut exec = ExecutorConfig::new(policy, duration, opts.parallel);
+        if let Some(reg) = &registry {
+            exec = exec.with_metrics(Arc::clone(reg));
+        }
+        let cache = opts.cache.as_ref().map(|path| {
+            Arc::new(TrialCache::load(path).unwrap_or_else(|e| {
+                eprintln!("warning: ignoring trial cache {}: {e}", path.display());
+                TrialCache::new()
+            }))
+        });
+        if let Some(c) = &cache {
+            exec = exec.with_cache(Arc::clone(c));
+        }
+        let (outcomes, stats) = execute_pairs(&pairs, &exec)?;
+        if let (Some(c), Some(path)) = (&cache, &opts.cache) {
+            if let Err(e) = c.save(path) {
+                eprintln!(
+                    "warning: failed to save trial cache {}: {e}",
+                    path.display()
+                );
+            }
+        }
+        if opts.stats {
+            eprint!("{stats}");
+        }
+        let labels: Vec<String> = services
+            .iter()
+            .map(|s| s.spec().name().to_string())
+            .collect();
+        let map = Heatmap::build(HeatmapStat::MmfSharePct, &labels, &outcomes);
+        println!("{} — {}", setting.name, map.stat.title());
+        println!("{}", map.render_text());
+    }
+    if opts.stats {
+        print_phase_breakdown();
+    }
+    if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
+        write_metrics(reg, path);
+    }
+    Ok(0)
+}
+
+fn cmd_validate(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let golden_dir = opts
+        .golden_dir
+        .clone()
+        .unwrap_or_else(prudentia_check::default_golden_dir);
+    if opts.bless {
+        match prudentia_check::bless_all(&golden_dir) {
+            Ok(written) => {
+                for path in written {
+                    println!("blessed {path}");
+                }
+                return Ok(0);
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                return Ok(1);
+            }
+        }
+    }
+    eprintln!("running validation suite (conformance + invariant sweep + golden traces)...");
+    let report = prudentia_check::run_validation(&golden_dir);
+    println!("conformance:");
+    for c in &report.checks {
+        println!(
+            "  [{}] {:<36} {}",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+    }
+    println!("invariant sweep:");
+    for s in &report.sweep {
+        match &s.result {
+            Ok(()) => println!("  [PASS] {}", s.label),
+            Err(e) => println!("  [FAIL] {}: {e}", s.label),
+        }
+    }
+    println!("golden traces ({}):", golden_dir.display());
+    for g in report.golden.iter().chain(&report.stability) {
+        match &g.result {
+            Ok(()) => println!("  [PASS] {}", g.name),
+            Err(e) => println!("  [FAIL] {}: {e}", g.name),
+        }
+    }
+    let (passed, total) = report.tally();
+    println!("validation: {passed}/{total} checks passed");
+    Ok(if report.passed() { 0 } else { 1 })
+}
+
+fn cmd_watch(opts: &Opts) -> Result<i32, PrudentiaError> {
+    if opts.store.is_some() {
+        return cmd_watch_daemon(opts);
+    }
+    let (policy, duration) = policy_for(opts);
+    let registry = opts
+        .metrics
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let _cmd_span = prudentia_obs::span!("watch");
+    let config = WatchdogConfig {
+        settings: settings_for(opts)?,
+        policy,
+        duration,
+        parallelism: opts.parallel,
+        change_threshold: 0.2,
+        cache_path: opts.cache.clone(),
+        metrics: registry.clone(),
+    };
+    let services: Vec<_> = matrix_services(opts)?.iter().map(|s| s.spec()).collect();
+    let mut wd = Watchdog::new(services, config);
+    for i in 1..=opts.iterations {
+        eprintln!("watchdog iteration {i}...");
+        let changes = wd.run_iteration();
+        println!(
+            "iteration {i}: {} outcomes, {} fairness changes",
+            wd.store().outcomes.len(),
+            changes.len()
+        );
+        for c in changes {
+            println!(
+                "  {} vs {} [{}]: {:.0}% -> {:.0}%",
+                c.contender,
+                c.incumbent,
+                c.setting,
+                c.before * 100.0,
+                c.after * 100.0
+            );
+        }
+        if opts.stats {
+            if let Some(stats) = wd.last_stats() {
+                eprint!("{stats}");
+            }
+        }
+    }
+    if opts.stats {
+        print_phase_breakdown();
+    }
+    if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
+        write_metrics(reg, path);
+    }
+    Ok(0)
+}
+
+fn cmd_watch_daemon(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let store_dir = opts.store.clone().expect("caller checked --store");
+    let (policy, duration) = policy_for(opts);
+    let registry = opts
+        .metrics
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let _cmd_span = prudentia_obs::span!("watch-daemon");
+    let mut builder = WatchdogConfig::builder()
+        .settings(settings_for(opts)?)
+        .policy(policy)
+        .duration(duration)
+        .parallelism(opts.parallel)
+        .change_threshold(0.2);
+    if let Some(path) = &opts.cache {
+        builder = builder.cache_path(path.clone());
+    }
+    if let Some(reg) = &registry {
+        builder = builder.metrics(Arc::clone(reg));
+    }
+    let mut config = DaemonConfig::new(store_dir);
+    config.watchdog = builder.build()?;
+    if let Some(batch) = opts.batch_pairs {
+        config.batch_pairs = batch;
+    }
+    config.max_pairs_per_run = opts.max_pairs;
+
+    let services: Vec<_> = matrix_services(opts)?.iter().map(|s| s.spec()).collect();
+    let mut daemon = Daemon::open(services, config)?;
+    let flag = match &opts.flag_file {
+        Some(path) => ShutdownFlag::with_flag_file(path.clone()),
+        None => ShutdownFlag::new(),
+    };
+    ShutdownFlag::install_sigint_handler();
+    daemon.set_shutdown(flag);
+
+    for i in 1..=opts.iterations {
+        eprintln!("daemon cycle pass {i}...");
+        let report = daemon.run_cycle()?;
+        println!(
+            "cycle {}: {} pairs, {} already done, {} executed",
+            report.cycle, report.pairs_total, report.pairs_already_done, report.pairs_executed
+        );
+        if report.interrupted {
+            println!("interrupted; checkpoint saved — rerun with --store to resume");
+            break;
+        }
+        if opts.stats {
+            print_phase_breakdown();
+        }
+    }
+    if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
+        write_metrics(reg, path);
+    }
+    Ok(0)
+}
+
+fn serve_config(opts: &Opts, command: &str) -> Result<ServeConfig, PrudentiaError> {
+    let Some(store_dir) = opts.store.clone() else {
+        return Err(PrudentiaError::Usage(format!(
+            "{command} needs --store DIR (the durable results store)"
+        )));
+    };
+    Ok(ServeConfig {
+        addr: opts.addr.clone(),
+        store_dir,
+        services: matrix_services(opts)?.iter().map(|s| s.spec()).collect(),
+        settings: settings_for(opts)?,
+    })
+}
+
+fn cmd_serve(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let config = serve_config(opts, "serve")?;
+    let flag = match &opts.flag_file {
+        Some(path) => ShutdownFlag::with_flag_file(path.clone()),
+        None => ShutdownFlag::new(),
+    };
+    ShutdownFlag::install_sigint_handler();
+    serve(&config, &flag)?;
+    eprintln!("prudentia serve: shut down");
+    Ok(0)
+}
+
+fn cmd_report(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let config = serve_config(opts, "report")?;
+    let out_dir = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("prudentia-report"));
+    let written = write_report(&config, &out_dir)?;
+    for name in written {
+        println!("wrote {}", out_dir.join(name).display());
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_command_is_a_usage_error() {
+        let err = run(&[]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_service_maps_to_its_own_exit_code() {
+        let err = run(&args(&["classify", "nosuch"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn missing_flag_value_is_reported() {
+        let err = run(&args(&["matrix", "--trials"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--trials"));
+    }
+
+    #[test]
+    fn bad_flag_value_is_reported() {
+        let err = run(&args(&["matrix", "--trials", "many"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("many"));
+    }
+
+    #[test]
+    fn serve_requires_a_store() {
+        let err = run(&args(&["serve"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--store"));
+    }
+
+    #[test]
+    fn help_paths_succeed() {
+        assert_eq!(run(&args(&["--help"])).unwrap(), 0);
+        for cmd in [
+            "run", "matrix", "watch", "serve", "report", "validate", "list", "classify",
+        ] {
+            assert_eq!(run(&args(&[cmd, "--help"])).unwrap(), 0, "{cmd} --help");
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_usage_error() {
+        let opts = parse_opts(&args(&["--scenario", "tbf"])).unwrap();
+        let err = settings_for(&opts).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn services_subset_parses_and_validates() {
+        let opts = parse_opts(&args(&["--services", "iperf-cubic, iperf-reno"])).unwrap();
+        let svcs = matrix_services(&opts).expect("known labels");
+        assert_eq!(svcs.len(), 2);
+        let opts = parse_opts(&args(&["--services", "iperf-cubic,unheard-of"])).unwrap();
+        let err = matrix_services(&opts).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+    }
+}

@@ -6,4 +6,4 @@
 //! [`prudentia_sim::config`]. This module keeps every existing
 //! `prudentia_core::config::…` path working.
 
-pub use prudentia_sim::config::{NetworkSetting, MTU};
+pub use prudentia_sim::config::{NetworkSetting, NetworkSettingBuilder, MTU};

@@ -1,0 +1,148 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Long-lived operation forced the API cleanup the ad-hoc seed code
+//! dodged: a daemon cannot `panic!` its way out of a truncated cache
+//! file or a mistyped service label. Every public crate-boundary
+//! function (`execute_pairs`, `run_solo`, cache/store/result-store I/O,
+//! CLI parsing) returns [`PrudentiaError`], and the CLI maps each
+//! variant to a distinct process exit code so wrapper scripts can react
+//! without parsing stderr.
+
+use prudentia_store::StoreError;
+use std::fmt;
+use std::io;
+
+/// Every failure a public `prudentia-core` API can report.
+#[derive(Debug)]
+pub enum PrudentiaError {
+    /// Command-line usage error (unknown subcommand, missing operand,
+    /// malformed flag value). Exit code 2, matching the long-standing
+    /// `usage()` behaviour.
+    Usage(String),
+    /// A service label did not match the Table 1 catalog. Exit code 3.
+    UnknownService(String),
+    /// Filesystem I/O outside the durable store (cache files, metrics
+    /// exports, report output). Exit code 4.
+    Io {
+        /// What was being read or written.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// JSON encode/decode failure on a cache or result file. Exit code 4.
+    Json {
+        /// The file or structure involved.
+        context: String,
+        /// Parser/serializer detail.
+        detail: String,
+    },
+    /// The durable results store refused an operation (corruption,
+    /// format-version mismatch, payload schema problems). Exit code 5.
+    Store(StoreError),
+    /// A configuration failed validation (builder `build()`, executor
+    /// config checks, daemon settings). Exit code 6.
+    InvalidConfig(String),
+    /// The status server could not bind or serve. Exit code 7.
+    Serve(String),
+}
+
+impl PrudentiaError {
+    /// Wrap an I/O error with the operation that produced it.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        PrudentiaError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// The process exit code the CLI uses for this variant. Distinct
+    /// per family so scripts can distinguish "bad invocation" from
+    /// "store corrupt" without scraping messages; `0` is success and
+    /// `1` is reserved for domain failures (e.g. failed validation).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            PrudentiaError::Usage(_) => 2,
+            PrudentiaError::UnknownService(_) => 3,
+            PrudentiaError::Io { .. } | PrudentiaError::Json { .. } => 4,
+            PrudentiaError::Store(_) => 5,
+            PrudentiaError::InvalidConfig(_) => 6,
+            PrudentiaError::Serve(_) => 7,
+        }
+    }
+}
+
+impl fmt::Display for PrudentiaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrudentiaError::Usage(msg) => write!(f, "usage: {msg}"),
+            PrudentiaError::UnknownService(name) => {
+                write!(f, "unknown service: {name} (see `prudentia list`)")
+            }
+            PrudentiaError::Io { context, source } => write!(f, "I/O ({context}): {source}"),
+            PrudentiaError::Json { context, detail } => write!(f, "JSON ({context}): {detail}"),
+            PrudentiaError::Store(e) => write!(f, "{e}"),
+            PrudentiaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PrudentiaError::Serve(msg) => write!(f, "status server: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PrudentiaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrudentiaError::Io { source, .. } => Some(source),
+            PrudentiaError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for PrudentiaError {
+    fn from(e: StoreError) -> Self {
+        PrudentiaError::Store(e)
+    }
+}
+
+impl From<prudentia_sim::config::ConfigError> for PrudentiaError {
+    fn from(e: prudentia_sim::config::ConfigError) -> Self {
+        PrudentiaError::InvalidConfig(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_family() {
+        let errs = [
+            PrudentiaError::Usage("x".into()),
+            PrudentiaError::UnknownService("x".into()),
+            PrudentiaError::io("x", io::Error::other("y")),
+            PrudentiaError::Store(StoreError::FormatVersion {
+                found: 9,
+                expected: 1,
+            }),
+            PrudentiaError::InvalidConfig("x".into()),
+            PrudentiaError::Serve("x".into()),
+        ];
+        let codes: Vec<i32> = errs.iter().map(|e| e.exit_code()).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(codes.len(), dedup.len(), "{codes:?}");
+        assert!(codes.iter().all(|&c| c >= 2), "0/1 reserved: {codes:?}");
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = PrudentiaError::UnknownService("Netscape".into());
+        assert!(e.to_string().contains("Netscape"));
+        let e = PrudentiaError::from(StoreError::FormatVersion {
+            found: 2,
+            expected: 1,
+        });
+        assert!(e.to_string().contains("format version"));
+        assert_eq!(e.exit_code(), 5);
+    }
+}

@@ -33,6 +33,7 @@
 //! fold, so they cost wall time but cannot change results.
 
 use crate::cache::{trial_key, TrialCache};
+use crate::error::PrudentiaError;
 use crate::experiment::ExperimentResult;
 use crate::runner::run_experiment_observed;
 use crate::scheduler::{
@@ -87,6 +88,96 @@ impl ExecutorConfig {
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(metrics);
         self
+    }
+
+    /// Start a builder (validated construction; see
+    /// [`ExecutorConfigBuilder`]).
+    pub fn builder() -> ExecutorConfigBuilder {
+        ExecutorConfigBuilder {
+            config: ExecutorConfig::new(TrialPolicy::default(), DurationPolicy::Paper, 1),
+        }
+    }
+
+    /// Check the config against the executor's requirements: at least
+    /// one worker, a satisfiable trial policy, and an external-loss
+    /// probability (not a percentage).
+    pub fn validate(&self) -> Result<(), PrudentiaError> {
+        let p = self.policy;
+        if p.min_trials == 0 || p.batch == 0 || p.max_trials == 0 {
+            return Err(PrudentiaError::InvalidConfig(format!(
+                "trial policy counts must be >= 1 (min {}, batch {}, max {})",
+                p.min_trials, p.batch, p.max_trials
+            )));
+        }
+        if p.min_trials > p.max_trials {
+            return Err(PrudentiaError::InvalidConfig(format!(
+                "trial policy min_trials {} exceeds max_trials {}",
+                p.min_trials, p.max_trials
+            )));
+        }
+        if self.parallelism == 0 {
+            return Err(PrudentiaError::InvalidConfig(
+                "parallelism must be >= 1".to_string(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.external_loss) {
+            return Err(PrudentiaError::InvalidConfig(format!(
+                "external loss must be a probability in [0, 1), got {}",
+                self.external_loss
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ExecutorConfig`]; `build()` validates so a daemon
+/// rejects a bad config at startup instead of mid-matrix.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfigBuilder {
+    config: ExecutorConfig,
+}
+
+impl ExecutorConfigBuilder {
+    /// Set the trial-count policy.
+    pub fn policy(mut self, policy: TrialPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Set the experiment length policy.
+    pub fn duration(mut self, duration: DurationPolicy) -> Self {
+        self.config.duration = duration;
+        self
+    }
+
+    /// Set the worker-thread count.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.parallelism = workers;
+        self
+    }
+
+    /// Set the injected external-loss probability.
+    pub fn external_loss(mut self, loss: f64) -> Self {
+        self.config.external_loss = loss;
+        self
+    }
+
+    /// Attach a trial cache.
+    pub fn cache(mut self, cache: Arc<TrialCache>) -> Self {
+        self.config.cache = Some(cache);
+        self
+    }
+
+    /// Attach a metrics registry.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.config.metrics = Some(metrics);
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ExecutorConfig, PrudentiaError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -397,10 +488,24 @@ impl Shared {
 
 /// Run every pair to completion on a continuously-fed worker pool and
 /// return outcomes (in input order) plus run telemetry.
+///
+/// Fails fast — before any trial is issued — if the config does not
+/// [validate](ExecutorConfig::validate) or a pair's setting is
+/// malformed, so a daemon cannot burn a matrix worth of simulation on a
+/// config typo.
 pub fn execute_pairs(
     pairs: &[PairSpec],
     config: &ExecutorConfig,
-) -> (Vec<PairOutcome>, SchedulerStats) {
+) -> Result<(Vec<PairOutcome>, SchedulerStats), PrudentiaError> {
+    config.validate()?;
+    for p in pairs {
+        if !p.setting.rate_bps.is_finite() || p.setting.rate_bps <= 0.0 {
+            return Err(PrudentiaError::InvalidConfig(format!(
+                "setting '{}' has non-positive rate {} bps",
+                p.setting.name, p.setting.rate_bps
+            )));
+        }
+    }
     let t0 = Instant::now();
     prudentia_obs::event!(
         prudentia_obs::Level::Debug,
@@ -634,7 +739,7 @@ pub fn execute_pairs(
         trials_discarded = stats.trials_discarded as u64,
         wall_ms = stats.wall.as_millis() as u64,
     );
-    (outcomes, stats)
+    Ok((outcomes, stats))
 }
 
 #[cfg(test)]
@@ -666,7 +771,7 @@ mod tests {
             pair(Service::IperfReno, Service::IperfCubic),
         ];
         let cfg = ExecutorConfig::new(tiny_policy(), DurationPolicy::Quick, 4);
-        let (outcomes, stats) = execute_pairs(&pairs, &cfg);
+        let (outcomes, stats) = execute_pairs(&pairs, &cfg).unwrap();
         assert_eq!(outcomes.len(), 2);
         assert_eq!(outcomes[0].contender, "iPerf (Cubic)");
         assert_eq!(outcomes[1].contender, "iPerf (Reno)");
@@ -687,9 +792,9 @@ mod tests {
         let cache = Arc::new(TrialCache::new());
         let cfg = ExecutorConfig::new(tiny_policy(), DurationPolicy::Quick, 2)
             .with_cache(Arc::clone(&cache));
-        let (cold, cold_stats) = execute_pairs(&pairs, &cfg);
+        let (cold, cold_stats) = execute_pairs(&pairs, &cfg).unwrap();
         assert!(cold_stats.trials_run > 0);
-        let (warm, warm_stats) = execute_pairs(&pairs, &cfg);
+        let (warm, warm_stats) = execute_pairs(&pairs, &cfg).unwrap();
         assert_eq!(warm_stats.trials_run, 0, "all trials memoized");
         assert!(warm_stats.cache_hit_rate() > 0.99);
         assert_eq!(
@@ -704,7 +809,7 @@ mod tests {
         let pairs = vec![pair(Service::IperfCubic, Service::IperfReno)];
         let mut cfg = ExecutorConfig::new(tiny_policy(), DurationPolicy::Quick, 2);
         cfg.external_loss = 0.01; // 1% >> the 0.05% discard threshold
-        let (outcomes, stats) = execute_pairs(&pairs, &cfg);
+        let (outcomes, stats) = execute_pairs(&pairs, &cfg).unwrap();
         // Every trial is discarded; the valve caps index issue at 4x max.
         assert_eq!(outcomes[0].trials.len(), 0);
         assert!(!outcomes[0].converged);
@@ -715,7 +820,7 @@ mod tests {
     fn display_is_printable() {
         let pairs = vec![pair(Service::IperfCubic, Service::IperfReno)];
         let cfg = ExecutorConfig::new(tiny_policy(), DurationPolicy::Quick, 1);
-        let (_, stats) = execute_pairs(&pairs, &cfg);
+        let (_, stats) = execute_pairs(&pairs, &cfg).unwrap();
         let text = stats.to_string();
         assert!(text.contains("executor: 1 pairs"));
         assert!(text.contains("per-trial wall"));

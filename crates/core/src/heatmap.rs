@@ -41,6 +41,16 @@ impl HeatmapStat {
             HeatmapStat::QueueingDelayMs => "median incumbent queueing delay (ms)",
         }
     }
+
+    /// Stable identifier for file names and machine-readable output.
+    pub fn slug(self) -> &'static str {
+        match self {
+            HeatmapStat::MmfSharePct => "mmf_share",
+            HeatmapStat::UtilizationPct => "utilization",
+            HeatmapStat::LossRatePct => "loss_rate",
+            HeatmapStat::QueueingDelayMs => "queueing_delay",
+        }
+    }
 }
 
 /// A rendered heatmap.

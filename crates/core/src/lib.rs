@@ -32,11 +32,14 @@
 //! );
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod classifier;
+pub mod cli;
 pub mod config;
+pub mod daemon;
+pub mod error;
 pub mod executor;
 pub mod experiment;
 pub mod heatmap;
@@ -44,13 +47,21 @@ pub mod report;
 pub mod results;
 pub mod runner;
 pub mod scheduler;
+pub mod serve;
 pub mod submissions;
 pub mod watchdog;
 
 pub use cache::{trial_key, TrialCache, SPEC_SCHEMA_VERSION};
 pub use classifier::{classify_service, extract_features, CcaClass, CcaFeatures, ClassifierConfig};
 pub use config::NetworkSetting;
-pub use executor::{execute_pairs, ExecutorConfig, PairStats, SchedulerStats};
+pub use daemon::{
+    Checkpoint, CycleReport, Daemon, DaemonConfig, PairRecord, ShutdownFlag,
+    CHECKPOINT_SCHEMA_VERSION,
+};
+pub use error::PrudentiaError;
+pub use executor::{
+    execute_pairs, ExecutorConfig, ExecutorConfigBuilder, PairStats, SchedulerStats,
+};
 pub use experiment::{
     AppSummary, ExperimentResult, ExperimentSpec, QueuePoint, SeriesPoint, SideResult,
 };
@@ -66,7 +77,30 @@ pub use runner::{
 pub use scheduler::{
     run_pair, run_pairs_parallel, trial_seed, DurationPolicy, PairOutcome, PairSpec, TrialPolicy,
 };
+pub use serve::{serve, write_report, ServeConfig, StatusBody};
 pub use submissions::{
     ReportLine, SubmissionDesk, SubmissionError, SubmissionReport, Verdict, SUBMISSIONS_PER_CODE,
 };
-pub use watchdog::{FairnessChange, Watchdog, WatchdogConfig};
+pub use watchdog::{
+    pair_store_key, staleness_order, FairnessChange, PairFreshness, Watchdog, WatchdogConfig,
+    WatchdogConfigBuilder,
+};
+
+/// The convenience prelude: `use prudentia_core::prelude::*;` pulls in
+/// everything needed for the common workflows — running experiments and
+/// pairs, building heatmaps, driving the watchdog or the persistent
+/// daemon, and serving or reporting from the durable store.
+pub mod prelude {
+    pub use crate::config::{NetworkSetting, NetworkSettingBuilder};
+    pub use crate::daemon::{Daemon, DaemonConfig, ShutdownFlag};
+    pub use crate::error::PrudentiaError;
+    pub use crate::executor::{execute_pairs, ExecutorConfig, ExecutorConfigBuilder};
+    pub use crate::experiment::{ExperimentResult, ExperimentSpec};
+    pub use crate::heatmap::{Heatmap, HeatmapStat};
+    pub use crate::runner::{run_experiment, run_solo};
+    pub use crate::scheduler::{run_pair, DurationPolicy, PairOutcome, PairSpec, TrialPolicy};
+    pub use crate::serve::{serve, write_report, ServeConfig};
+    pub use crate::watchdog::{Watchdog, WatchdogConfig, WatchdogConfigBuilder};
+    pub use prudentia_apps::{Service, ServiceSpec};
+    pub use prudentia_store::{Snapshot, Store};
+}

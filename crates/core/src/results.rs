@@ -4,9 +4,9 @@
 //! serializes pair outcomes to JSON so regeneration binaries can share
 //! all-pairs data (Figs 2, 11, 12, 13 all derive from one all-pairs run).
 
+use crate::error::PrudentiaError;
 use crate::scheduler::PairOutcome;
 use serde::{Deserialize, Serialize};
-use std::io;
 use std::path::Path;
 
 /// A collection of pair outcomes plus provenance.
@@ -44,16 +44,24 @@ impl ResultStore {
             .find(|o| o.contender == contender && o.incumbent == incumbent && o.setting == setting)
     }
 
-    /// Persist as pretty JSON.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+    /// Persist as JSON.
+    pub fn save(&self, path: &Path) -> Result<(), PrudentiaError> {
+        let json = serde_json::to_string(self).map_err(|e| PrudentiaError::Json {
+            context: format!("result store {}", path.display()),
+            detail: e.to_string(),
+        })?;
         std::fs::write(path, json)
+            .map_err(|e| PrudentiaError::io(format!("result store {}", path.display()), e))
     }
 
     /// Load from JSON.
-    pub fn load(path: &Path) -> io::Result<Self> {
-        let data = std::fs::read_to_string(path)?;
-        serde_json::from_str(&data).map_err(io::Error::other)
+    pub fn load(path: &Path) -> Result<Self, PrudentiaError> {
+        let data = std::fs::read_to_string(path)
+            .map_err(|e| PrudentiaError::io(format!("result store {}", path.display()), e))?;
+        serde_json::from_str(&data).map_err(|e| PrudentiaError::Json {
+            context: format!("result store {}", path.display()),
+            detail: e.to_string(),
+        })
     }
 
     /// Pairs that failed the stopping rule (Obs 15's unstable services).

@@ -1,5 +1,6 @@
 //! Executes one experiment trial on a fresh engine.
 
+use crate::error::PrudentiaError;
 use crate::experiment::{
     AppSummary, ExperimentResult, ExperimentSpec, QueuePoint, SeriesPoint, SideResult,
 };
@@ -174,15 +175,29 @@ pub fn run_experiment_observed(
 
 /// Run a service alone ("solo", §3.1: used to detect upstream throttling
 /// and to measure Table 1's Max Xput column).
-pub fn run_solo(spec: &ServiceSpec, setting: &crate::config::NetworkSetting, seed: u64) -> f64 {
+///
+/// Returns [`PrudentiaError::InvalidConfig`] when the setting's link rate
+/// is non-finite or non-positive (the simulator would otherwise hang or
+/// divide by zero deep inside the engine).
+pub fn run_solo(
+    spec: &ServiceSpec,
+    setting: &crate::config::NetworkSetting,
+    seed: u64,
+) -> Result<f64, PrudentiaError> {
+    if !setting.rate_bps.is_finite() || setting.rate_bps <= 0.0 {
+        return Err(PrudentiaError::InvalidConfig(format!(
+            "setting '{}' has invalid link rate {} bps",
+            setting.name, setting.rate_bps
+        )));
+    }
     let mut engine = Engine::with_scenario(setting.bottleneck(), &setting.scenario, seed);
     let inst = build_service(spec, &mut engine, SVC_A, setting.base_rtt);
     let duration = SimTime::from_secs(180);
     engine.run_until(duration);
     let _ = inst;
-    engine
+    Ok(engine
         .trace()
-        .mean_bps(SVC_A, SimTime::from_secs(60), duration)
+        .mean_bps(SVC_A, SimTime::from_secs(60), duration))
 }
 
 fn summarize_app(app: &AppHandle) -> AppSummary {
@@ -313,7 +328,8 @@ mod tests {
             &Service::GoogleMeet.spec(),
             &NetworkSetting::moderately_constrained(),
             2,
-        );
+        )
+        .expect("valid setting");
         assert!(
             rate > 0.8e6 && rate < 2.2e6,
             "Meet solo ≈ its 1.5 Mbps cap: {rate}"

@@ -134,6 +134,12 @@ pub fn trial_seed(contender: &str, incumbent: &str, setting: &str, trial: usize)
 }
 
 /// Run one pair under the adaptive-trials policy (single worker).
+///
+/// Legacy convenience wrapper over [`execute_pairs`]: it keeps its
+/// infallible signature for the regeneration binaries and panics on a
+/// config the executor would reject (an unsatisfiable `policy` or an
+/// `external_loss` outside `[0, 1)`). Fallible callers should build an
+/// [`ExecutorConfig`] and call [`execute_pairs`] directly.
 pub fn run_pair(
     contender: &ServiceSpec,
     incumbent: &ServiceSpec,
@@ -149,7 +155,7 @@ pub fn run_pair(
     }];
     let mut config = ExecutorConfig::new(policy, duration, 1);
     config.external_loss = external_loss;
-    let (mut outcomes, _) = execute_pairs(&pairs, &config);
+    let (mut outcomes, _) = execute_pairs(&pairs, &config).expect("run_pair: invalid config");
     outcomes.pop().expect("one pair in, one outcome out")
 }
 
@@ -209,14 +215,19 @@ pub struct PairSpec {
 /// (the paper's interleaving) and each pair's stopping rule is
 /// re-evaluated as trials land, so converged pairs stop issuing work
 /// immediately. Results are identical for any `parallelism`.
+///
+/// Legacy convenience wrapper: like [`run_pair`] it keeps an infallible
+/// signature and panics on a config [`execute_pairs`] would reject.
 pub fn run_pairs_parallel(
     pairs: &[PairSpec],
     policy: TrialPolicy,
     duration: DurationPolicy,
     parallelism: usize,
 ) -> Vec<PairOutcome> {
-    let config = ExecutorConfig::new(policy, duration, parallelism);
-    execute_pairs(pairs, &config).0
+    let config = ExecutorConfig::new(policy, duration, parallelism.max(1));
+    execute_pairs(pairs, &config)
+        .expect("run_pairs_parallel: invalid config")
+        .0
 }
 
 /// Wall-clock of a full iteration (informational, mirrors the paper's "a

@@ -1,0 +1,567 @@
+//! The watchdog's public read path: a zero-dependency HTTP status
+//! endpoint (`prudentia serve`) and a static HTML/CSV report generator
+//! (`prudentia report`).
+//!
+//! Prudentia "publishes the data of every experiment on its website"
+//! (§1); this module is that surface over the durable store. The server
+//! is deliberately minimal — `std::net::TcpListener`, blocking accept
+//! loop with a poll interval, HTTP/1.0-style responses — because the
+//! container has no HTTP dependencies and the endpoint serves one
+//! operator, not the public internet. Every request reads a fresh
+//! read-only [`Snapshot`] of the store, so a live daemon can keep
+//! appending while the server answers.
+//!
+//! Routes:
+//!
+//! | route          | payload                                            |
+//! |----------------|----------------------------------------------------|
+//! | `/`            | HTML dashboard (status, heatmaps, freshness)       |
+//! | `/status`      | daemon status JSON (cycle, progress, watermarks)   |
+//! | `/heatmap`     | all four heatmap statistics as JSON                |
+//! | `/heatmap.csv` | Fig 2 MmF-share heatmap as CSV                     |
+//! | `/freshness`   | per-pair freshness JSON (staleness scheduler view) |
+//! | `/metrics`     | store-level counters JSON                          |
+//! | `/shutdown`    | request graceful shutdown of the server            |
+
+use crate::config::NetworkSetting;
+use crate::daemon::{
+    freshness, full_matrix, heatmaps, latest_checkpoint, Checkpoint, ShutdownFlag,
+};
+use crate::error::PrudentiaError;
+use crate::heatmap::{Heatmap, HeatmapStat};
+use crate::watchdog::PairFreshness;
+use prudentia_apps::ServiceSpec;
+use prudentia_store::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Configuration for [`serve`] and [`write_report`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7077`.
+    pub addr: String,
+    /// Durable store directory to read.
+    pub store_dir: PathBuf,
+    /// Services of the matrix (labels and freshness rows).
+    pub services: Vec<ServiceSpec>,
+    /// Settings of the matrix.
+    pub settings: Vec<NetworkSetting>,
+}
+
+/// Daemon status as served at `/status`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusBody {
+    /// Always `"prudentia"`.
+    pub service: String,
+    /// `prudentia-core` version answering.
+    pub version: String,
+    /// Store directory being served.
+    pub store_dir: String,
+    /// Latest daemon checkpoint, if a cycle ever started.
+    pub checkpoint: Option<Checkpoint>,
+    /// Pairs in the configured matrix.
+    pub pairs_total: u64,
+    /// Pairs with a result newer than the current cycle's start.
+    pub pairs_tested_this_cycle: u64,
+    /// Live (latest-per-key) records in the store.
+    pub live_records: u64,
+    /// Store sequence watermark.
+    pub next_seq: u64,
+    /// Timestamp of the newest live record, unix ms.
+    pub last_append_unix_ms: Option<u64>,
+}
+
+/// One heatmap with its setting and statistic labels (JSON route).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeatmapBody {
+    /// Setting name.
+    pub setting: String,
+    /// Statistic title.
+    pub stat: String,
+    /// The heatmap itself.
+    pub heatmap: Heatmap,
+}
+
+/// All four paper statistics, in figure order.
+const ALL_STATS: [HeatmapStat; 4] = [
+    HeatmapStat::MmfSharePct,
+    HeatmapStat::UtilizationPct,
+    HeatmapStat::LossRatePct,
+    HeatmapStat::QueueingDelayMs,
+];
+
+fn snapshot(config: &ServeConfig) -> Result<Snapshot, PrudentiaError> {
+    Snapshot::read(&config.store_dir).map_err(PrudentiaError::from)
+}
+
+fn status_body(config: &ServeConfig, snap: &Snapshot) -> StatusBody {
+    let plan = full_matrix(&config.services, &config.settings);
+    let fresh = freshness(snap, &plan);
+    StatusBody {
+        service: "prudentia".to_string(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        store_dir: config.store_dir.display().to_string(),
+        checkpoint: latest_checkpoint(snap),
+        pairs_total: plan.len() as u64,
+        pairs_tested_this_cycle: fresh.iter().filter(|f| f.tested_this_cycle).count() as u64,
+        live_records: snap.live_len() as u64,
+        next_seq: snap.next_seq(),
+        last_append_unix_ms: snap.last_append_unix_ms(),
+    }
+}
+
+fn heatmap_bodies(config: &ServeConfig, snap: &Snapshot) -> Vec<HeatmapBody> {
+    let mut out = Vec::new();
+    for stat in ALL_STATS {
+        for (setting, heatmap) in heatmaps(snap, &config.services, &config.settings, stat) {
+            out.push(HeatmapBody {
+                setting,
+                stat: stat.title().to_string(),
+                heatmap,
+            });
+        }
+    }
+    out
+}
+
+/// Serve the status endpoint until `shutdown` is requested (including
+/// via the `/shutdown` route). Binds immediately; returns the bound
+/// address through `on_bound` before entering the accept loop, so tests
+/// and callers using port 0 can learn the chosen port.
+pub fn serve_with(
+    config: &ServeConfig,
+    shutdown: &ShutdownFlag,
+    on_bound: impl FnOnce(&str),
+) -> Result<(), PrudentiaError> {
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| PrudentiaError::Serve(format!("bind {}: {e}", config.addr)))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| PrudentiaError::Serve(format!("set_nonblocking: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| PrudentiaError::Serve(format!("local_addr: {e}")))?;
+    on_bound(&local.to_string());
+    loop {
+        if shutdown.is_requested() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Errors on one connection must not take the server down.
+                if let Err(e) = handle(stream, config, shutdown) {
+                    eprintln!("warning: request failed: {e}");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(PrudentiaError::Serve(format!("accept: {e}"))),
+        }
+    }
+}
+
+/// [`serve_with`] printing the bound address to stderr.
+pub fn serve(config: &ServeConfig, shutdown: &ShutdownFlag) -> Result<(), PrudentiaError> {
+    serve_with(config, shutdown, |addr| {
+        eprintln!("prudentia serving on http://{addr}/");
+    })
+}
+
+fn handle(
+    mut stream: TcpStream,
+    config: &ServeConfig,
+    shutdown: &ShutdownFlag,
+) -> Result<(), PrudentiaError> {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    let mut buf = [0u8; 2048];
+    let n = stream
+        .read(&mut buf)
+        .map_err(|e| PrudentiaError::Serve(format!("read request: {e}")))?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/")
+        .to_string();
+
+    let (status, content_type, body) = route(&path, config, shutdown);
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream
+        .write_all(response.as_bytes())
+        .map_err(|e| PrudentiaError::Serve(format!("write response: {e}")))?;
+    Ok(())
+}
+
+fn route(
+    path: &str,
+    config: &ServeConfig,
+    shutdown: &ShutdownFlag,
+) -> (&'static str, &'static str, String) {
+    const OK: &str = "200 OK";
+    const JSON: &str = "application/json";
+    match path {
+        "/shutdown" => {
+            shutdown.request();
+            (OK, JSON, "{\"shutting_down\":true}".to_string())
+        }
+        "/" | "/status" | "/heatmap" | "/heatmap.csv" | "/freshness" | "/metrics" => {
+            let snap = match snapshot(config) {
+                Ok(s) => s,
+                Err(e) => {
+                    let msg = serde_json::to_string(&format!("store unavailable: {e}"))
+                        .unwrap_or_else(|_| "\"store unavailable\"".to_string());
+                    return (
+                        "503 Service Unavailable",
+                        JSON,
+                        format!("{{\"error\":{msg}}}"),
+                    );
+                }
+            };
+            match path {
+                "/" => (OK, "text/html; charset=utf-8", dashboard(config, &snap)),
+                "/status" => (OK, JSON, json(&status_body(config, &snap))),
+                "/heatmap" => (OK, JSON, json(&heatmap_bodies(config, &snap))),
+                "/heatmap.csv" => (OK, "text/csv", heatmap_csv(config, &snap)),
+                "/freshness" => {
+                    let plan = full_matrix(&config.services, &config.settings);
+                    let rows: Vec<PairFreshness> = freshness(&snap, &plan);
+                    (OK, JSON, json(&rows))
+                }
+                "/metrics" => (OK, JSON, metrics_json(&snap)),
+                _ => unreachable!("outer match covers these routes"),
+            }
+        }
+        _ => (
+            "404 Not Found",
+            JSON,
+            "{\"error\":\"unknown route\"}".to_string(),
+        ),
+    }
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| format!("{{\"error\":\"encode: {e}\"}}"))
+}
+
+fn metrics_json(snap: &Snapshot) -> String {
+    format!(
+        "{{\"store/live_records\":{},\"store/next_seq\":{},\"store/segments\":{},\"store/last_append_unix_ms\":{}}}",
+        snap.live_len(),
+        snap.next_seq(),
+        snap.segments(),
+        snap.last_append_unix_ms()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+    )
+}
+
+fn heatmap_csv(config: &ServeConfig, snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (setting, heatmap) in heatmaps(
+        snap,
+        &config.services,
+        &config.settings,
+        HeatmapStat::MmfSharePct,
+    ) {
+        out.push_str(&format!(
+            "# {setting} — {}\n",
+            HeatmapStat::MmfSharePct.title()
+        ));
+        out.push_str(&heatmap.render_csv());
+    }
+    out
+}
+
+fn dashboard(config: &ServeConfig, snap: &Snapshot) -> String {
+    let status = status_body(config, snap);
+    let mut html = String::from(
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <title>Prudentia watchdog</title>\
+         <style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}\
+         td,th{border:1px solid #999;padding:2px 8px;text-align:right}\
+         th:first-child,td:first-child{text-align:left}</style></head><body>",
+    );
+    html.push_str("<h1>Prudentia — Internet fairness watchdog</h1>");
+    html.push_str(&format!(
+        "<p>store <code>{}</code> · {} live records · seq {}</p>",
+        escape(&status.store_dir),
+        status.live_records,
+        status.next_seq
+    ));
+    match &status.checkpoint {
+        Some(c) => html.push_str(&format!(
+            "<p>cycle {} — {}/{} pairs{}</p>",
+            c.cycle,
+            status.pairs_tested_this_cycle,
+            status.pairs_total,
+            if c.completed {
+                " (complete)"
+            } else {
+                " (running)"
+            }
+        )),
+        None => html.push_str("<p>no cycle recorded yet</p>"),
+    }
+    html.push_str(
+        "<p><a href=\"/status\">status</a> · <a href=\"/heatmap\">heatmap json</a> · \
+         <a href=\"/heatmap.csv\">heatmap csv</a> · <a href=\"/freshness\">freshness</a> · \
+         <a href=\"/metrics\">metrics</a></p>",
+    );
+    for (setting, heatmap) in heatmaps(
+        snap,
+        &config.services,
+        &config.settings,
+        HeatmapStat::MmfSharePct,
+    ) {
+        html.push_str(&format!(
+            "<h2>{} — {}</h2>",
+            escape(&setting),
+            HeatmapStat::MmfSharePct.title()
+        ));
+        html.push_str(&heatmap_table(&heatmap));
+    }
+    html.push_str("</body></html>");
+    html
+}
+
+fn heatmap_table(h: &Heatmap) -> String {
+    let mut t = String::from("<table><tr><th>ctndr\\incmb</th>");
+    for s in &h.services {
+        t.push_str(&format!("<th>{}</th>", escape(s)));
+    }
+    t.push_str("</tr>");
+    for (r, s) in h.services.iter().enumerate() {
+        t.push_str(&format!("<tr><td>{}</td>", escape(s)));
+        for c in 0..h.services.len() {
+            let v = h.cells[r][c];
+            if v.is_nan() {
+                t.push_str("<td>-</td>");
+            } else {
+                t.push_str(&format!("<td>{v:.1}</td>"));
+            }
+        }
+        t.push_str("</tr>");
+    }
+    t.push_str("</table>");
+    t
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Emit the static report: `index.html` plus one CSV per setting and
+/// statistic, all derived from the store at `config.store_dir`. Returns
+/// the files written (relative to `out_dir`).
+pub fn write_report(config: &ServeConfig, out_dir: &Path) -> Result<Vec<String>, PrudentiaError> {
+    let snap = snapshot(config)?;
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| PrudentiaError::io(format!("create {}", out_dir.display()), e))?;
+    let mut written = Vec::new();
+
+    let html = dashboard(config, &snap);
+    let index = out_dir.join("index.html");
+    std::fs::write(&index, html)
+        .map_err(|e| PrudentiaError::io(format!("write {}", index.display()), e))?;
+    written.push("index.html".to_string());
+
+    for stat in ALL_STATS {
+        for (setting, heatmap) in heatmaps(&snap, &config.services, &config.settings, stat) {
+            let name = format!("heatmap-{}-{}.csv", slug(&setting), stat.slug());
+            let path = out_dir.join(&name);
+            std::fs::write(&path, heatmap.render_csv())
+                .map_err(|e| PrudentiaError::io(format!("write {}", path.display()), e))?;
+            written.push(name);
+        }
+    }
+
+    let status = status_body(config, &snap);
+    let status_path = out_dir.join("status.json");
+    std::fs::write(&status_path, json(&status))
+        .map_err(|e| PrudentiaError::io(format!("write {}", status_path.display()), e))?;
+    written.push("status.json".to_string());
+    Ok(written)
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect::<String>()
+        .split('_')
+        .filter(|p| !p.is_empty())
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{Daemon, DaemonConfig};
+    use crate::scheduler::{DurationPolicy, TrialPolicy};
+    use crate::watchdog::WatchdogConfig;
+    use prudentia_apps::Service;
+
+    fn seeded_store(name: &str) -> (PathBuf, ServeConfig) {
+        let dir = std::env::temp_dir().join("prudentia_serve_unit").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        let watchdog = WatchdogConfig {
+            settings: vec![NetworkSetting::highly_constrained()],
+            policy: TrialPolicy {
+                min_trials: 2,
+                batch: 1,
+                max_trials: 2,
+            },
+            duration: DurationPolicy::Quick,
+            parallelism: 4,
+            change_threshold: 0.2,
+            cache_path: None,
+            metrics: None,
+        };
+        let services = vec![Service::IperfReno.spec()];
+        let mut daemon = Daemon::open(
+            services.clone(),
+            DaemonConfig {
+                watchdog: watchdog.clone(),
+                store_dir: dir.clone(),
+                batch_pairs: 1,
+                max_pairs_per_run: None,
+            },
+        )
+        .expect("daemon opens");
+        daemon.run_cycle().expect("seed cycle");
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: dir.clone(),
+            services,
+            settings: watchdog.settings,
+        };
+        (dir, config)
+    }
+
+    #[test]
+    fn routes_render_from_a_seeded_store() {
+        let (dir, config) = seeded_store("routes");
+        let flag = ShutdownFlag::new();
+        let snap = snapshot(&config).expect("snapshot");
+
+        let status = status_body(&config, &snap);
+        assert_eq!(status.pairs_total, 1);
+        assert_eq!(status.pairs_tested_this_cycle, 1);
+        assert!(status.checkpoint.as_ref().is_some_and(|c| c.completed));
+
+        let (code, _, body) = route("/status", &config, &flag);
+        assert_eq!(code, "200 OK");
+        assert!(body.contains("\"pairs_total\":1"), "{body}");
+
+        let (_, _, body) = route("/heatmap", &config, &flag);
+        assert!(body.contains("median MmF share"), "{body}");
+
+        let (_, _, body) = route("/heatmap.csv", &config, &flag);
+        assert!(body.contains("contender\\incumbent"), "{body}");
+
+        let (_, _, body) = route("/freshness", &config, &flag);
+        assert!(body.contains("\"tested_this_cycle\":true"), "{body}");
+
+        let (_, _, body) = route("/", &config, &flag);
+        assert!(body.contains("<table>"), "{body}");
+
+        let (code, _, _) = route("/nope", &config, &flag);
+        assert_eq!(code, "404 Not Found");
+
+        assert!(!flag.is_requested());
+        let (_, _, body) = route("/shutdown", &config, &flag);
+        assert!(body.contains("shutting_down"));
+        assert!(flag.is_requested());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_store_is_a_503_not_a_crash() {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: PathBuf::from("/nonexistent/prudentia/store"),
+            services: vec![Service::IperfReno.spec()],
+            settings: vec![NetworkSetting::highly_constrained()],
+        };
+        let (code, _, body) = route("/status", &config, &ShutdownFlag::new());
+        assert_eq!(code, "503 Service Unavailable");
+        assert!(body.contains("error"), "{body}");
+    }
+
+    #[test]
+    fn report_writes_html_and_csv() {
+        let (dir, config) = seeded_store("report");
+        let out = std::env::temp_dir()
+            .join("prudentia_serve_unit")
+            .join("report_out");
+        std::fs::remove_dir_all(&out).ok();
+        let written = write_report(&config, &out).expect("report written");
+        assert!(written.contains(&"index.html".to_string()));
+        assert!(written.iter().any(|w| w.ends_with(".csv")), "{written:?}");
+        assert!(written.contains(&"status.json".to_string()));
+        let html = std::fs::read_to_string(out.join("index.html")).unwrap();
+        assert!(html.contains("Prudentia"));
+        let csv = std::fs::read_to_string(
+            out.join(written.iter().find(|w| w.ends_with(".csv")).unwrap()),
+        )
+        .unwrap();
+        assert!(csv.starts_with("contender\\incumbent"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn server_answers_over_a_real_socket_and_shuts_down() {
+        let (dir, config) = seeded_store("socket");
+        let flag = ShutdownFlag::new();
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        let thread_config = config.clone();
+        let thread_flag = flag.clone();
+        let handle = std::thread::spawn(move || {
+            serve_with(&thread_config, &thread_flag, |addr| {
+                tx.send(addr.to_string()).ok();
+            })
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("server bound");
+
+        let fetch = |path: &str| {
+            let mut stream = TcpStream::connect(&addr).expect("connect");
+            stream
+                .write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+                .expect("send");
+            let mut body = String::new();
+            stream.read_to_string(&mut body).expect("recv");
+            body
+        };
+        let status = fetch("/status");
+        assert!(status.starts_with("HTTP/1.0 200 OK"), "{status}");
+        assert!(status.contains("\"service\":\"prudentia\""), "{status}");
+        let gone = fetch("/shutdown");
+        assert!(gone.contains("shutting_down"), "{gone}");
+        handle
+            .join()
+            .expect("server thread joins")
+            .expect("clean shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

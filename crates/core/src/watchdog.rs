@@ -7,9 +7,17 @@
 //! store, and reports services whose fairness profile *changed* since the
 //! previous iteration — the capability Observation 13 shows mattering
 //! (BBRv3 deployments and kernel upgrades change fairness outcomes).
+//!
+//! This module also hosts the *staleness scheduler* used by the durable
+//! daemon ([`crate::daemon`]): given the latest stored outcome per pair,
+//! [`staleness_order`] prioritizes never-tested pairs, then the pairs
+//! whose results are oldest — so an interrupted or freshly-extended
+//! matrix converges on full coverage instead of re-running whatever
+//! happens to come first.
 
 use crate::cache::TrialCache;
 use crate::config::NetworkSetting;
+use crate::error::PrudentiaError;
 use crate::executor::{execute_pairs, ExecutorConfig, SchedulerStats};
 use crate::results::ResultStore;
 use crate::scheduler::{DurationPolicy, PairOutcome, PairSpec, TrialPolicy};
@@ -83,6 +91,156 @@ impl Default for WatchdogConfig {
             metrics: None,
         }
     }
+}
+
+impl WatchdogConfig {
+    /// Start building a config from the paper defaults.
+    pub fn builder() -> WatchdogConfigBuilder {
+        WatchdogConfigBuilder {
+            inner: WatchdogConfig::default(),
+        }
+    }
+
+    /// Check the invariants [`WatchdogConfigBuilder::build`] enforces.
+    pub fn validate(&self) -> Result<(), PrudentiaError> {
+        if self.settings.is_empty() {
+            return Err(PrudentiaError::InvalidConfig(
+                "watchdog needs at least one network setting".to_string(),
+            ));
+        }
+        if self.parallelism == 0 {
+            return Err(PrudentiaError::InvalidConfig(
+                "watchdog parallelism must be at least 1".to_string(),
+            ));
+        }
+        if !self.change_threshold.is_finite() || self.change_threshold < 0.0 {
+            return Err(PrudentiaError::InvalidConfig(format!(
+                "change threshold must be finite and non-negative, got {}",
+                self.change_threshold
+            )));
+        }
+        if self.policy.min_trials == 0 || self.policy.batch == 0 {
+            return Err(PrudentiaError::InvalidConfig(
+                "trial policy counts must be at least 1".to_string(),
+            ));
+        }
+        if self.policy.max_trials < self.policy.min_trials {
+            return Err(PrudentiaError::InvalidConfig(format!(
+                "max_trials {} below min_trials {}",
+                self.policy.max_trials, self.policy.min_trials
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`WatchdogConfig`]. [`WatchdogConfig`] itself
+/// stays a plain struct (existing struct-literal construction keeps
+/// working); the builder adds upfront validation so a daemon fails at
+/// startup rather than mid-cycle.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfigBuilder {
+    inner: WatchdogConfig,
+}
+
+impl WatchdogConfigBuilder {
+    /// Replace the settings cycled each iteration.
+    pub fn settings(mut self, settings: Vec<NetworkSetting>) -> Self {
+        self.inner.settings = settings;
+        self
+    }
+
+    /// Append one setting to the cycle.
+    pub fn setting(mut self, setting: NetworkSetting) -> Self {
+        self.inner.settings.push(setting);
+        self
+    }
+
+    /// Trial-count policy per pair.
+    pub fn policy(mut self, policy: TrialPolicy) -> Self {
+        self.inner.policy = policy;
+        self
+    }
+
+    /// Experiment length policy.
+    pub fn duration(mut self, duration: DurationPolicy) -> Self {
+        self.inner.duration = duration;
+        self
+    }
+
+    /// Worker threads for the trial executor.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.inner.parallelism = parallelism;
+        self
+    }
+
+    /// Relative MmF-share change that triggers a report.
+    pub fn change_threshold(mut self, threshold: f64) -> Self {
+        self.inner.change_threshold = threshold;
+        self
+    }
+
+    /// Persist the trial cache at this path.
+    pub fn cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.inner.cache_path = Some(path.into());
+        self
+    }
+
+    /// Attach a metrics registry.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.inner.metrics = Some(registry);
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<WatchdogConfig, PrudentiaError> {
+        self.inner.validate()?;
+        Ok(self.inner)
+    }
+}
+
+/// Stable durable-store key for a (contender, incumbent, setting) pair:
+/// FNV-1a over the three names, NUL-separated (the same construction as
+/// the trial cache's key hash).
+pub fn pair_store_key(contender: &str, incumbent: &str, setting: &str) -> u64 {
+    prudentia_store::fnv1a_key(&[contender, incumbent, setting])
+}
+
+/// Per-pair freshness, derived from the durable store — the data behind
+/// the daemon's scheduling decisions and the `/freshness` endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairFreshness {
+    /// Contender name.
+    pub contender: String,
+    /// Incumbent name.
+    pub incumbent: String,
+    /// Setting name.
+    pub setting: String,
+    /// Store key ([`pair_store_key`]).
+    pub key: u64,
+    /// Sequence number of the latest stored outcome (`None` = never
+    /// tested).
+    pub last_seq: Option<u64>,
+    /// Timestamp of the latest stored outcome, unix ms.
+    pub last_tested_unix_ms: Option<u64>,
+    /// Whether the latest outcome belongs to the current cycle.
+    pub tested_this_cycle: bool,
+}
+
+/// Order pair indices by staleness: never-tested pairs first (in matrix
+/// order), then tested pairs by ascending last-result sequence number
+/// (oldest data first), ties broken by matrix order. Deterministic for
+/// a given store state, which keeps resumed daemon runs reproducible.
+pub fn staleness_order<F>(pairs: &[PairSpec], last_seq: F) -> Vec<usize>
+where
+    F: Fn(&PairSpec) -> Option<u64>,
+{
+    let mut idx: Vec<usize> = (0..pairs.len()).collect();
+    idx.sort_by_key(|&i| match last_seq(&pairs[i]) {
+        None => (0u8, 0u64, i),
+        Some(seq) => (1u8, seq, i),
+    });
+    idx
 }
 
 /// The continuously-iterating fairness watchdog.
@@ -188,7 +346,8 @@ impl Watchdog {
         if let Some(metrics) = &self.config.metrics {
             exec = exec.with_metrics(Arc::clone(metrics));
         }
-        let (outcomes, stats) = execute_pairs(&pairs, &exec);
+        let (outcomes, stats) =
+            execute_pairs(&pairs, &exec).expect("watchdog: validated config is accepted");
         if let (Some(cache), Some(path)) = (&self.cache, &self.config.cache_path) {
             if let Err(e) = cache.save(path) {
                 eprintln!(
@@ -308,6 +467,71 @@ mod tests {
         assert!(warm.cache_hit_rate() > 0.99);
         assert!(path.exists(), "cache persisted between iterations");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn builder_validates_and_matches_struct_literal() {
+        let built = WatchdogConfig::builder()
+            .settings(vec![NetworkSetting::highly_constrained()])
+            .policy(TrialPolicy::quick())
+            .duration(DurationPolicy::Quick)
+            .parallelism(3)
+            .change_threshold(0.5)
+            .build()
+            .expect("valid config");
+        assert_eq!(built.settings.len(), 1);
+        assert_eq!(built.parallelism, 3);
+        assert!(built.cache_path.is_none());
+
+        assert!(WatchdogConfig::builder()
+            .settings(Vec::new())
+            .build()
+            .is_err());
+        assert!(WatchdogConfig::builder().parallelism(0).build().is_err());
+        assert!(WatchdogConfig::builder()
+            .change_threshold(f64::NAN)
+            .build()
+            .is_err());
+        assert!(WatchdogConfig::builder()
+            .policy(TrialPolicy {
+                min_trials: 5,
+                batch: 1,
+                max_trials: 2,
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn staleness_prefers_untested_then_oldest() {
+        let mk = |c: &str| {
+            let mut setting = NetworkSetting::custom(8e6);
+            setting.name = c.to_string();
+            PairSpec {
+                contender: Service::IperfReno.spec(),
+                incumbent: Service::IperfCubic.spec(),
+                setting,
+            }
+        };
+        let pairs = vec![mk("a"), mk("b"), mk("c"), mk("d")];
+        // a tested at seq 9, b never, c at seq 3, d never.
+        let order = staleness_order(&pairs, |p| match p.setting.name.as_str() {
+            "a" => Some(9),
+            "c" => Some(3),
+            _ => None,
+        });
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn pair_store_key_is_stable_and_separator_safe() {
+        let k = pair_store_key("Mega", "YouTube", "8");
+        assert_eq!(k, pair_store_key("Mega", "YouTube", "8"));
+        assert_ne!(k, pair_store_key("YouTube", "Mega", "8"));
+        assert_ne!(
+            pair_store_key("ab", "c", "s"),
+            pair_store_key("a", "bc", "s")
+        );
     }
 
     #[test]

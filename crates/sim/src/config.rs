@@ -11,6 +11,27 @@ use crate::scenario::ScenarioSpec;
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// A [`NetworkSetting`] (or other simulator configuration) that failed
+/// validation. Carried up into `prudentia_core::PrudentiaError` at the
+/// crate boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// Create a validation error with a human-readable reason.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ConfigError(msg.into())
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// One emulated bottleneck setting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkSetting {
@@ -32,7 +53,109 @@ pub struct NetworkSetting {
 /// MTU used for BDP computations.
 pub const MTU: u32 = 1500;
 
+/// Builder for [`NetworkSetting`] with validation at `build()`.
+///
+/// The legacy constructors ([`NetworkSetting::highly_constrained`],
+/// [`NetworkSetting::custom`], …) remain the canonical presets — they
+/// delegate to the same field set, so names, seeds, and cache keys are
+/// unchanged. The builder exists for programmatic construction where
+/// "panic later, deep inside the engine" is not an acceptable failure
+/// mode for a bad rate or RTT.
+#[derive(Debug, Clone)]
+pub struct NetworkSettingBuilder {
+    name: Option<String>,
+    rate_bps: f64,
+    base_rtt: SimDuration,
+    bdp_multiple: u64,
+    queue_override_pkts: Option<usize>,
+    scenario: ScenarioSpec,
+}
+
+impl NetworkSettingBuilder {
+    /// Set the human-readable name (defaults to "`<rate>` Mbps",
+    /// matching [`NetworkSetting::custom`]).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Set the bottleneck rate in bits/s.
+    pub fn rate_bps(mut self, rate: f64) -> Self {
+        self.rate_bps = rate;
+        self
+    }
+
+    /// Set the normalized base RTT.
+    pub fn base_rtt(mut self, rtt: SimDuration) -> Self {
+        self.base_rtt = rtt;
+        self
+    }
+
+    /// Set the queue size as a multiple of the BDP.
+    pub fn bdp_multiple(mut self, m: u64) -> Self {
+        self.bdp_multiple = m;
+        self
+    }
+
+    /// Override the queue size in packets (wins over the BDP rule).
+    pub fn queue_override_pkts(mut self, pkts: usize) -> Self {
+        self.queue_override_pkts = Some(pkts);
+        self
+    }
+
+    /// Set the scenario (queue discipline + impairments).
+    pub fn scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Validate and construct the setting.
+    pub fn build(self) -> Result<NetworkSetting, ConfigError> {
+        if !self.rate_bps.is_finite() || self.rate_bps <= 0.0 {
+            return Err(ConfigError::new(format!(
+                "bottleneck rate must be positive and finite, got {} bps",
+                self.rate_bps
+            )));
+        }
+        if self.base_rtt.as_nanos() == 0 {
+            return Err(ConfigError::new("base RTT must be non-zero"));
+        }
+        if self.bdp_multiple == 0 && self.queue_override_pkts.is_none() {
+            return Err(ConfigError::new(
+                "bdp_multiple must be >= 1 (or set queue_override_pkts)",
+            ));
+        }
+        if self.queue_override_pkts == Some(0) {
+            return Err(ConfigError::new("queue override must hold >= 1 packet"));
+        }
+        let name = self
+            .name
+            .unwrap_or_else(|| format!("{:.0} Mbps", self.rate_bps / 1e6));
+        Ok(NetworkSetting {
+            name,
+            rate_bps: self.rate_bps,
+            base_rtt: self.base_rtt,
+            bdp_multiple: self.bdp_multiple,
+            queue_override_pkts: self.queue_override_pkts,
+            scenario: self.scenario,
+        })
+    }
+}
+
 impl NetworkSetting {
+    /// Start a builder seeded with the standard RTT/queue rules (50 ms,
+    /// 4×BDP, drop-tail static link) and an 8 Mbps rate.
+    pub fn builder() -> NetworkSettingBuilder {
+        NetworkSettingBuilder {
+            name: None,
+            rate_bps: 8e6,
+            base_rtt: SimDuration::from_millis(50),
+            bdp_multiple: 4,
+            queue_override_pkts: None,
+            scenario: ScenarioSpec::default(),
+        }
+    }
+
     /// The 8 Mbps highly-constrained setting.
     pub fn highly_constrained() -> Self {
         NetworkSetting {
@@ -130,6 +253,58 @@ impl NetworkSetting {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_matches_custom_constructor() {
+        let built = NetworkSetting::builder().rate_bps(30e6).build().unwrap();
+        let legacy = NetworkSetting::custom(30e6);
+        assert_eq!(built.name, legacy.name);
+        assert_eq!(built.rate_bps, legacy.rate_bps);
+        assert_eq!(built.base_rtt, legacy.base_rtt);
+        assert_eq!(built.queue_capacity_pkts(), legacy.queue_capacity_pkts());
+        assert_eq!(
+            serde_json::to_string(&built).unwrap(),
+            serde_json::to_string(&legacy).unwrap(),
+            "builder output must be key-compatible with the legacy constructor"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_settings() {
+        assert!(NetworkSetting::builder().rate_bps(0.0).build().is_err());
+        assert!(NetworkSetting::builder().rate_bps(-5e6).build().is_err());
+        assert!(NetworkSetting::builder()
+            .rate_bps(f64::NAN)
+            .build()
+            .is_err());
+        assert!(NetworkSetting::builder()
+            .base_rtt(SimDuration::from_nanos(0))
+            .build()
+            .is_err());
+        assert!(NetworkSetting::builder().bdp_multiple(0).build().is_err());
+        assert!(NetworkSetting::builder()
+            .queue_override_pkts(0)
+            .build()
+            .is_err());
+        // A zero bdp_multiple is fine once an explicit override wins.
+        assert!(NetworkSetting::builder()
+            .bdp_multiple(0)
+            .queue_override_pkts(64)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_named_and_scenarioed() {
+        let s = NetworkSetting::builder()
+            .name("bespoke")
+            .rate_bps(12e6)
+            .bdp_multiple(8)
+            .build()
+            .unwrap();
+        assert_eq!(s.name, "bespoke");
+        assert_eq!(s.bdp_multiple, 8);
+    }
 
     #[test]
     fn paper_queue_sizes() {

@@ -21,7 +21,7 @@
 //! * `prudentia-apps` — service models (video, file transfer, RTC, web),
 //! * `prudentia-core` — the watchdog itself.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aqm;
 pub mod config;

@@ -1,0 +1,85 @@
+//! Store error taxonomy.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Everything that can go wrong opening, reading, or writing a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the store was doing when the I/O failed.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A segment contains malformed data that is *not* the recoverable
+    /// torn-tail case: a bad line in the middle of a segment, or in a
+    /// sealed (non-active) segment.
+    Corrupt {
+        /// Segment file containing the bad record.
+        segment: PathBuf,
+        /// 1-based line number of the first bad line.
+        line: usize,
+        /// Parse failure detail.
+        detail: String,
+    },
+    /// The directory was written by an incompatible store layout version.
+    FormatVersion {
+        /// Version found in the index file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// A record payload failed to encode or decode as JSON.
+    Payload {
+        /// Record kind being encoded/decoded.
+        kind: String,
+        /// Failure detail.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Wrap an I/O error with the operation that produced it.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        StoreError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "store I/O ({context}): {source}"),
+            StoreError::Corrupt {
+                segment,
+                line,
+                detail,
+            } => write!(
+                f,
+                "store corrupt: {} line {line}: {detail}",
+                segment.display()
+            ),
+            StoreError::FormatVersion { found, expected } => write!(
+                f,
+                "store format version {found} is not readable by this build (expected {expected})"
+            ),
+            StoreError::Payload { kind, detail } => {
+                write!(f, "store payload ({kind}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! # prudentia-store
+//!
+//! The durable results store behind the Prudentia watchdog daemon.
+//!
+//! The paper's deployment is not a one-shot benchmark: it cycles every
+//! service pair continuously and publishes each completed experiment
+//! (§3.4, §4). That only works if results survive process restarts, so
+//! this crate provides a small, dependency-free, append-only store:
+//!
+//! * **Segments** — records are appended as JSON lines to numbered
+//!   segment files (`seg-000042.jsonl`). Appends never rewrite existing
+//!   bytes, so a crash can at worst leave a partial final line.
+//! * **Crash recovery** — on open, a torn tail line in the *active*
+//!   (highest-numbered) segment is detected and truncated away; torn or
+//!   corrupt data anywhere else is reported as [`StoreError::Corrupt`]
+//!   rather than silently skipped.
+//! * **Compacted index** — every record carries a logical FNV-1a key
+//!   (the same construction as the trial cache) and a `kind`; the store
+//!   keeps the *latest* record per `(kind, key)` in memory, and
+//!   [`Store::compact`] rewrites exactly that live set into a fresh
+//!   segment, dropping superseded history.
+//! * **Schema versioning** — the store layout itself is versioned
+//!   ([`STORE_FORMAT_VERSION`], checked on open) and every record
+//!   carries its payload's own schema version, so readers can skip or
+//!   migrate entries written by older code.
+//!
+//! The watchdog layers on top (in `prudentia-core`): pair outcomes are
+//! appended under kind `"pair"`, daemon checkpoints under
+//! `"checkpoint"`, and the staleness scheduler derives per-pair
+//! freshness from record sequence numbers and timestamps.
+
+#![deny(missing_docs)]
+
+mod error;
+mod record;
+mod store;
+
+pub use error::StoreError;
+pub use record::{kinds, Record, RecordKind};
+pub use store::{CompactionReport, Snapshot, Store, StoreStats, TailRecovery};
+
+/// Version of the on-disk store layout (segment naming, line format,
+/// index file). Bump on incompatible layout changes; [`Store::open`]
+/// refuses directories written by a different version instead of
+/// misreading them.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Fold bytes into an FNV-1a state (same construction as the trial
+/// cache's key hash, so store keys and cache keys share provenance).
+pub fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable FNV-1a key over a sequence of string parts, NUL-separated so
+/// `("ab", "c")` and `("a", "bc")` cannot collide.
+pub fn fnv1a_key(parts: &[&str]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for p in parts {
+        h = fnv1a_update(h, p.as_bytes());
+        h = fnv1a_update(h, &[0]);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_key_is_stable_and_separator_safe() {
+        assert_eq!(fnv1a_key(&["a", "b"]), fnv1a_key(&["a", "b"]));
+        assert_ne!(fnv1a_key(&["ab", "c"]), fnv1a_key(&["a", "bc"]));
+        assert_ne!(fnv1a_key(&["a"]), fnv1a_key(&["a", ""]));
+    }
+}

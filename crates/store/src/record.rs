@@ -1,0 +1,83 @@
+//! The unit of storage: one schema-versioned, timestamped record.
+
+use crate::StoreError;
+use serde::{Deserialize, Serialize};
+
+/// Well-known record kinds written by the watchdog layer. The store
+/// itself treats kinds as opaque strings; these constants only keep the
+/// writers and readers in `prudentia-core` in agreement.
+pub mod kinds {
+    /// A completed (contender, incumbent, setting) pair outcome.
+    pub const PAIR: &str = "pair";
+    /// A daemon cycle checkpoint (progress marker for resume).
+    pub const CHECKPOINT: &str = "checkpoint";
+}
+
+/// Alias documenting that record kinds are free-form strings.
+pub type RecordKind = String;
+
+/// One appended record: a JSON line in a segment file.
+///
+/// `payload` is the record's own JSON, stored *encoded* (JSON-in-JSON)
+/// so the store never needs to understand payload schemas: a reader
+/// built against a newer payload schema can inspect `schema` before
+/// attempting to decode, and unknown kinds pass through untouched.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Record {
+    /// Monotonic sequence number, unique per store and strictly
+    /// increasing in append order (also across compactions).
+    pub seq: u64,
+    /// Logical identity key (FNV-1a; see [`crate::fnv1a_key`]). The
+    /// compacted index keeps the latest record per `(kind, key)`.
+    pub key: u64,
+    /// Free-form record family (see [`kinds`]).
+    pub kind: String,
+    /// Wall-clock append time, milliseconds since the Unix epoch. Used
+    /// for freshness reporting only — resume logic orders by `seq`.
+    pub ts_unix_ms: u64,
+    /// Schema version of `payload` (writer-defined per kind).
+    pub schema: u32,
+    /// JSON-encoded payload.
+    pub payload: String,
+}
+
+impl Record {
+    /// Decode the payload into a typed value.
+    pub fn decode<T: serde::Deserialize>(&self) -> Result<T, StoreError> {
+        serde_json::from_str(&self.payload).map_err(|e| StoreError::Payload {
+            kind: self.kind.clone(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Encode a typed payload to the stored JSON form.
+    pub fn encode<T: serde::Serialize>(kind: &str, value: &T) -> Result<String, StoreError> {
+        serde_json::to_string(value).map_err(|e| StoreError::Payload {
+            kind: kind.to_string(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trips_through_encoding() {
+        let payload = Record::encode(kinds::PAIR, &vec![1u64, 2, 3]).unwrap();
+        let rec = Record {
+            seq: 7,
+            key: 42,
+            kind: kinds::PAIR.to_string(),
+            ts_unix_ms: 1_700_000_000_000,
+            schema: 2,
+            payload,
+        };
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: Record = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, rec);
+        let xs: Vec<u64> = back.decode().unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,778 @@
+//! The append-only segment store with a compacted latest-per-key index.
+
+use crate::record::Record;
+use crate::{StoreError, STORE_FORMAT_VERSION};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default record count after which the active segment is sealed and a
+/// new one started. Small enough that compaction reclaims space
+/// promptly; large enough that a paper-scale matrix (200 pairs/cycle)
+/// spans only a handful of segments.
+const DEFAULT_ROTATE_AFTER: u64 = 1024;
+
+/// The index file written alongside segments. Advisory: segments are
+/// the source of truth and are always re-scanned on open; the index
+/// pins the layout version and records the compaction floor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IndexFile {
+    /// Store layout version ([`STORE_FORMAT_VERSION`]).
+    format: u32,
+    /// Next sequence number at the time the index was written.
+    next_seq: u64,
+    /// Records dropped by compaction over the store's lifetime.
+    compacted_away: u64,
+}
+
+/// What `open` did about a torn final line (interrupted append).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailRecovery {
+    /// Segment whose tail was truncated.
+    pub segment: PathBuf,
+    /// Bytes removed from the end of the file.
+    pub dropped_bytes: u64,
+}
+
+/// Summary returned by [`Store::compact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Superseded records dropped.
+    pub dropped: u64,
+    /// Live records carried into the fresh segment.
+    pub kept: u64,
+    /// Segment files deleted.
+    pub segments_removed: usize,
+}
+
+/// Counters for observability (`store/…` metrics in the daemon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Records appended through this handle since open.
+    pub appends: u64,
+    /// Bytes written through this handle since open.
+    pub bytes_written: u64,
+    /// Live (latest-per-key) records currently indexed.
+    pub live_records: u64,
+    /// Segment files on disk.
+    pub segments: u64,
+}
+
+/// An append-only, crash-safe store of schema-versioned records.
+///
+/// See the crate docs for the design; in short: JSONL segments, a
+/// latest-per-`(kind, key)` in-memory index, explicit compaction, and
+/// torn-tail recovery on open.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    /// Latest record per (kind, key) — deterministic iteration order.
+    latest: BTreeMap<(String, u64), Record>,
+    /// Sealed + active segment ids, ascending.
+    segment_ids: Vec<u64>,
+    /// Open handle to the active (highest-id) segment.
+    active: BufWriter<File>,
+    /// Records in the active segment (rotation trigger).
+    active_records: u64,
+    rotate_after: u64,
+    next_seq: u64,
+    compacted_away: u64,
+    recovery: Option<TailRecovery>,
+    appends: u64,
+    bytes_written: u64,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:06}.jsonl"))
+}
+
+fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl Store {
+    /// Open a store directory, creating it (and a first segment) if
+    /// empty. Scans every segment, rebuilds the latest-per-key index,
+    /// and truncates a torn tail line left by an interrupted append
+    /// (reported via [`Store::recovered_tail`]). Corruption anywhere
+    /// else fails with [`StoreError::Corrupt`].
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("create {}", dir.display()), e))?;
+
+        let (next_seq_floor, compacted_away) = read_index(&dir)?;
+
+        let mut segment_ids = list_segments(&dir)?;
+        let mut latest = BTreeMap::new();
+        let mut next_seq = next_seq_floor;
+        let mut recovery = None;
+        let last = segment_ids.last().copied();
+        for &id in &segment_ids {
+            let path = segment_path(&dir, id);
+            let tail_ok = Some(id) == last;
+            let rec = scan_segment(&path, tail_ok, &mut latest, &mut next_seq)?;
+            if rec.is_some() {
+                recovery = rec;
+            }
+        }
+
+        let active_id = match segment_ids.last() {
+            Some(&id) => id,
+            None => {
+                segment_ids.push(0);
+                0
+            }
+        };
+        let path = segment_path(&dir, active_id);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(format!("open {}", path.display()), e))?;
+        let active_records = count_lines(&path)?;
+
+        Ok(Store {
+            dir,
+            latest,
+            segment_ids,
+            active: BufWriter::new(file),
+            active_records,
+            rotate_after: DEFAULT_ROTATE_AFTER,
+            next_seq,
+            compacted_away,
+            recovery,
+            appends: 0,
+            bytes_written: 0,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Override the segment rotation threshold (records per segment).
+    pub fn set_rotate_after(&mut self, records: u64) {
+        self.rotate_after = records.max(1);
+    }
+
+    /// The torn-tail recovery performed on open, if any.
+    pub fn recovered_tail(&self) -> Option<&TailRecovery> {
+        self.recovery.as_ref()
+    }
+
+    /// Append a record and flush it to disk; returns its sequence
+    /// number. The record becomes the latest for its `(kind, key)`.
+    pub fn append(
+        &mut self,
+        kind: &str,
+        key: u64,
+        schema: u32,
+        payload: String,
+    ) -> Result<u64, StoreError> {
+        self.append_record(kind, key, schema, payload, now_unix_ms())
+    }
+
+    /// [`Store::append`] with an explicit timestamp (tests and replays).
+    pub fn append_at(
+        &mut self,
+        kind: &str,
+        key: u64,
+        schema: u32,
+        payload: String,
+        ts_unix_ms: u64,
+    ) -> Result<u64, StoreError> {
+        self.append_record(kind, key, schema, payload, ts_unix_ms)
+    }
+
+    fn append_record(
+        &mut self,
+        kind: &str,
+        key: u64,
+        schema: u32,
+        payload: String,
+        ts_unix_ms: u64,
+    ) -> Result<u64, StoreError> {
+        if self.active_records >= self.rotate_after {
+            self.rotate()?;
+        }
+        let seq = self.next_seq;
+        let record = Record {
+            seq,
+            key,
+            kind: kind.to_string(),
+            ts_unix_ms,
+            schema,
+            payload,
+        };
+        let mut line = serde_json::to_string(&record).map_err(|e| StoreError::Payload {
+            kind: kind.to_string(),
+            detail: e.to_string(),
+        })?;
+        line.push('\n');
+        self.active
+            .write_all(line.as_bytes())
+            .and_then(|()| self.active.flush())
+            .map_err(|e| StoreError::io("append", e))?;
+        self.next_seq += 1;
+        self.active_records += 1;
+        self.appends += 1;
+        self.bytes_written += line.len() as u64;
+        self.latest.insert((kind.to_string(), key), record);
+        Ok(seq)
+    }
+
+    /// Seal the active segment and start a fresh one.
+    fn rotate(&mut self) -> Result<(), StoreError> {
+        let id = self.segment_ids.last().copied().unwrap_or(0) + 1;
+        let path = segment_path(&self.dir, id);
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(format!("rotate to {}", path.display()), e))?;
+        self.active = BufWriter::new(file);
+        self.segment_ids.push(id);
+        self.active_records = 0;
+        self.write_index()
+    }
+
+    /// The latest record for a `(kind, key)`, if any.
+    pub fn latest(&self, kind: &str, key: u64) -> Option<&Record> {
+        self.latest.get(&(kind.to_string(), key))
+    }
+
+    /// Latest records of one kind, in ascending key order.
+    pub fn latest_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Record> {
+        self.latest
+            .range((kind.to_string(), 0)..=(kind.to_string(), u64::MAX))
+            .map(|(_, r)| r)
+    }
+
+    /// Live (latest-per-key) record count across all kinds.
+    pub fn live_len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Whether the store holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+
+    /// Next sequence number to be assigned (monotonic watermark; the
+    /// daemon's cycle checkpoints reference these).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Observability counters for this handle.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            appends: self.appends,
+            bytes_written: self.bytes_written,
+            live_records: self.latest.len() as u64,
+            segments: self.segment_ids.len() as u64,
+        }
+    }
+
+    /// Most recent append timestamp across live records (freshness
+    /// headline for the status endpoint).
+    pub fn last_append_unix_ms(&self) -> Option<u64> {
+        self.latest.values().map(|r| r.ts_unix_ms).max()
+    }
+
+    /// Rewrite the live record set into a single fresh segment and
+    /// delete superseded history. Sequence numbers are preserved, so
+    /// checkpoints referencing them stay valid.
+    pub fn compact(&mut self) -> Result<CompactionReport, StoreError> {
+        let id = self.segment_ids.last().copied().unwrap_or(0) + 1;
+        let path = segment_path(&self.dir, id);
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(format!("compact to {}", path.display()), e))?;
+        let mut w = BufWriter::new(file);
+        // Live records in seq order, so the rewritten segment replays
+        // identically to the history it replaces.
+        let mut live: Vec<&Record> = self.latest.values().collect();
+        live.sort_by_key(|r| r.seq);
+        let kept = live.len() as u64;
+        for r in live {
+            let mut line = serde_json::to_string(r).map_err(|e| StoreError::Payload {
+                kind: r.kind.clone(),
+                detail: e.to_string(),
+            })?;
+            line.push('\n');
+            w.write_all(line.as_bytes())
+                .map_err(|e| StoreError::io("compact write", e))?;
+        }
+        w.flush().map_err(|e| StoreError::io("compact flush", e))?;
+
+        let total_before: u64 = self.appends_on_disk()?;
+        let old: Vec<u64> = std::mem::take(&mut self.segment_ids);
+        let mut removed = 0;
+        for oid in old {
+            let p = segment_path(&self.dir, oid);
+            std::fs::remove_file(&p)
+                .map_err(|e| StoreError::io(format!("remove {}", p.display()), e))?;
+            removed += 1;
+        }
+        self.segment_ids = vec![id];
+        self.active = w;
+        self.active_records = kept;
+        let dropped = total_before.saturating_sub(kept);
+        self.compacted_away += dropped;
+        self.write_index()?;
+        Ok(CompactionReport {
+            dropped,
+            kept,
+            segments_removed: removed,
+        })
+    }
+
+    /// Total record lines currently on disk (pre-compaction count).
+    fn appends_on_disk(&self) -> Result<u64, StoreError> {
+        let mut n = 0;
+        for &id in &self.segment_ids {
+            n += count_lines(&segment_path(&self.dir, id))?;
+        }
+        Ok(n)
+    }
+
+    /// Persist the advisory index file.
+    fn write_index(&self) -> Result<(), StoreError> {
+        let index = IndexFile {
+            format: STORE_FORMAT_VERSION,
+            next_seq: self.next_seq,
+            compacted_away: self.compacted_away,
+        };
+        let json = serde_json::to_string(&index).map_err(|e| StoreError::Payload {
+            kind: "index".to_string(),
+            detail: e.to_string(),
+        })?;
+        std::fs::write(self.dir.join("index.json"), json)
+            .map_err(|e| StoreError::io("write index", e))
+    }
+
+    /// Flush buffered appends (appends already flush; this is a fence
+    /// for callers that want an explicit durability point, and it also
+    /// refreshes the advisory index file).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.active.flush().map_err(|e| StoreError::io("sync", e))?;
+        self.write_index()
+    }
+}
+
+/// A read-only, point-in-time view of a store directory.
+///
+/// Unlike [`Store::open`] this never writes: the directory is not
+/// created, a torn tail is skipped in memory rather than truncated on
+/// disk, and the advisory index is not refreshed — safe to take while a
+/// live daemon owns the directory for appending (the `prudentia serve`
+/// and `prudentia report` read path).
+#[derive(Debug)]
+pub struct Snapshot {
+    latest: BTreeMap<(String, u64), Record>,
+    next_seq: u64,
+    segments: u64,
+}
+
+impl Snapshot {
+    /// Read a snapshot of `dir`. Fails on a missing directory, a store
+    /// format mismatch, or corruption anywhere but the active tail.
+    pub fn read(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        let (next_seq_floor, _) = read_index(dir)?;
+        let segment_ids = list_segments(dir)?;
+        let mut latest = BTreeMap::new();
+        let mut next_seq = next_seq_floor;
+        let last = segment_ids.last().copied();
+        for &id in &segment_ids {
+            let path = segment_path(dir, id);
+            scan_segment_with(
+                &path,
+                Some(id) == last,
+                TailAction::Skip,
+                &mut latest,
+                &mut next_seq,
+            )?;
+        }
+        Ok(Snapshot {
+            latest,
+            next_seq,
+            segments: segment_ids.len() as u64,
+        })
+    }
+
+    /// The latest record for a `(kind, key)`, if any.
+    pub fn latest(&self, kind: &str, key: u64) -> Option<&Record> {
+        self.latest.get(&(kind.to_string(), key))
+    }
+
+    /// Latest records of one kind, in ascending key order.
+    pub fn latest_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Record> {
+        self.latest
+            .range((kind.to_string(), 0)..=(kind.to_string(), u64::MAX))
+            .map(|(_, r)| r)
+    }
+
+    /// Number of live (latest-per-key) records.
+    pub fn live_len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Whether the snapshot holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+
+    /// The sequence watermark at snapshot time.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Segment files seen.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+
+    /// Timestamp of the most recently appended live record, unix ms.
+    pub fn last_append_unix_ms(&self) -> Option<u64> {
+        self.latest.values().map(|r| r.ts_unix_ms).max()
+    }
+}
+
+/// Read and validate `index.json`; absent file means a fresh (or
+/// pre-index) directory. Returns `(next_seq_floor, compacted_away)`.
+fn read_index(dir: &Path) -> Result<(u64, u64), StoreError> {
+    let path = dir.join("index.json");
+    let data = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0)),
+        Err(e) => return Err(StoreError::io(format!("read {}", path.display()), e)),
+    };
+    let index: IndexFile = serde_json::from_str(&data).map_err(|e| StoreError::Corrupt {
+        segment: path.clone(),
+        line: 1,
+        detail: e.to_string(),
+    })?;
+    if index.format != STORE_FORMAT_VERSION {
+        return Err(StoreError::FormatVersion {
+            found: index.format,
+            expected: STORE_FORMAT_VERSION,
+        });
+    }
+    Ok((index.next_seq, index.compacted_away))
+}
+
+/// Segment ids present in a directory, ascending.
+fn list_segments(dir: &Path) -> Result<Vec<u64>, StoreError> {
+    let mut ids = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| StoreError::io(format!("list {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io("list entry", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(id) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".jsonl"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// What to do with a recoverable torn tail line.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TailAction {
+    /// Truncate the partial record off the file (writable open).
+    Truncate,
+    /// Leave the file untouched and skip the partial record (snapshot).
+    Skip,
+}
+
+/// Parse one segment into the latest-per-key map, advancing `next_seq`
+/// past every seen record. When `tail_ok`, a malformed *final* line is
+/// truncated off the file (interrupted append) instead of failing.
+fn scan_segment(
+    path: &Path,
+    tail_ok: bool,
+    latest: &mut BTreeMap<(String, u64), Record>,
+    next_seq: &mut u64,
+) -> Result<Option<TailRecovery>, StoreError> {
+    scan_segment_with(path, tail_ok, TailAction::Truncate, latest, next_seq)
+}
+
+/// [`scan_segment`] with an explicit torn-tail policy.
+fn scan_segment_with(
+    path: &Path,
+    tail_ok: bool,
+    tail_action: TailAction,
+    latest: &mut BTreeMap<(String, u64), Record>,
+    next_seq: &mut u64,
+) -> Result<Option<TailRecovery>, StoreError> {
+    let data = std::fs::read_to_string(path)
+        .map_err(|e| StoreError::io(format!("read {}", path.display()), e))?;
+    let mut consumed = 0usize;
+    let mut line_no = 0usize;
+    let mut bad: Option<(usize, String)> = None;
+    for line in data.split_inclusive('\n') {
+        line_no += 1;
+        let body = line.trim_end_matches('\n');
+        if body.is_empty() {
+            consumed += line.len();
+            continue;
+        }
+        // A line without a trailing newline is torn by definition; a
+        // complete line must also parse.
+        let torn = !line.ends_with('\n');
+        match serde_json::from_str::<Record>(body) {
+            Ok(rec) if !torn => {
+                *next_seq = (*next_seq).max(rec.seq + 1);
+                latest.insert((rec.kind.clone(), rec.key), rec);
+                consumed += line.len();
+            }
+            Ok(_) => {
+                bad = Some((line_no, "truncated final line (no newline)".to_string()));
+                break;
+            }
+            Err(e) => {
+                bad = Some((line_no, e.to_string()));
+                break;
+            }
+        }
+    }
+    let Some((line, detail)) = bad else {
+        return Ok(None);
+    };
+    let is_last_line = data[consumed..].trim_end_matches(['\n']).lines().count() <= 1;
+    if !(tail_ok && is_last_line) {
+        return Err(StoreError::Corrupt {
+            segment: path.to_path_buf(),
+            line,
+            detail,
+        });
+    }
+    // Recoverable torn tail: drop the partial record from disk so the
+    // next append starts on a clean line boundary (snapshots only skip
+    // it in memory — another process may still be writing that line).
+    let dropped = (data.len() - consumed) as u64;
+    if tail_action == TailAction::Truncate {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io(format!("reopen {}", path.display()), e))?;
+        file.set_len(consumed as u64)
+            .map_err(|e| StoreError::io(format!("truncate {}", path.display()), e))?;
+    }
+    Ok(Some(TailRecovery {
+        segment: path.to_path_buf(),
+        dropped_bytes: dropped,
+    }))
+}
+
+/// Count non-empty lines in a segment file.
+fn count_lines(path: &Path) -> Result<u64, StoreError> {
+    match std::fs::read_to_string(path) {
+        Ok(data) => Ok(data.lines().filter(|l| !l.trim().is_empty()).count() as u64),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(StoreError::io(format!("count {}", path.display()), e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fnv1a_key;
+    use crate::record::kinds;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("prudentia_store_unit").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn append_lookup_reopen() {
+        let dir = tmp("append");
+        let mut s = Store::open(&dir).unwrap();
+        let k = fnv1a_key(&["a", "b", "8"]);
+        s.append(kinds::PAIR, k, 2, "{\"x\":1}".to_string())
+            .unwrap();
+        s.append(kinds::PAIR, k, 2, "{\"x\":2}".to_string())
+            .unwrap();
+        assert_eq!(s.live_len(), 1, "same key supersedes");
+        assert_eq!(s.latest(kinds::PAIR, k).unwrap().payload, "{\"x\":2}");
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert!(s.recovered_tail().is_none());
+        assert_eq!(s.live_len(), 1);
+        assert_eq!(s.latest(kinds::PAIR, k).unwrap().payload, "{\"x\":2}");
+        assert_eq!(s.next_seq(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_spans_segments() {
+        let dir = tmp("rotate");
+        let mut s = Store::open(&dir).unwrap();
+        s.set_rotate_after(3);
+        for i in 0..10u64 {
+            s.append(kinds::PAIR, i, 1, format!("{{\"i\":{i}}}"))
+                .unwrap();
+        }
+        assert!(s.stats().segments > 1);
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.live_len(), 10);
+        assert_eq!(s.next_seq(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp("torn");
+        let mut s = Store::open(&dir).unwrap();
+        s.append(kinds::PAIR, 1, 1, "{}".to_string()).unwrap();
+        s.append(kinds::PAIR, 2, 1, "{}".to_string()).unwrap();
+        drop(s);
+        // Simulate a crash mid-append: garbage with no newline.
+        let seg = segment_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(b"{\"seq\":9,\"key\":3,\"ki").unwrap();
+        drop(f);
+        let mut s = Store::open(&dir).unwrap();
+        let rec = s.recovered_tail().expect("tail recovery reported");
+        assert!(rec.dropped_bytes > 0);
+        assert_eq!(s.live_len(), 2, "intact records survive");
+        // The store remains appendable and the file is clean again.
+        s.append(kinds::PAIR, 3, 1, "{}".to_string()).unwrap();
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert!(s.recovered_tail().is_none());
+        assert_eq!(s.live_len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_segment_corruption_is_fatal() {
+        let dir = tmp("corrupt");
+        let mut s = Store::open(&dir).unwrap();
+        s.append(kinds::PAIR, 1, 1, "{}".to_string()).unwrap();
+        s.append(kinds::PAIR, 2, 1, "{}".to_string()).unwrap();
+        drop(s);
+        let seg = segment_path(&dir, 0);
+        let data = std::fs::read_to_string(&seg).unwrap();
+        let lines: Vec<&str> = data.lines().collect();
+        let mangled = format!("not json\n{}\n", lines[1]);
+        std::fs::write(&seg, mangled).unwrap();
+        match Store::open(&dir) {
+            Err(StoreError::Corrupt { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_drops_superseded_history() {
+        let dir = tmp("compact");
+        let mut s = Store::open(&dir).unwrap();
+        s.set_rotate_after(4);
+        for round in 0..5u64 {
+            for key in 0..3u64 {
+                s.append(kinds::PAIR, key, 1, format!("{{\"round\":{round}}}"))
+                    .unwrap();
+            }
+        }
+        let report = s.compact().unwrap();
+        assert_eq!(report.kept, 3);
+        assert_eq!(report.dropped, 12);
+        assert!(report.segments_removed >= 1);
+        assert_eq!(s.stats().segments, 1);
+        let seq_before = s.next_seq();
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.live_len(), 3);
+        assert_eq!(
+            s.next_seq(),
+            seq_before,
+            "seq watermark survives compaction"
+        );
+        for key in 0..3u64 {
+            assert_eq!(s.latest(kinds::PAIR, key).unwrap().payload, "{\"round\":4}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn format_version_mismatch_is_refused() {
+        let dir = tmp("version");
+        let mut s = Store::open(&dir).unwrap();
+        s.append(kinds::PAIR, 1, 1, "{}".to_string()).unwrap();
+        s.sync().unwrap();
+        drop(s);
+        let idx = dir.join("index.json");
+        let data = std::fs::read_to_string(&idx).unwrap();
+        std::fs::write(&idx, data.replace("\"format\":1", "\"format\":999")).unwrap();
+        match Store::open(&dir) {
+            Err(StoreError::FormatVersion { found, expected }) => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, STORE_FORMAT_VERSION);
+            }
+            other => panic!("expected FormatVersion, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_reads_without_touching_disk() {
+        let dir = tmp("snapshot");
+        let mut s = Store::open(&dir).unwrap();
+        s.append(kinds::PAIR, 1, 1, "{\"x\":1}".to_string())
+            .unwrap();
+        s.append(kinds::PAIR, 2, 1, "{\"x\":2}".to_string())
+            .unwrap();
+        // Simulate an in-flight append by another process: torn tail.
+        let seg = segment_path(&dir, 0);
+        let before = {
+            let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+            f.write_all(b"{\"seq\":9,\"key\":3,\"ki").unwrap();
+            std::fs::metadata(&seg).unwrap().len()
+        };
+        let snap = Snapshot::read(&dir).unwrap();
+        assert_eq!(snap.live_len(), 2, "intact records visible");
+        assert_eq!(snap.latest(kinds::PAIR, 2).unwrap().payload, "{\"x\":2}");
+        assert_eq!(snap.next_seq(), 2);
+        assert_eq!(
+            std::fs::metadata(&seg).unwrap().len(),
+            before,
+            "snapshot must not truncate the writer's tail"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_of_kind_filters_and_orders() {
+        let dir = tmp("kinds");
+        let mut s = Store::open(&dir).unwrap();
+        s.append(kinds::PAIR, 5, 1, "{}".to_string()).unwrap();
+        s.append(kinds::PAIR, 2, 1, "{}".to_string()).unwrap();
+        s.append(kinds::CHECKPOINT, 0, 1, "{}".to_string()).unwrap();
+        let keys: Vec<u64> = s.latest_of_kind(kinds::PAIR).map(|r| r.key).collect();
+        assert_eq!(keys, vec![2, 5]);
+        assert_eq!(s.latest_of_kind(kinds::CHECKPOINT).count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -24,6 +24,20 @@ if [ "${1:-}" = "--check" ]; then
       exit 1
     fi
   done
+  # The prudentia CLI itself, and every subcommand answering --help
+  # (run also covers the deprecated pair/solo shim spellings).
+  if [ ! -x target/release/prudentia ]; then
+    echo "MISSING prudentia"
+    exit 1
+  fi
+  for cmd in run matrix watch serve report validate list classify; do
+    if ./target/release/prudentia "$cmd" --help > /dev/null 2>&1; then
+      echo "ok      prudentia $cmd --help"
+    else
+      echo "BROKEN  prudentia $cmd --help"
+      exit 1
+    fi
+  done
   echo ALL_BINS_PRESENT
   exit 0
 fi

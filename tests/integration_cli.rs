@@ -1,0 +1,139 @@
+//! Golden CLI tests: the restructured subcommand interface must keep
+//! stdout byte-identical to the pre-subcommand spellings, route errors
+//! to their documented exit codes, and answer `--help` everywhere.
+
+use std::process::{Command, Output};
+
+fn prudentia(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prudentia"))
+        .args(args)
+        .output()
+        .expect("prudentia binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+#[test]
+fn legacy_pair_and_new_run_print_identical_stdout() {
+    let common = [
+        "iperf-reno",
+        "iperf-cubic",
+        "--trials",
+        "1",
+        "--setting",
+        "8",
+        "--seed",
+        "7",
+    ];
+    let legacy = prudentia(&[&["pair"], &common[..]].concat());
+    let modern = prudentia(&[&["run"], &common[..]].concat());
+    assert!(legacy.status.success(), "pair failed: {}", stderr(&legacy));
+    assert!(modern.status.success(), "run failed: {}", stderr(&modern));
+    let legacy_out = stdout(&legacy);
+    assert!(!legacy_out.is_empty());
+    assert!(legacy_out.contains("(contender) vs"), "{legacy_out}");
+    assert_eq!(legacy_out, stdout(&modern), "golden stdout must match");
+    assert!(
+        stderr(&legacy).contains("deprecated"),
+        "legacy spelling must print a deprecation note: {}",
+        stderr(&legacy)
+    );
+    assert!(
+        !stderr(&modern).contains("deprecated"),
+        "new spelling must not warn: {}",
+        stderr(&modern)
+    );
+}
+
+#[test]
+fn legacy_solo_and_run_solo_print_identical_stdout() {
+    let legacy = prudentia(&["solo", "iperf-reno", "--seed", "3"]);
+    let modern = prudentia(&["run", "--solo", "iperf-reno", "--seed", "3"]);
+    assert!(legacy.status.success(), "solo failed: {}", stderr(&legacy));
+    assert!(
+        modern.status.success(),
+        "run --solo failed: {}",
+        stderr(&modern)
+    );
+    let legacy_out = stdout(&legacy);
+    assert!(legacy_out.contains("solo over"), "{legacy_out}");
+    assert_eq!(legacy_out, stdout(&modern));
+    assert!(stderr(&legacy).contains("deprecated"));
+}
+
+#[test]
+fn matrix_stdout_is_deterministic_across_invocations() {
+    let args = [
+        "matrix",
+        "--services",
+        "iperf-reno,iperf-cubic",
+        "--trials",
+        "1",
+        "--setting",
+        "8",
+    ];
+    let first = prudentia(&args);
+    let second = prudentia(&args);
+    assert!(first.status.success(), "matrix failed: {}", stderr(&first));
+    let first_out = stdout(&first);
+    assert!(first_out.contains("8 Mbps"), "{first_out}");
+    assert!(first_out.contains("iPerf (Ren"), "{first_out}");
+    assert_eq!(first_out, stdout(&second), "matrix must be deterministic");
+}
+
+#[test]
+fn list_is_stable_and_contains_the_catalog() {
+    let out = prudentia(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for label in ["YouTube", "Netflix", "iPerf-Cubic", "iPerf-BBR-4.15"] {
+        assert!(text.contains(label), "missing {label} in:\n{text}");
+    }
+}
+
+#[test]
+fn help_answers_globally_and_per_subcommand() {
+    let global = prudentia(&["--help"]);
+    assert!(global.status.success());
+    assert!(stdout(&global).contains("usage: prudentia <command>"));
+    for cmd in [
+        "run", "matrix", "watch", "serve", "report", "validate", "list", "classify",
+    ] {
+        let out = prudentia(&[cmd, "--help"]);
+        assert!(out.status.success(), "{cmd} --help failed");
+        assert!(
+            stdout(&out).contains(&format!("usage: prudentia {cmd}")),
+            "{cmd} --help output:\n{}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn errors_map_to_documented_exit_codes() {
+    // No command / unknown command / bad flag: usage (2).
+    assert_eq!(prudentia(&[]).status.code(), Some(2));
+    assert_eq!(prudentia(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(
+        prudentia(&["matrix", "--no-such-flag"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        prudentia(&["serve"]).status.code(),
+        Some(2),
+        "serve needs --store"
+    );
+    // Unknown service: 3.
+    let out = prudentia(&["classify", "no-such-service"]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("no-such-service"));
+    // Unreadable store: store error (5).
+    let out = prudentia(&["report", "--store", "/nonexistent/prudentia-store"]);
+    assert_eq!(out.status.code(), Some(5), "stderr: {}", stderr(&out));
+}

@@ -51,7 +51,8 @@ fn canonical(outcomes: &[PairOutcome]) -> String {
 fn determinism_matrix_across_parallelism_and_cache() {
     let pairs = matrix_pairs();
 
-    let (baseline, baseline_stats) = execute_pairs(&pairs, &matrix_config(1));
+    let (baseline, baseline_stats) =
+        execute_pairs(&pairs, &matrix_config(1)).expect("valid config");
     let want = canonical(&baseline);
     assert!(
         baseline_stats.trials_discarded > 0,
@@ -83,7 +84,8 @@ fn determinism_matrix_across_parallelism_and_cache() {
     }
 
     for parallelism in [2, 8] {
-        let (outcomes, _) = execute_pairs(&pairs, &matrix_config(parallelism));
+        let (outcomes, _) =
+            execute_pairs(&pairs, &matrix_config(parallelism)).expect("valid config");
         assert_eq!(
             canonical(&outcomes),
             want,
@@ -93,7 +95,8 @@ fn determinism_matrix_across_parallelism_and_cache() {
 
     // Cold cache at parallelism 2, then warm at 8 and at 1.
     let cache = Arc::new(TrialCache::new());
-    let (cold, _) = execute_pairs(&pairs, &matrix_config(2).with_cache(Arc::clone(&cache)));
+    let (cold, _) = execute_pairs(&pairs, &matrix_config(2).with_cache(Arc::clone(&cache)))
+        .expect("valid config");
     assert_eq!(
         canonical(&cold),
         want,
@@ -101,7 +104,8 @@ fn determinism_matrix_across_parallelism_and_cache() {
     );
 
     let (warm8, warm8_stats) =
-        execute_pairs(&pairs, &matrix_config(8).with_cache(Arc::clone(&cache)));
+        execute_pairs(&pairs, &matrix_config(8).with_cache(Arc::clone(&cache)))
+            .expect("valid config");
     assert_eq!(
         canonical(&warm8),
         want,
@@ -115,7 +119,8 @@ fn determinism_matrix_across_parallelism_and_cache() {
     // A single worker issues exactly the sequential schedule, which the
     // cold run (a superset) has fully memoized: zero simulations.
     let (warm1, warm1_stats) =
-        execute_pairs(&pairs, &matrix_config(1).with_cache(Arc::clone(&cache)));
+        execute_pairs(&pairs, &matrix_config(1).with_cache(Arc::clone(&cache)))
+            .expect("valid config");
     assert_eq!(
         canonical(&warm1),
         want,
@@ -175,10 +180,10 @@ fn scenario_trials_deterministic_across_parallelism_and_cache() {
         )
     };
 
-    let (baseline, _) = execute_pairs(&pairs, &config(1));
+    let (baseline, _) = execute_pairs(&pairs, &config(1)).expect("valid config");
     let want = canonical(&baseline);
     for parallelism in [2, 8] {
-        let (outcomes, _) = execute_pairs(&pairs, &config(parallelism));
+        let (outcomes, _) = execute_pairs(&pairs, &config(parallelism)).expect("valid config");
         assert_eq!(
             canonical(&outcomes),
             want,
@@ -187,9 +192,11 @@ fn scenario_trials_deterministic_across_parallelism_and_cache() {
     }
 
     let cache = Arc::new(TrialCache::new());
-    let (cold, _) = execute_pairs(&pairs, &config(2).with_cache(Arc::clone(&cache)));
+    let (cold, _) =
+        execute_pairs(&pairs, &config(2).with_cache(Arc::clone(&cache))).expect("valid config");
     assert_eq!(canonical(&cold), want, "cold cache changed outcomes");
-    let (warm, warm_stats) = execute_pairs(&pairs, &config(8).with_cache(Arc::clone(&cache)));
+    let (warm, warm_stats) =
+        execute_pairs(&pairs, &config(8).with_cache(Arc::clone(&cache))).expect("valid config");
     assert_eq!(canonical(&warm), want, "warm cache changed outcomes");
     assert!(warm_stats.trials_cached > 0, "warm run must hit the cache");
 }
@@ -239,7 +246,7 @@ fn early_stopping_scales_trials_to_variance() {
         setting: setting.clone(),
     }];
     let config = ExecutorConfig::new(policy, DurationPolicy::Quick, 2);
-    let (outcomes, stats) = execute_pairs(&low_variance, &config);
+    let (outcomes, stats) = execute_pairs(&low_variance, &config).expect("valid config");
     assert!(outcomes[0].converged, "low-variance pair must converge");
     assert_eq!(
         outcomes[0].trials.len(),
@@ -256,7 +263,7 @@ fn early_stopping_scales_trials_to_variance() {
         incumbent: Service::IperfReno.spec(),
         setting,
     }];
-    let (outcomes, stats) = execute_pairs(&high_variance, &config);
+    let (outcomes, stats) = execute_pairs(&high_variance, &config).expect("valid config");
     assert!(
         outcomes[0].trials.len() > policy.min_trials,
         "high-variance pair must extend beyond min_trials (got {} trials, converged: {})",

@@ -41,7 +41,7 @@ fn run(parallelism: usize, metrics: Option<Arc<MetricsRegistry>>) -> Vec<PairOut
     if let Some(reg) = metrics {
         config = config.with_metrics(reg);
     }
-    execute_pairs(&pairs(), &config).0
+    execute_pairs(&pairs(), &config).expect("valid config").0
 }
 
 fn to_json(outcomes: Vec<PairOutcome>) -> String {

@@ -9,7 +9,7 @@ fn solo_rates_match_table1_caps() {
     // Measured over a 200 Mbps pipe so only application caps bind.
     let fat = NetworkSetting::custom(200e6);
     let within = |svc: Service, lo: f64, hi: f64| {
-        let r = run_solo(&svc.spec(), &fat, 3);
+        let r = run_solo(&svc.spec(), &fat, 3).expect("valid setting");
         assert!(
             r >= lo && r <= hi,
             "{svc:?} solo rate {:.2} Mbps outside [{:.1}, {:.1}]",
@@ -30,7 +30,7 @@ fn solo_rates_match_table1_caps() {
 fn unlimited_services_fill_a_fat_pipe() {
     let fat = NetworkSetting::custom(100e6);
     for svc in [Service::Dropbox, Service::GoogleDrive, Service::IperfCubic] {
-        let r = run_solo(&svc.spec(), &fat, 4);
+        let r = run_solo(&svc.spec(), &fat, 4).expect("valid setting");
         assert!(
             r > 80e6,
             "{svc:?} should fill most of 100 Mbps: {:.1} Mbps",
@@ -45,7 +45,8 @@ fn mega_solo_shows_bursts_but_good_average() {
         &Service::Mega.spec(),
         &NetworkSetting::moderately_constrained(),
         5,
-    );
+    )
+    .expect("valid setting");
     assert!(
         r > 25e6 && r < 50e6,
         "Mega solo with batch gaps: {:.1} Mbps",

@@ -1,0 +1,220 @@
+//! Durable store integration: round-trips through real files, crash
+//! recovery from a torn tail, and read-only snapshots coexisting with a
+//! writable store.
+
+use prudentia_store::{fnv1a_key, kinds, Snapshot, Store, STORE_FORMAT_VERSION};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Payload {
+    name: String,
+    score: f64,
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("prudentia_store_integration")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn round_trip_survives_reopen() {
+    let dir = tmp_dir("round_trip");
+    let key = fnv1a_key(&["alpha", "beta", "gamma"]);
+    {
+        let mut store = Store::open(&dir).expect("open");
+        for i in 0..20 {
+            store
+                .append(
+                    kinds::PAIR,
+                    key + i % 3,
+                    STORE_FORMAT_VERSION,
+                    serde_json::to_string(&Payload {
+                        name: format!("rec-{i}"),
+                        score: i as f64 / 4.0,
+                    })
+                    .expect("encode"),
+                )
+                .expect("append");
+        }
+        store.sync().expect("sync");
+    }
+    let store = Store::open(&dir).expect("reopen");
+    assert!(
+        store.recovered_tail().is_none(),
+        "clean shutdown, no recovery"
+    );
+    // Only the latest record per key is live.
+    assert_eq!(store.live_len(), 3);
+    let rec = store.latest(kinds::PAIR, key).expect("latest for key");
+    let payload: Payload = rec.decode().expect("payload decodes");
+    assert_eq!(payload.name, "rec-18");
+    assert_eq!(store.next_seq(), 20);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_tail_is_dropped_without_corrupting_earlier_records() {
+    let dir = tmp_dir("torn_tail");
+    let key = fnv1a_key(&["pair", "x"]);
+    {
+        let mut store = Store::open(&dir).expect("open");
+        for i in 0..5 {
+            store
+                .append(
+                    kinds::PAIR,
+                    key + i,
+                    STORE_FORMAT_VERSION,
+                    serde_json::to_string(&Payload {
+                        name: format!("intact-{i}"),
+                        score: 1.0,
+                    })
+                    .expect("encode"),
+                )
+                .expect("append");
+        }
+        store.sync().expect("sync");
+    }
+    // Simulate a crash mid-append: garbage, then a half-written line.
+    let segment = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .expect("segment file exists");
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&segment)
+            .expect("append to segment");
+        f.write_all(b"{\"seq\":99,\"truncated mid-")
+            .expect("write torn tail");
+    }
+
+    // A read-only snapshot skips the tail and leaves the file untouched.
+    let size_before = std::fs::metadata(&segment).expect("meta").len();
+    let snap = Snapshot::read(&dir).expect("snapshot reads");
+    assert_eq!(snap.live_len(), 5);
+    assert_eq!(
+        std::fs::metadata(&segment).expect("meta").len(),
+        size_before,
+        "snapshot must not modify the segment"
+    );
+
+    // A writable open truncates the tail and reports the recovery.
+    let store = Store::open(&dir).expect("recovering open");
+    let recovery = store.recovered_tail().expect("tail was recovered");
+    assert!(recovery.dropped_bytes > 0);
+    assert_eq!(store.live_len(), 5);
+    for i in 0..5 {
+        let rec = store.latest(kinds::PAIR, key + i).expect("record survives");
+        let payload: Payload = rec.decode().expect("decodes");
+        assert_eq!(payload.name, format!("intact-{i}"));
+    }
+    assert!(
+        std::fs::metadata(&segment).expect("meta").len() < size_before,
+        "writable open drops the torn bytes"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_tracks_a_live_writer() {
+    let dir = tmp_dir("live_writer");
+    let mut store = Store::open(&dir).expect("open");
+    let key = fnv1a_key(&["live"]);
+    store
+        .append(
+            kinds::PAIR,
+            key,
+            STORE_FORMAT_VERSION,
+            serde_json::to_string(&Payload {
+                name: "first".into(),
+                score: 0.0,
+            })
+            .expect("encode"),
+        )
+        .expect("append");
+    store.sync().expect("sync");
+    let snap1 = Snapshot::read(&dir).expect("snapshot 1");
+    assert_eq!(snap1.next_seq(), 1);
+
+    store
+        .append(
+            kinds::PAIR,
+            key,
+            STORE_FORMAT_VERSION,
+            serde_json::to_string(&Payload {
+                name: "second".into(),
+                score: 1.0,
+            })
+            .expect("encode"),
+        )
+        .expect("append 2");
+    store.sync().expect("sync 2");
+    let snap2 = Snapshot::read(&dir).expect("snapshot 2");
+    assert_eq!(snap2.next_seq(), 2);
+    let payload: Payload = snap2
+        .latest(kinds::PAIR, key)
+        .expect("latest")
+        .decode()
+        .expect("decodes");
+    assert_eq!(payload.name, "second");
+    // The earlier snapshot is unaffected (point-in-time view).
+    let old: Payload = snap1
+        .latest(kinds::PAIR, key)
+        .expect("latest in snap1")
+        .decode()
+        .expect("decodes");
+    assert_eq!(old.name, "first");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_preserves_the_latest_view() {
+    let dir = tmp_dir("compaction");
+    let mut store = Store::open(&dir).expect("open");
+    store.set_rotate_after(4);
+    let keys: Vec<u64> = (0..4).map(|i| fnv1a_key(&["k", &i.to_string()])).collect();
+    for round in 0..6 {
+        for (i, key) in keys.iter().enumerate() {
+            store
+                .append(
+                    kinds::PAIR,
+                    *key,
+                    STORE_FORMAT_VERSION,
+                    serde_json::to_string(&Payload {
+                        name: format!("r{round}-k{i}"),
+                        score: round as f64,
+                    })
+                    .expect("encode"),
+                )
+                .expect("append");
+        }
+    }
+    let before: Vec<Payload> = keys
+        .iter()
+        .map(|k| store.latest(kinds::PAIR, *k).unwrap().decode().unwrap())
+        .collect();
+    let report = store.compact().expect("compact");
+    assert!(report.dropped > 0, "{report:?}");
+    let after: Vec<Payload> = keys
+        .iter()
+        .map(|k| store.latest(kinds::PAIR, *k).unwrap().decode().unwrap())
+        .collect();
+    assert_eq!(before, after);
+
+    // And the compacted store reopens to the same view.
+    drop(store);
+    let reopened = Store::open(&dir).expect("reopen");
+    let reread: Vec<Payload> = keys
+        .iter()
+        .map(|k| reopened.latest(kinds::PAIR, *k).unwrap().decode().unwrap())
+        .collect();
+    assert_eq!(before, reread);
+    std::fs::remove_dir_all(&dir).ok();
+}
