@@ -67,7 +67,7 @@ pub use experiment::{
 };
 pub use heatmap::{Heatmap, HeatmapStat};
 pub use prudentia_obs::{MetricsRegistry, MetricsSnapshot};
-pub use prudentia_sim::{ImpairmentSpec, QdiscSpec, RateStep, ScenarioSpec};
+pub use prudentia_sim::{ImpairmentSpec, QdiscSpec, RateStep, ScenarioSpec, SchedulerKind};
 pub use report::{loser_shares, loser_stats, self_competition_mean, LoserStats, TransitivityRow};
 pub use results::ResultStore;
 pub use runner::{

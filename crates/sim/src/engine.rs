@@ -9,10 +9,10 @@
 //! deterministic.
 
 use crate::aqm::QueueDiscipline;
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventScheduler, SchedulerKind};
 use crate::invariant::InvariantGuard;
 use crate::link::{BottleneckConfig, PathSpec};
-use crate::packet::{EndpointId, FlowId, Packet, PacketKind, ServiceId};
+use crate::packet::{EndpointId, FlowId, Packet, PacketArena, PacketKind, ServiceId};
 use crate::pcap::PcapWriter;
 use crate::queue::{EnqueueResult, ServiceQueueStats};
 use crate::scenario::{ImpairmentSpec, ScenarioSpec};
@@ -21,7 +21,6 @@ use crate::trace::Trace;
 use prudentia_obs::Histogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// An actor attached to the engine: a transport sender, receiver, or an
 /// application driver. All callbacks receive a [`Ctx`] for interacting with
@@ -45,7 +44,13 @@ struct Network {
     queue: Box<dyn QueueDiscipline>,
     /// Packet currently being serialized, with the queueing delay it saw.
     in_flight: Option<(Packet, SimDuration)>,
-    paths: HashMap<FlowId, PathSpec>,
+    /// Path delays indexed by `FlowId.0` — flow ids are dense (assigned
+    /// sequentially by `register_flow`), so the per-send lookup is an
+    /// array index instead of a hash.
+    paths: Vec<PathSpec>,
+    /// Storage for packets travelling between scheduler legs; events
+    /// carry handles into it (see [`crate::packet::PacketArena`]).
+    arena: PacketArena,
     /// Probability of a packet being lost upstream of the testbed
     /// ("background noise" external to the bottleneck, §3.1).
     external_loss_prob: f64,
@@ -69,7 +74,7 @@ struct Network {
 pub struct Ctx<'a> {
     now: SimTime,
     self_id: EndpointId,
-    events: &'a mut EventQueue,
+    events: &'a mut EventScheduler,
     net: &'a mut Network,
     trace: &'a mut Trace,
 }
@@ -99,7 +104,7 @@ impl<'a> Ctx<'a> {
     pub fn base_rtt(&self, flow: FlowId) -> SimDuration {
         self.net
             .paths
-            .get(&flow)
+            .get(flow.0 as usize)
             .map(|p| p.base_rtt())
             .unwrap_or(SimDuration::ZERO)
     }
@@ -112,7 +117,7 @@ impl<'a> Ctx<'a> {
         let path = *self
             .net
             .paths
-            .get(&pkt.flow)
+            .get(pkt.flow.0 as usize)
             .expect("send_data: unknown flow — register_flow first");
         self.net.external_candidates += 1;
         if self.net.external_loss_prob > 0.0
@@ -121,9 +126,10 @@ impl<'a> Ctx<'a> {
             self.net.external_losses += 1;
             return;
         }
+        let handle = self.net.arena.alloc(pkt);
         self.events.schedule(
             self.now + path.to_bottleneck,
-            Event::ArriveAtBottleneck(pkt),
+            Event::ArriveAtBottleneck(handle),
         );
     }
 
@@ -133,17 +139,20 @@ impl<'a> Ctx<'a> {
         let path = *self
             .net
             .paths
-            .get(&pkt.flow)
+            .get(pkt.flow.0 as usize)
             .expect("send_reverse: unknown flow");
+        let handle = self.net.arena.alloc(pkt);
         self.events
-            .schedule(self.now + path.ack_return, Event::Deliver(pkt));
+            .schedule(self.now + path.ack_return, Event::Deliver(handle));
     }
 
     /// Deliver a packet to another endpoint after an arbitrary delay,
     /// bypassing the bottleneck entirely (control-plane style messaging).
     pub fn send_direct(&mut self, mut pkt: Packet, delay: SimDuration) {
         pkt.sent_at = self.now;
-        self.events.schedule(self.now + delay, Event::Deliver(pkt));
+        let handle = self.net.arena.alloc(pkt);
+        self.events
+            .schedule(self.now + delay, Event::Deliver(handle));
     }
 
     /// Arrange for `on_timer(token)` to fire after `delay`.
@@ -173,7 +182,7 @@ impl<'a> Ctx<'a> {
 /// The simulation engine.
 pub struct Engine {
     now: SimTime,
-    events: EventQueue,
+    events: EventScheduler,
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
     net: Network,
     trace: Trace,
@@ -207,7 +216,20 @@ impl Engine {
     /// Create an engine whose bottleneck runs the given scenario: the
     /// scenario's queue discipline replaces drop-tail and its impairments
     /// (rate schedule, loss, jitter, reordering) act on the link.
+    /// The event calendar is the process default ([`SchedulerKind::from_env`]).
     pub fn with_scenario(config: BottleneckConfig, scenario: &ScenarioSpec, seed: u64) -> Self {
+        Engine::with_scenario_and_scheduler(config, scenario, seed, SchedulerKind::from_env())
+    }
+
+    /// Like [`Engine::with_scenario`], but with an explicit event-calendar
+    /// implementation. Differential tests use this to run the timing wheel
+    /// and the legacy heap side by side in one process.
+    pub fn with_scenario_and_scheduler(
+        config: BottleneckConfig,
+        scenario: &ScenarioSpec,
+        seed: u64,
+        scheduler: SchedulerKind,
+    ) -> Self {
         let scenario_json = scenario.to_json_compact();
         let invariants = crate::invariant::runtime_enabled()
             .then(|| InvariantGuard::from_json(scenario_json.clone(), seed));
@@ -215,13 +237,14 @@ impl Engine {
             seed,
             scenario_json,
             now: SimTime::ZERO,
-            events: EventQueue::new(),
+            events: EventScheduler::new(scheduler),
             endpoints: Vec::new(),
             net: Network {
                 queue: scenario.qdisc.build(config.queue_capacity_pkts, seed),
                 config,
                 in_flight: None,
-                paths: HashMap::new(),
+                paths: Vec::new(),
+                arena: PacketArena::with_capacity(config.queue_capacity_pkts.min(4096)),
                 external_loss_prob: 0.0,
                 external_losses: 0,
                 external_candidates: 0,
@@ -321,7 +344,8 @@ impl Engine {
     pub fn register_flow(&mut self, path: PathSpec) -> FlowId {
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
-        self.net.paths.insert(id, path);
+        debug_assert_eq!(id.0 as usize, self.net.paths.len());
+        self.net.paths.push(path);
         id
     }
 
@@ -382,6 +406,22 @@ impl Engine {
         self.events_processed
     }
 
+    /// Which event-calendar implementation this engine runs.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.events.kind()
+    }
+
+    /// Packet-arena accounting: `(allocs, frees, live)`. The arena
+    /// conserves handles — `allocs == frees + live` always — and `live`
+    /// counts exactly the packets referenced by pending events.
+    pub fn arena_stats(&self) -> (u64, u64, usize) {
+        (
+            self.net.arena.allocs(),
+            self.net.arena.frees(),
+            self.net.arena.live(),
+        )
+    }
+
     /// Distribution of total bottleneck queue occupancy (in packets),
     /// sampled at every enqueue and transmit completion.
     pub fn queue_depth_histogram(&self) -> &Histogram {
@@ -438,12 +478,17 @@ impl Engine {
     }
 
     fn sample_queue(&mut self) {
-        let (a, b) = self.net.svc_pair;
         let total = self.net.queue.len();
-        let qa = self.net.queue.occupancy_of(a);
-        let qb = self.net.queue.occupancy_of(b);
         self.queue_depth.record(total as f64);
-        self.trace.sample_queue(self.now, total, qa, qb);
+        // Per-service occupancy walks the whole queue; only pay for it
+        // when the trace will actually keep the sample (it decimates to
+        // one sample per 10 ms by default).
+        if self.trace.wants_queue_sample(self.now) {
+            let (a, b) = self.net.svc_pair;
+            let qa = self.net.queue.occupancy_of(a);
+            let qb = self.net.queue.occupancy_of(b);
+            self.trace.sample_queue(self.now, total, qa, qb);
+        }
     }
 
     fn dispatch_to_endpoint(&mut self, id: EndpointId, action: DispatchAction) {
@@ -486,7 +531,8 @@ impl Engine {
             self.now = at;
             self.events_processed += 1;
             match event {
-                Event::ArriveAtBottleneck(mut pkt) => {
+                Event::ArriveAtBottleneck(handle) => {
+                    let mut pkt = self.net.arena.take(handle);
                     pkt.enqueued_at = self.now;
                     if let Some(g) = self.invariants.as_mut() {
                         g.on_arrival();
@@ -522,7 +568,7 @@ impl Engine {
                     let path = *self
                         .net
                         .paths
-                        .get(&pkt.flow)
+                        .get(pkt.flow.0 as usize)
                         .expect("unknown flow at egress");
                     let mut extra = SimDuration::ZERO;
                     if self.net.impairment.jitter > SimDuration::ZERO {
@@ -535,12 +581,16 @@ impl Engine {
                         // Held back long enough for later packets to pass it.
                         extra += self.net.impairment.reorder_extra;
                     }
-                    self.events
-                        .schedule(self.now + path.from_bottleneck + extra, Event::Deliver(pkt));
+                    let handle = self.net.arena.alloc(pkt);
+                    self.events.schedule(
+                        self.now + path.from_bottleneck + extra,
+                        Event::Deliver(handle),
+                    );
                     self.maybe_start_tx();
                     self.sample_queue();
                 }
-                Event::Deliver(pkt) => {
+                Event::Deliver(handle) => {
+                    let pkt = self.net.arena.take(handle);
                     let dst = pkt.dst;
                     self.dispatch_to_endpoint(dst, DispatchAction::Packet(pkt));
                 }

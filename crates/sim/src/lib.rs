@@ -36,15 +36,21 @@ pub mod queue;
 pub mod scenario;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use aqm::{CoDelQueue, FqCoDelQueue, QdiscSpec, QueueDiscipline, RedQueue};
 pub use config::NetworkSetting;
 pub use engine::{Ctx, Endpoint, Engine};
+pub use event::{Event, EventScheduler, LegacyEventQueue, SchedulerKind};
 pub use invariant::InvariantGuard;
 pub use link::{BottleneckConfig, PathSpec};
-pub use packet::{EndpointId, FlowId, Packet, PacketKind, ServiceId, ACK_BYTES, MTU_BYTES};
+pub use packet::{
+    EndpointId, FlowId, Packet, PacketArena, PacketHandle, PacketKind, ServiceId, ACK_BYTES,
+    MTU_BYTES,
+};
 pub use pcap::PcapWriter;
 pub use queue::{bdp_packets, pow2_round, DropTailQueue, EnqueueResult, ServiceQueueStats};
 pub use scenario::{ImpairmentSpec, RateStep, ScenarioSpec};
 pub use time::{serialization_time, SimDuration, SimTime};
 pub use trace::{QueueSample, ThroughputSeries, Trace};
+pub use wheel::TimingWheel;

@@ -139,6 +139,161 @@ impl Packet {
     }
 }
 
+/// A generational index into a [`PacketArena`].
+///
+/// Handles are 8 bytes and `Copy`, so events carry them instead of the
+/// ~100-byte [`Packet`] itself — the scheduler then moves small POD
+/// elements through its slots rather than memcpying whole packets on
+/// every sift. The generation tag makes stale handles (use-after-free,
+/// double-free) detectable instead of silently aliasing a recycled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl PacketHandle {
+    /// The raw slot index (diagnostics only — do not fabricate handles).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The generation this handle was issued under.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+#[derive(Debug)]
+struct ArenaSlot {
+    generation: u32,
+    pkt: Option<Packet>,
+}
+
+/// A generational arena for in-flight packets.
+///
+/// Packets travelling between scheduler legs (sender → bottleneck,
+/// bottleneck egress → destination) live here; the event calendar holds
+/// only [`PacketHandle`]s. Freed slots are recycled LIFO through a free
+/// list, so steady-state simulation performs no heap allocation per
+/// packet, and slot reuse is fully deterministic: the same
+/// alloc/free sequence always yields the same handle sequence.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<ArenaSlot>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+    allocs: u64,
+    frees: u64,
+}
+
+impl PacketArena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an arena with room for `cap` packets before regrowing.
+    pub fn with_capacity(cap: usize) -> Self {
+        PacketArena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            ..Self::default()
+        }
+    }
+
+    /// Store `pkt`, returning a handle that uniquely identifies this
+    /// residency (a later re-use of the slot gets a new generation).
+    pub fn alloc(&mut self, pkt: Packet) -> PacketHandle {
+        self.allocs += 1;
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                debug_assert!(slot.pkt.is_none(), "free list pointed at a live slot");
+                slot.pkt = Some(pkt);
+                PacketHandle {
+                    index,
+                    generation: slot.generation,
+                }
+            }
+            None => {
+                let index = self.slots.len() as u32;
+                self.slots.push(ArenaSlot {
+                    generation: 0,
+                    pkt: Some(pkt),
+                });
+                PacketHandle {
+                    index,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Move the packet out, freeing the slot for reuse.
+    ///
+    /// Panics on a stale handle (the slot was already freed, or freed and
+    /// recycled): every take bumps the slot's generation, so a dangling
+    /// handle can never silently alias another packet's residency. The
+    /// check is a single integer compare and stays on in release builds.
+    pub fn take(&mut self, handle: PacketHandle) -> Packet {
+        let slot = self
+            .slots
+            .get_mut(handle.index as usize)
+            .unwrap_or_else(|| panic!("packet handle {handle:?} out of bounds"));
+        assert_eq!(
+            slot.generation, handle.generation,
+            "stale packet handle: slot {} is at generation {}, handle was issued at {}",
+            handle.index, slot.generation, handle.generation
+        );
+        let pkt = slot
+            .pkt
+            .take()
+            .unwrap_or_else(|| panic!("double take of packet handle {handle:?}"));
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(handle.index);
+        self.frees += 1;
+        self.live -= 1;
+        pkt
+    }
+
+    /// Read a live packet, or `None` if the handle is stale.
+    pub fn get(&self, handle: PacketHandle) -> Option<&Packet> {
+        self.slots
+            .get(handle.index as usize)
+            .filter(|s| s.generation == handle.generation)
+            .and_then(|s| s.pkt.as_ref())
+    }
+
+    /// Packets currently resident.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no packets are resident.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Most packets ever resident at once (slot count never exceeds this).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total allocations performed.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Total frees performed. `allocs == frees + live` always holds.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +319,63 @@ mod tests {
     fn ids_display() {
         assert_eq!(FlowId(3).to_string(), "flow3");
         assert_eq!(ServiceId(1).to_string(), "svc1");
+    }
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(FlowId(0), ServiceId(0), EndpointId(0), seq, MTU_BYTES)
+    }
+
+    #[test]
+    fn arena_roundtrips_and_conserves() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(pkt(1));
+        let b = arena.alloc(pkt(2));
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.take(a).seq, 1);
+        assert_eq!(arena.take(b).seq, 2);
+        assert!(arena.is_empty());
+        assert_eq!(arena.allocs(), arena.frees() + arena.live() as u64);
+        assert_eq!(arena.high_water(), 2);
+    }
+
+    #[test]
+    fn arena_free_list_reuse_is_lifo_and_bumps_generation() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(pkt(1));
+        let _b = arena.alloc(pkt(2));
+        arena.take(a);
+        let c = arena.alloc(pkt(3));
+        // Slot of `a` is reused (LIFO free list), under a new generation.
+        assert_eq!(c.index(), a.index());
+        assert_eq!(c.generation(), a.generation() + 1);
+        assert_eq!(arena.take(c).seq, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn arena_double_take_panics() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(pkt(1));
+        arena.take(a);
+        arena.take(a); // generation already bumped: caught
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn arena_use_after_reuse_panics() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(pkt(1));
+        arena.take(a);
+        let _c = arena.alloc(pkt(2)); // reuses a's slot
+        arena.take(a); // stale generation: caught, never aliases c's packet
+    }
+
+    #[test]
+    fn arena_get_distinguishes_live_from_stale() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(pkt(7));
+        assert_eq!(arena.get(a).map(|p| p.seq), Some(7));
+        arena.take(a);
+        assert!(arena.get(a).is_none());
     }
 }

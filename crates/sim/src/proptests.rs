@@ -4,13 +4,16 @@
 
 use crate::aqm::{QdiscSpec, QueueDiscipline};
 use crate::engine::{Ctx, Endpoint, Engine};
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventScheduler, LegacyEventQueue, SchedulerKind};
 use crate::link::{BottleneckConfig, PathSpec};
-use crate::packet::{EndpointId, FlowId, Packet, ServiceId};
+use crate::packet::{EndpointId, FlowId, Packet, PacketArena, ServiceId};
 use crate::queue::{pow2_round, DropTailQueue, EnqueueResult};
 use crate::scenario::{ImpairmentSpec, RateStep, ScenarioSpec};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
 use proptest::prelude::*;
+
+const BOTH_KINDS: [SchedulerKind; 2] = [SchedulerKind::Wheel, SchedulerKind::Legacy];
 
 /// The four disciplines, for invariant tests that must hold for all.
 fn all_qdiscs() -> [QdiscSpec; 4] {
@@ -128,38 +131,58 @@ proptest! {
     ) {
         // The full engine path — scenario-built qdisc, impaired link,
         // jittered paths — must satisfy the conservation invariant
-        // (arrivals == dequeues + drops + resident) for every discipline.
-        // The InvariantGuard audits after every event (tests run with
-        // invariants on), and the final ledger is re-checked here.
+        // (arrivals == dequeues + drops + resident) for every discipline,
+        // on both event calendars. The InvariantGuard audits after every
+        // event (invariants are force-enabled), the final ledger is
+        // re-checked here, and the two calendars must agree on the ledger,
+        // the event count, and the arena accounting exactly.
         for qdisc in all_qdiscs() {
             let scenario = ScenarioSpec { qdisc, impairment: impairment.clone() };
-            let mut eng = Engine::with_scenario(
-                BottleneckConfig { rate_bps: 8e6, queue_capacity_pkts: 32 },
-                &scenario,
-                seed,
-            );
-            eng.enable_invariants();
-            let flow = eng.register_flow_jittered(
-                PathSpec::symmetric(SimDuration::from_millis(20)),
-            );
-            eng.add_endpoint(Box::new(OpenLoopSender {
-                flow,
-                service: ServiceId(0),
-                dst: EndpointId(1),
-                burst,
-                every: SimDuration::from_micros(every_us),
-                seq: 0,
-            }));
-            eng.add_endpoint(Box::new(Sink));
-            eng.run_until(SimTime::from_secs(2));
-            let (arrivals, dequeues, drops, queued) =
-                eng.conservation_ledger().expect("invariants enabled");
-            prop_assert!(arrivals > 0, "no traffic reached the bottleneck");
+            let mut ledgers = Vec::new();
+            for kind in BOTH_KINDS {
+                let mut eng = Engine::with_scenario_and_scheduler(
+                    BottleneckConfig { rate_bps: 8e6, queue_capacity_pkts: 32 },
+                    &scenario,
+                    seed,
+                    kind,
+                );
+                eng.enable_invariants();
+                let flow = eng.register_flow_jittered(
+                    PathSpec::symmetric(SimDuration::from_millis(20)),
+                );
+                eng.add_endpoint(Box::new(OpenLoopSender {
+                    flow,
+                    service: ServiceId(0),
+                    dst: EndpointId(1),
+                    burst,
+                    every: SimDuration::from_micros(every_us),
+                    seq: 0,
+                }));
+                eng.add_endpoint(Box::new(Sink));
+                eng.run_until(SimTime::from_secs(2));
+                let (arrivals, dequeues, drops, queued) =
+                    eng.conservation_ledger().expect("invariants enabled");
+                prop_assert!(arrivals > 0, "no traffic reached the bottleneck");
+                prop_assert_eq!(
+                    arrivals,
+                    dequeues + drops + queued,
+                    "conservation violated on {} ({})",
+                    eng.qdisc_kind(),
+                    kind.name()
+                );
+                let (allocs, frees, live) = eng.arena_stats();
+                prop_assert_eq!(
+                    allocs,
+                    frees + live as u64,
+                    "arena leaked handles on {} ({})",
+                    eng.qdisc_kind(),
+                    kind.name()
+                );
+                ledgers.push((arrivals, dequeues, drops, queued, eng.events_processed()));
+            }
             prop_assert_eq!(
-                arrivals,
-                dequeues + drops + queued,
-                "conservation violated on {}",
-                eng.qdisc_kind()
+                &ledgers[0], &ledgers[1],
+                "wheel and legacy calendars disagree under {}", scenario.qdisc.kind()
             );
         }
     }
@@ -170,21 +193,23 @@ proptest! {
     fn event_queue_pops_in_nondecreasing_time_order(
         times in proptest::collection::vec(0u64..1_000_000, 1..200),
     ) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(
-                SimTime::from_nanos(t),
-                Event::Timer { endpoint: EndpointId(0), token: i as u64 },
-            );
+        for kind in BOTH_KINDS {
+            let mut q = EventScheduler::new(kind);
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(
+                    SimTime::from_nanos(t),
+                    Event::Timer { endpoint: EndpointId(0), token: i as u64 },
+                );
+            }
+            let mut last = SimTime::ZERO;
+            let mut popped = 0;
+            while let Some((at, _)) = q.pop() {
+                prop_assert!(at >= last, "time went backwards ({})", kind.name());
+                last = at;
+                popped += 1;
+            }
+            prop_assert_eq!(popped, times.len());
         }
-        let mut last = SimTime::ZERO;
-        let mut popped = 0;
-        while let Some((at, _)) = q.pop() {
-            prop_assert!(at >= last, "time went backwards");
-            last = at;
-            popped += 1;
-        }
-        prop_assert_eq!(popped, times.len());
     }
 
     #[test]
@@ -192,19 +217,137 @@ proptest! {
         n in 2usize..150,
         t in 0u64..1_000_000,
     ) {
-        let mut q = EventQueue::new();
-        for token in 0..n as u64 {
-            q.schedule(
-                SimTime::from_nanos(t),
-                Event::Timer { endpoint: EndpointId(0), token },
-            );
+        for kind in BOTH_KINDS {
+            let mut q = EventScheduler::new(kind);
+            for token in 0..n as u64 {
+                q.schedule(
+                    SimTime::from_nanos(t),
+                    Event::Timer { endpoint: EndpointId(0), token },
+                );
+            }
+            let mut expect = 0u64;
+            while let Some((_, Event::Timer { token, .. })) = q.pop() {
+                prop_assert_eq!(token, expect, "FIFO broken ({})", kind.name());
+                expect += 1;
+            }
+            prop_assert_eq!(expect, n as u64);
         }
-        let mut expect = 0u64;
-        while let Some((_, Event::Timer { token, .. })) = q.pop() {
-            prop_assert_eq!(token, expect);
-            expect += 1;
+    }
+
+    #[test]
+    fn timing_wheel_matches_sorted_vec_model(
+        ops in proptest::collection::vec(
+            (
+                0u8..5, // 0 = pop, 1..4 = schedule
+                prop_oneof![
+                    Just(0u64),                      // same instant (FIFO)
+                    0u64..4096,                      // inside one tick
+                    4096u64 * 62..4096 * 66,         // level-0 → level-1 boundary
+                    (4096u64 << 6) - 9000..(4096 << 6) + 9000, // level-1 → 2
+                    0u64..(1u64 << 41),              // far future, incl. overflow
+                ],
+            ),
+            1..400,
+        ),
+    ) {
+        // Drive the wheel, the legacy heap, and a sorted-vec reference
+        // model through the same schedule/pop interleaving; all three must
+        // agree on every popped (time, token) pair. Delays are biased
+        // toward tick and cascade boundaries, where wheel bugs live.
+        let mut wheel = TimingWheel::new();
+        let mut legacy = LegacyEventQueue::new();
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (at_ns, token)
+        let mut now = 0u64;
+        let mut token = 0u64;
+        let drive = |wheel: &mut TimingWheel,
+                     legacy: &mut LegacyEventQueue,
+                     model: &mut Vec<(u64, u64)>,
+                     now: &mut u64| {
+            let got_w = wheel.pop();
+            let got_l = legacy.pop();
+            prop_assert_eq!(&got_w, &got_l, "wheel vs legacy pop");
+            // Model: earliest (at, insertion order). Tokens are issued in
+            // insertion order, so (at, token) is the full sort key.
+            let want = model
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(at, tok))| (at, tok))
+                .map(|(i, _)| i);
+            match (got_w, want) {
+                (Some((at, Event::Timer { token: tok, .. })), Some(i)) => {
+                    let (mat, mtok) = model.remove(i);
+                    prop_assert_eq!(at.as_nanos(), mat, "wheel vs model time");
+                    prop_assert_eq!(tok, mtok, "wheel vs model order");
+                    *now = mat;
+                }
+                (None, None) => {}
+                (got, want) => {
+                    panic!("pop mismatch: got {got:?}, model {want:?}");
+                }
+            }
+        };
+        for &(op, delay) in &ops {
+            if op == 0 {
+                drive(&mut wheel, &mut legacy, &mut model, &mut now);
+            } else {
+                let at = now.saturating_add(delay);
+                let ev = Event::Timer { endpoint: EndpointId(0), token };
+                wheel.schedule(SimTime::from_nanos(at), ev);
+                legacy.schedule(SimTime::from_nanos(at), ev);
+                model.push((at, token));
+                token += 1;
+            }
+            prop_assert_eq!(wheel.len(), model.len());
         }
-        prop_assert_eq!(expect, n as u64);
+        while !model.is_empty() {
+            drive(&mut wheel, &mut legacy, &mut model, &mut now);
+        }
+        prop_assert!(wheel.is_empty() && legacy.is_empty());
+        prop_assert_eq!(wheel.pop(), None);
+    }
+
+    #[test]
+    fn arena_conserves_and_reuses_deterministically(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..300),
+    ) {
+        // One pass records the handle stream; identical op sequences on
+        // fresh arenas — including on 2 and 8 parallel threads — must
+        // reproduce it exactly (free-list reuse is LIFO-deterministic,
+        // with no global state). Conservation holds after every step, and
+        // freed handles immediately read back as stale.
+        fn run(ops: &[(bool, u8)]) -> Vec<(u32, u32)> {
+            let mut arena = PacketArena::new();
+            let mut live_handles = Vec::new();
+            let mut stream = Vec::new();
+            for &(is_alloc, pick) in ops {
+                if is_alloc || live_handles.is_empty() {
+                    let h = arena.alloc(Packet::data(
+                        FlowId(0), ServiceId(0), EndpointId(0), 0, 1500,
+                    ));
+                    stream.push((h.index(), h.generation()));
+                    live_handles.push(h);
+                } else {
+                    let h = live_handles.swap_remove(pick as usize % live_handles.len());
+                    let _ = arena.take(h);
+                    assert!(arena.get(h).is_none(), "freed handle must be stale");
+                }
+                assert_eq!(arena.allocs(), arena.frees() + arena.live() as u64);
+                assert_eq!(arena.live(), live_handles.len());
+            }
+            stream
+        }
+        let want = run(&ops);
+        for parallelism in [2usize, 8] {
+            let streams: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..parallelism)
+                    .map(|_| s.spawn(|| run(&ops)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for stream in streams {
+                prop_assert_eq!(&stream, &want, "handle stream diverged across threads");
+            }
+        }
     }
 
     #[test]

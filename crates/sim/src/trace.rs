@@ -8,7 +8,6 @@
 use crate::packet::ServiceId;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Delivered-bytes timeseries for one service, in fixed-width bins.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,21 +104,34 @@ pub struct QueueSample {
     pub svc_b_pkts: u32,
 }
 
+/// Per-service accumulators, one dense entry per service id.
+///
+/// `on_delivered` runs for every data packet crossing the bottleneck —
+/// one of the two hottest paths in the simulator — so per-service state
+/// is a `Vec` indexed by `ServiceId.0` (service ids are small and dense
+/// by construction: pair builders hand out 0 and 1) instead of the six
+/// hash lookups per packet the `HashMap`-keyed layout cost.
+#[derive(Debug)]
+struct SvcStats {
+    series: ThroughputSeries,
+    qdelay_sum: SimDuration,
+    qdelay_count: u64,
+    qdelay_max: SimDuration,
+    high_delay_pkts: u64,
+    delivered_pkts: u64,
+}
+
 /// Collects all per-experiment instrumentation.
 #[derive(Debug)]
 pub struct Trace {
     bin: SimDuration,
-    /// Bytes delivered downstream of the bottleneck, per service.
-    delivered: HashMap<ServiceId, ThroughputSeries>,
-    /// Queueing-delay samples (time spent in the bottleneck queue), per service.
-    qdelay_sum: HashMap<ServiceId, SimDuration>,
-    qdelay_count: HashMap<ServiceId, u64>,
-    qdelay_max: HashMap<ServiceId, SimDuration>,
-    /// Count of delivered packets whose queueing delay exceeded the
-    /// high-delay threshold (ITU 190 ms RTT bound, §5.1), per service.
+    /// Per-service delivery accumulators, indexed by `ServiceId.0`.
+    /// `None` until the service delivers its first packet, so "never
+    /// delivered" stays distinguishable from "delivered zero bytes".
+    per_svc: Vec<Option<SvcStats>>,
+    /// Queueing-delay budget (ITU 190 ms RTT bound, §5.1) beyond which a
+    /// delivered packet counts as high-delay.
     high_delay_threshold: SimDuration,
-    high_delay_pkts: HashMap<ServiceId, u64>,
-    delivered_pkts: HashMap<ServiceId, u64>,
     /// Decimated queue occupancy timeline.
     queue_samples: Vec<QueueSample>,
     queue_sample_interval: SimDuration,
@@ -136,19 +148,36 @@ impl Trace {
     pub fn with_resolution(bin: SimDuration, queue_sample_interval: SimDuration) -> Self {
         Trace {
             bin,
-            delivered: HashMap::new(),
-            qdelay_sum: HashMap::new(),
-            qdelay_count: HashMap::new(),
-            qdelay_max: HashMap::new(),
+            per_svc: Vec::new(),
             // The ITU real-time bound is 190 ms RTT; with a 50 ms base RTT the
             // queueing-delay budget before a packet violates it is 140 ms.
             high_delay_threshold: SimDuration::from_millis(140),
-            high_delay_pkts: HashMap::new(),
-            delivered_pkts: HashMap::new(),
             queue_samples: Vec::new(),
             queue_sample_interval,
             last_queue_sample: None,
         }
+    }
+
+    fn svc(&self, service: ServiceId) -> Option<&SvcStats> {
+        self.per_svc
+            .get(service.0 as usize)
+            .and_then(Option::as_ref)
+    }
+
+    fn svc_mut(&mut self, service: ServiceId) -> &mut SvcStats {
+        let idx = service.0 as usize;
+        if idx >= self.per_svc.len() {
+            self.per_svc.resize_with(idx + 1, || None);
+        }
+        let bin = self.bin;
+        self.per_svc[idx].get_or_insert_with(|| SvcStats {
+            series: ThroughputSeries::new(bin),
+            qdelay_sum: SimDuration::ZERO,
+            qdelay_count: 0,
+            qdelay_max: SimDuration::ZERO,
+            high_delay_pkts: 0,
+            delivered_pkts: 0,
+        })
     }
 
     /// Override the queueing-delay budget that counts as "high delay".
@@ -164,26 +193,34 @@ impl Trace {
         bytes: u64,
         queueing_delay: SimDuration,
     ) {
-        self.delivered
-            .entry(service)
-            .or_insert_with(|| ThroughputSeries::new(self.bin))
-            .record(now, bytes);
-        *self.qdelay_sum.entry(service).or_default() += queueing_delay;
-        *self.qdelay_count.entry(service).or_default() += 1;
-        let m = self.qdelay_max.entry(service).or_default();
-        *m = (*m).max(queueing_delay);
-        *self.delivered_pkts.entry(service).or_default() += 1;
-        if queueing_delay > self.high_delay_threshold {
-            *self.high_delay_pkts.entry(service).or_default() += 1;
+        let threshold = self.high_delay_threshold;
+        let s = self.svc_mut(service);
+        s.series.record(now, bytes);
+        s.qdelay_sum += queueing_delay;
+        s.qdelay_count += 1;
+        s.qdelay_max = s.qdelay_max.max(queueing_delay);
+        s.delivered_pkts += 1;
+        if queueing_delay > threshold {
+            s.high_delay_pkts += 1;
+        }
+    }
+
+    /// Whether a queue sample taken at `now` would be kept rather than
+    /// decimated away. The engine checks this *before* computing
+    /// per-service occupancies, which walk the whole queue — without the
+    /// pre-check those O(queue) scans run on every event only for
+    /// `sample_queue` to discard >99% of them.
+    pub fn wants_queue_sample(&self, now: SimTime) -> bool {
+        match self.last_queue_sample {
+            Some(last) => now.saturating_since(last) >= self.queue_sample_interval,
+            None => true,
         }
     }
 
     /// Record a queue occupancy sample, decimated to the sample interval.
     pub fn sample_queue(&mut self, now: SimTime, total: usize, svc_a: usize, svc_b: usize) {
-        if let Some(last) = self.last_queue_sample {
-            if now.saturating_since(last) < self.queue_sample_interval {
-                return;
-            }
+        if !self.wants_queue_sample(now) {
+            return;
         }
         self.last_queue_sample = Some(now);
         self.queue_samples.push(QueueSample {
@@ -194,43 +231,39 @@ impl Trace {
         });
     }
 
-    /// Throughput series for `service` (empty series if never delivered).
+    /// Throughput series for `service` (`None` if never delivered).
     pub fn throughput(&self, service: ServiceId) -> Option<&ThroughputSeries> {
-        self.delivered.get(&service)
+        self.svc(service).map(|s| &s.series)
     }
 
     /// Mean throughput of `service` in bits/s over `[from, to)`.
     pub fn mean_bps(&self, service: ServiceId, from: SimTime, to: SimTime) -> f64 {
-        self.delivered
-            .get(&service)
-            .map(|s| s.mean_bps(from, to))
+        self.svc(service)
+            .map(|s| s.series.mean_bps(from, to))
             .unwrap_or(0.0)
     }
 
     /// Mean queueing delay experienced by delivered packets of `service`.
     pub fn mean_queueing_delay(&self, service: ServiceId) -> SimDuration {
-        let n = self.qdelay_count.get(&service).copied().unwrap_or(0);
-        if n == 0 {
-            return SimDuration::ZERO;
+        match self.svc(service) {
+            Some(s) if s.qdelay_count > 0 => s.qdelay_sum / s.qdelay_count,
+            _ => SimDuration::ZERO,
         }
-        *self.qdelay_sum.get(&service).unwrap() / n
     }
 
     /// Maximum queueing delay seen by `service`.
     pub fn max_queueing_delay(&self, service: ServiceId) -> SimDuration {
-        self.qdelay_max
-            .get(&service)
-            .copied()
+        self.svc(service)
+            .map(|s| s.qdelay_max)
             .unwrap_or(SimDuration::ZERO)
     }
 
     /// Fraction of delivered packets of `service` exceeding the high-delay budget.
     pub fn high_delay_fraction(&self, service: ServiceId) -> f64 {
-        let n = self.delivered_pkts.get(&service).copied().unwrap_or(0);
-        if n == 0 {
-            return 0.0;
+        match self.svc(service) {
+            Some(s) if s.delivered_pkts > 0 => s.high_delay_pkts as f64 / s.delivered_pkts as f64,
+            _ => 0.0,
         }
-        self.high_delay_pkts.get(&service).copied().unwrap_or(0) as f64 / n as f64
     }
 
     /// The decimated queue occupancy timeline.
@@ -240,7 +273,7 @@ impl Trace {
 
     /// Total data packets delivered for `service`.
     pub fn delivered_pkts(&self, service: ServiceId) -> u64 {
-        self.delivered_pkts.get(&service).copied().unwrap_or(0)
+        self.svc(service).map(|s| s.delivered_pkts).unwrap_or(0)
     }
 }
 

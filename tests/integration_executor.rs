@@ -1,12 +1,15 @@
 //! Integration tests of the work-stealing trial executor: determinism
 //! across worker counts and cache states, and per-trial early stopping.
 
+mod support;
+
 use prudentia_apps::Service;
 use prudentia_core::{
     execute_pairs, trial_seed, DurationPolicy, ExecutorConfig, ImpairmentSpec, NetworkSetting,
-    PairOutcome, PairSpec, QdiscSpec, ScenarioSpec, TrialCache, TrialPolicy,
+    PairSpec, QdiscSpec, ScenarioSpec, TrialCache, TrialPolicy,
 };
 use std::sync::Arc;
+use support::canonical;
 
 fn matrix_pairs() -> Vec<PairSpec> {
     vec![
@@ -40,13 +43,6 @@ fn matrix_config(parallelism: usize) -> ExecutorConfig {
     config
 }
 
-/// Field-by-field equality via the canonical JSON encoding: every field
-/// of every trial (seeds included) participates, and NaN medians compare
-/// equal through their `null` encoding.
-fn canonical(outcomes: &[PairOutcome]) -> String {
-    serde_json::to_string(&outcomes.to_vec()).expect("outcomes serialize")
-}
-
 #[test]
 fn determinism_matrix_across_parallelism_and_cache() {
     let pairs = matrix_pairs();
@@ -59,6 +55,18 @@ fn determinism_matrix_across_parallelism_and_cache() {
         "threshold-straddling external loss must discard at least one \
          trial so replacement seeds are exercised"
     );
+
+    // A sequential rerun must replay the exact event schedule, not just
+    // land on the same fairness numbers: snapshot equality includes the
+    // total simulator event count, so a double-fired or dropped timer
+    // fails here even if every outcome byte agrees by luck.
+    let (rerun, rerun_stats) = execute_pairs(&pairs, &matrix_config(1)).expect("valid config");
+    assert_eq!(
+        support::snapshot(&rerun, &rerun_stats),
+        support::snapshot(&baseline, &baseline_stats),
+        "sequential rerun must reproduce outcomes and event counts exactly"
+    );
+    assert!(baseline_stats.sim_events > 0);
 
     // Kept trials must use the deterministic seed stream of the pair
     // identity, in index order, with discarded indices skipped.

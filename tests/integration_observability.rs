@@ -5,10 +5,12 @@
 //! it is pinned here against both a bare run and an instrumented run at
 //! parallelism 1 and 8.
 
+mod support;
+
 use prudentia_apps::Service;
 use prudentia_core::{
     execute_pairs, DurationPolicy, ExecutorConfig, MetricsRegistry, NetworkSetting, PairOutcome,
-    PairSpec, TrialPolicy,
+    PairSpec, SchedulerStats, TrialPolicy,
 };
 use std::sync::Arc;
 
@@ -36,28 +38,38 @@ fn policy() -> TrialPolicy {
     }
 }
 
-fn run(parallelism: usize, metrics: Option<Arc<MetricsRegistry>>) -> Vec<PairOutcome> {
+fn run(
+    parallelism: usize,
+    metrics: Option<Arc<MetricsRegistry>>,
+) -> (Vec<PairOutcome>, SchedulerStats) {
     let mut config = ExecutorConfig::new(policy(), DurationPolicy::Quick, parallelism);
     if let Some(reg) = metrics {
         config = config.with_metrics(reg);
     }
-    execute_pairs(&pairs(), &config).expect("valid config").0
-}
-
-fn to_json(outcomes: Vec<PairOutcome>) -> String {
-    serde_json::to_string(&outcomes).expect("outcomes serialize")
+    execute_pairs(&pairs(), &config).expect("valid config")
 }
 
 #[test]
 fn metrics_do_not_perturb_outcomes_across_parallelism() {
-    let bare = to_json(run(1, None));
+    let (bare_outcomes, bare_stats) = run(1, None);
+    let bare = support::snapshot(&bare_outcomes, &bare_stats);
     for parallelism in [1, 8] {
         let reg = Arc::new(MetricsRegistry::new());
-        let observed = to_json(run(parallelism, Some(Arc::clone(&reg))));
+        let (outcomes, stats) = run(parallelism, Some(Arc::clone(&reg)));
+        let observed = support::snapshot(&outcomes, &stats);
         assert_eq!(
-            bare, observed,
+            bare.canonical, observed.canonical,
             "outcomes changed with metrics on at parallelism {parallelism}"
         );
+        if parallelism == 1 {
+            // Sequential schedules are identical, so the event count is
+            // too: an observer that perturbed timer or delivery firing
+            // would show up here before it shows up in fairness numbers.
+            assert_eq!(
+                bare.sim_events, observed.sim_events,
+                "metrics changed the simulator event count"
+            );
+        }
         assert!(
             !reg.snapshot().is_empty(),
             "instrumented run must actually collect metrics"
@@ -68,7 +80,8 @@ fn metrics_do_not_perturb_outcomes_across_parallelism() {
 #[test]
 fn instrumented_run_exports_a_rich_registry() {
     let reg = Arc::new(MetricsRegistry::new());
-    let _ = run(4, Some(Arc::clone(&reg)));
+    let (_, stats) = run(4, Some(Arc::clone(&reg)));
+    assert!(stats.sim_events > 0, "executed trials must report events");
     let snap = reg.snapshot();
     assert!(
         snap.len() >= 12,

@@ -1,0 +1,45 @@
+//! Shared helpers for the executor-level integration suites.
+//!
+//! Byte-identity of the outcome JSON is necessary but not sufficient:
+//! a scheduler that double-fires or drops timers can still land on the
+//! same fairness numbers by luck. [`RunSnapshot`] therefore pairs the
+//! canonical outcome bytes with [`SchedulerStats::sim_events`], the
+//! total simulator event count, so event-count regressions fail loudly.
+//!
+//! Event counts are only comparable between runs that execute the same
+//! trial schedule: at parallelism 1 with no cache the schedule is exactly
+//! the sequential one, while multi-worker runs may speculatively execute
+//! extra trials (wall-clock dependent) and warm caches skip simulation
+//! entirely. Compare `sim_events` only across parallelism-1, cache-free
+//! runs; compare `canonical` across everything.
+
+// Each integration target compiles this module independently and uses a
+// different subset of it.
+#![allow(dead_code)]
+
+use prudentia_core::{PairOutcome, SchedulerStats};
+
+/// Field-by-field equality via the canonical JSON encoding: every field
+/// of every trial (seeds included) participates, and NaN medians compare
+/// equal through their `null` encoding.
+pub fn canonical(outcomes: &[PairOutcome]) -> String {
+    serde_json::to_string(&outcomes.to_vec()).expect("outcomes serialize")
+}
+
+/// The identity of one executor run: outcome bytes plus event count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSnapshot {
+    /// Canonical JSON of the pair outcomes.
+    pub canonical: String,
+    /// Simulator events processed across all executed trials.
+    pub sim_events: u64,
+}
+
+/// Snapshot a run for equality assertions (see module docs for when
+/// `sim_events` is comparable).
+pub fn snapshot(outcomes: &[PairOutcome], stats: &SchedulerStats) -> RunSnapshot {
+    RunSnapshot {
+        canonical: canonical(outcomes),
+        sim_events: stats.sim_events,
+    }
+}
