@@ -13,9 +13,7 @@
 //! is — which is what the golden-trace suite asserts.
 
 use prudentia_cc::CcaKind;
-use prudentia_sim::{
-    Engine, NetworkSetting, PathSpec, SchedulerKind, ServiceId, SimDuration, SimTime,
-};
+use prudentia_sim::{Engine, NetworkSetting, PathSpec, ServiceId, SimDuration, SimTime};
 use prudentia_transport::{build_simple_flow, FlowHandle, UnlimitedSource};
 
 /// Sampling tick for conformance and golden traces (the telemetry tick).
@@ -66,16 +64,7 @@ pub struct PairRun {
 }
 
 fn build(setting: &NetworkSetting, seed: u64) -> Engine {
-    build_with_scheduler(setting, seed, SchedulerKind::from_env())
-}
-
-fn build_with_scheduler(setting: &NetworkSetting, seed: u64, scheduler: SchedulerKind) -> Engine {
-    let mut engine = Engine::with_scenario_and_scheduler(
-        setting.bottleneck(),
-        &setting.scenario,
-        seed,
-        scheduler,
-    );
+    let mut engine = Engine::with_scenario(setting.bottleneck(), &setting.scenario, seed);
     // Conformance runs are always guarded, even in release builds.
     engine.enable_invariants();
     engine
@@ -129,27 +118,13 @@ fn warmup(duration: SimDuration) -> SimTime {
 }
 
 /// Run `kind` alone on `setting` for `duration` and sample its dynamics.
-/// The event calendar is the process default.
 pub fn run_solo(
     kind: CcaKind,
     setting: &NetworkSetting,
     seed: u64,
     duration: SimDuration,
 ) -> SoloRun {
-    run_solo_with_scheduler(kind, setting, seed, duration, SchedulerKind::from_env())
-}
-
-/// Like [`run_solo`], with an explicit event-calendar implementation.
-/// The differential suite uses this to render the same golden trace on
-/// the timing wheel and on the legacy heap in one process.
-pub fn run_solo_with_scheduler(
-    kind: CcaKind,
-    setting: &NetworkSetting,
-    seed: u64,
-    duration: SimDuration,
-    scheduler: SchedulerKind,
-) -> SoloRun {
-    let mut engine = build_with_scheduler(setting, seed, scheduler);
+    let mut engine = build(setting, seed);
     let svc = ServiceId(0);
     let handle = attach(&mut engine, svc, kind, setting);
     let rows = sample_ticks(&mut engine, &handle, duration);

@@ -28,6 +28,7 @@
 
 use crate::daemon::{Daemon, DaemonConfig, ShutdownFlag};
 use crate::error::PrudentiaError;
+use crate::fleet::{self, FleetConfig, FleetManifest, FleetView, ShardSpec};
 use crate::serve::{serve, write_report, ServeConfig};
 use crate::{
     execute_pairs, run_solo, DurationPolicy, ExecutorConfig, Heatmap, HeatmapStat, NetworkSetting,
@@ -49,6 +50,8 @@ commands:
   matrix                       all-pairs fairness heatmap
   watch                        continuous watchdog loop; --store DIR for the
                                resumable daemon over the durable store
+  fleet <action>               sharded multi-process watchdog fleet:
+                               spawn | status | merge | stop (--store ROOT)
   serve                        HTTP status endpoint over a store (--store DIR)
   report                       static HTML/CSV report from a store (--store DIR)
   validate                     conformance + invariant + golden-trace suite
@@ -107,9 +110,39 @@ options:
   --services A,B,..  subset of catalog labels (default: the Fig 2 set)
   --batch-pairs N    pairs per executor batch in daemon mode (default 2)
   --max-pairs N      stop after N pairs this run (checkpoint + exit)
+  --shard I/N        daemon mode: run only shard I of an N-shard fleet
+                     (normally set by `prudentia fleet spawn`)
   --flag-file PATH   graceful-shutdown flag file
   --paper --trials N --parallel N --setting MBPS --scenario KIND
   --cache PATH --stats --metrics PATH";
+
+const FLEET_HELP: &str = "\
+usage: prudentia fleet <spawn|status|merge|stop> --store ROOT [options]
+
+Shard the pair matrix across N worker processes, each a `prudentia
+watch --store ROOT/shard-XXX --shard I/N` daemon over its own store
+segment directory. Pairs are assigned by a jump consistent hash of the
+pair fingerprint; the manifest ROOT/fleet.json records the layout.
+
+actions:
+  spawn    start (or resume) the fleet and supervise it: crashed
+           workers restart with backoff; changing --shards rebalances
+           the layout first without re-running fresh pairs
+  status   per-shard health plus the merged fleet summary
+  merge    compact every shard into one single-store view (--out DIR)
+  stop     request a graceful fleet-wide stop (shared flag file)
+
+options:
+  --store ROOT       fleet root directory (required)
+  --shards N         shard count for spawn (default: the manifest's;
+                     first spawn defaults to 2)
+  --out DIR          merge: output store directory (required)
+  --services A,B,..  subset of catalog labels (default: the Fig 2 set)
+  --iterations N     cycle passes per worker (default 1)
+  --batch-pairs N    pairs per executor batch per worker (default 2)
+  --max-pairs N      per-worker pair cap per run (checkpoint + exit)
+  --paper --trials N --parallel N --setting MBPS --scenario KIND
+  --metrics PATH     write coordinator metrics JSON (or CSV with .csv)";
 
 const SERVE_HELP: &str = "\
 usage: prudentia serve --store DIR [options]
@@ -117,10 +150,12 @@ usage: prudentia serve --store DIR [options]
 Serve live watchdog status over HTTP from the durable store. Routes:
 / (dashboard), /status, /heatmap, /heatmap.csv, /freshness, /metrics,
 /shutdown. Each request reads a fresh read-only snapshot, so a daemon
-may keep appending concurrently.
+may keep appending concurrently. A fleet root (fleet.json present) is
+served as the merged multi-shard view; data routes answer 503 with a
+structured body while any shard is unreadable, /status stays up.
 
 options:
-  --store DIR        durable results store to serve (required)
+  --store DIR        durable results store or fleet root (required)
   --addr HOST:PORT   bind address (default 127.0.0.1:7077)
   --services A,B,..  matrix services (default: the Fig 2 set)
   --flag-file PATH   graceful-shutdown flag file
@@ -130,10 +165,11 @@ const REPORT_HELP: &str = "\
 usage: prudentia report --store DIR [--out DIR] [options]
 
 Emit a static report (index.html, per-setting/statistic CSVs,
-status.json) from the durable store.
+status.json) from the durable store. A fleet root is reported as the
+merged multi-shard view; an unreadable shard aborts the report.
 
 options:
-  --store DIR        durable results store to read (required)
+  --store DIR        durable results store or fleet root (required)
   --out DIR          output directory (default: prudentia-report)
   --services A,B,..  matrix services (default: the Fig 2 set)
   --setting MBPS --scenario KIND";
@@ -173,6 +209,8 @@ struct Opts {
     out: Option<PathBuf>,
     batch_pairs: Option<usize>,
     max_pairs: Option<u64>,
+    shard: Option<ShardSpec>,
+    shards: Option<u32>,
     flag_file: Option<PathBuf>,
     services: Option<Vec<String>>,
     solo: bool,
@@ -211,6 +249,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, PrudentiaError> {
         out: None,
         batch_pairs: None,
         max_pairs: None,
+        shard: None,
+        shards: None,
         flag_file: None,
         services: None,
         solo: false,
@@ -251,6 +291,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, PrudentiaError> {
             }
             "--max-pairs" => {
                 opts.max_pairs = Some(parsed("--max-pairs", value_of("--max-pairs", &mut it)?)?);
+            }
+            "--shard" => {
+                opts.shard = Some(ShardSpec::parse(&value_of("--shard", &mut it)?)?);
+            }
+            "--shards" => {
+                opts.shards = Some(parsed("--shards", value_of("--shards", &mut it)?)?);
             }
             "--flag-file" => {
                 opts.flag_file = Some(PathBuf::from(value_of("--flag-file", &mut it)?));
@@ -320,6 +366,7 @@ pub fn run(args: &[String]) -> Result<i32, PrudentiaError> {
         }
         "matrix" => help_or(&opts, MATRIX_HELP, cmd_matrix),
         "watch" => help_or(&opts, WATCH_HELP, cmd_watch),
+        "fleet" => help_or(&opts, FLEET_HELP, cmd_fleet),
         "serve" => help_or(&opts, SERVE_HELP, cmd_serve),
         "report" => help_or(&opts, REPORT_HELP, cmd_report),
         "validate" => help_or(&opts, VALIDATE_HELP, cmd_validate),
@@ -665,6 +712,11 @@ fn cmd_watch(opts: &Opts) -> Result<i32, PrudentiaError> {
     if opts.store.is_some() {
         return cmd_watch_daemon(opts);
     }
+    if opts.shard.is_some() {
+        return Err(PrudentiaError::Usage(
+            "--shard needs --store DIR (daemon mode)".to_string(),
+        ));
+    }
     let (policy, duration) = policy_for(opts);
     let registry = opts
         .metrics
@@ -741,6 +793,7 @@ fn cmd_watch_daemon(opts: &Opts) -> Result<i32, PrudentiaError> {
         config.batch_pairs = batch;
     }
     config.max_pairs_per_run = opts.max_pairs;
+    config.shard = opts.shard;
 
     let services: Vec<_> = matrix_services(opts)?.iter().map(|s| s.spec()).collect();
     let mut daemon = Daemon::open(services, config)?;
@@ -769,6 +822,169 @@ fn cmd_watch_daemon(opts: &Opts) -> Result<i32, PrudentiaError> {
     if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
         write_metrics(reg, path);
     }
+    Ok(0)
+}
+
+fn cmd_fleet(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let action = opts.positional.first().map(String::as_str).ok_or_else(|| {
+        PrudentiaError::Usage("fleet needs an action: spawn | status | merge | stop".to_string())
+    })?;
+    let Some(root) = opts.store.clone() else {
+        return Err(PrudentiaError::Usage(
+            "fleet needs --store ROOT (the fleet root directory)".to_string(),
+        ));
+    };
+    match action {
+        "spawn" => cmd_fleet_spawn(opts, &root),
+        "status" => cmd_fleet_status(opts, &root),
+        "merge" => cmd_fleet_merge(opts, &root),
+        "stop" => {
+            let flag = fleet::request_stop(&root)?;
+            println!("fleet stop requested ({})", flag.display());
+            Ok(0)
+        }
+        other => Err(PrudentiaError::Usage(format!(
+            "unknown fleet action: {other} (expected spawn | status | merge | stop)"
+        ))),
+    }
+}
+
+/// The argv tail forwarded to every fleet worker's `watch` invocation,
+/// so workers run the exact matrix/policy the coordinator was given.
+fn worker_args(opts: &Opts) -> Vec<String> {
+    let mut argv: Vec<String> = Vec::new();
+    if opts.paper {
+        argv.push("--paper".to_string());
+    }
+    if let Some(t) = opts.trials {
+        argv.extend(["--trials".to_string(), t.to_string()]);
+    }
+    argv.extend(["--parallel".to_string(), opts.parallel.to_string()]);
+    if let Some(mbps) = opts.setting {
+        argv.extend(["--setting".to_string(), mbps.to_string()]);
+    }
+    if let Some(s) = &opts.scenario {
+        argv.extend(["--scenario".to_string(), s.clone()]);
+    }
+    if let Some(names) = &opts.services {
+        argv.extend(["--services".to_string(), names.join(",")]);
+    }
+    argv.extend(["--iterations".to_string(), opts.iterations.to_string()]);
+    if let Some(b) = opts.batch_pairs {
+        argv.extend(["--batch-pairs".to_string(), b.to_string()]);
+    }
+    if let Some(m) = opts.max_pairs {
+        argv.extend(["--max-pairs".to_string(), m.to_string()]);
+    }
+    argv
+}
+
+fn cmd_fleet_spawn(opts: &Opts, root: &Path) -> Result<i32, PrudentiaError> {
+    let (policy, duration) = policy_for(opts);
+    let services: Vec<_> = matrix_services(opts)?.iter().map(|s| s.spec()).collect();
+    let settings = settings_for(opts)?;
+    let shards = match (opts.shards, FleetManifest::load(root)?) {
+        (Some(n), _) => n,
+        (None, Some(m)) => m.shards,
+        (None, None) => 2,
+    };
+    if let Some(rep) = fleet::prepare_root(root, shards, &services, &settings, policy, duration)? {
+        println!(
+            "rebalanced {} -> {} shards: {} fresh + {} stale records redistributed (cycle {})",
+            rep.from_shards, rep.to_shards, rep.fresh_records, rep.stale_records, rep.cycle
+        );
+    }
+    let registry = opts
+        .metrics
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let binary = std::env::current_exe()
+        .map_err(|e| PrudentiaError::io("resolve prudentia binary path".to_string(), e))?;
+    let mut config = FleetConfig::new(root, shards, binary);
+    config.worker_args = worker_args(opts);
+    config.metrics = registry.clone();
+    eprintln!("fleet: spawning {shards} workers over {}", root.display());
+    let report = fleet::supervise(&config)?;
+    println!(
+        "fleet: {} completed, {} stopped, {} failed ({} restarts)",
+        report.workers_completed, report.workers_stopped, report.workers_failed, report.restarts
+    );
+    let manifest = FleetManifest::load(root)?.expect("prepare_root wrote the manifest");
+    let view = FleetView::read(root, &manifest, &services, &settings, registry.as_deref());
+    println!(
+        "fleet: {}/{} shards readable, {}/{} pairs tested this cycle",
+        view.readable_count(),
+        manifest.shards,
+        view.pairs_tested_this_cycle(),
+        view.freshness.len()
+    );
+    if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
+        write_metrics(reg, path);
+    }
+    Ok(if report.healthy() { 0 } else { 1 })
+}
+
+fn load_fleet_manifest(root: &Path) -> Result<FleetManifest, PrudentiaError> {
+    FleetManifest::load(root)?.ok_or_else(|| {
+        PrudentiaError::InvalidConfig(format!(
+            "{} is not a fleet root (no fleet.json; `fleet spawn` creates one)",
+            root.display()
+        ))
+    })
+}
+
+fn cmd_fleet_status(opts: &Opts, root: &Path) -> Result<i32, PrudentiaError> {
+    let manifest = load_fleet_manifest(root)?;
+    let services: Vec<_> = matrix_services(opts)?.iter().map(|s| s.spec()).collect();
+    let settings = settings_for(opts)?;
+    let view = FleetView::read(root, &manifest, &services, &settings, None);
+    println!("fleet root {} ({} shards)", root.display(), manifest.shards);
+    for h in &view.shards {
+        if h.readable {
+            let cycle = h
+                .checkpoint
+                .as_ref()
+                .map(|c| c.cycle.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "  shard {:>3}: ok          {:>4}/{:<4} pairs this cycle (cycle {cycle}), {} live records",
+                h.shard, h.pairs_tested_this_cycle, h.pairs_total, h.live_records
+            );
+        } else {
+            println!(
+                "  shard {:>3}: UNREADABLE  {:>4} pairs unaccounted ({})",
+                h.shard,
+                h.pairs_total,
+                h.error.as_deref().unwrap_or("unknown error")
+            );
+        }
+    }
+    println!(
+        "merged: {} live records, {}/{} pairs tested this cycle, merge {:.1} ms{}",
+        view.merged.live_len(),
+        view.pairs_tested_this_cycle(),
+        view.freshness.len(),
+        view.merge_ms,
+        if view.degraded() { "  [DEGRADED]" } else { "" }
+    );
+    Ok(if view.degraded() { 1 } else { 0 })
+}
+
+fn cmd_fleet_merge(opts: &Opts, root: &Path) -> Result<i32, PrudentiaError> {
+    let manifest = load_fleet_manifest(root)?;
+    let Some(out) = opts.out.clone() else {
+        return Err(PrudentiaError::Usage(
+            "fleet merge needs --out DIR (the merged store directory)".to_string(),
+        ));
+    };
+    let merged = prudentia_store::MergedSnapshot::read_dirs(manifest.shard_dirs(root))?;
+    let store = merged.write_to(&out)?;
+    println!(
+        "merged {} shards into {} ({} live records)",
+        manifest.shards,
+        out.display(),
+        store.live_len()
+    );
     Ok(0)
 }
 
@@ -863,10 +1079,32 @@ mod tests {
     fn help_paths_succeed() {
         assert_eq!(run(&args(&["--help"])).unwrap(), 0);
         for cmd in [
-            "run", "matrix", "watch", "serve", "report", "validate", "list", "classify",
+            "run", "matrix", "watch", "fleet", "serve", "report", "validate", "list", "classify",
         ] {
             assert_eq!(run(&args(&[cmd, "--help"])).unwrap(), 0, "{cmd} --help");
         }
+    }
+
+    #[test]
+    fn fleet_validates_action_and_store() {
+        let err = run(&args(&["fleet"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing action");
+        let err = run(&args(&["fleet", "spawn"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing --store");
+        assert!(err.to_string().contains("--store"));
+        let err = run(&args(&["fleet", "dance", "--store", "/tmp/nowhere"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "unknown action");
+        let err = run(&args(&["fleet", "merge", "--store", "/tmp/nowhere"])).unwrap_err();
+        assert_ne!(err.exit_code(), 0, "merge on a non-fleet root fails");
+    }
+
+    #[test]
+    fn shard_flag_is_validated_and_needs_daemon_mode() {
+        let err = run(&args(&["watch", "--shard", "3/2"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "index out of range");
+        let err = run(&args(&["watch", "--shard", "0/2"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--store"), "needs daemon mode");
     }
 
     #[test]

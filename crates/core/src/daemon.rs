@@ -26,11 +26,12 @@ use crate::cache::{TrialCache, SPEC_SCHEMA_VERSION};
 use crate::config::NetworkSetting;
 use crate::error::PrudentiaError;
 use crate::executor::{execute_pairs, ExecutorConfig};
+use crate::fleet::ShardSpec;
 use crate::heatmap::{Heatmap, HeatmapStat};
 use crate::scheduler::{trial_seed, PairOutcome, PairSpec};
 use crate::watchdog::{pair_store_key, staleness_order, PairFreshness, WatchdogConfig};
 use prudentia_apps::ServiceSpec;
-use prudentia_store::{fnv1a_key, kinds, Record, Snapshot, Store};
+use prudentia_store::{fnv1a_key, kinds, MergedSnapshot, Record, Snapshot, Store};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -162,16 +163,22 @@ pub struct DaemonConfig {
     /// in one `run_cycle` call — deterministic interruption for tests
     /// and bounded-work cron invocations. `None` = run the full cycle.
     pub max_pairs_per_run: Option<u64>,
+    /// Run only this shard's slice of the pair matrix (`prudentia
+    /// watch --shard I/N`, one worker of a fleet). `None` = the full
+    /// matrix. The shard is part of the cycle fingerprint, so a store
+    /// is bound to one slice and a changed fleet size starts fresh.
+    pub shard: Option<ShardSpec>,
 }
 
 impl DaemonConfig {
-    /// Defaults: full cycle per run, batches of 2 pairs.
+    /// Defaults: full cycle per run, batches of 2 pairs, no sharding.
     pub fn new(store_dir: impl Into<PathBuf>) -> Self {
         DaemonConfig {
             watchdog: WatchdogConfig::default(),
             store_dir: store_dir.into(),
             batch_pairs: 2,
             max_pairs_per_run: None,
+            shard: None,
         }
     }
 }
@@ -228,6 +235,15 @@ impl LatestView for Snapshot {
     }
 }
 
+impl LatestView for MergedSnapshot {
+    fn latest_record(&self, kind: &str, key: u64) -> Option<&Record> {
+        self.latest(kind, key)
+    }
+    fn latest_records<'a>(&'a self, kind: &'a str) -> Box<dyn Iterator<Item = &'a Record> + 'a> {
+        Box::new(self.latest_of_kind(kind))
+    }
+}
+
 /// The latest daemon checkpoint in a store view, if any.
 pub fn latest_checkpoint(view: &dyn LatestView) -> Option<Checkpoint> {
     view.latest_record(kinds::CHECKPOINT, checkpoint_key())
@@ -251,6 +267,61 @@ pub fn full_matrix(services: &[ServiceSpec], settings: &[NetworkSetting]) -> Vec
         }
     }
     out
+}
+
+/// One shard's slice of the full matrix, in canonical order: the pairs
+/// whose store key the shard owns. `None` = the whole matrix.
+pub fn shard_matrix(
+    services: &[ServiceSpec],
+    settings: &[NetworkSetting],
+    shard: Option<ShardSpec>,
+) -> Vec<PairSpec> {
+    let plan = full_matrix(services, settings);
+    match shard {
+        None => plan,
+        Some(s) => plan
+            .into_iter()
+            .filter(|p| {
+                s.owns(pair_store_key(
+                    p.contender.name(),
+                    p.incumbent.name(),
+                    &p.setting.name,
+                ))
+            })
+            .collect(),
+    }
+}
+
+/// Fingerprint of a scheduling matrix: services, settings, trial
+/// policy, duration, and (for fleet workers) the shard slice. Shared by
+/// [`Daemon::fingerprint`] and the fleet rebalancer, which must write
+/// checkpoints a worker will recognise as its own.
+pub fn matrix_fingerprint(
+    services: &[ServiceSpec],
+    settings: &[NetworkSetting],
+    policy: crate::scheduler::TrialPolicy,
+    duration: crate::scheduler::DurationPolicy,
+    shard: Option<ShardSpec>,
+) -> u64 {
+    let mut parts: Vec<String> = Vec::new();
+    for s in services {
+        parts.push(s.name().to_string());
+    }
+    for s in settings {
+        parts.push(s.name.clone());
+    }
+    parts.push(format!(
+        "policy:{}/{}/{}",
+        policy.min_trials, policy.batch, policy.max_trials
+    ));
+    parts.push(format!("duration:{duration:?}"));
+    if let Some(s) = shard {
+        // Only appended when sharded, so unsharded stores keep their
+        // pre-fleet fingerprints and resume across upgrades.
+        parts.push(format!("shard:{s}"));
+    }
+    let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+    fnv1a_key(&refs)
 }
 
 /// Per-pair freshness for a matrix against a store view (the data
@@ -379,9 +450,14 @@ impl Daemon {
         &self.services
     }
 
-    /// The full matrix in canonical order.
+    /// This daemon's matrix slice in canonical order: the full matrix,
+    /// or its shard's subset when running as a fleet worker.
     pub fn plan(&self) -> Vec<PairSpec> {
-        full_matrix(&self.services, &self.config.watchdog.settings)
+        shard_matrix(
+            &self.services,
+            &self.config.watchdog.settings,
+            self.config.shard,
+        )
     }
 
     /// Per-pair freshness against the store.
@@ -405,24 +481,16 @@ impl Daemon {
     }
 
     /// Fingerprint of the scheduling matrix: services, settings, trial
-    /// policy, and duration. Resume only continues a cycle whose
-    /// fingerprint matches; anything else starts fresh.
+    /// policy, duration, and shard slice. Resume only continues a cycle
+    /// whose fingerprint matches; anything else starts fresh.
     pub fn fingerprint(&self) -> u64 {
-        let mut parts: Vec<String> = Vec::new();
-        for s in &self.services {
-            parts.push(s.name().to_string());
-        }
-        for s in &self.config.watchdog.settings {
-            parts.push(s.name.clone());
-        }
-        let p = self.config.watchdog.policy;
-        parts.push(format!(
-            "policy:{}/{}/{}",
-            p.min_trials, p.batch, p.max_trials
-        ));
-        parts.push(format!("duration:{:?}", self.config.watchdog.duration));
-        let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
-        fnv1a_key(&refs)
+        matrix_fingerprint(
+            &self.services,
+            &self.config.watchdog.settings,
+            self.config.watchdog.policy,
+            self.config.watchdog.duration,
+            self.config.shard,
+        )
     }
 
     /// Run (or resume) one cycle of the full matrix. Returns early with
@@ -647,6 +715,7 @@ mod tests {
             watchdog,
             store_dir: dir.to_path_buf(),
             batch_pairs: 1,
+            shard: None,
             max_pairs_per_run: max_pairs,
         };
         Daemon::open(
@@ -759,6 +828,7 @@ mod tests {
             },
             store_dir: dir.to_path_buf(),
             batch_pairs: 1,
+            shard: None,
             max_pairs_per_run: None,
         };
         let mut d = Daemon::open(vec![Service::IperfReno.spec()], config).unwrap();

@@ -63,12 +63,6 @@ pub struct ExecutorConfig {
     /// telemetry (steals, idle time, cache latency, queue depths).
     /// Purely observational: attaching one cannot change outcomes.
     pub metrics: Option<Arc<MetricsRegistry>>,
-    /// Event-calendar override stamped onto every trial spec (`None` =
-    /// process default). The field is excluded from spec serialization,
-    /// so cache keys are shared across calendars — safe only because the
-    /// calendars are proven byte-identical; differential tests therefore
-    /// must not share a [`TrialCache`] between the two kinds.
-    pub scheduler_override: Option<prudentia_sim::SchedulerKind>,
 }
 
 impl ExecutorConfig {
@@ -81,7 +75,6 @@ impl ExecutorConfig {
             external_loss: 0.0,
             cache: None,
             metrics: None,
-            scheduler_override: None,
         }
     }
 
@@ -178,12 +171,6 @@ impl ExecutorConfigBuilder {
     /// Attach a metrics registry.
     pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
         self.config.metrics = Some(metrics);
-        self
-    }
-
-    /// Force a specific event-calendar implementation for every trial.
-    pub fn scheduler(mut self, kind: prudentia_sim::SchedulerKind) -> Self {
-        self.config.scheduler_override = Some(kind);
         self
     }
 
@@ -618,7 +605,6 @@ pub fn execute_pairs(
                         seed,
                     );
                     spec.external_loss = config.external_loss;
-                    spec.scheduler = config.scheduler_override;
 
                     let key = config.cache.as_ref().map(|c| (c, trial_key(&spec)));
                     let cached = match &key {

@@ -7,12 +7,11 @@ use serde::{Deserialize, Serialize};
 
 /// One trial: two services competing over an emulated bottleneck.
 ///
-/// `Serialize`/`Deserialize` are hand-written (below) rather than
-/// derived so the `scheduler` override stays out of the canonical spec
-/// JSON that feeds [`crate::trial_key`] — both event calendars are
-/// proven byte-identical (see `tests/differential_scheduler.rs`), so
-/// the choice must not fragment cache keys or the spec schema.
-#[derive(Debug, Clone)]
+/// The derived serialization is the canonical spec JSON that feeds
+/// [`crate::trial_key`]: field names and declaration order are a stable
+/// cache-key and store format, so any field change must keep the bytes
+/// of existing specs identical (or bump `SPEC_SCHEMA_VERSION`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentSpec {
     /// Service A — by the paper's convention the *contender* when reading
     /// heatmap rows.
@@ -36,48 +35,6 @@ pub struct ExperimentSpec {
     /// Write a client-side packet capture of the trial to this path
     /// (libpcap format; the real watchdog publishes a PCAP per experiment).
     pub pcap_path: Option<std::path::PathBuf>,
-    /// Event-calendar implementation override (`None` = process
-    /// default); excluded from serialization, see the type-level docs.
-    pub scheduler: Option<prudentia_sim::SchedulerKind>,
-}
-
-impl Serialize for ExperimentSpec {
-    fn to_value(&self) -> serde::Value {
-        // Field names and order must match what the derive would emit
-        // for the serialized fields — the canonical JSON is a stable
-        // cache-key and store format. `scheduler` is intentionally
-        // omitted.
-        serde::Value::Obj(vec![
-            ("contender".to_string(), self.contender.to_value()),
-            ("incumbent".to_string(), self.incumbent.to_value()),
-            ("setting".to_string(), self.setting.to_value()),
-            ("duration".to_string(), self.duration.to_value()),
-            ("warmup".to_string(), self.warmup.to_value()),
-            ("cooldown".to_string(), self.cooldown.to_value()),
-            ("seed".to_string(), self.seed.to_value()),
-            ("external_loss".to_string(), self.external_loss.to_value()),
-            ("record_series".to_string(), self.record_series.to_value()),
-            ("pcap_path".to_string(), self.pcap_path.to_value()),
-        ])
-    }
-}
-
-impl Deserialize for ExperimentSpec {
-    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        Ok(ExperimentSpec {
-            contender: Deserialize::from_value(serde::field(v, "contender")?)?,
-            incumbent: Deserialize::from_value(serde::field(v, "incumbent")?)?,
-            setting: Deserialize::from_value(serde::field(v, "setting")?)?,
-            duration: Deserialize::from_value(serde::field(v, "duration")?)?,
-            warmup: Deserialize::from_value(serde::field(v, "warmup")?)?,
-            cooldown: Deserialize::from_value(serde::field(v, "cooldown")?)?,
-            seed: Deserialize::from_value(serde::field(v, "seed")?)?,
-            external_loss: Deserialize::from_value(serde::field(v, "external_loss")?)?,
-            record_series: Deserialize::from_value(serde::field(v, "record_series")?)?,
-            pcap_path: Deserialize::from_value(serde::field(v, "pcap_path")?)?,
-            scheduler: None,
-        })
-    }
 }
 
 impl ExperimentSpec {
@@ -99,7 +56,6 @@ impl ExperimentSpec {
             external_loss: 0.0,
             record_series: false,
             pcap_path: None,
-            scheduler: None,
         }
     }
 
@@ -122,7 +78,6 @@ impl ExperimentSpec {
             external_loss: 0.0,
             record_series: false,
             pcap_path: None,
-            scheduler: None,
         }
     }
 

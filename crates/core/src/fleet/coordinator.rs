@@ -1,0 +1,638 @@
+//! The fleet coordinator: spawn and supervise shard workers, rebalance
+//! the on-disk layout when the shard count changes, and stop the fleet.
+//!
+//! Workers are ordinary `prudentia watch --store <shard-dir> --shard
+//! I/N` processes, so everything the single daemon guarantees —
+//! durable appends, checkpointed resume, graceful shutdown — holds per
+//! shard with no new process-level machinery. The coordinator adds:
+//!
+//! * **Supervision.** A crashed worker (non-zero exit, signal) is
+//!   restarted with exponential backoff, up to a per-worker cap.
+//!   Workers that exit cleanly are done; a stop request (the shared
+//!   flag file) suppresses restarts.
+//! * **Rebalance.** When `fleet spawn` is pointed at a root whose
+//!   manifest declares a different shard count, the live records of the
+//!   old layout are dealt into freshly built shard stores by the jump
+//!   hash, and each new store gets a checkpoint placing records that
+//!   were fresh in the old fleet *inside* the new cycle horizon — so
+//!   workers resume the interrupted fleet cycle without re-running
+//!   fresh pairs. The swap is all-or-nothing: new stores are built in
+//!   temporary directories and only replace the old layout once every
+//!   shard has been written.
+
+use super::manifest::FleetManifest;
+use super::shard::{shard_dir, stop_flag_path, ShardSpec};
+use crate::config::NetworkSetting;
+use crate::daemon::{
+    checkpoint_key, latest_checkpoint, matrix_fingerprint, shard_matrix, Checkpoint,
+    CHECKPOINT_SCHEMA_VERSION,
+};
+use crate::error::PrudentiaError;
+use crate::scheduler::{DurationPolicy, TrialPolicy};
+use crate::watchdog::pair_store_key;
+use prudentia_apps::ServiceSpec;
+use prudentia_obs::MetricsRegistry;
+use prudentia_store::{kinds, Record, Snapshot, Store};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one `fleet spawn` supervision run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet root directory (shard stores + manifest live here).
+    pub root: PathBuf,
+    /// Shard count to run.
+    pub shards: u32,
+    /// The `prudentia` binary to spawn workers from.
+    pub binary: PathBuf,
+    /// Extra argv forwarded to every worker's `watch` invocation
+    /// (services, settings, trial policy, batching, iterations …).
+    pub worker_args: Vec<String>,
+    /// Base restart delay after a crash; doubles per consecutive crash
+    /// of the same worker, capped at [`FleetConfig::backoff_cap_ms`].
+    pub backoff_base_ms: u64,
+    /// Ceiling for the exponential backoff.
+    pub backoff_cap_ms: u64,
+    /// Restarts allowed per worker before it is declared failed.
+    pub max_restarts: u32,
+    /// Supervision poll interval.
+    pub poll_ms: u64,
+    /// Metrics registry for restart counters and freshness gauges.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl FleetConfig {
+    /// Defaults: 200 ms base backoff capped at 5 s, 5 restarts per
+    /// worker, 50 ms poll.
+    pub fn new(root: impl Into<PathBuf>, shards: u32, binary: impl Into<PathBuf>) -> Self {
+        FleetConfig {
+            root: root.into(),
+            shards,
+            binary: binary.into(),
+            worker_args: Vec::new(),
+            backoff_base_ms: 200,
+            backoff_cap_ms: 5_000,
+            max_restarts: 5,
+            poll_ms: 50,
+            metrics: None,
+        }
+    }
+}
+
+/// Outcome of one supervision run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Workers that exited cleanly (their cycle passes completed).
+    pub workers_completed: u32,
+    /// Workers stopped by the shared stop flag.
+    pub workers_stopped: u32,
+    /// Workers that exhausted their restart budget.
+    pub workers_failed: u32,
+    /// Total crash-restarts performed across the fleet.
+    pub restarts: u64,
+}
+
+impl FleetReport {
+    /// Whether every worker ended without exhausting its restarts.
+    pub fn healthy(&self) -> bool {
+        self.workers_failed == 0
+    }
+}
+
+/// What happened to one supervised worker.
+enum WorkerState {
+    Running {
+        child: Child,
+        crashes: u32,
+    },
+    /// Crashed; restart scheduled once the backoff elapses.
+    Backoff {
+        resume_at: Instant,
+        crashes: u32,
+    },
+    Completed,
+    Stopped,
+    Failed,
+}
+
+/// Spawn and supervise the fleet until every worker is done. See the
+/// module docs for the restart and stop semantics.
+pub fn supervise(config: &FleetConfig) -> Result<FleetReport, PrudentiaError> {
+    if config.shards == 0 {
+        return Err(PrudentiaError::InvalidConfig(
+            "fleet needs at least one shard".to_string(),
+        ));
+    }
+    let stop_flag = stop_flag_path(&config.root);
+    let mut workers: Vec<WorkerState> = (0..config.shards)
+        .map(|i| spawn_worker(config, i).map(|child| WorkerState::Running { child, crashes: 0 }))
+        .collect::<Result<_, _>>()?;
+    let mut restarts_total = 0u64;
+
+    loop {
+        let mut all_settled = true;
+        for (i, slot) in workers.iter_mut().enumerate() {
+            match slot {
+                WorkerState::Completed | WorkerState::Stopped | WorkerState::Failed => {}
+                WorkerState::Running { child, crashes } => {
+                    all_settled = false;
+                    match child.try_wait() {
+                        Ok(None) => {}
+                        Ok(Some(status)) if status.success() => {
+                            prudentia_obs::event!(
+                                prudentia_obs::Level::Info,
+                                "fleet",
+                                "worker completed",
+                                shard = i as u64,
+                            );
+                            *slot = WorkerState::Completed;
+                        }
+                        Ok(Some(status)) => {
+                            // Crash or kill. A stop request explains a
+                            // non-zero exit; don't restart into it.
+                            if stop_flag.exists() {
+                                *slot = WorkerState::Stopped;
+                                continue;
+                            }
+                            let crashes = *crashes + 1;
+                            if crashes > config.max_restarts {
+                                eprintln!(
+                                    "fleet: shard {i} exceeded {} restarts, giving up",
+                                    config.max_restarts
+                                );
+                                *slot = WorkerState::Failed;
+                                continue;
+                            }
+                            let delay = config
+                                .backoff_base_ms
+                                .saturating_mul(1u64 << (crashes - 1).min(16))
+                                .min(config.backoff_cap_ms);
+                            eprintln!(
+                                "fleet: shard {i} exited with {status}; restart {crashes}/{} in {delay} ms",
+                                config.max_restarts
+                            );
+                            if let Some(reg) = &config.metrics {
+                                reg.counter(&format!("fleet/shard{i}/restarts")).inc();
+                            }
+                            restarts_total += 1;
+                            *slot = WorkerState::Backoff {
+                                resume_at: Instant::now() + Duration::from_millis(delay),
+                                crashes,
+                            };
+                        }
+                        Err(e) => {
+                            return Err(PrudentiaError::io(format!("wait on shard {i}"), e));
+                        }
+                    }
+                }
+                WorkerState::Backoff { resume_at, crashes } => {
+                    all_settled = false;
+                    if stop_flag.exists() {
+                        *slot = WorkerState::Stopped;
+                    } else if Instant::now() >= *resume_at {
+                        let crashes = *crashes;
+                        let child = spawn_worker(config, i as u32)?;
+                        *slot = WorkerState::Running { child, crashes };
+                    }
+                }
+            }
+        }
+        if all_settled {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(config.poll_ms));
+    }
+
+    let mut report = FleetReport {
+        workers_completed: 0,
+        workers_stopped: 0,
+        workers_failed: 0,
+        restarts: restarts_total,
+    };
+    for w in &workers {
+        match w {
+            WorkerState::Completed => report.workers_completed += 1,
+            WorkerState::Stopped => report.workers_stopped += 1,
+            WorkerState::Failed => report.workers_failed += 1,
+            _ => unreachable!("loop exits only when all workers settled"),
+        }
+    }
+    Ok(report)
+}
+
+/// Launch the worker for one shard: `prudentia watch --store <dir>
+/// --shard I/N --flag-file <root stop flag> <forwarded args>`. Worker
+/// stdout is discarded (the coordinator owns the console); stderr is
+/// inherited so worker warnings stay visible.
+fn spawn_worker(config: &FleetConfig, index: u32) -> Result<Child, PrudentiaError> {
+    let dir = shard_dir(&config.root, index);
+    let shard = ShardSpec::new(index, config.shards)?;
+    Command::new(&config.binary)
+        .arg("watch")
+        .arg("--store")
+        .arg(&dir)
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--flag-file")
+        .arg(stop_flag_path(&config.root))
+        .args(&config.worker_args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| {
+            PrudentiaError::io(
+                format!(
+                    "spawn worker for shard {index} ({})",
+                    config.binary.display()
+                ),
+                e,
+            )
+        })
+}
+
+/// Request a graceful fleet-wide stop by creating the shared flag file
+/// every worker (and the supervisor) watches.
+pub fn request_stop(root: &Path) -> Result<PathBuf, PrudentiaError> {
+    std::fs::create_dir_all(root)
+        .map_err(|e| PrudentiaError::io(format!("create {}", root.display()), e))?;
+    let flag = stop_flag_path(root);
+    std::fs::write(&flag, "stop requested\n")
+        .map_err(|e| PrudentiaError::io(format!("write {}", flag.display()), e))?;
+    Ok(flag)
+}
+
+/// Clear a previous stop request (done before spawning workers, so a
+/// stopped fleet can be restarted from the same root).
+pub fn clear_stop(root: &Path) -> Result<(), PrudentiaError> {
+    let flag = stop_flag_path(root);
+    match std::fs::remove_file(&flag) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(PrudentiaError::io(format!("remove {}", flag.display()), e)),
+    }
+}
+
+/// What [`rebalance`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Shard count before.
+    pub from_shards: u32,
+    /// Shard count after.
+    pub to_shards: u32,
+    /// Records migrated that were fresh in the old fleet's cycle (they
+    /// stay inside the new cycle horizon — not re-run).
+    pub fresh_records: u64,
+    /// Records migrated as history (outside the new cycle horizon).
+    pub stale_records: u64,
+    /// The fleet cycle number carried into the new checkpoints.
+    pub cycle: u64,
+}
+
+/// Re-shard a fleet root from its current manifest layout to `new_n`
+/// shards without losing results or re-running fresh pairs. See the
+/// module docs for the algorithm; requires every old shard readable
+/// (migration must not silently drop a shard's records).
+pub fn rebalance(
+    root: &Path,
+    old: &FleetManifest,
+    new_n: u32,
+    services: &[ServiceSpec],
+    settings: &[NetworkSetting],
+    policy: TrialPolicy,
+    duration: DurationPolicy,
+) -> Result<RebalanceReport, PrudentiaError> {
+    if new_n == 0 {
+        return Err(PrudentiaError::InvalidConfig(
+            "fleet needs at least one shard".to_string(),
+        ));
+    }
+    // Gather every old shard's live records with a per-record "fresh in
+    // the old fleet's cycle" flag (judged against the record's own
+    // shard checkpoint — seqs are never compared across stores), merged
+    // latest-wins per key with right bias in shard order.
+    let mut latest: BTreeMap<(String, u64), (Record, bool)> = BTreeMap::new();
+    let mut fleet_cycle = 0u64;
+    for index in 0..old.shards {
+        let dir = shard_dir(root, index);
+        let snap = Snapshot::read(&dir).map_err(|e| {
+            PrudentiaError::InvalidConfig(format!(
+                "rebalance needs every old shard readable; shard {index} ({}): {e}",
+                dir.display()
+            ))
+        })?;
+        let ckpt = latest_checkpoint(&snap);
+        let horizon = ckpt.as_ref().map(|c| c.cycle_start_seq);
+        fleet_cycle = fleet_cycle.max(ckpt.as_ref().map(|c| c.cycle).unwrap_or(0));
+        for rec in snap.records() {
+            if rec.kind == kinds::CHECKPOINT {
+                continue; // superseded by the new per-shard checkpoints
+            }
+            let fresh = horizon.is_some_and(|h| rec.seq > h);
+            let k = (rec.kind.clone(), rec.key);
+            match latest.get(&k) {
+                Some((have, _)) if have.seq > rec.seq => {}
+                _ => {
+                    latest.insert(k, (rec.clone(), fresh));
+                }
+            }
+        }
+    }
+
+    // Deal records to their new owners, splitting stale history from
+    // fresh results; order by old seq so replay order is deterministic.
+    let mut stale: Vec<Vec<&Record>> = vec![Vec::new(); new_n as usize];
+    let mut fresh: Vec<Vec<&Record>> = vec![Vec::new(); new_n as usize];
+    for (rec, is_fresh) in latest.values() {
+        let owner = ShardSpec::owner(rec.key, new_n) as usize;
+        if *is_fresh {
+            fresh[owner].push(rec);
+        } else {
+            stale[owner].push(rec);
+        }
+    }
+    for bucket in stale.iter_mut().chain(fresh.iter_mut()) {
+        bucket.sort_by_key(|r| (r.seq, r.key));
+    }
+
+    // Build the new layout in temp dirs, then swap. Stale records land
+    // before the checkpoint (outside the cycle horizon), fresh records
+    // after it (inside), so a worker resuming this checkpoint skips
+    // exactly the pairs the old fleet already finished this cycle.
+    let mut report = RebalanceReport {
+        from_shards: old.shards,
+        to_shards: new_n,
+        fresh_records: 0,
+        stale_records: 0,
+        cycle: fleet_cycle,
+    };
+    let staging: Vec<PathBuf> = (0..new_n)
+        .map(|i| root.join(format!(".rebalance-{i:03}")))
+        .collect();
+    for dir in &staging {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    for index in 0..new_n {
+        let shard = ShardSpec::new(index, new_n)?;
+        let plan = shard_matrix(services, settings, Some(shard));
+        let plan_keys: Vec<u64> = plan
+            .iter()
+            .map(|p| pair_store_key(p.contender.name(), p.incumbent.name(), &p.setting.name))
+            .collect();
+        let mut store = Store::open(&staging[index as usize])?;
+        for rec in &stale[index as usize] {
+            store.append_at(
+                &rec.kind,
+                rec.key,
+                rec.schema,
+                rec.payload.clone(),
+                rec.ts_unix_ms,
+            )?;
+            report.stale_records += 1;
+        }
+        if fleet_cycle > 0 {
+            let fresh_in_plan = fresh[index as usize]
+                .iter()
+                .filter(|r| plan_keys.contains(&r.key))
+                .count() as u64;
+            let ckpt = Checkpoint {
+                cycle: fleet_cycle,
+                cycle_start_seq: store.next_seq(),
+                fingerprint: matrix_fingerprint(services, settings, policy, duration, Some(shard)),
+                pairs_total: plan.len() as u64,
+                pairs_done: fresh_in_plan,
+                completed: fresh_in_plan == plan.len() as u64,
+            };
+            store.append(
+                kinds::CHECKPOINT,
+                checkpoint_key(),
+                CHECKPOINT_SCHEMA_VERSION,
+                Record::encode(kinds::CHECKPOINT, &ckpt)?,
+            )?;
+        }
+        for rec in &fresh[index as usize] {
+            store.append_at(
+                &rec.kind,
+                rec.key,
+                rec.schema,
+                rec.payload.clone(),
+                rec.ts_unix_ms,
+            )?;
+            report.fresh_records += 1;
+        }
+        store.sync()?;
+    }
+
+    // Swap: every new store is fully written, so replace the layout.
+    // Old shard dirs beyond the new count must not linger — a stale
+    // store would poison future merges with superseded records.
+    for index in 0..old.shards {
+        let dir = shard_dir(root, index);
+        std::fs::remove_dir_all(&dir)
+            .map_err(|e| PrudentiaError::io(format!("remove {}", dir.display()), e))?;
+    }
+    for (index, tmp) in staging.iter().enumerate() {
+        let dir = shard_dir(root, index as u32);
+        std::fs::rename(tmp, &dir).map_err(|e| {
+            PrudentiaError::io(format!("rename {} -> {}", tmp.display(), dir.display()), e)
+        })?;
+    }
+    FleetManifest::new(new_n).save(root)?;
+    prudentia_obs::event!(
+        prudentia_obs::Level::Info,
+        "fleet",
+        "rebalanced",
+        from = old.shards as u64,
+        to = new_n as u64,
+        fresh = report.fresh_records,
+        stale = report.stale_records,
+    );
+    Ok(report)
+}
+
+/// Prepare a fleet root for `shards` workers: create it, write or
+/// reconcile the manifest (rebalancing when the count changed), clear
+/// any stale stop flag, and make sure every shard directory exists.
+pub fn prepare_root(
+    root: &Path,
+    shards: u32,
+    services: &[ServiceSpec],
+    settings: &[NetworkSetting],
+    policy: TrialPolicy,
+    duration: DurationPolicy,
+) -> Result<Option<RebalanceReport>, PrudentiaError> {
+    std::fs::create_dir_all(root)
+        .map_err(|e| PrudentiaError::io(format!("create {}", root.display()), e))?;
+    clear_stop(root)?;
+    let rebalanced = match FleetManifest::load(root)? {
+        Some(old) if old.shards != shards => Some(rebalance(
+            root, &old, shards, services, settings, policy, duration,
+        )?),
+        Some(_) => None,
+        None => {
+            FleetManifest::new(shards).save(root)?;
+            None
+        }
+    };
+    for index in 0..shards {
+        let dir = shard_dir(root, index);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| PrudentiaError::io(format!("create {}", dir.display()), e))?;
+    }
+    Ok(rebalanced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{freshness, Daemon, DaemonConfig};
+    use crate::watchdog::WatchdogConfig;
+    use prudentia_apps::Service;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("prudentia_fleet_unit").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn tiny_watchdog() -> WatchdogConfig {
+        WatchdogConfig {
+            settings: vec![NetworkSetting::highly_constrained()],
+            policy: TrialPolicy {
+                min_trials: 2,
+                batch: 1,
+                max_trials: 2,
+            },
+            duration: DurationPolicy::Quick,
+            parallelism: 4,
+            change_threshold: 0.2,
+            cache_path: None,
+            metrics: None,
+        }
+    }
+
+    fn services() -> Vec<ServiceSpec> {
+        vec![Service::IperfReno.spec(), Service::IperfCubic.spec()]
+    }
+
+    fn shard_daemon(root: &Path, shard: ShardSpec, max_pairs: Option<u64>) -> Daemon {
+        let config = DaemonConfig {
+            watchdog: tiny_watchdog(),
+            store_dir: shard_dir(root, shard.index),
+            batch_pairs: 1,
+            max_pairs_per_run: max_pairs,
+            shard: Some(shard),
+        };
+        Daemon::open(services(), config).expect("daemon opens")
+    }
+
+    #[test]
+    fn sharded_plans_partition_the_matrix() {
+        let wd = tiny_watchdog();
+        let full = shard_matrix(&services(), &wd.settings, None);
+        let mut union = Vec::new();
+        for i in 0..3 {
+            let s = ShardSpec::new(i, 3).unwrap();
+            union.extend(shard_matrix(&services(), &wd.settings, Some(s)));
+        }
+        assert_eq!(union.len(), full.len(), "no pair lost or duplicated");
+    }
+
+    #[test]
+    fn stop_flag_round_trips() {
+        let root = tmp("stopflag");
+        let flag = request_stop(&root).unwrap();
+        assert!(flag.exists());
+        clear_stop(&root).unwrap();
+        assert!(!flag.exists());
+        clear_stop(&root).unwrap(); // idempotent
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn rebalance_preserves_records_and_cycle_progress() {
+        let root = tmp("rebalance");
+        let wd = tiny_watchdog();
+        // Old layout: 2 shards; one completes its slice, the other (the
+        // one with at least two pairs) is interrupted after one pair —
+        // a fleet mid-cycle.
+        prepare_root(&root, 2, &services(), &wd.settings, wd.policy, wd.duration).unwrap();
+        let slice_len = |i: u32| {
+            shard_matrix(
+                &services(),
+                &wd.settings,
+                Some(ShardSpec::new(i, 2).unwrap()),
+            )
+            .len()
+        };
+        let interrupt = if slice_len(0) >= 2 { 0 } else { 1 };
+        assert!(slice_len(interrupt) >= 2, "matrix too small to interrupt");
+        let complete = 1 - interrupt;
+        let mut dc = shard_daemon(&root, ShardSpec::new(complete, 2).unwrap(), None);
+        dc.run_cycle().unwrap();
+        let done_complete = dc.plan().len() as u64;
+        drop(dc);
+        let mut di = shard_daemon(&root, ShardSpec::new(interrupt, 2).unwrap(), Some(1));
+        let ri = di.run_cycle().unwrap();
+        assert!(ri.interrupted, "shard {interrupt} left mid-cycle");
+        drop(di);
+        let fresh_before = done_complete + 1;
+
+        // Re-shard 2 -> 3.
+        let report = prepare_root(&root, 3, &services(), &wd.settings, wd.policy, wd.duration)
+            .unwrap()
+            .expect("shard count changed; rebalance ran");
+        assert_eq!((report.from_shards, report.to_shards), (2, 3));
+        assert_eq!(report.cycle, 1);
+        assert_eq!(
+            report.fresh_records, fresh_before,
+            "every completed pair migrated as fresh"
+        );
+        assert!(!shard_dir(&root, 2)
+            .join("..")
+            .join(".rebalance-000")
+            .exists());
+
+        // Every new shard sees its fresh pairs as tested this cycle:
+        // shards whose whole slice migrated fresh carry a completed
+        // cycle-1 checkpoint; the rest resume cycle 1 and execute only
+        // the remainder.
+        let mut total_fresh = 0u64;
+        let mut total_executed = 0u64;
+        for i in 0..3 {
+            let mut d = shard_daemon(&root, ShardSpec::new(i, 3).unwrap(), None);
+            let fresh_rows = freshness(d.store(), &d.plan());
+            let tested = fresh_rows.iter().filter(|f| f.tested_this_cycle).count() as u64;
+            total_fresh += tested;
+            let ckpt = d.latest_checkpoint().expect("rebalance wrote a checkpoint");
+            assert_eq!(ckpt.cycle, 1, "rebalance carries the old fleet cycle");
+            assert_eq!(ckpt.pairs_done, tested);
+            if ckpt.completed {
+                assert_eq!(tested, d.plan().len() as u64);
+                continue; // its part of cycle 1 is done; nothing to resume
+            }
+            let r = d.run_cycle().unwrap();
+            assert!(r.completed());
+            assert_eq!(r.cycle, 1, "incomplete shards resume the old cycle");
+            assert_eq!(r.pairs_already_done, tested, "fresh pairs were not re-run");
+            total_executed += r.pairs_executed;
+        }
+        let full = shard_matrix(&services(), &wd.settings, None).len() as u64;
+        assert_eq!(total_fresh, fresh_before, "every fresh pair stayed fresh");
+        assert_eq!(total_executed, full - fresh_before);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn rebalance_refuses_an_unreadable_shard() {
+        let root = tmp("rebalance_bad");
+        let wd = tiny_watchdog();
+        prepare_root(&root, 2, &services(), &wd.settings, wd.policy, wd.duration).unwrap();
+        std::fs::remove_dir_all(shard_dir(&root, 1)).unwrap();
+        let err = prepare_root(&root, 3, &services(), &wd.settings, wd.policy, wd.duration);
+        assert!(err.is_err(), "missing shard must abort the rebalance");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

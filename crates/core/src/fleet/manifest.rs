@@ -1,0 +1,130 @@
+//! The fleet root manifest (`fleet.json`).
+//!
+//! A fleet root is a directory holding one store directory per shard
+//! (`shard-000`, `shard-001`, …) plus this manifest. The manifest is
+//! how the merged read path (`prudentia serve`, `prudentia report`,
+//! `prudentia fleet status/merge`) recognises a fleet root and learns
+//! the shard count; a store directory without one is served as a plain
+//! single store.
+
+use crate::error::PrudentiaError;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Version of the fleet root layout (manifest schema + shard dir
+/// naming). Bump on incompatible changes; readers refuse mismatches.
+pub const FLEET_FORMAT_VERSION: u32 = 1;
+
+/// `fleet.json` at a fleet root.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct FleetManifest {
+    /// Layout version ([`FLEET_FORMAT_VERSION`]).
+    pub format: u32,
+    /// Number of shards the pair matrix is split across.
+    pub shards: u32,
+}
+
+impl FleetManifest {
+    /// A manifest for `shards` shards at the current layout version.
+    pub fn new(shards: u32) -> Self {
+        FleetManifest {
+            format: FLEET_FORMAT_VERSION,
+            shards,
+        }
+    }
+
+    /// Path of the manifest file under `root`.
+    pub fn path(root: &Path) -> PathBuf {
+        root.join("fleet.json")
+    }
+
+    /// Load the manifest at `root`, `Ok(None)` if the directory is not
+    /// a fleet root (no `fleet.json`).
+    pub fn load(root: &Path) -> Result<Option<Self>, PrudentiaError> {
+        let path = Self::path(root);
+        let data = match std::fs::read_to_string(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(PrudentiaError::io(format!("read {}", path.display()), e)),
+        };
+        let manifest: FleetManifest =
+            serde_json::from_str(&data).map_err(|e| PrudentiaError::Json {
+                context: path.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        if manifest.format != FLEET_FORMAT_VERSION {
+            return Err(PrudentiaError::InvalidConfig(format!(
+                "fleet root {} has layout version {} (this build reads {})",
+                root.display(),
+                manifest.format,
+                FLEET_FORMAT_VERSION
+            )));
+        }
+        if manifest.shards == 0 {
+            return Err(PrudentiaError::InvalidConfig(format!(
+                "fleet root {} declares zero shards",
+                root.display()
+            )));
+        }
+        Ok(Some(manifest))
+    }
+
+    /// Write the manifest under `root`, creating the directory.
+    pub fn save(&self, root: &Path) -> Result<(), PrudentiaError> {
+        std::fs::create_dir_all(root)
+            .map_err(|e| PrudentiaError::io(format!("create {}", root.display()), e))?;
+        let path = Self::path(root);
+        let json = serde_json::to_string(self).map_err(|e| PrudentiaError::Json {
+            context: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        std::fs::write(&path, json)
+            .map_err(|e| PrudentiaError::io(format!("write {}", path.display()), e))
+    }
+
+    /// The shard store directories under `root`, in shard order.
+    pub fn shard_dirs(&self, root: &Path) -> Vec<PathBuf> {
+        (0..self.shards)
+            .map(|i| super::shard::shard_dir(root, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("prudentia_manifest_unit")
+            .join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_detects_non_fleet_roots() {
+        let root = tmp("roundtrip");
+        assert!(
+            matches!(FleetManifest::load(&root), Ok(None)),
+            "missing dir"
+        );
+        let m = FleetManifest::new(3);
+        m.save(&root).unwrap();
+        assert_eq!(FleetManifest::load(&root).unwrap(), Some(m.clone()));
+        assert_eq!(m.shard_dirs(&root).len(), 3);
+        assert!(m.shard_dirs(&root)[2].ends_with("shard-002"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn version_and_shard_count_are_validated() {
+        let root = tmp("validate");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(FleetManifest::path(&root), "{\"format\":99,\"shards\":2}").unwrap();
+        assert!(FleetManifest::load(&root).is_err(), "future layout refused");
+        std::fs::write(FleetManifest::path(&root), "{\"format\":1,\"shards\":0}").unwrap();
+        assert!(FleetManifest::load(&root).is_err(), "zero shards refused");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

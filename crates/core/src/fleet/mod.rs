@@ -1,0 +1,39 @@
+//! The sharded watchdog fleet (§ DESIGN.md 8).
+//!
+//! One watchdog process covers the whole pair matrix; a *fleet* splits
+//! it across N worker processes, each running the ordinary
+//! staleness-driven daemon loop ([`crate::daemon::Daemon`]) over its
+//! own slice of the matrix and its own store segment directory. The
+//! pieces:
+//!
+//! * [`shard`] — the sharding function: a jump consistent hash over the
+//!   pair's store key ([`crate::watchdog::pair_store_key`]), so growing
+//!   the fleet from N to N+1 shards moves only ~1/(N+1) of the pairs.
+//! * [`manifest`] — `fleet.json` at the fleet root: the shard count and
+//!   layout version that let the read path recognise a fleet root.
+//! * [`view`] — the merged read path: per-shard health + freshness and
+//!   a latest-wins [`prudentia_store::MergedSnapshot`] across shards,
+//!   tolerant of an unreadable shard (degraded, not fatal).
+//! * [`coordinator`] — `prudentia fleet spawn`: supervise workers
+//!   (crash → restart with backoff), stop them via the shared flag
+//!   file, and rebalance the on-disk layout when N changes without
+//!   re-running pairs that are fresh in the current cycle.
+//!
+//! Because every heatmap cell depends only on the latest pair record
+//! for its key, and outcomes are deterministic per pair identity, a
+//! merged fleet view renders byte-identical reports to a single
+//! process covering the same plan — the invariant the fleet
+//! integration tests pin.
+
+pub mod coordinator;
+pub mod manifest;
+pub mod shard;
+pub mod view;
+
+pub use coordinator::{
+    clear_stop, prepare_root, rebalance, request_stop, supervise, FleetConfig, FleetReport,
+    RebalanceReport,
+};
+pub use manifest::{FleetManifest, FLEET_FORMAT_VERSION};
+pub use shard::{jump_hash, shard_dir, stop_flag_path, ShardSpec};
+pub use view::{FleetView, ShardHealth};

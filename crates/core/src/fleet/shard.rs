@@ -1,0 +1,160 @@
+//! Pair-matrix sharding: which worker owns which pair.
+//!
+//! Assignment is a pure function of the pair's store key (the FNV-1a
+//! fingerprint from [`crate::watchdog::pair_store_key`]) and the shard
+//! count, via Lamport's jump consistent hash. Jump hash gives the two
+//! properties the fleet needs with zero state: near-uniform balance,
+//! and minimal movement on resharding — growing from `n` to `n+1`
+//! shards reassigns only ~`1/(n+1)` of the keys, so a rebalance
+//! migrates the fewest possible records.
+
+use crate::error::PrudentiaError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Jump consistent hash (Lamport & Veach): maps `key` to a bucket in
+/// `0..buckets`. Deterministic, dependency-free, and stable across
+/// platforms — the shard assignment is part of the fleet's on-disk
+/// contract, so this function must never change for a given input.
+pub fn jump_hash(mut key: u64, buckets: u32) -> u32 {
+    assert!(buckets > 0, "jump_hash needs at least one bucket");
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        j = ((b.wrapping_add(1) as f64)
+            * ((1u64 << 31) as f64 / ((key >> 33).wrapping_add(1) as f64))) as i64;
+    }
+    b as u32
+}
+
+/// One worker's slice of the pair matrix: shard `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This worker's shard index, `0..count`.
+    pub index: u32,
+    /// Total shards in the fleet.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Validated constructor: `index` must be in `0..count`.
+    pub fn new(index: u32, count: u32) -> Result<Self, PrudentiaError> {
+        if count == 0 {
+            return Err(PrudentiaError::InvalidConfig(
+                "shard count must be at least 1".to_string(),
+            ));
+        }
+        if index >= count {
+            return Err(PrudentiaError::InvalidConfig(format!(
+                "shard index {index} out of range for {count} shards"
+            )));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parse the CLI spelling `I/N` (e.g. `--shard 2/4`).
+    pub fn parse(raw: &str) -> Result<Self, PrudentiaError> {
+        let bad =
+            || PrudentiaError::Usage(format!("--shard expects I/N with 0 <= I < N, got `{raw}`"));
+        let (i, n) = raw.split_once('/').ok_or_else(bad)?;
+        let index: u32 = i.trim().parse().map_err(|_| bad())?;
+        let count: u32 = n.trim().parse().map_err(|_| bad())?;
+        ShardSpec::new(index, count).map_err(|_| bad())
+    }
+
+    /// Whether this shard owns the pair with store key `key`.
+    pub fn owns(&self, key: u64) -> bool {
+        jump_hash(key, self.count) == self.index
+    }
+
+    /// The owning shard index for `key` in a fleet of `count` shards.
+    pub fn owner(key: u64, count: u32) -> u32 {
+        jump_hash(key, count)
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The store directory of shard `index` under a fleet root.
+pub fn shard_dir(root: &Path, index: u32) -> PathBuf {
+    root.join(format!("shard-{index:03}"))
+}
+
+/// The shared graceful-shutdown flag file under a fleet root; every
+/// worker watches it via [`crate::daemon::ShutdownFlag`], so creating
+/// it fans a stop request out to the whole fleet.
+pub fn stop_flag_path(root: &Path) -> PathBuf {
+    root.join("stop.flag")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_hash_is_deterministic_and_in_range() {
+        for key in [0u64, 1, 42, u64::MAX, 0xdead_beef_cafe_f00d] {
+            for buckets in [1u32, 2, 3, 8, 100] {
+                let b = jump_hash(key, buckets);
+                assert!(b < buckets);
+                assert_eq!(b, jump_hash(key, buckets), "stable");
+            }
+        }
+        assert_eq!(jump_hash(7, 1), 0, "single bucket takes everything");
+    }
+
+    #[test]
+    fn jump_hash_moves_few_keys_on_grow() {
+        // Growing n -> n+1 must only move keys into the new bucket.
+        for n in 1u32..8 {
+            for key in 0..500u64 {
+                let spread = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let before = jump_hash(spread, n);
+                let after = jump_hash(spread, n + 1);
+                assert!(
+                    after == before || after == n,
+                    "key moved between existing buckets: {before} -> {after} at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jump_hash_balance_is_reasonable() {
+        let n = 4u32;
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            counts[jump_hash(key.wrapping_mul(0x517c_c1b7_2722_0a95), n) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shard_spec_parses_and_validates() {
+        let s = ShardSpec::parse("2/4").unwrap();
+        assert_eq!((s.index, s.count), (2, 4));
+        assert_eq!(s.to_string(), "2/4");
+        assert!(ShardSpec::parse("4/4").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("x/2").is_err());
+        assert!(ShardSpec::parse("3").is_err());
+    }
+
+    #[test]
+    fn every_key_has_exactly_one_owner() {
+        let shards: Vec<ShardSpec> = (0..5).map(|i| ShardSpec::new(i, 5).unwrap()).collect();
+        for key in 0..200u64 {
+            let owners = shards.iter().filter(|s| s.owns(key)).count();
+            assert_eq!(owners, 1, "key {key}");
+        }
+    }
+}

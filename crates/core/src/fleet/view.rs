@@ -1,0 +1,199 @@
+//! The fleet-wide read path: per-shard health plus a merged view.
+//!
+//! `prudentia serve`, `prudentia report`, and `prudentia fleet
+//! status/merge` all read a fleet root the same way: snapshot every
+//! shard store, compute each shard's health and freshness against its
+//! own slice of the matrix (a shard's `tested_this_cycle` horizon is
+//! its *own* checkpoint — sequence numbers are never compared across
+//! stores), then absorb the snapshots into one latest-wins
+//! [`MergedSnapshot`] for heatmaps and record-level queries.
+//!
+//! An unreadable shard degrades the view instead of failing it: its
+//! health row carries the error, its pairs report as never-tested, and
+//! [`FleetView::degraded`] lets the serve layer answer with a
+//! structured 503 naming the bad shard(s) while `/status` keeps
+//! working from the readable remainder.
+
+use super::manifest::FleetManifest;
+use super::shard::{shard_dir, ShardSpec};
+use crate::config::NetworkSetting;
+use crate::daemon::{freshness, latest_checkpoint, shard_matrix, Checkpoint, LatestView};
+use crate::watchdog::{pair_store_key, PairFreshness};
+use prudentia_apps::ServiceSpec;
+use prudentia_obs::MetricsRegistry;
+use prudentia_store::{MergedSnapshot, Snapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::Instant;
+
+/// One shard's health as seen by the merged read path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: u32,
+    /// Store directory of the shard.
+    pub dir: String,
+    /// Whether the shard store could be snapshotted.
+    pub readable: bool,
+    /// Error detail when unreadable.
+    pub error: Option<String>,
+    /// Live (latest-per-key) records in the shard.
+    pub live_records: u64,
+    /// The shard store's sequence watermark.
+    pub next_seq: u64,
+    /// The shard daemon's latest checkpoint, if any.
+    pub checkpoint: Option<Checkpoint>,
+    /// Pairs of this shard's slice tested in its current cycle.
+    pub pairs_tested_this_cycle: u64,
+    /// Pairs in this shard's slice of the matrix.
+    pub pairs_total: u64,
+    /// Timestamp of the shard's newest live record, unix ms.
+    pub last_append_unix_ms: Option<u64>,
+}
+
+/// The merged fleet view. See the module docs for semantics.
+#[derive(Debug)]
+pub struct FleetView {
+    /// The manifest the view was read under.
+    pub manifest: FleetManifest,
+    /// Per-shard health, in shard order (one entry per shard).
+    pub shards: Vec<ShardHealth>,
+    /// Latest-wins merge of every readable shard.
+    pub merged: MergedSnapshot,
+    /// Union of per-shard freshness, in canonical full-matrix order.
+    /// Pairs owned by an unreadable shard report as never tested.
+    pub freshness: Vec<PairFreshness>,
+    /// Milliseconds spent snapshotting and merging the shards.
+    pub merge_ms: f64,
+}
+
+impl FleetView {
+    /// Read every shard under `root` per `manifest`. Never fails on an
+    /// unreadable *shard* (that degrades the view); the `Result` is
+    /// for future-proofing of root-level failures only.
+    ///
+    /// When a metrics registry is supplied, records the merge latency
+    /// histogram (`fleet/merge_ms`) and per-shard freshness gauges
+    /// (`fleet/shard<i>/pairs_tested_this_cycle`, `…/readable`).
+    pub fn read(
+        root: &Path,
+        manifest: &FleetManifest,
+        services: &[ServiceSpec],
+        settings: &[NetworkSetting],
+        metrics: Option<&MetricsRegistry>,
+    ) -> FleetView {
+        let started = Instant::now();
+        let mut shards = Vec::with_capacity(manifest.shards as usize);
+        let mut merged = MergedSnapshot::new();
+        // Union freshness rows keyed by pair store key; filled per shard
+        // below, then emitted in canonical full-matrix order.
+        let mut fresh_by_key: HashMap<u64, PairFreshness> = HashMap::new();
+
+        for index in 0..manifest.shards {
+            let spec = ShardSpec::new(index, manifest.shards).expect("index < count");
+            let dir = shard_dir(root, index);
+            let plan = shard_matrix(services, settings, Some(spec));
+            match Snapshot::read(&dir) {
+                Ok(snap) => {
+                    let rows = freshness(&snap, &plan);
+                    let tested = rows.iter().filter(|f| f.tested_this_cycle).count() as u64;
+                    shards.push(ShardHealth {
+                        shard: index,
+                        dir: dir.display().to_string(),
+                        readable: true,
+                        error: None,
+                        live_records: snap.live_len() as u64,
+                        next_seq: snap.next_seq(),
+                        checkpoint: latest_checkpoint(&snap),
+                        pairs_tested_this_cycle: tested,
+                        pairs_total: plan.len() as u64,
+                        last_append_unix_ms: snap.last_append_unix_ms(),
+                    });
+                    for row in rows {
+                        fresh_by_key.insert(row.key, row);
+                    }
+                    merged.absorb(snap);
+                }
+                Err(e) => {
+                    shards.push(ShardHealth {
+                        shard: index,
+                        dir: dir.display().to_string(),
+                        readable: false,
+                        error: Some(e.to_string()),
+                        live_records: 0,
+                        next_seq: 0,
+                        checkpoint: None,
+                        pairs_tested_this_cycle: 0,
+                        pairs_total: plan.len() as u64,
+                        last_append_unix_ms: None,
+                    });
+                }
+            }
+        }
+
+        // Canonical order, with never-tested placeholders for pairs of
+        // unreadable shards so the row set always covers the matrix.
+        let freshness_rows: Vec<PairFreshness> = shard_matrix(services, settings, None)
+            .iter()
+            .map(|p| {
+                let key = pair_store_key(p.contender.name(), p.incumbent.name(), &p.setting.name);
+                fresh_by_key.remove(&key).unwrap_or(PairFreshness {
+                    contender: p.contender.name().to_string(),
+                    incumbent: p.incumbent.name().to_string(),
+                    setting: p.setting.name.clone(),
+                    key,
+                    last_seq: None,
+                    last_tested_unix_ms: None,
+                    tested_this_cycle: false,
+                })
+            })
+            .collect();
+
+        let merge_ms = started.elapsed().as_secs_f64() * 1e3;
+        if let Some(reg) = metrics {
+            reg.histogram("fleet/merge_ms").record(merge_ms);
+            for h in &shards {
+                reg.gauge(&format!("fleet/shard{}/pairs_tested_this_cycle", h.shard))
+                    .set(h.pairs_tested_this_cycle as f64);
+                reg.gauge(&format!("fleet/shard{}/readable", h.shard))
+                    .set(if h.readable { 1.0 } else { 0.0 });
+            }
+        }
+        FleetView {
+            manifest: manifest.clone(),
+            shards,
+            merged,
+            freshness: freshness_rows,
+            merge_ms,
+        }
+    }
+
+    /// Shards that could be snapshotted.
+    pub fn readable_count(&self) -> u32 {
+        self.shards.iter().filter(|h| h.readable).count() as u32
+    }
+
+    /// The unreadable shards (empty on a healthy fleet).
+    pub fn unreadable(&self) -> Vec<&ShardHealth> {
+        self.shards.iter().filter(|h| !h.readable).collect()
+    }
+
+    /// Whether any shard is unreadable.
+    pub fn degraded(&self) -> bool {
+        self.readable_count() < self.manifest.shards
+    }
+
+    /// The merged view as a [`LatestView`] for heatmap derivation.
+    pub fn latest_view(&self) -> &dyn LatestView {
+        &self.merged
+    }
+
+    /// Pairs tested in their owning shard's current cycle, fleet-wide.
+    pub fn pairs_tested_this_cycle(&self) -> u64 {
+        self.freshness
+            .iter()
+            .filter(|f| f.tested_this_cycle)
+            .count() as u64
+    }
+}

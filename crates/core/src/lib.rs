@@ -42,6 +42,7 @@ pub mod daemon;
 pub mod error;
 pub mod executor;
 pub mod experiment;
+pub mod fleet;
 pub mod heatmap;
 pub mod report;
 pub mod results;
@@ -65,9 +66,10 @@ pub use executor::{
 pub use experiment::{
     AppSummary, ExperimentResult, ExperimentSpec, QueuePoint, SeriesPoint, SideResult,
 };
+pub use fleet::{FleetConfig, FleetManifest, FleetReport, FleetView, ShardHealth, ShardSpec};
 pub use heatmap::{Heatmap, HeatmapStat};
 pub use prudentia_obs::{MetricsRegistry, MetricsSnapshot};
-pub use prudentia_sim::{ImpairmentSpec, QdiscSpec, RateStep, ScenarioSpec, SchedulerKind};
+pub use prudentia_sim::{ImpairmentSpec, QdiscSpec, RateStep, ScenarioSpec};
 pub use report::{loser_shares, loser_stats, self_competition_mean, LoserStats, TransitivityRow};
 pub use results::ResultStore;
 pub use runner::{
@@ -77,7 +79,7 @@ pub use runner::{
 pub use scheduler::{
     run_pair, run_pairs_parallel, trial_seed, DurationPolicy, PairOutcome, PairSpec, TrialPolicy,
 };
-pub use serve::{serve, write_report, ServeConfig, StatusBody};
+pub use serve::{serve, write_report, DegradedBody, FleetStatusBody, ServeConfig, StatusBody};
 pub use submissions::{
     ReportLine, SubmissionDesk, SubmissionError, SubmissionReport, Verdict, SUBMISSIONS_PER_CODE,
 };

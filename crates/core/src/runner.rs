@@ -6,7 +6,7 @@ use crate::experiment::{
 };
 use prudentia_apps::{build_service, AppHandle, ServiceSpec};
 use prudentia_obs::{span, MetricsRegistry};
-use prudentia_sim::{Engine, SchedulerKind, ServiceId, SimTime};
+use prudentia_sim::{Engine, ServiceId, SimTime};
 use prudentia_stats::max_min_allocation;
 
 /// External-loss level above which Prudentia discards an experiment.
@@ -41,12 +41,8 @@ pub fn run_experiment_observed(
     metrics: Option<&MetricsRegistry>,
 ) -> (ExperimentResult, u64) {
     let _trial = span!("trial");
-    let mut engine = Engine::with_scenario_and_scheduler(
-        spec.setting.bottleneck(),
-        &spec.setting.scenario,
-        spec.seed,
-        spec.scheduler.unwrap_or_else(SchedulerKind::from_env),
-    );
+    let mut engine =
+        Engine::with_scenario(spec.setting.bottleneck(), &spec.setting.scenario, spec.seed);
     engine.set_service_pair(SVC_A, SVC_B);
     if spec.external_loss > 0.0 {
         engine.set_external_loss(spec.external_loss);

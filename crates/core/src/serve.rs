@@ -25,9 +25,10 @@
 
 use crate::config::NetworkSetting;
 use crate::daemon::{
-    freshness, full_matrix, heatmaps, latest_checkpoint, Checkpoint, ShutdownFlag,
+    freshness, full_matrix, heatmaps, latest_checkpoint, Checkpoint, LatestView, ShutdownFlag,
 };
 use crate::error::PrudentiaError;
+use crate::fleet::{FleetManifest, FleetView, ShardHealth};
 use crate::heatmap::{Heatmap, HeatmapStat};
 use crate::watchdog::PairFreshness;
 use prudentia_apps::ServiceSpec;
@@ -72,6 +73,39 @@ pub struct StatusBody {
     pub next_seq: u64,
     /// Timestamp of the newest live record, unix ms.
     pub last_append_unix_ms: Option<u64>,
+    /// Fleet summary when serving a fleet root (`fleet.json` present);
+    /// `null` for a plain single store.
+    pub fleet: Option<FleetStatusBody>,
+}
+
+/// The fleet block of [`StatusBody`]: shard-level health of a sharded
+/// watchdog fleet, served even while some shards are unreadable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetStatusBody {
+    /// Shards declared by the fleet manifest.
+    pub shards: u32,
+    /// Shards whose stores could be snapshotted.
+    pub shards_readable: u32,
+    /// Whether any shard is unreadable (data routes answer 503).
+    pub degraded: bool,
+    /// Per-shard health, in shard order.
+    pub shard_health: Vec<ShardHealth>,
+}
+
+/// The structured 503 body data routes answer with while a fleet is
+/// degraded: it names the unreadable shard(s) instead of hiding the
+/// failure behind a generic error, and `/status` keeps serving the
+/// readable remainder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradedBody {
+    /// Human-readable summary.
+    pub error: String,
+    /// Shards declared by the fleet manifest.
+    pub shards_total: u32,
+    /// Shards whose stores could be snapshotted.
+    pub shards_readable: u32,
+    /// The unreadable shards with their errors.
+    pub unreadable: Vec<ShardHealth>,
 }
 
 /// One heatmap with its setting and statistic labels (JSON route).
@@ -93,30 +127,98 @@ const ALL_STATS: [HeatmapStat; 4] = [
     HeatmapStat::QueueingDelayMs,
 ];
 
-fn snapshot(config: &ServeConfig) -> Result<Snapshot, PrudentiaError> {
-    Snapshot::read(&config.store_dir).map_err(PrudentiaError::from)
+/// What `--store DIR` resolved to: a plain single store, or a fleet
+/// root (`fleet.json` present) read as the merged multi-shard view.
+enum StoreView {
+    Single(Snapshot),
+    Fleet(FleetView),
 }
 
-fn status_body(config: &ServeConfig, snap: &Snapshot) -> StatusBody {
-    let plan = full_matrix(&config.services, &config.settings);
-    let fresh = freshness(snap, &plan);
+impl StoreView {
+    fn latest(&self) -> &dyn LatestView {
+        match self {
+            StoreView::Single(snap) => snap,
+            StoreView::Fleet(view) => view.latest_view(),
+        }
+    }
+
+    fn degraded(&self) -> bool {
+        matches!(self, StoreView::Fleet(view) if view.degraded())
+    }
+
+    /// Freshness rows in canonical full-matrix order. A fleet judges
+    /// each pair against its owning shard's own checkpoint horizon —
+    /// never the merged view, where the shard checkpoints collide.
+    fn freshness_rows(&self, config: &ServeConfig) -> Vec<PairFreshness> {
+        match self {
+            StoreView::Single(snap) => {
+                freshness(snap, &full_matrix(&config.services, &config.settings))
+            }
+            StoreView::Fleet(view) => view.freshness.clone(),
+        }
+    }
+}
+
+fn read_view(config: &ServeConfig) -> Result<StoreView, PrudentiaError> {
+    match FleetManifest::load(&config.store_dir)? {
+        Some(manifest) => Ok(StoreView::Fleet(FleetView::read(
+            &config.store_dir,
+            &manifest,
+            &config.services,
+            &config.settings,
+            None,
+        ))),
+        None => Ok(StoreView::Single(Snapshot::read(&config.store_dir)?)),
+    }
+}
+
+fn status_body(config: &ServeConfig, view: &StoreView) -> StatusBody {
+    let plan_len = full_matrix(&config.services, &config.settings).len() as u64;
+    let fresh = view.freshness_rows(config);
+    let tested = fresh.iter().filter(|f| f.tested_this_cycle).count() as u64;
+    let (checkpoint, live, next_seq, last_append, fleet) = match view {
+        StoreView::Single(snap) => (
+            latest_checkpoint(snap),
+            snap.live_len() as u64,
+            snap.next_seq(),
+            snap.last_append_unix_ms(),
+            None,
+        ),
+        StoreView::Fleet(fv) => (
+            // The shard checkpoints share one key, so no single
+            // checkpoint speaks for the fleet; the fleet block carries
+            // them per shard instead.
+            None,
+            fv.merged.live_len() as u64,
+            fv.merged.next_seq(),
+            fv.merged.last_append_unix_ms(),
+            Some(FleetStatusBody {
+                shards: fv.manifest.shards,
+                shards_readable: fv.readable_count(),
+                degraded: fv.degraded(),
+                shard_health: fv.shards.clone(),
+            }),
+        ),
+    };
     StatusBody {
         service: "prudentia".to_string(),
         version: env!("CARGO_PKG_VERSION").to_string(),
         store_dir: config.store_dir.display().to_string(),
-        checkpoint: latest_checkpoint(snap),
-        pairs_total: plan.len() as u64,
-        pairs_tested_this_cycle: fresh.iter().filter(|f| f.tested_this_cycle).count() as u64,
-        live_records: snap.live_len() as u64,
-        next_seq: snap.next_seq(),
-        last_append_unix_ms: snap.last_append_unix_ms(),
+        checkpoint,
+        pairs_total: plan_len,
+        pairs_tested_this_cycle: tested,
+        live_records: live,
+        next_seq,
+        last_append_unix_ms: last_append,
+        fleet,
     }
 }
 
-fn heatmap_bodies(config: &ServeConfig, snap: &Snapshot) -> Vec<HeatmapBody> {
+fn heatmap_bodies(config: &ServeConfig, view: &StoreView) -> Vec<HeatmapBody> {
     let mut out = Vec::new();
     for stat in ALL_STATS {
-        for (setting, heatmap) in heatmaps(snap, &config.services, &config.settings, stat) {
+        for (setting, heatmap) in heatmaps(view.latest(), &config.services, &config.settings, stat)
+        {
             out.push(HeatmapBody {
                 setting,
                 stat: stat.title().to_string(),
@@ -125,6 +227,23 @@ fn heatmap_bodies(config: &ServeConfig, snap: &Snapshot) -> Vec<HeatmapBody> {
         }
     }
     out
+}
+
+/// The structured 503 for a degraded fleet (exit-code-7 family on the
+/// report path): names the unreadable shard(s) so the operator fixes
+/// the right store instead of chasing a generic failure.
+fn degraded_body(view: &FleetView) -> DegradedBody {
+    let unreadable: Vec<ShardHealth> = view.unreadable().into_iter().cloned().collect();
+    DegradedBody {
+        error: format!(
+            "fleet degraded: {} of {} shards unreadable",
+            unreadable.len(),
+            view.manifest.shards
+        ),
+        shards_total: view.manifest.shards,
+        shards_readable: view.readable_count(),
+        unreadable,
+    }
 }
 
 /// Serve the status endpoint until `shutdown` is requested (including
@@ -215,8 +334,8 @@ fn route(
             (OK, JSON, "{\"shutting_down\":true}".to_string())
         }
         "/" | "/status" | "/heatmap" | "/heatmap.csv" | "/freshness" | "/metrics" => {
-            let snap = match snapshot(config) {
-                Ok(s) => s,
+            let view = match read_view(config) {
+                Ok(v) => v,
                 Err(e) => {
                     let msg = serde_json::to_string(&format!("store unavailable: {e}"))
                         .unwrap_or_else(|_| "\"store unavailable\"".to_string());
@@ -227,17 +346,21 @@ fn route(
                     );
                 }
             };
-            match path {
-                "/" => (OK, "text/html; charset=utf-8", dashboard(config, &snap)),
-                "/status" => (OK, JSON, json(&status_body(config, &snap))),
-                "/heatmap" => (OK, JSON, json(&heatmap_bodies(config, &snap))),
-                "/heatmap.csv" => (OK, "text/csv", heatmap_csv(config, &snap)),
-                "/freshness" => {
-                    let plan = full_matrix(&config.services, &config.settings);
-                    let rows: Vec<PairFreshness> = freshness(&snap, &plan);
-                    (OK, JSON, json(&rows))
+            // Data routes refuse to render a silently incomplete merged
+            // view; /status and /metrics keep answering so the operator
+            // can see *which* shard is down.
+            if view.degraded() && !matches!(path, "/status" | "/metrics") {
+                if let StoreView::Fleet(fv) = &view {
+                    return ("503 Service Unavailable", JSON, json(&degraded_body(fv)));
                 }
-                "/metrics" => (OK, JSON, metrics_json(&snap)),
+            }
+            match path {
+                "/" => (OK, "text/html; charset=utf-8", dashboard(config, &view)),
+                "/status" => (OK, JSON, json(&status_body(config, &view))),
+                "/heatmap" => (OK, JSON, json(&heatmap_bodies(config, &view))),
+                "/heatmap.csv" => (OK, "text/csv", heatmap_csv(config, &view)),
+                "/freshness" => (OK, JSON, json(&view.freshness_rows(config))),
+                "/metrics" => (OK, JSON, metrics_json(&view)),
                 _ => unreachable!("outer match covers these routes"),
             }
         }
@@ -253,22 +376,36 @@ fn json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string(value).unwrap_or_else(|e| format!("{{\"error\":\"encode: {e}\"}}"))
 }
 
-fn metrics_json(snap: &Snapshot) -> String {
-    format!(
-        "{{\"store/live_records\":{},\"store/next_seq\":{},\"store/segments\":{},\"store/last_append_unix_ms\":{}}}",
-        snap.live_len(),
-        snap.next_seq(),
-        snap.segments(),
-        snap.last_append_unix_ms()
-            .map(|t| t.to_string())
-            .unwrap_or_else(|| "null".to_string()),
-    )
+fn metrics_json(view: &StoreView) -> String {
+    match view {
+        StoreView::Single(snap) => format!(
+            "{{\"store/live_records\":{},\"store/next_seq\":{},\"store/segments\":{},\"store/last_append_unix_ms\":{}}}",
+            snap.live_len(),
+            snap.next_seq(),
+            snap.segments(),
+            snap.last_append_unix_ms()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        ),
+        StoreView::Fleet(fv) => format!(
+            "{{\"store/live_records\":{},\"store/next_seq\":{},\"fleet/shards\":{},\"fleet/shards_readable\":{},\"fleet/merge_ms\":{:.3},\"store/last_append_unix_ms\":{}}}",
+            fv.merged.live_len(),
+            fv.merged.next_seq(),
+            fv.manifest.shards,
+            fv.readable_count(),
+            fv.merge_ms,
+            fv.merged
+                .last_append_unix_ms()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        ),
+    }
 }
 
-fn heatmap_csv(config: &ServeConfig, snap: &Snapshot) -> String {
+fn heatmap_csv(config: &ServeConfig, view: &StoreView) -> String {
     let mut out = String::new();
     for (setting, heatmap) in heatmaps(
-        snap,
+        view.latest(),
         &config.services,
         &config.settings,
         HeatmapStat::MmfSharePct,
@@ -282,8 +419,8 @@ fn heatmap_csv(config: &ServeConfig, snap: &Snapshot) -> String {
     out
 }
 
-fn dashboard(config: &ServeConfig, snap: &Snapshot) -> String {
-    let status = status_body(config, snap);
+fn dashboard(config: &ServeConfig, view: &StoreView) -> String {
+    let status = status_body(config, view);
     let mut html = String::from(
         "<!doctype html><html><head><meta charset=\"utf-8\">\
          <title>Prudentia watchdog</title>\
@@ -298,8 +435,8 @@ fn dashboard(config: &ServeConfig, snap: &Snapshot) -> String {
         status.live_records,
         status.next_seq
     ));
-    match &status.checkpoint {
-        Some(c) => html.push_str(&format!(
+    match (&status.checkpoint, &status.fleet) {
+        (Some(c), _) => html.push_str(&format!(
             "<p>cycle {} — {}/{} pairs{}</p>",
             c.cycle,
             status.pairs_tested_this_cycle,
@@ -310,7 +447,11 @@ fn dashboard(config: &ServeConfig, snap: &Snapshot) -> String {
                 " (running)"
             }
         )),
-        None => html.push_str("<p>no cycle recorded yet</p>"),
+        (None, Some(f)) => html.push_str(&format!(
+            "<p>fleet of {} shards ({} readable) — {}/{} pairs this cycle</p>",
+            f.shards, f.shards_readable, status.pairs_tested_this_cycle, status.pairs_total
+        )),
+        (None, None) => html.push_str("<p>no cycle recorded yet</p>"),
     }
     html.push_str(
         "<p><a href=\"/status\">status</a> · <a href=\"/heatmap\">heatmap json</a> · \
@@ -318,7 +459,7 @@ fn dashboard(config: &ServeConfig, snap: &Snapshot) -> String {
          <a href=\"/metrics\">metrics</a></p>",
     );
     for (setting, heatmap) in heatmaps(
-        snap,
+        view.latest(),
         &config.services,
         &config.settings,
         HeatmapStat::MmfSharePct,
@@ -366,19 +507,27 @@ fn escape(s: &str) -> String {
 /// statistic, all derived from the store at `config.store_dir`. Returns
 /// the files written (relative to `out_dir`).
 pub fn write_report(config: &ServeConfig, out_dir: &Path) -> Result<Vec<String>, PrudentiaError> {
-    let snap = snapshot(config)?;
+    let view = read_view(config)?;
+    // A degraded fleet must not produce a silently incomplete report —
+    // same family as the serve-layer 503, surfaced as exit code 7.
+    if let StoreView::Fleet(fv) = &view {
+        if fv.degraded() {
+            return Err(PrudentiaError::Serve(json(&degraded_body(fv))));
+        }
+    }
     std::fs::create_dir_all(out_dir)
         .map_err(|e| PrudentiaError::io(format!("create {}", out_dir.display()), e))?;
     let mut written = Vec::new();
 
-    let html = dashboard(config, &snap);
+    let html = dashboard(config, &view);
     let index = out_dir.join("index.html");
     std::fs::write(&index, html)
         .map_err(|e| PrudentiaError::io(format!("write {}", index.display()), e))?;
     written.push("index.html".to_string());
 
     for stat in ALL_STATS {
-        for (setting, heatmap) in heatmaps(&snap, &config.services, &config.settings, stat) {
+        for (setting, heatmap) in heatmaps(view.latest(), &config.services, &config.settings, stat)
+        {
             let name = format!("heatmap-{}-{}.csv", slug(&setting), stat.slug());
             let path = out_dir.join(&name);
             std::fs::write(&path, heatmap.render_csv())
@@ -387,7 +536,7 @@ pub fn write_report(config: &ServeConfig, out_dir: &Path) -> Result<Vec<String>,
         }
     }
 
-    let status = status_body(config, &snap);
+    let status = status_body(config, &view);
     let status_path = out_dir.join("status.json");
     std::fs::write(&status_path, json(&status))
         .map_err(|e| PrudentiaError::io(format!("write {}", status_path.display()), e))?;
@@ -443,6 +592,7 @@ mod tests {
                 store_dir: dir.clone(),
                 batch_pairs: 1,
                 max_pairs_per_run: None,
+                shard: None,
             },
         )
         .expect("daemon opens");
@@ -460,12 +610,13 @@ mod tests {
     fn routes_render_from_a_seeded_store() {
         let (dir, config) = seeded_store("routes");
         let flag = ShutdownFlag::new();
-        let snap = snapshot(&config).expect("snapshot");
+        let view = read_view(&config).expect("snapshot");
 
-        let status = status_body(&config, &snap);
+        let status = status_body(&config, &view);
         assert_eq!(status.pairs_total, 1);
         assert_eq!(status.pairs_tested_this_cycle, 1);
         assert!(status.checkpoint.as_ref().is_some_and(|c| c.completed));
+        assert!(status.fleet.is_none(), "plain store has no fleet block");
 
         let (code, _, body) = route("/status", &config, &flag);
         assert_eq!(code, "200 OK");
@@ -504,6 +655,100 @@ mod tests {
         let (code, _, body) = route("/status", &config, &ShutdownFlag::new());
         assert_eq!(code, "503 Service Unavailable");
         assert!(body.contains("error"), "{body}");
+    }
+
+    fn seeded_fleet(name: &str) -> (PathBuf, ServeConfig) {
+        use crate::fleet::{shard_dir, ShardSpec};
+        let root = std::env::temp_dir().join("prudentia_serve_unit").join(name);
+        std::fs::remove_dir_all(&root).ok();
+        let watchdog = WatchdogConfig {
+            settings: vec![NetworkSetting::highly_constrained()],
+            policy: TrialPolicy {
+                min_trials: 2,
+                batch: 1,
+                max_trials: 2,
+            },
+            duration: DurationPolicy::Quick,
+            parallelism: 4,
+            change_threshold: 0.2,
+            cache_path: None,
+            metrics: None,
+        };
+        let services = vec![Service::IperfReno.spec(), Service::IperfCubic.spec()];
+        FleetManifest::new(2).save(&root).expect("manifest saved");
+        for i in 0..2 {
+            let shard = ShardSpec::new(i, 2).unwrap();
+            let mut daemon = Daemon::open(
+                services.clone(),
+                DaemonConfig {
+                    watchdog: watchdog.clone(),
+                    store_dir: shard_dir(&root, i),
+                    batch_pairs: 1,
+                    max_pairs_per_run: None,
+                    shard: Some(shard),
+                },
+            )
+            .expect("shard daemon opens");
+            daemon.run_cycle().expect("shard cycle");
+        }
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: root.clone(),
+            services,
+            settings: watchdog.settings,
+        };
+        (root, config)
+    }
+
+    #[test]
+    fn fleet_root_serves_the_merged_view() {
+        let (root, config) = seeded_fleet("fleet_routes");
+        let flag = ShutdownFlag::new();
+        let view = read_view(&config).expect("fleet view");
+        assert!(matches!(view, StoreView::Fleet(_)));
+
+        let status = status_body(&config, &view);
+        assert_eq!(status.pairs_total, 4);
+        assert_eq!(status.pairs_tested_this_cycle, 4, "both shards complete");
+        let fleet = status.fleet.expect("fleet block present");
+        assert_eq!((fleet.shards, fleet.shards_readable), (2, 2));
+        assert!(!fleet.degraded);
+
+        let (code, _, body) = route("/heatmap.csv", &config, &flag);
+        assert_eq!(code, "200 OK");
+        assert!(body.contains("contender\\incumbent"), "{body}");
+        let (code, _, body) = route("/freshness", &config, &flag);
+        assert_eq!(code, "200 OK");
+        assert!(!body.contains("\"tested_this_cycle\":false"), "{body}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn degraded_fleet_answers_structured_503_but_status_stays_up() {
+        use crate::fleet::shard_dir;
+        let (root, config) = seeded_fleet("fleet_degraded");
+        std::fs::remove_dir_all(shard_dir(&root, 1)).expect("break shard 1");
+        let flag = ShutdownFlag::new();
+
+        for path in ["/", "/heatmap", "/heatmap.csv", "/freshness"] {
+            let (code, _, body) = route(path, &config, &flag);
+            assert_eq!(code, "503 Service Unavailable", "{path}");
+            assert!(body.contains("\"shards_total\":2"), "{path}: {body}");
+            assert!(body.contains("\"shards_readable\":1"), "{path}: {body}");
+            assert!(body.contains("\"shard\":1"), "names the bad shard: {body}");
+        }
+        let (code, _, body) = route("/status", &config, &flag);
+        assert_eq!(code, "200 OK", "status survives a dead shard");
+        assert!(body.contains("\"degraded\":true"), "{body}");
+        let (code, _, _) = route("/metrics", &config, &flag);
+        assert_eq!(code, "200 OK");
+
+        // The report path refuses to write a silently incomplete view.
+        let out = root.join("report_out");
+        let err = write_report(&config, &out).expect_err("degraded report fails");
+        assert_eq!(err.exit_code(), 7, "serve-family exit code");
+        assert!(err.to_string().contains("unreadable"), "{err}");
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

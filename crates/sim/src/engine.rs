@@ -9,7 +9,7 @@
 //! deterministic.
 
 use crate::aqm::QueueDiscipline;
-use crate::event::{Event, EventScheduler, SchedulerKind};
+use crate::event::Event;
 use crate::invariant::InvariantGuard;
 use crate::link::{BottleneckConfig, PathSpec};
 use crate::packet::{EndpointId, FlowId, Packet, PacketArena, PacketKind, ServiceId};
@@ -18,6 +18,7 @@ use crate::queue::{EnqueueResult, ServiceQueueStats};
 use crate::scenario::{ImpairmentSpec, ScenarioSpec};
 use crate::time::{serialization_time, SimDuration, SimTime};
 use crate::trace::Trace;
+use crate::wheel::TimingWheel;
 use prudentia_obs::Histogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,7 +75,7 @@ struct Network {
 pub struct Ctx<'a> {
     now: SimTime,
     self_id: EndpointId,
-    events: &'a mut EventScheduler,
+    events: &'a mut TimingWheel,
     net: &'a mut Network,
     trace: &'a mut Trace,
 }
@@ -182,7 +183,7 @@ impl<'a> Ctx<'a> {
 /// The simulation engine.
 pub struct Engine {
     now: SimTime,
-    events: EventScheduler,
+    events: TimingWheel,
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
     net: Network,
     trace: Trace,
@@ -216,20 +217,7 @@ impl Engine {
     /// Create an engine whose bottleneck runs the given scenario: the
     /// scenario's queue discipline replaces drop-tail and its impairments
     /// (rate schedule, loss, jitter, reordering) act on the link.
-    /// The event calendar is the process default ([`SchedulerKind::from_env`]).
     pub fn with_scenario(config: BottleneckConfig, scenario: &ScenarioSpec, seed: u64) -> Self {
-        Engine::with_scenario_and_scheduler(config, scenario, seed, SchedulerKind::from_env())
-    }
-
-    /// Like [`Engine::with_scenario`], but with an explicit event-calendar
-    /// implementation. Differential tests use this to run the timing wheel
-    /// and the legacy heap side by side in one process.
-    pub fn with_scenario_and_scheduler(
-        config: BottleneckConfig,
-        scenario: &ScenarioSpec,
-        seed: u64,
-        scheduler: SchedulerKind,
-    ) -> Self {
         let scenario_json = scenario.to_json_compact();
         let invariants = crate::invariant::runtime_enabled()
             .then(|| InvariantGuard::from_json(scenario_json.clone(), seed));
@@ -237,7 +225,7 @@ impl Engine {
             seed,
             scenario_json,
             now: SimTime::ZERO,
-            events: EventScheduler::new(scheduler),
+            events: TimingWheel::new(),
             endpoints: Vec::new(),
             net: Network {
                 queue: scenario.qdisc.build(config.queue_capacity_pkts, seed),
@@ -404,11 +392,6 @@ impl Engine {
     /// Total events processed (for benchmark instrumentation).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
-    }
-
-    /// Which event-calendar implementation this engine runs.
-    pub fn scheduler_kind(&self) -> SchedulerKind {
-        self.events.kind()
     }
 
     /// Packet-arena accounting: `(allocs, frees, live)`. The arena

@@ -1,31 +1,23 @@
 //! The event calendar: a time-ordered queue with deterministic tie-breaking.
 //!
-//! Two interchangeable implementations live behind [`EventScheduler`]:
+//! The calendar is the hierarchical
+//! [`TimingWheel`](crate::wheel::TimingWheel) (`O(1)` schedule, amortized
+//! `O(1)` pop — see [`crate::wheel`]). Its contract: events pop in
+//! nondecreasing `at` order, and events scheduled for the same instant
+//! pop in schedule (FIFO) order. The original `BinaryHeap` calendar that
+//! the wheel replaced soaked in-tree for one PR as the differential-test
+//! reference and has since been deleted; the wheel-vs-sorted-model
+//! proptest (`proptests.rs`) and the blessed golden traces carry the
+//! ordering contract forward.
 //!
-//! * [`TimingWheel`] — the production hierarchical timing wheel
-//!   (`O(1)` schedule, amortized `O(1)` pop), see [`crate::wheel`];
-//! * [`LegacyEventQueue`] — the original `BinaryHeap` calendar, kept
-//!   in-tree for one PR as the semantic reference that the differential
-//!   test suite (`tests/differential_scheduler.rs`) compares against.
-//!
-//! Both enforce the same contract: events pop in nondecreasing `at`
-//! order, and events scheduled for the same instant pop in schedule
-//! (FIFO) order. The engine and every layer above it are agnostic to
-//! which implementation is active — [`SchedulerKind`] selects one per
-//! engine, defaulting to the wheel (override with
-//! `PRUDENTIA_SCHEDULER=legacy`).
-//!
-//! Events are 16-byte `Copy` values: packets live in a
+//! Events are small `Copy` values: packets live in a
 //! [`PacketArena`](crate::packet::PacketArena) and events carry only
 //! their [`PacketHandle`]s, so reordering events never memcpys packet
 //! payload metadata.
 
 use crate::packet::{EndpointId, PacketHandle};
 use crate::time::SimTime;
-use crate::wheel::TimingWheel;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::sync::OnceLock;
 
 /// Events the engine dispatches. `Copy` and small by design: the
 /// scheduler shuffles these through its slots on every operation.
@@ -47,45 +39,8 @@ pub enum Event {
     },
 }
 
-/// Which event-calendar implementation an engine runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SchedulerKind {
-    /// Hierarchical timing wheel (production default).
-    #[default]
-    Wheel,
-    /// The original `BinaryHeap` calendar (reference implementation,
-    /// retained for differential testing).
-    Legacy,
-}
-
-impl SchedulerKind {
-    /// The process-wide default: `Wheel`, unless `PRUDENTIA_SCHEDULER`
-    /// is set to `legacy` (or `heap`). Read once and cached — flipping
-    /// the variable mid-process has no effect, matching how
-    /// [`crate::invariant::runtime_enabled`] treats its env knob.
-    pub fn from_env() -> SchedulerKind {
-        static KIND: OnceLock<SchedulerKind> = OnceLock::new();
-        *KIND.get_or_init(|| match std::env::var("PRUDENTIA_SCHEDULER") {
-            Ok(v) if v.eq_ignore_ascii_case("legacy") || v.eq_ignore_ascii_case("heap") => {
-                SchedulerKind::Legacy
-            }
-            _ => SchedulerKind::Wheel,
-        })
-    }
-
-    /// Stable identifier, used in bench reports and differential-test
-    /// diagnostics.
-    pub fn name(self) -> &'static str {
-        match self {
-            SchedulerKind::Wheel => "wheel",
-            SchedulerKind::Legacy => "legacy",
-        }
-    }
-}
-
 /// A scheduled entry: the fire time, a monotone tie-break sequence
-/// number, and the event itself. Shared by both calendar
-/// implementations.
+/// number, and the event itself.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Scheduled {
     pub(crate) at: SimTime,
@@ -107,8 +62,9 @@ impl PartialOrd for Scheduled {
 }
 
 impl Ord for Scheduled {
-    // BinaryHeap is a max-heap; invert so the earliest event pops first.
-    // Ties break on insertion order (seq) so runs are deterministic.
+    // BinaryHeap is a max-heap (the wheel's overflow calendar); invert so
+    // the earliest event pops first. Ties break on insertion order (seq)
+    // so runs are deterministic.
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .at
@@ -117,122 +73,10 @@ impl Ord for Scheduled {
     }
 }
 
-/// Time-ordered event queue with FIFO tie-breaking at equal timestamps,
-/// backed by a binary heap. This is the original calendar, kept as the
-/// reference implementation for differential testing against
-/// [`TimingWheel`].
-#[derive(Default)]
-pub struct LegacyEventQueue {
-    heap: BinaryHeap<Scheduled>,
-    next_seq: u64,
-}
-
-impl LegacyEventQueue {
-    /// Create an empty calendar.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Schedule `event` to fire at `at`.
-    pub fn schedule(&mut self, at: SimTime, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
-    }
-
-    /// Pop the earliest event, if any.
-    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
-    }
-
-    /// Timestamp of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Whether the calendar is empty.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
-/// The engine-facing calendar: one of the two implementations, chosen
-/// per engine by [`SchedulerKind`]. Static dispatch through a two-arm
-/// match — no vtable in the hot loop.
-pub enum EventScheduler {
-    /// The hierarchical timing wheel.
-    Wheel(TimingWheel),
-    /// The legacy binary-heap calendar.
-    Legacy(LegacyEventQueue),
-}
-
-impl EventScheduler {
-    /// Create an empty calendar of the given kind.
-    pub fn new(kind: SchedulerKind) -> Self {
-        match kind {
-            SchedulerKind::Wheel => EventScheduler::Wheel(TimingWheel::new()),
-            SchedulerKind::Legacy => EventScheduler::Legacy(LegacyEventQueue::new()),
-        }
-    }
-
-    /// Which implementation this calendar runs.
-    pub fn kind(&self) -> SchedulerKind {
-        match self {
-            EventScheduler::Wheel(_) => SchedulerKind::Wheel,
-            EventScheduler::Legacy(_) => SchedulerKind::Legacy,
-        }
-    }
-
-    /// Schedule `event` to fire at `at`.
-    #[inline]
-    pub fn schedule(&mut self, at: SimTime, event: Event) {
-        match self {
-            EventScheduler::Wheel(w) => w.schedule(at, event),
-            EventScheduler::Legacy(q) => q.schedule(at, event),
-        }
-    }
-
-    /// Pop the earliest event, if any.
-    #[inline]
-    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        match self {
-            EventScheduler::Wheel(w) => w.pop(),
-            EventScheduler::Legacy(q) => q.pop(),
-        }
-    }
-
-    /// Timestamp of the earliest pending event. Takes `&mut self`
-    /// because the wheel may need to cascade a slot to find its minimum.
-    #[inline]
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        match self {
-            EventScheduler::Wheel(w) => w.peek_time(),
-            EventScheduler::Legacy(q) => q.peek_time(),
-        }
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        match self {
-            EventScheduler::Wheel(w) => w.len(),
-            EventScheduler::Legacy(q) => q.len(),
-        }
-    }
-
-    /// Whether the calendar is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wheel::TimingWheel;
 
     fn timer(ep: u32, token: u64) -> Event {
         Event::Timer {
@@ -241,73 +85,56 @@ mod tests {
         }
     }
 
-    /// Every calendar contract test runs against both implementations.
-    fn both(check: impl Fn(EventScheduler)) {
-        check(EventScheduler::new(SchedulerKind::Legacy));
-        check(EventScheduler::new(SchedulerKind::Wheel));
-    }
-
     #[test]
     fn pops_in_time_order() {
-        both(|mut q| {
-            q.schedule(SimTime::from_millis(30), timer(0, 3));
-            q.schedule(SimTime::from_millis(10), timer(0, 1));
-            q.schedule(SimTime::from_millis(20), timer(0, 2));
-            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-                .map(|(_, e)| match e {
-                    Event::Timer { token, .. } => token,
-                    _ => unreachable!(),
-                })
-                .collect();
-            assert_eq!(order, vec![1, 2, 3], "{}", q.kind().name());
-        });
+        let mut q = TimingWheel::new();
+        q.schedule(SimTime::from_millis(30), timer(0, 3));
+        q.schedule(SimTime::from_millis(10), timer(0, 1));
+        q.schedule(SimTime::from_millis(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
     }
 
     #[test]
     fn equal_times_pop_fifo() {
-        both(|mut q| {
-            let t = SimTime::from_millis(5);
-            for token in 0..100 {
-                q.schedule(t, timer(0, token));
-            }
-            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-                .map(|(_, e)| match e {
-                    Event::Timer { token, .. } => token,
-                    _ => unreachable!(),
-                })
-                .collect();
-            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{}", q.kind().name());
-        });
+        let mut q = TimingWheel::new();
+        let t = SimTime::from_millis(5);
+        for token in 0..100 {
+            q.schedule(t, timer(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn peek_matches_pop() {
-        both(|mut q| {
-            assert_eq!(q.peek_time(), None);
-            q.schedule(SimTime::from_secs(1), timer(0, 0));
-            q.schedule(SimTime::from_millis(1), timer(0, 1));
-            assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
-            let (at, _) = q.pop().unwrap();
-            assert_eq!(at, SimTime::from_millis(1));
-        });
+        let mut q = TimingWheel::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(1), timer(0, 0));
+        q.schedule(SimTime::from_millis(1), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimTime::from_millis(1));
     }
 
     #[test]
     fn len_and_empty_track_contents() {
-        both(|mut q| {
-            assert!(q.is_empty());
-            q.schedule(SimTime::ZERO, Event::BottleneckTxDone);
-            assert_eq!(q.len(), 1);
-            q.pop();
-            assert!(q.is_empty());
-        });
-    }
-
-    #[test]
-    fn kind_default_is_wheel() {
-        assert_eq!(SchedulerKind::default(), SchedulerKind::Wheel);
-        assert_eq!(SchedulerKind::Wheel.name(), "wheel");
-        assert_eq!(SchedulerKind::Legacy.name(), "legacy");
+        let mut q = TimingWheel::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, Event::BottleneckTxDone);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
     }
 
     #[test]

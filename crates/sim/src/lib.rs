@@ -41,7 +41,7 @@ pub mod wheel;
 pub use aqm::{CoDelQueue, FqCoDelQueue, QdiscSpec, QueueDiscipline, RedQueue};
 pub use config::NetworkSetting;
 pub use engine::{Ctx, Endpoint, Engine};
-pub use event::{Event, EventScheduler, LegacyEventQueue, SchedulerKind};
+pub use event::Event;
 pub use invariant::InvariantGuard;
 pub use link::{BottleneckConfig, PathSpec};
 pub use packet::{

@@ -4,7 +4,7 @@
 
 use crate::aqm::{QdiscSpec, QueueDiscipline};
 use crate::engine::{Ctx, Endpoint, Engine};
-use crate::event::{Event, EventScheduler, LegacyEventQueue, SchedulerKind};
+use crate::event::Event;
 use crate::link::{BottleneckConfig, PathSpec};
 use crate::packet::{EndpointId, FlowId, Packet, PacketArena, ServiceId};
 use crate::queue::{pow2_round, DropTailQueue, EnqueueResult};
@@ -12,8 +12,6 @@ use crate::scenario::{ImpairmentSpec, RateStep, ScenarioSpec};
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::TimingWheel;
 use proptest::prelude::*;
-
-const BOTH_KINDS: [SchedulerKind; 2] = [SchedulerKind::Wheel, SchedulerKind::Legacy];
 
 /// The four disciplines, for invariant tests that must hold for all.
 fn all_qdiscs() -> [QdiscSpec; 4] {
@@ -131,58 +129,46 @@ proptest! {
     ) {
         // The full engine path — scenario-built qdisc, impaired link,
         // jittered paths — must satisfy the conservation invariant
-        // (arrivals == dequeues + drops + resident) for every discipline,
-        // on both event calendars. The InvariantGuard audits after every
-        // event (invariants are force-enabled), the final ledger is
-        // re-checked here, and the two calendars must agree on the ledger,
-        // the event count, and the arena accounting exactly.
+        // (arrivals == dequeues + drops + resident) for every discipline.
+        // The InvariantGuard audits after every event (invariants are
+        // force-enabled) and the final ledger and arena accounting are
+        // re-checked here.
         for qdisc in all_qdiscs() {
             let scenario = ScenarioSpec { qdisc, impairment: impairment.clone() };
-            let mut ledgers = Vec::new();
-            for kind in BOTH_KINDS {
-                let mut eng = Engine::with_scenario_and_scheduler(
-                    BottleneckConfig { rate_bps: 8e6, queue_capacity_pkts: 32 },
-                    &scenario,
-                    seed,
-                    kind,
-                );
-                eng.enable_invariants();
-                let flow = eng.register_flow_jittered(
-                    PathSpec::symmetric(SimDuration::from_millis(20)),
-                );
-                eng.add_endpoint(Box::new(OpenLoopSender {
-                    flow,
-                    service: ServiceId(0),
-                    dst: EndpointId(1),
-                    burst,
-                    every: SimDuration::from_micros(every_us),
-                    seq: 0,
-                }));
-                eng.add_endpoint(Box::new(Sink));
-                eng.run_until(SimTime::from_secs(2));
-                let (arrivals, dequeues, drops, queued) =
-                    eng.conservation_ledger().expect("invariants enabled");
-                prop_assert!(arrivals > 0, "no traffic reached the bottleneck");
-                prop_assert_eq!(
-                    arrivals,
-                    dequeues + drops + queued,
-                    "conservation violated on {} ({})",
-                    eng.qdisc_kind(),
-                    kind.name()
-                );
-                let (allocs, frees, live) = eng.arena_stats();
-                prop_assert_eq!(
-                    allocs,
-                    frees + live as u64,
-                    "arena leaked handles on {} ({})",
-                    eng.qdisc_kind(),
-                    kind.name()
-                );
-                ledgers.push((arrivals, dequeues, drops, queued, eng.events_processed()));
-            }
+            let mut eng = Engine::with_scenario(
+                BottleneckConfig { rate_bps: 8e6, queue_capacity_pkts: 32 },
+                &scenario,
+                seed,
+            );
+            eng.enable_invariants();
+            let flow = eng.register_flow_jittered(
+                PathSpec::symmetric(SimDuration::from_millis(20)),
+            );
+            eng.add_endpoint(Box::new(OpenLoopSender {
+                flow,
+                service: ServiceId(0),
+                dst: EndpointId(1),
+                burst,
+                every: SimDuration::from_micros(every_us),
+                seq: 0,
+            }));
+            eng.add_endpoint(Box::new(Sink));
+            eng.run_until(SimTime::from_secs(2));
+            let (arrivals, dequeues, drops, queued) =
+                eng.conservation_ledger().expect("invariants enabled");
+            prop_assert!(arrivals > 0, "no traffic reached the bottleneck");
             prop_assert_eq!(
-                &ledgers[0], &ledgers[1],
-                "wheel and legacy calendars disagree under {}", scenario.qdisc.kind()
+                arrivals,
+                dequeues + drops + queued,
+                "conservation violated on {}",
+                eng.qdisc_kind()
+            );
+            let (allocs, frees, live) = eng.arena_stats();
+            prop_assert_eq!(
+                allocs,
+                frees + live as u64,
+                "arena leaked handles on {}",
+                eng.qdisc_kind()
             );
         }
     }
@@ -193,23 +179,21 @@ proptest! {
     fn event_queue_pops_in_nondecreasing_time_order(
         times in proptest::collection::vec(0u64..1_000_000, 1..200),
     ) {
-        for kind in BOTH_KINDS {
-            let mut q = EventScheduler::new(kind);
-            for (i, &t) in times.iter().enumerate() {
-                q.schedule(
-                    SimTime::from_nanos(t),
-                    Event::Timer { endpoint: EndpointId(0), token: i as u64 },
-                );
-            }
-            let mut last = SimTime::ZERO;
-            let mut popped = 0;
-            while let Some((at, _)) = q.pop() {
-                prop_assert!(at >= last, "time went backwards ({})", kind.name());
-                last = at;
-                popped += 1;
-            }
-            prop_assert_eq!(popped, times.len());
+        let mut q = TimingWheel::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(
+                SimTime::from_nanos(t),
+                Event::Timer { endpoint: EndpointId(0), token: i as u64 },
+            );
         }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last, "time went backwards");
+            last = at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
     }
 
     #[test]
@@ -217,21 +201,19 @@ proptest! {
         n in 2usize..150,
         t in 0u64..1_000_000,
     ) {
-        for kind in BOTH_KINDS {
-            let mut q = EventScheduler::new(kind);
-            for token in 0..n as u64 {
-                q.schedule(
-                    SimTime::from_nanos(t),
-                    Event::Timer { endpoint: EndpointId(0), token },
-                );
-            }
-            let mut expect = 0u64;
-            while let Some((_, Event::Timer { token, .. })) = q.pop() {
-                prop_assert_eq!(token, expect, "FIFO broken ({})", kind.name());
-                expect += 1;
-            }
-            prop_assert_eq!(expect, n as u64);
+        let mut q = TimingWheel::new();
+        for token in 0..n as u64 {
+            q.schedule(
+                SimTime::from_nanos(t),
+                Event::Timer { endpoint: EndpointId(0), token },
+            );
         }
+        let mut expect = 0u64;
+        while let Some((_, Event::Timer { token, .. })) = q.pop() {
+            prop_assert_eq!(token, expect, "FIFO broken");
+            expect += 1;
+        }
+        prop_assert_eq!(expect, n as u64);
     }
 
     #[test]
@@ -250,59 +232,53 @@ proptest! {
             1..400,
         ),
     ) {
-        // Drive the wheel, the legacy heap, and a sorted-vec reference
-        // model through the same schedule/pop interleaving; all three must
-        // agree on every popped (time, token) pair. Delays are biased
-        // toward tick and cascade boundaries, where wheel bugs live.
+        // Drive the wheel and a sorted-vec reference model through the
+        // same schedule/pop interleaving; both must agree on every popped
+        // (time, token) pair. Delays are biased toward tick and cascade
+        // boundaries, where wheel bugs live.
         let mut wheel = TimingWheel::new();
-        let mut legacy = LegacyEventQueue::new();
         let mut model: Vec<(u64, u64)> = Vec::new(); // (at_ns, token)
         let mut now = 0u64;
         let mut token = 0u64;
-        let drive = |wheel: &mut TimingWheel,
-                     legacy: &mut LegacyEventQueue,
-                     model: &mut Vec<(u64, u64)>,
-                     now: &mut u64| {
-            let got_w = wheel.pop();
-            let got_l = legacy.pop();
-            prop_assert_eq!(&got_w, &got_l, "wheel vs legacy pop");
-            // Model: earliest (at, insertion order). Tokens are issued in
-            // insertion order, so (at, token) is the full sort key.
-            let want = model
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &(at, tok))| (at, tok))
-                .map(|(i, _)| i);
-            match (got_w, want) {
-                (Some((at, Event::Timer { token: tok, .. })), Some(i)) => {
-                    let (mat, mtok) = model.remove(i);
-                    prop_assert_eq!(at.as_nanos(), mat, "wheel vs model time");
-                    prop_assert_eq!(tok, mtok, "wheel vs model order");
-                    *now = mat;
+        let drive =
+            |wheel: &mut TimingWheel, model: &mut Vec<(u64, u64)>, now: &mut u64| {
+                let got_w = wheel.pop();
+                // Model: earliest (at, insertion order). Tokens are issued in
+                // insertion order, so (at, token) is the full sort key.
+                let want = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(at, tok))| (at, tok))
+                    .map(|(i, _)| i);
+                match (got_w, want) {
+                    (Some((at, Event::Timer { token: tok, .. })), Some(i)) => {
+                        let (mat, mtok) = model.remove(i);
+                        prop_assert_eq!(at.as_nanos(), mat, "wheel vs model time");
+                        prop_assert_eq!(tok, mtok, "wheel vs model order");
+                        *now = mat;
+                    }
+                    (None, None) => {}
+                    (got, want) => {
+                        panic!("pop mismatch: got {got:?}, model {want:?}");
+                    }
                 }
-                (None, None) => {}
-                (got, want) => {
-                    panic!("pop mismatch: got {got:?}, model {want:?}");
-                }
-            }
-        };
+            };
         for &(op, delay) in &ops {
             if op == 0 {
-                drive(&mut wheel, &mut legacy, &mut model, &mut now);
+                drive(&mut wheel, &mut model, &mut now);
             } else {
                 let at = now.saturating_add(delay);
                 let ev = Event::Timer { endpoint: EndpointId(0), token };
                 wheel.schedule(SimTime::from_nanos(at), ev);
-                legacy.schedule(SimTime::from_nanos(at), ev);
                 model.push((at, token));
                 token += 1;
             }
             prop_assert_eq!(wheel.len(), model.len());
         }
         while !model.is_empty() {
-            drive(&mut wheel, &mut legacy, &mut model, &mut now);
+            drive(&mut wheel, &mut model, &mut now);
         }
-        prop_assert!(wheel.is_empty() && legacy.is_empty());
+        prop_assert!(wheel.is_empty());
         prop_assert_eq!(wheel.pop(), None);
     }
 

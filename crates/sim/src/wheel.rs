@@ -37,11 +37,11 @@
 //!
 //! # Determinism
 //!
-//! Identical schedule/pop sequences produce identical pop orders — the
-//! wheel holds the same `(at, seq)` total order contract as
-//! [`LegacyEventQueue`](crate::event::LegacyEventQueue), which the
-//! differential suite (`tests/differential_scheduler.rs`) and the
-//! model-equivalence proptests verify end to end.
+//! Identical schedule/pop sequences produce identical pop orders — a
+//! `(at, seq)` total order, verified end to end by the
+//! wheel-vs-sorted-model proptest (`proptests.rs`) and by the
+//! blessed golden traces (`tests/differential_scheduler.rs` pins the
+//! wheel against them across codegen profiles).
 
 use crate::event::{Event, Scheduled};
 use crate::time::SimTime;

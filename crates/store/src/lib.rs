@@ -32,10 +32,12 @@
 #![deny(missing_docs)]
 
 mod error;
+mod merge;
 mod record;
 mod store;
 
 pub use error::StoreError;
+pub use merge::MergedSnapshot;
 pub use record::{kinds, Record, RecordKind};
 pub use store::{CompactionReport, Snapshot, Store, StoreStats, TailRecovery};
 

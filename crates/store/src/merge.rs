@@ -1,0 +1,351 @@
+//! Merging read-only shard snapshots into one fleet-wide view.
+//!
+//! A sharded fleet (see `prudentia-core`'s `fleet` module) runs one
+//! store directory per worker. The merged read path — `prudentia serve`
+//! and `prudentia report` over a fleet root, and `prudentia fleet
+//! merge` — needs a single latest-per-key view across every shard.
+//! [`MergedSnapshot`] provides it:
+//!
+//! * **Latest seq wins.** For each `(kind, key)` present in more than
+//!   one shard (possible after a rebalance migrated records between
+//!   shards), the record with the highest `seq` survives.
+//! * **Right-biased ties.** On equal `seq`, the record absorbed *later*
+//!   wins. "Last in concatenation order" is associative, so merging
+//!   shards `(a ⊕ b) ⊕ c` and `a ⊕ (b ⊕ c)` produce identical views —
+//!   pinned by a proptest below.
+//! * **Shard-fault tolerance matches [`Snapshot::read`].** A torn tail
+//!   in any shard's active segment is skipped in memory; an empty shard
+//!   directory contributes nothing. Only real corruption or an
+//!   unreadable directory fails, and then only for that shard — the
+//!   caller decides whether a partial merge is acceptable (the serve
+//!   path reports unreadable shards as a structured 503).
+
+use crate::record::Record;
+use crate::store::{Snapshot, Store};
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A read-only latest-per-`(kind, key)` view merged from any number of
+/// shard snapshots. See the module docs for the merge semantics.
+#[derive(Debug, Default)]
+pub struct MergedSnapshot {
+    latest: BTreeMap<(String, u64), Record>,
+    /// Max `next_seq` watermark across absorbed shards.
+    next_seq: u64,
+    /// Snapshots absorbed (directly or via merged absorption).
+    shards: usize,
+}
+
+impl MergedSnapshot {
+    /// An empty merge (absorbing into it is the identity).
+    pub fn new() -> Self {
+        MergedSnapshot::default()
+    }
+
+    /// Absorb one shard snapshot: latest seq wins per `(kind, key)`,
+    /// with this snapshot (the later argument) winning seq ties.
+    pub fn absorb(&mut self, shard: Snapshot) {
+        self.next_seq = self.next_seq.max(shard.next_seq());
+        self.shards += 1;
+        for (k, rec) in shard.into_latest() {
+            self.insert_latest(k, rec);
+        }
+    }
+
+    /// Absorb another merged view, with `other` winning seq ties — the
+    /// same right bias as [`MergedSnapshot::absorb`], which is what
+    /// makes the operation associative.
+    pub fn absorb_merged(&mut self, other: MergedSnapshot) {
+        self.next_seq = self.next_seq.max(other.next_seq);
+        self.shards += other.shards;
+        for (k, rec) in other.latest {
+            self.insert_latest(k, rec);
+        }
+    }
+
+    /// `>=` not `>`: an equal-seq record from the later source replaces
+    /// the earlier one (right bias).
+    fn insert_latest(&mut self, k: (String, u64), rec: Record) {
+        match self.latest.get(&k) {
+            Some(have) if have.seq > rec.seq => {}
+            _ => {
+                self.latest.insert(k, rec);
+            }
+        }
+    }
+
+    /// Read and merge every directory in `dirs`, in order (later
+    /// directories win seq ties). Fails on the first unreadable or
+    /// corrupt shard; callers that must tolerate partial fleets read
+    /// each shard with [`Snapshot::read`] and absorb the successes.
+    pub fn read_dirs<P: AsRef<Path>>(
+        dirs: impl IntoIterator<Item = P>,
+    ) -> Result<Self, StoreError> {
+        let mut merged = MergedSnapshot::new();
+        for dir in dirs {
+            merged.absorb(Snapshot::read(dir)?);
+        }
+        Ok(merged)
+    }
+
+    /// The latest record for a `(kind, key)`, if any shard had one.
+    pub fn latest(&self, kind: &str, key: u64) -> Option<&Record> {
+        self.latest.get(&(kind.to_string(), key))
+    }
+
+    /// Latest records of one kind, in ascending key order.
+    pub fn latest_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Record> {
+        self.latest
+            .range((kind.to_string(), 0)..=(kind.to_string(), u64::MAX))
+            .map(|(_, r)| r)
+    }
+
+    /// All live records across kinds, ascending `(kind, key)` order.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.latest.values()
+    }
+
+    /// Number of live (latest-per-key) records in the merged view.
+    pub fn live_len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Whether the merged view holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+
+    /// Highest `next_seq` watermark across the absorbed shards.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Snapshots absorbed into this view.
+    pub fn shards_merged(&self) -> usize {
+        self.shards
+    }
+
+    /// Timestamp of the most recent live record across shards, unix ms.
+    pub fn last_append_unix_ms(&self) -> Option<u64> {
+        self.latest.values().map(|r| r.ts_unix_ms).max()
+    }
+
+    /// Materialize the merged view into a fresh store at `dir` (the
+    /// `prudentia fleet merge --out` path). Records are appended in
+    /// ascending `(seq, kind, key)` order with payloads, schema
+    /// versions, and timestamps preserved; sequence numbers are
+    /// reassigned by the destination store, so the output is a normal
+    /// single store whose replay order is deterministic for a given
+    /// merged view.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> Result<Store, StoreError> {
+        let mut out = Store::open(dir.as_ref())?;
+        let mut live: Vec<&Record> = self.latest.values().collect();
+        live.sort_by(|a, b| (a.seq, &a.kind, a.key).cmp(&(b.seq, &b.kind, b.key)));
+        for r in live {
+            out.append_at(&r.kind, r.key, r.schema, r.payload.clone(), r.ts_unix_ms)?;
+        }
+        out.sync()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::kinds;
+    use crate::Store;
+    use std::fs::OpenOptions;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("prudentia_merge_unit").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// A shard store holding `(key, payload, ts)` pair records appended
+    /// in order (so seqs are 0..n within the shard).
+    fn shard(dir: &PathBuf, rows: &[(u64, &str, u64)]) {
+        let mut s = Store::open(dir).unwrap();
+        for &(key, payload, ts) in rows {
+            s.append_at(kinds::PAIR, key, 1, payload.to_string(), ts)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_latest_seq_wins() {
+        let root = tmp("dupes");
+        let (a, b) = (root.join("shard-0"), root.join("shard-1"));
+        // Key 7 exists in both shards; shard a wrote it later (seq 2
+        // after two filler records) than shard b (seq 0).
+        shard(
+            &a,
+            &[
+                (1, "{\"v\":\"a1\"}", 10),
+                (2, "{\"v\":\"a2\"}", 11),
+                (7, "{\"v\":\"a-new\"}", 12),
+            ],
+        );
+        shard(
+            &b,
+            &[(7, "{\"v\":\"b-old\"}", 99), (3, "{\"v\":\"b3\"}", 13)],
+        );
+        let merged = MergedSnapshot::read_dirs([&a, &b]).unwrap();
+        assert_eq!(merged.live_len(), 4);
+        assert_eq!(
+            merged.latest(kinds::PAIR, 7).unwrap().payload,
+            "{\"v\":\"a-new\"}",
+            "highest seq wins even when the other shard's timestamp is newer"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn equal_seq_ties_are_right_biased() {
+        let root = tmp("ties");
+        let (a, b) = (root.join("shard-0"), root.join("shard-1"));
+        shard(&a, &[(7, "{\"v\":\"left\"}", 1)]); // seq 0
+        shard(&b, &[(7, "{\"v\":\"right\"}", 1)]); // seq 0
+        let ab = MergedSnapshot::read_dirs([&a, &b]).unwrap();
+        let ba = MergedSnapshot::read_dirs([&b, &a]).unwrap();
+        assert_eq!(
+            ab.latest(kinds::PAIR, 7).unwrap().payload,
+            "{\"v\":\"right\"}"
+        );
+        assert_eq!(
+            ba.latest(kinds::PAIR, 7).unwrap().payload,
+            "{\"v\":\"left\"}"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_tail_in_one_shard_is_skipped_not_fatal() {
+        let root = tmp("torn");
+        let (a, b) = (root.join("shard-0"), root.join("shard-1"));
+        shard(&a, &[(1, "{}", 1), (2, "{}", 2)]);
+        shard(&b, &[(3, "{}", 3)]);
+        // Crash mid-append in shard b's active segment.
+        let seg = b.join("seg-000000.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(b"{\"seq\":9,\"key\":4,\"ki").unwrap();
+        drop(f);
+        let merged = MergedSnapshot::read_dirs([&a, &b]).unwrap();
+        assert_eq!(merged.live_len(), 3, "intact records from both shards");
+        assert!(
+            merged.latest(kinds::PAIR, 4).is_none(),
+            "torn record invisible"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn empty_shard_directory_contributes_nothing() {
+        let root = tmp("empty");
+        let (a, b) = (root.join("shard-0"), root.join("shard-1"));
+        shard(&a, &[(1, "{\"v\":1}", 1)]);
+        std::fs::create_dir_all(&b).unwrap();
+        let merged = MergedSnapshot::read_dirs([&a, &b]).unwrap();
+        assert_eq!(merged.live_len(), 1);
+        assert_eq!(merged.shards_merged(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_shard_directory_is_an_error() {
+        let root = tmp("missing");
+        let a = root.join("shard-0");
+        shard(&a, &[(1, "{}", 1)]);
+        let err = MergedSnapshot::read_dirs([&a, &root.join("shard-9")]);
+        assert!(err.is_err(), "unreadable shard must surface, not vanish");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn write_to_round_trips_the_merged_view() {
+        let root = tmp("write_to");
+        let (a, b) = (root.join("shard-0"), root.join("shard-1"));
+        shard(&a, &[(1, "{\"v\":\"a\"}", 5), (7, "{\"v\":\"dup-a\"}", 6)]);
+        shard(&b, &[(7, "{\"v\":\"dup-b\"}", 7)]);
+        let merged = MergedSnapshot::read_dirs([&a, &b]).unwrap();
+        let out = root.join("merged");
+        merged.write_to(&out).unwrap();
+        let snap = Snapshot::read(&out).unwrap();
+        assert_eq!(snap.live_len(), merged.live_len());
+        for rec in merged.records() {
+            let got = snap.latest(&rec.kind, rec.key).unwrap();
+            assert_eq!(got.payload, rec.payload);
+            assert_eq!(got.ts_unix_ms, rec.ts_unix_ms);
+            assert_eq!(got.schema, rec.schema);
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::record::kinds;
+    use crate::Store;
+    use proptest::prelude::*;
+    use std::path::PathBuf;
+
+    /// Render a merged view canonically for equality comparison.
+    fn render(m: &MergedSnapshot) -> String {
+        m.records()
+            .map(|r| format!("{}/{}:{}@{}", r.kind, r.key, r.payload, r.seq))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Strategy: per-shard append scripts over a small key space, so
+    /// cross-shard duplicates and same-seq ties both occur often.
+    fn shard_scripts() -> impl Strategy<Value = Vec<Vec<(u64, u32)>>> {
+        proptest::collection::vec(proptest::collection::vec((0u64..6, 0u32..1000), 0..8), 3..4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn merge_is_associative(scripts in shard_scripts()) {
+            let root = std::env::temp_dir()
+                .join("prudentia_merge_prop")
+                .join(format!("assoc-{}", std::process::id()));
+            std::fs::remove_dir_all(&root).ok();
+            let mut dirs: Vec<PathBuf> = Vec::new();
+            for (i, script) in scripts.iter().enumerate() {
+                let dir = root.join(format!("shard-{i}"));
+                let mut s = Store::open(&dir).unwrap();
+                for &(key, tag) in script {
+                    s.append_at(kinds::PAIR, key, 1, format!("{{\"t\":{tag}}}"), 1)
+                        .unwrap();
+                }
+                dirs.push(dir);
+            }
+            let snap = |d: &PathBuf| Snapshot::read(d).unwrap();
+
+            // (a ⊕ b) ⊕ c
+            let mut left = MergedSnapshot::new();
+            left.absorb(snap(&dirs[0]));
+            left.absorb(snap(&dirs[1]));
+            left.absorb(snap(&dirs[2]));
+
+            // a ⊕ (b ⊕ c)
+            let mut bc = MergedSnapshot::new();
+            bc.absorb(snap(&dirs[1]));
+            bc.absorb(snap(&dirs[2]));
+            let mut right = MergedSnapshot::new();
+            right.absorb(snap(&dirs[0]));
+            right.absorb_merged(bc);
+
+            prop_assert_eq!(render(&left), render(&right));
+            prop_assert_eq!(left.next_seq(), right.next_seq());
+            prop_assert_eq!(left.shards_merged(), right.shards_merged());
+            std::fs::remove_dir_all(&root).ok();
+        }
+    }
+}

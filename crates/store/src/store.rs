@@ -448,6 +448,17 @@ impl Snapshot {
     pub fn last_append_unix_ms(&self) -> Option<u64> {
         self.latest.values().map(|r| r.ts_unix_ms).max()
     }
+
+    /// All live records across kinds, in ascending `(kind, key)` order.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.latest.values()
+    }
+
+    /// Consume the snapshot into its latest-per-key map (the merge path
+    /// in [`crate::MergedSnapshot`] absorbs shards without cloning).
+    pub(crate) fn into_latest(self) -> BTreeMap<(String, u64), Record> {
+        self.latest
+    }
 }
 
 /// Read and validate `index.json`; absent file means a fresh (or

@@ -1,270 +1,61 @@
-//! Differential-testing harness: timing wheel vs legacy binary heap.
+//! Cross-profile golden pin for the timing-wheel event calendar.
 //!
-//! PR-local safety net for the event-calendar rewrite. The legacy
-//! `BinaryHeap` scheduler stays in-tree for one PR precisely so this
-//! suite can drive both implementations over the full
-//! preset × scenario × seed grid in one process and assert byte
-//! identity of everything the watchdog publishes:
-//!
-//! * result JSON (every field of [`prudentia_core::ExperimentResult`],
-//!   including the recorded throughput/queue timeseries),
-//! * per-trial simulator event counts (double-fires and dropped timers
-//!   fail here even when fairness numbers agree by luck),
-//! * golden-trace CSVs (cwnd/rate/qdepth on the telemetry tick, the
-//!   strictest event-order oracle we have),
-//! * heatmap CSVs produced by an end-to-end executor run.
-//!
-//! The grid: both paper presets (8 and 50 Mbps) × 3 scenarios
-//! (drop-tail, CoDel, lossy variable-rate LTE) × 8 seeds.
-//!
-//! CI runs this suite twice — debug in the main test job and release in
-//! the `differential` job — so the cross-profile check at the bottom
-//! also pins `--release` codegen against the blessed golden bytes.
+//! The legacy `BinaryHeap` calendar soaked in-tree for one PR as the
+//! differential oracle and has since been deleted; what remains is the
+//! strongest surviving check: the blessed golden traces were originally
+//! produced by the legacy heap, and the wheel must keep regenerating
+//! them byte-for-byte. CI runs this suite twice — debug in the main test
+//! job and release in the `differential` job — so it also pins
+//! `--release` codegen against the blessed bytes.
 
-mod support;
-
-use prudentia_apps::Service;
 use prudentia_cc::CcaKind;
 use prudentia_check::golden::{default_golden_dir, render_csv, GOLDEN_CCAS, GOLDEN_SEED};
-use prudentia_check::run_solo_with_scheduler;
-use prudentia_core::{
-    execute_pairs, run_experiment_instrumented, DurationPolicy, ExecutorConfig, ExperimentSpec,
-    Heatmap, HeatmapStat, ImpairmentSpec, NetworkSetting, PairSpec, QdiscSpec, ScenarioSpec,
-    SchedulerKind, TrialPolicy,
-};
-use prudentia_sim::SimDuration;
-
-const KINDS: [SchedulerKind; 2] = [SchedulerKind::Wheel, SchedulerKind::Legacy];
-const SEEDS: u64 = 8;
-
-/// Both paper presets, under each of the 3 scenarios.
-fn grid_settings() -> Vec<NetworkSetting> {
-    let presets = [
-        NetworkSetting::highly_constrained(),
-        NetworkSetting::moderately_constrained(),
-    ];
-    let scenarios = [
-        (ScenarioSpec::default(), None),
-        (
-            ScenarioSpec {
-                qdisc: QdiscSpec::codel(),
-                impairment: ImpairmentSpec::default(),
-            },
-            Some("codel"),
-        ),
-        (
-            ScenarioSpec {
-                qdisc: QdiscSpec::DropTail,
-                impairment: ImpairmentSpec {
-                    loss_prob: 0.001,
-                    ..ImpairmentSpec::lte_like(8e6)
-                },
-            },
-            Some("lossy-lte"),
-        ),
-    ];
-    let mut out = Vec::new();
-    for preset in &presets {
-        for (scenario, label) in &scenarios {
-            out.push(match label {
-                None => preset.clone(),
-                Some(l) => preset.clone().with_scenario(scenario.clone(), l),
-            });
-        }
-    }
-    out
-}
-
-/// A short spec: equality is per-event, so a few simulated seconds of
-/// congestion dynamics exercise the same code paths as a paper-length
-/// run at a fraction of the wall time.
-fn short_spec(setting: NetworkSetting, seed: u64, kind: SchedulerKind) -> ExperimentSpec {
-    let mut spec = ExperimentSpec::quick(
-        Service::IperfReno.spec(),
-        Service::IperfCubic.spec(),
-        setting,
-        seed,
-    );
-    spec.duration = SimDuration::from_secs(10);
-    spec.warmup = SimDuration::from_millis(2500);
-    spec.cooldown = SimDuration::from_millis(2500);
-    spec.external_loss = 0.0002;
-    spec.record_series = true;
-    spec.scheduler = Some(kind);
-    spec
-}
-
-#[test]
-fn results_and_event_counts_identical_across_grid() {
-    for setting in grid_settings() {
-        for seed in 0..SEEDS {
-            let runs: Vec<(String, u64)> = KINDS
-                .iter()
-                .map(|&kind| {
-                    let (result, events) =
-                        run_experiment_instrumented(&short_spec(setting.clone(), seed, kind));
-                    (
-                        serde_json::to_string(&result).expect("result serializes"),
-                        events,
-                    )
-                })
-                .collect();
-            assert_eq!(
-                runs[0].0, runs[1].0,
-                "result JSON diverged between schedulers ({}, seed {seed})",
-                setting.name
-            );
-            assert_eq!(
-                runs[0].1, runs[1].1,
-                "event counts diverged between schedulers ({}, seed {seed})",
-                setting.name
-            );
-        }
-    }
-}
-
-#[test]
-fn solo_traces_identical_across_grid() {
-    // The golden-trace CSV is the strictest oracle: every cwnd update,
-    // delivery, and queue sample on the 100 ms tick, integer-exact. Run
-    // it over the full grid for one CCA with invariants force-enabled
-    // (the harness always guards), per the differential methodology.
-    for setting in grid_settings() {
-        for seed in 0..SEEDS {
-            let traces: Vec<String> = KINDS
-                .iter()
-                .map(|&kind| {
-                    let run = run_solo_with_scheduler(
-                        CcaKind::Cubic,
-                        &setting,
-                        seed,
-                        SimDuration::from_secs(10),
-                        kind,
-                    );
-                    render_csv(&run.rows)
-                })
-                .collect();
-            assert_eq!(
-                traces[0], traces[1],
-                "solo trace diverged between schedulers ({}, seed {seed})",
-                setting.name
-            );
-        }
-    }
-}
-
-#[test]
-fn golden_ccas_identical_at_golden_pin() {
-    // Every golden CCA at the golden seed: the exact configuration the
-    // tier-1 golden suite pins, rendered on both calendars.
-    let setting = NetworkSetting::highly_constrained();
-    for &(kind, stem) in GOLDEN_CCAS.iter() {
-        let traces: Vec<String> = KINDS
-            .iter()
-            .map(|&sched| {
-                let run = run_solo_with_scheduler(
-                    kind,
-                    &setting,
-                    GOLDEN_SEED,
-                    SimDuration::from_secs(10),
-                    sched,
-                );
-                render_csv(&run.rows)
-            })
-            .collect();
-        assert_eq!(
-            traces[0], traces[1],
-            "{stem}: golden trace diverged between schedulers"
-        );
-    }
-}
-
-#[test]
-fn executor_heatmaps_identical_between_schedulers() {
-    // End to end: a small fairness matrix through the real executor,
-    // once per scheduler kind. Parallelism 1 and no cache so the trial
-    // schedules are identical and `sim_events` is comparable — sharing a
-    // cache across kinds would serve one scheduler's results to the
-    // other and mask divergence (spec JSON, hence cache keys, ignore the
-    // scheduler override by design).
-    let services = [Service::IperfReno, Service::IperfCubic];
-    let setting = NetworkSetting::highly_constrained();
-    let mut pairs = Vec::new();
-    for a in &services {
-        for b in &services {
-            pairs.push(PairSpec {
-                contender: a.spec(),
-                incumbent: b.spec(),
-                setting: setting.clone(),
-            });
-        }
-    }
-    let names: Vec<String> = services.iter().map(|s| s.spec().name().into()).collect();
-    let policy = TrialPolicy {
-        min_trials: 1,
-        batch: 1,
-        max_trials: 1,
-    };
-
-    let snapshots: Vec<(support::RunSnapshot, Vec<String>)> = KINDS
-        .iter()
-        .map(|&kind| {
-            let config = ExecutorConfig::builder()
-                .policy(policy)
-                .duration(DurationPolicy::Quick)
-                .parallelism(1)
-                .scheduler(kind)
-                .build()
-                .expect("valid config");
-            let (outcomes, stats) = execute_pairs(&pairs, &config).expect("valid config");
-            let csvs = [
-                HeatmapStat::MmfSharePct,
-                HeatmapStat::UtilizationPct,
-                HeatmapStat::LossRatePct,
-                HeatmapStat::QueueingDelayMs,
-            ]
-            .iter()
-            .map(|&stat| Heatmap::build(stat, &names, &outcomes).render_csv())
-            .collect();
-            (support::snapshot(&outcomes, &stats), csvs)
-        })
-        .collect();
-
-    assert_eq!(
-        snapshots[0].0.canonical, snapshots[1].0.canonical,
-        "executor outcomes diverged between schedulers"
-    );
-    assert_eq!(
-        snapshots[0].0.sim_events, snapshots[1].0.sim_events,
-        "executor event counts diverged between schedulers"
-    );
-    assert_eq!(
-        snapshots[0].1, snapshots[1].1,
-        "heatmap CSVs diverged between schedulers"
-    );
-}
+use prudentia_check::run_solo;
+use prudentia_core::NetworkSetting;
 
 #[test]
 fn wheel_matches_blessed_golden_bytes_cross_profile() {
     // The blessed golden files were produced by the legacy heap; the
-    // timing wheel must regenerate them byte-for-byte. This test runs in
-    // debug under the main test job and in release under the CI
-    // `differential` job, so it doubles as the debug/release
-    // cross-profile check for the new scheduler.
+    // timing wheel must regenerate them byte-for-byte, in both codegen
+    // profiles.
     let setting = NetworkSetting::highly_constrained();
     let golden = default_golden_dir().join("cubic.csv");
     let blessed = std::fs::read_to_string(&golden)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", golden.display()));
-    let run = run_solo_with_scheduler(
+    let run = run_solo(
         CcaKind::Cubic,
         &setting,
         GOLDEN_SEED,
         prudentia_check::golden::GOLDEN_DURATION,
-        SchedulerKind::Wheel,
     );
     assert_eq!(
         render_csv(&run.rows),
         blessed,
         "timing wheel drifted from the blessed cubic golden trace"
     );
+}
+
+#[test]
+fn wheel_matches_every_blessed_golden_at_the_golden_pin() {
+    // All five golden CCAs at the golden seed and duration: the exact
+    // configuration the tier-1 golden suite pins, regenerated here so a
+    // calendar regression in any CCA's event pattern fails in this suite
+    // too (release profile included).
+    let setting = NetworkSetting::highly_constrained();
+    for &(kind, stem) in GOLDEN_CCAS.iter() {
+        let golden = default_golden_dir().join(format!("{stem}.csv"));
+        let blessed = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", golden.display()));
+        let run = run_solo(
+            kind,
+            &setting,
+            GOLDEN_SEED,
+            prudentia_check::golden::GOLDEN_DURATION,
+        );
+        assert_eq!(
+            render_csv(&run.rows),
+            blessed,
+            "{stem}: timing wheel drifted from the blessed golden trace"
+        );
+    }
 }

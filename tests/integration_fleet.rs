@@ -1,0 +1,362 @@
+//! Acceptance tests for the sharded watchdog fleet, driven through the
+//! real `prudentia` binary:
+//!
+//! * fleets of 1, 2, and 4 shards produce a merged report byte-identical
+//!   to a single-process daemon covering the same plan;
+//! * a shard killed mid-cycle and resumed converges to the same bytes,
+//!   and a missing shard degrades `report` with the serve-family exit
+//!   code instead of emitting a silently incomplete view;
+//! * `prudentia fleet spawn` supervises real worker processes end to
+//!   end, `fleet status`/`merge` read the result, and `prudentia serve`
+//!   answers the merged multi-shard view over a real socket.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
+
+const MATRIX_ARGS: &[&str] = &[
+    "--services",
+    "iperf-reno,iperf-cubic",
+    "--trials",
+    "1",
+    "--setting",
+    "8",
+    "--parallel",
+    "2",
+];
+
+fn prudentia(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prudentia"))
+        .args(args)
+        .output()
+        .expect("prudentia binary runs")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("prudentia_fleet_integration")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Mark `root` as a fleet root of `shards` shards, the way
+/// `fleet spawn` does, so shard workers can be driven directly.
+fn write_manifest(root: &Path, shards: u32) {
+    std::fs::create_dir_all(root).expect("fleet root created");
+    std::fs::write(
+        root.join("fleet.json"),
+        format!("{{\"format\":1,\"shards\":{shards}}}"),
+    )
+    .expect("manifest written");
+}
+
+/// Run one shard worker exactly as the coordinator spawns it.
+fn run_shard(root: &Path, index: u32, count: u32, extra: &[&str]) -> Output {
+    let store = root.join(format!("shard-{index:03}"));
+    let shard = format!("{index}/{count}");
+    let mut args = vec![
+        "watch",
+        "--store",
+        store.to_str().unwrap(),
+        "--shard",
+        &shard,
+    ];
+    args.extend_from_slice(MATRIX_ARGS);
+    args.extend_from_slice(extra);
+    prudentia(&args)
+}
+
+/// Final-state heatmap CSVs from `prudentia report`, keyed by file name.
+fn report_csvs(store: &Path, out: &Path) -> Vec<(String, String)> {
+    let output = prudentia(&[
+        "report",
+        "--store",
+        store.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--services",
+        "iperf-reno,iperf-cubic",
+        "--setting",
+        "8",
+    ]);
+    assert!(
+        output.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let mut csvs: Vec<(String, String)> = std::fs::read_dir(out)
+        .expect("report dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().to_string(),
+                std::fs::read_to_string(&p).expect("csv reads"),
+            )
+        })
+        .collect();
+    csvs.sort();
+    assert!(!csvs.is_empty(), "report produced no CSVs");
+    csvs
+}
+
+/// The single-process reference: one full `watch` cycle over the same
+/// plan, reported to CSVs.
+fn baseline_csvs(tag: &str) -> Vec<(String, String)> {
+    let store = tmp_dir(&format!("{tag}_baseline_store"));
+    let mut args = vec!["watch", "--store", store.to_str().unwrap()];
+    args.extend_from_slice(MATRIX_ARGS);
+    let out = prudentia(&args);
+    assert!(
+        out.status.success(),
+        "baseline watch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    report_csvs(&store, &tmp_dir(&format!("{tag}_baseline_report")))
+}
+
+#[test]
+fn fleet_reports_are_byte_identical_across_shard_counts() {
+    let baseline = baseline_csvs("counts");
+    for n in [1u32, 2, 4] {
+        let root = tmp_dir(&format!("fleet_{n}"));
+        write_manifest(&root, n);
+        for i in 0..n {
+            let out = run_shard(&root, i, n, &[]);
+            assert!(
+                out.status.success(),
+                "shard {i}/{n} failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        let csvs = report_csvs(&root, &tmp_dir(&format!("fleet_{n}_report")));
+        assert_eq!(
+            baseline, csvs,
+            "{n}-shard merged report must match the single process byte-for-byte"
+        );
+    }
+}
+
+#[test]
+fn killed_and_resumed_shard_merges_byte_identically() {
+    let baseline = baseline_csvs("resume");
+    let root = tmp_dir("fleet_resume");
+    write_manifest(&root, 2);
+
+    // Shard 0 completes its slice in one go.
+    let out = run_shard(&root, 0, 2, &[]);
+    assert!(out.status.success());
+
+    // Shard 1's store does not exist yet: the merged report must refuse
+    // with the serve-family exit code, naming the degradation.
+    let degraded = prudentia(&[
+        "report",
+        "--store",
+        root.to_str().unwrap(),
+        "--out",
+        tmp_dir("fleet_resume_degraded").to_str().unwrap(),
+        "--services",
+        "iperf-reno,iperf-cubic",
+        "--setting",
+        "8",
+    ]);
+    assert_eq!(
+        degraded.status.code(),
+        Some(7),
+        "degraded fleet report must exit 7: {}",
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&degraded.stderr).contains("unreadable"),
+        "stderr names the degradation: {}",
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+
+    // Shard 1 is "killed" after every single pair (checkpoint at a batch
+    // boundary, exactly what a SIGKILL between batches leaves behind)
+    // and restarted until its slice completes. Resumes must never
+    // re-run a completed pair.
+    let mut executed_total = 0u64;
+    for attempt in 0..8 {
+        let out = run_shard(&root, 1, 2, &["--batch-pairs", "1", "--max-pairs", "1"]);
+        assert!(
+            out.status.success(),
+            "resume attempt {attempt} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("cycle 1:"))
+            .unwrap_or_else(|| panic!("no cycle line in: {text}"));
+        let nums: Vec<u64> = line
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let (done_before, executed) = (nums[2], nums[3]);
+        assert_eq!(
+            done_before, executed_total,
+            "restart must pick up exactly where the kill left off: {line}"
+        );
+        executed_total += executed;
+        if !text.contains("interrupted") {
+            break;
+        }
+    }
+    assert!(executed_total >= 1, "shard 1 never executed anything");
+
+    let csvs = report_csvs(&root, &tmp_dir("fleet_resume_report"));
+    assert_eq!(
+        baseline, csvs,
+        "kill-and-resume fleet must reproduce the single-process bytes"
+    );
+}
+
+#[test]
+fn fleet_spawn_supervises_workers_end_to_end() {
+    let baseline = baseline_csvs("spawn");
+    let root = tmp_dir("fleet_spawn");
+
+    let mut args = vec![
+        "fleet",
+        "spawn",
+        "--store",
+        root.to_str().unwrap(),
+        "--shards",
+        "2",
+    ];
+    args.extend_from_slice(MATRIX_ARGS);
+    let out = prudentia(&args);
+    assert!(
+        out.status.success(),
+        "fleet spawn failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("2 completed, 0 stopped, 0 failed"),
+        "unexpected spawn stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("2/2 shards readable"),
+        "unexpected spawn stdout: {stdout}"
+    );
+
+    let mut args = vec!["fleet", "status", "--store", root.to_str().unwrap()];
+    args.extend_from_slice(MATRIX_ARGS);
+    let status = prudentia(&args);
+    assert!(
+        status.status.success(),
+        "fleet status failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let text = String::from_utf8_lossy(&status.stdout);
+    assert!(text.contains("(2 shards)"), "{text}");
+    assert!(!text.contains("DEGRADED"), "{text}");
+
+    // The fleet root reports byte-identically to the single process...
+    let csvs = report_csvs(&root, &tmp_dir("fleet_spawn_report"));
+    assert_eq!(baseline, csvs, "spawned fleet must match the baseline");
+
+    // ...and so does a single store produced by `fleet merge`.
+    let merged = tmp_dir("fleet_spawn_merged");
+    let merge = prudentia(&[
+        "fleet",
+        "merge",
+        "--store",
+        root.to_str().unwrap(),
+        "--out",
+        merged.to_str().unwrap(),
+    ]);
+    assert!(
+        merge.status.success(),
+        "fleet merge failed: {}",
+        String::from_utf8_lossy(&merge.stderr)
+    );
+    let merged_csvs = report_csvs(&merged, &tmp_dir("fleet_spawn_merged_report"));
+    assert_eq!(
+        baseline, merged_csvs,
+        "merged store must match the baseline"
+    );
+}
+
+#[test]
+fn serve_answers_the_merged_fleet_view() {
+    let root = tmp_dir("fleet_serve");
+    write_manifest(&root, 2);
+    for i in 0..2 {
+        let out = run_shard(&root, i, 2, &[]);
+        assert!(out.status.success());
+    }
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_prudentia"))
+        .args([
+            "serve",
+            "--store",
+            root.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--services",
+            "iperf-reno,iperf-cubic",
+            "--setting",
+            "8",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+
+    let mut reader = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("serve announces");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or_else(|| panic!("no address in: {line}"))
+        .to_string();
+
+    let fetch = |path: &str| -> String {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: watchdog\r\n\r\n").as_bytes())
+            .expect("request sent");
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("response read");
+        body
+    };
+
+    let status = fetch("/status");
+    assert!(status.starts_with("HTTP/1.0 200 OK"), "{status}");
+    assert!(status.contains("\"shards\":2"), "{status}");
+    assert!(status.contains("\"shards_readable\":2"), "{status}");
+    assert!(status.contains("\"pairs_total\":4"), "{status}");
+
+    let heatmap = fetch("/heatmap.csv");
+    assert!(heatmap.starts_with("HTTP/1.0 200 OK"), "{heatmap}");
+    assert!(heatmap.contains("contender\\incumbent"), "{heatmap}");
+
+    // Break one shard: data routes answer the structured 503, /status
+    // keeps serving the readable remainder.
+    std::fs::remove_dir_all(root.join("shard-001")).expect("break shard 1");
+    let degraded = fetch("/heatmap.csv");
+    assert!(
+        degraded.starts_with("HTTP/1.0 503 Service Unavailable"),
+        "{degraded}"
+    );
+    assert!(degraded.contains("\"shards_readable\":1"), "{degraded}");
+    let status = fetch("/status");
+    assert!(status.starts_with("HTTP/1.0 200 OK"), "{status}");
+    assert!(status.contains("\"degraded\":true"), "{status}");
+
+    let bye = fetch("/shutdown");
+    assert!(bye.contains("shutting_down"), "{bye}");
+    let code = child.wait().expect("serve exits");
+    assert!(code.success(), "serve must exit 0 after /shutdown");
+}
