@@ -1,0 +1,555 @@
+//! HTTP load generator and regression gate for `prudentia serve`.
+//!
+//! Zero-dependency (std sockets + the `prudentia-obs` histogram): N
+//! client threads hammer one route over keep-alive connections and
+//! report throughput plus a latency distribution, machine-readable for
+//! the CI `serve-load` gate.
+//!
+//! ```sh
+//! prudentia serve --store store --addr 127.0.0.1:7077 &
+//! cargo run --release --bin loadgen -- --addr 127.0.0.1:7077 \
+//!     --path /heatmap.csv --connections 8 --duration 5 \
+//!     [--etag] [--mode open --rate 50000] \
+//!     [--out LOADGEN.json] [--gate results/serve_baseline.json] \
+//!     [--bless results/serve_baseline.json]
+//! ```
+//!
+//! Modes: `closed` (default) keeps one request in flight per
+//! connection — measures capacity; `open --rate R` paces request
+//! *starts* at R/sec across the connections and measures latency from
+//! the scheduled start, so server-side queueing is charged to the
+//! response (no coordinated omission).
+//!
+//! `--etag` prefetches the route's `ETag` and sends `If-None-Match` on
+//! every request, exercising the `304` short-circuit (the cached
+//! hot path a polling dashboard fleet would hit).
+//!
+//! The gate follows the repo's bench convention: `--gate PATH` fails
+//! (exit 1) when req/s drops more than 20% below the checked-in
+//! baseline or p99 exceeds it by more than 20%. Baselines are blessed
+//! with 3x headroom — `--bless PATH` records measured/3 req/s and
+//! measured*3 p99 — so runner-to-runner variance stays inside the gate
+//! (see EXPERIMENTS.md for the re-bless recipe).
+
+use prudentia_obs::Histogram;
+use serde::Deserialize;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Relative req/s drop that fails the gate.
+const RPS_REGRESSION: f64 = 0.20;
+/// Relative p99 growth that fails the gate.
+const P99_REGRESSION: f64 = 0.20;
+/// Headroom factor used by `--bless`.
+const BLESS_HEADROOM: f64 = 3.0;
+
+/// The gate only reads the two fields it compares.
+#[derive(Debug, Deserialize)]
+struct GateBaseline {
+    req_per_sec: f64,
+    p99_us: f64,
+}
+
+#[derive(Clone)]
+struct Args {
+    addr: String,
+    path: String,
+    connections: usize,
+    duration: f64,
+    warmup: f64,
+    mode: Mode,
+    rate: f64,
+    pipeline: usize,
+    etag: bool,
+    out: Option<PathBuf>,
+    gate: Option<PathBuf>,
+    bless: Option<PathBuf>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+const USAGE: &str = "\
+usage: loadgen --addr HOST:PORT [options]
+
+options:
+  --addr HOST:PORT   serve endpoint to load (required)
+  --path P           route to request (default /heatmap.csv)
+  --connections N    keep-alive client threads (default 8); must not
+                     exceed serve --workers — a fixed-pool worker owns
+                     one keep-alive connection at a time, so excess
+                     connections starve in the accept backlog
+  --duration SECS    measured window (default 5)
+  --warmup SECS      unrecorded warmup before measuring (default 0.5)
+  --mode closed|open closed loop (capacity) or paced open loop
+  --rate R           total request starts/sec for --mode open
+  --pipeline K       pipelined requests per batch (closed mode only,
+                     default 1; amortizes syscalls on small hosts)
+  --etag             send If-None-Match (exercise the 304 hot path)
+  --out PATH         write the JSON report to PATH as well as stdout
+  --gate PATH        fail if req/s or p99 regress >20% vs baseline
+  --bless PATH       write a new baseline with 3x headroom";
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        path: "/heatmap.csv".to_string(),
+        connections: 8,
+        duration: 5.0,
+        warmup: 0.5,
+        mode: Mode::Closed,
+        rate: 0.0,
+        pipeline: 1,
+        etag: false,
+        out: None,
+        gate: None,
+        bless: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let missing = |flag: &str| -> String {
+        eprintln!("{flag} needs a value\n{USAGE}");
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.addr = it.next().unwrap_or_else(|| missing("--addr")),
+            "--path" => args.path = it.next().unwrap_or_else(|| missing("--path")),
+            "--connections" => {
+                args.connections = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| missing("--connections").parse().unwrap())
+            }
+            "--duration" => {
+                args.duration = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| missing("--duration").parse().unwrap())
+            }
+            "--warmup" => {
+                args.warmup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| missing("--warmup").parse().unwrap())
+            }
+            "--mode" => {
+                args.mode = match it.next().as_deref() {
+                    Some("closed") => Mode::Closed,
+                    Some("open") => Mode::Open,
+                    _ => {
+                        eprintln!("--mode must be closed or open\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--rate" => {
+                args.rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| missing("--rate").parse().unwrap())
+            }
+            "--pipeline" => {
+                args.pipeline = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| missing("--pipeline").parse().unwrap())
+            }
+            "--etag" => args.etag = true,
+            "--out" => args.out = it.next().map(PathBuf::from),
+            "--gate" => args.gate = it.next().map(PathBuf::from),
+            "--bless" => args.bless = it.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr is required\n{USAGE}");
+        std::process::exit(2);
+    }
+    if args.mode == Mode::Open && args.rate <= 0.0 {
+        eprintln!("--mode open needs --rate R\n{USAGE}");
+        std::process::exit(2);
+    }
+    if args.connections == 0 {
+        args.connections = 1;
+    }
+    if args.pipeline == 0 {
+        args.pipeline = 1;
+    }
+    if args.mode == Mode::Open && args.pipeline > 1 {
+        eprintln!("--pipeline only applies to --mode closed\n{USAGE}");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// Per-thread tallies, merged at the end of the run.
+#[derive(Default)]
+struct Tally {
+    latency_us: Histogram,
+    requests: u64,
+    errors: u64,
+    status_200: u64,
+    status_304: u64,
+    status_other: u64,
+}
+
+impl Tally {
+    fn merge(&mut self, other: &Tally) {
+        self.latency_us.merge(&other.latency_us);
+        self.requests += other.requests;
+        self.errors += other.errors;
+        self.status_200 += other.status_200;
+        self.status_304 += other.status_304;
+        self.status_other += other.status_other;
+    }
+}
+
+/// One keep-alive connection with a persistent parse buffer.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        Ok(Conn {
+            stream,
+            buf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Send `k` pipelined copies of the request in one write, then read
+    /// `k` responses, pushing each status into `statuses`.
+    fn round_trip(
+        &mut self,
+        batch: &[u8],
+        k: usize,
+        statuses: &mut Vec<u16>,
+    ) -> std::io::Result<()> {
+        self.stream.write_all(batch)?;
+        for _ in 0..k {
+            statuses.push(self.read_one()?);
+        }
+        Ok(())
+    }
+
+    /// Read one full response off the wire; returns the status code.
+    fn read_one(&mut self) -> std::io::Result<u16> {
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        self.buf.drain(..head_end + 4);
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let len: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        while self.buf.len() < len {
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-body",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        self.buf.drain(..len);
+        Ok(status)
+    }
+}
+
+/// Fetch the route's ETag for `--etag` mode.
+fn prefetch_etag(addr: &str, path: &str) -> Option<String> {
+    let mut conn = Conn::connect(addr).ok()?;
+    conn.stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .ok()?;
+    let mut resp = Vec::new();
+    conn.stream.read_to_end(&mut resp).ok()?;
+    let text = String::from_utf8_lossy(&resp);
+    text.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("etag")
+            .then(|| value.trim().to_string())
+    })
+}
+
+fn client_loop(
+    args: &Args,
+    request: &[u8],
+    measuring: &AtomicBool,
+    done: &AtomicBool,
+    thread_index: usize,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut conn = None;
+    // Closed mode sends `pipeline` copies per batch in a single write.
+    let depth = if args.mode == Mode::Closed {
+        args.pipeline
+    } else {
+        1
+    };
+    let batch = request.repeat(depth);
+    let mut statuses = Vec::with_capacity(depth);
+    // Open-loop pacing: this thread owns every (connections)-th slot of
+    // the global schedule, offset by its index.
+    let interval = if args.mode == Mode::Open {
+        Duration::from_secs_f64(args.connections as f64 / args.rate)
+    } else {
+        Duration::ZERO
+    };
+    let mut next_start = Instant::now()
+        + interval
+            .checked_mul(thread_index as u32)
+            .unwrap_or(Duration::ZERO)
+            / args.connections.max(1) as u32;
+
+    while !done.load(Ordering::Relaxed) {
+        if args.mode == Mode::Open {
+            let now = Instant::now();
+            if now < next_start {
+                std::thread::sleep(next_start - now);
+            }
+        }
+        let started = if args.mode == Mode::Open {
+            // Charge server queueing to the response: latency runs from
+            // the *scheduled* start, not the actual send.
+            let s = next_start;
+            next_start += interval;
+            s
+        } else {
+            Instant::now()
+        };
+
+        let c = match conn.as_mut() {
+            Some(c) => c,
+            None => match Conn::connect(&args.addr) {
+                Ok(c) => {
+                    conn = Some(c);
+                    conn.as_mut().unwrap()
+                }
+                Err(_) => {
+                    tally.errors += 1;
+                    continue;
+                }
+            },
+        };
+        statuses.clear();
+        match c.round_trip(&batch, depth, &mut statuses) {
+            Ok(()) => {
+                if measuring.load(Ordering::Relaxed) {
+                    // Each pipelined response is charged from the batch
+                    // start — queueing behind siblings counts.
+                    let us = started.elapsed().as_secs_f64() * 1e6;
+                    for &status in &statuses {
+                        tally.requests += 1;
+                        tally.latency_us.record(us);
+                        match status {
+                            200 => tally.status_200 += 1,
+                            304 => tally.status_304 += 1,
+                            _ => tally.status_other += 1,
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                conn = None;
+                if measuring.load(Ordering::Relaxed) {
+                    tally.errors += 1;
+                }
+            }
+        }
+    }
+    tally
+}
+
+fn main() {
+    let args = parse_args();
+    let etag = if args.etag {
+        match prefetch_etag(&args.addr, &args.path) {
+            Some(e) => Some(e),
+            None => {
+                eprintln!(
+                    "loadgen: --etag set but no ETag on {} {}",
+                    args.addr, args.path
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let request = match &etag {
+        Some(e) => format!(
+            "GET {} HTTP/1.1\r\nHost: loadgen\r\nIf-None-Match: {e}\r\n\r\n",
+            args.path
+        ),
+        None => format!("GET {} HTTP/1.1\r\nHost: loadgen\r\n\r\n", args.path),
+    };
+
+    let measuring = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..args.connections)
+        .map(|i| {
+            let args = args.clone();
+            let request = request.clone().into_bytes();
+            let measuring = Arc::clone(&measuring);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || client_loop(&args, &request, &measuring, &done, i))
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs_f64(args.warmup.max(0.0)));
+    measuring.store(true, Ordering::Relaxed);
+    let started = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(args.duration.max(0.1)));
+    let elapsed = started.elapsed().as_secs_f64();
+    done.store(true, Ordering::Relaxed);
+
+    let mut total = Tally::default();
+    for w in workers {
+        total.merge(&w.join().expect("client thread joins"));
+    }
+    let req_per_sec = total.requests as f64 / elapsed;
+    let lat = total.latency_us.summarize();
+    let report = format!(
+        "{{\n  \"addr\": \"{}\",\n  \"path\": \"{}\",\n  \"mode\": \"{}\",\n  \
+         \"etag\": {},\n  \"connections\": {},\n  \"pipeline\": {},\n  \"duration_secs\": {:.3},\n  \
+         \"requests\": {},\n  \"errors\": {},\n  \"status_200\": {},\n  \
+         \"status_304\": {},\n  \"status_other\": {},\n  \"req_per_sec\": {:.1},\n  \
+         \"p50_us\": {:.1},\n  \"p90_us\": {:.1},\n  \"p99_us\": {:.1},\n  \
+         \"mean_us\": {:.1},\n  \"max_us\": {:.1}\n}}\n",
+        args.addr,
+        args.path,
+        if args.mode == Mode::Open { "open" } else { "closed" },
+        etag.is_some(),
+        args.connections,
+        args.pipeline,
+        elapsed,
+        total.requests,
+        total.errors,
+        total.status_200,
+        total.status_304,
+        total.status_other,
+        req_per_sec,
+        lat.p50,
+        lat.p90,
+        lat.p99,
+        lat.mean,
+        lat.max,
+    );
+    print!("{report}");
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &report) {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+        eprintln!("loadgen report written to {}", out.display());
+    }
+    if total.requests == 0 {
+        eprintln!("loadgen: no successful requests ({} errors)", total.errors);
+        std::process::exit(1);
+    }
+
+    if let Some(path) = &args.bless {
+        let baseline = format!(
+            "{{\n  \"path\": \"{}\",\n  \"etag\": {},\n  \"connections\": {},\n  \"pipeline\": {},\n  \
+             \"req_per_sec\": {:.1},\n  \"p99_us\": {:.1},\n  \
+             \"note\": \"blessed at measured/3 req/s and measured*3 p99 (3x headroom)\"\n}}\n",
+            args.path,
+            etag.is_some(),
+            args.connections,
+            args.pipeline,
+            req_per_sec / BLESS_HEADROOM,
+            lat.p99 * BLESS_HEADROOM,
+        );
+        if let Err(e) = std::fs::write(path, baseline) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("baseline blessed to {}", path.display());
+    }
+
+    if let Some(gate) = &args.gate {
+        let text = match std::fs::read_to_string(gate) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gate baseline {} unreadable: {e}", gate.display());
+                std::process::exit(1);
+            }
+        };
+        let base: GateBaseline = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("gate baseline {} is not usable: {e}", gate.display());
+                std::process::exit(1);
+            }
+        };
+        let mut failed = false;
+        if req_per_sec < base.req_per_sec * (1.0 - RPS_REGRESSION) {
+            eprintln!(
+                "GATE FAIL: {req_per_sec:.0} req/s is more than {:.0}% below baseline {:.0}",
+                RPS_REGRESSION * 100.0,
+                base.req_per_sec,
+            );
+            failed = true;
+        }
+        if lat.p99 > base.p99_us * (1.0 + P99_REGRESSION) {
+            eprintln!(
+                "GATE FAIL: p99 {:.0}us is more than {:.0}% above baseline {:.0}us",
+                lat.p99,
+                P99_REGRESSION * 100.0,
+                base.p99_us,
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "gate OK: {req_per_sec:.0} req/s (baseline {:.0}), p99 {:.0}us (baseline {:.0}us)",
+            base.req_per_sec, lat.p99, base.p99_us,
+        );
+    }
+}

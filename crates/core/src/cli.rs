@@ -149,14 +149,23 @@ usage: prudentia serve --store DIR [options]
 
 Serve live watchdog status over HTTP from the durable store. Routes:
 / (dashboard), /status, /heatmap, /heatmap.csv, /freshness, /metrics,
-/shutdown. Each request reads a fresh read-only snapshot, so a daemon
-may keep appending concurrently. A fleet root (fleet.json present) is
-served as the merged multi-shard view; data routes answer 503 with a
-structured body while any shard is unreadable, /status stays up.
+/shutdown. A fixed pool of worker threads answers HTTP/1.1 keep-alive
+requests from an in-memory materialized view that is revalidated by
+cheap store watermark probes, so a daemon may keep appending
+concurrently. Data routes carry strong ETags; If-None-Match answers an
+empty 304. A fleet root (fleet.json present) is served as the merged
+multi-shard view; data routes answer 503 with a structured body while
+any shard is unreadable, /status stays up.
 
 options:
   --store DIR        durable results store or fleet root (required)
   --addr HOST:PORT   bind address (default 127.0.0.1:7077)
+  --workers N        accept/worker threads (default: host parallelism,
+                     clamped to 2..=16)
+  --no-cache         render a fresh store snapshot per request instead
+                     of serving the materialized view (slow; the
+                     byte-identity oracle for the cached path)
+  --refresh-ms N     materialized-view revalidation period (default 25)
   --services A,B,..  matrix services (default: the Fig 2 set)
   --flag-file PATH   graceful-shutdown flag file
   --setting MBPS --scenario KIND";
@@ -211,6 +220,9 @@ struct Opts {
     max_pairs: Option<u64>,
     shard: Option<ShardSpec>,
     shards: Option<u32>,
+    workers: Option<usize>,
+    no_cache: bool,
+    refresh_ms: Option<u64>,
     flag_file: Option<PathBuf>,
     services: Option<Vec<String>>,
     solo: bool,
@@ -251,6 +263,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, PrudentiaError> {
         max_pairs: None,
         shard: None,
         shards: None,
+        workers: None,
+        no_cache: false,
+        refresh_ms: None,
         flag_file: None,
         services: None,
         solo: false,
@@ -297,6 +312,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, PrudentiaError> {
             }
             "--shards" => {
                 opts.shards = Some(parsed("--shards", value_of("--shards", &mut it)?)?);
+            }
+            "--workers" => {
+                opts.workers = Some(parsed("--workers", value_of("--workers", &mut it)?)?);
+            }
+            "--no-cache" => opts.no_cache = true,
+            "--refresh-ms" => {
+                opts.refresh_ms = Some(parsed("--refresh-ms", value_of("--refresh-ms", &mut it)?)?);
             }
             "--flag-file" => {
                 opts.flag_file = Some(PathBuf::from(value_of("--flag-file", &mut it)?));
@@ -999,6 +1021,9 @@ fn serve_config(opts: &Opts, command: &str) -> Result<ServeConfig, PrudentiaErro
         store_dir,
         services: matrix_services(opts)?.iter().map(|s| s.spec()).collect(),
         settings: settings_for(opts)?,
+        workers: opts.workers.unwrap_or_else(ServeConfig::default_workers),
+        cache: !opts.no_cache,
+        refresh_ms: opts.refresh_ms.unwrap_or(ServeConfig::DEFAULT_REFRESH_MS),
     })
 }
 

@@ -83,6 +83,36 @@ impl FleetView {
         settings: &[NetworkSetting],
         metrics: Option<&MetricsRegistry>,
     ) -> FleetView {
+        let snaps: Vec<Result<Snapshot, String>> = (0..manifest.shards)
+            .map(|index| Snapshot::read(shard_dir(root, index)).map_err(|e| e.to_string()))
+            .collect();
+        let refs: Vec<Result<&Snapshot, String>> = snaps
+            .iter()
+            .map(|r| r.as_ref().map_err(|e| e.clone()))
+            .collect();
+        FleetView::from_snapshots(root, manifest, services, settings, metrics, &refs)
+    }
+
+    /// Build the view from already-read shard snapshots, one entry per
+    /// shard in shard order (`Err` marks an unreadable shard). This is
+    /// the serve path's materialized view rebuilding from its cached
+    /// per-shard [`prudentia_store::IncrementalSnapshot`]s — only
+    /// changed shards were re-read from disk; the rest are merged
+    /// straight from memory. Semantics are identical to
+    /// [`FleetView::read`] on the same shard states.
+    pub fn from_snapshots(
+        root: &Path,
+        manifest: &FleetManifest,
+        services: &[ServiceSpec],
+        settings: &[NetworkSetting],
+        metrics: Option<&MetricsRegistry>,
+        snaps: &[Result<&Snapshot, String>],
+    ) -> FleetView {
+        assert_eq!(
+            snaps.len(),
+            manifest.shards as usize,
+            "one snapshot slot per manifest shard"
+        );
         let started = Instant::now();
         let mut shards = Vec::with_capacity(manifest.shards as usize);
         let mut merged = MergedSnapshot::new();
@@ -90,13 +120,13 @@ impl FleetView {
         // below, then emitted in canonical full-matrix order.
         let mut fresh_by_key: HashMap<u64, PairFreshness> = HashMap::new();
 
-        for index in 0..manifest.shards {
+        for (index, slot) in (0..manifest.shards).zip(snaps) {
             let spec = ShardSpec::new(index, manifest.shards).expect("index < count");
             let dir = shard_dir(root, index);
             let plan = shard_matrix(services, settings, Some(spec));
-            match Snapshot::read(&dir) {
+            match slot {
                 Ok(snap) => {
-                    let rows = freshness(&snap, &plan);
+                    let rows = freshness(*snap, &plan);
                     let tested = rows.iter().filter(|f| f.tested_this_cycle).count() as u64;
                     shards.push(ShardHealth {
                         shard: index,
@@ -105,7 +135,7 @@ impl FleetView {
                         error: None,
                         live_records: snap.live_len() as u64,
                         next_seq: snap.next_seq(),
-                        checkpoint: latest_checkpoint(&snap),
+                        checkpoint: latest_checkpoint(*snap),
                         pairs_tested_this_cycle: tested,
                         pairs_total: plan.len() as u64,
                         last_append_unix_ms: snap.last_append_unix_ms(),
@@ -113,14 +143,14 @@ impl FleetView {
                     for row in rows {
                         fresh_by_key.insert(row.key, row);
                     }
-                    merged.absorb(snap);
+                    merged.absorb_ref(snap);
                 }
                 Err(e) => {
                     shards.push(ShardHealth {
                         shard: index,
                         dir: dir.display().to_string(),
                         readable: false,
-                        error: Some(e.to_string()),
+                        error: Some(e.clone()),
                         live_records: 0,
                         next_seq: 0,
                         checkpoint: None,

@@ -1,15 +1,27 @@
-//! The watchdog's public read path: a zero-dependency HTTP status
-//! endpoint (`prudentia serve`) and a static HTML/CSV report generator
+//! The watchdog's public read path: a production-grade HTTP endpoint
+//! (`prudentia serve`) and a static HTML/CSV report generator
 //! (`prudentia report`).
 //!
 //! Prudentia "publishes the data of every experiment on its website"
-//! (§1); this module is that surface over the durable store. The server
-//! is deliberately minimal — `std::net::TcpListener`, blocking accept
-//! loop with a poll interval, HTTP/1.0-style responses — because the
-//! container has no HTTP dependencies and the endpoint serves one
-//! operator, not the public internet. Every request reads a fresh
-//! read-only [`Snapshot`] of the store, so a live daemon can keep
-//! appending while the server answers.
+//! (§1); this module is that surface over the durable store. It is
+//! still zero-dependency (`std::net` only), but no longer minimal:
+//!
+//! * **Worker-pool accept path** (the `http` submodule) — a fixed pool
+//!   of threads blocking on a shared listener, HTTP/1.1 keep-alive with
+//!   request pipelining, and no sleep-polling anywhere on the accept
+//!   path.
+//! * **Materialized view** (the `view` submodule) — the merged heatmap
+//!   / status /
+//!   freshness responses are rendered once and kept in memory, then
+//!   revalidated by cheap store watermark probes
+//!   ([`prudentia_store::IncrementalSnapshot`]); a request is a map
+//!   lookup plus a socket write, never a store read. `--no-cache`
+//!   restores the old fresh-snapshot-per-request behavior, which
+//!   doubles as the byte-identity oracle for the cached path.
+//! * **Conditional requests** — every data route carries a strong
+//!   `ETag` (FNV-1a over the body bytes) and `Cache-Control:
+//!   no-cache`; an `If-None-Match` hit short-circuits to an empty
+//!   `304` before any body bytes are copied.
 //!
 //! Routes:
 //!
@@ -20,8 +32,11 @@
 //! | `/heatmap`     | all four heatmap statistics as JSON                |
 //! | `/heatmap.csv` | Fig 2 MmF-share heatmap as CSV                     |
 //! | `/freshness`   | per-pair freshness JSON (staleness scheduler view) |
-//! | `/metrics`     | store-level counters JSON                          |
+//! | `/metrics`     | store + serve counters JSON                        |
 //! | `/shutdown`    | request graceful shutdown of the server            |
+
+mod http;
+mod view;
 
 use crate::config::NetworkSetting;
 use crate::daemon::{
@@ -34,10 +49,7 @@ use crate::watchdog::PairFreshness;
 use prudentia_apps::ServiceSpec;
 use prudentia_store::Snapshot;
 use serde::{Deserialize, Serialize};
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
 
 /// Configuration for [`serve`] and [`write_report`].
 #[derive(Debug, Clone)]
@@ -50,6 +62,48 @@ pub struct ServeConfig {
     pub services: Vec<ServiceSpec>,
     /// Settings of the matrix.
     pub settings: Vec<NetworkSetting>,
+    /// Worker threads accepting and answering requests.
+    pub workers: usize,
+    /// Serve from the incrementally maintained materialized view
+    /// (`false` re-reads a fresh store snapshot per request — the
+    /// byte-identity oracle, at a fraction of the throughput).
+    pub cache: bool,
+    /// Materialized-view revalidation period, milliseconds. Bounds how
+    /// long a cached response may trail the store.
+    pub refresh_ms: u64,
+}
+
+impl ServeConfig {
+    /// Default materialized-view revalidation period (milliseconds).
+    pub const DEFAULT_REFRESH_MS: u64 = 25;
+
+    /// Default worker-pool size: the host's parallelism, clamped to a
+    /// sane range for a status endpoint.
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 16)
+    }
+
+    /// A config with the default serve-path tuning (cache on, default
+    /// worker count and refresh period).
+    pub fn new(
+        addr: impl Into<String>,
+        store_dir: impl Into<PathBuf>,
+        services: Vec<ServiceSpec>,
+        settings: Vec<NetworkSetting>,
+    ) -> Self {
+        ServeConfig {
+            addr: addr.into(),
+            store_dir: store_dir.into(),
+            services,
+            settings,
+            workers: ServeConfig::default_workers(),
+            cache: true,
+            refresh_ms: ServeConfig::DEFAULT_REFRESH_MS,
+        }
+    }
 }
 
 /// Daemon status as served at `/status`.
@@ -127,6 +181,64 @@ const ALL_STATS: [HeatmapStat; 4] = [
     HeatmapStat::QueueingDelayMs,
 ];
 
+/// The cacheable data routes, in render order. `/metrics` is excluded
+/// because its serve-counter tail changes per request.
+pub const DATA_ROUTES: [&str; 5] = ["/", "/status", "/heatmap", "/heatmap.csv", "/freshness"];
+
+pub(crate) const OK: &str = "200 OK";
+pub(crate) const UNAVAILABLE: &str = "503 Service Unavailable";
+pub(crate) const JSON_CT: &str = "application/json";
+pub(crate) const HTML_CT: &str = "text/html; charset=utf-8";
+pub(crate) const CSV_CT: &str = "text/csv";
+
+/// One fully rendered route: status line, content type, body bytes,
+/// and the strong `ETag` over those bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteBody {
+    /// HTTP status line tail, e.g. `200 OK`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Strong entity tag (`"<16 hex digits>"`, FNV-1a over the body).
+    pub etag: String,
+}
+
+impl RouteBody {
+    fn new(status: &'static str, content_type: &'static str, body: String) -> Self {
+        let etag = format!("\"{:016x}\"", prudentia_store::fnv1a_key(&[&body]));
+        RouteBody {
+            status,
+            content_type,
+            body: body.into_bytes(),
+            etag,
+        }
+    }
+}
+
+/// Every data route rendered from one consistent store view, plus the
+/// store half of `/metrics`. This is the unit the materialized view
+/// publishes and the HTTP workers serve from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderedRoutes {
+    /// `(path, body)` for every entry of [`DATA_ROUTES`], in order.
+    pub data: Vec<(&'static str, RouteBody)>,
+    /// The store-level `/metrics` object; the serve layer splices its
+    /// live counters into the tail before answering.
+    pub metrics: RouteBody,
+    /// Monotone revision of the materialized view this rendering came
+    /// from (0 for a fresh per-request rendering).
+    pub revision: u64,
+}
+
+impl RenderedRoutes {
+    /// The rendered body for `path`, if it is a data route.
+    pub fn get(&self, path: &str) -> Option<&RouteBody> {
+        self.data.iter().find(|(p, _)| *p == path).map(|(_, b)| b)
+    }
+}
+
 /// What `--store DIR` resolved to: a plain single store, or a fleet
 /// root (`fleet.json` present) read as the merged multi-shard view.
 enum StoreView {
@@ -135,26 +247,46 @@ enum StoreView {
 }
 
 impl StoreView {
-    fn latest(&self) -> &dyn LatestView {
+    fn as_ref(&self) -> ViewRef<'_> {
         match self {
-            StoreView::Single(snap) => snap,
-            StoreView::Fleet(view) => view.latest_view(),
+            StoreView::Single(snap) => ViewRef::Single(snap),
+            StoreView::Fleet(view) => ViewRef::Fleet(view),
+        }
+    }
+}
+
+/// A borrowed store view. The render functions take this so they work
+/// identically over a fresh per-request snapshot and over the
+/// materialized view's cached per-shard state.
+#[derive(Clone, Copy)]
+pub(crate) enum ViewRef<'a> {
+    /// A plain single-store snapshot.
+    Single(&'a Snapshot),
+    /// A merged fleet view.
+    Fleet(&'a FleetView),
+}
+
+impl<'a> ViewRef<'a> {
+    fn latest(self) -> &'a dyn LatestView {
+        match self {
+            ViewRef::Single(snap) => snap,
+            ViewRef::Fleet(view) => view.latest_view(),
         }
     }
 
-    fn degraded(&self) -> bool {
-        matches!(self, StoreView::Fleet(view) if view.degraded())
+    fn degraded(self) -> bool {
+        matches!(self, ViewRef::Fleet(view) if view.degraded())
     }
 
     /// Freshness rows in canonical full-matrix order. A fleet judges
     /// each pair against its owning shard's own checkpoint horizon —
     /// never the merged view, where the shard checkpoints collide.
-    fn freshness_rows(&self, config: &ServeConfig) -> Vec<PairFreshness> {
+    fn freshness_rows(self, config: &ServeConfig) -> Vec<PairFreshness> {
         match self {
-            StoreView::Single(snap) => {
+            ViewRef::Single(snap) => {
                 freshness(snap, &full_matrix(&config.services, &config.settings))
             }
-            StoreView::Fleet(view) => view.freshness.clone(),
+            ViewRef::Fleet(view) => view.freshness.clone(),
         }
     }
 }
@@ -172,19 +304,19 @@ fn read_view(config: &ServeConfig) -> Result<StoreView, PrudentiaError> {
     }
 }
 
-fn status_body(config: &ServeConfig, view: &StoreView) -> StatusBody {
+fn status_body(config: &ServeConfig, view: ViewRef<'_>) -> StatusBody {
     let plan_len = full_matrix(&config.services, &config.settings).len() as u64;
     let fresh = view.freshness_rows(config);
     let tested = fresh.iter().filter(|f| f.tested_this_cycle).count() as u64;
     let (checkpoint, live, next_seq, last_append, fleet) = match view {
-        StoreView::Single(snap) => (
+        ViewRef::Single(snap) => (
             latest_checkpoint(snap),
             snap.live_len() as u64,
             snap.next_seq(),
             snap.last_append_unix_ms(),
             None,
         ),
-        StoreView::Fleet(fv) => (
+        ViewRef::Fleet(fv) => (
             // The shard checkpoints share one key, so no single
             // checkpoint speaks for the fleet; the fleet block carries
             // them per shard instead.
@@ -214,7 +346,7 @@ fn status_body(config: &ServeConfig, view: &StoreView) -> StatusBody {
     }
 }
 
-fn heatmap_bodies(config: &ServeConfig, view: &StoreView) -> Vec<HeatmapBody> {
+fn heatmap_bodies(config: &ServeConfig, view: ViewRef<'_>) -> Vec<HeatmapBody> {
     let mut out = Vec::new();
     for stat in ALL_STATS {
         for (setting, heatmap) in heatmaps(view.latest(), &config.services, &config.settings, stat)
@@ -246,6 +378,69 @@ fn degraded_body(view: &FleetView) -> DegradedBody {
     }
 }
 
+/// Render every cacheable route from one consistent view. A degraded
+/// fleet renders the structured 503 on the data routes while `/status`
+/// and the store metrics stay readable — exactly the per-request
+/// semantics the serve path has always had, now computed once per
+/// store change instead of once per request.
+pub(crate) fn render_routes(config: &ServeConfig, view: ViewRef<'_>) -> RenderedRoutes {
+    let degraded = view.degraded();
+    let data = DATA_ROUTES
+        .iter()
+        .map(|&path| {
+            // Data routes refuse to render a silently incomplete merged
+            // view; /status (and /metrics) keep answering so the
+            // operator can see *which* shard is down.
+            if degraded && path != "/status" {
+                if let ViewRef::Fleet(fv) = view {
+                    return (
+                        path,
+                        RouteBody::new(UNAVAILABLE, JSON_CT, json(&degraded_body(fv))),
+                    );
+                }
+            }
+            let body = match path {
+                "/" => RouteBody::new(OK, HTML_CT, dashboard(config, view)),
+                "/status" => RouteBody::new(OK, JSON_CT, json(&status_body(config, view))),
+                "/heatmap" => RouteBody::new(OK, JSON_CT, json(&heatmap_bodies(config, view))),
+                "/heatmap.csv" => RouteBody::new(OK, CSV_CT, heatmap_csv(config, view)),
+                "/freshness" => RouteBody::new(OK, JSON_CT, json(&view.freshness_rows(config))),
+                other => unreachable!("unknown data route {other}"),
+            };
+            (path, body)
+        })
+        .collect();
+    RenderedRoutes {
+        data,
+        metrics: RouteBody::new(OK, JSON_CT, metrics_json(view)),
+        revision: 0,
+    }
+}
+
+/// Render the whole route set as the store-unavailable 503 — the shape
+/// every route (including `/metrics`) takes when the store directory
+/// itself cannot be read.
+pub(crate) fn render_unavailable(error: &PrudentiaError) -> RenderedRoutes {
+    let msg = serde_json::to_string(&format!("store unavailable: {error}"))
+        .unwrap_or_else(|_| "\"store unavailable\"".to_string());
+    let body = || RouteBody::new(UNAVAILABLE, JSON_CT, format!("{{\"error\":{msg}}}"));
+    RenderedRoutes {
+        data: DATA_ROUTES.iter().map(|&p| (p, body())).collect(),
+        metrics: body(),
+        revision: 0,
+    }
+}
+
+/// Read the store fresh and render every route — the `--no-cache`
+/// request path, and the byte-identity oracle the materialized view is
+/// tested against.
+pub(crate) fn render_fresh(config: &ServeConfig) -> RenderedRoutes {
+    match read_view(config) {
+        Ok(view) => render_routes(config, view.as_ref()),
+        Err(e) => render_unavailable(&e),
+    }
+}
+
 /// Serve the status endpoint until `shutdown` is requested (including
 /// via the `/shutdown` route). Binds immediately; returns the bound
 /// address through `on_bound` before entering the accept loop, so tests
@@ -255,130 +450,27 @@ pub fn serve_with(
     shutdown: &ShutdownFlag,
     on_bound: impl FnOnce(&str),
 ) -> Result<(), PrudentiaError> {
-    let listener = TcpListener::bind(&config.addr)
-        .map_err(|e| PrudentiaError::Serve(format!("bind {}: {e}", config.addr)))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| PrudentiaError::Serve(format!("set_nonblocking: {e}")))?;
-    let local = listener
-        .local_addr()
-        .map_err(|e| PrudentiaError::Serve(format!("local_addr: {e}")))?;
-    on_bound(&local.to_string());
-    loop {
-        if shutdown.is_requested() {
-            return Ok(());
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Errors on one connection must not take the server down.
-                if let Err(e) = handle(stream, config, shutdown) {
-                    eprintln!("warning: request failed: {e}");
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(e) => return Err(PrudentiaError::Serve(format!("accept: {e}"))),
-        }
-    }
+    http::serve_http(config, shutdown, on_bound)
 }
 
 /// [`serve_with`] printing the bound address to stderr.
 pub fn serve(config: &ServeConfig, shutdown: &ShutdownFlag) -> Result<(), PrudentiaError> {
     serve_with(config, shutdown, |addr| {
-        eprintln!("prudentia serving on http://{addr}/");
+        eprintln!(
+            "prudentia serving on http://{addr}/ ({} workers, cache {})",
+            config.workers.max(1),
+            if config.cache { "on" } else { "off" },
+        );
     })
-}
-
-fn handle(
-    mut stream: TcpStream,
-    config: &ServeConfig,
-    shutdown: &ShutdownFlag,
-) -> Result<(), PrudentiaError> {
-    stream
-        .set_read_timeout(Some(Duration::from_millis(500)))
-        .ok();
-    let mut buf = [0u8; 2048];
-    let n = stream
-        .read(&mut buf)
-        .map_err(|e| PrudentiaError::Serve(format!("read request: {e}")))?;
-    let request = String::from_utf8_lossy(&buf[..n]);
-    let path = request
-        .lines()
-        .next()
-        .and_then(|line| line.split_whitespace().nth(1))
-        .unwrap_or("/")
-        .to_string();
-
-    let (status, content_type, body) = route(&path, config, shutdown);
-    let response = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    );
-    stream
-        .write_all(response.as_bytes())
-        .map_err(|e| PrudentiaError::Serve(format!("write response: {e}")))?;
-    Ok(())
-}
-
-fn route(
-    path: &str,
-    config: &ServeConfig,
-    shutdown: &ShutdownFlag,
-) -> (&'static str, &'static str, String) {
-    const OK: &str = "200 OK";
-    const JSON: &str = "application/json";
-    match path {
-        "/shutdown" => {
-            shutdown.request();
-            (OK, JSON, "{\"shutting_down\":true}".to_string())
-        }
-        "/" | "/status" | "/heatmap" | "/heatmap.csv" | "/freshness" | "/metrics" => {
-            let view = match read_view(config) {
-                Ok(v) => v,
-                Err(e) => {
-                    let msg = serde_json::to_string(&format!("store unavailable: {e}"))
-                        .unwrap_or_else(|_| "\"store unavailable\"".to_string());
-                    return (
-                        "503 Service Unavailable",
-                        JSON,
-                        format!("{{\"error\":{msg}}}"),
-                    );
-                }
-            };
-            // Data routes refuse to render a silently incomplete merged
-            // view; /status and /metrics keep answering so the operator
-            // can see *which* shard is down.
-            if view.degraded() && !matches!(path, "/status" | "/metrics") {
-                if let StoreView::Fleet(fv) = &view {
-                    return ("503 Service Unavailable", JSON, json(&degraded_body(fv)));
-                }
-            }
-            match path {
-                "/" => (OK, "text/html; charset=utf-8", dashboard(config, &view)),
-                "/status" => (OK, JSON, json(&status_body(config, &view))),
-                "/heatmap" => (OK, JSON, json(&heatmap_bodies(config, &view))),
-                "/heatmap.csv" => (OK, "text/csv", heatmap_csv(config, &view)),
-                "/freshness" => (OK, JSON, json(&view.freshness_rows(config))),
-                "/metrics" => (OK, JSON, metrics_json(&view)),
-                _ => unreachable!("outer match covers these routes"),
-            }
-        }
-        _ => (
-            "404 Not Found",
-            JSON,
-            "{\"error\":\"unknown route\"}".to_string(),
-        ),
-    }
 }
 
 fn json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string(value).unwrap_or_else(|e| format!("{{\"error\":\"encode: {e}\"}}"))
 }
 
-fn metrics_json(view: &StoreView) -> String {
+fn metrics_json(view: ViewRef<'_>) -> String {
     match view {
-        StoreView::Single(snap) => format!(
+        ViewRef::Single(snap) => format!(
             "{{\"store/live_records\":{},\"store/next_seq\":{},\"store/segments\":{},\"store/last_append_unix_ms\":{}}}",
             snap.live_len(),
             snap.next_seq(),
@@ -387,7 +479,7 @@ fn metrics_json(view: &StoreView) -> String {
                 .map(|t| t.to_string())
                 .unwrap_or_else(|| "null".to_string()),
         ),
-        StoreView::Fleet(fv) => format!(
+        ViewRef::Fleet(fv) => format!(
             "{{\"store/live_records\":{},\"store/next_seq\":{},\"fleet/shards\":{},\"fleet/shards_readable\":{},\"fleet/merge_ms\":{:.3},\"store/last_append_unix_ms\":{}}}",
             fv.merged.live_len(),
             fv.merged.next_seq(),
@@ -402,7 +494,7 @@ fn metrics_json(view: &StoreView) -> String {
     }
 }
 
-fn heatmap_csv(config: &ServeConfig, view: &StoreView) -> String {
+fn heatmap_csv(config: &ServeConfig, view: ViewRef<'_>) -> String {
     let mut out = String::new();
     for (setting, heatmap) in heatmaps(
         view.latest(),
@@ -419,7 +511,7 @@ fn heatmap_csv(config: &ServeConfig, view: &StoreView) -> String {
     out
 }
 
-fn dashboard(config: &ServeConfig, view: &StoreView) -> String {
+fn dashboard(config: &ServeConfig, view: ViewRef<'_>) -> String {
     let status = status_body(config, view);
     let mut html = String::from(
         "<!doctype html><html><head><meta charset=\"utf-8\">\
@@ -519,15 +611,19 @@ pub fn write_report(config: &ServeConfig, out_dir: &Path) -> Result<Vec<String>,
         .map_err(|e| PrudentiaError::io(format!("create {}", out_dir.display()), e))?;
     let mut written = Vec::new();
 
-    let html = dashboard(config, &view);
+    let html = dashboard(config, view.as_ref());
     let index = out_dir.join("index.html");
     std::fs::write(&index, html)
         .map_err(|e| PrudentiaError::io(format!("write {}", index.display()), e))?;
     written.push("index.html".to_string());
 
     for stat in ALL_STATS {
-        for (setting, heatmap) in heatmaps(view.latest(), &config.services, &config.settings, stat)
-        {
+        for (setting, heatmap) in heatmaps(
+            view.as_ref().latest(),
+            &config.services,
+            &config.settings,
+            stat,
+        ) {
             let name = format!("heatmap-{}-{}.csv", slug(&setting), stat.slug());
             let path = out_dir.join(&name);
             std::fs::write(&path, heatmap.render_csv())
@@ -536,7 +632,7 @@ pub fn write_report(config: &ServeConfig, out_dir: &Path) -> Result<Vec<String>,
         }
     }
 
-    let status = status_body(config, &view);
+    let status = status_body(config, view.as_ref());
     let status_path = out_dir.join("status.json");
     std::fs::write(&status_path, json(&status))
         .map_err(|e| PrudentiaError::io(format!("write {}", status_path.display()), e))?;
@@ -561,18 +657,17 @@ fn slug(s: &str) -> String {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod testutil {
     use super::*;
     use crate::daemon::{Daemon, DaemonConfig};
+    use crate::fleet::{shard_dir, ShardSpec};
     use crate::scheduler::{DurationPolicy, TrialPolicy};
     use crate::watchdog::WatchdogConfig;
     use prudentia_apps::Service;
 
-    fn seeded_store(name: &str) -> (PathBuf, ServeConfig) {
-        let dir = std::env::temp_dir().join("prudentia_serve_unit").join(name);
-        std::fs::remove_dir_all(&dir).ok();
-        let watchdog = WatchdogConfig {
-            settings: vec![NetworkSetting::highly_constrained()],
+    fn quick_watchdog(settings: Vec<NetworkSetting>) -> WatchdogConfig {
+        WatchdogConfig {
+            settings,
             policy: TrialPolicy {
                 min_trials: 2,
                 batch: 1,
@@ -583,7 +678,14 @@ mod tests {
             change_threshold: 0.2,
             cache_path: None,
             metrics: None,
-        };
+        }
+    }
+
+    /// A single-store fixture seeded with one completed daemon cycle.
+    pub(crate) fn seeded_store(group: &str, name: &str) -> (PathBuf, ServeConfig) {
+        let dir = std::env::temp_dir().join(group).join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        let watchdog = quick_watchdog(vec![NetworkSetting::highly_constrained()]);
         let services = vec![Service::IperfReno.spec()];
         let mut daemon = Daemon::open(
             services.clone(),
@@ -597,83 +699,15 @@ mod tests {
         )
         .expect("daemon opens");
         daemon.run_cycle().expect("seed cycle");
-        let config = ServeConfig {
-            addr: "127.0.0.1:0".to_string(),
-            store_dir: dir.clone(),
-            services,
-            settings: watchdog.settings,
-        };
+        let config = ServeConfig::new("127.0.0.1:0", dir.clone(), services, watchdog.settings);
         (dir, config)
     }
 
-    #[test]
-    fn routes_render_from_a_seeded_store() {
-        let (dir, config) = seeded_store("routes");
-        let flag = ShutdownFlag::new();
-        let view = read_view(&config).expect("snapshot");
-
-        let status = status_body(&config, &view);
-        assert_eq!(status.pairs_total, 1);
-        assert_eq!(status.pairs_tested_this_cycle, 1);
-        assert!(status.checkpoint.as_ref().is_some_and(|c| c.completed));
-        assert!(status.fleet.is_none(), "plain store has no fleet block");
-
-        let (code, _, body) = route("/status", &config, &flag);
-        assert_eq!(code, "200 OK");
-        assert!(body.contains("\"pairs_total\":1"), "{body}");
-
-        let (_, _, body) = route("/heatmap", &config, &flag);
-        assert!(body.contains("median MmF share"), "{body}");
-
-        let (_, _, body) = route("/heatmap.csv", &config, &flag);
-        assert!(body.contains("contender\\incumbent"), "{body}");
-
-        let (_, _, body) = route("/freshness", &config, &flag);
-        assert!(body.contains("\"tested_this_cycle\":true"), "{body}");
-
-        let (_, _, body) = route("/", &config, &flag);
-        assert!(body.contains("<table>"), "{body}");
-
-        let (code, _, _) = route("/nope", &config, &flag);
-        assert_eq!(code, "404 Not Found");
-
-        assert!(!flag.is_requested());
-        let (_, _, body) = route("/shutdown", &config, &flag);
-        assert!(body.contains("shutting_down"));
-        assert!(flag.is_requested());
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn missing_store_is_a_503_not_a_crash() {
-        let config = ServeConfig {
-            addr: "127.0.0.1:0".to_string(),
-            store_dir: PathBuf::from("/nonexistent/prudentia/store"),
-            services: vec![Service::IperfReno.spec()],
-            settings: vec![NetworkSetting::highly_constrained()],
-        };
-        let (code, _, body) = route("/status", &config, &ShutdownFlag::new());
-        assert_eq!(code, "503 Service Unavailable");
-        assert!(body.contains("error"), "{body}");
-    }
-
-    fn seeded_fleet(name: &str) -> (PathBuf, ServeConfig) {
-        use crate::fleet::{shard_dir, ShardSpec};
-        let root = std::env::temp_dir().join("prudentia_serve_unit").join(name);
+    /// A 2-shard fleet fixture with both shard cycles completed.
+    pub(crate) fn seeded_fleet(group: &str, name: &str) -> (PathBuf, ServeConfig) {
+        let root = std::env::temp_dir().join(group).join(name);
         std::fs::remove_dir_all(&root).ok();
-        let watchdog = WatchdogConfig {
-            settings: vec![NetworkSetting::highly_constrained()],
-            policy: TrialPolicy {
-                min_trials: 2,
-                batch: 1,
-                max_trials: 2,
-            },
-            duration: DurationPolicy::Quick,
-            parallelism: 4,
-            change_threshold: 0.2,
-            cache_path: None,
-            metrics: None,
-        };
+        let watchdog = quick_watchdog(vec![NetworkSetting::highly_constrained()]);
         let services = vec![Service::IperfReno.spec(), Service::IperfCubic.spec()];
         FleetManifest::new(2).save(&root).expect("manifest saved");
         for i in 0..2 {
@@ -691,57 +725,114 @@ mod tests {
             .expect("shard daemon opens");
             daemon.run_cycle().expect("shard cycle");
         }
-        let config = ServeConfig {
-            addr: "127.0.0.1:0".to_string(),
-            store_dir: root.clone(),
-            services,
-            settings: watchdog.settings,
-        };
+        let config = ServeConfig::new("127.0.0.1:0", root.clone(), services, watchdog.settings);
         (root, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{seeded_fleet, seeded_store};
+    use super::*;
+
+    /// Body of a rendered route as UTF-8 (all our payloads are text).
+    fn body_str<'a>(r: &'a RenderedRoutes, path: &str) -> &'a str {
+        std::str::from_utf8(&r.get(path).expect("known route").body).unwrap()
+    }
+
+    #[test]
+    fn routes_render_from_a_seeded_store() {
+        let (dir, config) = seeded_store("prudentia_serve_unit", "routes");
+        let view = read_view(&config).expect("snapshot");
+
+        let status = status_body(&config, view.as_ref());
+        assert_eq!(status.pairs_total, 1);
+        assert_eq!(status.pairs_tested_this_cycle, 1);
+        assert!(status.checkpoint.as_ref().is_some_and(|c| c.completed));
+        assert!(status.fleet.is_none(), "plain store has no fleet block");
+
+        let rendered = render_fresh(&config);
+        assert_eq!(rendered.get("/status").unwrap().status, OK);
+        assert!(body_str(&rendered, "/status").contains("\"pairs_total\":1"));
+        assert!(body_str(&rendered, "/heatmap").contains("median MmF share"));
+        assert!(body_str(&rendered, "/heatmap.csv").contains("contender\\incumbent"));
+        assert!(body_str(&rendered, "/freshness").contains("\"tested_this_cycle\":true"));
+        assert!(body_str(&rendered, "/").contains("<table>"));
+        assert!(rendered.get("/nope").is_none(), "unknown route is a 404");
+
+        // Every data route carries a strong ETag over its body bytes,
+        // and re-rendering an unchanged store reproduces it exactly.
+        for (path, body) in &rendered.data {
+            assert!(
+                body.etag.starts_with('"') && body.etag.ends_with('"') && body.etag.len() == 18,
+                "{path}: etag {}",
+                body.etag
+            );
+        }
+        let again = render_fresh(&config);
+        assert_eq!(rendered.data, again.data, "rendering is deterministic");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_store_is_a_503_not_a_crash() {
+        let config = ServeConfig::new(
+            "127.0.0.1:0",
+            "/nonexistent/prudentia/store",
+            vec![prudentia_apps::Service::IperfReno.spec()],
+            vec![NetworkSetting::highly_constrained()],
+        );
+        let rendered = render_fresh(&config);
+        for (path, body) in &rendered.data {
+            assert_eq!(body.status, UNAVAILABLE, "{path}");
+            assert!(
+                String::from_utf8_lossy(&body.body).contains("error"),
+                "{path}"
+            );
+        }
+        assert_eq!(rendered.metrics.status, UNAVAILABLE);
     }
 
     #[test]
     fn fleet_root_serves_the_merged_view() {
-        let (root, config) = seeded_fleet("fleet_routes");
-        let flag = ShutdownFlag::new();
+        let (root, config) = seeded_fleet("prudentia_serve_unit", "fleet_routes");
         let view = read_view(&config).expect("fleet view");
         assert!(matches!(view, StoreView::Fleet(_)));
 
-        let status = status_body(&config, &view);
+        let status = status_body(&config, view.as_ref());
         assert_eq!(status.pairs_total, 4);
         assert_eq!(status.pairs_tested_this_cycle, 4, "both shards complete");
         let fleet = status.fleet.expect("fleet block present");
         assert_eq!((fleet.shards, fleet.shards_readable), (2, 2));
         assert!(!fleet.degraded);
 
-        let (code, _, body) = route("/heatmap.csv", &config, &flag);
-        assert_eq!(code, "200 OK");
-        assert!(body.contains("contender\\incumbent"), "{body}");
-        let (code, _, body) = route("/freshness", &config, &flag);
-        assert_eq!(code, "200 OK");
-        assert!(!body.contains("\"tested_this_cycle\":false"), "{body}");
+        let rendered = render_fresh(&config);
+        assert_eq!(rendered.get("/heatmap.csv").unwrap().status, OK);
+        assert!(body_str(&rendered, "/heatmap.csv").contains("contender\\incumbent"));
+        assert_eq!(rendered.get("/freshness").unwrap().status, OK);
+        assert!(!body_str(&rendered, "/freshness").contains("\"tested_this_cycle\":false"));
         std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn degraded_fleet_answers_structured_503_but_status_stays_up() {
         use crate::fleet::shard_dir;
-        let (root, config) = seeded_fleet("fleet_degraded");
+        let (root, config) = seeded_fleet("prudentia_serve_unit", "fleet_degraded");
         std::fs::remove_dir_all(shard_dir(&root, 1)).expect("break shard 1");
-        let flag = ShutdownFlag::new();
 
+        let rendered = render_fresh(&config);
         for path in ["/", "/heatmap", "/heatmap.csv", "/freshness"] {
-            let (code, _, body) = route(path, &config, &flag);
-            assert_eq!(code, "503 Service Unavailable", "{path}");
-            assert!(body.contains("\"shards_total\":2"), "{path}: {body}");
-            assert!(body.contains("\"shards_readable\":1"), "{path}: {body}");
-            assert!(body.contains("\"shard\":1"), "names the bad shard: {body}");
+            let body = rendered.get(path).unwrap();
+            assert_eq!(body.status, UNAVAILABLE, "{path}");
+            let text = String::from_utf8_lossy(&body.body);
+            assert!(text.contains("\"shards_total\":2"), "{path}: {text}");
+            assert!(text.contains("\"shards_readable\":1"), "{path}: {text}");
+            assert!(text.contains("\"shard\":1"), "names the bad shard: {text}");
         }
-        let (code, _, body) = route("/status", &config, &flag);
-        assert_eq!(code, "200 OK", "status survives a dead shard");
-        assert!(body.contains("\"degraded\":true"), "{body}");
-        let (code, _, _) = route("/metrics", &config, &flag);
-        assert_eq!(code, "200 OK");
+        let status = rendered.get("/status").unwrap();
+        assert_eq!(status.status, OK, "status survives a dead shard");
+        assert!(String::from_utf8_lossy(&status.body).contains("\"degraded\":true"));
+        assert_eq!(rendered.metrics.status, OK, "metrics survive a dead shard");
 
         // The report path refuses to write a silently incomplete view.
         let out = root.join("report_out");
@@ -753,7 +844,7 @@ mod tests {
 
     #[test]
     fn report_writes_html_and_csv() {
-        let (dir, config) = seeded_store("report");
+        let (dir, config) = seeded_store("prudentia_serve_unit", "report");
         let out = std::env::temp_dir()
             .join("prudentia_serve_unit")
             .join("report_out");
@@ -771,42 +862,5 @@ mod tests {
         assert!(csv.starts_with("contender\\incumbent"));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&out).ok();
-    }
-
-    #[test]
-    fn server_answers_over_a_real_socket_and_shuts_down() {
-        let (dir, config) = seeded_store("socket");
-        let flag = ShutdownFlag::new();
-        let (tx, rx) = std::sync::mpsc::channel::<String>();
-        let thread_config = config.clone();
-        let thread_flag = flag.clone();
-        let handle = std::thread::spawn(move || {
-            serve_with(&thread_config, &thread_flag, |addr| {
-                tx.send(addr.to_string()).ok();
-            })
-        });
-        let addr = rx
-            .recv_timeout(Duration::from_secs(10))
-            .expect("server bound");
-
-        let fetch = |path: &str| {
-            let mut stream = TcpStream::connect(&addr).expect("connect");
-            stream
-                .write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
-                .expect("send");
-            let mut body = String::new();
-            stream.read_to_string(&mut body).expect("recv");
-            body
-        };
-        let status = fetch("/status");
-        assert!(status.starts_with("HTTP/1.0 200 OK"), "{status}");
-        assert!(status.contains("\"service\":\"prudentia\""), "{status}");
-        let gone = fetch("/shutdown");
-        assert!(gone.contains("shutting_down"), "{gone}");
-        handle
-            .join()
-            .expect("server thread joins")
-            .expect("clean shutdown");
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,382 @@
+//! The serve path's materialized view: every data route pre-rendered,
+//! revalidated by store watermark probes instead of per-request reads.
+//!
+//! [`MaterializedView`] owns one [`IncrementalSnapshot`] per store (one
+//! for a plain store, one per shard for a fleet root) and the latest
+//! [`RenderedRoutes`] built from them. [`MaterializedView::refresh`]
+//! probes each store's watermark; only when something actually moved —
+//! an append, a rotation, a compaction, a shard dying or coming back,
+//! `fleet.json` appearing or changing — does it re-render and publish a
+//! new revision. An idle store costs a few `stat` calls per refresh
+//! period and zero rendering.
+//!
+//! The cached rendering is required to be *byte-identical* to what
+//! [`render_fresh`](super::render_fresh) (the `--no-cache` path) would
+//! produce from the same on-disk state, including the structured 503s
+//! for a degraded fleet and an unreadable store. The unit tests below
+//! pin that equivalence for every data route; `/metrics` is exempt only
+//! in its timing field (`fleet/merge_ms`) and serve-counter tail.
+
+use super::{render_routes, render_unavailable, RenderedRoutes, ServeConfig, ViewRef};
+use crate::error::PrudentiaError;
+use crate::fleet::{shard_dir, FleetManifest, FleetView};
+use prudentia_store::{IncrementalSnapshot, Snapshot};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One shard of a fleet source: either a live incremental view or the
+/// error string that made the shard unreadable (retried every refresh).
+struct ShardSlot {
+    dir: PathBuf,
+    state: Result<IncrementalSnapshot, String>,
+}
+
+impl ShardSlot {
+    fn open(dir: PathBuf) -> ShardSlot {
+        let state = IncrementalSnapshot::open(&dir).map_err(|e| e.to_string());
+        ShardSlot { dir, state }
+    }
+
+    /// Revalidate; returns whether the shard's contribution changed.
+    /// An unreadable shard retries a full open (shards come back); a
+    /// refresh error falls back to reopening before degrading, so a
+    /// compaction racing the probe does not publish a spurious 503.
+    fn refresh(&mut self) -> bool {
+        match &mut self.state {
+            Ok(inc) => match inc.refresh() {
+                Ok(changed) => changed,
+                Err(_) => {
+                    self.state = IncrementalSnapshot::open(&self.dir).map_err(|e| e.to_string());
+                    true
+                }
+            },
+            Err(prev) => match IncrementalSnapshot::open(&self.dir) {
+                Ok(inc) => {
+                    self.state = Ok(inc);
+                    true
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    let changed = *prev != msg;
+                    self.state = Err(msg);
+                    changed
+                }
+            },
+        }
+    }
+
+    fn as_result(&self) -> Result<&Snapshot, String> {
+        match &self.state {
+            Ok(inc) => Ok(inc.snapshot()),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+/// What the store directory currently resolves to.
+enum Source {
+    /// The store (or fleet root) could not be opened; the pre-rendered
+    /// 503 route set. Reopening is retried every refresh.
+    Unavailable(RenderedRoutes),
+    /// A plain single store.
+    Single(IncrementalSnapshot),
+    /// A fleet root: manifest plus one slot per shard.
+    Fleet {
+        manifest: FleetManifest,
+        shards: Vec<ShardSlot>,
+    },
+}
+
+/// Counters describing the view's lifetime work, spliced into the
+/// `/metrics` tail by the HTTP layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ViewStats {
+    /// Revision of the currently published rendering.
+    pub revision: u64,
+    /// [`MaterializedView::refresh`] calls (watermark probe rounds).
+    pub refreshes: u64,
+    /// Refreshes that actually re-rendered and published.
+    pub rebuilds: u64,
+}
+
+/// The incrementally maintained route cache. Single-owner (the
+/// refresher thread); readers get the current rendering as a cheap
+/// [`Arc`] clone from [`MaterializedView::published`].
+pub(crate) struct MaterializedView {
+    config: ServeConfig,
+    source: Source,
+    published: Arc<RenderedRoutes>,
+    stats: ViewStats,
+}
+
+impl MaterializedView {
+    /// Open the store (or fleet root) and render the initial revision.
+    /// Never fails: an unreadable store publishes the same structured
+    /// 503s the fresh path would serve, and keeps retrying.
+    pub(crate) fn new(config: &ServeConfig) -> MaterializedView {
+        let source = open_source(config);
+        let mut view = MaterializedView {
+            config: config.clone(),
+            source,
+            published: Arc::new(RenderedRoutes {
+                data: Vec::new(),
+                metrics: super::RouteBody::new(super::OK, super::JSON_CT, "{}".to_string()),
+                revision: 0,
+            }),
+            stats: ViewStats::default(),
+        };
+        view.publish();
+        view
+    }
+
+    /// The currently published rendering.
+    pub(crate) fn published(&self) -> Arc<RenderedRoutes> {
+        Arc::clone(&self.published)
+    }
+
+    /// Lifetime counters.
+    pub(crate) fn stats(&self) -> ViewStats {
+        self.stats
+    }
+
+    /// Probe every underlying store watermark and republish if anything
+    /// moved. Returns whether a new revision was published.
+    pub(crate) fn refresh(&mut self) -> bool {
+        self.stats.refreshes += 1;
+        let manifest_now = FleetManifest::load(&self.config.store_dir);
+        let dirty = match (&mut self.source, manifest_now) {
+            // Steady state: same shape, revalidate in place.
+            (Source::Single(inc), Ok(None)) => match inc.refresh() {
+                Ok(changed) => changed,
+                Err(_) => {
+                    // Mirror the fresh path: a store that stops reading
+                    // serves the unavailable 503, not a stale view.
+                    self.source = open_source(&self.config);
+                    true
+                }
+            },
+            (
+                Source::Fleet {
+                    manifest: current,
+                    shards,
+                },
+                Ok(Some(manifest)),
+            ) if *current == manifest => {
+                let mut changed = false;
+                for slot in shards.iter_mut() {
+                    changed |= slot.refresh();
+                }
+                changed
+            }
+            // Shape changed (fleet.json appeared, vanished, or was
+            // rewritten) or the source was unavailable: reopen.
+            _ => {
+                self.source = open_source(&self.config);
+                true
+            }
+        };
+        if !dirty {
+            return false;
+        }
+        self.publish()
+    }
+
+    /// Render from the current source and publish if the bytes moved.
+    fn publish(&mut self) -> bool {
+        let mut fresh = self.render();
+        if fresh.data == self.published.data && fresh.metrics == self.published.metrics {
+            return false;
+        }
+        self.stats.revision += 1;
+        self.stats.rebuilds += 1;
+        fresh.revision = self.stats.revision;
+        self.published = Arc::new(fresh);
+        true
+    }
+
+    fn render(&self) -> RenderedRoutes {
+        match &self.source {
+            Source::Unavailable(rendered) => rendered.clone(),
+            Source::Single(inc) => render_routes(&self.config, ViewRef::Single(inc.snapshot())),
+            Source::Fleet { manifest, shards } => {
+                let refs: Vec<Result<&Snapshot, String>> =
+                    shards.iter().map(|s| s.as_result()).collect();
+                let fleet = FleetView::from_snapshots(
+                    &self.config.store_dir,
+                    manifest,
+                    &self.config.services,
+                    &self.config.settings,
+                    None,
+                    &refs,
+                );
+                render_routes(&self.config, ViewRef::Fleet(&fleet))
+            }
+        }
+    }
+}
+
+/// Resolve the store directory, exactly like the fresh path's
+/// `read_view`: fleet root when `fleet.json` is present, else a single
+/// store; any root-level failure becomes the pre-rendered 503 set.
+fn open_source(config: &ServeConfig) -> Source {
+    match FleetManifest::load(&config.store_dir) {
+        Err(e) => Source::Unavailable(render_unavailable(&e)),
+        Ok(Some(manifest)) => {
+            let shards = (0..manifest.shards)
+                .map(|i| ShardSlot::open(shard_dir(&config.store_dir, i)))
+                .collect();
+            Source::Fleet { manifest, shards }
+        }
+        Ok(None) => match IncrementalSnapshot::open(&config.store_dir) {
+            Ok(inc) => Source::Single(inc),
+            Err(e) => Source::Unavailable(render_unavailable(&PrudentiaError::from(e))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{seeded_fleet, seeded_store};
+    use super::super::{render_fresh, ServeConfig};
+    use super::*;
+    use crate::config::NetworkSetting;
+    use prudentia_store::Store;
+
+    /// The byte-identity invariant: every cached data route equals the
+    /// fresh per-request rendering, status line, content type, body,
+    /// and ETag alike.
+    fn assert_matches_fresh(view: &MaterializedView) {
+        let cached = view.published();
+        let fresh = render_fresh(&view.config);
+        assert_eq!(
+            cached.data, fresh.data,
+            "cached data routes must be byte-identical to the fresh path"
+        );
+    }
+
+    #[test]
+    fn unchanged_store_republishes_nothing() {
+        let (dir, config) = seeded_store("prudentia_view_unit", "steady");
+        let mut view = MaterializedView::new(&config);
+        assert_matches_fresh(&view);
+        let before = view.published();
+        assert_eq!(before.revision, 1, "initial publish is revision 1");
+
+        for _ in 0..3 {
+            assert!(!view.refresh(), "idle store must not republish");
+        }
+        assert!(
+            Arc::ptr_eq(&before, &view.published()),
+            "same Arc while the watermark is unmoved"
+        );
+        assert_eq!(view.stats().rebuilds, 1);
+        assert_eq!(view.stats().refreshes, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appends_invalidate_the_watermark_and_republish() {
+        let (dir, config) = seeded_store("prudentia_view_unit", "append");
+        let mut view = MaterializedView::new(&config);
+        let before = view.published();
+
+        // A writer appends behind the view's back (any kind moves the
+        // watermark; /status next_seq and live_records change).
+        let mut store = Store::open(&dir).expect("reopen store");
+        store
+            .append("note", 42, 1, "{\"n\":1}".to_string())
+            .expect("append");
+
+        assert!(view.refresh(), "moved watermark republishes");
+        let after = view.published();
+        assert!(after.revision > before.revision);
+        assert_ne!(
+            before.get("/status").unwrap().body,
+            after.get("/status").unwrap().body,
+            "status reflects the new sequence watermark"
+        );
+        assert_matches_fresh(&view);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_cached_view_matches_fresh_and_degrades_on_shard_loss() {
+        let (root, config) = seeded_fleet("prudentia_view_unit", "fleet");
+        let mut view = MaterializedView::new(&config);
+        assert_matches_fresh(&view);
+        assert!(!view.refresh(), "idle fleet must not republish");
+
+        // Kill shard 1: the cached view must publish the exact same
+        // structured 503s the fresh path produces.
+        std::fs::remove_dir_all(crate::fleet::shard_dir(&root, 1)).expect("break shard 1");
+        assert!(view.refresh(), "shard loss republishes");
+        let degraded = view.published();
+        assert_eq!(
+            degraded.get("/heatmap.csv").unwrap().status,
+            super::super::UNAVAILABLE
+        );
+        assert_eq!(
+            degraded.get("/status").unwrap().status,
+            super::super::OK,
+            "status stays up on a degraded fleet"
+        );
+        assert_matches_fresh(&view);
+        assert!(!view.refresh(), "stable degraded state must not churn");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn unreadable_store_serves_the_fresh_503_and_recovers() {
+        let missing = std::env::temp_dir()
+            .join("prudentia_view_unit")
+            .join("recovers");
+        std::fs::remove_dir_all(&missing).ok();
+        let config = ServeConfig::new(
+            "127.0.0.1:0",
+            missing.clone(),
+            vec![prudentia_apps::Service::IperfReno.spec()],
+            vec![NetworkSetting::highly_constrained()],
+        );
+        let mut view = MaterializedView::new(&config);
+        assert_matches_fresh(&view);
+        assert!(
+            !view.refresh(),
+            "still-unreadable store republishes nothing"
+        );
+
+        // The store appears; the next refresh must pick it up.
+        let mut store = Store::open(&missing).expect("create store");
+        store
+            .append("note", 1, 1, "{}".to_string())
+            .expect("append");
+        assert!(view.refresh(), "store appearing republishes");
+        assert_eq!(
+            view.published().get("/status").unwrap().status,
+            super::super::OK
+        );
+        assert_matches_fresh(&view);
+        std::fs::remove_dir_all(&missing).ok();
+    }
+
+    #[test]
+    fn fleet_manifest_appearing_reshapes_the_source() {
+        let (dir, config) = seeded_store("prudentia_view_unit", "reshape");
+        let mut view = MaterializedView::new(&config);
+        assert_eq!(
+            view.published().get("/status").unwrap().status,
+            super::super::OK
+        );
+
+        // fleet.json lands in the store dir: it is now a (broken) fleet
+        // root with no shard directories — the fresh path would serve
+        // the degraded 503, and so must the cache.
+        FleetManifest::new(2).save(&dir).expect("manifest saved");
+        assert!(view.refresh(), "shape change republishes");
+        assert_matches_fresh(&view);
+        assert_eq!(
+            view.published().get("/heatmap.csv").unwrap().status,
+            super::super::UNAVAILABLE
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

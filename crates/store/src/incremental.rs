@@ -1,0 +1,319 @@
+//! An incrementally-maintained [`Snapshot`]: the serve path's answer to
+//! "re-read every JSONL segment per request".
+//!
+//! [`Snapshot::read`] parses the whole store on every call — fine for a
+//! dashboard refresh, ruinous at six figures of requests per second.
+//! [`IncrementalSnapshot`] keeps the parsed store in memory and
+//! revalidates it with a cheap *watermark probe*: the advisory
+//! `index.json` contents plus each segment's `(id, byte length)`.
+//! Appends only ever grow the active segment, rotation adds a new
+//! segment id, and compaction replaces the id set — every mutation the
+//! writer can make moves the watermark, so an unchanged watermark means
+//! the cached view is still byte-exact.
+//!
+//! When the watermark moves, only segments whose `(id, length)` changed
+//! are re-parsed (sealed segments are immutable, so in steady state that
+//! is just the active tail); the latest-per-key map is then rebuilt from
+//! the cached per-segment record lists in segment order, which replays
+//! exactly the scan order of [`Snapshot::read`]. The equivalence —
+//! `refresh()` then [`IncrementalSnapshot::snapshot`] is
+//! indistinguishable from a fresh [`Snapshot::read`] — is pinned by the
+//! tests below and by the serve-layer byte-identity suite.
+
+use crate::record::Record;
+use crate::store::{list_segments, scan_records, segment_path, Snapshot};
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One parsed segment, reusable while its `(id, len)` is unchanged.
+#[derive(Debug)]
+struct CachedSegment {
+    /// Byte length the parse corresponds to.
+    len: u64,
+    /// Records in scan (line) order.
+    records: Vec<Record>,
+    /// Whether a torn tail line was skipped during the parse. A skip is
+    /// only legal for the *active* segment, so a cached parse with a
+    /// skipped tail cannot be reused once the segment is sealed.
+    tail_skipped: bool,
+}
+
+/// The watermark: everything a writer mutation must move.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Watermark {
+    /// Contents of `index.json` (absent file → `None`). Rewritten on
+    /// rotation, compaction, and sync.
+    index: Option<String>,
+    /// `(segment id, byte length)` in ascending id order.
+    segments: Vec<(u64, u64)>,
+}
+
+fn probe(dir: &Path) -> Result<Watermark, StoreError> {
+    let index = match std::fs::read_to_string(dir.join("index.json")) {
+        Ok(s) => Some(s),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(StoreError::io("probe index.json", e)),
+    };
+    let mut segments = Vec::new();
+    for id in list_segments(dir)? {
+        let path = segment_path(dir, id);
+        let len = std::fs::metadata(&path)
+            .map_err(|e| StoreError::io(format!("probe {}", path.display()), e))?
+            .len();
+        segments.push((id, len));
+    }
+    Ok(Watermark { index, segments })
+}
+
+/// Counters describing how much work refreshes have actually done —
+/// exported on the serve `/metrics` route so an operator can verify the
+/// cache is doing its job (probes ≫ rebuilds ≫ reparses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalStats {
+    /// Watermark probes performed (one per [`IncrementalSnapshot::refresh`]).
+    pub probes: u64,
+    /// Probes that found a moved watermark and rebuilt the view.
+    pub rebuilds: u64,
+    /// Segment files re-parsed across all rebuilds.
+    pub segments_reparsed: u64,
+    /// Segment parses served from the cache across all rebuilds.
+    pub segments_reused: u64,
+}
+
+/// A [`Snapshot`] kept current by cheap watermark probes and
+/// per-segment re-parsing. See the module docs.
+#[derive(Debug)]
+pub struct IncrementalSnapshot {
+    dir: PathBuf,
+    watermark: Watermark,
+    cache: BTreeMap<u64, CachedSegment>,
+    snapshot: Snapshot,
+    stats: IncrementalStats,
+}
+
+impl IncrementalSnapshot {
+    /// Open an incremental view of `dir` and load the initial snapshot.
+    /// Fails exactly where [`Snapshot::read`] fails (missing directory,
+    /// format mismatch, mid-segment corruption).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let mut inc = IncrementalSnapshot {
+            dir,
+            watermark: Watermark::default(),
+            cache: BTreeMap::new(),
+            snapshot: Snapshot::from_parts(BTreeMap::new(), 0, 0),
+            stats: IncrementalStats::default(),
+        };
+        inc.rebuild()?;
+        Ok(inc)
+    }
+
+    /// The store directory this view tracks.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Revalidate against the on-disk watermark. Returns `true` when
+    /// the store changed and the snapshot was rebuilt, `false` when the
+    /// cached snapshot is still current. On error the previous snapshot
+    /// is kept (the caller decides whether stale-but-consistent beats
+    /// failing; the serve layer surfaces the error instead).
+    pub fn refresh(&mut self) -> Result<bool, StoreError> {
+        self.stats.probes += 1;
+        if probe(&self.dir)? == self.watermark {
+            return Ok(false);
+        }
+        self.rebuild()?;
+        Ok(true)
+    }
+
+    /// Re-parse changed segments and rebuild the latest-per-key map.
+    fn rebuild(&mut self) -> Result<(), StoreError> {
+        let mark = probe(&self.dir)?;
+        self.stats.rebuilds += 1;
+        let last_id = mark.segments.last().map(|&(id, _)| id);
+        let mut fresh: BTreeMap<u64, CachedSegment> = BTreeMap::new();
+        for &(id, len) in &mark.segments {
+            let is_last = Some(id) == last_id;
+            let reusable = self.cache.remove(&id).filter(|c| {
+                // A parse that skipped a torn tail is only valid while
+                // the segment is still the active one: a sealed segment
+                // with a torn line is corruption and must re-fail.
+                c.len == len && (!c.tail_skipped || is_last)
+            });
+            let seg = match reusable {
+                Some(c) => {
+                    self.stats.segments_reused += 1;
+                    c
+                }
+                None => {
+                    self.stats.segments_reparsed += 1;
+                    let (records, tail_skipped) =
+                        scan_records(&segment_path(&self.dir, id), is_last)?;
+                    CachedSegment {
+                        len,
+                        records,
+                        tail_skipped,
+                    }
+                }
+            };
+            fresh.insert(id, seg);
+        }
+
+        // Replay the cached segments in id order — exactly the scan
+        // order of `Snapshot::read`, so latest-wins resolves the same.
+        let index_floor = crate::store::read_index(&self.dir)?.0;
+        let mut latest: BTreeMap<(String, u64), Record> = BTreeMap::new();
+        let mut next_seq = index_floor;
+        for seg in fresh.values() {
+            for rec in &seg.records {
+                next_seq = next_seq.max(rec.seq + 1);
+                latest.insert((rec.kind.clone(), rec.key), rec.clone());
+            }
+        }
+        self.snapshot = Snapshot::from_parts(latest, next_seq, mark.segments.len() as u64);
+        self.cache = fresh;
+        self.watermark = mark;
+        Ok(())
+    }
+
+    /// The current cached snapshot (call [`IncrementalSnapshot::refresh`]
+    /// first to revalidate).
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Work counters for this view's lifetime.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::kinds;
+    use crate::Store;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("prudentia_incr_unit").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Canonical rendering for equality with a fresh snapshot.
+    fn render(s: &Snapshot) -> String {
+        let rows: Vec<String> = s
+            .records()
+            .map(|r| format!("{}/{}:{}@{}", r.kind, r.key, r.payload, r.seq))
+            .collect();
+        format!(
+            "next_seq={} segs={}\n{}",
+            s.next_seq(),
+            s.segments(),
+            rows.join("\n")
+        )
+    }
+
+    fn assert_matches_fresh(inc: &IncrementalSnapshot, dir: &Path) {
+        let fresh = Snapshot::read(dir).expect("fresh snapshot");
+        assert_eq!(render(inc.snapshot()), render(&fresh));
+    }
+
+    #[test]
+    fn tracks_appends_rotation_and_compaction() {
+        let dir = tmp("track");
+        let mut s = Store::open(&dir).unwrap();
+        s.set_rotate_after(3);
+        let mut inc = IncrementalSnapshot::open(&dir).unwrap();
+        assert_matches_fresh(&inc, &dir);
+
+        // Unchanged store: the probe reports no change.
+        assert!(!inc.refresh().unwrap());
+
+        // Appends spanning a rotation.
+        for i in 0..8u64 {
+            s.append(kinds::PAIR, i % 4, 1, format!("{{\"i\":{i}}}"))
+                .unwrap();
+        }
+        assert!(inc.refresh().unwrap());
+        assert_matches_fresh(&inc, &dir);
+
+        // Compaction replaces the whole segment set.
+        s.compact().unwrap();
+        assert!(inc.refresh().unwrap());
+        assert_matches_fresh(&inc, &dir);
+        assert!(!inc.refresh().unwrap(), "stable after compaction");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealed_segments_are_not_reparsed() {
+        let dir = tmp("reuse");
+        let mut s = Store::open(&dir).unwrap();
+        s.set_rotate_after(2);
+        for i in 0..6u64 {
+            s.append(kinds::PAIR, i, 1, "{}".to_string()).unwrap();
+        }
+        let mut inc = IncrementalSnapshot::open(&dir).unwrap();
+        let parsed_initially = inc.stats().segments_reparsed;
+        // One more append touches only the active segment.
+        s.append(kinds::PAIR, 99, 1, "{}".to_string()).unwrap();
+        assert!(inc.refresh().unwrap());
+        assert_eq!(
+            inc.stats().segments_reparsed,
+            parsed_initially + 1,
+            "only the active tail re-parses"
+        );
+        assert!(inc.stats().segments_reused >= 2, "sealed segments reused");
+        assert_matches_fresh(&inc, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_like_a_snapshot() {
+        use std::io::Write as _;
+        let dir = tmp("torn");
+        let mut s = Store::open(&dir).unwrap();
+        s.append(kinds::PAIR, 1, 1, "{\"x\":1}".to_string())
+            .unwrap();
+        let mut inc = IncrementalSnapshot::open(&dir).unwrap();
+        // Another process tears the tail mid-append.
+        let seg = dir.join("seg-000000.jsonl");
+        let mut f = std::fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(b"{\"seq\":9,\"key\":3,\"ki").unwrap();
+        drop(f);
+        assert!(inc.refresh().unwrap(), "length change is seen");
+        assert_matches_fresh(&inc, &dir);
+        assert_eq!(inc.snapshot().live_len(), 1, "torn record invisible");
+        // The writer finishes the line; the cached torn parse must not
+        // mask the now-complete record.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(b"nd\":\"pair\",\"ts_unix_ms\":5,\"schema\":1,\"payload\":\"{}\"}\n")
+            .unwrap();
+        drop(f);
+        assert!(inc.refresh().unwrap());
+        assert_matches_fresh(&inc, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_store_fails_open_like_a_snapshot() {
+        let dir = tmp("missing"); // never created
+        assert!(IncrementalSnapshot::open(&dir).is_err());
+        assert!(Snapshot::read(&dir).is_err());
+    }
+
+    #[test]
+    fn refresh_error_keeps_the_previous_view() {
+        let dir = tmp("vanish");
+        let mut s = Store::open(&dir).unwrap();
+        s.append(kinds::PAIR, 1, 1, "{}".to_string()).unwrap();
+        drop(s);
+        let mut inc = IncrementalSnapshot::open(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(inc.refresh().is_err(), "vanished store surfaces");
+        assert_eq!(inc.snapshot().live_len(), 1, "last good view retained");
+    }
+}

@@ -32,11 +32,13 @@
 #![deny(missing_docs)]
 
 mod error;
+mod incremental;
 mod merge;
 mod record;
 mod store;
 
 pub use error::StoreError;
+pub use incremental::{IncrementalSnapshot, IncrementalStats};
 pub use merge::MergedSnapshot;
 pub use record::{kinds, Record, RecordKind};
 pub use store::{CompactionReport, Snapshot, Store, StoreStats, TailRecovery};

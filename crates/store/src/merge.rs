@@ -53,6 +53,19 @@ impl MergedSnapshot {
         }
     }
 
+    /// [`MergedSnapshot::absorb`] from a borrowed snapshot, cloning the
+    /// records. The incremental serve path merges cached per-shard
+    /// snapshots it must keep for the next refresh, so it cannot hand
+    /// them over by value. Semantics are identical to `absorb`
+    /// (latest seq wins, right-biased ties).
+    pub fn absorb_ref(&mut self, shard: &Snapshot) {
+        self.next_seq = self.next_seq.max(shard.next_seq());
+        self.shards += 1;
+        for (k, rec) in shard.latest_map() {
+            self.insert_latest(k.clone(), rec.clone());
+        }
+    }
+
     /// Absorb another merged view, with `other` winning seq ties — the
     /// same right bias as [`MergedSnapshot::absorb`], which is what
     /// makes the operation associative.

@@ -85,7 +85,7 @@ pub struct Store {
     bytes_written: u64,
 }
 
-fn segment_path(dir: &Path, id: u64) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("seg-{id:06}.jsonl"))
 }
 
@@ -459,11 +459,54 @@ impl Snapshot {
     pub(crate) fn into_latest(self) -> BTreeMap<(String, u64), Record> {
         self.latest
     }
+
+    /// The latest-per-key map by reference (cloned by
+    /// [`crate::MergedSnapshot::absorb_ref`], which merges cached shard
+    /// snapshots the serve path must not consume).
+    pub(crate) fn latest_map(&self) -> &BTreeMap<(String, u64), Record> {
+        &self.latest
+    }
+
+    /// Assemble a snapshot from already-parsed parts — the incremental
+    /// read path ([`crate::IncrementalSnapshot`]) rebuilds snapshots
+    /// from cached per-segment parses instead of re-reading disk.
+    pub(crate) fn from_parts(
+        latest: BTreeMap<(String, u64), Record>,
+        next_seq: u64,
+        segments: u64,
+    ) -> Self {
+        Snapshot {
+            latest,
+            next_seq,
+            segments,
+        }
+    }
+}
+
+/// Parse one segment into scan-order records without touching disk
+/// beyond the read: the [`TailAction::Skip`] semantics of
+/// [`Snapshot::read`], returning whether a torn tail line was skipped.
+/// Mid-segment corruption (or a torn line when `tail_ok` is false)
+/// fails exactly like the snapshot path.
+pub(crate) fn scan_records(path: &Path, tail_ok: bool) -> Result<(Vec<Record>, bool), StoreError> {
+    let mut latest = BTreeMap::new();
+    let mut records = Vec::new();
+    let mut next_seq = 0;
+    let skipped = scan_lines(
+        path,
+        tail_ok,
+        TailAction::Skip,
+        &mut latest,
+        &mut next_seq,
+        Some(&mut records),
+    )?
+    .is_some();
+    Ok((records, skipped))
 }
 
 /// Read and validate `index.json`; absent file means a fresh (or
 /// pre-index) directory. Returns `(next_seq_floor, compacted_away)`.
-fn read_index(dir: &Path) -> Result<(u64, u64), StoreError> {
+pub(crate) fn read_index(dir: &Path) -> Result<(u64, u64), StoreError> {
     let path = dir.join("index.json");
     let data = match std::fs::read_to_string(&path) {
         Ok(d) => d,
@@ -485,7 +528,7 @@ fn read_index(dir: &Path) -> Result<(u64, u64), StoreError> {
 }
 
 /// Segment ids present in a directory, ascending.
-fn list_segments(dir: &Path) -> Result<Vec<u64>, StoreError> {
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<u64>, StoreError> {
     let mut ids = Vec::new();
     let entries =
         std::fs::read_dir(dir).map_err(|e| StoreError::io(format!("list {}", dir.display()), e))?;
@@ -534,6 +577,20 @@ fn scan_segment_with(
     latest: &mut BTreeMap<(String, u64), Record>,
     next_seq: &mut u64,
 ) -> Result<Option<TailRecovery>, StoreError> {
+    scan_lines(path, tail_ok, tail_action, latest, next_seq, None)
+}
+
+/// The shared segment parse loop behind [`scan_segment_with`] and
+/// [`scan_records`]: fills the latest-per-key map, optionally records
+/// the scan order, and applies the torn-tail policy.
+fn scan_lines(
+    path: &Path,
+    tail_ok: bool,
+    tail_action: TailAction,
+    latest: &mut BTreeMap<(String, u64), Record>,
+    next_seq: &mut u64,
+    mut in_order: Option<&mut Vec<Record>>,
+) -> Result<Option<TailRecovery>, StoreError> {
     let data = std::fs::read_to_string(path)
         .map_err(|e| StoreError::io(format!("read {}", path.display()), e))?;
     let mut consumed = 0usize;
@@ -552,6 +609,9 @@ fn scan_segment_with(
         match serde_json::from_str::<Record>(body) {
             Ok(rec) if !torn => {
                 *next_seq = (*next_seq).max(rec.seq + 1);
+                if let Some(out) = in_order.as_deref_mut() {
+                    out.push(rec.clone());
+                }
                 latest.insert((rec.kind.clone(), rec.key), rec);
                 consumed += line.len();
             }

@@ -248,7 +248,7 @@ fn serve_answers_status_and_shuts_down_gracefully() {
     };
 
     let status = fetch("/status");
-    assert!(status.starts_with("HTTP/1.0 200 OK"), "{status}");
+    assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
     assert!(status.contains("\"service\":\"prudentia\""), "{status}");
     assert!(status.contains("\"pairs_total\":1"), "{status}");
 

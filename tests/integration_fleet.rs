@@ -333,26 +333,35 @@ fn serve_answers_the_merged_fleet_view() {
     };
 
     let status = fetch("/status");
-    assert!(status.starts_with("HTTP/1.0 200 OK"), "{status}");
+    assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
     assert!(status.contains("\"shards\":2"), "{status}");
     assert!(status.contains("\"shards_readable\":2"), "{status}");
     assert!(status.contains("\"pairs_total\":4"), "{status}");
 
     let heatmap = fetch("/heatmap.csv");
-    assert!(heatmap.starts_with("HTTP/1.0 200 OK"), "{heatmap}");
+    assert!(heatmap.starts_with("HTTP/1.1 200 OK"), "{heatmap}");
     assert!(heatmap.contains("contender\\incumbent"), "{heatmap}");
 
     // Break one shard: data routes answer the structured 503, /status
-    // keeps serving the readable remainder.
+    // keeps serving the readable remainder. The materialized view
+    // notices on its next watermark probe, so poll briefly rather than
+    // demanding the very next response observe the loss.
     std::fs::remove_dir_all(root.join("shard-001")).expect("break shard 1");
-    let degraded = fetch("/heatmap.csv");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let degraded = loop {
+        let resp = fetch("/heatmap.csv");
+        if resp.starts_with("HTTP/1.1 503") || std::time::Instant::now() > deadline {
+            break resp;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
     assert!(
-        degraded.starts_with("HTTP/1.0 503 Service Unavailable"),
+        degraded.starts_with("HTTP/1.1 503 Service Unavailable"),
         "{degraded}"
     );
     assert!(degraded.contains("\"shards_readable\":1"), "{degraded}");
     let status = fetch("/status");
-    assert!(status.starts_with("HTTP/1.0 200 OK"), "{status}");
+    assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
     assert!(status.contains("\"degraded\":true"), "{status}");
 
     let bye = fetch("/shutdown");

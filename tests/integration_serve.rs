@@ -1,0 +1,319 @@
+//! Acceptance tests for the production serve path, driven through the
+//! real `prudentia` binary over real sockets:
+//!
+//! * keep-alive clients hammer `/heatmap.csv` while a daemon appends to
+//!   the same store — every response parses, and the served view
+//!   converges to the finished matrix;
+//! * a strong `ETag` round-trips into an empty `304 Not Modified`;
+//! * the materialized view serves byte-identical data routes to a
+//!   `--no-cache` server rendering a fresh snapshot per request.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MATRIX_ARGS: &[&str] = &[
+    "--services",
+    "iperf-reno,iperf-cubic",
+    "--trials",
+    "1",
+    "--setting",
+    "8",
+];
+
+fn prudentia(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prudentia"))
+        .args(args)
+        .output()
+        .expect("prudentia binary runs")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("prudentia_serve_integration")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Spawn `prudentia serve` on an ephemeral port and return the child
+/// plus the bound address announced on stderr. The stderr reader is
+/// returned too: dropping it would close the pipe and make the
+/// server's shutdown message a write error.
+fn spawn_serve(
+    store: &Path,
+    extra: &[&str],
+) -> (Child, String, BufReader<std::process::ChildStderr>) {
+    let mut args = vec![
+        "serve".to_string(),
+        "--store".to_string(),
+        store.to_str().unwrap().to_string(),
+        "--addr".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--services".to_string(),
+        "iperf-reno,iperf-cubic".to_string(),
+        "--setting".to_string(),
+        "8".to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_prudentia"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut reader = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("serve announces");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or_else(|| panic!("no address in: {line}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+/// One parsed HTTP response.
+struct Response {
+    status: u16,
+    head: String,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<String> {
+        self.head.lines().find_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            n.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+        })
+    }
+}
+
+/// A keep-alive client with a persistent parse buffer, so pipelined or
+/// buffered-ahead bytes of the next response are never discarded.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, path: &str, extra_headers: &str) -> Response {
+        self.stream
+            .write_all(
+                format!("GET {path} HTTP/1.1\r\nHost: watchdog\r\n{extra_headers}\r\n").as_bytes(),
+            )
+            .expect("request sent");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Response {
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk).expect("response read");
+            assert!(n > 0, "server closed mid-response");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        self.buf.drain(..head_end + 4);
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line: {head}"));
+        let len: usize = head
+            .lines()
+            .find_map(|l| {
+                let (n, v) = l.split_once(':')?;
+                n.eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        while self.buf.len() < len {
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk).expect("body read");
+            assert!(n > 0, "server closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body: Vec<u8> = self.buf.drain(..len).collect();
+        Response { status, head, body }
+    }
+}
+
+/// Fetch once on a throwaway connection.
+fn fetch(addr: &str, path: &str) -> Response {
+    Client::connect(addr).get(path, "")
+}
+
+fn shutdown(addr: &str, mut child: Child) {
+    let bye = fetch(addr, "/shutdown");
+    assert_eq!(bye.status, 200, "shutdown answers");
+    let code = child.wait().expect("serve exits");
+    assert!(code.success(), "serve must exit 0 after /shutdown");
+}
+
+#[test]
+fn concurrent_clients_converge_while_the_daemon_appends() {
+    let store = tmp_dir("concurrent_append");
+    // Seed one pair of the 2x2 matrix so the server starts with data,
+    // leaving the rest for the concurrent writer.
+    let mut seed_args = vec!["watch", "--store", store.to_str().unwrap()];
+    seed_args.extend_from_slice(MATRIX_ARGS);
+    seed_args.extend_from_slice(&["--max-pairs", "1"]);
+    let seed = prudentia(&seed_args);
+    assert!(
+        seed.status.success(),
+        "seed failed: {}",
+        String::from_utf8_lossy(&seed.stderr)
+    );
+
+    // Enough workers that three pinned keep-alive clients can never
+    // starve the throwaway status polls below.
+    let (child, addr, _stderr) = spawn_serve(&store, &["--workers", "6", "--refresh-ms", "5"]);
+
+    // The writer completes the matrix while clients hammer the CSV.
+    let mut writer_args = vec!["watch", "--store", store.to_str().unwrap()];
+    writer_args.extend_from_slice(MATRIX_ARGS);
+    let mut writer = Command::new(env!("CARGO_BIN_EXE_prudentia"))
+        .args(&writer_args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("writer spawns");
+
+    let done = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr);
+                let mut requests = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let resp = client.get("/heatmap.csv", "");
+                    assert_eq!(resp.status, 200, "mid-append response stays 200");
+                    let text = String::from_utf8(resp.body).expect("csv is utf-8");
+                    assert!(
+                        text.contains("contender\\incumbent"),
+                        "every response parses: {text}"
+                    );
+                    requests += 1;
+                }
+                requests
+            })
+        })
+        .collect();
+
+    let writer_status = writer.wait().expect("writer exits");
+    assert!(writer_status.success(), "writer cycle completes");
+    done.store(true, Ordering::Relaxed);
+    let total: u64 = clients.into_iter().map(|c| c.join().expect("client")).sum();
+    assert!(total > 0, "clients made progress during the append");
+
+    // The served view converges to the completed 2x2 matrix.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = fetch(&addr, "/status");
+        assert_eq!(status.status, 200);
+        let text = String::from_utf8_lossy(&status.body).into_owned();
+        if text.contains("\"pairs_total\":4") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "view never converged to 4 pairs: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    shutdown(&addr, child);
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn etag_round_trips_into_an_empty_304() {
+    let store = tmp_dir("etag_304");
+    let mut seed_args = vec!["watch", "--store", store.to_str().unwrap()];
+    seed_args.extend_from_slice(MATRIX_ARGS);
+    let seed = prudentia(&seed_args);
+    assert!(seed.status.success());
+
+    let (child, addr, _stderr) = spawn_serve(&store, &[]);
+    let mut client = Client::connect(&addr);
+
+    let first = client.get("/heatmap.csv", "");
+    assert_eq!(first.status, 200);
+    let etag = first.header("etag").expect("data routes carry an ETag");
+    assert!(
+        etag.starts_with('"') && etag.ends_with('"'),
+        "strong quoted ETag: {etag}"
+    );
+    assert_eq!(
+        first.header("cache-control").as_deref(),
+        Some("no-cache"),
+        "revalidation is opt-out"
+    );
+
+    // Same connection, conditional request: an empty 304 echoing the tag.
+    let not_modified = client.get("/heatmap.csv", &format!("If-None-Match: {etag}\r\n"));
+    assert_eq!(not_modified.status, 304, "{}", not_modified.head);
+    assert!(not_modified.body.is_empty(), "304 carries no body");
+    assert_eq!(not_modified.header("etag").as_deref(), Some(etag.as_str()));
+
+    // A stale validator gets the full body again.
+    let refetched = client.get("/heatmap.csv", "If-None-Match: \"0000000000000000\"\r\n");
+    assert_eq!(refetched.status, 200);
+    assert_eq!(refetched.body, first.body, "stable bytes, stable tag");
+
+    shutdown(&addr, child);
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn cached_and_no_cache_servers_answer_identical_bytes() {
+    let store = tmp_dir("cache_identity");
+    let mut seed_args = vec!["watch", "--store", store.to_str().unwrap()];
+    seed_args.extend_from_slice(MATRIX_ARGS);
+    let seed = prudentia(&seed_args);
+    assert!(seed.status.success());
+
+    let (cached_child, cached_addr, _cached_stderr) = spawn_serve(&store, &[]);
+    let (fresh_child, fresh_addr, _fresh_stderr) = spawn_serve(&store, &["--no-cache"]);
+
+    for path in ["/", "/status", "/heatmap", "/heatmap.csv", "/freshness"] {
+        let cached = fetch(&cached_addr, path);
+        let fresh = fetch(&fresh_addr, path);
+        assert_eq!(cached.status, 200, "{path}");
+        assert_eq!(fresh.status, 200, "{path}");
+        assert_eq!(
+            cached.body, fresh.body,
+            "{path}: cached bytes must match the fresh render"
+        );
+        assert_eq!(
+            cached.header("etag"),
+            fresh.header("etag"),
+            "{path}: identical bytes, identical validator"
+        );
+        assert_eq!(cached.header("content-type"), fresh.header("content-type"));
+    }
+
+    shutdown(&cached_addr, cached_child);
+    shutdown(&fresh_addr, fresh_child);
+    std::fs::remove_dir_all(&store).ok();
+}
