@@ -52,8 +52,16 @@ fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
 /// deterministic across runs, platforms, and Rust versions.
 pub fn trial_key(spec: &ExperimentSpec) -> u64 {
     let json = serde_json::to_string(spec).expect("ExperimentSpec serializes");
-    let h = fnv1a_update(FNV_OFFSET, &SPEC_SCHEMA_VERSION.to_le_bytes());
-    fnv1a_update(h, json.as_bytes())
+    versioned_fnv(SPEC_SCHEMA_VERSION, json.as_bytes())
+}
+
+/// FNV-1a of a little-endian schema version followed by `bytes` — the
+/// fingerprint primitive shared by [`trial_key`] and campaign cell
+/// fingerprints ([`crate::campaign`]), so every durable identity in the
+/// system invalidates the same way: bump the version, every key moves.
+pub fn versioned_fnv(version: u32, bytes: &[u8]) -> u64 {
+    let h = fnv1a_update(FNV_OFFSET, &version.to_le_bytes());
+    fnv1a_update(h, bytes)
 }
 
 /// One persisted cache entry.

@@ -1,0 +1,294 @@
+//! Campaign engine: beyond-pairwise scenario grids with adaptive trial
+//! budgets.
+//!
+//! The watchdog's unit of work is a (contender, incumbent) pair at a
+//! fixed preset. A *campaign* opens that scenario space: N-flow service
+//! mixes (2–4 foreground contenders plus optional background traffic)
+//! crossed with full parameter grids — bandwidth × RTT × buffer × qdisc
+//! × impairment — expanded into deterministic, FNV-fingerprinted
+//! [`CampaignCell`]s. The blow-up is made affordable by a
+//! TURBOTEST-style adaptive trial budget: a cell's trials stop as soon
+//! as the kept samples pin every foreground service's median MmF share
+//! inside one [`VerdictBand`] for every reachable continuation
+//! ([`prudentia_stats::verdict_locked`]), which provably cannot change
+//! the verdict — `tests/differential_campaign.rs` re-proves it
+//! end-to-end against exhaustive budgets.
+//!
+//! Campaign state lives in the same append-only store as the pairwise
+//! watchdog: one schema-versioned [`CellRecord`] per cell keyed by the
+//! cell fingerprint, plus a [`CampaignProgress`] marker, so interrupted
+//! runs resume by skipping recorded cells (`tests/integration_campaign.rs`).
+
+mod report;
+mod runner;
+mod spec;
+
+pub use report::{
+    campaign_cells_csv, campaign_grid_csv, campaign_marginals_csv, campaign_status_text,
+    campaign_summary, stored_outcomes, CampaignSummary,
+};
+pub use runner::{
+    execute_cell, redeal_order, run_campaign, CampaignRunConfig, CampaignRunReport, CellContext,
+};
+pub use spec::{
+    lookup_service, CampaignCell, CampaignSpec, MixSpec, CELL_SCHEMA_VERSION, IMPAIRMENT_AXIS,
+    QDISC_AXIS,
+};
+
+use prudentia_stats::band_index;
+use prudentia_store::fnv1a_key;
+use serde::{Deserialize, Serialize};
+
+/// Verdict classification of a foreground service's median MmF share —
+/// the quantity the adaptive budget must never flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerdictBand {
+    /// Median share below 0.25 of the max-min fair allocation.
+    Starved,
+    /// Share in `[0.25, 0.75)` — squeezed well under fair.
+    Squeezed,
+    /// Share in `[0.75, 1.25)` — within the fair band.
+    Fair,
+    /// Share at or above 1.25 — taking more than fair.
+    Dominant,
+}
+
+impl VerdictBand {
+    /// Interior band edges on median MmF share, ascending.
+    pub const EDGES: [f64; 3] = [0.25, 0.75, 1.25];
+
+    /// Classify a median MmF share.
+    pub fn of(share: f64) -> VerdictBand {
+        match band_index(share, &Self::EDGES) {
+            0 => VerdictBand::Starved,
+            1 => VerdictBand::Squeezed,
+            2 => VerdictBand::Fair,
+            _ => VerdictBand::Dominant,
+        }
+    }
+
+    /// Lowercase slug for CSV/report output.
+    pub fn slug(self) -> &'static str {
+        match self {
+            VerdictBand::Starved => "starved",
+            VerdictBand::Squeezed => "squeezed",
+            VerdictBand::Fair => "fair",
+            VerdictBand::Dominant => "dominant",
+        }
+    }
+}
+
+/// Aggregated result for one foreground service of a cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellService {
+    /// Service display name.
+    pub name: String,
+    /// Median MmF share over kept trials.
+    pub median_mmf_share: f64,
+    /// Verdict band of that median — what the differential suite pins.
+    pub verdict: VerdictBand,
+    /// Median throughput, bps.
+    pub median_throughput_bps: f64,
+    /// Half-width of the 95% median-throughput CI at the final kept
+    /// count (the staleness signal budget re-dealing sorts by).
+    pub ci_halfwidth_bps: f64,
+}
+
+/// Aggregated outcome of one campaign cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// The expanded cell this outcome belongs to.
+    pub cell: CampaignCell,
+    /// The cell fingerprint (also its store key).
+    pub fingerprint: u64,
+    /// Per-foreground-service aggregates, in mix order.
+    pub services: Vec<CellService>,
+    /// Background service name, if the mix carries one.
+    pub background: Option<String>,
+    /// Kept trials in the outcome.
+    pub trials_used: usize,
+    /// Trial budget the cell was allowed (policy max + any re-dealt
+    /// bonus).
+    pub budget_max: usize,
+    /// Extra trials granted by budget re-dealing (0 on the first pass).
+    pub bonus_trials: usize,
+    /// Whether the §3.4 CI stopping rule was satisfied.
+    pub converged: bool,
+    /// Whether the adaptive budget ended the cell early (verdicts were
+    /// locked before convergence or the cap).
+    pub locked_early: bool,
+    /// Median link utilization over kept trials.
+    pub utilization_median: f64,
+}
+
+impl CellOutcome {
+    /// Trials the adaptive budget saved against the cell's cap.
+    pub fn trials_saved(&self) -> usize {
+        self.budget_max.saturating_sub(self.trials_used)
+    }
+
+    /// Worst (lowest) verdict band across foreground services — the
+    /// cell-level headline in grid heatmaps.
+    pub fn worst_verdict(&self) -> Option<VerdictBand> {
+        self.services
+            .iter()
+            .map(|s| s.verdict)
+            .min_by_key(|v| *v as usize)
+    }
+
+    /// Widest per-service CI half-width — the cell's variance signal.
+    pub fn max_ci_halfwidth_bps(&self) -> f64 {
+        self.services
+            .iter()
+            .map(|s| s.ci_halfwidth_bps)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Durable payload of one completed cell (store kind `"cell"`, keyed by
+/// the cell fingerprint, `schema` = [`CELL_SCHEMA_VERSION`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Campaign name.
+    pub campaign: String,
+    /// Campaign fingerprint the cell was run under; resume only trusts
+    /// records whose campaign fingerprint matches the current spec.
+    pub campaign_fingerprint: u64,
+    /// `prudentia-core` version that ran the trials.
+    pub code_version: String,
+    /// Whether the adaptive budget was active.
+    pub adaptive: bool,
+    /// The aggregated outcome.
+    pub outcome: CellOutcome,
+}
+
+/// Campaign progress marker (store kind `"campaign"`, one live record
+/// per store key; every write supersedes the last).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignProgress {
+    /// Campaign name.
+    pub name: String,
+    /// Campaign fingerprint (spec identity).
+    pub fingerprint: u64,
+    /// Whether the adaptive budget was active.
+    pub adaptive: bool,
+    /// Cells in the full grid.
+    pub cells_total: u64,
+    /// Cells recorded so far.
+    pub cells_done: u64,
+    /// Whether the grid ran to completion.
+    pub completed: bool,
+    /// Kept trials across recorded cells.
+    pub trials_used: u64,
+    /// Total trial budget across recorded cells (caps + bonuses).
+    pub budget_total: u64,
+}
+
+impl CampaignProgress {
+    /// Fraction of the allowed budget the campaign did not spend.
+    pub fn savings_ratio(&self) -> f64 {
+        if self.budget_total == 0 {
+            0.0
+        } else {
+            1.0 - self.trials_used as f64 / self.budget_total as f64
+        }
+    }
+}
+
+/// Store key under which the campaign progress chain lives.
+pub fn campaign_progress_key() -> u64 {
+    fnv1a_key(&["campaign", "progress"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_match_edges() {
+        assert_eq!(VerdictBand::of(0.0), VerdictBand::Starved);
+        assert_eq!(VerdictBand::of(0.25), VerdictBand::Squeezed);
+        assert_eq!(VerdictBand::of(0.9), VerdictBand::Fair);
+        assert_eq!(VerdictBand::of(1.25), VerdictBand::Dominant);
+        assert_eq!(VerdictBand::of(7.0), VerdictBand::Dominant);
+    }
+
+    #[test]
+    fn example_spec_validates_and_expands() {
+        let spec = CampaignSpec::example();
+        spec.validate().expect("example is valid");
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 4, "2 mixes x 2 bandwidths");
+        // Fingerprints unique and stable.
+        let mut fps: Vec<u64> = cells.iter().map(|c| c.fingerprint()).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), cells.len());
+        assert_eq!(spec.fingerprint(), spec.canonicalize().fingerprint());
+    }
+
+    #[test]
+    fn axis_reordering_is_invisible() {
+        let spec = CampaignSpec::example();
+        let mut shuffled = spec.clone();
+        shuffled.bandwidth_mbps.reverse();
+        shuffled.mixes.reverse();
+        assert_eq!(spec.fingerprint(), shuffled.fingerprint());
+        let a = spec.expand();
+        let b = shuffled.expand();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut s = CampaignSpec::example();
+        s.mixes[0].services = vec!["iPerf-Cubic".into()];
+        assert!(s.validate().is_err(), "1 service is not a mix");
+
+        let mut s = CampaignSpec::example();
+        s.qdiscs = vec!["fifo".into()];
+        assert!(s.validate().is_err(), "unknown qdisc");
+
+        let mut s = CampaignSpec::example();
+        s.duration_secs = 15;
+        s.warmup_secs = 10;
+        s.cooldown_secs = 10;
+        assert!(s.validate().is_err(), "empty measured window");
+
+        let mut s = CampaignSpec::example();
+        s.mixes[1].label = s.mixes[0].label.clone();
+        assert!(s.validate().is_err(), "duplicate mix labels");
+
+        let mut s = CampaignSpec::example();
+        s.mixes[0].services[0] = "NoSuchService".into();
+        assert!(s.validate().is_err(), "unknown service");
+    }
+
+    #[test]
+    fn cell_setting_materializes_each_axis() {
+        let cell = CampaignCell {
+            mix: MixSpec {
+                label: "m".into(),
+                services: vec!["iPerf-Cubic".into(), "iPerf-Reno".into()],
+                background: None,
+            },
+            bandwidth_mbps: 12.0,
+            rtt_ms: 80,
+            bdp_multiple: 8,
+            qdisc: "codel".into(),
+            impairment: "lte".into(),
+            seed_base: 3,
+        };
+        let s = cell.setting().expect("valid cell");
+        assert_eq!(s.rate_bps, 12e6);
+        assert_eq!(s.base_rtt, prudentia_sim::SimDuration::from_millis(80));
+        assert_eq!(s.bdp_multiple, 8);
+        assert_eq!(s.name, "12Mbps/80ms/8xBDP/codel/lte/s3");
+        assert!(!s.scenario.impairment.rate_steps.is_empty(), "lte trace");
+        // Seed base flows into the name, so seed streams are disjoint.
+        let mut other = cell.clone();
+        other.seed_base = 4;
+        assert_ne!(other.setting().unwrap().name, s.name);
+        assert_ne!(other.fingerprint(), cell.fingerprint());
+    }
+}

@@ -1,0 +1,748 @@
+//! Campaign execution: per-cell trial loops with adaptive budgets,
+//! store-backed resume, and saved-budget re-dealing.
+//!
+//! A cell whose mix is an ordinary pair (two foreground services, no
+//! background) runs on the production executor — trial cache, worker
+//! pool, adaptive lock and all ([`crate::executor::execute_pairs`]).
+//! Mixes beyond the pairwise shape (3–4 contenders or background
+//! traffic) run on a campaign-local sequential loop that mirrors the
+//! executor's stopping fold exactly: the §3.4 CI rule is evaluated
+//! first at every kept count from `min_trials` up, then the trial cap,
+//! then — only when neither fired — the adaptive verdict lock
+//! ([`prudentia_stats::verdict_locked`]). Evaluating in that order is
+//! what makes the never-flips guarantee compositional: an adaptive run
+//! folds the same seed-deterministic trial prefix as an exhaustive run
+//! and stops no later, with a provably identical verdict band.
+
+use super::{
+    campaign_progress_key, CampaignProgress, CampaignSpec, CellOutcome, CellRecord, CellService,
+    VerdictBand, CELL_SCHEMA_VERSION,
+};
+use crate::cache::TrialCache;
+use crate::config::NetworkSetting;
+use crate::daemon::ShutdownFlag;
+use crate::error::PrudentiaError;
+use crate::executor::{execute_pairs, AdaptiveBudget, ExecutorConfig};
+use crate::scheduler::{trial_seed, DurationPolicy, PairSpec, TrialPolicy};
+use prudentia_apps::{build_service, ServiceSpec};
+use prudentia_obs::MetricsRegistry;
+use prudentia_sim::{Engine, ServiceId, SimDuration, SimTime};
+use prudentia_stats::{
+    max_min_allocation, median, median_ci, median_ci_within, mmf_share, verdict_locked, Demand,
+};
+use prudentia_store::{kinds, Record, Store};
+use std::sync::Arc;
+
+/// Schema version of [`CampaignProgress`] payloads.
+pub const PROGRESS_SCHEMA_VERSION: u32 = 1;
+
+/// One cell resolved against its campaign's trial and duration policy —
+/// everything [`execute_cell`] needs, detached from the store so the
+/// differential suite can run cells directly.
+#[derive(Debug, Clone)]
+pub struct CellContext {
+    /// The expanded cell.
+    pub cell: super::CampaignCell,
+    /// Trial-count policy (before any re-dealt bonus).
+    pub policy: TrialPolicy,
+    /// Trial length policy (always `Custom` when built from a spec).
+    pub duration: DurationPolicy,
+}
+
+impl CellContext {
+    /// Resolve a cell against its campaign.
+    pub fn new(spec: &CampaignSpec, cell: super::CampaignCell) -> CellContext {
+        CellContext {
+            cell,
+            policy: spec.policy,
+            duration: DurationPolicy::Custom {
+                duration_secs: spec.duration_secs,
+                warmup_secs: spec.warmup_secs,
+                cooldown_secs: spec.cooldown_secs,
+            },
+        }
+    }
+
+    /// `(duration, warmup, cooldown)` seconds of one trial.
+    fn duration_secs(&self) -> (u64, u64, u64) {
+        match self.duration {
+            DurationPolicy::Paper => (600, 120, 120),
+            DurationPolicy::Quick => (180, 30, 30),
+            DurationPolicy::Custom {
+                duration_secs,
+                warmup_secs,
+                cooldown_secs,
+            } => (duration_secs, warmup_secs, cooldown_secs),
+        }
+    }
+}
+
+/// Run one campaign cell to completion.
+///
+/// `bonus` extends the cell's trial cap beyond `policy.max_trials`
+/// (budget re-dealing); pass 0 for a first-pass run. The adaptive lock —
+/// when `adaptive` — quantifies over the *extended* cap, so a re-dealt
+/// cell's verdict is locked against its own budget.
+pub fn execute_cell(
+    ctx: &CellContext,
+    adaptive: bool,
+    bonus: usize,
+    cache: Option<Arc<TrialCache>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+) -> Result<CellOutcome, PrudentiaError> {
+    let mut policy = ctx.policy;
+    policy.max_trials += bonus;
+    let setting = ctx.cell.setting()?;
+    let foreground = ctx.cell.foreground_services()?;
+    let background = ctx.cell.background_service()?;
+
+    let outcome = if foreground.len() == 2 && background.is_none() {
+        execute_pairwise_cell(
+            ctx, policy, bonus, adaptive, setting, foreground, cache, &metrics,
+        )?
+    } else {
+        execute_mix_cell(
+            ctx, policy, bonus, adaptive, setting, foreground, background, &metrics,
+        )?
+    };
+
+    if let Some(reg) = metrics.as_deref() {
+        reg.counter("campaign/cells_executed").add(1);
+        if outcome.locked_early {
+            reg.counter("campaign/cells_locked").add(1);
+        }
+        reg.counter("campaign/trials_used")
+            .add(outcome.trials_used as u64);
+        reg.counter("campaign/trials_saved")
+            .add(outcome.trials_saved() as u64);
+        reg.histogram("campaign/cell_trials")
+            .record(outcome.trials_used as f64);
+    }
+    Ok(outcome)
+}
+
+/// Summarize one foreground service from its per-trial samples.
+fn service_summary(name: &str, shares: &[f64], tputs: &[f64]) -> CellService {
+    let m = median(shares);
+    CellService {
+        name: name.to_string(),
+        median_mmf_share: m,
+        verdict: VerdictBand::of(m),
+        median_throughput_bps: median(tputs),
+        ci_halfwidth_bps: median_ci(tputs, 0.95).half_width(),
+    }
+}
+
+/// Pairwise-shaped cells ride the production executor, so they exercise
+/// the trial cache and the executor's own adaptive layer.
+#[allow(clippy::too_many_arguments)]
+fn execute_pairwise_cell(
+    ctx: &CellContext,
+    policy: TrialPolicy,
+    bonus: usize,
+    adaptive: bool,
+    setting: NetworkSetting,
+    foreground: Vec<ServiceSpec>,
+    cache: Option<Arc<TrialCache>>,
+    metrics: &Option<Arc<MetricsRegistry>>,
+) -> Result<CellOutcome, PrudentiaError> {
+    let pair = PairSpec {
+        contender: foreground[0].clone(),
+        incumbent: foreground[1].clone(),
+        setting,
+    };
+    // Parallelism 1: within a cell, trial count must be a pure function
+    // of the seed stream so adaptive-vs-exhaustive comparisons (and
+    // resumed runs) are exact, not just band-identical.
+    let mut config = ExecutorConfig::new(policy, ctx.duration, 1)
+        .with_context(format!("campaign cell {}", ctx.cell.fingerprint_hex()));
+    if adaptive {
+        config = config.with_adaptive(AdaptiveBudget {
+            band_edges: VerdictBand::EDGES.to_vec(),
+        });
+    }
+    if let Some(c) = cache {
+        config = config.with_cache(c);
+    }
+    if let Some(m) = metrics.clone() {
+        config = config.with_metrics(m);
+    }
+    let (mut outcomes, stats) = execute_pairs(&[pair], &config)?;
+    let out = outcomes.pop().expect("one pair in, one outcome out");
+    if out.trials.is_empty() {
+        return Err(PrudentiaError::InvalidConfig(format!(
+            "campaign cell {}: no kept trials",
+            ctx.cell.fingerprint_hex()
+        )));
+    }
+    let con_shares: Vec<f64> = out.trials.iter().map(|t| t.contender.mmf_share).collect();
+    let inc_shares: Vec<f64> = out.trials.iter().map(|t| t.incumbent.mmf_share).collect();
+    let utils: Vec<f64> = out.trials.iter().map(|t| t.utilization).collect();
+    let services = vec![
+        service_summary(
+            foreground[0].name(),
+            &con_shares,
+            &out.contender_samples_bps(),
+        ),
+        service_summary(
+            foreground[1].name(),
+            &inc_shares,
+            &out.incumbent_samples_bps(),
+        ),
+    ];
+    Ok(CellOutcome {
+        fingerprint: ctx.cell.fingerprint(),
+        cell: ctx.cell.clone(),
+        services,
+        background: None,
+        trials_used: out.trials.len(),
+        budget_max: policy.max_trials,
+        bonus_trials: bonus,
+        converged: out.converged,
+        locked_early: stats.pairs[0].locked_early,
+        utilization_median: median(&utils),
+    })
+}
+
+/// One N-flow trial's extracted metrics, foreground services first and
+/// the background flow (when present) last.
+struct MixTrial {
+    bps: Vec<f64>,
+    shares: Vec<f64>,
+    utilization: f64,
+}
+
+/// Beyond-pairwise cells: a sequential trial loop over an N-service
+/// engine, with the same stopping fold as the executor. Only foreground
+/// services participate in convergence and verdict locking; the
+/// background flow contends for capacity (and holds its slot in the
+/// max-min benchmark) but its own fairness is not on trial.
+#[allow(clippy::too_many_arguments)]
+fn execute_mix_cell(
+    ctx: &CellContext,
+    policy: TrialPolicy,
+    bonus: usize,
+    adaptive: bool,
+    setting: NetworkSetting,
+    foreground: Vec<ServiceSpec>,
+    background: Option<ServiceSpec>,
+    metrics: &Option<Arc<MetricsRegistry>>,
+) -> Result<CellOutcome, PrudentiaError> {
+    let mut all = foreground.clone();
+    if let Some(b) = &background {
+        all.push(b.clone());
+    }
+    let roster: Vec<String> = all.iter().map(|s| s.name().to_string()).collect();
+    let roster_key = roster.join("+");
+    let tolerance = setting.ci_tolerance_bps();
+    let max_trials = policy.max_trials.max(1);
+    let durs = ctx.duration_secs();
+
+    let mut trials: Vec<MixTrial> = Vec::new();
+    let mut converged = false;
+    let mut locked = false;
+    // Mirror of the executor's fold: at every kept count from
+    // `min_trials` up, the CI rule fires first, then the cap, then the
+    // adaptive lock. Seeds depend only on (mix, roster, setting, index),
+    // so any two runs of this cell fold identical trial prefixes.
+    loop {
+        let index = trials.len();
+        let seed = trial_seed(&ctx.cell.mix.label, &roster_key, &setting.name, index);
+        trials.push(run_mix_trial(
+            &all,
+            &setting,
+            durs,
+            seed,
+            metrics.as_deref(),
+        ));
+        let n = trials.len();
+        if n < policy.min_trials {
+            continue;
+        }
+        let fg_converged = (0..foreground.len()).all(|i| {
+            let tput: Vec<f64> = trials.iter().map(|t| t.bps[i]).collect();
+            median_ci_within(&tput, tolerance)
+        });
+        if fg_converged {
+            converged = true;
+            break;
+        }
+        if n >= max_trials {
+            break;
+        }
+        if adaptive
+            && (0..foreground.len()).all(|i| {
+                let shares: Vec<f64> = trials.iter().map(|t| t.shares[i]).collect();
+                verdict_locked(&shares, max_trials, &VerdictBand::EDGES)
+            })
+        {
+            locked = true;
+            break;
+        }
+    }
+
+    let services = foreground
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let shares: Vec<f64> = trials.iter().map(|t| t.shares[i]).collect();
+            let tput: Vec<f64> = trials.iter().map(|t| t.bps[i]).collect();
+            service_summary(s.name(), &shares, &tput)
+        })
+        .collect();
+    let utils: Vec<f64> = trials.iter().map(|t| t.utilization).collect();
+    Ok(CellOutcome {
+        fingerprint: ctx.cell.fingerprint(),
+        cell: ctx.cell.clone(),
+        services,
+        background: background.map(|b| b.name().to_string()),
+        trials_used: trials.len(),
+        budget_max: max_trials,
+        bonus_trials: bonus,
+        converged,
+        locked_early: locked,
+        utilization_median: median(&utils),
+    })
+}
+
+/// Run one N-service trial on a fresh engine and extract per-service
+/// throughput, MmF shares against the N-way max-min benchmark, and link
+/// utilization over the measured window.
+fn run_mix_trial(
+    services: &[ServiceSpec],
+    setting: &NetworkSetting,
+    (duration_secs, warmup_secs, cooldown_secs): (u64, u64, u64),
+    seed: u64,
+    metrics: Option<&MetricsRegistry>,
+) -> MixTrial {
+    let duration = SimDuration::from_secs(duration_secs);
+    let mut engine = Engine::with_scenario(setting.bottleneck(), &setting.scenario, seed);
+    let rtt = setting.base_rtt;
+    let _instances: Vec<_> = services
+        .iter()
+        .enumerate()
+        .map(|(i, s)| build_service(s, &mut engine, ServiceId(i as u32), rtt))
+        .collect();
+    engine.run_until(SimTime::ZERO + duration);
+
+    let from = SimTime::ZERO + SimDuration::from_secs(warmup_secs);
+    let to = SimTime::ZERO + SimDuration::from_secs(duration_secs.saturating_sub(cooldown_secs));
+    let bps: Vec<f64> = (0..services.len())
+        .map(|i| engine.trace().mean_bps(ServiceId(i as u32), from, to))
+        .collect();
+    let bench_rate = setting.effective_rate_bps(duration);
+    let demands: Vec<Demand> = services.iter().map(|s| s.demand()).collect();
+    let alloc = max_min_allocation(bench_rate, &demands);
+    let shares: Vec<f64> = bps
+        .iter()
+        .zip(&alloc)
+        .map(|(b, a)| mmf_share(*b, *a))
+        .collect();
+    let utilization = bps.iter().sum::<f64>() / bench_rate;
+    if let Some(reg) = metrics {
+        reg.counter("sim/events_total")
+            .add(engine.events_processed());
+    }
+    MixTrial {
+        bps,
+        shares,
+        utilization,
+    }
+}
+
+/// How to run a campaign against a durable store.
+#[derive(Debug, Clone)]
+pub struct CampaignRunConfig {
+    /// The campaign to run.
+    pub spec: CampaignSpec,
+    /// Whether the adaptive trial budget is active.
+    pub adaptive: bool,
+    /// Whether to re-deal saved budget to high-variance cells after the
+    /// grid completes.
+    pub redeal: bool,
+    /// Stop (reporting `interrupted`) after this many freshly executed
+    /// cells — the integration suite's crash-injection lever.
+    pub max_cells: Option<usize>,
+    /// Shared trial cache for pairwise-shaped cells.
+    pub cache: Option<Arc<TrialCache>>,
+    /// Metrics sink.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Cooperative shutdown, polled between cells.
+    pub shutdown: ShutdownFlag,
+}
+
+impl CampaignRunConfig {
+    /// Adaptive, no redeal, unbounded, unobserved.
+    pub fn new(spec: CampaignSpec) -> CampaignRunConfig {
+        CampaignRunConfig {
+            spec,
+            adaptive: true,
+            redeal: false,
+            max_cells: None,
+            cache: None,
+            metrics: None,
+            shutdown: ShutdownFlag::new(),
+        }
+    }
+}
+
+/// What one [`run_campaign`] invocation did.
+#[derive(Debug, Clone)]
+pub struct CampaignRunReport {
+    /// Final progress marker (also the last one written to the store).
+    pub progress: CampaignProgress,
+    /// Cells freshly executed by this invocation.
+    pub cells_run: usize,
+    /// Cells skipped because a matching record was already stored.
+    pub cells_skipped: usize,
+    /// Cells re-run with re-dealt bonus budget.
+    pub cells_redealt: usize,
+    /// Whether the run stopped before the grid was complete (shutdown
+    /// request or the `max_cells` cap).
+    pub interrupted: bool,
+}
+
+/// Indices of `outcomes` worth re-dealing saved budget to: cells that
+/// neither converged nor locked, widest median-throughput CI first
+/// (fingerprint ascending as the deterministic tie-break).
+pub fn redeal_order(outcomes: &[CellOutcome]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..outcomes.len())
+        .filter(|&i| !outcomes[i].converged && !outcomes[i].locked_early)
+        .collect();
+    idx.sort_by(|&a, &b| {
+        let wa = outcomes[a].max_ci_halfwidth_bps();
+        let wb = outcomes[b].max_ci_halfwidth_bps();
+        wb.partial_cmp(&wa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| outcomes[a].fingerprint.cmp(&outcomes[b].fingerprint))
+    });
+    idx
+}
+
+/// Is this record a completed run of `cell` under the same campaign and
+/// budget mode? Records from other campaigns (or the other adaptive
+/// mode) sharing the store are ignored, not trusted.
+fn cell_done(rec: &Record, campaign_fp: u64, adaptive: bool) -> Option<CellRecord> {
+    if rec.schema != CELL_SCHEMA_VERSION {
+        return None;
+    }
+    let cr: CellRecord = rec.decode().ok()?;
+    (cr.campaign_fingerprint == campaign_fp && cr.adaptive == adaptive).then_some(cr)
+}
+
+/// Run a campaign grid against a store, resuming past interruptions.
+///
+/// Cells run in expansion order; each completed cell is appended as a
+/// [`CellRecord`] keyed by its fingerprint, followed by a refreshed
+/// [`CampaignProgress`] marker, so a killed run loses at most the cell
+/// in flight. A restarted run skips every cell whose stored record
+/// matches the campaign fingerprint and adaptive mode — per-cell
+/// outcomes are seed-deterministic, so the completed grid is identical
+/// to an uninterrupted run's.
+///
+/// When `redeal` is set and the grid completes, trials saved by the
+/// adaptive budget are re-dealt to unconverged, unlocked cells in
+/// [`redeal_order`], each re-run with a bonus on its cap (capped at
+/// `max_trials` extra per cell) until the pool runs out.
+pub fn run_campaign(
+    store: &mut Store,
+    config: &CampaignRunConfig,
+) -> Result<CampaignRunReport, PrudentiaError> {
+    config.spec.validate()?;
+    let spec = config.spec.canonicalize();
+    let campaign_fp = spec.fingerprint();
+    let cells = spec.expand();
+    let code_version = env!("CARGO_PKG_VERSION").to_string();
+
+    let mut done: Vec<Option<CellOutcome>> = cells
+        .iter()
+        .map(|c| {
+            store
+                .latest(kinds::CELL, c.fingerprint())
+                .and_then(|r| cell_done(r, campaign_fp, config.adaptive))
+                .map(|cr| cr.outcome)
+        })
+        .collect();
+    let cells_skipped = done.iter().filter(|d| d.is_some()).count();
+
+    let mut cells_run = 0usize;
+    let mut cells_redealt = 0usize;
+    let mut interrupted = false;
+
+    let write_cell = |store: &mut Store, outcome: &CellOutcome| -> Result<(), PrudentiaError> {
+        let rec = CellRecord {
+            campaign: spec.name.clone(),
+            campaign_fingerprint: campaign_fp,
+            code_version: code_version.clone(),
+            adaptive: config.adaptive,
+            outcome: outcome.clone(),
+        };
+        let payload = Record::encode(kinds::CELL, &rec)?;
+        store.append(
+            kinds::CELL,
+            outcome.fingerprint,
+            CELL_SCHEMA_VERSION,
+            payload,
+        )?;
+        Ok(())
+    };
+    let progress = |done: &[Option<CellOutcome>], completed: bool| CampaignProgress {
+        name: spec.name.clone(),
+        fingerprint: campaign_fp,
+        adaptive: config.adaptive,
+        cells_total: done.len() as u64,
+        cells_done: done.iter().filter(|d| d.is_some()).count() as u64,
+        completed,
+        trials_used: done.iter().flatten().map(|o| o.trials_used as u64).sum(),
+        budget_total: done.iter().flatten().map(|o| o.budget_max as u64).sum(),
+    };
+    let write_progress = |store: &mut Store, p: &CampaignProgress| -> Result<(), PrudentiaError> {
+        let payload = Record::encode(kinds::CAMPAIGN, p)?;
+        store.append(
+            kinds::CAMPAIGN,
+            campaign_progress_key(),
+            PROGRESS_SCHEMA_VERSION,
+            payload,
+        )?;
+        Ok(())
+    };
+
+    for (i, cell) in cells.iter().enumerate() {
+        if done[i].is_some() {
+            continue;
+        }
+        if config.shutdown.is_requested() || config.max_cells.is_some_and(|m| cells_run >= m) {
+            interrupted = true;
+            break;
+        }
+        let ctx = CellContext::new(&spec, cell.clone());
+        let outcome = execute_cell(
+            &ctx,
+            config.adaptive,
+            0,
+            config.cache.clone(),
+            config.metrics.clone(),
+        )?;
+        write_cell(store, &outcome)?;
+        done[i] = Some(outcome);
+        cells_run += 1;
+        write_progress(store, &progress(&done, false))?;
+    }
+    interrupted |= done.iter().any(|d| d.is_none());
+
+    if config.redeal && config.adaptive && !interrupted {
+        let outcomes: Vec<CellOutcome> = done.iter().flatten().cloned().collect();
+        let mut pool: usize = outcomes.iter().map(|o| o.trials_saved()).sum();
+        for i in redeal_order(&outcomes) {
+            if pool == 0 || config.shutdown.is_requested() {
+                break;
+            }
+            let grant = pool.min(spec.policy.max_trials);
+            let ctx = CellContext::new(&spec, outcomes[i].cell.clone());
+            let outcome = execute_cell(
+                &ctx,
+                config.adaptive,
+                grant,
+                config.cache.clone(),
+                config.metrics.clone(),
+            )?;
+            write_cell(store, &outcome)?;
+            let slot = done
+                .iter()
+                .position(|d| {
+                    d.as_ref()
+                        .is_some_and(|o| o.fingerprint == outcome.fingerprint)
+                })
+                .expect("redealt cell came from the grid");
+            done[slot] = Some(outcome);
+            pool -= grant;
+            cells_redealt += 1;
+        }
+    }
+
+    let final_progress = progress(&done, !interrupted);
+    write_progress(store, &final_progress)?;
+    if let Some(reg) = config.metrics.as_deref() {
+        reg.counter("campaign/runs").add(1);
+    }
+    Ok(CampaignRunReport {
+        progress: final_progress,
+        cells_run,
+        cells_skipped,
+        cells_redealt,
+        interrupted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{CampaignCell, MixSpec};
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::example();
+        spec.name = "tiny".to_string();
+        spec.mixes = vec![MixSpec {
+            label: "cubic-v-reno".to_string(),
+            services: vec!["iPerf-Cubic".to_string(), "iPerf-Reno".to_string()],
+            background: None,
+        }];
+        spec.bandwidth_mbps = vec![8.0];
+        spec.policy = TrialPolicy {
+            min_trials: 2,
+            batch: 1,
+            max_trials: 4,
+        };
+        spec.duration_secs = 20;
+        spec.warmup_secs = 4;
+        spec.cooldown_secs = 4;
+        spec
+    }
+
+    fn mix3_spec() -> CampaignSpec {
+        let mut spec = tiny_spec();
+        spec.mixes[0] = MixSpec {
+            label: "threeway".to_string(),
+            services: vec![
+                "iPerf-Cubic".to_string(),
+                "iPerf-Reno".to_string(),
+                "iPerf-BBR".to_string(),
+            ],
+            background: None,
+        };
+        spec
+    }
+
+    fn outcome(fp: u64, converged: bool, locked: bool, ci: f64) -> CellOutcome {
+        CellOutcome {
+            cell: CampaignCell {
+                mix: MixSpec {
+                    label: "m".to_string(),
+                    services: vec!["a".to_string(), "b".to_string()],
+                    background: None,
+                },
+                bandwidth_mbps: 8.0,
+                rtt_ms: 50,
+                bdp_multiple: 4,
+                qdisc: "droptail".to_string(),
+                impairment: "none".to_string(),
+                seed_base: 0,
+            },
+            fingerprint: fp,
+            services: vec![CellService {
+                name: "a".to_string(),
+                median_mmf_share: 1.0,
+                verdict: VerdictBand::Fair,
+                median_throughput_bps: 4e6,
+                ci_halfwidth_bps: ci,
+            }],
+            background: None,
+            trials_used: 4,
+            budget_max: 4,
+            bonus_trials: 0,
+            converged,
+            locked_early: locked,
+            utilization_median: 0.9,
+        }
+    }
+
+    #[test]
+    fn redeal_targets_unsettled_cells_widest_first() {
+        let outcomes = vec![
+            outcome(1, true, false, 9e6),  // converged: never redealt
+            outcome(2, false, false, 1e6), // target, narrow
+            outcome(3, false, true, 9e6),  // locked: never redealt
+            outcome(4, false, false, 5e6), // target, wide
+            outcome(5, false, false, 5e6), // tie: fingerprint breaks it
+        ];
+        assert_eq!(redeal_order(&outcomes), vec![3, 4, 1]);
+    }
+
+    #[test]
+    fn pairwise_cell_runs_on_the_executor() {
+        let spec = tiny_spec();
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 1);
+        let ctx = CellContext::new(&spec, cells[0].clone());
+        let out = execute_cell(&ctx, false, 0, None, None).expect("cell runs");
+        assert_eq!(out.services.len(), 2);
+        assert_eq!(out.services[0].name, "iPerf (Cubic)");
+        assert!(out.trials_used >= 2 && out.trials_used <= 4);
+        assert_eq!(out.budget_max, 4);
+        assert!(out.utilization_median > 0.5);
+        // Same cell, same outcome: the determinism resume leans on.
+        let again = execute_cell(&ctx, false, 0, None, None).expect("cell runs");
+        assert_eq!(
+            serde_json::to_string(&out).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn three_way_mix_allocates_across_all_services() {
+        let spec = mix3_spec();
+        let cells = spec.expand();
+        let ctx = CellContext::new(&spec, cells[0].clone());
+        let out = execute_cell(&ctx, false, 0, None, None).expect("mix runs");
+        assert_eq!(out.services.len(), 3, "every contender is reported");
+        assert!(out.trials_used >= 2 && out.trials_used <= 4);
+        for s in &out.services {
+            assert!(s.median_throughput_bps > 0.0, "{} got traffic", s.name);
+            assert!(s.median_mmf_share > 0.0);
+        }
+        assert!(out.utilization_median > 0.5);
+        let again = execute_cell(&ctx, false, 0, None, None).expect("mix runs");
+        assert_eq!(
+            serde_json::to_string(&out).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn adaptive_mix_never_uses_more_trials_or_flips_verdicts() {
+        let spec = mix3_spec();
+        let cells = spec.expand();
+        let ctx = CellContext::new(&spec, cells[0].clone());
+        let full = execute_cell(&ctx, false, 0, None, None).expect("exhaustive");
+        let fast = execute_cell(&ctx, true, 0, None, None).expect("adaptive");
+        assert!(fast.trials_used <= full.trials_used);
+        for (a, b) in full.services.iter().zip(&fast.services) {
+            assert_eq!(a.verdict, b.verdict, "{} verdict must not flip", a.name);
+        }
+    }
+
+    #[test]
+    fn campaign_resumes_from_the_store() {
+        let dir =
+            std::env::temp_dir().join(format!("prudentia_campaign_runner_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Store::open(&dir).expect("open store");
+        let mut config = CampaignRunConfig::new(tiny_spec());
+        config.adaptive = false;
+        config.max_cells = Some(0);
+        let r0 = run_campaign(&mut store, &config).expect("capped run");
+        assert!(r0.interrupted);
+        assert_eq!(r0.cells_run, 0);
+        assert!(!r0.progress.completed);
+
+        config.max_cells = None;
+        let r1 = run_campaign(&mut store, &config).expect("full run");
+        assert!(!r1.interrupted);
+        assert_eq!(r1.cells_run, 1);
+        assert!(r1.progress.completed);
+        assert_eq!(r1.progress.cells_done, 1);
+
+        // Third run: everything already recorded.
+        let r2 = run_campaign(&mut store, &config).expect("resumed run");
+        assert_eq!(r2.cells_run, 0);
+        assert_eq!(r2.cells_skipped, 1);
+        assert!(r2.progress.completed);
+
+        // Flipping the adaptive mode invalidates stored cells.
+        config.adaptive = true;
+        let r3 = run_campaign(&mut store, &config).expect("adaptive run");
+        assert_eq!(r3.cells_skipped, 0);
+        assert_eq!(r3.cells_run, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

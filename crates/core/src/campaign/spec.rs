@@ -1,0 +1,398 @@
+//! Campaign specifications: N-flow service mixes crossed with parameter
+//! grids, expanded into deterministic, fingerprinted cells.
+
+use crate::cache::versioned_fnv;
+use crate::error::PrudentiaError;
+use crate::scheduler::TrialPolicy;
+use prudentia_apps::{Service, ServiceSpec};
+use prudentia_sim::{ImpairmentSpec, NetworkSetting, QdiscSpec, ScenarioSpec, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Version of the canonical encodings behind campaign and cell
+/// fingerprints (and the `schema` field of their store records). Bump
+/// whenever cell semantics change without the JSON necessarily changing;
+/// every fingerprint moves and stale cells re-run instead of resuming.
+pub const CELL_SCHEMA_VERSION: u32 = 1;
+
+/// Queue-discipline axis values a campaign may name.
+pub const QDISC_AXIS: [&str; 4] = ["droptail", "codel", "fq_codel", "red"];
+
+/// Impairment axis values a campaign may name: the pristine link, the
+/// mean-preserving LTE-like rate trace, and light random loss.
+pub const IMPAIRMENT_AXIS: [&str; 3] = ["none", "lte", "loss"];
+
+/// One service mix: 2–4 foreground contenders plus optional background
+/// traffic. Foreground services are measured and judged; the background
+/// service competes for capacity (and is counted in the max-min fair
+/// benchmark) but gets no verdict.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, PartialOrd)]
+pub struct MixSpec {
+    /// Unique label within the campaign (names the mix in reports).
+    pub label: String,
+    /// Foreground service catalog labels (2–4).
+    pub services: Vec<String>,
+    /// Optional background service catalog label.
+    pub background: Option<String>,
+}
+
+/// A parameter-grid campaign over service mixes. Axis values are sets:
+/// expansion sorts and dedups each axis, so two specs naming the same
+/// values in any order expand to the same cells with the same
+/// fingerprints.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (reports and store records).
+    pub name: String,
+    /// Service mixes to place at every grid point.
+    pub mixes: Vec<MixSpec>,
+    /// Bottleneck bandwidth axis, Mbps.
+    pub bandwidth_mbps: Vec<f64>,
+    /// Base RTT axis, milliseconds.
+    pub rtt_ms: Vec<u64>,
+    /// Buffer axis: queue size as BDP multiples.
+    pub bdp_multiples: Vec<u64>,
+    /// Queue-discipline axis (see [`QDISC_AXIS`]).
+    pub qdiscs: Vec<String>,
+    /// Impairment axis (see [`IMPAIRMENT_AXIS`]).
+    pub impairments: Vec<String>,
+    /// Trial-count policy per cell.
+    pub policy: TrialPolicy,
+    /// Simulated seconds per trial.
+    pub duration_secs: u64,
+    /// Leading trim excluded from the measured window.
+    pub warmup_secs: u64,
+    /// Trailing trim excluded from the measured window.
+    pub cooldown_secs: u64,
+    /// Seed-stream selector: campaigns with different bases draw
+    /// disjoint trial seeds (it feeds every cell's setting name).
+    pub seed_base: u64,
+}
+
+/// One expanded grid point: a mix at one parameter combination.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CampaignCell {
+    /// The service mix.
+    pub mix: MixSpec,
+    /// Bottleneck bandwidth, Mbps.
+    pub bandwidth_mbps: f64,
+    /// Base RTT, milliseconds.
+    pub rtt_ms: u64,
+    /// Queue size, BDP multiples.
+    pub bdp_multiple: u64,
+    /// Queue discipline.
+    pub qdisc: String,
+    /// Link impairment.
+    pub impairment: String,
+    /// Seed-stream selector inherited from the campaign.
+    pub seed_base: u64,
+}
+
+impl CampaignSpec {
+    /// A small, runnable example (the `campaign example` output and the
+    /// CI smoke grid): two mixes over a 2×1 bandwidth × qdisc grid.
+    pub fn example() -> Self {
+        CampaignSpec {
+            name: "example".into(),
+            mixes: vec![
+                MixSpec {
+                    label: "cubic-vs-reno".into(),
+                    services: vec!["iPerf-Cubic".into(), "iPerf-Reno".into()],
+                    background: None,
+                },
+                MixSpec {
+                    label: "three-way".into(),
+                    services: vec![
+                        "iPerf-Cubic".into(),
+                        "iPerf-Reno".into(),
+                        "iPerf-BBR".into(),
+                    ],
+                    background: None,
+                },
+            ],
+            bandwidth_mbps: vec![8.0, 50.0],
+            rtt_ms: vec![50],
+            bdp_multiples: vec![4],
+            qdiscs: vec!["droptail".into()],
+            impairments: vec!["none".into()],
+            policy: TrialPolicy {
+                min_trials: 6,
+                batch: 1,
+                max_trials: 10,
+            },
+            duration_secs: 60,
+            warmup_secs: 10,
+            cooldown_secs: 10,
+            seed_base: 0,
+        }
+    }
+
+    /// The spec with every axis sorted and deduplicated — the canonical
+    /// form that expansion, fingerprints, and store records use. Mixes
+    /// sort by label; value axes sort ascending; name axes sort in
+    /// catalog order ([`QDISC_AXIS`] / [`IMPAIRMENT_AXIS`], unknown names
+    /// last alphabetically, caught by [`validate`](Self::validate)).
+    pub fn canonicalize(&self) -> CampaignSpec {
+        let mut c = self.clone();
+        c.mixes.sort_by(|a, b| a.label.cmp(&b.label));
+        c.mixes.dedup();
+        c.bandwidth_mbps
+            .sort_by(|a, b| a.partial_cmp(b).expect("NaN bandwidth"));
+        c.bandwidth_mbps.dedup();
+        c.rtt_ms.sort_unstable();
+        c.rtt_ms.dedup();
+        c.bdp_multiples.sort_unstable();
+        c.bdp_multiples.dedup();
+        let axis_rank =
+            |axis: &[&str], v: &str| axis.iter().position(|a| *a == v).unwrap_or(axis.len());
+        c.qdiscs
+            .sort_by(|a, b| (axis_rank(&QDISC_AXIS, a), a).cmp(&(axis_rank(&QDISC_AXIS, b), b)));
+        c.qdiscs.dedup();
+        c.impairments.sort_by(|a, b| {
+            (axis_rank(&IMPAIRMENT_AXIS, a), a).cmp(&(axis_rank(&IMPAIRMENT_AXIS, b), b))
+        });
+        c.impairments.dedup();
+        c
+    }
+
+    /// Check the spec: known services and axis names, positive finite
+    /// axis values, 2–4 foreground services per mix, unique mix labels,
+    /// a satisfiable trial policy, and a non-empty measured window.
+    pub fn validate(&self) -> Result<(), PrudentiaError> {
+        let bad = |msg: String| {
+            Err(PrudentiaError::InvalidConfig(format!(
+                "campaign '{}': {msg}",
+                self.name
+            )))
+        };
+        if self.name.is_empty() {
+            return bad("name must be non-empty".into());
+        }
+        if self.mixes.is_empty() {
+            return bad("needs at least one mix".into());
+        }
+        let mut labels: Vec<&str> = self.mixes.iter().map(|m| m.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        if labels.len() != self.mixes.len() {
+            return bad("mix labels must be unique".into());
+        }
+        for m in &self.mixes {
+            if m.label.is_empty() {
+                return bad("mix labels must be non-empty".into());
+            }
+            if !(2..=4).contains(&m.services.len()) {
+                return bad(format!(
+                    "mix '{}' has {} foreground services; need 2..=4",
+                    m.label,
+                    m.services.len()
+                ));
+            }
+            for s in m.services.iter().chain(m.background.as_ref()) {
+                lookup_service(s)?;
+            }
+        }
+        if self.bandwidth_mbps.is_empty()
+            || self.rtt_ms.is_empty()
+            || self.bdp_multiples.is_empty()
+            || self.qdiscs.is_empty()
+            || self.impairments.is_empty()
+        {
+            return bad("every axis needs at least one value".into());
+        }
+        for b in &self.bandwidth_mbps {
+            if !b.is_finite() || *b <= 0.0 {
+                return bad(format!("bandwidth {b} Mbps must be positive and finite"));
+            }
+        }
+        if self.rtt_ms.contains(&0) {
+            return bad("RTT axis values must be >= 1 ms".into());
+        }
+        if self.bdp_multiples.contains(&0) {
+            return bad("BDP multiples must be >= 1".into());
+        }
+        for q in &self.qdiscs {
+            if !QDISC_AXIS.contains(&q.as_str()) {
+                return bad(format!(
+                    "unknown qdisc '{q}' (expect one of {QDISC_AXIS:?})"
+                ));
+            }
+        }
+        for i in &self.impairments {
+            if !IMPAIRMENT_AXIS.contains(&i.as_str()) {
+                return bad(format!(
+                    "unknown impairment '{i}' (expect one of {IMPAIRMENT_AXIS:?})"
+                ));
+            }
+        }
+        let p = self.policy;
+        if p.min_trials == 0 || p.batch == 0 || p.max_trials == 0 || p.min_trials > p.max_trials {
+            return bad(format!(
+                "unsatisfiable trial policy (min {}, batch {}, max {})",
+                p.min_trials, p.batch, p.max_trials
+            ));
+        }
+        if self.duration_secs <= self.warmup_secs + self.cooldown_secs {
+            return bad(format!(
+                "duration {}s leaves no measured window after {}s warmup + {}s cooldown",
+                self.duration_secs, self.warmup_secs, self.cooldown_secs
+            ));
+        }
+        Ok(())
+    }
+
+    /// Expand the grid into cells, in canonical nested order: mixes
+    /// (sorted by label), then bandwidth, RTT, buffer, qdisc, impairment
+    /// — each axis sorted and deduplicated first, so the enumeration is
+    /// duplicate-free and independent of input order.
+    pub fn expand(&self) -> Vec<CampaignCell> {
+        let c = self.canonicalize();
+        let mut cells = Vec::new();
+        for mix in &c.mixes {
+            for &bw in &c.bandwidth_mbps {
+                for &rtt in &c.rtt_ms {
+                    for &bdp in &c.bdp_multiples {
+                        for qdisc in &c.qdiscs {
+                            for imp in &c.impairments {
+                                cells.push(CampaignCell {
+                                    mix: mix.clone(),
+                                    bandwidth_mbps: bw,
+                                    rtt_ms: rtt,
+                                    bdp_multiple: bdp,
+                                    qdisc: qdisc.clone(),
+                                    impairment: imp.clone(),
+                                    seed_base: c.seed_base,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Stable identity of the whole grid: FNV-1a of
+    /// [`CELL_SCHEMA_VERSION`] and the canonical spec JSON. Changing any
+    /// axis value, mix, policy, or duration moves the fingerprint;
+    /// reordering axis values does not.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(&self.canonicalize()).expect("CampaignSpec serializes");
+        versioned_fnv(CELL_SCHEMA_VERSION, json.as_bytes())
+    }
+
+    /// Parse a spec from JSON, validating it.
+    pub fn from_json(json: &str) -> Result<Self, PrudentiaError> {
+        let spec: CampaignSpec = serde_json::from_str(json).map_err(|e| PrudentiaError::Json {
+            context: "campaign spec".to_string(),
+            detail: e.to_string(),
+        })?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl CampaignCell {
+    /// Stable identity of the cell: FNV-1a of [`CELL_SCHEMA_VERSION`]
+    /// and the cell's canonical JSON (serde declaration order, no
+    /// whitespace). Doubles as the cell's store key.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("CampaignCell serializes");
+        versioned_fnv(CELL_SCHEMA_VERSION, json.as_bytes())
+    }
+
+    /// The fingerprint in the fixed-width hex form reports use.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
+    /// Human-oriented one-line label.
+    pub fn label(&self) -> String {
+        format!("{} @ {}", self.mix.label, self.point_label())
+    }
+
+    /// The parameter point alone (no mix), e.g. `8Mbps/50ms/4xBDP/codel/none/s0`.
+    pub fn point_label(&self) -> String {
+        format!(
+            "{}Mbps/{}ms/{}xBDP/{}/{}/s{}",
+            self.bandwidth_mbps,
+            self.rtt_ms,
+            self.bdp_multiple,
+            self.qdisc,
+            self.impairment,
+            self.seed_base
+        )
+    }
+
+    /// Materialize the simulator setting for this cell. The setting name
+    /// is the point label — it feeds per-trial seeds, so distinct grid
+    /// points (and seed bases) draw distinct seed streams.
+    pub fn setting(&self) -> Result<NetworkSetting, PrudentiaError> {
+        let rate_bps = self.bandwidth_mbps * 1e6;
+        let qdisc = match self.qdisc.as_str() {
+            "droptail" => QdiscSpec::DropTail,
+            "codel" => QdiscSpec::codel(),
+            "fq_codel" => QdiscSpec::fq_codel(),
+            "red" => QdiscSpec::red(),
+            other => {
+                return Err(PrudentiaError::InvalidConfig(format!(
+                    "unknown qdisc '{other}' in cell {}",
+                    self.fingerprint_hex()
+                )))
+            }
+        };
+        let impairment = match self.impairment.as_str() {
+            "none" => ImpairmentSpec::default(),
+            "lte" => ImpairmentSpec::lte_like(rate_bps),
+            "loss" => ImpairmentSpec {
+                loss_prob: 0.0005,
+                ..ImpairmentSpec::default()
+            },
+            other => {
+                return Err(PrudentiaError::InvalidConfig(format!(
+                    "unknown impairment '{other}' in cell {}",
+                    self.fingerprint_hex()
+                )))
+            }
+        };
+        NetworkSetting::builder()
+            .name(self.point_label())
+            .rate_bps(rate_bps)
+            .base_rtt(SimDuration::from_millis(self.rtt_ms))
+            .bdp_multiple(self.bdp_multiple)
+            .scenario(ScenarioSpec { qdisc, impairment })
+            .build()
+            .map_err(|e| {
+                PrudentiaError::InvalidConfig(format!("cell {}: {e}", self.fingerprint_hex()))
+            })
+    }
+
+    /// Resolve the foreground service specs from the catalog.
+    pub fn foreground_services(&self) -> Result<Vec<ServiceSpec>, PrudentiaError> {
+        self.mix
+            .services
+            .iter()
+            .map(|s| lookup_service(s))
+            .collect()
+    }
+
+    /// Resolve the background service spec, if any.
+    pub fn background_service(&self) -> Result<Option<ServiceSpec>, PrudentiaError> {
+        self.mix
+            .background
+            .as_ref()
+            .map(|s| lookup_service(s))
+            .transpose()
+    }
+}
+
+/// Resolve a catalog label (or full service name) to its spec — the same
+/// matching rule the CLI uses for `--services`.
+pub fn lookup_service(name: &str) -> Result<ServiceSpec, PrudentiaError> {
+    let lname = name.to_lowercase();
+    Service::all()
+        .into_iter()
+        .chain([Service::IperfBbr415])
+        .find(|s| s.label().to_lowercase() == lname || s.spec().name().to_lowercase() == lname)
+        .map(|s| s.spec())
+        .ok_or_else(|| PrudentiaError::UnknownService(name.to_string()))
+}

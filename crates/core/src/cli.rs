@@ -26,6 +26,7 @@
 //! a compatibility shim that prints a deprecation note to stderr while
 //! keeping stdout byte-identical to the new spelling.
 
+use crate::campaign::{self, CampaignRunConfig, CampaignSpec};
 use crate::daemon::{Daemon, DaemonConfig, ShutdownFlag};
 use crate::error::PrudentiaError;
 use crate::fleet::{self, FleetConfig, FleetManifest, FleetView, ShardSpec};
@@ -54,6 +55,9 @@ commands:
                                spawn | status | merge | stop (--store ROOT)
   serve                        HTTP status endpoint over a store (--store DIR)
   report                       static HTML/CSV report from a store (--store DIR)
+  campaign <action>            beyond-pairwise scenario grids with adaptive
+                               trial budgets: run | status | report |
+                               example | expand (--store DIR)
   validate                     conformance + invariant + golden-trace suite
   list                         catalog of Table 1 services
   classify                     CCAnalyzer-style CCA classification
@@ -183,6 +187,30 @@ options:
   --services A,B,..  matrix services (default: the Fig 2 set)
   --setting MBPS --scenario KIND";
 
+const CAMPAIGN_HELP: &str = "\
+usage: prudentia campaign <run|status|report|example|expand> [options]
+
+Expand an N-flow service-mix × parameter-grid campaign spec into
+deterministic fingerprinted cells and run them against a durable store.
+
+  run      execute the grid (resumes past interruptions; SIGINT-safe)
+  status   progress + verdict roll-up of the stored campaign
+  report   campaign CSVs (cells, per-axis marginals, grid heatmap)
+  example  print the built-in example spec JSON (edit and pass --spec)
+  expand   list the cells a spec expands to, without running them
+
+options:
+  --store DIR        durable results store (required for run/status/report)
+  --spec PATH        campaign spec JSON (default: the example spec)
+  --no-adaptive      disable the adaptive trial budget (run every cell
+                     to its CI stop or trial cap)
+  --redeal           re-deal trials saved by the adaptive budget to the
+                     highest-variance unsettled cells
+  --max-cells N      stop after N freshly executed cells (resume later)
+  --out DIR          report output directory (default: prudentia-report)
+  --flag-file PATH   graceful-shutdown flag file
+  --cache PATH --stats --metrics PATH";
+
 const VALIDATE_HELP: &str = "\
 usage: prudentia validate [--bless] [--golden-dir PATH]
 
@@ -226,6 +254,10 @@ struct Opts {
     flag_file: Option<PathBuf>,
     services: Option<Vec<String>>,
     solo: bool,
+    spec: Option<PathBuf>,
+    no_adaptive: bool,
+    redeal: bool,
+    max_cells: Option<usize>,
     help: bool,
     positional: Vec<String>,
 }
@@ -269,6 +301,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, PrudentiaError> {
         flag_file: None,
         services: None,
         solo: false,
+        spec: None,
+        no_adaptive: false,
+        redeal: false,
+        max_cells: None,
         help: false,
         positional: Vec::new(),
     };
@@ -333,6 +369,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, PrudentiaError> {
                 );
             }
             "--solo" => opts.solo = true,
+            "--spec" => opts.spec = Some(PathBuf::from(value_of("--spec", &mut it)?)),
+            "--no-adaptive" => opts.no_adaptive = true,
+            "--redeal" => opts.redeal = true,
+            "--max-cells" => {
+                opts.max_cells = Some(parsed("--max-cells", value_of("--max-cells", &mut it)?)?)
+            }
             "--help" | "-h" => opts.help = true,
             other if other.starts_with("--") => {
                 return Err(PrudentiaError::Usage(format!("unknown option: {other}")));
@@ -391,6 +433,7 @@ pub fn run(args: &[String]) -> Result<i32, PrudentiaError> {
         "fleet" => help_or(&opts, FLEET_HELP, cmd_fleet),
         "serve" => help_or(&opts, SERVE_HELP, cmd_serve),
         "report" => help_or(&opts, REPORT_HELP, cmd_report),
+        "campaign" => help_or(&opts, CAMPAIGN_HELP, cmd_campaign),
         "validate" => help_or(&opts, VALIDATE_HELP, cmd_validate),
         "list" => help_or(&opts, LIST_HELP, |_| {
             cmd_list();
@@ -1039,6 +1082,146 @@ fn cmd_serve(opts: &Opts) -> Result<i32, PrudentiaError> {
     Ok(0)
 }
 
+/// Load the campaign spec: `--spec PATH` or the built-in example.
+fn campaign_spec(opts: &Opts) -> Result<CampaignSpec, PrudentiaError> {
+    match &opts.spec {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| PrudentiaError::io(format!("campaign spec {}", path.display()), e))?;
+            CampaignSpec::from_json(&json)
+        }
+        None => Ok(CampaignSpec::example()),
+    }
+}
+
+fn cmd_campaign(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let action = opts.positional.first().map(String::as_str).ok_or_else(|| {
+        PrudentiaError::Usage(
+            "campaign needs an action: run | status | report | example | expand".to_string(),
+        )
+    })?;
+    match action {
+        "example" => {
+            let json = serde_json::to_string(&CampaignSpec::example()).expect("example serializes");
+            println!("{json}");
+            Ok(0)
+        }
+        "expand" => {
+            let spec = campaign_spec(opts)?;
+            spec.validate()?;
+            let cells = spec.expand();
+            println!(
+                "campaign {} ({:016x}): {} cells",
+                spec.name,
+                spec.fingerprint(),
+                cells.len()
+            );
+            for c in &cells {
+                println!("  {} {}", c.fingerprint_hex(), c.label());
+            }
+            Ok(0)
+        }
+        "run" => cmd_campaign_run(opts),
+        "status" | "report" => {
+            let Some(store_dir) = opts.store.clone() else {
+                return Err(PrudentiaError::Usage(format!(
+                    "campaign {action} needs --store DIR"
+                )));
+            };
+            let snap = prudentia_store::Snapshot::read(&store_dir)?;
+            if action == "status" {
+                print!("{}", campaign::campaign_status_text(&snap));
+                return Ok(0);
+            }
+            let out_dir = opts
+                .out
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("prudentia-report"));
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| PrudentiaError::io(format!("report dir {}", out_dir.display()), e))?;
+            let records = campaign::stored_outcomes(&snap, None);
+            let files = [
+                ("campaign.csv", campaign::campaign_cells_csv(&records)),
+                (
+                    "campaign_marginals.csv",
+                    campaign::campaign_marginals_csv(&records),
+                ),
+                ("campaign_grid.csv", campaign::campaign_grid_csv(&records)),
+                ("campaign_status.txt", campaign::campaign_status_text(&snap)),
+            ];
+            for (name, body) in files {
+                let path = out_dir.join(name);
+                std::fs::write(&path, body)
+                    .map_err(|e| PrudentiaError::io(format!("report {}", path.display()), e))?;
+                println!("wrote {}", path.display());
+            }
+            Ok(0)
+        }
+        other => Err(PrudentiaError::Usage(format!(
+            "unknown campaign action: {other} (expected run | status | report | example | expand)"
+        ))),
+    }
+}
+
+fn cmd_campaign_run(opts: &Opts) -> Result<i32, PrudentiaError> {
+    let Some(store_dir) = opts.store.clone() else {
+        return Err(PrudentiaError::Usage(
+            "campaign run needs --store DIR".to_string(),
+        ));
+    };
+    let _cmd_span = prudentia_obs::span!("campaign-run");
+    let registry = opts
+        .metrics
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let mut store = prudentia_store::Store::open(&store_dir)?;
+    let mut config = CampaignRunConfig::new(campaign_spec(opts)?);
+    config.adaptive = !opts.no_adaptive;
+    config.redeal = opts.redeal;
+    config.max_cells = opts.max_cells;
+    config.metrics = registry.clone();
+    if let Some(path) = &opts.cache {
+        config.cache = Some(Arc::new(TrialCache::load(path)?));
+    }
+    config.shutdown = match &opts.flag_file {
+        Some(path) => ShutdownFlag::with_flag_file(path.clone()),
+        None => ShutdownFlag::new(),
+    };
+    ShutdownFlag::install_sigint_handler();
+
+    let report = crate::campaign::run_campaign(&mut store, &config)?;
+    let p = &report.progress;
+    println!(
+        "campaign {}: {}/{} cells done ({} run, {} skipped, {} redealt)",
+        p.name,
+        p.cells_done,
+        p.cells_total,
+        report.cells_run,
+        report.cells_skipped,
+        report.cells_redealt,
+    );
+    println!(
+        "trials: {} of {} budget used ({:.0}% saved), adaptive {}",
+        p.trials_used,
+        p.budget_total,
+        p.savings_ratio() * 100.0,
+        if config.adaptive { "on" } else { "off" },
+    );
+    if report.interrupted {
+        println!("interrupted; progress saved — rerun with --store to resume");
+    }
+    if let (Some(cache), Some(path)) = (&config.cache, &opts.cache) {
+        cache.save(path)?;
+    }
+    if opts.stats {
+        print_phase_breakdown();
+    }
+    if let (Some(reg), Some(path)) = (&registry, &opts.metrics) {
+        write_metrics(reg, path);
+    }
+    Ok(0)
+}
+
 fn cmd_report(opts: &Opts) -> Result<i32, PrudentiaError> {
     let config = serve_config(opts, "report")?;
     let out_dir = opts
@@ -1104,10 +1287,36 @@ mod tests {
     fn help_paths_succeed() {
         assert_eq!(run(&args(&["--help"])).unwrap(), 0);
         for cmd in [
-            "run", "matrix", "watch", "fleet", "serve", "report", "validate", "list", "classify",
+            "run", "matrix", "watch", "fleet", "serve", "report", "campaign", "validate", "list",
+            "classify",
         ] {
             assert_eq!(run(&args(&[cmd, "--help"])).unwrap(), 0, "{cmd} --help");
         }
+    }
+
+    #[test]
+    fn campaign_validates_action_and_store() {
+        let err = run(&args(&["campaign"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing action");
+        let err = run(&args(&["campaign", "dance"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "unknown action");
+        let err = run(&args(&["campaign", "run"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing --store");
+        assert!(err.to_string().contains("--store"));
+        let err = run(&args(&["campaign", "status"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "status needs --store");
+        assert_eq!(run(&args(&["campaign", "example"])).unwrap(), 0);
+        assert_eq!(run(&args(&["campaign", "expand"])).unwrap(), 0);
+        let err = run(&args(&[
+            "campaign",
+            "run",
+            "--spec",
+            "/nonexistent.json",
+            "--store",
+            "/tmp/x",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "unreadable spec file");
     }
 
     #[test]

@@ -44,6 +44,20 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// TURBOTEST-style adaptive trial budget: stop a pair's trials early
+/// once the already-kept samples pin the median MmF share of *both*
+/// sides inside one verdict band for every reachable continuation up to
+/// `max_trials` (see [`prudentia_stats::verdict_locked`]). The rule is
+/// sound by construction — an adaptive run reports the same band as the
+/// exhaustive run on every pair — which `tests/differential_campaign.rs`
+/// re-proves end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveBudget {
+    /// Ascending interior edges of the verdict bands on median MmF
+    /// share (e.g. `[0.25, 0.75, 1.25]`).
+    pub band_edges: Vec<f64>,
+}
+
 /// Configuration for one [`execute_pairs`] run.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
@@ -63,6 +77,13 @@ pub struct ExecutorConfig {
     /// telemetry (steals, idle time, cache latency, queue depths).
     /// Purely observational: attaching one cannot change outcomes.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional early-termination rule. `None` runs the exhaustive §3.4
+    /// policy unchanged.
+    pub adaptive: Option<AdaptiveBudget>,
+    /// Optional attribution label (a campaign cell fingerprint) woven
+    /// into validation errors, so a bad policy inside a thousand-cell
+    /// grid names the cell that produced it.
+    pub context: Option<String>,
 }
 
 impl ExecutorConfig {
@@ -75,6 +96,8 @@ impl ExecutorConfig {
             external_loss: 0.0,
             cache: None,
             metrics: None,
+            adaptive: None,
+            context: None,
         }
     }
 
@@ -90,6 +113,18 @@ impl ExecutorConfig {
         self
     }
 
+    /// Enable the adaptive early-termination rule.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveBudget) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Attach an attribution label for validation errors.
+    pub fn with_context(mut self, context: impl Into<String>) -> Self {
+        self.context = Some(context.into());
+        self
+    }
+
     /// Start a builder (validated construction; see
     /// [`ExecutorConfigBuilder`]).
     pub fn builder() -> ExecutorConfigBuilder {
@@ -99,32 +134,54 @@ impl ExecutorConfig {
     }
 
     /// Check the config against the executor's requirements: at least
-    /// one worker, a satisfiable trial policy, and an external-loss
-    /// probability (not a percentage).
+    /// one worker, a satisfiable trial policy, well-formed adaptive band
+    /// edges, and an external-loss probability (not a percentage).
+    ///
+    /// When [`context`](Self::context) is set (a campaign cell
+    /// fingerprint), every error names it, so a bad policy inside a
+    /// large grid is attributable to the offending cell.
     pub fn validate(&self) -> Result<(), PrudentiaError> {
+        self.validate_message().map_err(|msg| match &self.context {
+            Some(ctx) => PrudentiaError::InvalidConfig(format!("{msg} (in {ctx})")),
+            None => PrudentiaError::InvalidConfig(msg),
+        })
+    }
+
+    fn validate_message(&self) -> Result<(), String> {
         let p = self.policy;
         if p.min_trials == 0 || p.batch == 0 || p.max_trials == 0 {
-            return Err(PrudentiaError::InvalidConfig(format!(
+            return Err(format!(
                 "trial policy counts must be >= 1 (min {}, batch {}, max {})",
                 p.min_trials, p.batch, p.max_trials
-            )));
-        }
-        if p.min_trials > p.max_trials {
-            return Err(PrudentiaError::InvalidConfig(format!(
-                "trial policy min_trials {} exceeds max_trials {}",
-                p.min_trials, p.max_trials
-            )));
-        }
-        if self.parallelism == 0 {
-            return Err(PrudentiaError::InvalidConfig(
-                "parallelism must be >= 1".to_string(),
             ));
         }
+        if p.min_trials > p.max_trials {
+            return Err(format!(
+                "trial policy min_trials {} exceeds max_trials {}",
+                p.min_trials, p.max_trials
+            ));
+        }
+        if self.parallelism == 0 {
+            return Err("parallelism must be >= 1".to_string());
+        }
         if !(0.0..1.0).contains(&self.external_loss) {
-            return Err(PrudentiaError::InvalidConfig(format!(
+            return Err(format!(
                 "external loss must be a probability in [0, 1), got {}",
                 self.external_loss
-            )));
+            ));
+        }
+        if let Some(a) = &self.adaptive {
+            if a.band_edges.is_empty() {
+                return Err("adaptive budget needs at least one band edge".to_string());
+            }
+            if !a.band_edges.windows(2).all(|w| w[0] < w[1])
+                || a.band_edges.iter().any(|e| !e.is_finite())
+            {
+                return Err(format!(
+                    "adaptive band edges must be finite and strictly ascending, got {:?}",
+                    a.band_edges
+                ));
+            }
         }
         Ok(())
     }
@@ -174,6 +231,18 @@ impl ExecutorConfigBuilder {
         self
     }
 
+    /// Enable the adaptive early-termination rule.
+    pub fn adaptive(mut self, adaptive: AdaptiveBudget) -> Self {
+        self.config.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Attach an attribution label for validation errors.
+    pub fn context(mut self, context: impl Into<String>) -> Self {
+        self.config.context = Some(context.into());
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ExecutorConfig, PrudentiaError> {
         self.config.validate()?;
@@ -195,6 +264,9 @@ pub struct PairStats {
     pub kept_trials: usize,
     /// Whether the CI stopping rule was satisfied.
     pub converged: bool,
+    /// Whether the adaptive budget stopped the pair early: the verdict
+    /// band was locked before the CI rule converged or the cap was hit.
+    pub locked_early: bool,
     /// Trials discarded for excessive external loss (each was replaced).
     pub discarded: usize,
     /// Trials served from the cache.
@@ -317,7 +389,13 @@ impl std::fmt::Display for SchedulerStats {
                 p.incumbent,
                 p.setting,
                 p.kept_trials,
-                if p.converged { "" } else { " (unconverged)" },
+                if p.converged {
+                    ""
+                } else if p.locked_early {
+                    " (verdict locked early)"
+                } else {
+                    " (unconverged)"
+                },
                 if p.discarded > 0 {
                     format!(", {} discarded", p.discarded)
                 } else {
@@ -352,6 +430,8 @@ struct PairRun {
     eval_count: usize,
     done: bool,
     converged: bool,
+    /// The adaptive budget ended the pair before the CI rule did.
+    locked: bool,
     /// Kept trials that form the outcome once `done`.
     final_count: usize,
     discarded: usize,
@@ -413,6 +493,7 @@ impl Shared {
     /// stopping rule at every kept count it reaches, and finalize at the
     /// safety valve once nothing is left in flight. Decisions depend only
     /// on results in index order, so completion timing is irrelevant.
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &mut self,
         pair: usize,
@@ -421,6 +502,7 @@ impl Shared {
         cost: Option<TrialCost>,
         policy: TrialPolicy,
         index_cap: usize,
+        adaptive: Option<&AdaptiveBudget>,
     ) {
         if let Some(c) = cost {
             self.trials_run += 1;
@@ -466,6 +548,21 @@ impl Shared {
             } else if run.eval_count >= max_trials {
                 run.done = true;
                 run.final_count = max_trials;
+            } else if adaptive.is_some_and(|a| {
+                // TURBOTEST-style lock: stop once no continuation up to
+                // max_trials can move either side's median MmF share out
+                // of its verdict band. The base CI rule ran first, so an
+                // adaptive run stops no later — and with the same verdict
+                // band — as the exhaustive run (the kept-trial fold is
+                // identical up to this point by seed determinism).
+                let inc_share: Vec<f64> = upto.iter().map(|t| t.incumbent.mmf_share).collect();
+                let con_share: Vec<f64> = upto.iter().map(|t| t.contender.mmf_share).collect();
+                prudentia_stats::verdict_locked(&inc_share, max_trials, &a.band_edges)
+                    && prudentia_stats::verdict_locked(&con_share, max_trials, &a.band_edges)
+            }) {
+                run.done = true;
+                run.locked = true;
+                run.final_count = run.eval_count;
             } else {
                 run.eval_count += 1;
             }
@@ -515,6 +612,7 @@ pub fn execute_pairs(
         parallelism = config.parallelism as u64,
     );
     let policy = config.policy;
+    let adaptive = config.adaptive.as_ref();
     // Same valve as the sequential scheduler: at most 4x max_trials
     // indices per pair, so pathological external loss terminates.
     let index_cap = policy.max_trials.max(1) * 4;
@@ -531,6 +629,7 @@ pub fn execute_pairs(
                 eval_count: policy.min_trials.max(1).min(policy.max_trials.max(1)),
                 done: false,
                 converged: false,
+                locked: false,
                 final_count: 0,
                 discarded: 0,
                 cache_hits: 0,
@@ -653,7 +752,7 @@ pub fn execute_pairs(
                     } else {
                         guard.runs[p].executed += 1;
                     }
-                    guard.record(p, index, result, cost, policy, index_cap);
+                    guard.record(p, index, result, cost, policy, index_cap, adaptive);
                     drop(guard);
                     condvar.notify_all();
                 }
@@ -673,6 +772,11 @@ pub fn execute_pairs(
                 reg.histogram("executor/trials_to_convergence")
                     .record(run.final_count as f64);
             }
+            if run.locked {
+                reg.counter("executor/verdicts_locked_early").inc();
+                reg.histogram("executor/trials_saved_by_lock")
+                    .record((policy.max_trials.max(1) - run.final_count) as f64);
+            }
             // CI-width trajectory: the half-width of the incumbent's 95%
             // median-throughput CI at every kept count the stopping rule
             // evaluated — how fast each pair's uncertainty collapsed.
@@ -689,6 +793,7 @@ pub fn execute_pairs(
             setting: pair.setting.name.clone(),
             kept_trials: run.final_count,
             converged: run.converged,
+            locked_early: run.locked,
             discarded: run.discarded,
             cache_hits: run.cache_hits,
         });
@@ -824,5 +929,76 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("executor: 1 pairs"));
         assert!(text.contains("per-trial wall"));
+    }
+
+    #[test]
+    fn validation_errors_name_the_campaign_cell() {
+        let bad = TrialPolicy {
+            min_trials: 5,
+            batch: 1,
+            max_trials: 3,
+        };
+        let plain = ExecutorConfig::new(bad, DurationPolicy::Quick, 1);
+        let msg = plain.validate().unwrap_err().to_string();
+        assert!(msg.contains("min_trials 5 exceeds max_trials 3"), "{msg}");
+        assert!(!msg.contains("(in "), "no context requested: {msg}");
+
+        let attributed = ExecutorConfig::new(bad, DurationPolicy::Quick, 1)
+            .with_context("campaign cell deadbeefdeadbeef");
+        let msg = attributed.validate().unwrap_err().to_string();
+        assert!(
+            msg.contains("min_trials 5 exceeds max_trials 3")
+                && msg.contains("(in campaign cell deadbeefdeadbeef)"),
+            "context must be woven into the error: {msg}"
+        );
+
+        let bad_edges = ExecutorConfig::new(tiny_policy(), DurationPolicy::Quick, 1)
+            .with_adaptive(AdaptiveBudget {
+                band_edges: vec![0.75, 0.25],
+            })
+            .with_context("campaign cell 0000000000000001");
+        let msg = bad_edges.validate().unwrap_err().to_string();
+        assert!(
+            msg.contains("strictly ascending") && msg.contains("0000000000000001"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn adaptive_budget_never_exceeds_exhaustive_trials_or_flips_verdicts() {
+        // Parallelism 1 so both runs execute the exact sequential trial
+        // schedule and the trial-count comparison is strict.
+        let pairs = vec![
+            pair(Service::IperfCubic, Service::IperfReno),
+            pair(Service::IperfCubic, Service::IperfCubic),
+        ];
+        let policy = TrialPolicy {
+            min_trials: 2,
+            batch: 1,
+            max_trials: 6,
+        };
+        let base = ExecutorConfig::new(policy, DurationPolicy::Quick, 1);
+        let (full, full_stats) = execute_pairs(&pairs, &base).unwrap();
+        let adaptive =
+            ExecutorConfig::new(policy, DurationPolicy::Quick, 1).with_adaptive(AdaptiveBudget {
+                band_edges: crate::campaign::VerdictBand::EDGES.to_vec(),
+            });
+        let (fast, fast_stats) = execute_pairs(&pairs, &adaptive).unwrap();
+        assert!(fast_stats.trials_run <= full_stats.trials_run);
+        for (f, a) in full.iter().zip(&fast) {
+            assert!(a.trials.len() <= f.trials.len(), "{}", f.contender);
+            for (fs, as_) in [
+                (f.contender_mmf_median, a.contender_mmf_median),
+                (f.incumbent_mmf_median, a.incumbent_mmf_median),
+            ] {
+                assert_eq!(
+                    crate::campaign::VerdictBand::of(fs),
+                    crate::campaign::VerdictBand::of(as_),
+                    "adaptive budget flipped {} vs {}",
+                    f.contender,
+                    f.incumbent
+                );
+            }
+        }
     }
 }

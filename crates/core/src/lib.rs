@@ -35,6 +35,7 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod campaign;
 pub mod classifier;
 pub mod cli;
 pub mod config;
@@ -52,7 +53,11 @@ pub mod serve;
 pub mod submissions;
 pub mod watchdog;
 
-pub use cache::{trial_key, TrialCache, SPEC_SCHEMA_VERSION};
+pub use cache::{trial_key, versioned_fnv, TrialCache, SPEC_SCHEMA_VERSION};
+pub use campaign::{
+    execute_cell, run_campaign, CampaignRunConfig, CampaignRunReport, CampaignSpec, CellOutcome,
+    CellRecord, VerdictBand,
+};
 pub use classifier::{classify_service, extract_features, CcaClass, CcaFeatures, ClassifierConfig};
 pub use config::NetworkSetting;
 pub use daemon::{

@@ -21,7 +21,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 /// Trial-count policy.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrialPolicy {
     /// Minimum trials per pair (paper: 10).
     pub min_trials: usize,
@@ -59,6 +59,16 @@ pub enum DurationPolicy {
     Paper,
     /// 3-minute experiments, 30-second trims.
     Quick,
+    /// Explicit lengths, used by campaign grids whose cells trade trial
+    /// length against grid breadth.
+    Custom {
+        /// Total simulated seconds per trial.
+        duration_secs: u64,
+        /// Leading trim excluded from the measured window.
+        warmup_secs: u64,
+        /// Trailing trim excluded from the measured window.
+        cooldown_secs: u64,
+    },
 }
 
 impl DurationPolicy {
@@ -73,6 +83,26 @@ impl DurationPolicy {
         match self {
             DurationPolicy::Paper => ExperimentSpec::paper(contender, incumbent, setting, seed),
             DurationPolicy::Quick => ExperimentSpec::quick(contender, incumbent, setting, seed),
+            DurationPolicy::Custom {
+                duration_secs,
+                warmup_secs,
+                cooldown_secs,
+            } => {
+                let mut spec = ExperimentSpec::quick(contender, incumbent, setting, seed);
+                spec.duration = SimDuration::from_secs(duration_secs);
+                spec.warmup = SimDuration::from_secs(warmup_secs);
+                spec.cooldown = SimDuration::from_secs(cooldown_secs);
+                spec
+            }
+        }
+    }
+
+    /// Simulated seconds of one trial under this policy.
+    pub fn trial_secs(self) -> u64 {
+        match self {
+            DurationPolicy::Paper => 600,
+            DurationPolicy::Quick => 180,
+            DurationPolicy::Custom { duration_secs, .. } => duration_secs,
         }
     }
 }
@@ -234,11 +264,7 @@ pub fn run_pairs_parallel(
 /// full run of one trial of every pair takes ~20 hours" discussion —
 /// in simulation it is the simulated time that matters).
 pub fn simulated_time_per_iteration(pairs: usize, duration: DurationPolicy) -> SimDuration {
-    let per = match duration {
-        DurationPolicy::Paper => SimDuration::from_secs(600),
-        DurationPolicy::Quick => SimDuration::from_secs(180),
-    };
-    per * pairs as u64
+    SimDuration::from_secs(duration.trial_secs()) * pairs as u64
 }
 
 #[cfg(test)]

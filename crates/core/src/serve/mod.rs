@@ -183,13 +183,22 @@ const ALL_STATS: [HeatmapStat; 4] = [
 
 /// The cacheable data routes, in render order. `/metrics` is excluded
 /// because its serve-counter tail changes per request.
-pub const DATA_ROUTES: [&str; 5] = ["/", "/status", "/heatmap", "/heatmap.csv", "/freshness"];
+pub const DATA_ROUTES: [&str; 7] = [
+    "/",
+    "/status",
+    "/heatmap",
+    "/heatmap.csv",
+    "/freshness",
+    "/campaign",
+    "/campaign.csv",
+];
 
 pub(crate) const OK: &str = "200 OK";
 pub(crate) const UNAVAILABLE: &str = "503 Service Unavailable";
 pub(crate) const JSON_CT: &str = "application/json";
 pub(crate) const HTML_CT: &str = "text/html; charset=utf-8";
 pub(crate) const CSV_CT: &str = "text/csv";
+pub(crate) const TEXT_CT: &str = "text/plain; charset=utf-8";
 
 /// One fully rendered route: status line, content type, body bytes,
 /// and the strong `ETag` over those bytes.
@@ -405,6 +414,19 @@ pub(crate) fn render_routes(config: &ServeConfig, view: ViewRef<'_>) -> Rendered
                 "/heatmap" => RouteBody::new(OK, JSON_CT, json(&heatmap_bodies(config, view))),
                 "/heatmap.csv" => RouteBody::new(OK, CSV_CT, heatmap_csv(config, view)),
                 "/freshness" => RouteBody::new(OK, JSON_CT, json(&view.freshness_rows(config))),
+                "/campaign" => RouteBody::new(
+                    OK,
+                    TEXT_CT,
+                    crate::campaign::campaign_status_text(view.latest()),
+                ),
+                "/campaign.csv" => RouteBody::new(
+                    OK,
+                    CSV_CT,
+                    crate::campaign::campaign_cells_csv(&crate::campaign::stored_outcomes(
+                        view.latest(),
+                        None,
+                    )),
+                ),
                 other => unreachable!("unknown data route {other}"),
             };
             (path, body)
@@ -548,6 +570,7 @@ fn dashboard(config: &ServeConfig, view: ViewRef<'_>) -> String {
     html.push_str(
         "<p><a href=\"/status\">status</a> · <a href=\"/heatmap\">heatmap json</a> · \
          <a href=\"/heatmap.csv\">heatmap csv</a> · <a href=\"/freshness\">freshness</a> · \
+         <a href=\"/campaign\">campaign</a> · <a href=\"/campaign.csv\">campaign csv</a> · \
          <a href=\"/metrics\">metrics</a></p>",
     );
     for (setting, heatmap) in heatmaps(
@@ -637,6 +660,30 @@ pub fn write_report(config: &ServeConfig, out_dir: &Path) -> Result<Vec<String>,
     std::fs::write(&status_path, json(&status))
         .map_err(|e| PrudentiaError::io(format!("write {}", status_path.display()), e))?;
     written.push("status.json".to_string());
+
+    // Campaign slices ride along only when the store actually holds
+    // campaign cells; a pairwise-only store's report file set is
+    // unchanged.
+    let cells = crate::campaign::stored_outcomes(view.as_ref().latest(), None);
+    if !cells.is_empty() {
+        let files = [
+            ("campaign.csv", crate::campaign::campaign_cells_csv(&cells)),
+            (
+                "campaign_marginals.csv",
+                crate::campaign::campaign_marginals_csv(&cells),
+            ),
+            (
+                "campaign_grid.csv",
+                crate::campaign::campaign_grid_csv(&cells),
+            ),
+        ];
+        for (name, body) in files {
+            let path = out_dir.join(name);
+            std::fs::write(&path, body)
+                .map_err(|e| PrudentiaError::io(format!("write {}", path.display()), e))?;
+            written.push(name.to_string());
+        }
+    }
     Ok(written)
 }
 

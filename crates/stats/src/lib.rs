@@ -10,11 +10,13 @@
 pub mod ci;
 pub mod descriptive;
 pub mod fairness;
+pub mod predictor;
 pub mod timeseries;
 
 pub use ci::{bootstrap_median_ci, median_ci, median_ci_within, ConfidenceInterval};
 pub use descriptive::{iqr, mean, median, quantile, quartiles, std_dev};
 pub use fairness::{harm, jain_index, max_min_allocation, mmf_share, pairwise_mmf_shares, Demand};
+pub use predictor::{band_index, median_envelope, verdict_locked};
 pub use timeseries::{dip_starts, dominant_period, low_fraction, moving_average, rebin_sum};
 
 #[cfg(test)]

@@ -1,0 +1,270 @@
+//! TURBOTEST-style early-termination predictor for verdict bands.
+//!
+//! The §3.4 stopping rule ends a cell's trials when the median-throughput
+//! CI is within tolerance — but a watchdog verdict is coarser than a
+//! median: it is the *band* the median MmF share falls into (starved /
+//! squeezed / fair / dominant). Once the already-collected samples pin the
+//! final median inside one band **no matter what the remaining trials
+//! return**, further trials cannot flip the verdict and the budget is
+//! better spent elsewhere.
+//!
+//! The lock test is distribution-free and adversarial. With `k` kept
+//! samples and up to `j = max_total - k` future trials, the final sample
+//! count is some `n = k + j'` (`0 ≤ j' ≤ j`). Whatever values the future
+//! trials take, the combined order statistics at the median ranks are
+//! bracketed by order statistics of the *known* samples: pushing all
+//! unknowns below shifts known values up by `j'` ranks, pushing all
+//! unknowns above leaves known ranks in place. Taking the union of those
+//! brackets over every reachable `n` yields an envelope that contains
+//! every achievable final median. If the whole envelope sits inside one
+//! band, the verdict is locked. The envelope becomes unbounded exactly
+//! when an unknown sample could itself occupy a median rank — in that
+//! case the adversary controls the median and no lock is possible (the
+//! infinite endpoint lands in an extremal band and the test fails unless
+//! that band spans everything).
+//!
+//! Soundness, not optimism: `verdict_locked` quantifies over **all** stop
+//! counts the exhaustive run could reach, so an adaptive runner that (a)
+//! applies the same base CI rule first and (b) stops early only when
+//! locked reports the same band as the exhaustive run on every cell.
+
+/// Index of the verdict band containing `x`, given ascending interior
+/// `edges`. Bands are half-open: with edges `[a, b]` the bands are
+/// `(-inf, a)`, `[a, b)`, `[b, +inf)` — indices 0, 1, 2. Infinite inputs
+/// land in the extremal bands.
+pub fn band_index(x: f64, edges: &[f64]) -> usize {
+    edges.iter().take_while(|e| x >= **e).count()
+}
+
+/// Envelope `[lo, hi]` of every final median reachable by appending up to
+/// `max_total - samples.len()` adversarial future values to `samples`.
+///
+/// Endpoints are `-inf`/`+inf` when a future sample could occupy a median
+/// rank. Panics on an empty sample, NaN samples, or `max_total` smaller
+/// than the sample count (the caller's bookkeeping is broken).
+pub fn median_envelope(samples: &[f64], max_total: usize) -> (f64, f64) {
+    let k = samples.len();
+    assert!(k >= 1, "median_envelope of empty sample");
+    assert!(
+        max_total >= k,
+        "max_total {max_total} below sample count {k}"
+    );
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median_envelope input"));
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for j in 0..=(max_total - k) {
+        let n = k + j;
+        // 1-based ranks whose order statistics bracket the median of n
+        // values: (n+1)/2 and n/2 + 1 (equal when n is odd).
+        let r_lo = n.div_ceil(2);
+        let r_hi = n / 2 + 1;
+        // All j unknowns below every known sample: combined rank r is
+        // known rank r - j. The median is >= the combined r_lo statistic.
+        lo = lo.min(if r_lo > j {
+            v[r_lo - j - 1]
+        } else {
+            f64::NEG_INFINITY
+        });
+        // All j unknowns above: combined rank r is known rank r (r <= k).
+        // The median is <= the combined r_hi statistic.
+        hi = hi.max(if r_hi <= k {
+            v[r_hi - 1]
+        } else {
+            f64::INFINITY
+        });
+    }
+    (lo, hi)
+}
+
+/// Can the verdict band of the final median still flip, given up to
+/// `max_total` total samples? Returns `true` — the verdict is locked —
+/// only when **every** reachable final median falls in the same band as
+/// the current one, for any adversarial continuation and any stop count
+/// in `samples.len()..=max_total`.
+///
+/// Returns `false` for empty samples or when `max_total` is below the
+/// current count (a confused caller never gets permission to stop).
+pub fn verdict_locked(samples: &[f64], max_total: usize, edges: &[f64]) -> bool {
+    if samples.is_empty() || max_total < samples.len() {
+        return false;
+    }
+    let (lo, hi) = median_envelope(samples, max_total);
+    // A band is an interval: endpoints in the same band pin the whole
+    // envelope (infinities included — they land in the extremal bands).
+    band_index(lo, edges) == band_index(hi, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::median;
+
+    /// The watchdog's MmF-share bands used throughout these tests:
+    /// starved < 0.25 <= squeezed < 0.75 <= fair < 1.25 <= dominant.
+    const EDGES: [f64; 3] = [0.25, 0.75, 1.25];
+
+    #[test]
+    fn band_index_half_open() {
+        assert_eq!(band_index(0.1, &EDGES), 0);
+        assert_eq!(band_index(0.25, &EDGES), 1);
+        assert_eq!(band_index(0.74, &EDGES), 1);
+        assert_eq!(band_index(0.75, &EDGES), 2);
+        assert_eq!(band_index(1.25, &EDGES), 3);
+        assert_eq!(band_index(f64::NEG_INFINITY, &EDGES), 0);
+        assert_eq!(band_index(f64::INFINITY, &EDGES), 3);
+    }
+
+    #[test]
+    fn envelope_hand_computed_no_headroom() {
+        // k == max_total: the only reachable median is the current one.
+        let (lo, hi) = median_envelope(&[1.0, 2.0, 3.0, 4.0, 5.0], 5);
+        assert_eq!((lo, hi), (3.0, 3.0));
+    }
+
+    #[test]
+    fn envelope_hand_computed_two_extra() {
+        // k=3, max_total=5. j=0: median 2. j=1 (n=4): ranks 2,3 ->
+        // [v[0], v[2]] = [1, 3]. j=2 (n=5): rank 3 -> [v[0], v[2]].
+        let (lo, hi) = median_envelope(&[1.0, 2.0, 3.0], 5);
+        assert_eq!((lo, hi), (1.0, 3.0));
+    }
+
+    #[test]
+    fn envelope_unbounded_when_unknowns_reach_median_rank() {
+        // k=2, max_total=6: four unknowns can straddle the median.
+        let (lo, hi) = median_envelope(&[1.0, 2.0], 6);
+        assert_eq!(lo, f64::NEG_INFINITY);
+        assert_eq!(hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn locked_when_samples_pin_one_band() {
+        // Ten fair-band samples, two trials of headroom: n=12 keeps the
+        // median between v[3] and v[6] — all inside [0.75, 1.25).
+        let xs = [0.9, 0.95, 1.0, 1.02, 1.05, 1.1, 0.98, 1.01, 0.99, 1.03];
+        assert!(verdict_locked(&xs, 12, &EDGES));
+    }
+
+    #[test]
+    fn never_locks_when_a_continuation_can_flip() {
+        // Six fair-band samples with six trials of headroom: an
+        // adversarial continuation drags the median into "squeezed".
+        let xs = [0.8, 0.85, 0.9, 1.0, 1.1, 1.2];
+        assert!(!verdict_locked(&xs, 12, &EDGES));
+        // Ground truth: the flip is actually achievable.
+        let before = band_index(median(&xs), &EDGES);
+        let mut flipped: Vec<f64> = xs.to_vec();
+        flipped.extend([0.1; 6]);
+        let after = band_index(median(&flipped), &EDGES);
+        assert_ne!(before, after, "continuation failed to flip the band");
+    }
+
+    #[test]
+    fn near_edge_samples_do_not_lock() {
+        // Median sits just under an edge; one extra sample above pushes
+        // the even-count midpoint across 1.25. The envelope must notice.
+        let xs = [1.20, 1.22, 1.24, 1.24, 1.30, 1.40, 1.50];
+        assert!(!verdict_locked(&xs, 8, &EDGES));
+        let mut flipped: Vec<f64> = xs.to_vec();
+        flipped.push(10.0);
+        assert_ne!(
+            band_index(median(&xs), &EDGES),
+            band_index(median(&flipped), &EDGES)
+        );
+    }
+
+    #[test]
+    fn boundary_min_trials_tiny_samples_never_lock() {
+        // Below any sensible min_trials the unknowns dominate: with real
+        // headroom a 1- or 2-sample prefix can always be dragged anywhere.
+        for k in 1..=2 {
+            let xs = vec![1.0; k];
+            assert!(!verdict_locked(&xs, 8, &EDGES));
+        }
+    }
+
+    #[test]
+    fn boundary_max_trials_always_locks() {
+        // At k == max_total there is no headroom left; the predictor must
+        // grant the stop the exhaustive runner takes anyway.
+        let xs = [0.1, 0.9, 2.0, 0.5, 1.4, 0.7, 1.0];
+        assert!(verdict_locked(&xs, xs.len(), &EDGES));
+    }
+
+    #[test]
+    fn confused_caller_never_gets_a_stop() {
+        assert!(!verdict_locked(&[], 10, &EDGES));
+        assert!(!verdict_locked(&[1.0, 2.0, 3.0], 2, &EDGES));
+    }
+
+    #[test]
+    fn lock_is_monotone_in_headroom() {
+        // More headroom can only widen the envelope: locked at
+        // max_total=m implies locked at every m' < m (same samples).
+        let xs = [0.9, 0.95, 1.0, 1.02, 1.05, 1.1, 0.98, 1.01, 0.99, 1.03];
+        for m in xs.len()..=12 {
+            assert!(verdict_locked(&xs, m, &EDGES), "unlocked at m={m}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::descriptive::median;
+    use proptest::prelude::*;
+
+    const EDGES: [f64; 3] = [0.25, 0.75, 1.25];
+
+    proptest! {
+        /// The load-bearing guarantee: whenever the predictor declares a
+        /// lock, NO continuation (any values, any length up to the
+        /// headroom) moves the final median into a different band.
+        #[test]
+        fn locked_verdicts_never_flip(
+            prefix in proptest::collection::vec(0.0f64..2.0, 1..12),
+            suffix in proptest::collection::vec(0.0f64..2.0, 0..12),
+            extra in 0usize..12,
+        ) {
+            let max_total = prefix.len() + extra;
+            let suffix = &suffix[..suffix.len().min(extra)];
+            if verdict_locked(&prefix, max_total, &EDGES) {
+                let before = band_index(median(&prefix), &EDGES);
+                let mut full = prefix.clone();
+                full.extend_from_slice(suffix);
+                let after = band_index(median(&full), &EDGES);
+                prop_assert_eq!(before, after);
+            }
+        }
+
+        /// The envelope brackets the median of every continuation.
+        #[test]
+        fn envelope_contains_all_reachable_medians(
+            prefix in proptest::collection::vec(-1e3f64..1e3, 1..10),
+            suffix in proptest::collection::vec(-1e6f64..1e6, 0..10),
+        ) {
+            let (lo, hi) = median_envelope(&prefix, prefix.len() + suffix.len());
+            let mut full = prefix.clone();
+            full.extend_from_slice(&suffix);
+            let m = median(&full);
+            prop_assert!(lo <= m && m <= hi, "median {} outside [{}, {}]", m, lo, hi);
+        }
+
+        /// Permutation invariance: the lock decision is a function of the
+        /// sample multiset, not arrival order.
+        #[test]
+        fn lock_is_permutation_invariant(
+            xs in proptest::collection::vec(0.0f64..2.0, 1..12),
+            rot in 0usize..12,
+            extra in 0usize..8,
+        ) {
+            let mut rotated = xs.clone();
+            rotated.rotate_left(rot % xs.len());
+            prop_assert_eq!(
+                verdict_locked(&xs, xs.len() + extra, &EDGES),
+                verdict_locked(&rotated, rotated.len() + extra, &EDGES)
+            );
+        }
+    }
+}

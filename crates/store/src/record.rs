@@ -11,6 +11,12 @@ pub mod kinds {
     pub const PAIR: &str = "pair";
     /// A daemon cycle checkpoint (progress marker for resume).
     pub const CHECKPOINT: &str = "checkpoint";
+    /// A completed campaign grid cell (N-flow mix at one parameter
+    /// point), keyed by the cell fingerprint.
+    pub const CELL: &str = "cell";
+    /// A campaign progress marker (grid identity + completion state),
+    /// keyed by the campaign fingerprint.
+    pub const CAMPAIGN: &str = "campaign";
 }
 
 /// Alias documenting that record kinds are free-form strings.

@@ -30,7 +30,7 @@ if [ "${1:-}" = "--check" ]; then
     echo "MISSING prudentia"
     exit 1
   fi
-  for cmd in run matrix watch fleet serve report validate list classify; do
+  for cmd in run matrix watch fleet serve report campaign validate list classify; do
     if ./target/release/prudentia "$cmd" --help > /dev/null 2>&1; then
       echo "ok      prudentia $cmd --help"
     else

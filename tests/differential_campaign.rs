@@ -1,0 +1,327 @@
+//! The never-flips differential suite for the campaign engine.
+//!
+//! Every cell of every fixture grid runs twice — exhaustive (adaptive
+//! budget off) and adaptive — and the suite asserts the contract the
+//! predictor proves analytically, end-to-end through the real
+//! simulator:
+//!
+//! * the adaptive run's verdict classification is *identical* per cell
+//!   (not statistically close — the same band, every service, every
+//!   cell, every seed);
+//! * the adaptive run never uses more trials than the exhaustive run
+//!   (cells execute at parallelism 1, so trial schedules are exactly
+//!   the sequential ones and the comparison is strict);
+//! * on the high-variance fixture — cubic self-competition at 50 Mbps,
+//!   where throughput CIs stay wider than the §3.4 tolerance and the
+//!   exhaustive run burns its whole cap — the adaptive budget saves at
+//!   least 20% of the trial budget.
+//!
+//! Alongside the differential runs, the grid-expansion proptests pin
+//! the spec algebra: expansion is duplicate-free and order-
+//! deterministic, fingerprints are invariant under axis reordering, and
+//! specs round-trip through their canonical JSON.
+
+mod support;
+
+use prudentia_core::campaign::{
+    execute_cell, CampaignSpec, CellContext, CellOutcome, MixSpec, QDISC_AXIS,
+};
+use prudentia_core::TrialPolicy;
+use support::verdict_projection;
+
+/// One fixture preset: a trial policy plus trial durations.
+struct Preset {
+    name: &'static str,
+    policy: TrialPolicy,
+    duration_secs: u64,
+    warmup_secs: u64,
+    cooldown_secs: u64,
+}
+
+/// Two presets with different caps and windows, so the lock logic is
+/// exercised at more than one (min, max) boundary.
+fn presets() -> Vec<Preset> {
+    vec![
+        Preset {
+            name: "short",
+            policy: TrialPolicy {
+                min_trials: 2,
+                batch: 1,
+                max_trials: 5,
+            },
+            duration_secs: 12,
+            warmup_secs: 2,
+            cooldown_secs: 2,
+        },
+        Preset {
+            name: "wide",
+            policy: TrialPolicy {
+                min_trials: 3,
+                batch: 1,
+                max_trials: 6,
+            },
+            duration_secs: 16,
+            warmup_secs: 3,
+            cooldown_secs: 3,
+        },
+    ]
+}
+
+/// Three scenario mixes: a plain pair (executor path), self-competition
+/// (the noisy fixture), and a three-way mix (campaign-local path).
+fn mixes() -> Vec<MixSpec> {
+    vec![
+        MixSpec {
+            label: "cubic-v-reno".to_string(),
+            services: vec!["iPerf-Cubic".to_string(), "iPerf-Reno".to_string()],
+            background: None,
+        },
+        MixSpec {
+            label: "cubic-self".to_string(),
+            services: vec!["iPerf-Cubic".to_string(), "iPerf-Cubic".to_string()],
+            background: None,
+        },
+        MixSpec {
+            label: "threeway".to_string(),
+            services: vec![
+                "iPerf-Cubic".to_string(),
+                "iPerf-Reno".to_string(),
+                "iPerf-BBR".to_string(),
+            ],
+            background: None,
+        },
+    ]
+}
+
+fn fixture_spec(
+    preset: &Preset,
+    mix: MixSpec,
+    bandwidth_mbps: f64,
+    seed_base: u64,
+) -> CampaignSpec {
+    let mut spec = CampaignSpec::example();
+    spec.name = format!("diff-{}", preset.name);
+    spec.mixes = vec![mix];
+    spec.bandwidth_mbps = vec![bandwidth_mbps];
+    spec.rtt_ms = vec![50];
+    spec.bdp_multiples = vec![4];
+    spec.qdiscs = vec!["droptail".to_string()];
+    spec.impairments = vec!["none".to_string()];
+    spec.policy = preset.policy;
+    spec.duration_secs = preset.duration_secs;
+    spec.warmup_secs = preset.warmup_secs;
+    spec.cooldown_secs = preset.cooldown_secs;
+    spec.seed_base = seed_base;
+    spec
+}
+
+/// Run one cell both ways and assert the per-cell contract.
+fn run_both(spec: &CampaignSpec) -> (CellOutcome, CellOutcome) {
+    spec.validate().expect("fixture specs are valid");
+    let cells = spec.expand();
+    assert_eq!(cells.len(), 1, "fixtures are single-cell grids");
+    let ctx = CellContext::new(spec, cells[0].clone());
+    let full = execute_cell(&ctx, false, 0, None, None).expect("exhaustive cell runs");
+    let fast = execute_cell(&ctx, true, 0, None, None).expect("adaptive cell runs");
+    assert_eq!(
+        verdict_projection(std::slice::from_ref(&full)),
+        verdict_projection(std::slice::from_ref(&fast)),
+        "{}: adaptive budget flipped a verdict (seed base {})",
+        cells[0].label(),
+        spec.seed_base,
+    );
+    assert!(
+        fast.trials_used <= full.trials_used,
+        "{}: adaptive used {} trials, exhaustive {}",
+        cells[0].label(),
+        fast.trials_used,
+        full.trials_used,
+    );
+    assert_eq!(fast.budget_max, full.budget_max);
+    (full, fast)
+}
+
+/// The full sweep: 2 presets x 3 mixes x 8 seed bases, every cell
+/// compared adaptive-vs-exhaustive. Savings are reported per preset.
+#[test]
+fn adaptive_budgets_never_flip_verdicts_across_the_sweep() {
+    for preset in presets() {
+        let mut budget = 0usize;
+        let mut used_full = 0usize;
+        let mut used_fast = 0usize;
+        for mix in mixes() {
+            for seed_base in 0..8u64 {
+                let spec = fixture_spec(&preset, mix.clone(), 8.0, seed_base);
+                let (full, fast) = run_both(&spec);
+                budget += full.budget_max;
+                used_full += full.trials_used;
+                used_fast += fast.trials_used;
+            }
+        }
+        assert!(used_fast <= used_full);
+        eprintln!(
+            "preset {}: budget {budget}, exhaustive {used_full}, adaptive {used_fast} \
+             ({:.0}% of budget saved vs exhaustive's {:.0}%)",
+            preset.name,
+            (1.0 - used_fast as f64 / budget as f64) * 100.0,
+            (1.0 - used_full as f64 / budget as f64) * 100.0,
+        );
+    }
+}
+
+/// The high-variance fixture the re-dealing design is sized against:
+/// cubic against itself at 50 Mbps. The 1.5 Mbps tolerance is tighter
+/// than cubic's self-competition spread at short trial lengths, so the
+/// exhaustive run exhausts its cap — while both flows' MmF shares sit
+/// deep in one verdict band, which the adaptive budget locks early.
+#[test]
+fn adaptive_budget_saves_at_least_20pct_on_the_high_variance_fixture() {
+    let preset = &presets()[1]; // max_trials = 6
+    let mut budget = 0usize;
+    let mut used_full = 0usize;
+    let mut used_fast = 0usize;
+    let mut locked_cells = 0usize;
+    for seed_base in 0..8u64 {
+        let spec = fixture_spec(preset, mixes()[1].clone(), 50.0, seed_base);
+        let (full, fast) = run_both(&spec);
+        budget += full.budget_max;
+        used_full += full.trials_used;
+        used_fast += fast.trials_used;
+        locked_cells += fast.locked_early as usize;
+    }
+    let saved = used_full - used_fast;
+    let savings_ratio = saved as f64 / used_full as f64;
+    eprintln!(
+        "high-variance fixture: exhaustive {used_full}, adaptive {used_fast} of {budget} \
+         ({locked_cells}/8 cells locked, {:.0}% of exhaustive trials saved)",
+        savings_ratio * 100.0,
+    );
+    assert!(
+        savings_ratio >= 0.20,
+        "adaptive budget saved only {:.0}% on the high-variance fixture \
+         (exhaustive {used_full}, adaptive {used_fast})",
+        savings_ratio * 100.0,
+    );
+}
+
+/// Adaptive runs are themselves deterministic: same cell, same outcome
+/// bytes — the property that lets cell records resume a campaign.
+#[test]
+fn adaptive_cells_are_reproducible() {
+    let preset = &presets()[0];
+    let spec = fixture_spec(preset, mixes()[2].clone(), 8.0, 1);
+    let cells = spec.expand();
+    let ctx = CellContext::new(&spec, cells[0].clone());
+    let a = execute_cell(&ctx, true, 0, None, None).expect("first run");
+    let b = execute_cell(&ctx, true, 0, None, None).expect("second run");
+    assert_eq!(
+        support::canonical_cells(&[a]),
+        support::canonical_cells(&[b]),
+        "adaptive cell outcome must be a pure function of its context"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Grid-expansion proptests: the spec algebra under random grids.
+// ---------------------------------------------------------------------
+
+mod expansion {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random-but-valid campaign spec over the full axis catalog.
+    fn spec_from(
+        bw: Vec<u64>,
+        rtt: Vec<u64>,
+        bdp: Vec<u64>,
+        qdisc_picks: Vec<usize>,
+        imp_picks: Vec<usize>,
+        seed_base: u64,
+    ) -> CampaignSpec {
+        const IMPAIRMENTS: [&str; 3] = ["none", "lte", "loss"];
+        let mut spec = CampaignSpec::example();
+        spec.bandwidth_mbps = bw.into_iter().map(|b| b as f64).collect();
+        spec.rtt_ms = rtt;
+        spec.bdp_multiples = bdp;
+        spec.qdiscs = qdisc_picks
+            .into_iter()
+            .map(|i| QDISC_AXIS[i % QDISC_AXIS.len()].to_string())
+            .collect();
+        spec.impairments = imp_picks
+            .into_iter()
+            .map(|i| IMPAIRMENTS[i % IMPAIRMENTS.len()].to_string())
+            .collect();
+        spec.seed_base = seed_base;
+        spec
+    }
+
+    proptest! {
+        /// Expansion never yields two cells with the same fingerprint,
+        /// and the cell count is exactly the product of the deduped
+        /// axis lengths.
+        #[test]
+        fn expansion_is_duplicate_free(
+            bw in proptest::collection::vec(1u64..200, 1..4),
+            rtt in proptest::collection::vec(1u64..400, 1..4),
+            bdp in proptest::collection::vec(1u64..32, 1..3),
+            qd in proptest::collection::vec(0usize..4, 1..5),
+            imp in proptest::collection::vec(0usize..3, 1..4),
+            seed in 0u64..1000,
+        ) {
+            let spec = spec_from(bw, rtt, bdp, qd, imp, seed);
+            prop_assert!(spec.validate().is_ok());
+            let cells = spec.expand();
+            let canon = spec.canonicalize();
+            let want = canon.mixes.len()
+                * canon.bandwidth_mbps.len()
+                * canon.rtt_ms.len()
+                * canon.bdp_multiples.len()
+                * canon.qdiscs.len()
+                * canon.impairments.len();
+            prop_assert_eq!(cells.len(), want);
+            let mut fps: Vec<u64> = cells.iter().map(|c| c.fingerprint()).collect();
+            fps.sort_unstable();
+            fps.dedup();
+            prop_assert_eq!(fps.len(), cells.len(), "duplicate cell fingerprints");
+        }
+
+        /// Expansion order and fingerprints are invariant under any
+        /// reordering (or duplication) of the spec's axes.
+        #[test]
+        fn expansion_is_order_deterministic(
+            bw in proptest::collection::vec(1u64..200, 1..4),
+            rtt in proptest::collection::vec(1u64..400, 1..4),
+            qd in proptest::collection::vec(0usize..4, 1..5),
+            seed in 0u64..1000,
+        ) {
+            let spec = spec_from(bw, rtt, vec![2, 8], qd, vec![0, 1], seed);
+            let mut shuffled = spec.clone();
+            shuffled.bandwidth_mbps.reverse();
+            shuffled.rtt_ms.reverse();
+            shuffled.qdiscs.reverse();
+            shuffled.impairments.reverse();
+            shuffled.mixes.reverse();
+            // Duplicated axis values collapse in canonicalization too.
+            if let Some(&first) = spec.rtt_ms.first() {
+                shuffled.rtt_ms.push(first);
+            }
+            prop_assert_eq!(spec.fingerprint(), shuffled.fingerprint());
+            prop_assert_eq!(spec.expand(), shuffled.expand());
+        }
+
+        /// A spec round-trips through its canonical JSON with the same
+        /// fingerprint and the same expansion.
+        #[test]
+        fn specs_round_trip_through_canonical_json(
+            bw in proptest::collection::vec(1u64..200, 1..3),
+            rtt in proptest::collection::vec(1u64..400, 1..3),
+            seed in 0u64..1000,
+        ) {
+            let spec = spec_from(bw, rtt, vec![4], vec![0, 2], vec![0], seed);
+            let json = serde_json::to_string(&spec.canonicalize()).expect("spec serializes");
+            let back = CampaignSpec::from_json(&json).expect("canonical JSON re-parses");
+            prop_assert_eq!(spec.fingerprint(), back.fingerprint());
+            prop_assert_eq!(spec.expand(), back.expand());
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Acceptance tests for the campaign engine, driven through the real
+//! `prudentia` binary:
+//!
+//! * a campaign stopped mid-grid (checkpoint caps and a real SIGINT)
+//!   and rerun resumes from the store without re-running completed
+//!   cells, and its final report CSVs are byte-identical to an
+//!   uninterrupted run's;
+//! * `campaign status` reflects the stored progress marker;
+//! * a flag file present at startup stops the run before any cell.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
+
+use prudentia_core::campaign::{CampaignSpec, MixSpec};
+use prudentia_core::TrialPolicy;
+
+fn prudentia(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prudentia"))
+        .args(args)
+        .output()
+        .expect("prudentia binary runs")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("prudentia_campaign_integration")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A fast four-cell grid: two mixes at two bandwidths, short trials.
+fn fixture_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::example();
+    spec.name = "integration".into();
+    spec.mixes = vec![
+        MixSpec {
+            label: "pair".into(),
+            services: vec!["iPerf-Cubic".into(), "iPerf-Reno".into()],
+            background: None,
+        },
+        MixSpec {
+            label: "trio".into(),
+            services: vec![
+                "iPerf-Cubic".into(),
+                "iPerf-Reno".into(),
+                "iPerf-BBR".into(),
+            ],
+            background: None,
+        },
+    ];
+    spec.bandwidth_mbps = vec![8.0, 50.0];
+    spec.policy = TrialPolicy {
+        min_trials: 2,
+        batch: 1,
+        max_trials: 4,
+    };
+    spec.duration_secs = 12;
+    spec.warmup_secs = 2;
+    spec.cooldown_secs = 2;
+    spec
+}
+
+fn write_spec(dir: &Path) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("spec dir");
+    let path = dir.join("campaign.json");
+    let json = serde_json::to_string(&fixture_spec()).expect("spec serializes");
+    std::fs::write(&path, json).expect("spec written");
+    path
+}
+
+fn run_campaign(store: &Path, spec: &Path, extra: &[&str]) -> Output {
+    let mut args = vec![
+        "campaign",
+        "run",
+        "--store",
+        store.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    prudentia(&args)
+}
+
+/// Campaign report CSVs keyed by file name (status text excluded: the
+/// CSVs are pure functions of the stored cell records, which is the
+/// byte-identity the resume contract promises).
+fn report_csvs(store: &Path, out: &Path) -> Vec<(String, String)> {
+    let output = prudentia(&[
+        "campaign",
+        "report",
+        "--store",
+        store.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(
+        output.status.success(),
+        "campaign report failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let mut csvs: Vec<(String, String)> = std::fs::read_dir(out)
+        .expect("report dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().to_string(),
+                std::fs::read_to_string(&p).expect("csv reads"),
+            )
+        })
+        .collect();
+    csvs.sort();
+    assert_eq!(csvs.len(), 3, "expected campaign, marginals, and grid CSVs");
+    csvs
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_byte_identical_reports() {
+    let base = tmp_dir("resume");
+    let spec = write_spec(&base);
+    let baseline_store = base.join("baseline_store");
+    let resumed_store = base.join("resumed_store");
+
+    // Uninterrupted reference run over the full four-cell grid.
+    let full = run_campaign(&baseline_store, &spec, &[]);
+    assert!(
+        full.status.success(),
+        "baseline run failed: {}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&full.stdout);
+    assert!(
+        stdout.contains("4/4 cells done (4 run, 0 skipped"),
+        "unexpected baseline stdout: {stdout}"
+    );
+
+    // Interrupted run: stop after every single cell (a checkpoint at a
+    // cell boundary), rerun, and repeat until done. Each rerun must skip
+    // exactly the cells already in the store.
+    let mut run_total = 0u64;
+    for attempt in 0..8 {
+        let out = run_campaign(&resumed_store, &spec, &["--max-cells", "1"]);
+        assert!(
+            out.status.success(),
+            "resume attempt {attempt} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        let line = text
+            .lines()
+            .find(|l| l.contains("cells done"))
+            .unwrap_or_else(|| panic!("no cells-done line in: {text}"));
+        // "campaign integration: D/4 cells done (R run, S skipped, 0 redealt)"
+        let nums: Vec<u64> = line
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let (done, total, run, skipped) = (nums[0], nums[1], nums[2], nums[3]);
+        assert_eq!(total, 4, "grid size changed: {line}");
+        assert_eq!(
+            skipped, run_total,
+            "rerun must skip exactly the completed cells: {line}"
+        );
+        assert_eq!(done, skipped + run, "{line}");
+        run_total += run;
+        assert!(run_total <= 4, "cells were re-run: {line}");
+        if !text.contains("interrupted") {
+            break;
+        }
+    }
+    assert_eq!(run_total, 4, "grid never completed");
+
+    // A further rerun finds everything done and executes nothing.
+    let idle = run_campaign(&resumed_store, &spec, &[]);
+    let idle_out = String::from_utf8_lossy(&idle.stdout);
+    assert!(
+        idle_out.contains("4/4 cells done (0 run, 4 skipped"),
+        "unexpected idle stdout: {idle_out}"
+    );
+
+    // The acceptance bar: report CSVs byte-identical to the
+    // uninterrupted run's.
+    let baseline_csvs = report_csvs(&baseline_store, &base.join("baseline_report"));
+    let resumed_csvs = report_csvs(&resumed_store, &base.join("resumed_report"));
+    assert_eq!(
+        baseline_csvs, resumed_csvs,
+        "resumed campaign must reproduce the uninterrupted report byte-for-byte"
+    );
+
+    // Status reflects the completed campaign.
+    let status = prudentia(&[
+        "campaign",
+        "status",
+        "--store",
+        resumed_store.to_str().unwrap(),
+    ]);
+    assert!(status.status.success());
+    let status_out = String::from_utf8_lossy(&status.stdout);
+    assert!(
+        status_out.contains("integration") && status_out.contains("4/4"),
+        "unexpected status: {status_out}"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn sigint_mid_grid_saves_progress_and_resumes_cleanly() {
+    let base = tmp_dir("sigint");
+    let spec = write_spec(&base);
+    let store = base.join("store");
+
+    // Spawn the full run and SIGINT it immediately. The handler stops
+    // at the next cell boundary, so depending on timing the run ends
+    // interrupted after 0–3 cells or completes — both are legal; what
+    // may never happen is a corrupt store or a re-run cell afterwards.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_prudentia"))
+        .args([
+            "campaign",
+            "run",
+            "--store",
+            store.to_str().unwrap(),
+            "--spec",
+            spec.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("campaign run spawns");
+    std::thread::sleep(Duration::from_millis(200));
+    let _ = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status();
+    let code = child.wait().expect("campaign run exits");
+    assert!(code.success(), "SIGINT must stop the run gracefully");
+
+    // Resume until complete; the store must never lose or repeat cells.
+    let mut completed = false;
+    for _ in 0..8 {
+        let out = run_campaign(&store, &spec, &[]);
+        assert!(
+            out.status.success(),
+            "resume failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        if !text.contains("interrupted") {
+            assert!(
+                text.contains("4/4 cells done"),
+                "resumed run must finish the grid: {text}"
+            );
+            completed = true;
+            break;
+        }
+    }
+    assert!(completed, "campaign never completed after SIGINT");
+
+    // And the report matches a from-scratch baseline byte-for-byte.
+    let baseline_store = base.join("baseline_store");
+    let full = run_campaign(&baseline_store, &spec, &[]);
+    assert!(full.status.success());
+    assert_eq!(
+        report_csvs(&store, &base.join("resumed_report")),
+        report_csvs(&baseline_store, &base.join("baseline_report")),
+        "post-SIGINT report must match an uninterrupted run"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn flag_file_present_at_startup_stops_before_any_cell() {
+    let base = tmp_dir("flagged");
+    let spec = write_spec(&base);
+    let store = base.join("store");
+    let flag = base.join("stop.flag");
+    std::fs::write(&flag, b"stop").expect("flag file written");
+
+    let out = run_campaign(&store, &spec, &["--flag-file", flag.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "flagged run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("0/4 cells done (0 run, 0 skipped") && text.contains("interrupted"),
+        "flag file must stop the campaign before any cell: {text}"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -17,7 +17,7 @@
 // different subset of it.
 #![allow(dead_code)]
 
-use prudentia_core::{PairOutcome, SchedulerStats};
+use prudentia_core::{CellOutcome, PairOutcome, SchedulerStats};
 
 /// Field-by-field equality via the canonical JSON encoding: every field
 /// of every trial (seeds included) participates, and NaN medians compare
@@ -42,4 +42,31 @@ pub fn snapshot(outcomes: &[PairOutcome], stats: &SchedulerStats) -> RunSnapshot
         canonical: canonical(outcomes),
         sim_events: stats.sim_events,
     }
+}
+
+/// Canonical JSON of campaign cell outcomes: every field of every cell
+/// (fingerprints, per-service medians, trial accounting) participates,
+/// so two campaign runs compare field-by-field in one assertion.
+pub fn canonical_cells(outcomes: &[CellOutcome]) -> String {
+    serde_json::to_string(&outcomes.to_vec()).expect("cell outcomes serialize")
+}
+
+/// The verdict classification alone — `(service, band)` per foreground
+/// service of each cell. This is the projection the adaptive budget is
+/// licensed to preserve exactly; trial counts and CI widths may differ
+/// between adaptive and exhaustive runs, verdicts may not.
+pub fn verdict_projection(outcomes: &[CellOutcome]) -> String {
+    let rows: Vec<(u64, Vec<(String, String)>)> = outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.fingerprint,
+                o.services
+                    .iter()
+                    .map(|s| (s.name.clone(), s.verdict.slug().to_string()))
+                    .collect(),
+            )
+        })
+        .collect();
+    serde_json::to_string(&rows).expect("verdict rows serialize")
 }
