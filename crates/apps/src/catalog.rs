@@ -50,6 +50,12 @@ pub enum Service {
     IperfCubic,
     /// iPerf with NewReno.
     IperfReno,
+    /// iPerf with LEDBAT++ (scavenger baseline).
+    IperfLedbat,
+    /// iPerf with BBRv2.
+    IperfBbr2,
+    /// iPerf with TCP Prague (L4S; pair with a DualPI2 setting).
+    IperfPrague,
 }
 
 impl Service {
@@ -110,6 +116,9 @@ impl Service {
             Service::IperfBbr415 => "iPerf-BBR-4.15",
             Service::IperfCubic => "iPerf-Cubic",
             Service::IperfReno => "iPerf-Reno",
+            Service::IperfLedbat => "iPerf-LEDBAT",
+            Service::IperfBbr2 => "iPerf-BBRv2",
+            Service::IperfPrague => "iPerf-Prague",
         }
     }
 
@@ -200,7 +209,23 @@ impl Service {
             Service::IperfBbr415 => iperf("iPerf (BBR, Linux 4.15)", CcaKind::BbrV1Linux415),
             Service::IperfCubic => iperf("iPerf (Cubic)", CcaKind::Cubic),
             Service::IperfReno => iperf("iPerf (Reno)", CcaKind::NewReno),
+            Service::IperfLedbat => iperf("iPerf (LEDBAT++)", CcaKind::LedbatPP),
+            Service::IperfBbr2 => iperf("iPerf (BBRv2)", CcaKind::BbrV2),
+            Service::IperfPrague => iperf("iPerf (Prague)", CcaKind::Prague),
         }
+    }
+
+    /// Catalog extras kept out of [`Service::all`] so the default watch
+    /// matrix (and every cached trial keyed on it) stays byte-identical:
+    /// the Fig 9 4.15 baseline plus the plugin-API CCA baselines. They
+    /// join the label-lookup chains explicitly.
+    pub fn extras() -> [Service; 4] {
+        [
+            Service::IperfBbr415,
+            Service::IperfLedbat,
+            Service::IperfBbr2,
+            Service::IperfPrague,
+        ]
     }
 }
 
@@ -272,9 +297,29 @@ mod tests {
 
     #[test]
     fn labels_unique() {
-        let mut labels: Vec<&str> = Service::all().iter().map(|s| s.label()).collect();
+        let mut labels: Vec<&str> = Service::all()
+            .iter()
+            .chain(Service::extras().iter())
+            .map(|s| s.label())
+            .collect();
+        let n = labels.len();
         labels.sort();
         labels.dedup();
-        assert_eq!(labels.len(), Service::all().len());
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn extras_stay_out_of_the_default_matrix() {
+        for extra in Service::extras() {
+            assert!(
+                !Service::all().contains(&extra),
+                "{:?} must not join Service::all() — it would reshape the \
+                 default watch matrix and invalidate cached trials",
+                extra
+            );
+        }
+        assert_eq!(Service::IperfLedbat.spec().cca_label(), "LEDBAT++");
+        assert_eq!(Service::IperfBbr2.spec().cca_label(), "BBRv2");
+        assert_eq!(Service::IperfPrague.spec().cca_label(), "TCP Prague");
     }
 }

@@ -12,13 +12,17 @@
 //! * **v1.1 YouTube-tuned** — the paper reports YouTube runs BBRv1.1 over
 //!   QUIC with tuned parameters (§6, Obs 13); we model the tuning as gentler
 //!   probe/cwnd gains.
+//! * **v2** — the IETF-draft revision between v1 and v3: the same
+//!   `inflight_hi` loss response as v3 plus a DCTCP-style ECN response
+//!   (an EWMA of the per-round CE-mark fraction scales the inflight
+//!   ceiling down), so BBRv2 coexists with AQMs that mark instead of drop.
 //! * **v3** — adds a loss response: when the per-round loss rate exceeds a
 //!   threshold, an `inflight_hi` bound is multiplied by beta (0.7) and the
 //!   steady-state operating point keeps headroom below it. This models
 //!   Google Drive's 2023 BBRv3 deployment.
 
 use crate::minmax::WindowedMax;
-use crate::{AckSample, CongestionControl, LossSample, MSS};
+use crate::{AckSample, CongestionControl, EcnMode, EcnSample, LossSample, MSS};
 use prudentia_sim::{SimDuration, SimTime};
 
 /// Which major revision of BBR this instance implements.
@@ -26,8 +30,18 @@ use prudentia_sim::{SimDuration, SimTime};
 pub enum BbrVersion {
     /// BBRv1 (no loss response).
     V1,
+    /// BBRv2 (loss response + ECN response).
+    V2,
     /// BBRv3 (loss response + inflight headroom).
     V3,
+}
+
+impl BbrVersion {
+    /// Whether this revision runs the `inflight_hi` loss-response
+    /// machinery (v2 and v3 share it; v1 ignores loss).
+    pub fn bounds_inflight(self) -> bool {
+        matches!(self, BbrVersion::V2 | BbrVersion::V3)
+    }
 }
 
 /// Tunable parameters distinguishing the deployed BBR flavours.
@@ -61,6 +75,13 @@ pub struct BbrConfig {
     pub loss_thresh: f64,
     /// v3: cruise headroom below `inflight_hi`.
     pub headroom: f64,
+    /// v2: negotiate classic ECN and run the CE-mark response.
+    pub ecn_enabled: bool,
+    /// v2: EWMA gain for the per-round CE-mark fraction (DCTCP's 1/16).
+    pub ecn_alpha_gain: f64,
+    /// v2: `inflight_hi` cut factor per marked round (`bbr_ecn_factor`,
+    /// 1/3): the ceiling shrinks by `alpha · factor` of itself.
+    pub ecn_factor: f64,
 }
 
 impl BbrConfig {
@@ -81,6 +102,9 @@ impl BbrConfig {
             loss_beta: 1.0,
             loss_thresh: 1.0,
             headroom: 1.0,
+            ecn_enabled: false,
+            ecn_alpha_gain: 1.0 / 16.0,
+            ecn_factor: 1.0 / 3.0,
         }
     }
 
@@ -143,6 +167,19 @@ impl BbrConfig {
         }
     }
 
+    /// BBRv2 (the IETF draft between v1 and v3): v3's bounded-probing
+    /// loss response at the draft's parameters plus a DCTCP-style ECN
+    /// response, with v2's sharper 0.75 probe-down gain.
+    pub fn v2() -> Self {
+        BbrConfig {
+            version: BbrVersion::V2,
+            name: "BBRv2",
+            probe_down_gain: 0.75,
+            ecn_enabled: true,
+            ..Self::v3()
+        }
+    }
+
     /// BBRv3 (IETF ccwg draft parameters, simplified): slightly lower
     /// startup gain, a loss response with beta 0.7 at a 2% round loss
     /// threshold, and 15% cruise headroom under `inflight_hi`.
@@ -162,6 +199,9 @@ impl BbrConfig {
             loss_beta: 0.7,
             loss_thresh: 0.02,
             headroom: 0.85,
+            ecn_enabled: false,
+            ecn_alpha_gain: 1.0 / 16.0,
+            ecn_factor: 1.0 / 3.0,
         }
     }
 }
@@ -215,10 +255,13 @@ pub struct Bbr {
     extra_acked: WindowedMax<f64>,
     ack_epoch_start: SimTime,
     ack_epoch_acked: u64,
-    /// v3 loss response.
+    /// v2/v3 loss response.
     inflight_hi: f64,
     round_bytes_acked: u64,
     round_bytes_lost: u64,
+    /// v2 ECN response: bytes CE-marked this round and the EWMA fraction.
+    round_bytes_marked: u64,
+    ecn_alpha: f64,
     /// Derived outputs.
     pacing_rate: f64,
     cwnd: u64,
@@ -249,6 +292,8 @@ impl Bbr {
             inflight_hi: f64::INFINITY,
             round_bytes_acked: 0,
             round_bytes_lost: 0,
+            round_bytes_marked: 0,
+            ecn_alpha: 0.0,
             pacing_rate: init_pacing,
             cwnd: INITIAL_WINDOW,
             prior_cwnd: INITIAL_WINDOW,
@@ -279,6 +324,16 @@ impl Bbr {
     /// The current bottleneck-bandwidth estimate in bits/s.
     pub fn btl_bw_bps(&self) -> f64 {
         self.btl_bw.get().unwrap_or(0.0)
+    }
+
+    /// The v2/v3 inflight ceiling (for tests/instrumentation).
+    pub fn inflight_hi(&self) -> f64 {
+        self.inflight_hi
+    }
+
+    /// The v2 CE-mark fraction EWMA (for tests/instrumentation).
+    pub fn ecn_alpha(&self) -> f64 {
+        self.ecn_alpha
     }
 
     /// The current propagation-RTT estimate.
@@ -426,7 +481,7 @@ impl Bbr {
         if self.cfg.extra_acked {
             target += self.extra_acked.get().unwrap_or(0.0) as u64;
         }
-        if self.cfg.version == BbrVersion::V3 && self.inflight_hi.is_finite() {
+        if self.cfg.version.bounds_inflight() && self.inflight_hi.is_finite() {
             let bound = if self.state == BbrState::ProbeBw && self.cycle_index != 0 {
                 // Cruise with headroom so competing flows can take the rest.
                 self.inflight_hi * self.cfg.headroom
@@ -448,8 +503,22 @@ impl CongestionControl for Bbr {
     fn on_ack(&mut self, ack: &AckSample) {
         if ack.is_round_start {
             self.round_count += 1;
-            // v3: evaluate the per-round loss rate at round boundaries.
-            if self.cfg.version == BbrVersion::V3 {
+            // v2/v3: evaluate the per-round loss rate at round boundaries.
+            if self.cfg.version.bounds_inflight() {
+                // v2: fold this round's CE-mark fraction into the alpha
+                // EWMA and scale the ceiling down while marks persist.
+                if self.cfg.ecn_enabled && self.round_bytes_acked > 0 {
+                    let frac = self.round_bytes_marked as f64 / self.round_bytes_acked as f64;
+                    self.ecn_alpha = (1.0 - self.cfg.ecn_alpha_gain) * self.ecn_alpha
+                        + self.cfg.ecn_alpha_gain * frac;
+                    if self.round_bytes_marked > 0 && self.inflight_hi.is_finite() {
+                        let cut = 1.0 - self.ecn_alpha * self.cfg.ecn_factor;
+                        self.inflight_hi = (self.inflight_hi * cut).max(self.min_cwnd() as f64);
+                    } else if self.round_bytes_marked > 0 {
+                        self.inflight_hi = ack.inflight_bytes as f64;
+                    }
+                    self.round_bytes_marked = 0;
+                }
                 let total = self.round_bytes_acked + self.round_bytes_lost;
                 if total > 0 {
                     let loss_rate = self.round_bytes_lost as f64 / total as f64;
@@ -517,8 +586,22 @@ impl CongestionControl for Bbr {
             self.prior_cwnd = self.cwnd;
             self.cwnd = self.min_cwnd();
         }
-        // BBRv1 deliberately ignores non-RTO loss. BBRv3's response is
+        // BBRv1 deliberately ignores non-RTO loss. The v2/v3 response is
         // applied at round boundaries in on_ack.
+    }
+
+    fn on_ecn(&mut self, ecn: &EcnSample) {
+        if self.cfg.ecn_enabled {
+            self.round_bytes_marked += ecn.marked_bytes;
+        }
+    }
+
+    fn ecn_mode(&self) -> EcnMode {
+        if self.cfg.ecn_enabled {
+            EcnMode::Classic
+        } else {
+            EcnMode::Disabled
+        }
     }
 
     fn cwnd_bytes(&self) -> u64 {
@@ -753,6 +836,68 @@ mod tests {
         assert_eq!(f.bbr.cwnd_bytes(), 4 * MSS);
         f.step(10e6, RTT_MS, 4 * MSS, false);
         assert!(f.bbr.cwnd_bytes() > 4 * MSS, "cwnd restored from BDP");
+    }
+
+    #[test]
+    fn v2_loss_response_matches_v3_machinery() {
+        let mut f = Feeder::new(BbrConfig::v2());
+        for _ in 0..200 {
+            f.step(10e6, RTT_MS, 40 * MSS, false);
+        }
+        let cwnd_before = f.bbr.cwnd_bytes();
+        for _ in 0..50 {
+            f.bbr.on_loss(&LossSample {
+                now: f.now,
+                bytes_lost: 8 * MSS,
+                inflight_bytes: 40 * MSS,
+                is_rto: false,
+            });
+            f.step(10e6, RTT_MS, 40 * MSS, false);
+        }
+        assert!(
+            f.bbr.cwnd_bytes() < cwnd_before,
+            "v2 must shrink cwnd under loss: {} !< {}",
+            f.bbr.cwnd_bytes(),
+            cwnd_before
+        );
+    }
+
+    #[test]
+    fn v2_ecn_marks_bound_the_ceiling() {
+        let mut f = Feeder::new(BbrConfig::v2());
+        assert_eq!(f.bbr.ecn_mode(), EcnMode::Classic);
+        for _ in 0..200 {
+            f.step(10e6, RTT_MS, 40 * MSS, false);
+        }
+        let hi_before = f.bbr.inflight_hi();
+        // Mark every ACK for many rounds: alpha climbs, ceiling shrinks.
+        for _ in 0..300 {
+            f.bbr.on_ecn(&EcnSample {
+                now: f.now,
+                marked_bytes: (10e6 / 8.0 * 0.010) as u64,
+                inflight_bytes: 40 * MSS,
+            });
+            f.step(10e6, RTT_MS, 40 * MSS, false);
+        }
+        assert!(f.bbr.ecn_alpha() > 0.3, "alpha = {}", f.bbr.ecn_alpha());
+        assert!(
+            f.bbr.inflight_hi() < 40.0 * MSS as f64,
+            "marks must pull the ceiling down: {} (was {})",
+            f.bbr.inflight_hi(),
+            hi_before
+        );
+    }
+
+    #[test]
+    fn v1_and_v3_do_not_negotiate_ecn() {
+        assert_eq!(
+            Bbr::new(BbrConfig::v1_linux_5_15(), SimTime::ZERO).ecn_mode(),
+            EcnMode::Disabled
+        );
+        assert_eq!(
+            Bbr::new(BbrConfig::v3(), SimTime::ZERO).ecn_mode(),
+            EcnMode::Disabled
+        );
     }
 
     #[test]

@@ -9,28 +9,43 @@
 //! * [`Bbr`] **v1** in three flavours — Linux 4.15, Linux 5.15
 //!   (Dropbox, Mega, Vimeo, iPerf BBR) and a "YouTube-tuned" v1.1 profile
 //!   (§6 Obs 13 documents that YouTube's QUIC stack tunes BBRv1 parameters).
+//! * [`Bbr`] **v2** — the IETF-draft bounded-probing revision, with an
+//!   ECN response alongside the loss response.
 //! * [`Bbr`] **v3** — Google Drive's 2023 deployment.
 //! * [`Gcc`] — Google Congestion Control for WebRTC (Meet, and a
 //!   Teams-flavoured profile; the paper lists Teams' CCA as unknown but
 //!   WebRTC-based).
+//! * [`LedbatPP`] — LEDBAT++ (draft-irtf-iccrg-ledbat-plus-plus), the
+//!   scavenger class: yields the bottleneck to any competing loss-based
+//!   flow.
+//! * [`Prague`] — TCP Prague (RFC 9331's scalable sender), reacting to
+//!   L4S CE marks from the DualPI2 AQM in `prudentia-sim`.
 //!
 //! The algorithms are driven by the transport layer through the
 //! [`CongestionControl`] trait: per-ACK delivery-rate samples (Cheng-style
-//! rate estimation), loss events, and round-trip tracking.
+//! rate estimation), loss events, timeouts, ECN echoes, and round-trip
+//! tracking. New algorithms register through the [`CcaRegistry`]; the
+//! [`CcaKind`] enum remains the serde-stable spelling used inside service
+//! specs and trial-cache keys and resolves its factories and display
+//! labels through the registry.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bbr;
 pub mod cubic;
 pub mod gcc;
+pub mod ledbat;
 pub mod minmax;
 pub mod newreno;
+pub mod prague;
 mod proptests;
 
 pub use bbr::{Bbr, BbrConfig, BbrVersion};
 pub use cubic::Cubic;
 pub use gcc::Gcc;
+pub use ledbat::LedbatPP;
 pub use newreno::NewReno;
+pub use prague::Prague;
 
 use prudentia_sim::{SimDuration, SimTime};
 
@@ -76,26 +91,329 @@ pub struct LossSample {
     pub is_rto: bool,
 }
 
+/// Information delivered to the CCA when a data packet leaves the sender.
+#[derive(Debug, Clone, Copy)]
+pub struct SentSample {
+    /// Time the packet was handed to the path.
+    pub now: SimTime,
+    /// Size of the packet in bytes.
+    pub bytes: u64,
+    /// Bytes in flight after this transmission.
+    pub inflight_bytes: u64,
+    /// True when the packet is a retransmission.
+    pub is_retransmit: bool,
+}
+
+/// Information delivered to the CCA when an ACK echoes a Congestion
+/// Experienced (CE) mark set by an ECN-capable AQM at the bottleneck.
+#[derive(Debug, Clone, Copy)]
+pub struct EcnSample {
+    /// Time the CE echo was processed.
+    pub now: SimTime,
+    /// Newly acknowledged bytes covered by the CE-marked ACK.
+    pub marked_bytes: u64,
+    /// Bytes still in flight after the ACK.
+    pub inflight_bytes: u64,
+}
+
+/// How (and whether) a CCA wants the transport to negotiate ECN on its
+/// data packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcnMode {
+    /// Not ECN-capable: AQMs drop instead of marking (the default).
+    Disabled,
+    /// Classic ECN (RFC 3168, ECT(0)): marks are treated like losses by
+    /// AQMs that only implement classic marking; DualPI2 routes these
+    /// through its classic queue with squared marking probability.
+    Classic,
+    /// L4S ECN (RFC 9331, ECT(1)): DualPI2 routes these packets through
+    /// its low-latency queue with shallow-threshold scalable marking.
+    L4s,
+}
+
 /// A congestion control algorithm.
 ///
-/// The transport calls `on_ack` / `on_loss` and obeys `cwnd_bytes` (window
+/// The transport calls the event hooks and obeys `cwnd_bytes` (window
 /// limit) plus `pacing_rate_bps` (packet release rate; `None` means pure
-/// ACK clocking).
+/// ACK clocking). Only `on_ack`, `on_loss`, `cwnd_bytes`, and
+/// `pacing_rate_bps` are required: the remaining hooks default to
+/// behaviour-neutral bodies (in the style of srt-rs's
+/// `SenderCongestionCtrl`), so an algorithm implements exactly the
+/// signals it reacts to.
 pub trait CongestionControl: std::fmt::Debug {
     /// Short human-readable algorithm name (appears in Table 1 output).
     fn name(&self) -> &'static str;
     /// Process an acknowledgement.
     fn on_ack(&mut self, ack: &AckSample);
-    /// Process a loss event.
+    /// Process a loss event detected by dup-ACK/reordering evidence.
     fn on_loss(&mut self, loss: &LossSample);
+    /// Process a retransmission timeout.
+    ///
+    /// The default falls back to [`on_loss`](Self::on_loss); the transport
+    /// always sets `is_rto: true` on the sample it passes here, so legacy
+    /// implementations that branch inside `on_loss` keep working
+    /// unchanged. Algorithms that need genuinely different timeout
+    /// handling (e.g. NewReno's collapse-to-one-segment slow-start
+    /// restart) override this instead of switching on the flag.
+    fn on_timeout(&mut self, loss: &LossSample) {
+        self.on_loss(loss);
+    }
+    /// Observe a data packet leaving the sender. Default: ignore.
+    fn on_packet_sent(&mut self, sent: &SentSample) {
+        let _ = sent;
+    }
+    /// Process an ECN CE echo from the receiver. Default: ignore (only
+    /// ECN-capable algorithms ever receive these).
+    fn on_ecn(&mut self, ecn: &EcnSample) {
+        let _ = ecn;
+    }
+    /// Which ECN codepoint the transport should set on this algorithm's
+    /// data packets. Default: [`EcnMode::Disabled`].
+    fn ecn_mode(&self) -> EcnMode {
+        EcnMode::Disabled
+    }
     /// Current congestion window in bytes.
     fn cwnd_bytes(&self) -> u64;
     /// Current pacing rate in bits/s, or `None` to send ACK-clocked bursts.
     fn pacing_rate_bps(&self) -> Option<f64>;
 }
 
+/// Broad behavioural family of a CCA, used to group heatmap axes and the
+/// classifier's priors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcaFamily {
+    /// AIMD loss-based (NewReno, Cubic).
+    LossBased,
+    /// Model-based BBR lineage (all BBR variants).
+    BbrLike,
+    /// Delay-based real-time rate control (GCC).
+    Rtc,
+    /// Less-than-best-effort scavenger (LEDBAT++).
+    Scavenger,
+    /// Scalable L4S congestion control (TCP Prague).
+    Scalable,
+}
+
+impl CcaFamily {
+    /// Short lowercase tag for reports and heatmap axis grouping.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CcaFamily::LossBased => "loss-based",
+            CcaFamily::BbrLike => "bbr-like",
+            CcaFamily::Rtc => "rtc",
+            CcaFamily::Scavenger => "scavenger",
+            CcaFamily::Scalable => "scalable",
+        }
+    }
+}
+
+/// Metadata for one registered CCA: the single source of truth for its
+/// spelling everywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct CcaMeta {
+    /// Registry key. Byte-identical to the [`CcaKind`] serde variant name,
+    /// which appears inside service-spec JSON and therefore inside
+    /// trial-cache keys: renaming an entry invalidates caches.
+    pub name: &'static str,
+    /// The label the paper's Table 1 (and `prudentia list`) prints.
+    pub table1: &'static str,
+    /// Behavioural family tag.
+    pub family: CcaFamily,
+}
+
+/// Factory signature: instantiate the algorithm anchored at `now`.
+pub type CcaFactory = fn(SimTime) -> Box<dyn CongestionControl>;
+
+/// Error returned when a registration collides with an existing entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateCca(pub String);
+
+impl std::fmt::Display for DuplicateCca {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CCA {:?} is already registered", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateCca {}
+
+/// Name → factory registry of congestion control algorithms.
+///
+/// [`CcaRegistry::builtin`] holds every algorithm the testbed ships;
+/// `CcaKind::build`, `table1_name`, the CLI `list`/`classify`
+/// subcommands, and the campaign mix parser all resolve through it, so
+/// adding an algorithm means one [`register`](CcaRegistry::register) call
+/// (plus a `CcaKind` variant if it should be spellable in spec JSON).
+#[derive(Debug, Default)]
+pub struct CcaRegistry {
+    entries: Vec<(CcaMeta, CcaFactory)>,
+}
+
+impl CcaRegistry {
+    /// An empty registry (for tests and embedders).
+    pub fn new() -> Self {
+        CcaRegistry::default()
+    }
+
+    /// Register an algorithm. Rejects duplicate names: two factories for
+    /// one spelling would make spec JSON ambiguous.
+    pub fn register(&mut self, meta: CcaMeta, factory: CcaFactory) -> Result<(), DuplicateCca> {
+        if self.lookup(meta.name).is_some() {
+            return Err(DuplicateCca(meta.name.to_string()));
+        }
+        self.entries.push((meta, factory));
+        Ok(())
+    }
+
+    /// Metadata for `name`, if registered.
+    pub fn lookup(&self, name: &str) -> Option<&CcaMeta> {
+        self.entries
+            .iter()
+            .find(|(m, _)| m.name == name)
+            .map(|(m, _)| m)
+    }
+
+    /// Instantiate `name` anchored at `now`, if registered.
+    pub fn build(&self, name: &str, now: SimTime) -> Option<Box<dyn CongestionControl>> {
+        self.entries
+            .iter()
+            .find(|(m, _)| m.name == name)
+            .map(|(_, f)| f(now))
+    }
+
+    /// All registered entries, in registration order (the order the
+    /// roster grew, so reports stay stable as algorithms are appended).
+    pub fn entries(&self) -> impl Iterator<Item = &CcaMeta> {
+        self.entries.iter().map(|(m, _)| m)
+    }
+
+    /// Number of registered algorithms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The process-wide registry of built-in algorithms.
+    pub fn builtin() -> &'static CcaRegistry {
+        use std::sync::OnceLock;
+        static BUILTIN: OnceLock<CcaRegistry> = OnceLock::new();
+        BUILTIN.get_or_init(|| {
+            let mut r = CcaRegistry::new();
+            let mut add = |meta: CcaMeta, factory: CcaFactory| {
+                r.register(meta, factory)
+                    .expect("builtin registry has no duplicates");
+            };
+            add(
+                CcaMeta {
+                    name: "NewReno",
+                    table1: "NewReno",
+                    family: CcaFamily::LossBased,
+                },
+                |_| Box::new(NewReno::new()),
+            );
+            add(
+                CcaMeta {
+                    name: "Cubic",
+                    table1: "Cubic",
+                    family: CcaFamily::LossBased,
+                },
+                |_| Box::new(Cubic::new()),
+            );
+            add(
+                CcaMeta {
+                    name: "BbrV1Linux415",
+                    table1: "BBRv1 (Linux 4.15)",
+                    family: CcaFamily::BbrLike,
+                },
+                |now| Box::new(Bbr::new(BbrConfig::v1_linux_4_15(), now)),
+            );
+            add(
+                CcaMeta {
+                    name: "BbrV1Linux515",
+                    table1: "BBRv1 (Linux 5.15)",
+                    family: CcaFamily::BbrLike,
+                },
+                |now| Box::new(Bbr::new(BbrConfig::v1_linux_5_15(), now)),
+            );
+            add(
+                CcaMeta {
+                    name: "BbrV11YoutubeTuned",
+                    table1: "BBRv1.1",
+                    family: CcaFamily::BbrLike,
+                },
+                |now| Box::new(Bbr::new(BbrConfig::v1_1_youtube(), now)),
+            );
+            add(
+                CcaMeta {
+                    name: "BbrV11Youtube2022",
+                    table1: "BBRv1.1 (2022)",
+                    family: CcaFamily::BbrLike,
+                },
+                |now| Box::new(Bbr::new(BbrConfig::v1_1_youtube_2022(), now)),
+            );
+            add(
+                CcaMeta {
+                    name: "BbrV1MegaTuned",
+                    table1: "BBR*",
+                    family: CcaFamily::BbrLike,
+                },
+                |now| Box::new(Bbr::new(BbrConfig::v1_mega_tuned(), now)),
+            );
+            add(
+                CcaMeta {
+                    name: "BbrV3",
+                    table1: "BBRv3",
+                    family: CcaFamily::BbrLike,
+                },
+                |now| Box::new(Bbr::new(BbrConfig::v3(), now)),
+            );
+            add(
+                CcaMeta {
+                    name: "Gcc",
+                    table1: "GCC",
+                    family: CcaFamily::Rtc,
+                },
+                |now| Box::new(Gcc::new(now)),
+            );
+            add(
+                CcaMeta {
+                    name: "LedbatPP",
+                    table1: "LEDBAT++",
+                    family: CcaFamily::Scavenger,
+                },
+                |_| Box::new(LedbatPP::new()),
+            );
+            add(
+                CcaMeta {
+                    name: "BbrV2",
+                    table1: "BBRv2",
+                    family: CcaFamily::BbrLike,
+                },
+                |now| Box::new(Bbr::new(BbrConfig::v2(), now)),
+            );
+            add(
+                CcaMeta {
+                    name: "Prague",
+                    table1: "TCP Prague",
+                    family: CcaFamily::Scalable,
+                },
+                |_| Box::new(Prague::new()),
+            );
+            r
+        })
+    }
+}
+
 /// Convenience constructors for every CCA the Prudentia testbed attributes
 /// to a service, keyed the way the paper's Table 1 names them.
+///
+/// This enum is a thin shim over [`CcaRegistry::builtin`]: the serde
+/// variant names below appear inside service-spec JSON and therefore
+/// inside trial-cache keys, so they are append-only and byte-stable.
+/// Factories and display labels live in the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CcaKind {
     /// Classic TCP NewReno (RFC 6582).
@@ -116,47 +434,18 @@ pub enum CcaKind {
     BbrV3,
     /// Google Congestion Control (WebRTC).
     Gcc,
+    /// LEDBAT++ scavenger (draft-irtf-iccrg-ledbat-plus-plus).
+    LedbatPP,
+    /// BBRv2 (IETF draft: bounded probing, loss + ECN response).
+    BbrV2,
+    /// TCP Prague (RFC 9331 scalable sender, pairs with DualPI2).
+    Prague,
 }
 
 impl CcaKind {
-    /// Instantiate the algorithm, anchored at simulation time `now`.
-    pub fn build(self, now: SimTime) -> Box<dyn CongestionControl> {
-        match self {
-            CcaKind::NewReno => Box::new(NewReno::new()),
-            CcaKind::Cubic => Box::new(Cubic::new()),
-            CcaKind::BbrV1Linux415 => Box::new(Bbr::new(BbrConfig::v1_linux_4_15(), now)),
-            CcaKind::BbrV1Linux515 => Box::new(Bbr::new(BbrConfig::v1_linux_5_15(), now)),
-            CcaKind::BbrV11YoutubeTuned => Box::new(Bbr::new(BbrConfig::v1_1_youtube(), now)),
-            CcaKind::BbrV11Youtube2022 => Box::new(Bbr::new(BbrConfig::v1_1_youtube_2022(), now)),
-            CcaKind::BbrV1MegaTuned => Box::new(Bbr::new(BbrConfig::v1_mega_tuned(), now)),
-            CcaKind::BbrV3 => Box::new(Bbr::new(BbrConfig::v3(), now)),
-            CcaKind::Gcc => Box::new(Gcc::new(now)),
-        }
-    }
-
-    /// The name the paper's Table 1 uses for this CCA.
-    pub fn table1_name(self) -> &'static str {
-        match self {
-            CcaKind::NewReno => "NewReno",
-            CcaKind::Cubic => "Cubic",
-            CcaKind::BbrV1Linux415 => "BBRv1 (Linux 4.15)",
-            CcaKind::BbrV1Linux515 => "BBRv1 (Linux 5.15)",
-            CcaKind::BbrV11YoutubeTuned => "BBRv1.1",
-            CcaKind::BbrV11Youtube2022 => "BBRv1.1 (2022)",
-            CcaKind::BbrV1MegaTuned => "BBR*",
-            CcaKind::BbrV3 => "BBRv3",
-            CcaKind::Gcc => "GCC",
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn every_kind_builds() {
-        let kinds = [
+    /// Every kind, in registry (and declaration) order.
+    pub fn all() -> Vec<CcaKind> {
+        vec![
             CcaKind::NewReno,
             CcaKind::Cubic,
             CcaKind::BbrV1Linux415,
@@ -166,8 +455,73 @@ mod tests {
             CcaKind::BbrV1MegaTuned,
             CcaKind::BbrV3,
             CcaKind::Gcc,
-        ];
-        for k in kinds {
+            CcaKind::LedbatPP,
+            CcaKind::BbrV2,
+            CcaKind::Prague,
+        ]
+    }
+
+    /// The registry key for this kind — byte-identical to the serde
+    /// variant name (asserted by a round-trip test), so the registry and
+    /// spec JSON can never drift apart.
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            CcaKind::NewReno => "NewReno",
+            CcaKind::Cubic => "Cubic",
+            CcaKind::BbrV1Linux415 => "BbrV1Linux415",
+            CcaKind::BbrV1Linux515 => "BbrV1Linux515",
+            CcaKind::BbrV11YoutubeTuned => "BbrV11YoutubeTuned",
+            CcaKind::BbrV11Youtube2022 => "BbrV11Youtube2022",
+            CcaKind::BbrV1MegaTuned => "BbrV1MegaTuned",
+            CcaKind::BbrV3 => "BbrV3",
+            CcaKind::Gcc => "Gcc",
+            CcaKind::LedbatPP => "LedbatPP",
+            CcaKind::BbrV2 => "BbrV2",
+            CcaKind::Prague => "Prague",
+        }
+    }
+
+    /// Resolve a registry name back to its kind (the inverse of
+    /// [`registry_name`](Self::registry_name)).
+    pub fn from_registry_name(name: &str) -> Option<CcaKind> {
+        CcaKind::all()
+            .into_iter()
+            .find(|k| k.registry_name() == name)
+    }
+
+    /// This kind's registry metadata.
+    pub fn meta(self) -> &'static CcaMeta {
+        CcaRegistry::builtin()
+            .lookup(self.registry_name())
+            .expect("every CcaKind is registered")
+    }
+
+    /// Instantiate the algorithm, anchored at simulation time `now`
+    /// (resolved through [`CcaRegistry::builtin`]).
+    pub fn build(self, now: SimTime) -> Box<dyn CongestionControl> {
+        CcaRegistry::builtin()
+            .build(self.registry_name(), now)
+            .expect("every CcaKind is registered")
+    }
+
+    /// The name the paper's Table 1 uses for this CCA.
+    pub fn table1_name(self) -> &'static str {
+        self.meta().table1
+    }
+
+    /// The behavioural family tag.
+    pub fn family(self) -> CcaFamily {
+        self.meta().family
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds() {
+        for k in CcaKind::all() {
             let cc = k.build(SimTime::ZERO);
             assert!(
                 cc.cwnd_bytes() >= MSS,
@@ -176,5 +530,116 @@ mod tests {
             );
             assert!(!k.table1_name().is_empty());
         }
+    }
+
+    #[test]
+    fn registry_covers_every_kind_and_nothing_else() {
+        let reg = CcaRegistry::builtin();
+        assert_eq!(reg.len(), CcaKind::all().len());
+        for k in CcaKind::all() {
+            assert!(reg.lookup(k.registry_name()).is_some(), "{k:?} missing");
+        }
+    }
+
+    #[test]
+    fn registry_names_round_trip_through_spec_json() {
+        // The registry key must be byte-identical to the serde spelling
+        // that lands inside service-spec JSON (and thus trial-cache
+        // keys): serialize each kind, strip the quotes, look it up, and
+        // deserialize it back.
+        for k in CcaKind::all() {
+            let json = serde_json::to_string(&k).expect("serialize");
+            assert_eq!(json, format!("\"{}\"", k.registry_name()));
+            assert!(
+                CcaRegistry::builtin()
+                    .lookup(json.trim_matches('"'))
+                    .is_some(),
+                "serde name {json} not in registry"
+            );
+            let back: CcaKind = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, k);
+            assert_eq!(CcaKind::from_registry_name(k.registry_name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn legacy_serde_names_still_parse() {
+        // The 9 seed-era spellings are frozen: trial caches key on them.
+        for (json, kind) in [
+            ("\"NewReno\"", CcaKind::NewReno),
+            ("\"Cubic\"", CcaKind::Cubic),
+            ("\"BbrV1Linux415\"", CcaKind::BbrV1Linux415),
+            ("\"BbrV1Linux515\"", CcaKind::BbrV1Linux515),
+            ("\"BbrV11YoutubeTuned\"", CcaKind::BbrV11YoutubeTuned),
+            ("\"BbrV11Youtube2022\"", CcaKind::BbrV11Youtube2022),
+            ("\"BbrV1MegaTuned\"", CcaKind::BbrV1MegaTuned),
+            ("\"BbrV3\"", CcaKind::BbrV3),
+            ("\"Gcc\"", CcaKind::Gcc),
+        ] {
+            let parsed: CcaKind = serde_json::from_str(json).expect("legacy name parses");
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn registry_rejects_duplicate_names() {
+        let mut reg = CcaRegistry::new();
+        let meta = CcaMeta {
+            name: "Custom",
+            table1: "Custom",
+            family: CcaFamily::LossBased,
+        };
+        reg.register(meta, |_| Box::new(NewReno::new())).unwrap();
+        let err = reg
+            .register(meta, |_| Box::new(Cubic::new()))
+            .expect_err("duplicate must be rejected");
+        assert_eq!(err, DuplicateCca("Custom".to_string()));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn default_hooks_are_behaviour_neutral() {
+        // on_timeout must fall through to on_loss with the transport's
+        // is_rto flag; on_packet_sent / on_ecn must be no-ops for
+        // algorithms that don't override them.
+        let mut cc = Cubic::new();
+        for i in 0..100u64 {
+            cc.on_ack(&AckSample {
+                now: SimTime::from_millis(i * 10),
+                bytes_acked: 10 * MSS,
+                rtt: SimDuration::from_millis(50),
+                min_rtt: SimDuration::from_millis(50),
+                inflight_bytes: 40 * MSS,
+                delivery_rate_bps: 10e6,
+                delivered_total: i * 10 * MSS,
+                app_limited: false,
+                is_round_start: i % 5 == 0,
+            });
+        }
+        let loss = LossSample {
+            now: SimTime::from_millis(2000),
+            bytes_lost: 10 * MSS,
+            inflight_bytes: 40 * MSS,
+            is_rto: true,
+        };
+        let mut via_timeout = Cubic::new();
+        let mut via_loss = Cubic::new();
+        via_timeout.on_timeout(&loss);
+        via_loss.on_loss(&loss);
+        assert_eq!(via_timeout.cwnd_bytes(), via_loss.cwnd_bytes());
+        let before = cc.cwnd_bytes();
+        cc.on_packet_sent(&SentSample {
+            now: SimTime::from_millis(2000),
+            bytes: MSS,
+            inflight_bytes: 40 * MSS,
+            is_retransmit: false,
+        });
+        cc.on_ecn(&EcnSample {
+            now: SimTime::from_millis(2000),
+            marked_bytes: MSS,
+            inflight_bytes: 40 * MSS,
+        });
+        assert_eq!(cc.cwnd_bytes(), before);
+        assert_eq!(cc.ecn_mode(), EcnMode::Disabled);
     }
 }

@@ -79,12 +79,11 @@ impl CongestionControl for NewReno {
 
     fn on_loss(&mut self, loss: &LossSample) {
         if loss.is_rto {
-            // Timeout: collapse to one segment and restart slow start.
-            self.ssthresh = (loss.inflight_bytes / 2).max(MIN_CWND);
-            self.cwnd = MSS;
-            self.recovery_until = loss.now;
-            self.acked_credit = 0;
-            return;
+            // Back-compat: callers that still signal timeouts through
+            // on_loss (the pre-registry transport did, and the model-level
+            // drivers may) get the real RTO response instead of silently
+            // taking the fast-retransmit halving path.
+            return self.on_timeout(loss);
         }
         if loss.now < self.recovery_until {
             // Same congestion event; NewReno reacts once per window of data.
@@ -100,6 +99,18 @@ impl CongestionControl for NewReno {
         // here) keeps the implementation self-contained; the transport's
         // loss batching makes the exact horizon uncritical.
         self.recovery_until = loss.now + prudentia_sim::SimDuration::from_millis(60);
+    }
+
+    fn on_timeout(&mut self, loss: &LossSample) {
+        // RFC 5681 §3.1: a timeout collapses the window to one segment and
+        // restarts slow start toward half the lost flight. This is a
+        // distinct response from the dup-ACK halving in `on_loss` — the
+        // two used to share a flag-switched body, which made it easy to
+        // conflate the paths.
+        self.ssthresh = (loss.inflight_bytes / 2).max(MIN_CWND);
+        self.cwnd = MSS;
+        self.recovery_until = loss.now;
+        self.acked_credit = 0;
     }
 
     fn cwnd_bytes(&self) -> u64 {
@@ -203,6 +214,31 @@ mod tests {
         assert_eq!(nr.cwnd_bytes(), MSS);
         assert_eq!(nr.ssthresh(), 10 * MSS);
         assert!(nr.in_slow_start());
+    }
+
+    #[test]
+    fn on_timeout_and_legacy_rto_flag_agree() {
+        // The explicit hook and the legacy is_rto-flagged on_loss call
+        // must land in exactly the same state — the transport switched
+        // from the latter to the former and trial bytes must not move.
+        let mut via_hook = NewReno::new();
+        let mut via_flag = NewReno::new();
+        via_hook.on_timeout(&loss(100, 20 * MSS, true));
+        via_flag.on_loss(&loss(100, 20 * MSS, true));
+        assert_eq!(via_hook.cwnd_bytes(), via_flag.cwnd_bytes());
+        assert_eq!(via_hook.ssthresh(), via_flag.ssthresh());
+    }
+
+    #[test]
+    fn timeout_and_dup_ack_take_different_paths() {
+        let mut rto = NewReno::new();
+        let mut dup = NewReno::new();
+        rto.on_timeout(&loss(100, 20 * MSS, true));
+        dup.on_loss(&loss(100, 20 * MSS, false));
+        assert_eq!(rto.cwnd_bytes(), MSS, "RTO collapses to one segment");
+        assert_eq!(dup.cwnd_bytes(), 10 * MSS, "dup-ACK halves");
+        assert!(rto.in_slow_start());
+        assert!(!dup.in_slow_start());
     }
 
     #[test]

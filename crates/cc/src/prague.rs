@@ -1,0 +1,256 @@
+//! TCP Prague: the scalable L4S sender (RFC 9331), modelled after DCTCP
+//! (RFC 8257) with the Prague requirements' ECN behaviour.
+//!
+//! Prague marks its packets ECT(1), which the DualPI2 AQM (RFC 9332, in
+//! `prudentia-sim`) routes through a shallow-threshold low-latency queue
+//! that *marks* instead of dropping. The sender keeps an EWMA `alpha` of
+//! the per-round fraction of CE-marked bytes,
+//!
+//! ```text
+//! alpha ← (1 − g)·alpha + g·frac_marked        (g = 1/16, per round)
+//! cwnd  ← cwnd · (1 − alpha/2)                 (once per marked round)
+//! ```
+//!
+//! and otherwise grows one segment per RTT. Under steady shallow marking
+//! this converges to ~2 marks per RTT with a near-flat rate and a queue
+//! of a millisecond or two — the L4S latency story. Loss (a classic-queue
+//! overflow or a non-L4S bottleneck) gets Reno's halving, so Prague
+//! degrades to classic behaviour on classic paths.
+
+use crate::{AckSample, CongestionControl, EcnMode, EcnSample, LossSample, MSS};
+use prudentia_sim::SimTime;
+
+/// EWMA gain for the marking fraction (RFC 8257's g = 1/16).
+const G: f64 = 1.0 / 16.0;
+/// Initial window (RFC 6928).
+const INITIAL_WINDOW: u64 = 10 * MSS;
+/// Window floor.
+const MIN_CWND: u64 = 2 * MSS;
+
+/// TCP Prague sender state.
+#[derive(Debug)]
+pub struct Prague {
+    cwnd: u64,
+    /// Fractional congestion-avoidance accumulator.
+    cwnd_frac: f64,
+    ssthresh: u64,
+    /// EWMA of the fraction of bytes CE-marked per round.
+    alpha: f64,
+    /// Bytes acked in the current observation round.
+    round_acked: u64,
+    /// Bytes acked under a CE echo in the current round.
+    round_marked: u64,
+    /// True once the current round has reacted to marks (one
+    /// multiplicative decrease per round, RFC 8257 §4.4).
+    reduced_this_round: bool,
+    /// End of loss-recovery: losses inside one window count once.
+    recovery_until: SimTime,
+}
+
+impl Default for Prague {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prague {
+    /// A fresh Prague sender.
+    pub fn new() -> Self {
+        Prague {
+            cwnd: INITIAL_WINDOW,
+            cwnd_frac: 0.0,
+            ssthresh: u64::MAX,
+            alpha: 0.0,
+            round_acked: 0,
+            round_marked: 0,
+            reduced_this_round: false,
+            recovery_until: SimTime::ZERO,
+        }
+    }
+
+    /// Current marking-fraction estimate (for tests and the classifier).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn end_round(&mut self) {
+        if self.round_acked > 0 {
+            let frac = self.round_marked as f64 / self.round_acked as f64;
+            self.alpha = (1.0 - G) * self.alpha + G * frac;
+        }
+        self.round_acked = 0;
+        self.round_marked = 0;
+        self.reduced_this_round = false;
+    }
+}
+
+impl CongestionControl for Prague {
+    fn name(&self) -> &'static str {
+        "prague"
+    }
+
+    fn on_ack(&mut self, ack: &AckSample) {
+        if ack.is_round_start {
+            self.end_round();
+        }
+        self.round_acked += ack.bytes_acked;
+        if self.cwnd < self.ssthresh {
+            // Slow start until the first mark or loss.
+            self.cwnd += ack.bytes_acked;
+            return;
+        }
+        // Congestion avoidance: one segment per RTT.
+        let grow = ack.bytes_acked as f64 * MSS as f64 / self.cwnd.max(1) as f64;
+        let total = self.cwnd as f64 + self.cwnd_frac + grow;
+        self.cwnd = total as u64;
+        self.cwnd_frac = total - self.cwnd as f64;
+    }
+
+    fn on_ecn(&mut self, ecn: &EcnSample) {
+        self.round_marked += ecn.marked_bytes;
+        // Exit slow start on the first mark.
+        if self.cwnd < self.ssthresh {
+            self.ssthresh = self.cwnd;
+        }
+        if self.reduced_this_round {
+            return;
+        }
+        self.reduced_this_round = true;
+        // React with the *current* alpha (seeded with the instantaneous
+        // fraction on the very first mark so the initial response is not
+        // zero-strength).
+        if self.alpha == 0.0 {
+            self.alpha = G;
+        }
+        let cut = (self.cwnd as f64 * self.alpha / 2.0) as u64;
+        self.cwnd = self.cwnd.saturating_sub(cut).max(MIN_CWND);
+        self.cwnd_frac = 0.0;
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_loss(&mut self, loss: &LossSample) {
+        if loss.now < self.recovery_until && !loss.is_rto {
+            return;
+        }
+        let flight = loss.inflight_bytes.max(MIN_CWND);
+        self.ssthresh = (flight / 2).max(MIN_CWND);
+        if loss.is_rto {
+            self.cwnd = MSS;
+            self.alpha = 1.0;
+        } else {
+            self.cwnd = self.ssthresh;
+            self.recovery_until = loss.now + prudentia_sim::SimDuration::from_millis(60);
+        }
+        self.cwnd_frac = 0.0;
+    }
+
+    fn ecn_mode(&self) -> EcnMode {
+        EcnMode::L4s
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        self.cwnd.max(MSS)
+    }
+
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prudentia_sim::SimDuration;
+
+    fn ack(now_ms: u64, cwnd: u64, round_start: bool) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            bytes_acked: MSS,
+            rtt: SimDuration::from_millis(10),
+            min_rtt: SimDuration::from_millis(10),
+            inflight_bytes: cwnd,
+            delivery_rate_bps: 50e6,
+            delivered_total: now_ms * MSS,
+            app_limited: false,
+            is_round_start: round_start,
+        }
+    }
+
+    #[test]
+    fn declares_l4s_ecn() {
+        assert_eq!(Prague::new().ecn_mode(), EcnMode::L4s);
+    }
+
+    #[test]
+    fn marks_scale_the_window_down_by_alpha() {
+        let mut cc = Prague::new();
+        // Saturate alpha: every byte marked for many rounds.
+        for round in 0..200u64 {
+            for i in 0..10u64 {
+                let t = round * 10 + i;
+                cc.on_ack(&ack(t, cc.cwnd_bytes(), i == 0));
+                cc.on_ecn(&EcnSample {
+                    now: SimTime::from_millis(t),
+                    marked_bytes: MSS,
+                    inflight_bytes: cc.cwnd_bytes(),
+                });
+            }
+        }
+        assert!(
+            cc.alpha() > 0.9,
+            "fully marked traffic must drive alpha to 1: {}",
+            cc.alpha()
+        );
+        // With alpha ~1 each marked round halves the window; against the
+        // 1-segment-per-RTT growth it must settle within a few segments
+        // of the floor.
+        assert!(cc.cwnd_bytes() <= 6 * MSS, "{}", cc.cwnd_bytes());
+    }
+
+    #[test]
+    fn sparse_marks_give_gentle_decrease() {
+        let mut cc = Prague::new();
+        // Leave slow start via one mark, then run clean rounds to decay
+        // alpha, then observe a single marked round's cut.
+        cc.on_ecn(&EcnSample {
+            now: SimTime::ZERO,
+            marked_bytes: MSS,
+            inflight_bytes: cc.cwnd_bytes(),
+        });
+        for round in 0..60u64 {
+            for i in 0..10u64 {
+                cc.on_ack(&ack(round * 10 + i, cc.cwnd_bytes(), i == 0));
+            }
+        }
+        let alpha_before = cc.alpha();
+        assert!(alpha_before < 0.05, "clean rounds must decay alpha");
+        let before = cc.cwnd_bytes();
+        cc.on_ecn(&EcnSample {
+            now: SimTime::from_secs(1),
+            marked_bytes: MSS,
+            inflight_bytes: before,
+        });
+        let after = cc.cwnd_bytes();
+        assert!(after < before, "a mark must shrink the window");
+        assert!(
+            after as f64 >= before as f64 * 0.90,
+            "a sparse mark must cut gently (alpha/2): {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mut cc = Prague::new();
+        for i in 0..100u64 {
+            cc.on_ack(&ack(i, cc.cwnd_bytes(), i % 10 == 0));
+        }
+        let before = cc.cwnd_bytes();
+        cc.on_loss(&LossSample {
+            now: SimTime::from_secs(2),
+            bytes_lost: MSS,
+            inflight_bytes: before,
+            is_rto: false,
+        });
+        assert!(cc.cwnd_bytes() <= before / 2 + MSS);
+    }
+}

@@ -4,7 +4,7 @@
 
 #![cfg(test)]
 
-use crate::{AckSample, CcaKind, LossSample, MSS};
+use crate::{AckSample, CcaKind, EcnSample, LossSample, SentSample, MSS};
 use proptest::prelude::*;
 use prudentia_sim::{SimDuration, SimTime};
 
@@ -23,11 +23,23 @@ enum Ev {
         inflight: u64,
         is_rto: bool,
     },
+    Timeout {
+        inflight: u64,
+    },
+    Sent {
+        bytes: u64,
+        inflight: u64,
+        is_retransmit: bool,
+    },
+    Ecn {
+        bytes: u64,
+        inflight: u64,
+    },
 }
 
 fn event_strategy() -> impl Strategy<Value = Ev> {
     prop_oneof![
-        4 => (
+        6 => (
             1u64..64,
             20u64..400,
             0.1f64..100.0,
@@ -50,21 +62,25 @@ fn event_strategy() -> impl Strategy<Value = Ev> {
             inflight: inflight * MSS,
             is_rto,
         }),
+        1 => (0u64..200).prop_map(|inflight| Ev::Timeout {
+            inflight: inflight * MSS,
+        }),
+        1 => (1u64..2, 0u64..200, any::<bool>()).prop_map(|(segs, inflight, is_retransmit)| {
+            Ev::Sent {
+                bytes: segs * MSS,
+                inflight: inflight * MSS,
+                is_retransmit,
+            }
+        }),
+        1 => (1u64..32, 0u64..200).prop_map(|(segs, inflight)| Ev::Ecn {
+            bytes: segs * MSS,
+            inflight: inflight * MSS,
+        }),
     ]
 }
 
 fn all_kinds() -> Vec<CcaKind> {
-    vec![
-        CcaKind::NewReno,
-        CcaKind::Cubic,
-        CcaKind::BbrV1Linux415,
-        CcaKind::BbrV1Linux515,
-        CcaKind::BbrV11YoutubeTuned,
-        CcaKind::BbrV11Youtube2022,
-        CcaKind::BbrV1MegaTuned,
-        CcaKind::BbrV3,
-        CcaKind::Gcc,
-    ]
+    CcaKind::all()
 }
 
 proptest! {
@@ -101,6 +117,29 @@ proptest! {
                             bytes_lost: *bytes,
                             inflight_bytes: *inflight,
                             is_rto: *is_rto,
+                        });
+                    }
+                    Ev::Timeout { inflight } => {
+                        cc.on_timeout(&LossSample {
+                            now,
+                            bytes_lost: *inflight,
+                            inflight_bytes: *inflight,
+                            is_rto: true,
+                        });
+                    }
+                    Ev::Sent { bytes, inflight, is_retransmit } => {
+                        cc.on_packet_sent(&SentSample {
+                            now,
+                            bytes: *bytes,
+                            inflight_bytes: *inflight,
+                            is_retransmit: *is_retransmit,
+                        });
+                    }
+                    Ev::Ecn { bytes, inflight } => {
+                        cc.on_ecn(&EcnSample {
+                            now,
+                            marked_bytes: *bytes,
+                            inflight_bytes: *inflight,
                         });
                     }
                 }

@@ -22,9 +22,10 @@
 
 use crate::harness::{run_pair, run_solo, SoloRun};
 use prudentia_cc::{
-    AckSample, Bbr, BbrConfig, CcaKind, CongestionControl, Cubic, LossSample, NewReno, MSS,
+    AckSample, Bbr, BbrConfig, CcaKind, CongestionControl, Cubic, EcnSample, LedbatPP, LossSample,
+    NewReno, Prague, MSS,
 };
-use prudentia_sim::{NetworkSetting, SimDuration, SimTime};
+use prudentia_sim::{NetworkSetting, QdiscSpec, ScenarioSpec, SimDuration, SimTime};
 
 /// Outcome of one conformance check.
 #[derive(Debug, Clone)]
@@ -264,6 +265,140 @@ fn bbr_gain_cycle() -> CheckResult {
     CheckResult::new("bbr.gain_cycle", ok, detail)
 }
 
+/// LEDBAT++ control law (draft-irtf-iccrg-ledbat-plus-plus §4): the
+/// window must grow while queueing delay sits under the 60 ms target and
+/// collapse to its floor once a standing queue holds the delay at 2× the
+/// target — the scavenger contract, checked at the model level with a
+/// synthetic delay profile.
+fn ledbat_target_law() -> CheckResult {
+    let mut cc = LedbatPP::new();
+    let base = SimDuration::from_millis(50);
+    let mut now = SimTime::ZERO;
+    let ack = |now: SimTime, rtt: SimDuration, cwnd: u64| AckSample {
+        now,
+        bytes_acked: MSS,
+        rtt,
+        min_rtt: base,
+        inflight_bytes: cwnd,
+        delivery_rate_bps: 8e6,
+        delivered_total: 0,
+        app_limited: false,
+        is_round_start: false,
+    };
+    // Phase 1: empty queue (rtt == min_rtt) for 1000 ACKs.
+    for _ in 0..1000 {
+        now += SimDuration::from_millis(5);
+        let w = cc.cwnd_bytes();
+        cc.on_ack(&ack(now, base, w));
+    }
+    let grown = cc.cwnd_bytes();
+    let grows = grown > 20 * MSS;
+    // Phase 2: a competitor stands a 150 ms queue (2.5× target).
+    for _ in 0..1000 {
+        now += SimDuration::from_millis(5);
+        let w = cc.cwnd_bytes();
+        cc.on_ack(&ack(now, base + SimDuration::from_millis(150), w));
+    }
+    let floor = cc.cwnd_bytes();
+    let yields = floor <= 2 * MSS;
+    CheckResult::new(
+        "ledbat.target_law",
+        grows && yields,
+        format!(
+            "empty-queue growth to {} segs (want > 20); standing-queue window {} segs \
+             (want ≤ 2, the scavenger floor)",
+            grown / MSS,
+            floor / MSS
+        ),
+    )
+}
+
+/// DCTCP/Prague alpha law (RFC 8257 §3.3): the EWMA of the marked-byte
+/// fraction must converge to ~1 under persistent full marking (collapsing
+/// the window toward its floor) and decay toward 0 over clean rounds so a
+/// later sparse mark only cuts the window gently.
+fn prague_alpha_law() -> CheckResult {
+    let mut cc = Prague::new();
+    let ack = |t: SimTime, cwnd: u64, rs: bool| AckSample {
+        now: t,
+        bytes_acked: MSS,
+        rtt: SimDuration::from_millis(10),
+        min_rtt: SimDuration::from_millis(10),
+        inflight_bytes: cwnd,
+        delivery_rate_bps: 50e6,
+        delivered_total: 0,
+        app_limited: false,
+        is_round_start: rs,
+    };
+    // Fully marked rounds: alpha must converge to ~1.
+    for round in 0..200u64 {
+        for i in 0..10u64 {
+            let now = SimTime::from_millis(round * 10 + i);
+            cc.on_ack(&ack(now, cc.cwnd_bytes(), i == 0));
+            cc.on_ecn(&EcnSample {
+                now,
+                marked_bytes: MSS,
+                inflight_bytes: cc.cwnd_bytes(),
+            });
+        }
+    }
+    let alpha_full = cc.alpha();
+    let saturates = alpha_full > 0.9;
+    let near_floor = cc.cwnd_bytes() <= 6 * MSS;
+    // Clean rounds: alpha decays geometrically at (1 - 1/16) per round.
+    for round in 200..300u64 {
+        for i in 0..10u64 {
+            let now = SimTime::from_millis(round * 10 + i);
+            cc.on_ack(&ack(now, cc.cwnd_bytes(), i == 0));
+        }
+    }
+    let alpha_clean = cc.alpha();
+    let decays = alpha_clean < 0.05;
+    CheckResult::new(
+        "prague.alpha_law",
+        saturates && near_floor && decays,
+        format!(
+            "alpha after 200 fully-marked rounds {alpha_full:.3} (want > 0.9), window {} segs \
+             (want ≤ 6); alpha after 100 clean rounds {alpha_clean:.3} (want < 0.05)",
+            cc.cwnd_bytes() / MSS
+        ),
+    )
+}
+
+/// BBRv2's ECN response: CE marks feed an alpha EWMA that multiplicatively
+/// shrinks `inflight_hi`, so a persistently marking bottleneck bounds the
+/// ceiling without a single packet loss (BBRv2 IETF draft §4.4).
+fn bbr2_ecn_bounds_ceiling() -> CheckResult {
+    let mut cc = Bbr::new(BbrConfig::v2(), SimTime::ZERO);
+    let mut clk = AckClock::new(SimDuration::from_millis(50), 20);
+    // Let startup finish cleanly first.
+    for _ in 0..2000 {
+        clk.tick(&mut cc);
+    }
+    let unbounded = cc.inflight_hi();
+    // Mark every ACK for 400 rounds.
+    for _ in 0..8000 {
+        clk.tick(&mut cc);
+        cc.on_ecn(&EcnSample {
+            now: clk.now,
+            marked_bytes: MSS,
+            inflight_bytes: cc.cwnd_bytes(),
+        });
+    }
+    let alpha = cc.ecn_alpha();
+    let hi = cc.inflight_hi();
+    let engaged = alpha > 0.3;
+    let bounded = hi.is_finite() && hi < 100.0 * MSS as f64;
+    CheckResult::new(
+        "bbr2.ecn_bounds_ceiling",
+        engaged && bounded,
+        format!(
+            "ecn_alpha {alpha:.2} after persistent marking (want > 0.3); \
+             inflight_hi {unbounded:.0} -> {hi:.0} bytes (want finite and < 100 MSS)"
+        ),
+    )
+}
+
 // ---------------------------------------------------------------------------
 // System-level checks
 // ---------------------------------------------------------------------------
@@ -499,6 +634,68 @@ fn pair_bbr_cubic_deep(setting: &NetworkSetting) -> CheckResult {
     )
 }
 
+/// The scavenger contract, end to end: LEDBAT++ against Cubic through the
+/// full transport + engine stack must yield the overwhelming share of the
+/// bottleneck. Cubic stands a deep drop-tail queue (far past LEDBAT++'s
+/// 60 ms delay target), so the scavenger must retreat to its floor and
+/// leave Cubic ≥ 80% of the link.
+fn pair_ledbat_yields(setting: &NetworkSetting) -> CheckResult {
+    let run = run_pair(
+        CcaKind::LedbatPP,
+        CcaKind::Cubic,
+        setting,
+        SEED,
+        PAIR_DURATION,
+    );
+    // share_b is relative to the fair half-share, so 80% of the whole
+    // link reads as share_b >= 1.6.
+    let cubic_frac = run.share_b / 2.0;
+    let ok = cubic_frac >= 0.80 && run.utilization >= 0.85;
+    CheckResult::new(
+        "pair.ledbat_yields_to_cubic",
+        ok,
+        format!(
+            "Cubic holds {:.0}% of the link against LEDBAT++ (want ≥ 80%); \
+             utilization {:.1}% (want ≥ 85%)",
+            cubic_frac * 100.0,
+            run.utilization * 100.0
+        ),
+    )
+}
+
+/// BBRv2 keeps BBR's utilization story (≥ 90% solo on the constrained
+/// preset) while carrying the loss/ECN-bounded inflight machinery.
+fn bbr2_utilization(setting: &NetworkSetting) -> CheckResult {
+    solo_utilization(CcaKind::BbrV2, "bbr2.utilization", setting)
+}
+
+/// Prague behind DualPI2, end to end: the L queue's shallow marking
+/// threshold must hold Prague's queueing delay an order of magnitude
+/// below what loss-based CCAs stand in the drop-tail (≈190 ms at this
+/// preset), while still using most of the link — the L4S latency claim
+/// (RFC 9331/9332).
+fn prague_dualpi2_low_delay(setting: &NetworkSetting) -> CheckResult {
+    let l4s = setting.clone().with_scenario(
+        ScenarioSpec {
+            qdisc: QdiscSpec::dualpi2(),
+            impairment: Default::default(),
+        },
+        "dualpi2",
+    );
+    let run = run_solo(CcaKind::Prague, &l4s, SEED, SimDuration::from_secs(60));
+    let qdelay_ms = run.mean_qdelay.as_secs_f64() * 1e3;
+    let ok = qdelay_ms <= 20.0 && run.utilization >= 0.60;
+    CheckResult::new(
+        "prague.dualpi2_low_delay",
+        ok,
+        format!(
+            "mean qdelay {qdelay_ms:.1} ms behind DualPI2 (want ≤ 20); \
+             utilization {:.1}% (want ≥ 60%)",
+            run.utilization * 100.0
+        ),
+    )
+}
+
 /// Run the full conformance suite. Settings come from the watchdog's
 /// [`NetworkSetting`] presets so conformance exercises the same code path
 /// as production trials.
@@ -510,6 +707,9 @@ pub fn run_conformance() -> Vec<CheckResult> {
         newreno_aimd_law(),
         cubic_concave_convex(),
         bbr_gain_cycle(),
+        ledbat_target_law(),
+        prague_alpha_law(),
+        bbr2_ecn_bounds_ceiling(),
         // System-level dynamics on the 8 Mbps preset.
         newreno_sawtooth(&hc),
         cubic_sawtooth(&hc),
@@ -519,10 +719,13 @@ pub fn run_conformance() -> Vec<CheckResult> {
         solo_utilization(CcaKind::BbrV1Linux515, "bbr.utilization", &hc),
         solo_utilization(CcaKind::Cubic, "cubic.utilization_50mbps", &mc),
         gcc_converges(&hc),
+        bbr2_utilization(&hc),
+        prague_dualpi2_low_delay(&hc),
         // Pairwise share bands.
         pair_self_fairness(&hc),
         pair_bbr_cubic_shallow(&hc),
         pair_bbr_cubic_deep(&hc),
+        pair_ledbat_yields(&hc),
     ]
 }
 
@@ -532,7 +735,14 @@ mod tests {
 
     #[test]
     fn model_level_laws_hold() {
-        for check in [newreno_aimd_law(), cubic_concave_convex(), bbr_gain_cycle()] {
+        for check in [
+            newreno_aimd_law(),
+            cubic_concave_convex(),
+            bbr_gain_cycle(),
+            ledbat_target_law(),
+            prague_alpha_law(),
+            bbr2_ecn_bounds_ceiling(),
+        ] {
             assert!(check.passed, "{}: {}", check.name, check.detail);
         }
     }

@@ -23,12 +23,15 @@ pub const GOLDEN_SEED: u64 = 42;
 pub const GOLDEN_DURATION: SimDuration = SimDuration::from_secs(30);
 
 /// The CCAs snapshotted by the suite, with their file stems.
-pub const GOLDEN_CCAS: [(CcaKind, &str); 5] = [
+pub const GOLDEN_CCAS: [(CcaKind, &str); 8] = [
     (CcaKind::NewReno, "newreno"),
     (CcaKind::Cubic, "cubic"),
     (CcaKind::BbrV1Linux515, "bbr_v1_linux515"),
     (CcaKind::BbrV3, "bbr_v3"),
     (CcaKind::Gcc, "gcc"),
+    (CcaKind::LedbatPP, "ledbatpp"),
+    (CcaKind::BbrV2, "bbr_v2"),
+    (CcaKind::Prague, "prague"),
 ];
 
 /// Default golden directory: `tests/golden/` at the repository root.
@@ -49,9 +52,28 @@ pub fn render_csv(rows: &[TraceRow]) -> String {
     out
 }
 
+/// The network setting a golden trace is generated on. Prague's trace
+/// runs behind DualPI2 — the AQM it was designed against — so the
+/// snapshot pins the ECN mark/echo/response loop, not just a classic
+/// drop response; everything else uses the plain highly-constrained
+/// drop-tail setting.
+pub fn golden_setting(kind: CcaKind) -> NetworkSetting {
+    let base = NetworkSetting::highly_constrained();
+    match kind {
+        CcaKind::Prague => base.with_scenario(
+            prudentia_sim::ScenarioSpec {
+                qdisc: prudentia_sim::QdiscSpec::dualpi2(),
+                impairment: Default::default(),
+            },
+            "dualpi2",
+        ),
+        _ => base,
+    }
+}
+
 /// Generate the trace a golden file should currently contain.
 pub fn generate(kind: CcaKind) -> String {
-    let setting = NetworkSetting::highly_constrained();
+    let setting = golden_setting(kind);
     let run = run_solo(kind, &setting, GOLDEN_SEED, GOLDEN_DURATION);
     render_csv(&run.rows)
 }

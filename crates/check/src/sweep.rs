@@ -57,8 +57,10 @@ fn impairments(base_rate: f64) -> Vec<(&'static str, ImpairmentSpec)> {
     ]
 }
 
-/// Run the full qdisc × impairment matrix (20 scenarios) with a
-/// Cubic-vs-NewReno pair for `duration` each, invariants on.
+/// Run the full qdisc × impairment matrix (25 scenarios) with invariants
+/// on. Most rows pair Cubic against NewReno; the DualPI2 row pairs Prague
+/// against Cubic so the sweep pushes ECT(1) traffic through the marking
+/// path and the CE-echo loop under the conservation guard.
 pub fn run_sweep(duration: SimDuration, seed: u64) -> Vec<SweepOutcome> {
     let base = NetworkSetting::highly_constrained();
     let qdiscs = [
@@ -66,9 +68,11 @@ pub fn run_sweep(duration: SimDuration, seed: u64) -> Vec<SweepOutcome> {
         QdiscSpec::codel(),
         QdiscSpec::fq_codel(),
         QdiscSpec::red(),
+        QdiscSpec::dualpi2(),
     ];
     let mut outcomes = Vec::new();
     for qdisc in &qdiscs {
+        let is_l4s = matches!(qdisc, QdiscSpec::DualPi2 { .. });
         for (imp_label, impairment) in impairments(base.rate_bps) {
             let label = format!("{}+{}", qdisc.kind(), imp_label);
             let scenario = ScenarioSpec {
@@ -76,8 +80,13 @@ pub fn run_sweep(duration: SimDuration, seed: u64) -> Vec<SweepOutcome> {
                 impairment,
             };
             let setting = base.clone().with_scenario(scenario, &label);
+            let (a, b) = if is_l4s {
+                (CcaKind::Prague, CcaKind::Cubic)
+            } else {
+                (CcaKind::Cubic, CcaKind::NewReno)
+            };
             let result = catch_unwind(AssertUnwindSafe(|| {
-                run_pair(CcaKind::Cubic, CcaKind::NewReno, &setting, seed, duration)
+                run_pair(a, b, &setting, seed, duration)
             }))
             .map(|_| ())
             .map_err(|e| {
@@ -101,7 +110,7 @@ mod tests {
         // Short trials: the point is exercising every discipline and
         // impairment under the guard, not measuring fairness.
         let outcomes = run_sweep(SimDuration::from_secs(4), 11);
-        assert_eq!(outcomes.len(), 20);
+        assert_eq!(outcomes.len(), 25);
         for o in &outcomes {
             assert!(o.result.is_ok(), "{}: {:?}", o.label, o.result);
         }

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 pub const CELL_SCHEMA_VERSION: u32 = 1;
 
 /// Queue-discipline axis values a campaign may name.
-pub const QDISC_AXIS: [&str; 4] = ["droptail", "codel", "fq_codel", "red"];
+pub const QDISC_AXIS: [&str; 5] = ["droptail", "codel", "fq_codel", "red", "dualpi2"];
 
 /// Impairment axis values a campaign may name: the pristine link, the
 /// mean-preserving LTE-like rate trace, and light random loss.
@@ -333,6 +333,7 @@ impl CampaignCell {
             "codel" => QdiscSpec::codel(),
             "fq_codel" => QdiscSpec::fq_codel(),
             "red" => QdiscSpec::red(),
+            "dualpi2" => QdiscSpec::dualpi2(),
             other => {
                 return Err(PrudentiaError::InvalidConfig(format!(
                     "unknown qdisc '{other}' in cell {}",
@@ -391,7 +392,7 @@ pub fn lookup_service(name: &str) -> Result<ServiceSpec, PrudentiaError> {
     let lname = name.to_lowercase();
     Service::all()
         .into_iter()
-        .chain([Service::IperfBbr415])
+        .chain(Service::extras())
         .find(|s| s.label().to_lowercase() == lname || s.spec().name().to_lowercase() == lname)
         .map(|s| s.spec())
         .ok_or_else(|| PrudentiaError::UnknownService(name.to_string()))

@@ -68,7 +68,7 @@ common options:
   --seed N           base seed (default 1)
   --parallel N       worker threads
   --setting MBPS     one bottleneck setting instead of both (8 / 50 / custom)
-  --scenario KIND    droptail|codel|fq_codel|red|lte
+  --scenario KIND    droptail|codel|fq_codel|red|dualpi2|lte
   --cache PATH       persistent trial cache
   --stats            executor telemetry + per-phase wall time (stderr)
   --metrics PATH     write metrics registry JSON (or CSV with .csv)
@@ -461,7 +461,7 @@ fn find_service(name: &str) -> Result<Service, PrudentiaError> {
     let lname = name.to_lowercase();
     Service::all()
         .into_iter()
-        .chain([Service::IperfBbr415])
+        .chain(Service::extras())
         .find(|s| s.label().to_lowercase() == lname || s.spec().name().to_lowercase() == lname)
         .ok_or_else(|| PrudentiaError::UnknownService(name.to_string()))
 }
@@ -509,10 +509,14 @@ fn settings_for(opts: &Opts) -> Result<Vec<NetworkSetting>, PrudentiaError> {
                     qdisc: QdiscSpec::red(),
                     ..ScenarioSpec::default()
                 },
+                "dualpi2" => ScenarioSpec {
+                    qdisc: QdiscSpec::dualpi2(),
+                    ..ScenarioSpec::default()
+                },
                 "lte" => ScenarioSpec::droptail_lte(setting.rate_bps),
                 other => {
                     return Err(PrudentiaError::Usage(format!(
-                        "unknown scenario: {other} (expected droptail|codel|fq_codel|red|lte)"
+                        "unknown scenario: {other} (expected droptail|codel|fq_codel|red|dualpi2|lte)"
                     )));
                 }
             };
@@ -544,7 +548,7 @@ fn cmd_list() {
         "{:<16} {:<18} {:<22} {:>7}",
         "label", "name", "cca", "flows"
     );
-    for svc in Service::all().into_iter().chain([Service::IperfBbr415]) {
+    for svc in Service::all().into_iter().chain(Service::extras()) {
         let spec = svc.spec();
         println!(
             "{:<16} {:<18} {:<22} {:>7}",
@@ -552,6 +556,19 @@ fn cmd_list() {
             spec.name(),
             spec.cca_label(),
             spec.flow_count()
+        );
+    }
+    println!();
+    println!(
+        "{:<20} {:<22} {:<12}",
+        "cca plugin", "table-1 label", "family"
+    );
+    for meta in prudentia_cc::CcaRegistry::builtin().entries() {
+        println!(
+            "{:<20} {:<22} {:<12}",
+            meta.name,
+            meta.table1,
+            meta.family.tag()
         );
     }
 }

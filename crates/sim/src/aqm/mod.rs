@@ -12,7 +12,9 @@
 //! * [`CoDelQueue`] — sojourn-time based head dropping (RFC 8289),
 //! * [`FqCoDelQueue`] — per-flow queues + deficit round-robin with CoDel
 //!   on each flow (RFC 8290),
-//! * [`RedQueue`] — random early detection over an EWMA of occupancy.
+//! * [`RedQueue`] — random early detection over an EWMA of occupancy,
+//! * [`DualPi2Queue`] — the coupled L4S dual queue (RFC 9332), marking
+//!   ECT(1) traffic at a shallow threshold instead of dropping it.
 //!
 //! Disciplines are built from a serializable [`QdiscSpec`], which is part
 //! of the scenario key: two trials differing only in qdisc parameters
@@ -23,10 +25,12 @@
 //! byte-reproducible across runs and worker counts.
 
 mod codel;
+mod dualpi2;
 mod fq_codel;
 mod red;
 
 pub use codel::{CoDelQueue, CoDelState};
+pub use dualpi2::DualPi2Queue;
 pub use fq_codel::FqCoDelQueue;
 pub use red::RedQueue;
 
@@ -176,6 +180,19 @@ pub enum QdiscSpec {
         /// Drop probability at `max_th` (classic RED: 0.1).
         max_p: f64,
     },
+    /// DualPI2 (RFC 9332): coupled L4S + classic queues. ECT(1) packets
+    /// take a shallow marking queue; everything else takes a PI-managed
+    /// classic queue.
+    DualPi2 {
+        /// Classic-queue delay target for the PI controller.
+        target: SimDuration,
+        /// PI controller update interval.
+        t_update: SimDuration,
+        /// Coupling factor: L4S mark probability is `min(k·p', 1)`.
+        k: f64,
+        /// Instantaneous L-queue sojourn above which every packet marks.
+        l_step_thresh: SimDuration,
+    },
 }
 
 impl QdiscSpec {
@@ -206,6 +223,18 @@ impl QdiscSpec {
         }
     }
 
+    /// DualPI2 with the RFC 9332 reference defaults: 15 ms classic
+    /// target, 16 ms update interval, coupling k = 2, 1 ms L-queue step
+    /// threshold.
+    pub fn dualpi2() -> Self {
+        QdiscSpec::DualPi2 {
+            target: SimDuration::from_millis(15),
+            t_update: SimDuration::from_millis(16),
+            k: 2.0,
+            l_step_thresh: SimDuration::from_millis(1),
+        }
+    }
+
     /// Short stable identifier, matching [`QueueDiscipline::kind`].
     pub fn kind(&self) -> &'static str {
         match self {
@@ -213,6 +242,7 @@ impl QdiscSpec {
             QdiscSpec::CoDel { .. } => "codel",
             QdiscSpec::FqCodel { .. } => "fq_codel",
             QdiscSpec::Red { .. } => "red",
+            QdiscSpec::DualPi2 { .. } => "dualpi2",
         }
     }
 
@@ -248,6 +278,19 @@ impl QdiscSpec {
                 max_p,
                 seed,
             )),
+            QdiscSpec::DualPi2 {
+                target,
+                t_update,
+                k,
+                l_step_thresh,
+            } => Box::new(DualPi2Queue::new(
+                capacity_pkts,
+                target,
+                t_update,
+                k,
+                l_step_thresh,
+                seed,
+            )),
         }
     }
 }
@@ -268,6 +311,7 @@ mod tests {
             QdiscSpec::codel(),
             QdiscSpec::fq_codel(),
             QdiscSpec::red(),
+            QdiscSpec::dualpi2(),
         ] {
             let q = spec.build(64, 1);
             assert_eq!(q.kind(), spec.kind());
@@ -283,6 +327,7 @@ mod tests {
             QdiscSpec::codel(),
             QdiscSpec::fq_codel(),
             QdiscSpec::red(),
+            QdiscSpec::dualpi2(),
         ] {
             let json = serde_json::to_string(&spec).expect("serialize");
             let back: QdiscSpec = serde_json::from_str(&json).expect("deserialize");
@@ -299,6 +344,7 @@ mod tests {
             QdiscSpec::codel(),
             QdiscSpec::fq_codel(),
             QdiscSpec::red(),
+            QdiscSpec::dualpi2(),
         ] {
             let mut q = spec.build(64, 3);
             let mut now = SimTime::ZERO;

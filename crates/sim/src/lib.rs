@@ -38,15 +38,15 @@ pub mod time;
 pub mod trace;
 pub mod wheel;
 
-pub use aqm::{CoDelQueue, FqCoDelQueue, QdiscSpec, QueueDiscipline, RedQueue};
+pub use aqm::{CoDelQueue, DualPi2Queue, FqCoDelQueue, QdiscSpec, QueueDiscipline, RedQueue};
 pub use config::NetworkSetting;
 pub use engine::{Ctx, Endpoint, Engine};
 pub use event::Event;
 pub use invariant::InvariantGuard;
 pub use link::{BottleneckConfig, PathSpec};
 pub use packet::{
-    EndpointId, FlowId, Packet, PacketArena, PacketHandle, PacketKind, ServiceId, ACK_BYTES,
-    MTU_BYTES,
+    EcnCodepoint, EndpointId, FlowId, Packet, PacketArena, PacketHandle, PacketKind, ServiceId,
+    ACK_BYTES, MTU_BYTES,
 };
 pub use pcap::PcapWriter;
 pub use queue::{bdp_packets, pow2_round, DropTailQueue, EnqueueResult, ServiceQueueStats};

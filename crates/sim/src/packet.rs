@@ -45,6 +45,42 @@ pub enum PacketKind {
     Ack,
 }
 
+/// ECN codepoint carried in the simulated IP header (RFC 3168 / RFC 9331).
+///
+/// Defaults to [`EcnCodepoint::NotEct`]: the pre-ECN senders never set a
+/// capable codepoint, so ECN-aware AQMs treat their packets exactly like a
+/// classic drop-tail would and legacy trials stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EcnCodepoint {
+    /// Not ECN-capable transport; congestion is signalled by drops.
+    #[default]
+    NotEct,
+    /// ECN-capable, classic (RFC 3168) semantics.
+    Ect0,
+    /// ECN-capable, L4S (RFC 9331) semantics — routed to the low-latency
+    /// queue by DualPI2.
+    Ect1,
+    /// Congestion Experienced: an AQM marked this packet instead of
+    /// dropping it.
+    Ce,
+}
+
+impl EcnCodepoint {
+    /// Whether an AQM may mark this packet instead of dropping it.
+    pub fn is_ect(self) -> bool {
+        matches!(
+            self,
+            EcnCodepoint::Ect0 | EcnCodepoint::Ect1 | EcnCodepoint::Ce
+        )
+    }
+
+    /// Whether the packet asks for L4S treatment (ECT(1), or CE on a
+    /// packet already in the L queue).
+    pub fn is_l4s(self) -> bool {
+        matches!(self, EcnCodepoint::Ect1)
+    }
+}
+
 /// A simulated packet.
 ///
 /// Payload content is never materialized — only byte counts matter to the
@@ -84,6 +120,10 @@ pub struct Packet {
     pub app_tag: u64,
     /// True when this is a retransmission of previously sent data.
     pub is_retransmit: bool,
+    /// ECN codepoint: set by the sender from its CCA's declared mode, may
+    /// be rewritten to CE by a marking AQM, echoed back on ACKs by the
+    /// receiver.
+    pub ecn: EcnCodepoint,
 }
 
 /// Default MTU-sized data packet on the wire, including headers.
@@ -110,6 +150,7 @@ impl Packet {
             app_limited: false,
             app_tag: 0,
             is_retransmit: false,
+            ecn: EcnCodepoint::NotEct,
         }
     }
 
@@ -130,12 +171,18 @@ impl Packet {
             app_limited: false,
             app_tag: 0,
             is_retransmit: false,
+            ecn: EcnCodepoint::NotEct,
         }
     }
 
     /// Whether this packet carries payload.
     pub fn is_data(&self) -> bool {
         self.kind == PacketKind::Data
+    }
+
+    /// Whether this packet experienced congestion marking.
+    pub fn is_ce(&self) -> bool {
+        self.ecn == EcnCodepoint::Ce
     }
 }
 

@@ -10,9 +10,10 @@
 //! pacing driven by the CCA's rate.
 
 use crate::source::FlowSource;
-use prudentia_cc::{AckSample, CongestionControl, LossSample};
+use prudentia_cc::{AckSample, CongestionControl, EcnMode, EcnSample, LossSample, SentSample};
 use prudentia_sim::{
-    Ctx, Endpoint, EndpointId, FlowId, Packet, PacketKind, ServiceId, SimDuration, SimTime,
+    Ctx, EcnCodepoint, Endpoint, EndpointId, FlowId, Packet, PacketKind, ServiceId, SimDuration,
+    SimTime,
 };
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -323,7 +324,7 @@ impl Sender {
             self.rtx_queue.push_back((info.data_seq, info.size));
         }
         self.check_drained("RTO");
-        self.cc.on_loss(&LossSample {
+        self.cc.on_timeout(&LossSample {
             now,
             bytes_lost: inflight_before,
             inflight_bytes: inflight_before,
@@ -333,7 +334,7 @@ impl Sender {
         self.try_send(ctx);
     }
 
-    fn handle_ack(&mut self, tx_seq: u64, ctx: &mut Ctx<'_>) {
+    fn handle_ack(&mut self, tx_seq: u64, ce_echo: bool, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         let Some(info) = self.sent.remove(&tx_seq) else {
             // ACK for a transmission already presumed lost (its data was
@@ -380,6 +381,15 @@ impl Sender {
             app_limited: info.app_limited,
             is_round_start,
         });
+        if ce_echo {
+            // The receiver echoed a CE mark for this transmission: the
+            // marked bytes join the round the ACK itself was counted in.
+            self.cc.on_ecn(&EcnSample {
+                now,
+                marked_bytes: info.size as u64,
+                inflight_bytes: self.inflight_bytes,
+            });
+        }
 
         {
             let mut st = self.stats.borrow_mut();
@@ -416,6 +426,11 @@ impl Sender {
         pkt.delivered_time_at_send = now;
         pkt.app_limited = self.app_limited;
         pkt.is_retransmit = retransmit;
+        pkt.ecn = match self.cc.ecn_mode() {
+            EcnMode::Disabled => EcnCodepoint::NotEct,
+            EcnMode::Classic => EcnCodepoint::Ect0,
+            EcnMode::L4s => EcnCodepoint::Ect1,
+        };
         self.sent.insert(
             tx_seq,
             SentInfo {
@@ -438,6 +453,12 @@ impl Sender {
             }
         }
         ctx.send_data(pkt);
+        self.cc.on_packet_sent(&SentSample {
+            now,
+            bytes: size as u64,
+            inflight_bytes: self.inflight_bytes,
+            is_retransmit: retransmit,
+        });
     }
 
     fn try_send(&mut self, ctx: &mut Ctx<'_>) {
@@ -538,7 +559,7 @@ impl Endpoint for Sender {
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         if pkt.kind == PacketKind::Ack {
-            self.handle_ack(pkt.seq, ctx);
+            self.handle_ack(pkt.seq, pkt.is_ce(), ctx);
         }
     }
 
@@ -624,7 +645,11 @@ impl Endpoint for Receiver {
         }
         self.sink
             .on_receive(ctx.now(), pkt.flow, pkt.data_seq, pkt.size as u64, is_new);
-        let ack = Packet::ack(pkt.flow, pkt.service, self.sender, pkt.seq);
+        let mut ack = Packet::ack(pkt.flow, pkt.service, self.sender, pkt.seq);
+        if pkt.is_ce() {
+            // Echo the congestion mark back to the sender (ECE / ACE).
+            ack.ecn = EcnCodepoint::Ce;
+        }
         ctx.send_reverse(ack);
     }
 

@@ -8,7 +8,7 @@
 //! Applications (in `prudentia-apps`) supply data through the
 //! [`FlowSource`] trait and observe arrivals through [`DeliverySink`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod flow;

@@ -9,7 +9,9 @@
 //! `--release` codegen against the blessed bytes.
 
 use prudentia_cc::CcaKind;
-use prudentia_check::golden::{default_golden_dir, render_csv, GOLDEN_CCAS, GOLDEN_SEED};
+use prudentia_check::golden::{
+    default_golden_dir, golden_setting, render_csv, GOLDEN_CCAS, GOLDEN_SEED,
+};
 use prudentia_check::run_solo;
 use prudentia_core::NetworkSetting;
 
@@ -37,12 +39,13 @@ fn wheel_matches_blessed_golden_bytes_cross_profile() {
 
 #[test]
 fn wheel_matches_every_blessed_golden_at_the_golden_pin() {
-    // All five golden CCAs at the golden seed and duration: the exact
-    // configuration the tier-1 golden suite pins, regenerated here so a
-    // calendar regression in any CCA's event pattern fails in this suite
-    // too (release profile included).
-    let setting = NetworkSetting::highly_constrained();
+    // All golden CCAs at the golden seed, duration, and per-CCA setting
+    // (Prague runs behind DualPI2): the exact configuration the tier-1
+    // golden suite pins, regenerated here so a calendar regression in any
+    // CCA's event pattern fails in this suite too (release profile
+    // included).
     for &(kind, stem) in GOLDEN_CCAS.iter() {
+        let setting = golden_setting(kind);
         let golden = default_golden_dir().join(format!("{stem}.csv"));
         let blessed = std::fs::read_to_string(&golden)
             .unwrap_or_else(|e| panic!("cannot read {}: {e}", golden.display()));
